@@ -1,0 +1,69 @@
+"""Ablation: the lazy-forward strategy (Sec. 4.1).
+
+Compares Algorithm 1's lazy heap against the naive greedy that
+recomputes every candidate's marginal gain each iteration.  Results
+are identical; the paper's claim is that the number of recomputations
+``nc`` is far smaller than ``n`` — we report both the runtime and the
+measured gain-evaluation counts.
+"""
+
+import numpy as np
+import pytest
+
+from common import DEFAULT_K, queries, report_table, uk
+from repro import greedy_select
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return uk()
+
+
+@pytest.fixture(scope="module")
+def query(dataset):
+    return queries(dataset, count=1, k=DEFAULT_K, min_population=500,
+                   seed=900)[0]
+
+
+def test_ablation_lazy(benchmark, dataset, query):
+    result = benchmark.pedantic(
+        lambda: greedy_select(dataset, query, lazy=True),
+        rounds=3, iterations=1,
+    )
+    assert len(result) > 0
+
+
+def test_ablation_naive(benchmark, dataset, query):
+    result = benchmark.pedantic(
+        lambda: greedy_select(dataset, query, lazy=False),
+        rounds=1, iterations=1,
+    )
+    assert len(result) > 0
+
+
+def test_ablation_lazy_forward_report(benchmark, dataset, query):
+    def run():
+        lazy = greedy_select(dataset, query, lazy=True)
+        naive = greedy_select(dataset, query, lazy=False)
+        return lazy, naive
+
+    lazy, naive = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        ["lazy-forward", f"{lazy.stats['elapsed_s']:.4f}",
+         lazy.stats["gain_evaluations"], f"{lazy.score:.4f}"],
+        ["naive", f"{naive.stats['elapsed_s']:.4f}",
+         naive.stats["gain_evaluations"], f"{naive.score:.4f}"],
+    ]
+    report_table(
+        "ablation_lazy_forward",
+        ["variant", "runtime(s)", "gain evaluations (nc)", "score"],
+        rows,
+        title="Ablation — lazy-forward vs naive greedy "
+              f"(population {lazy.stats['population']}, k={query.k})",
+    )
+    # Same quality (tie order may differ on duplicated corpora), far
+    # fewer evaluations.
+    assert lazy.score == pytest.approx(naive.score, rel=1e-6)
+    assert lazy.stats["gain_evaluations"] < (
+        0.5 * naive.stats["gain_evaluations"]
+    )

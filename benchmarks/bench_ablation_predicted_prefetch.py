@@ -1,0 +1,91 @@
+"""Ablation: full vs prediction-driven pre-fetching (extension).
+
+The paper prefetches for all three possible operations; its cited
+future work (Battle et al.) predicts the next viewport instead.  This
+ablation measures the trade: a ``FrequencyPredictor(top=1)`` cuts the
+off-path precompute cost to one kind, at the price of cache misses
+(responses that fall back to exact initialization).
+"""
+
+import statistics
+
+import numpy as np
+import pytest
+
+from common import queries, report_table, uk
+from repro import FrequencyPredictor, MapSession
+from repro.datasets import pan_offset_for_overlap
+
+K = 50
+STEPS = 8
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return uk()
+
+
+def drive_session(dataset, region, predictor):
+    """A pan-heavy user journey; returns response/precompute stats."""
+    session = MapSession(
+        dataset, k=K, theta_fraction=0.003, prefetch=True,
+        predictor=predictor,
+    )
+    session.start(region)
+    rng = np.random.default_rng(42)
+    response, precompute, hits = [], [], 0
+    operations = ["pan", "pan", "zoom_in", "pan", "zoom_out",
+                  "pan", "pan", "pan"][:STEPS]
+    for op in operations:
+        if op == "pan":
+            dx, dy = pan_offset_for_overlap(session.region, 0.5, rng, "x")
+            step = session.pan(dx, dy)
+        elif op == "zoom_in":
+            step = session.zoom_in(0.5)
+        else:
+            step = session.zoom_out(2.0)
+        response.append(step.elapsed_s)
+        precompute.append(sum(session.prefetch_elapsed.values()))
+        hits += int(step.used_prefetch)
+    return {
+        "response_s": statistics.fmean(response),
+        "precompute_s": statistics.fmean(precompute),
+        "hit_rate": hits / len(operations),
+    }
+
+
+def test_predicted_prefetch_report(benchmark, dataset):
+    region = queries(dataset, count=1, region_fraction=0.02, k=K,
+                     min_population=800, seed=904)[0].region
+
+    def run():
+        return {
+            "prefetch all": drive_session(dataset, region, None),
+            "predicted top-1": drive_session(
+                dataset, region, FrequencyPredictor(top=1)
+            ),
+            "predicted top-2": drive_session(
+                dataset, region, FrequencyPredictor(top=2)
+            ),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [name, f"{r['response_s']:.4f}", f"{r['precompute_s']:.4f}",
+         f"{r['hit_rate']:.0%}"]
+        for name, r in results.items()
+    ]
+    report_table(
+        "ablation_predicted_prefetch",
+        ["policy", "mean response(s)", "mean precompute(s)", "hit rate"],
+        rows,
+        title="Ablation — full vs prediction-driven pre-fetching "
+              f"(pan-heavy {STEPS}-step journey)",
+    )
+    # Prediction cuts precompute cost; full prefetching never misses.
+    assert (
+        results["predicted top-1"]["precompute_s"]
+        < results["prefetch all"]["precompute_s"]
+    )
+    assert results["prefetch all"]["hit_rate"] == 1.0
+    assert results["predicted top-1"]["hit_rate"] >= 0.5  # pans repeat

@@ -1,0 +1,60 @@
+"""Ablation: Hoeffding (Eq. 6) vs Serfling (Eq. 7) sample sizes.
+
+The paper notes Serfling's finite-population inequality "provides a
+smaller size for sampling"; this ablation quantifies how much smaller
+across population sizes, and the runtime/quality consequence on the
+US workload.
+"""
+
+import numpy as np
+import pytest
+
+from common import (
+    SASS_K,
+    SASS_REGION_FRACTION,
+    queries,
+    report_table,
+    us,
+)
+from repro import hoeffding_sample_size, sass_select, serfling_sample_size
+
+EPSILON = 0.05
+DELTA = 0.1
+
+
+def test_sample_size_table(benchmark):
+    def run():
+        rows = []
+        h = hoeffding_sample_size(EPSILON, DELTA)
+        for population in (10**3, 10**4, 10**5, 10**6, 10**8):
+            s = serfling_sample_size(EPSILON, DELTA, population)
+            rows.append([f"{population:,}", h, s, f"{h / s:.2f}x"])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report_table(
+        "ablation_sample_bounds_sizes",
+        ["population", "Hoeffding m", "Serfling m", "ratio"],
+        rows,
+        title=f"Ablation — sample sizes at ε={EPSILON}, δ={DELTA}",
+    )
+    # Serfling never exceeds Hoeffding and converges to it.
+    assert all(int(r[2]) <= int(r[1]) for r in rows)
+
+
+@pytest.mark.parametrize("bound", ["hoeffding", "serfling"])
+def test_sass_bound_runtime(benchmark, bound):
+    dataset = us()
+    query = queries(
+        dataset, count=1, k=SASS_K, region_fraction=SASS_REGION_FRACTION,
+        min_population=5000, seed=901,
+    )[0]
+
+    def run():
+        return sass_select(
+            dataset, query, epsilon=EPSILON, delta=DELTA, bound=bound,
+            rng=np.random.default_rng(0), evaluate_full_score=True,
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.stats["score_difference"] <= 2 * EPSILON

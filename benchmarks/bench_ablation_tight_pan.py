@@ -1,0 +1,82 @@
+"""Ablation: loose vs tight panning prefetch bounds (Lemma 5.3).
+
+The pan prefetcher can sum over the whole 3x3-viewport union (loose,
+one bulk matvec) or restrict each object's sum to its 2x-viewport
+square (tight, the lemma's refinement — one region query + row per
+object).  Tight bounds cost more to precompute but dominate less
+loosely, pruning more candidates at response time.
+"""
+
+import statistics
+
+import pytest
+
+from common import queries, report_table, uk
+from repro import MapSession
+from repro.datasets import pan_offset_for_overlap
+
+K = 50
+REGION_FRACTION = 0.02
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return uk()
+
+
+@pytest.fixture(scope="module")
+def workload(dataset):
+    return queries(dataset, count=2, region_fraction=REGION_FRACTION,
+                   k=K, min_population=800, seed=907)
+
+
+def run_pans(dataset, workload, tight):
+    import numpy as np
+
+    responses, precomputes, evals = [], [], []
+    for query in workload:
+        session = MapSession(
+            dataset, k=K, theta_fraction=0.003, prefetch=True,
+            tight_pan_bounds=tight,
+        )
+        session.start(query.region)
+        precomputes.append(session.prefetch_elapsed["pan"])
+        dx, dy = pan_offset_for_overlap(
+            session.region, 0.5, np.random.default_rng(1), "x"
+        )
+        step = session.pan(dx, dy)
+        assert step.used_prefetch
+        responses.append(step.elapsed_s)
+        evals.append(step.stats["gain_evaluations"])
+    return {
+        "response_s": statistics.fmean(responses),
+        "precompute_s": statistics.fmean(precomputes),
+        "gain_evals": statistics.fmean(evals),
+    }
+
+
+def test_tight_pan_report(benchmark, dataset, workload):
+    def run():
+        return {
+            "loose (rA sum)": run_pans(dataset, workload, False),
+            "tight (rA ∩ ro per object)": run_pans(dataset, workload, True),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [name, f"{r['precompute_s']:.4f}", f"{r['response_s']:.4f}",
+         f"{r['gain_evals']:.0f}"]
+        for name, r in results.items()
+    ]
+    report_table(
+        "ablation_tight_pan",
+        ["pan bounds", "precompute(s)", "response(s)", "gain evals"],
+        rows,
+        title="Ablation — Lemma 5.3 loose vs tight panning bounds",
+    )
+    loose = results["loose (rA sum)"]
+    tight = results["tight (rA ∩ ro per object)"]
+    # Tight bounds never force MORE response-time work ...
+    assert tight["gain_evals"] <= loose["gain_evals"] * 1.05
+    # ... and cost more to precompute (the lemma's trade).
+    assert tight["precompute_s"] >= loose["precompute_s"]

@@ -1,0 +1,85 @@
+"""Figure 10: varying the confidence error δ on US (SaSS vs Random).
+
+Same three panels as Figure 9; the dependence on δ is logarithmic, so
+the curves are flatter than the ε sweep.
+"""
+
+import statistics
+
+import numpy as np
+import pytest
+
+from common import (
+    DEFAULT_EPSILON,
+    SASS_K,
+    SASS_REGION_FRACTION,
+    queries,
+    report_series,
+    us,
+)
+from repro import sass_select
+from repro.baselines import random_select
+
+DELTAS = [0.08, 0.09, 0.10, 0.11, 0.12]
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return us()
+
+
+@pytest.fixture(scope="module")
+def workload(dataset):
+    return queries(
+        dataset, k=SASS_K, region_fraction=SASS_REGION_FRACTION,
+        min_population=5000,
+    )
+
+
+@pytest.mark.parametrize("delta", DELTAS)
+def test_fig10_sass_runtime(benchmark, dataset, workload, delta):
+    query = workload[0]
+
+    def run():
+        return sass_select(
+            dataset, query, epsilon=DEFAULT_EPSILON, delta=delta,
+            rng=np.random.default_rng(1),
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(result) > 0
+
+
+def test_fig10_report(benchmark, dataset, workload):
+    def sweep():
+        rows = {"runtime_sass": [], "runtime_random": [],
+                "sampling_ratio_pct": [], "score_difference": []}
+        for delta in DELTAS:
+            times, ratios, diffs, rtimes = [], [], [], []
+            for q_index, query in enumerate(workload):
+                rng = np.random.default_rng(20 + q_index)
+                res = sass_select(
+                    dataset, query, epsilon=DEFAULT_EPSILON, delta=delta,
+                    rng=rng, evaluate_full_score=True,
+                )
+                times.append(res.stats["elapsed_s"])
+                ratios.append(res.stats["sampling_ratio"] * 100)
+                diffs.append(res.stats["score_difference"])
+                rnd = random_select(dataset, query, rng=rng)
+                rtimes.append(rnd.stats["elapsed_s"])
+            rows["runtime_sass"].append(statistics.fmean(times))
+            rows["runtime_random"].append(statistics.fmean(rtimes))
+            rows["sampling_ratio_pct"].append(statistics.fmean(ratios))
+            rows["score_difference"].append(statistics.fmean(diffs))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report_series(
+        "fig10_vary_delta", "delta", DELTAS, rows,
+        title="Figure 10 — varying δ on US (SaSS)",
+    )
+    # Larger δ permits a smaller sample.
+    assert rows["sampling_ratio_pct"][0] >= rows["sampling_ratio_pct"][-1]
+    assert max(rows["sampling_ratio_pct"]) < 20.0
+    # Score differences stay small (the paper reports < 0.016).
+    assert max(rows["score_difference"]) <= 2 * DEFAULT_EPSILON

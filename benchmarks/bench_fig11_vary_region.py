@@ -1,0 +1,82 @@
+"""Figure 11: varying the query-region size.
+
+Panels: (a) UK and (b) POI — Greedy vs Random runtime grows roughly
+linearly with region size (more objects in the region); (c) US — SaSS
+runtime stays low and grows slowly (the sample size is fixed; only
+fetching and conflict handling grow).
+"""
+
+import statistics
+
+import numpy as np
+import pytest
+
+from common import (
+    DEFAULT_K,
+    SASS_K,
+    poi,
+    queries,
+    report_series,
+    uk,
+    us,
+)
+from repro import greedy_select, sass_select
+from repro.baselines import random_select
+
+# Paper Table 2: region sizes 2^-2 .. 2^2 times 1e-2 (by length).
+REGION_FRACTIONS = [0.0025, 0.005, 0.01, 0.02, 0.04]
+
+
+def sweep(dataset, selector, fractions, k, min_population=50):
+    times = []
+    for fraction in fractions:
+        per_query = []
+        for q_index, query in enumerate(
+            queries(dataset, region_fraction=fraction, k=k,
+                    min_population=min_population, seed=300)
+        ):
+            result = selector(dataset, query,
+                              np.random.default_rng(q_index))
+            per_query.append(result.stats["elapsed_s"])
+        times.append(statistics.fmean(per_query))
+    return times
+
+
+def run_greedy(dataset, query, rng):
+    return greedy_select(dataset, query)
+
+
+def run_random(dataset, query, rng):
+    return random_select(dataset, query, rng=rng)
+
+
+def run_sass(dataset, query, rng):
+    return sass_select(dataset, query, rng=rng)
+
+
+@pytest.mark.parametrize("name,factory,k,selectors", [
+    ("uk", uk, DEFAULT_K, (("Greedy", run_greedy), ("Random", run_random))),
+    ("poi", poi, DEFAULT_K, (("Greedy", run_greedy), ("Random", run_random))),
+    ("us", us, SASS_K, (("SASS", run_sass), ("Random", run_random))),
+])
+def test_fig11_region_sweep(benchmark, name, factory, k, selectors):
+    dataset = factory()
+
+    def run():
+        return {
+            label: sweep(dataset, fn, REGION_FRACTIONS, k)
+            for label, fn in selectors
+        }
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    report_series(
+        f"fig11_vary_region_{name}",
+        "region_fraction", REGION_FRACTIONS, series,
+        title=f"Figure 11 — varying query region size on {name.upper()} "
+              "(runtime, s)",
+    )
+    # Paper shape: runtime increases with region size for the full
+    # methods; check the trend across the extremes.
+    for label, times in series.items():
+        if label in ("Greedy",):
+            assert times[-1] >= times[0]

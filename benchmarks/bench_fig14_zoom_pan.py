@@ -1,0 +1,116 @@
+"""Figure 14: varying zoom scale and panning overlap (UK).
+
+(a) zoom-in scale 2^-3..2^-1: both variants get cheaper as the target
+    shrinks; prefetch stays well below non-fetch throughout.
+(b) zoom-out scale 2^1..2^3: cost grows with the target area;
+    prefetch wins by about an order of magnitude.
+(c) panning overlap buckets 0-100%: with little overlap the new strip
+    is large (expensive); as overlap grows the work shrinks and the
+    prefetch advantage narrows — the paper's observation (2).
+"""
+
+import statistics
+
+import pytest
+
+from common import queries, report_series, uk
+from repro import MapSession
+from repro.datasets import pan_offset_for_overlap
+
+K = 50
+REGION_FRACTION = 0.02
+ZOOM_IN_SCALES = [0.125, 0.177, 0.25, 0.354, 0.5]
+ZOOM_OUT_SCALES = [2.0, 2.83, 4.0, 5.66, 8.0]
+OVERLAP_BUCKETS = [0.1, 0.3, 0.5, 0.7, 0.9]
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return uk()
+
+
+@pytest.fixture(scope="module")
+def workload(dataset):
+    return queries(dataset, count=2, region_fraction=REGION_FRACTION,
+                   k=K, min_population=800, seed=500)
+
+
+def session_for(dataset, prefetch, zoom_out_max=8.0):
+    return MapSession(
+        dataset, k=K, theta_fraction=0.003, prefetch=prefetch,
+        zoom_out_max_scale=zoom_out_max,
+    )
+
+
+def run_sweep(dataset, workload, values, op_factory):
+    out = {"Greedy (non-fetch)": [], "Pre-fetch": []}
+    for value in values:
+        for label, prefetch in (("Greedy (non-fetch)", False),
+                                ("Pre-fetch", True)):
+            times = []
+            for query in workload:
+                session = session_for(dataset, prefetch)
+                session.start(query.region)
+                step = op_factory(session, value)
+                times.append(step.elapsed_s)
+            out[label].append(statistics.fmean(times))
+    return out
+
+
+def test_fig14a_zoom_in_scale(benchmark, dataset, workload):
+    def run():
+        return run_sweep(
+            dataset, workload, ZOOM_IN_SCALES,
+            lambda session, scale: session.zoom_in(scale),
+        )
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    report_series(
+        "fig14a_zoom_in_scale", "zoom_in_scale", ZOOM_IN_SCALES, series,
+        title="Figure 14(a) — varying zoom-in scale on UK (runtime, s)",
+    )
+    for non, pre in zip(series["Greedy (non-fetch)"], series["Pre-fetch"]):
+        assert pre <= non
+
+
+def test_fig14b_zoom_out_scale(benchmark, dataset, workload):
+    def run():
+        return run_sweep(
+            dataset, workload, ZOOM_OUT_SCALES,
+            lambda session, scale: session.zoom_out(scale),
+        )
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    report_series(
+        "fig14b_zoom_out_scale", "zoom_out_scale", ZOOM_OUT_SCALES, series,
+        title="Figure 14(b) — varying zoom-out scale on UK (runtime, s)",
+    )
+    for non, pre in zip(series["Greedy (non-fetch)"], series["Pre-fetch"]):
+        assert pre <= non * 1.1  # prefetch never meaningfully worse
+
+
+def test_fig14c_pan_overlap(benchmark, dataset, workload):
+    def run():
+        import numpy as np
+
+        def pan(session, overlap):
+            dx, dy = pan_offset_for_overlap(
+                session.region, overlap,
+                rng=np.random.default_rng(1), axis="x",
+            )
+            return session.pan(dx, dy)
+
+        return run_sweep(dataset, workload, OVERLAP_BUCKETS, pan)
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    report_series(
+        "fig14c_pan_overlap", "overlap", OVERLAP_BUCKETS, series,
+        title="Figure 14(c) — varying panning overlap on UK (runtime, s)",
+    )
+    # Paper observation (1): at small overlap prefetch helps a lot ...
+    assert series["Pre-fetch"][0] < series["Greedy (non-fetch)"][0]
+    # ... and (2): the non-fetch cost shrinks as overlap grows (less
+    # new area to select from).
+    assert (
+        series["Greedy (non-fetch)"][-1] <= series["Greedy (non-fetch)"][0]
+    )

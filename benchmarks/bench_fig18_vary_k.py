@@ -1,0 +1,73 @@
+"""Figure 18 (Appendix E.1): varying the number of selected objects k.
+
+Runtime of every method grows with k (more greedy iterations / more
+random draws); Greedy vs Random on UK and POI, SaSS vs Random on US.
+"""
+
+import statistics
+
+import numpy as np
+import pytest
+
+from common import (
+    SASS_REGION_FRACTION,
+    poi,
+    queries,
+    report_series,
+    uk,
+    us,
+)
+from repro import greedy_select, sass_select
+from repro.baselines import random_select
+
+KS = [60, 80, 100, 120, 140]
+
+
+def sweep(dataset, ks, selectors, region_fraction, min_population):
+    out = {label: [] for label, _fn in selectors}
+    for k in ks:
+        workload = queries(
+            dataset, region_fraction=region_fraction, k=k,
+            min_population=min_population, seed=600,
+        )
+        for label, fn in selectors:
+            times = [
+                fn(dataset, query, np.random.default_rng(i)).stats["elapsed_s"]
+                for i, query in enumerate(workload)
+            ]
+            out[label].append(statistics.fmean(times))
+    return out
+
+
+def greedy_fn(dataset, query, rng):
+    return greedy_select(dataset, query)
+
+
+def random_fn(dataset, query, rng):
+    return random_select(dataset, query, rng=rng)
+
+
+def sass_fn(dataset, query, rng):
+    return sass_select(dataset, query, rng=rng)
+
+
+@pytest.mark.parametrize("name,factory,selectors,fraction,min_pop", [
+    ("uk", uk, (("Greedy", greedy_fn), ("Random", random_fn)), 0.01, 300),
+    ("poi", poi, (("Greedy", greedy_fn), ("Random", random_fn)), 0.02, 300),
+    ("us", us, (("SASS", sass_fn), ("Random", random_fn)),
+     SASS_REGION_FRACTION, 5000),
+])
+def test_fig18_vary_k(benchmark, name, factory, selectors, fraction, min_pop):
+    dataset = factory()
+
+    def run():
+        return sweep(dataset, KS, selectors, fraction, min_pop)
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    report_series(
+        f"fig18_vary_k_{name}", "k", KS, series,
+        title=f"Figure 18 — varying k on {name.upper()} (runtime, s)",
+    )
+    # Runtime increases with k for the primary method of each panel.
+    primary = selectors[0][0]
+    assert series[primary][-1] >= series[primary][0] * 0.8

@@ -1,0 +1,82 @@
+"""Figure 19 (Appendix E.2): varying the visibility threshold θ.
+
+The paper's observation: runtime "stays stable regardless of the
+choice of distance threshold" — θ only affects how many neighbours are
+pruned per pick, which is a small cost either way.
+"""
+
+import statistics
+
+import numpy as np
+import pytest
+
+from common import (
+    DEFAULT_K,
+    SASS_K,
+    SASS_REGION_FRACTION,
+    poi,
+    queries,
+    report_series,
+    uk,
+    us,
+)
+from repro import greedy_select, sass_select
+from repro.baselines import random_select
+
+THETA_FRACTIONS = [0.001, 0.002, 0.003, 0.004, 0.005]
+
+
+def sweep(dataset, selectors, k, region_fraction, min_population):
+    out = {label: [] for label, _fn in selectors}
+    for theta_fraction in THETA_FRACTIONS:
+        workload = queries(
+            dataset, region_fraction=region_fraction, k=k,
+            theta_fraction=theta_fraction,
+            min_population=min_population, seed=700,
+        )
+        for label, fn in selectors:
+            times = [
+                fn(dataset, query, np.random.default_rng(i)).stats["elapsed_s"]
+                for i, query in enumerate(workload)
+            ]
+            out[label].append(statistics.fmean(times))
+    return out
+
+
+def greedy_fn(dataset, query, rng):
+    return greedy_select(dataset, query)
+
+
+def random_fn(dataset, query, rng):
+    return random_select(dataset, query, rng=rng)
+
+
+def sass_fn(dataset, query, rng):
+    return sass_select(dataset, query, rng=rng)
+
+
+@pytest.mark.parametrize("name,factory,selectors,k,fraction,min_pop", [
+    ("uk", uk, (("Greedy", greedy_fn), ("Random", random_fn)),
+     DEFAULT_K, 0.01, 300),
+    ("poi", poi, (("Greedy", greedy_fn), ("Random", random_fn)),
+     DEFAULT_K, 0.02, 300),
+    ("us", us, (("SASS", sass_fn), ("Random", random_fn)),
+     SASS_K, SASS_REGION_FRACTION, 5000),
+])
+def test_fig19_vary_theta(benchmark, name, factory, selectors, k,
+                          fraction, min_pop):
+    dataset = factory()
+
+    def run():
+        return sweep(dataset, selectors, k, fraction, min_pop)
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    report_series(
+        f"fig19_vary_theta_{name}", "theta_fraction", THETA_FRACTIONS, series,
+        title=f"Figure 19 — varying θ on {name.upper()} (runtime, s)",
+    )
+    # Stability: runtime at the largest θ within ~3x of the smallest
+    # (the paper's curves are flat; ours may wobble on small samples).
+    primary = selectors[0][0]
+    low, high = min(series[primary]), max(series[primary])
+    assert high <= 3.0 * max(low, 1e-9)

@@ -1,0 +1,46 @@
+"""Figure 20 (Appendix F.1): ISOS response time vs query-region size.
+
+Six curves (Greedy-in/out/pan and their prefetched counterparts); the
+paper observes each method's cost stays fairly stable across region
+sizes while prefetching wins by 1–3 orders of magnitude depending on
+the operation.
+"""
+
+import pytest
+
+from common import report_series, uk
+from isos_common import default_workload, isos_sweep
+
+REGION_FRACTIONS = [0.005, 0.01, 0.02, 0.04]
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return uk()
+
+
+def test_fig20_isos_region_sweep(benchmark, dataset):
+    def run():
+        return isos_sweep(
+            dataset,
+            REGION_FRACTIONS,
+            workload_for=lambda fraction: default_workload(
+                dataset, region_fraction=fraction,
+                min_population=max(100, int(3000 * fraction)),
+            ),
+        )
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    report_series(
+        "fig20_isos_region_uk",
+        "region_fraction", REGION_FRACTIONS, series,
+        title="Figure 20 — ISOS vs query region size on UK (runtime, s)",
+    )
+    # Prefetch wins clearly once regions carry real population; on the
+    # tiniest viewports the exact init is already trivial and the
+    # bound lookups can cost as much as they save, so allow slack
+    # there but require a win at the largest size.
+    for op in ("in", "out", "pan"):
+        assert series[f"Pre-{op}"][-1] <= series[f"Greedy-{op}"][-1], op
+        for non, pre in zip(series[f"Greedy-{op}"], series[f"Pre-{op}"]):
+            assert pre <= max(non * 1.1, non + 0.05), op

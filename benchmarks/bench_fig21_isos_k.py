@@ -1,0 +1,38 @@
+"""Figure 21 (Appendix F.2): ISOS response time vs k.
+
+Runtime of each operation grows with k; prefetching keeps its 1–2
+order advantage throughout.
+"""
+
+import pytest
+
+from common import report_series, uk
+from isos_common import default_workload, isos_sweep
+
+KS = [20, 40, 60, 80]
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return uk()
+
+
+def test_fig21_isos_k_sweep(benchmark, dataset):
+    def run():
+        return isos_sweep(
+            dataset,
+            KS,
+            workload_for=lambda k: default_workload(
+                dataset, region_fraction=0.02, k=k, min_population=800,
+            ),
+            k_for=lambda k: k,
+        )
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    report_series(
+        "fig21_isos_k_uk", "k", KS, series,
+        title="Figure 21 — ISOS vs k on UK (runtime, s)",
+    )
+    for op in ("in", "out", "pan"):
+        for non, pre in zip(series[f"Greedy-{op}"], series[f"Pre-{op}"]):
+            assert pre <= non * 1.1, op

@@ -1,0 +1,40 @@
+"""Figure 22 (Appendix F.3): ISOS response time vs θ.
+
+Mirrors Figure 19's SOS result: the visibility threshold barely moves
+the runtime of any variant.
+"""
+
+import pytest
+
+from common import report_series, uk
+from isos_common import default_workload, isos_sweep
+
+THETA_FRACTIONS = [0.001, 0.002, 0.003, 0.004, 0.005]
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return uk()
+
+
+def test_fig22_isos_theta_sweep(benchmark, dataset):
+    def run():
+        return isos_sweep(
+            dataset,
+            THETA_FRACTIONS,
+            workload_for=lambda tf: default_workload(
+                dataset, region_fraction=0.02, theta_fraction=tf,
+                min_population=800,
+            ),
+            theta_for=lambda tf: tf,
+        )
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    report_series(
+        "fig22_isos_theta_uk", "theta_fraction", THETA_FRACTIONS, series,
+        title="Figure 22 — ISOS vs θ on UK (runtime, s)",
+    )
+    # Stability of the prefetched variants across θ.
+    for op in ("in", "out", "pan"):
+        values = series[f"Pre-{op}"]
+        assert max(values) <= 5.0 * max(min(values), 1e-9), op

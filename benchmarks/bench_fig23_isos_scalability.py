@@ -1,0 +1,40 @@
+"""Figure 23 (Appendix F.4): ISOS scalability with dataset size.
+
+Response times per operation as the UK corpus grows 1x..2x, with and
+without prefetching, on the full text datasets.  The paper's shape:
+every operation's cost grows with density; prefetching keeps its edge
+throughout.
+"""
+
+from common import prefix_dataset, report_series
+from isos_common import CURVES, default_workload, operation_time
+from repro.datasets import uk_tweets
+
+MULTIPLIERS = [1.0, 1.5, 2.0]
+UK_BASE = 120_000
+
+
+def test_fig23_isos_scalability(benchmark):
+    def run():
+        out = {label: [] for label, _op, _pf in CURVES}
+        world = uk_tweets(n=int(UK_BASE * MULTIPLIERS[-1]))
+        for mult in MULTIPLIERS:
+            dataset = prefix_dataset(world, int(UK_BASE * mult))
+            workload = default_workload(
+                dataset, region_fraction=0.02, min_population=500,
+            )
+            for label, op, prefetch in CURVES:
+                out[label].append(
+                    operation_time(dataset, workload, op, prefetch, k=50)
+                )
+        return out
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    report_series(
+        "fig23_isos_scalability_uk",
+        "size_multiplier", MULTIPLIERS, series,
+        title="Figure 23 — ISOS scalability on UK (runtime, s)",
+    )
+    for op in ("in", "out", "pan"):
+        for non, pre in zip(series[f"Greedy-{op}"], series[f"Pre-{op}"]):
+            assert pre <= non * 1.1, op

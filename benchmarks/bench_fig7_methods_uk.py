@@ -1,0 +1,68 @@
+"""Figure 7: runtime and representative score of all methods on UK.
+
+Paper shape to reproduce: Greedy attains the best score of all
+methods; SASS is close behind on score while being the fastest of the
+quality-aware methods; the diversity baselines (MaxMin/MaxSum) and
+DisC trail clearly on score.
+"""
+
+import numpy as np
+import pytest
+
+from common import (
+    DEFAULT_K,
+    queries,
+    report_table,
+    uk,
+)
+from repro.experiments import compare_methods, selector_catalog
+
+METHODS = ["Greedy", "SASS", "Random", "K-means", "MaxMin", "MaxSum", "DisC"]
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return uk()
+
+
+@pytest.fixture(scope="module")
+def workload(dataset):
+    return queries(dataset, k=DEFAULT_K)
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_fig7_method_runtime(benchmark, dataset, workload, method):
+    """Per-method selection latency on the default UK workload."""
+    selector = selector_catalog()[method]
+    query = workload[0]
+
+    def run():
+        return selector(dataset, query, rng=np.random.default_rng(0))
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(result) > 0
+
+
+def test_fig7_report(benchmark, dataset, workload):
+    """The full Figure 7 table: mean runtime and score per method."""
+
+    def run():
+        return compare_methods(dataset, workload, METHODS)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report_table(
+        "fig7_methods_uk",
+        ["method", "runtime(s)", "score", "runs"],
+        [r.row() for r in rows],
+        title="Figure 7 — methods on UK (runtime & representative score)",
+    )
+    by_name = {r.method: r for r in rows}
+    # Paper shape: greedy's score leads everything.
+    for other in METHODS[1:]:
+        assert by_name["Greedy"].mean_score >= by_name[other].mean_score - 1e-9
+    # SASS stays close to Greedy on score while being faster.  (The
+    # paper's gap is a few percent; ours runs ~10-15% because the
+    # absolute-epsilon sample misses some duplicate groups — see
+    # EXPERIMENTS.md deviation 2.)
+    assert by_name["SASS"].mean_score >= 0.8 * by_name["Greedy"].mean_score
+    assert by_name["SASS"].mean_runtime_s <= by_name["Greedy"].mean_runtime_s

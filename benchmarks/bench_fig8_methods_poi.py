@@ -1,0 +1,53 @@
+"""Figure 8: runtime (log scale in the paper) and score, POI dataset.
+
+Same shape as Figure 7 on the Foursquare-POI analogue: Greedy leads on
+score; SASS trails slightly on score at a fraction of the runtime.
+"""
+
+import numpy as np
+import pytest
+
+from common import DEFAULT_K, poi, queries, report_table
+from repro.experiments import compare_methods, selector_catalog
+
+METHODS = ["Greedy", "SASS", "Random", "K-means", "MaxMin", "MaxSum", "DisC"]
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return poi()
+
+
+@pytest.fixture(scope="module")
+def workload(dataset):
+    # POI clusters are tighter; a slightly larger region keeps the
+    # population comparable to the UK workload.
+    return queries(dataset, k=DEFAULT_K, region_fraction=0.02)
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_fig8_method_runtime(benchmark, dataset, workload, method):
+    selector = selector_catalog()[method]
+    query = workload[0]
+
+    def run():
+        return selector(dataset, query, rng=np.random.default_rng(0))
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(result) > 0
+
+
+def test_fig8_report(benchmark, dataset, workload):
+    def run():
+        return compare_methods(dataset, workload, METHODS)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report_table(
+        "fig8_methods_poi",
+        ["method", "runtime(s)", "score", "runs"],
+        [r.row() for r in rows],
+        title="Figure 8 — methods on POI (runtime & representative score)",
+    )
+    by_name = {r.method: r for r in rows}
+    for other in METHODS[1:]:
+        assert by_name["Greedy"].mean_score >= by_name[other].mean_score - 1e-9

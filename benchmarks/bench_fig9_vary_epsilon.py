@@ -1,0 +1,90 @@
+"""Figure 9: varying the error bound ε on US (SaSS vs Random).
+
+Three panels: (a) runtime decreases as ε grows (smaller sample),
+(b) sampling ratio stays in the low percent range, (c) the observed
+score difference between sample and full population stays small
+(well under ε).
+"""
+
+import statistics
+
+import numpy as np
+import pytest
+
+from common import (
+    DEFAULT_DELTA,
+    SASS_K,
+    SASS_REGION_FRACTION,
+    queries,
+    report_series,
+    us,
+)
+from repro import sass_select
+from repro.baselines import random_select
+
+EPSILONS = [0.03, 0.04, 0.05, 0.06, 0.07]
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return us()
+
+
+@pytest.fixture(scope="module")
+def workload(dataset):
+    return queries(
+        dataset, k=SASS_K, region_fraction=SASS_REGION_FRACTION,
+        min_population=5000,
+    )
+
+
+@pytest.mark.parametrize("epsilon", EPSILONS)
+def test_fig9_sass_runtime(benchmark, dataset, workload, epsilon):
+    query = workload[0]
+
+    def run():
+        return sass_select(
+            dataset, query, epsilon=epsilon, delta=DEFAULT_DELTA,
+            rng=np.random.default_rng(1),
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(result) > 0
+
+
+def test_fig9_report(benchmark, dataset, workload):
+    def sweep():
+        rows = {"runtime_sass": [], "runtime_random": [],
+                "sampling_ratio_pct": [], "score_difference": []}
+        for epsilon in EPSILONS:
+            times, ratios, diffs, rtimes = [], [], [], []
+            for q_index, query in enumerate(workload):
+                rng = np.random.default_rng(10 + q_index)
+                res = sass_select(
+                    dataset, query, epsilon=epsilon, delta=DEFAULT_DELTA,
+                    rng=rng, evaluate_full_score=True,
+                )
+                times.append(res.stats["elapsed_s"])
+                ratios.append(res.stats["sampling_ratio"] * 100)
+                diffs.append(res.stats["score_difference"])
+                rnd = random_select(dataset, query, rng=rng)
+                rtimes.append(rnd.stats["elapsed_s"])
+            rows["runtime_sass"].append(statistics.fmean(times))
+            rows["runtime_random"].append(statistics.fmean(rtimes))
+            rows["sampling_ratio_pct"].append(statistics.fmean(ratios))
+            rows["score_difference"].append(statistics.fmean(diffs))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report_series(
+        "fig9_vary_epsilon", "epsilon", EPSILONS, rows,
+        title="Figure 9 — varying ε on US (SaSS)",
+    )
+    # Paper shapes: runtime and sampling ratio shrink as ε grows ...
+    assert rows["runtime_sass"][0] >= rows["runtime_sass"][-1]
+    assert rows["sampling_ratio_pct"][0] >= rows["sampling_ratio_pct"][-1]
+    # ... the sample is a small fraction of the region ...
+    assert max(rows["sampling_ratio_pct"]) < 20.0
+    # ... and the score difference stays well inside ε.
+    for eps, diff in zip(EPSILONS, rows["score_difference"]):
+        assert diff <= eps

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Append the current benchmarks/results/*.txt to EXPERIMENTS.md.
+
+Run after a full ``pytest benchmarks/ --benchmark-only`` pass:
+
+    python benchmarks/collect_results.py
+
+Replaces everything after the ``<!-- RESULTS -->`` marker with the
+fresh result blocks, in a stable order.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+RESULTS = REPO / "benchmarks" / "results"
+EXPERIMENTS = REPO / "EXPERIMENTS.md"
+MARKER = "<!-- RESULTS -->"
+
+ORDER = [
+    "table3_user_study_sos",
+    "table4_user_study_isos",
+    "fig7_methods_uk",
+    "fig8_methods_poi",
+    "fig9_vary_epsilon",
+    "fig10_vary_delta",
+    "fig11_vary_region_uk",
+    "fig11_vary_region_poi",
+    "fig11_vary_region_us",
+    "fig12_scalability_uk",
+    "fig12_scalability_us",
+    "fig13_prefetch",
+    "fig14a_zoom_in_scale",
+    "fig14b_zoom_out_scale",
+    "fig14c_pan_overlap",
+    "fig18_vary_k_uk",
+    "fig18_vary_k_poi",
+    "fig18_vary_k_us",
+    "fig19_vary_theta_uk",
+    "fig19_vary_theta_poi",
+    "fig19_vary_theta_us",
+    "fig20_isos_region_uk",
+    "fig21_isos_k_uk",
+    "fig22_isos_theta_uk",
+    "fig23_isos_scalability_uk",
+    "ablation_lazy_forward",
+    "ablation_sample_bounds_sizes",
+    "ablation_index",
+    "ablation_aggregation",
+    "ablation_bulk_init",
+    "ablation_tiles",
+    "ablation_predicted_prefetch",
+]
+
+
+def main() -> int:
+    text = EXPERIMENTS.read_text(encoding="utf-8")
+    if MARKER not in text:
+        raise SystemExit(f"marker {MARKER!r} missing from {EXPERIMENTS}")
+    head = text.split(MARKER)[0] + MARKER + "\n"
+
+    blocks: list[str] = []
+    seen: set[str] = set()
+    names = ORDER + sorted(
+        p.stem for p in RESULTS.glob("*.txt") if p.stem not in ORDER
+    )
+    for name in names:
+        if name in seen:
+            continue
+        seen.add(name)
+        path = RESULTS / f"{name}.txt"
+        if not path.exists():
+            blocks.append(f"### {name}\n\n(missing — benchmark not run)\n")
+            continue
+        body = path.read_text(encoding="utf-8").rstrip()
+        blocks.append(f"```\n{body}\n```\n")
+    EXPERIMENTS.write_text(head + "\n" + "\n".join(blocks), encoding="utf-8")
+    print(f"wrote {len(blocks)} result blocks into {EXPERIMENTS}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,10 @@
+"""Pytest configuration for the benchmark suite.
+
+Makes the sibling ``common`` module importable when pytest is invoked
+from the repository root (``pytest benchmarks/ --benchmark-only``).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,88 @@
+"""Shared driver for the ISOS benchmark family (Figures 13–14, 20–23).
+
+Measures per-operation response time (zoom-in / zoom-out / pan), with
+and without prefetching, over a query workload — the six curves
+(Greedy-in/out/pan vs Pre-in/out/pan) of the appendix figures.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from common import queries
+from repro import GeoDataset, MapSession
+
+OPERATIONS = ("zoom_in", "zoom_out", "pan")
+CURVES = [
+    ("Greedy-in", "zoom_in", False), ("Greedy-out", "zoom_out", False),
+    ("Greedy-pan", "pan", False),
+    ("Pre-in", "zoom_in", True), ("Pre-out", "zoom_out", True),
+    ("Pre-pan", "pan", True),
+]
+
+
+def run_operation(session: MapSession, op: str, zoom_in_scale=0.5,
+                  zoom_out_scale=2.0, pan_fraction=0.5):
+    if op == "zoom_in":
+        return session.zoom_in(zoom_in_scale)
+    if op == "zoom_out":
+        return session.zoom_out(zoom_out_scale)
+    if op == "pan":
+        return session.pan(session.region.width * pan_fraction, 0.0)
+    raise ValueError(f"unknown operation {op!r}")
+
+
+def operation_time(
+    dataset: GeoDataset,
+    workload,
+    op: str,
+    prefetch: bool,
+    k: int,
+    theta_fraction: float = 0.003,
+) -> float:
+    """Mean response time of one operation kind over the workload."""
+    times = []
+    for query in workload:
+        session = MapSession(
+            dataset, k=k, theta_fraction=theta_fraction, prefetch=prefetch,
+        )
+        session.start(query.region)
+        step = run_operation(session, op)
+        times.append(step.elapsed_s)
+    return statistics.fmean(times)
+
+
+def isos_sweep(
+    dataset: GeoDataset,
+    values,
+    workload_for,
+    k_for=None,
+    theta_for=None,
+) -> dict[str, list[float]]:
+    """Six ISOS curves over a parameter sweep.
+
+    ``workload_for(value)`` yields the query list for a sweep value;
+    ``k_for``/``theta_for`` optionally derive per-value parameters
+    (defaults: k=50, theta_fraction=0.003).
+    """
+    out = {label: [] for label, _op, _pf in CURVES}
+    for value in values:
+        workload = workload_for(value)
+        k = k_for(value) if k_for else 50
+        theta_fraction = theta_for(value) if theta_for else 0.003
+        for label, op, prefetch in CURVES:
+            out[label].append(
+                operation_time(
+                    dataset, workload, op, prefetch, k, theta_fraction
+                )
+            )
+    return out
+
+
+def default_workload(dataset, region_fraction=0.02, k=50,
+                     theta_fraction=0.003, min_population=500, seed=800):
+    return queries(
+        dataset, count=2, region_fraction=region_fraction, k=k,
+        theta_fraction=theta_fraction, min_population=min_population,
+        seed=seed,
+    )

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Filtered selection and duplicate diagnostics.
+
+Two smaller features of the reproduction in one walkthrough:
+
+1. the paper's **filtering condition** (Sec. 3.3): select representative
+   objects *among those matching a keyword* while still scoring against
+   the whole viewport population;
+2. **near-duplicate diagnostics** with MinHash/LSH: how much of a
+   geo-text corpus is repeated content — the redundancy that makes
+   representative selection worthwhile in the first place.
+
+Run:  python examples/filtered_search.py
+"""
+
+import numpy as np
+
+from repro import RegionQuery, greedy_select
+from repro.datasets import sg_pois
+from repro.geo import BoundingBox
+from repro.similarity import compute_signatures, near_duplicate_groups
+from repro.similarity.minhash import _token_sets
+
+
+def main() -> None:
+    print("building POI dataset ...")
+    dataset = sg_pois(n=15_000)
+    region = BoundingBox(0.0, 0.0, 1.0, 1.0)
+    query = RegionQuery.with_theta_fraction(region, k=12,
+                                            theta_fraction=0.005)
+
+    # ------------------------------------------------------------------
+    # 1. Filtering condition
+    # ------------------------------------------------------------------
+    # Pick a keyword that actually occurs a lot: the most common token.
+    from collections import Counter
+
+    counts = Counter()
+    for text in dataset.texts:
+        counts.update(set(text.split()))
+    keyword = counts.most_common(1)[0][0]
+
+    matching = dataset.keyword_filter(keyword)
+    print(f"\nfiltering condition: text contains {keyword!r} "
+          f"({len(matching):,} of {len(dataset):,} objects match)")
+
+    unfiltered = greedy_select(dataset, query)
+    filtered = greedy_select(dataset, query, candidates=matching)
+    print(f"unfiltered selection: score={unfiltered.score:.4f}")
+    print(f"filtered selection  : score={filtered.score:.4f} "
+          "(population unchanged; only membership of S restricted)")
+    assert set(filtered.selected.tolist()) <= set(matching.tolist())
+    for obj in filtered.selected[:3]:
+        print(f"  #{int(obj)}  {dataset.texts[int(obj)]!r}")
+
+    # ------------------------------------------------------------------
+    # 2. Near-duplicate diagnostics
+    # ------------------------------------------------------------------
+    print("\nscanning for near-duplicate content (MinHash + LSH) ...")
+    sets = _token_sets(dataset.texts, None)
+    signatures = compute_signatures(sets, num_hashes=64, seed=0)
+    groups = near_duplicate_groups(signatures, bands=16)
+    covered = sum(len(g) for g in groups)
+    print(f"  {len(groups):,} duplicate groups covering "
+          f"{covered:,} objects ({covered / len(dataset):.0%} of the corpus)")
+    biggest = groups[0]
+    print(f"  biggest group: {len(biggest)} copies of "
+          f"{dataset.texts[int(biggest[0])]!r}")
+    spread = np.hypot(
+        dataset.xs[biggest] - dataset.xs[biggest].mean(),
+        dataset.ys[biggest] - dataset.ys[biggest].mean(),
+    ).max()
+    print(f"  spatial spread of that group: {spread:.2e} "
+          "(co-located — one venue, many posts)")
+    print(
+        "\nThis redundancy is exactly why k representative markers can"
+        "\nstand for thousands of objects (paper Fig. 1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

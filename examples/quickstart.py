@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: select representative, mutually visible objects for a map.
+
+Builds a small synthetic geo-corpus, runs the paper's greedy SOS
+selection over a viewport, compares it against random selection, and
+renders both to the terminal.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import RegionQuery, greedy_select, representative_score
+from repro.baselines import random_select
+from repro.datasets import uk_tweets
+from repro.geo import BoundingBox
+from repro.viz import render_ascii
+
+
+def main() -> None:
+    # A synthetic analogue of a geo-tagged tweet corpus: clustered
+    # locations, topic-leaning texts, TF-IDF cosine similarity.
+    print("building dataset ...")
+    dataset = uk_tweets(n=20_000)
+
+    # The viewport ("region of user's interest") and query parameters:
+    # show k=25 objects, no two closer than 0.3% of the viewport side.
+    region = BoundingBox(0.30, 0.30, 0.70, 0.70)
+    query = RegionQuery.with_theta_fraction(region, k=25, theta_fraction=0.01)
+    population = dataset.objects_in(region)
+    print(f"viewport holds {len(population)} objects; selecting k={query.k}")
+
+    result = greedy_select(dataset, query)
+    print(f"\ngreedy selection: score={result.score:.4f} "
+          f"({result.stats['elapsed_s'] * 1000:.0f} ms, "
+          f"{result.stats['gain_evaluations']} gain evaluations)")
+    print(render_ascii(dataset, region, selected=result.selected,
+                       width=72, height=24))
+
+    baseline = random_select(dataset, query, rng=np.random.default_rng(0))
+    print(f"\nrandom baseline: score={baseline.score:.4f}")
+
+    # Scores are comparable because both are Eq. 2 over the same
+    # population; the greedy should win clearly.
+    gap = result.score - baseline.score
+    print(f"greedy beats random by {gap:+.4f} representative score")
+
+    # A selected object always represents itself, so re-scoring the
+    # greedy result reproduces the reported score.
+    check = representative_score(dataset, population, result.selected)
+    assert abs(check - result.score) < 1e-9
+    print("\nfirst three selected objects:")
+    for obj in result.selected[:3]:
+        text = dataset.texts[int(obj)] if dataset.texts else "(no text)"
+        print(f"  #{int(obj)} at ({dataset.xs[obj]:.3f}, "
+              f"{dataset.ys[obj]:.3f})  w={dataset.weights[obj]:.2f}  {text!r}")
+
+
+if __name__ == "__main__":
+    main()

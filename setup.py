@@ -1,0 +1,12 @@
+"""Setup shim.
+
+Project metadata lives in setup.cfg.  The project deliberately ships
+no pyproject.toml: the reference environment is offline, and a
+[build-system] table would make pip try to download build dependencies
+into an isolated environment.  With only setup.cfg + setup.py,
+``pip install -e .`` takes the legacy develop path, which works offline.
+"""
+
+from setuptools import setup
+
+setup()

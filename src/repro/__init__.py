@@ -1,0 +1,86 @@
+"""repro — reproduction of "Efficient Selection of Geospatial Data on
+Maps for Interactive and Visualized Exploration" (Guo, Feng, Cong, Bao;
+SIGMOD 2018).
+
+The library selects a small set of *representative*, mutually
+*visible* geospatial objects for a map viewport (the SOS problem) and
+keeps the selection *consistent* as the user zooms and pans (the ISOS
+problem), with the paper's lazy-forward greedy (1/8-approximate),
+pre-fetching accelerator, and SaSS sampling extension.
+
+Quickstart::
+
+    import numpy as np
+    from repro import GeoDataset, RegionQuery, greedy_select
+    from repro.geo import BoundingBox
+
+    rng = np.random.default_rng(7)
+    xs, ys = rng.random(10_000), rng.random(10_000)
+    dataset = GeoDataset.build(xs, ys)
+
+    region = BoundingBox(0.2, 0.2, 0.4, 0.4)
+    query = RegionQuery.with_theta_fraction(region, k=25)
+    result = greedy_select(dataset, query)
+    print(result.selected, result.score)
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from repro.core import (
+    Aggregation,
+    FrequencyPredictor,
+    GeoDataset,
+    IsosQuery,
+    MapSession,
+    NavigationPredictor,
+    NavigationStep,
+    PrefetchData,
+    Prefetcher,
+    RegionQuery,
+    SelectionResult,
+    StreamingSelector,
+    assign_representatives,
+    exact_select,
+    greedy_select,
+    hoeffding_sample_size,
+    isos_select,
+    representative_score,
+    represented_objects,
+    sass_select,
+    serfling_sample_size,
+    similarity_to_set,
+    theta_fraction_for_screen,
+)
+from repro.geo import BoundingBox, Point
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Aggregation",
+    "BoundingBox",
+    "FrequencyPredictor",
+    "GeoDataset",
+    "IsosQuery",
+    "MapSession",
+    "NavigationPredictor",
+    "NavigationStep",
+    "Point",
+    "PrefetchData",
+    "Prefetcher",
+    "RegionQuery",
+    "SelectionResult",
+    "StreamingSelector",
+    "__version__",
+    "assign_representatives",
+    "exact_select",
+    "greedy_select",
+    "hoeffding_sample_size",
+    "isos_select",
+    "representative_score",
+    "represented_objects",
+    "sass_select",
+    "serfling_sample_size",
+    "similarity_to_set",
+    "theta_fraction_for_screen",
+]

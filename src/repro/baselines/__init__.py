@@ -1,0 +1,47 @@
+"""Baseline selectors the paper compares against (Sec. 7.1–7.2).
+
+* :func:`random_select` — uniform random selection with the visibility
+  constraint enforced, the sampling strategy of [48, 49].
+* :func:`maxmin_select` / :func:`maxsum_select` — k-diversity
+  maximization [17]: maximize the minimum (resp. sum) of pairwise
+  dissimilarities.
+* :func:`disc_select` — DisC diversity [16]: an independent-set cover
+  whose radius is tuned until the output size is close to ``k``.
+* :func:`kmeans_select` — k-means clustering on locations, selecting
+  the object closest to each centroid.
+* :func:`topweight_select` — highest-weight objects first (the
+  Google-Maps-style default of [14]), visibility-constrained.
+
+Per the paper, MaxMin, MaxSum, DisC and k-means do **not** enforce the
+visibility constraint; Random and TopWeight do.  All selectors return
+:class:`~repro.core.problem.SelectionResult` with the representative
+score evaluated on the full region population, so they are directly
+comparable to the greedy.
+"""
+
+from repro.baselines.disc import disc_select
+from repro.baselines.kmeans import kmeans_select
+from repro.baselines.maxdiv import maxmin_select, maxsum_select
+from repro.baselines.random_select import random_select
+from repro.baselines.tiles import TilePyramid
+from repro.baselines.topweight import topweight_select
+
+SELECTOR_REGISTRY = {
+    "random": random_select,
+    "maxmin": maxmin_select,
+    "maxsum": maxsum_select,
+    "disc": disc_select,
+    "kmeans": kmeans_select,
+    "topweight": topweight_select,
+}
+
+__all__ = [
+    "SELECTOR_REGISTRY",
+    "TilePyramid",
+    "disc_select",
+    "kmeans_select",
+    "maxmin_select",
+    "maxsum_select",
+    "random_select",
+    "topweight_select",
+]

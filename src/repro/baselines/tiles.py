@@ -1,0 +1,218 @@
+"""Tile-precomputation baseline (the map-thinning approach of [14, 31]).
+
+The paper's closest related work pre-computes selections *offline* for
+a fixed pyramid of map tiles and zoom levels (Sarma et al.'s map
+thinning; Kefaloukos et al. add a visibility-like constraint).  At
+query time the viewer just unions the stored selections of the tiles
+its viewport touches — O(1)-ish response, but two structural
+weaknesses the paper calls out (Sec. 2):
+
+* *Pre-defined granularity & region cells vs arbitrary regions*: a
+  user viewport rarely aligns with tile boundaries, so the union of
+  per-tile selections is not a good solution for the actual region —
+  too many objects near tile borders, no global representativeness,
+  possible visibility violations across tile seams.
+* *No filtering*: precomputed picks cannot respect ad-hoc conditions.
+
+:class:`TilePyramid` implements the approach faithfully so those
+trade-offs can be measured (see ``bench_ablation_tiles``): per tile
+and per zoom level it runs the same greedy SOS with a per-tile budget
+and the level's visibility threshold; :meth:`TilePyramid.select`
+answers a viewport query from the precomputed material only.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dataset import GeoDataset
+from repro.core.greedy import greedy_core
+from repro.core.problem import Aggregation, RegionQuery, SelectionResult
+from repro.core.scoring import representative_score
+from repro.geo.bbox import BoundingBox
+
+
+@dataclass(frozen=True)
+class TileKey:
+    """Address of one tile: zoom level plus column/row."""
+
+    level: int
+    col: int
+    row: int
+
+
+class TilePyramid:
+    """Offline per-tile SOS selections over a zoom pyramid.
+
+    Level ``z`` divides the dataset frame into ``2^z x 2^z`` tiles.
+    Each tile stores a greedy SOS selection of at most
+    ``per_tile_budget`` objects with ``θ = theta_fraction·tile_side``
+    — the same machinery a live query would use, just frozen into the
+    grid.  Build cost is the point of the approach (it is offline);
+    query cost is a dictionary lookup per touched tile.
+    """
+
+    def __init__(
+        self,
+        dataset: GeoDataset,
+        max_level: int = 4,
+        per_tile_budget: int = 25,
+        theta_fraction: float = 0.003,
+        aggregation: Aggregation = Aggregation.MAX,
+        tile_sample_cap: int = 4000,
+        seed: int = 0,
+    ):
+        if max_level < 0:
+            raise ValueError("max_level must be non-negative")
+        if per_tile_budget < 1:
+            raise ValueError("per_tile_budget must be positive")
+        if tile_sample_cap < per_tile_budget:
+            raise ValueError("tile_sample_cap must cover the budget")
+        self.dataset = dataset
+        self.max_level = max_level
+        self.per_tile_budget = per_tile_budget
+        self.theta_fraction = theta_fraction
+        self.aggregation = aggregation
+        # Coarse tiles can hold the whole dataset; precomputation
+        # systems subsample them (Sarma et al.'s map thinning is
+        # explicitly sampling-based).  The cap bounds per-tile work.
+        self.tile_sample_cap = tile_sample_cap
+        self._rng = np.random.default_rng(seed)
+        self.frame = dataset.frame()
+        self._tiles: dict[TileKey, np.ndarray] = {}
+        self.build_elapsed_s = 0.0
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Offline phase
+    # ------------------------------------------------------------------
+
+    def tile_box(self, key: TileKey) -> BoundingBox:
+        """Geometry of one tile."""
+        tiles = 2**key.level
+        width = self.frame.width / tiles
+        height = self.frame.height / tiles
+        minx = self.frame.minx + key.col * width
+        miny = self.frame.miny + key.row * height
+        return BoundingBox(minx, miny, minx + width, miny + height)
+
+    def _build(self) -> None:
+        started = time.perf_counter()
+        empty = np.empty(0, dtype=np.int64)
+        for level in range(self.max_level + 1):
+            tiles = 2**level
+            for col in range(tiles):
+                for row in range(tiles):
+                    key = TileKey(level, col, row)
+                    box = self.tile_box(key)
+                    ids = self.dataset.objects_in(box)
+                    if len(ids) == 0:
+                        continue
+                    if len(ids) > self.tile_sample_cap:
+                        ids = np.sort(
+                            self._rng.choice(
+                                ids, size=self.tile_sample_cap,
+                                replace=False,
+                            )
+                        )
+                    theta = self.theta_fraction * max(box.width, box.height)
+                    result = greedy_core(
+                        self.dataset,
+                        region_ids=ids,
+                        candidate_ids=ids,
+                        mandatory_ids=empty,
+                        k=self.per_tile_budget,
+                        theta=theta,
+                        aggregation=self.aggregation,
+                    )
+                    self._tiles[key] = result.selected
+        self.build_elapsed_s = time.perf_counter() - started
+
+    # ------------------------------------------------------------------
+    # Online phase
+    # ------------------------------------------------------------------
+
+    def level_for(self, region: BoundingBox) -> int:
+        """Zoom level whose tiles best match the viewport size.
+
+        Chooses the deepest level whose tile side is still at least
+        half the viewport side — the standard slippy-map rule.
+        """
+        frame_side = max(self.frame.width, self.frame.height)
+        region_side = max(region.width, region.height)
+        if region_side <= 0:
+            return self.max_level
+        level = int(np.floor(np.log2(max(frame_side / region_side, 1.0))))
+        return int(np.clip(level, 0, self.max_level))
+
+    def tiles_touching(self, region: BoundingBox, level: int) -> list[TileKey]:
+        """Keys of the tiles of ``level`` intersecting ``region``."""
+        tiles = 2**level
+        width = self.frame.width / tiles
+        height = self.frame.height / tiles
+
+        def clamp(value: int) -> int:
+            return int(np.clip(value, 0, tiles - 1))
+
+        c0 = clamp(int((region.minx - self.frame.minx) / width))
+        c1 = clamp(int((region.maxx - self.frame.minx) / width))
+        r0 = clamp(int((region.miny - self.frame.miny) / height))
+        r1 = clamp(int((region.maxy - self.frame.miny) / height))
+        return [
+            TileKey(level, col, row)
+            for col in range(c0, c1 + 1)
+            for row in range(r0, r1 + 1)
+        ]
+
+    def select(self, query: RegionQuery) -> SelectionResult:
+        """Answer a viewport query from precomputed tiles only.
+
+        Unions the stored selections of the touched tiles, keeps those
+        inside the viewport, and truncates to ``query.k`` by greedy
+        conflict-free order (stored per-tile order).  Mirrors what a
+        tile-serving map does; all the weaknesses measured by the
+        ablation are inherent, not implementation shortcuts.
+        """
+        started = time.perf_counter()
+        level = self.level_for(query.region)
+        picked: list[int] = []
+        seen: set[int] = set()
+        for key in self.tiles_touching(query.region, level):
+            for obj in self._tiles.get(key, ()):
+                obj = int(obj)
+                if obj in seen:
+                    continue
+                if query.region.contains_point(
+                    float(self.dataset.xs[obj]), float(self.dataset.ys[obj])
+                ):
+                    seen.add(obj)
+                    picked.append(obj)
+        picked = picked[: query.k]
+        selected = np.asarray(sorted(picked), dtype=np.int64)
+        region_ids = self.dataset.objects_in(query.region)
+        score = representative_score(
+            self.dataset, region_ids, selected, self.aggregation
+        )
+        return SelectionResult(
+            selected=selected,
+            score=score,
+            region_ids=region_ids,
+            stats={
+                "elapsed_s": time.perf_counter() - started,
+                "population": int(len(region_ids)),
+                "level": level,
+                "tiles_touched": len(self.tiles_touching(query.region, level)),
+            },
+        )
+
+    @property
+    def tile_count(self) -> int:
+        """Number of non-empty tiles stored."""
+        return len(self._tiles)
+
+    def stored_objects(self) -> int:
+        """Total stored selection entries across all tiles/levels."""
+        return int(sum(len(sel) for sel in self._tiles.values()))

@@ -1,0 +1,161 @@
+"""Command-line interface: generate corpora, select, explore.
+
+Usage::
+
+    python -m repro generate --preset uk --n 50000 --out corpus.jsonl
+    python -m repro select corpus.jsonl --region 0.3,0.3,0.5,0.5 --k 20
+    python -m repro explore corpus.jsonl --k 15 --steps 5 --prefetch
+
+``select`` prints the chosen objects (and optionally an ASCII map or
+an SVG file); ``explore`` replays a random navigation trace through a
+:class:`~repro.core.session.MapSession` and reports per-operation
+response times — a one-command demo of the ISOS machinery.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro import MapSession, RegionQuery, greedy_select, sass_select
+from repro.datasets import (
+    load_jsonl,
+    random_navigation_trace,
+    save_jsonl,
+    sg_pois,
+    uk_tweets,
+    us_tweets,
+)
+from repro.geo import BoundingBox
+from repro.viz import render_ascii, render_svg
+
+_PRESETS = {"uk": uk_tweets, "us": us_tweets, "poi": sg_pois}
+
+
+def _parse_region(text: str) -> BoundingBox:
+    parts = text.split(",")
+    if len(parts) != 4:
+        raise argparse.ArgumentTypeError(
+            "region must be 'minx,miny,maxx,maxy'"
+        )
+    try:
+        minx, miny, maxx, maxy = (float(p) for p in parts)
+        return BoundingBox(minx, miny, maxx, maxy)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    factory = _PRESETS[args.preset]
+    dataset = factory(n=args.n, seed=args.seed)
+    save_jsonl(dataset, args.out)
+    print(f"wrote {len(dataset):,} objects to {args.out}")
+    return 0
+
+
+def _cmd_select(args: argparse.Namespace) -> int:
+    dataset = load_jsonl(args.corpus)
+    region = args.region or dataset.frame()
+    query = RegionQuery.with_theta_fraction(
+        region, k=args.k, theta_fraction=args.theta_fraction
+    )
+    if args.sample:
+        result = sass_select(
+            dataset, query, rng=np.random.default_rng(args.seed)
+        )
+    else:
+        candidates = (
+            dataset.keyword_filter(args.filter) if args.filter else None
+        )
+        result = greedy_select(dataset, query, candidates=candidates)
+    print(
+        f"selected {len(result)} of {len(result.region_ids)} objects, "
+        f"score={result.score:.4f}, "
+        f"{result.stats.get('elapsed_s', 0.0) * 1000:.1f} ms"
+    )
+    for obj in result.selected:
+        text = dataset.texts[int(obj)] if dataset.texts else ""
+        print(
+            f"  #{int(obj)}  ({dataset.xs[obj]:.4f}, {dataset.ys[obj]:.4f})"
+            f"  w={dataset.weights[obj]:.2f}  {text}"
+        )
+    if args.map:
+        print(render_ascii(dataset, region, selected=result.selected))
+    if args.svg:
+        render_svg(dataset, region, selected=result.selected, path=args.svg)
+        print(f"svg written to {args.svg}")
+    return 0
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    dataset = load_jsonl(args.corpus)
+    rng = np.random.default_rng(args.seed)
+    trace = random_navigation_trace(
+        dataset, args.steps, region_fraction=args.region_fraction, rng=rng
+    )
+    session = MapSession(dataset, k=args.k, prefetch=args.prefetch)
+    for step in trace.replay(session):
+        flags = " [prefetched]" if step.used_prefetch else ""
+        print(
+            f"{step.operation:8s} {len(step.result):3d} markers  "
+            f"score={step.result.score:.4f}  "
+            f"{step.elapsed_s * 1000:8.1f} ms{flags}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Representative, visibility-constrained selection of "
+                    "geospatial objects (SIGMOD 2018 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic corpus")
+    gen.add_argument("--preset", choices=sorted(_PRESETS), default="uk")
+    gen.add_argument("--n", type=int, default=None,
+                     help="object count (preset default if omitted)")
+    gen.add_argument("--seed", type=int, default=2018)
+    gen.add_argument("--out", required=True, help="output JSONL path")
+    gen.set_defaults(func=_cmd_generate)
+
+    sel = sub.add_parser("select", help="run an SOS selection")
+    sel.add_argument("corpus", help="JSONL corpus path")
+    sel.add_argument("--region", type=_parse_region, default=None,
+                     help="viewport 'minx,miny,maxx,maxy' (default: all)")
+    sel.add_argument("--k", type=int, default=20)
+    sel.add_argument("--theta-fraction", type=float, default=0.003)
+    sel.add_argument("--filter", default=None,
+                     help="keyword filtering condition")
+    sel.add_argument("--sample", action="store_true",
+                     help="use SaSS sampling instead of the full greedy")
+    sel.add_argument("--seed", type=int, default=0)
+    sel.add_argument("--map", action="store_true",
+                     help="render an ASCII map of the selection")
+    sel.add_argument("--svg", default=None, help="write an SVG map here")
+    sel.set_defaults(func=_cmd_select)
+
+    exp = sub.add_parser("explore", help="replay an interactive session")
+    exp.add_argument("corpus", help="JSONL corpus path")
+    exp.add_argument("--k", type=int, default=20)
+    exp.add_argument("--steps", type=int, default=5)
+    exp.add_argument("--region-fraction", type=float, default=0.1)
+    exp.add_argument("--prefetch", action="store_true")
+    exp.add_argument("--seed", type=int, default=0)
+    exp.set_defaults(func=_cmd_explore)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

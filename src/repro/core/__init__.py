@@ -1,0 +1,72 @@
+"""Core of the reproduction: the SOS and ISOS problems and their solvers.
+
+Public surface:
+
+* :class:`GeoDataset` — objects + spatial index + similarity model.
+* :class:`RegionQuery` / :class:`SelectionResult` — problem I/O types.
+* :func:`greedy_select` — the paper's Algorithm 1 (lazy-forward greedy,
+  1/8-approximate).
+* :func:`isos_select` — the ISOS extension with mandatory set ``D`` and
+  candidate set ``G`` (Sec. 5.1).
+* :class:`MapSession` — interactive navigation (zoom-in / zoom-out /
+  pan) enforcing the zooming- and panning-consistency constraints.
+* :class:`Prefetcher` — the Sec. 5.2 upper-bound precomputation.
+* :func:`sass_select` — the SaSS sampling extension (Algorithm 2).
+* :func:`exact_select` — brute-force optimum for tiny instances.
+"""
+
+from repro.core.dataset import GeoDataset
+from repro.core.exact import exact_select
+from repro.core.greedy import greedy_select
+from repro.core.isos import isos_select
+from repro.core.prediction import FrequencyPredictor, NavigationPredictor
+from repro.core.prefetch import PrefetchData, Prefetcher
+from repro.core.problem import (
+    Aggregation,
+    IsosQuery,
+    RegionQuery,
+    SelectionResult,
+)
+from repro.core.sampling import (
+    hoeffding_sample_size,
+    sass_select,
+    serfling_sample_size,
+)
+from repro.core.scoring import (
+    assign_representatives,
+    represented_objects,
+    representative_score,
+    similarity_to_set,
+)
+from repro.core.session import (
+    MapSession,
+    NavigationStep,
+    theta_fraction_for_screen,
+)
+from repro.core.streaming import StreamingSelector
+
+__all__ = [
+    "Aggregation",
+    "FrequencyPredictor",
+    "GeoDataset",
+    "IsosQuery",
+    "MapSession",
+    "NavigationPredictor",
+    "NavigationStep",
+    "PrefetchData",
+    "Prefetcher",
+    "RegionQuery",
+    "SelectionResult",
+    "StreamingSelector",
+    "assign_representatives",
+    "exact_select",
+    "greedy_select",
+    "hoeffding_sample_size",
+    "isos_select",
+    "representative_score",
+    "represented_objects",
+    "sass_select",
+    "serfling_sample_size",
+    "similarity_to_set",
+    "theta_fraction_for_screen",
+]

@@ -1,0 +1,217 @@
+"""The dataset handle bundling objects, spatial index, and similarity.
+
+A geospatial object in the paper is ``o = ⟨λ, ω, A⟩`` (Sec. 3.1):
+location, weight in ``[0, 1]``, attributes.  :class:`GeoDataset` stores
+these struct-of-arrays style — coordinate arrays, a weight array, and
+optional per-object payloads (texts, keywords) — because every hot path
+in the library is a vectorized sweep over ids.
+
+The dataset owns a :class:`~repro.index.SpatialIndex` for region
+queries and a :class:`~repro.similarity.SimilarityModel` for the
+representative score.  Both are pluggable; the builders cover the
+common combinations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geo.bbox import BoundingBox
+from repro.index import SpatialIndex, build_index
+from repro.similarity import (
+    CombinedSimilarity,
+    CosineTextSimilarity,
+    EuclideanSimilarity,
+    GaussianSpatialSimilarity,
+    SimilarityModel,
+)
+
+
+@dataclass
+class GeoDataset:
+    """A collection of geospatial objects ready for selection queries.
+
+    Attributes
+    ----------
+    xs, ys:
+        Object coordinates (float64 arrays; row number = object id).
+    weights:
+        Object weights ``ω`` in ``[0, 1]`` (Eq. 2's utility factor).
+    similarity:
+        The ``Sim(·, ·)`` model over the same ids.
+    index:
+        Spatial index for region/radius queries over the same ids.
+    texts:
+        Optional raw text per object (kept for display/examples).
+    """
+
+    xs: np.ndarray
+    ys: np.ndarray
+    weights: np.ndarray
+    similarity: SimilarityModel
+    index: SpatialIndex
+    texts: list[str] | None = None
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.xs = np.asarray(self.xs, dtype=np.float64)
+        self.ys = np.asarray(self.ys, dtype=np.float64)
+        self.weights = np.asarray(self.weights, dtype=np.float64)
+        n = len(self.xs)
+        if len(self.ys) != n or len(self.weights) != n:
+            raise ValueError("xs, ys and weights must have equal length")
+        if len(self.similarity) != n:
+            raise ValueError(
+                f"similarity model covers {len(self.similarity)} objects, "
+                f"dataset has {n}"
+            )
+        if len(self.index) != n:
+            raise ValueError(
+                f"spatial index covers {len(self.index)} objects, "
+                f"dataset has {n}"
+            )
+        if n and (self.weights.min() < 0.0 or self.weights.max() > 1.0):
+            raise ValueError("weights must lie in [0, 1]")
+        if self.texts is not None and len(self.texts) != n:
+            raise ValueError("texts must have one entry per object")
+
+    def __len__(self) -> int:
+        return len(self.xs)
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        weights: np.ndarray | None = None,
+        similarity: SimilarityModel | None = None,
+        texts: Sequence[str] | None = None,
+        index_kind: str = "rtree",
+        meta: dict | None = None,
+    ) -> "GeoDataset":
+        """Assemble a dataset, defaulting the pieces sensibly.
+
+        * ``weights`` default to all ones (unit weight, as the paper
+          allows).
+        * ``similarity`` defaults to TF-IDF cosine when ``texts`` are
+          given, Euclidean-distance similarity otherwise.
+        * the spatial index defaults to the R-tree.
+        """
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        if texts is not None and len(texts) != len(xs):
+            raise ValueError(
+                f"texts must have one entry per object "
+                f"({len(texts)} texts, {len(xs)} objects)"
+            )
+        if weights is None:
+            weights = np.ones(len(xs), dtype=np.float64)
+        if similarity is None:
+            if texts is not None:
+                similarity = CosineTextSimilarity.from_texts(list(texts))
+            else:
+                similarity = EuclideanSimilarity(xs, ys)
+        index = build_index(index_kind, xs, ys)
+        return cls(
+            xs=xs,
+            ys=ys,
+            weights=np.asarray(weights, dtype=np.float64),
+            similarity=similarity,
+            index=index,
+            texts=list(texts) if texts is not None else None,
+            meta=meta or {},
+        )
+
+    @classmethod
+    def from_tweets(
+        cls,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        texts: Sequence[str],
+        weights: np.ndarray | None = None,
+        text_weight: float = 0.7,
+        spatial_sigma: float = 0.05,
+        index_kind: str = "rtree",
+    ) -> "GeoDataset":
+        """The paper's geo-tagged-tweet setup.
+
+        Similarity is a convex mix of TF-IDF cosine over the tweet text
+        and a Gaussian kernel over locations, reflecting the intro's
+        "textual similarity and geospatial distance" suggestion.
+        """
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        text_model = CosineTextSimilarity.from_texts(list(texts))
+        space_model = GaussianSpatialSimilarity(xs, ys, sigma=spatial_sigma)
+        similarity = CombinedSimilarity(
+            [text_model, space_model], [text_weight, 1.0 - text_weight]
+        )
+        return cls.build(
+            xs, ys,
+            weights=weights,
+            similarity=similarity,
+            texts=texts,
+            index_kind=index_kind,
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def frame(self) -> BoundingBox:
+        """Bounding box of the whole dataset."""
+        if len(self) == 0:
+            return BoundingBox.unit()
+        return BoundingBox.from_points(self.xs, self.ys)
+
+    def objects_in(self, region: BoundingBox) -> np.ndarray:
+        """Ids of objects inside ``region`` (sorted)."""
+        return self.index.query_region(region)
+
+    def conflicts_with(self, obj_id: int, theta: float) -> np.ndarray:
+        """Ids within distance ``theta`` of object ``obj_id`` (incl. itself).
+
+        The visibility constraint is ``dist >= theta`` (Def. 3.1), so a
+        conflict is strict: ``dist < theta``.
+        """
+        x = float(self.xs[obj_id])
+        y = float(self.ys[obj_id])
+        within = self.index.query_radius(x, y, theta)
+        if len(within) == 0:
+            return within
+        dist = np.hypot(self.xs[within] - x, self.ys[within] - y)
+        return within[dist < theta]
+
+    def subset_texts(self, ids: np.ndarray) -> list[str]:
+        """Texts of the given objects (empty strings when absent)."""
+        if self.texts is None:
+            return ["" for _ in ids]
+        return [self.texts[int(i)] for i in ids]
+
+    def keyword_filter(self, keyword: str) -> np.ndarray:
+        """Ids of objects whose text contains ``keyword`` (case-insensitive).
+
+        The paper's filtering condition ("objects should contain
+        keyword 'president election'", Sec. 3.3): the result plugs into
+        :func:`repro.core.greedy.greedy_select` via ``candidates`` to
+        select representatives among matching objects only.  Requires
+        the dataset to carry texts.
+        """
+        if self.texts is None:
+            raise ValueError("dataset has no texts to filter on")
+        needle = keyword.lower()
+        if not needle:
+            raise ValueError("keyword must be non-empty")
+        mask = np.fromiter(
+            (needle in text.lower() for text in self.texts),
+            dtype=bool,
+            count=len(self.texts),
+        )
+        return np.flatnonzero(mask).astype(np.int64)

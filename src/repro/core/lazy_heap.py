@@ -1,0 +1,113 @@
+"""The lazy-forward max-heap (the engine of Algorithm 1).
+
+The paper's "lazy forward" strategy rests on submodularity (Lemma 4.1):
+a marginal gain computed in an earlier iteration upper-bounds the gain
+now, so the heap can carry stale values and only recompute for objects
+that actually reach the top.
+
+:class:`LazyForwardHeap` packages that loop.  Entries are
+``(gain, iteration_tag, object_id)``; :meth:`pop_best` keeps
+re-evaluating the top entry with the caller's gain function until the
+top is fresh, exactly as lines 5–10 of Algorithm 1.  Deactivation
+(visibility conflicts) is lazy too: dead ids are skipped when popped.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+
+_STALE = -1
+
+
+class LazyForwardHeap:
+    """Max-heap over (gain, object id) with lazy re-evaluation.
+
+    Iteration tags follow Algorithm 1: an entry whose tag equals the
+    current iteration is exact; anything older is an upper bound to be
+    refreshed on pop.  Pushing an id again supersedes prior entries
+    (version counters make stale duplicates skippable in O(1)).
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, int, int]] = []
+        self._version: dict[int, int] = {}
+        self._alive: set[int] = set()
+        self.pushes = 0
+
+    def __len__(self) -> int:
+        return len(self._alive)
+
+    def push(self, obj_id: int, gain: float, iteration: int = _STALE) -> None:
+        """Insert/update ``obj_id`` with the given gain (or upper bound).
+
+        ``iteration`` is the iteration the gain was computed in;
+        the default marks it stale so it will be re-evaluated before it
+        can win (use this for prefetched upper bounds).
+        """
+        version = self._version.get(obj_id, 0) + 1
+        self._version[obj_id] = version
+        self._alive.add(obj_id)
+        # Negate gain for heapq's min-heap; version disambiguates stale
+        # duplicates of the same id.
+        heapq.heappush(self._heap, (-gain, obj_id, version, iteration))
+        self.pushes += 1
+
+    def deactivate(self, obj_id: int) -> None:
+        """Remove ``obj_id`` from consideration (lazy deletion)."""
+        self._alive.discard(obj_id)
+
+    def deactivate_many(self, obj_ids) -> None:
+        """Remove several ids at once."""
+        self._alive.difference_update(int(i) for i in obj_ids)
+
+    def is_active(self, obj_id: int) -> bool:
+        """Whether ``obj_id`` is still selectable."""
+        return obj_id in self._alive
+
+    def active_ids(self) -> list[int]:
+        """Snapshot of currently active ids (unordered)."""
+        return list(self._alive)
+
+    def pop_best(
+        self, iteration: int, gain_fn: Callable[[int], float]
+    ) -> tuple[int, float] | None:
+        """Pop the object with the maximum *fresh* gain.
+
+        Repeatedly takes the heap top; if its gain was computed before
+        ``iteration``, recomputes it with ``gain_fn`` and pushes it
+        back (lazy forward).  Returns ``(obj_id, gain)`` or ``None``
+        when no active entries remain.  The returned id is removed
+        from the heap.
+        """
+        while self._heap:
+            neg_gain, obj_id, version, tag = heapq.heappop(self._heap)
+            if obj_id not in self._alive or version != self._version[obj_id]:
+                continue  # dead or superseded entry
+            if tag == iteration:
+                self._alive.discard(obj_id)
+                return obj_id, -neg_gain
+            # Stale: its value is an upper bound (Lemma 4.1).  Refresh it.
+            fresh = gain_fn(obj_id)
+            # CELF shortcut: if the fresh gain matches or beats every
+            # other entry's upper bound, it is a true maximum (for any
+            # other object, bound >= fresh-gain), so select it without
+            # reinserting.  Accepting ties here matters: corpora with
+            # duplicated content produce whole groups of identical
+            # gains, and a strict comparison would recompute the entire
+            # group before every pick.
+            bound = self._peek_bound()
+            if bound is None or fresh >= bound:
+                self._alive.discard(obj_id)
+                return obj_id, fresh
+            self.push(obj_id, fresh, iteration)
+        return None
+
+    def _peek_bound(self) -> float | None:
+        """Largest live upper bound in the heap (skims dead entries)."""
+        while self._heap:
+            neg_gain, obj_id, version, _tag = self._heap[0]
+            if obj_id in self._alive and version == self._version[obj_id]:
+                return -neg_gain
+            heapq.heappop(self._heap)
+        return None

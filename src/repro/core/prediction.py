@@ -1,0 +1,84 @@
+"""Navigation prediction for selective pre-fetching (extension).
+
+The paper notes that predicting the user's next region of interest
+(Battle et al. [5]) is complementary: "this work ... can be employed
+to predict what region of data to pre-fetch".  This module provides
+that hook.  :class:`NavigationPredictor` is the protocol;
+:class:`FrequencyPredictor` is a simple first-order model: it ranks
+the three operations by a smoothed mix of their overall frequency and
+a first-order transition count from the last operation — users who
+keep panning tend to pan again.
+
+:class:`~repro.core.session.MapSession` accepts a predictor via
+``prefetch_policy="predicted"``; the session then precomputes bounds
+only for the top-ranked operations, cutting off-path precompute cost
+at the risk of a cache miss (the operation then falls back to the
+exact heap initialization, losing speed but never correctness).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import Counter
+
+OPERATIONS = ("zoom_in", "zoom_out", "pan")
+
+
+class NavigationPredictor(ABC):
+    """Predicts which navigation operations to prefetch for."""
+
+    @abstractmethod
+    def predict(self, history: list[str]) -> list[str]:
+        """Operations ranked most-likely-first.
+
+        ``history`` is the sequence of operations performed so far
+        (excluding the initial selection).  Must return a non-empty
+        subset of :data:`OPERATIONS`.
+        """
+
+    def observe(self, operation: str) -> None:
+        """Optional online-learning hook; default is stateless."""
+
+
+class FrequencyPredictor(NavigationPredictor):
+    """Smoothed frequency + first-order transition ranking.
+
+    ``top`` controls how many operations are prefetched (1 = cheapest
+    precompute, most misses; 3 = always prefetch everything, which is
+    the session's default behaviour).
+    """
+
+    def __init__(self, top: int = 2, smoothing: float = 1.0):
+        if not 1 <= top <= len(OPERATIONS):
+            raise ValueError(f"top must be in [1, {len(OPERATIONS)}]")
+        if smoothing <= 0:
+            raise ValueError("smoothing must be positive")
+        self.top = top
+        self.smoothing = smoothing
+        self._counts: Counter[str] = Counter()
+        self._transitions: dict[str, Counter[str]] = {
+            op: Counter() for op in OPERATIONS
+        }
+        self._last: str | None = None
+
+    def observe(self, operation: str) -> None:
+        if operation not in OPERATIONS:
+            return  # "initial" and anything exotic carries no signal
+        self._counts[operation] += 1
+        if self._last is not None:
+            self._transitions[self._last][operation] += 1
+        self._last = operation
+
+    def predict(self, history: list[str]) -> list[str]:
+        last = next(
+            (op for op in reversed(history) if op in OPERATIONS), None
+        )
+
+        def score(op: str) -> float:
+            base = self._counts[op] + self.smoothing
+            if last is not None:
+                base += 2.0 * self._transitions[last][op]
+            return base
+
+        ranked = sorted(OPERATIONS, key=score, reverse=True)
+        return ranked[: self.top]

@@ -1,0 +1,137 @@
+"""Problem and result types for SOS and ISOS queries.
+
+These are the I/O value objects shared by every selector (greedy,
+baselines, sampling, exact), so results are directly comparable in the
+experiment harness.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geo.bbox import BoundingBox
+
+
+class Aggregation(enum.Enum):
+    """How ``Sim(o, S)`` aggregates over the selected set.
+
+    The paper defines ``max`` (Eq. 1) and notes the solution "can also
+    be extended to handle other aggregation metrics, such as sum or
+    avg".  ``MAX`` and ``SUM`` are both monotone submodular (``SUM`` is
+    modular), so the greedy guarantee applies; ``AVG`` is provided for
+    score *evaluation* only.
+    """
+
+    MAX = "max"
+    SUM = "sum"
+    AVG = "avg"
+
+
+@dataclass(frozen=True)
+class RegionQuery:
+    """An SOS query: region of interest, result size ``k``, threshold ``θ``.
+
+    ``theta`` is a world-frame distance.  The paper's convention is
+    ``θ = 0.003`` of the query-region side length (Table 2);
+    :meth:`theta_for` computes that.
+    """
+
+    region: BoundingBox
+    k: int
+    theta: float
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise ValueError(f"k must be positive, got {self.k}")
+        if self.theta < 0:
+            raise ValueError(f"theta must be non-negative, got {self.theta}")
+
+    @staticmethod
+    def theta_for(region: BoundingBox, fraction: float = 0.003) -> float:
+        """Visibility threshold as a fraction of the region side length."""
+        return fraction * max(region.width, region.height)
+
+    @classmethod
+    def with_theta_fraction(
+        cls, region: BoundingBox, k: int, theta_fraction: float = 0.003
+    ) -> "RegionQuery":
+        """Query whose ``θ`` follows the paper's region-relative rule."""
+        return cls(region=region, k=k, theta=cls.theta_for(region, theta_fraction))
+
+
+@dataclass(frozen=True)
+class IsosQuery:
+    """An ISOS query (Def. 3.6).
+
+    ``candidates`` is the set ``G`` the selector may pick from and
+    ``mandatory`` is the set ``D`` that must remain visible; both are
+    id arrays into the dataset.  ``|S ∪ D| = k`` overall.
+    """
+
+    region: BoundingBox
+    k: int
+    theta: float
+    candidates: np.ndarray
+    mandatory: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise ValueError(f"k must be positive, got {self.k}")
+        if self.theta < 0:
+            raise ValueError(f"theta must be non-negative, got {self.theta}")
+        object.__setattr__(
+            self, "candidates", np.asarray(self.candidates, dtype=np.int64)
+        )
+        object.__setattr__(
+            self, "mandatory", np.asarray(self.mandatory, dtype=np.int64)
+        )
+        if len(self.mandatory) > self.k:
+            raise ValueError(
+                f"|D| = {len(self.mandatory)} exceeds k = {self.k}"
+            )
+        overlap = np.intersect1d(self.candidates, self.mandatory)
+        if len(overlap):
+            raise ValueError(
+                f"candidate set G and mandatory set D overlap: {overlap[:5]}"
+            )
+
+
+@dataclass
+class SelectionResult:
+    """Output of any selector.
+
+    Attributes
+    ----------
+    selected:
+        Selected object ids, in pick order (mandatory ids first for
+        ISOS).
+    score:
+        Representative score ``Sim(O, S)`` (Eq. 2) over the region
+        population the selector worked with.
+    region_ids:
+        Ids of the region population ``O`` the score refers to.
+    stats:
+        Free-form counters from the selector: ``gain_evaluations``
+        (marginal-gain recomputations, the paper's ``nc``),
+        ``heap_pushes``, ``sample_size``, ``elapsed_s``, ...
+    """
+
+    selected: np.ndarray
+    score: float
+    region_ids: np.ndarray
+    stats: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.selected = np.asarray(self.selected, dtype=np.int64)
+        self.region_ids = np.asarray(self.region_ids, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self.selected)
+
+    @property
+    def selected_set(self) -> set[int]:
+        """Selected ids as a plain python set."""
+        return set(int(i) for i in self.selected)

@@ -1,0 +1,203 @@
+"""The representative score (Eq. 1–2) and its incremental evaluation.
+
+``Score(S) = Sim(O, S) = (1/|O|) Σ_{o∈O} o.ω · Sim(o, S)`` where
+``Sim(o, S)`` aggregates pairwise similarities over ``S`` (``max`` by
+default).
+
+Two access patterns are served:
+
+* :func:`representative_score` — one-shot evaluation, used to report
+  results and by tests.
+* :class:`MarginalGainState` — the incremental form driving the greedy
+  algorithm: it carries ``best[o] = Sim(o, S)`` for the current ``S``
+  so a marginal gain is one vectorized ``sims_to`` plus a clipped sum,
+  and adding a pick is one ``maximum`` update.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dataset import GeoDataset
+from repro.core.problem import Aggregation
+
+
+def similarity_to_set(
+    dataset: GeoDataset,
+    obj_id: int,
+    selected: np.ndarray,
+    aggregation: Aggregation = Aggregation.MAX,
+) -> float:
+    """``Sim(o, S)`` for a single object (Eq. 1, or its sum/avg variant)."""
+    selected = np.asarray(selected, dtype=np.int64)
+    if len(selected) == 0:
+        return 0.0
+    sims = dataset.similarity.sims_to(int(obj_id), selected)
+    if aggregation is Aggregation.MAX:
+        return float(sims.max())
+    if aggregation is Aggregation.SUM:
+        return float(sims.sum())
+    return float(sims.mean())
+
+
+def representative_score(
+    dataset: GeoDataset,
+    region_ids: np.ndarray,
+    selected: np.ndarray,
+    aggregation: Aggregation = Aggregation.MAX,
+) -> float:
+    """``Sim(O, S)`` (Eq. 2) for population ``O = region_ids``.
+
+    Empty population or empty selection scores 0.
+    """
+    region_ids = np.asarray(region_ids, dtype=np.int64)
+    selected = np.asarray(selected, dtype=np.int64)
+    if len(region_ids) == 0 or len(selected) == 0:
+        return 0.0
+    agg = _aggregate_matrix(dataset, region_ids, selected, aggregation)
+    weights = dataset.weights[region_ids]
+    return float(np.dot(weights, agg) / len(region_ids))
+
+
+def _aggregate_matrix(
+    dataset: GeoDataset,
+    region_ids: np.ndarray,
+    selected: np.ndarray,
+    aggregation: Aggregation,
+) -> np.ndarray:
+    """``Sim(o, S)`` for every ``o`` in the region, vectorized over S.
+
+    Iterates over the (small) selected set, calling the row kernel once
+    per pick — ``O(k)`` kernel calls rather than ``O(|O|)``.
+    """
+    if aggregation is Aggregation.MAX:
+        acc = np.zeros(len(region_ids), dtype=np.float64)
+        for v in selected:
+            np.maximum(acc, dataset.similarity.sims_to(int(v), region_ids), out=acc)
+        return acc
+    total = np.zeros(len(region_ids), dtype=np.float64)
+    for v in selected:
+        total += dataset.similarity.sims_to(int(v), region_ids)
+    if aggregation is Aggregation.SUM:
+        return total
+    return total / len(selected)
+
+
+def assign_representatives(
+    dataset: GeoDataset,
+    region_ids: np.ndarray,
+    selected: np.ndarray,
+) -> np.ndarray:
+    """Representative (in ``selected``) of every region object.
+
+    The paper's "map exploration extension" (Sec. 3.2, Fig. 1(c)):
+    each hidden object is represented by the selected object most
+    similar to it — clicking a marker highlights the objects it
+    represents.  Returns, aligned with ``region_ids``, the selected
+    object id that represents each region object (a selected object
+    represents itself).  Raises on an empty selection.
+    """
+    region_ids = np.asarray(region_ids, dtype=np.int64)
+    selected = np.asarray(selected, dtype=np.int64)
+    if len(selected) == 0:
+        raise ValueError("cannot assign representatives to an empty selection")
+    best_sim = np.full(len(region_ids), -np.inf)
+    best_rep = np.full(len(region_ids), selected[0], dtype=np.int64)
+    for v in selected:
+        sims = dataset.similarity.sims_to(int(v), region_ids)
+        better = sims > best_sim
+        best_sim[better] = sims[better]
+        best_rep[better] = int(v)
+    return best_rep
+
+
+def represented_objects(
+    dataset: GeoDataset,
+    region_ids: np.ndarray,
+    selected: np.ndarray,
+    marker: int,
+) -> np.ndarray:
+    """Region objects whose representative is ``marker``.
+
+    The click-to-expand interaction: given the whole selection and one
+    clicked marker, return the hidden objects it stands for (excluding
+    the marker itself).
+    """
+    reps = assign_representatives(dataset, region_ids, selected)
+    region_ids = np.asarray(region_ids, dtype=np.int64)
+    mine = region_ids[reps == int(marker)]
+    return mine[mine != int(marker)]
+
+
+class MarginalGainState:
+    """Incremental ``Sim(O, ·)`` state for the greedy loop.
+
+    Holds the region population (ids + weights) and, for ``MAX``
+    aggregation, the per-object best similarity to the current
+    selection.  For ``SUM`` the gain of an object is independent of the
+    selection (the function is modular), so no per-object state is
+    needed.
+
+    ``AVG`` is not supported here: it is neither monotone nor
+    submodular, so the greedy machinery (and its guarantee) does not
+    apply.  Use :func:`representative_score` to *evaluate* AVG scores.
+    """
+
+    def __init__(
+        self,
+        dataset: GeoDataset,
+        region_ids: np.ndarray,
+        aggregation: Aggregation = Aggregation.MAX,
+    ):
+        if aggregation is Aggregation.AVG:
+            raise ValueError(
+                "AVG aggregation is evaluation-only; greedy requires a "
+                "monotone submodular objective (use MAX or SUM)"
+            )
+        self.dataset = dataset
+        self.region_ids = np.asarray(region_ids, dtype=np.int64)
+        self.aggregation = aggregation
+        self.weights = dataset.weights[self.region_ids]
+        self._n = len(self.region_ids)
+        self._best = np.zeros(self._n, dtype=np.float64)
+        self._score = 0.0
+        self.gain_evaluations = 0
+        # Population-specialized row kernel: each gain evaluation is one
+        # call against the same id set, so amortized setup pays off.
+        self._kernel = dataset.similarity.row_kernel(self.region_ids)
+
+    @property
+    def score(self) -> float:
+        """Current ``Sim(O, S)`` of everything added so far."""
+        return self._score
+
+    @property
+    def population_size(self) -> int:
+        """Number of objects in the scored population ``O``."""
+        return self._n
+
+    def gain(self, obj_id: int) -> float:
+        """Marginal gain ``Sim(O, S ∪ {v}) − Sim(O, S)`` for ``v``."""
+        if self._n == 0:
+            return 0.0
+        self.gain_evaluations += 1
+        sims = self._kernel(int(obj_id))
+        if self.aggregation is Aggregation.MAX:
+            improvement = np.maximum(sims - self._best, 0.0)
+        else:  # SUM: modular — the contribution is the full row.
+            improvement = sims
+        return float(np.dot(self.weights, improvement) / self._n)
+
+    def add(self, obj_id: int) -> float:
+        """Commit ``v`` to the selection; returns the realized gain."""
+        if self._n == 0:
+            return 0.0
+        sims = self._kernel(int(obj_id))
+        if self.aggregation is Aggregation.MAX:
+            improvement = np.maximum(sims - self._best, 0.0)
+            np.maximum(self._best, sims, out=self._best)
+        else:
+            improvement = sims
+        gained = float(np.dot(self.weights, improvement) / self._n)
+        self._score += gained
+        return gained

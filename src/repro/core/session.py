@@ -1,0 +1,375 @@
+"""Interactive map-session engine (Sec. 3.4–3.5 + Sec. 5).
+
+:class:`MapSession` owns everything the ISOS problem needs beyond a
+single query: the current viewport, the set of objects currently
+visible, and the derivation of the mandatory set ``D`` and candidate
+set ``G`` for each navigation operation, following the paper's
+Examples 3.3–3.5 exactly:
+
+* **zoom-in** — visible objects falling inside the new (smaller)
+  viewport must stay visible: ``D = visible ∩ rn``; any other object of
+  the new viewport may be picked: ``G = O(rn) \\ D``.
+* **zoom-out** — nothing is mandatory (``D = ∅``), but objects of the
+  old viewport that were *not* visible cannot appear at the coarser
+  granularity: ``G = O(rn \\ rp) ∪ visible``.
+* **pan** — visible objects in the overlap stay visible:
+  ``D = visible ∩ rn``; fresh picks come only from the newly exposed
+  area: ``G = O(rn \\ rp)``.
+
+The visibility threshold follows the paper's convention of a fixed
+fraction of the viewport side length (Table 2), so it scales with zoom
+level; the session guarantees the mandatory set always remains
+``θ``-feasible under the new threshold (zoom-in shrinks ``θ``; pan
+keeps it; zoom-out has no mandatory set).
+
+With ``prefetch=True`` the session emulates the Sec. 5.2 pipeline:
+after every operation it precomputes upper-bound material for all three
+possible next operations; the next operation then seeds the greedy heap
+from those bounds.  Response time (``NavigationStep.elapsed_s``)
+excludes prefetch work, matching how the paper reports Fig. 13–14.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.dataset import GeoDataset
+from repro.core.greedy import greedy_core
+from repro.core.prediction import NavigationPredictor
+from repro.core.prefetch import PrefetchData, Prefetcher
+from repro.core.problem import Aggregation, SelectionResult
+from repro.geo.bbox import BoundingBox
+
+DEFAULT_THETA_FRACTION = 0.003
+
+
+def theta_fraction_for_screen(
+    marker_px: float, screen_px: float
+) -> float:
+    """Visibility fraction from screen geometry.
+
+    The paper motivates ``θ`` as "not too close to distinguish on the
+    screen"; concretely, markers of ``marker_px`` pixels on a viewport
+    of ``screen_px`` pixels must sit at least one marker apart, which
+    in viewport-relative terms is ``marker_px / screen_px``.  Feed the
+    result to :class:`MapSession`'s ``theta_fraction``.
+    """
+    if marker_px <= 0 or screen_px <= 0:
+        raise ValueError("marker_px and screen_px must be positive")
+    if marker_px >= screen_px:
+        raise ValueError("marker cannot be as large as the screen")
+    return marker_px / screen_px
+
+
+@dataclass
+class NavigationStep:
+    """Record of one navigation operation and its selection."""
+
+    operation: str
+    region: BoundingBox
+    result: SelectionResult
+    mandatory: np.ndarray
+    candidates: np.ndarray
+    theta: float
+    elapsed_s: float
+    used_prefetch: bool = False
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def visible(self) -> np.ndarray:
+        """Ids visible after this step (mandatory + selected)."""
+        return self.result.selected
+
+
+class MapSession:
+    """Stateful interactive exploration of a :class:`GeoDataset`.
+
+    Parameters
+    ----------
+    dataset:
+        The collection being explored.
+    k:
+        Number of visible objects per viewport.
+    theta_fraction:
+        Visibility threshold as a fraction of viewport side length
+        (paper default 0.003).
+    prefetch:
+        Enable the Sec. 5.2 pre-fetching pipeline.
+    zoom_out_max_scale:
+        Largest single zoom-out factor the prefetcher must cover.
+    tight_pan_bounds:
+        Use the per-object Lemma 5.3 refinement when prefetching pans.
+    init_mode:
+        Heap initialization for non-prefetched selections: ``"exact"``
+        (Algorithm 1, black-box ``Sim``) or ``"bulk"`` (vectorized
+        sweep; see :func:`repro.core.greedy.greedy_core`).
+    predictor:
+        Optional :class:`~repro.core.prediction.NavigationPredictor`;
+        when given, prefetching is computed only for the predicted
+        operations (cheaper precompute, possible cache misses that
+        fall back to exact initialization).
+    """
+
+    def __init__(
+        self,
+        dataset: GeoDataset,
+        k: int = 100,
+        theta_fraction: float = DEFAULT_THETA_FRACTION,
+        aggregation: Aggregation = Aggregation.MAX,
+        prefetch: bool = False,
+        zoom_out_max_scale: float = 4.0,
+        tight_pan_bounds: bool = False,
+        lazy: bool = True,
+        init_mode: str = "exact",
+        predictor: "NavigationPredictor | None" = None,
+    ):
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        if theta_fraction < 0:
+            raise ValueError("theta_fraction must be non-negative")
+        if zoom_out_max_scale <= 1.0:
+            raise ValueError("zoom_out_max_scale must exceed 1")
+        self.dataset = dataset
+        self.k = k
+        self.theta_fraction = theta_fraction
+        self.aggregation = aggregation
+        self.prefetch_enabled = prefetch
+        self.zoom_out_max_scale = zoom_out_max_scale
+        self.tight_pan_bounds = tight_pan_bounds
+        self.lazy = lazy
+        self.init_mode = init_mode
+        # Optional selective prefetching (the Battle-et-al. hook the
+        # paper cites): precompute bounds only for the operations the
+        # predictor ranks likely.  None = prefetch all three kinds.
+        self.predictor = predictor
+
+        self._prefetcher = Prefetcher(dataset)
+        self._prefetch_data: dict[str, PrefetchData] = {}
+        self.region: BoundingBox | None = None
+        self.visible: np.ndarray = np.empty(0, dtype=np.int64)
+        self.history: list[NavigationStep] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self, region: BoundingBox) -> NavigationStep:
+        """Open the session on ``region`` with a plain SOS selection."""
+        theta = self._theta_for(region)
+        region_ids = self.dataset.objects_in(region)
+        started = time.perf_counter()
+        result = greedy_core(
+            self.dataset,
+            region_ids=region_ids,
+            candidate_ids=region_ids,
+            mandatory_ids=np.empty(0, dtype=np.int64),
+            k=self.k,
+            theta=theta,
+            aggregation=self.aggregation,
+            lazy=self.lazy,
+            init_mode=self.init_mode,
+        )
+        elapsed = time.perf_counter() - started
+        step = self._commit(
+            operation="initial",
+            region=region,
+            result=result,
+            mandatory=np.empty(0, dtype=np.int64),
+            candidates=region_ids,
+            theta=theta,
+            elapsed=elapsed,
+            used_prefetch=False,
+        )
+        return step
+
+    def zoom_in(
+        self, scale: float = 0.5, target: BoundingBox | None = None
+    ) -> NavigationStep:
+        """Zoom in; ``target`` overrides the centered default viewport.
+
+        ``target`` must lie inside the current viewport (the paper's
+        zoom-in produces a region "completely inside the previous
+        region", Sec. 7.1).
+        """
+        region = self._require_region()
+        new_region = target if target is not None else region.zoomed_in(scale)
+        if not region.contains_box(new_region):
+            raise ValueError("zoom-in target must lie inside the current viewport")
+
+        new_ids = self.dataset.objects_in(new_region)
+        inside = new_region.contains_many(
+            self.dataset.xs[self.visible], self.dataset.ys[self.visible]
+        )
+        mandatory = self.visible[inside]
+        candidates = np.setdiff1d(new_ids, mandatory, assume_unique=True)
+        return self._navigate(
+            "zoom_in", new_region, new_ids, mandatory, candidates
+        )
+
+    def zoom_out(
+        self, scale: float = 2.0, target: BoundingBox | None = None
+    ) -> NavigationStep:
+        """Zoom out; ``target`` must contain the current viewport."""
+        region = self._require_region()
+        new_region = target if target is not None else region.zoomed_out(scale)
+        if not new_region.contains_box(region):
+            raise ValueError("zoom-out target must contain the current viewport")
+
+        new_ids = self.dataset.objects_in(new_region)
+        # Objects of the old viewport that were invisible cannot appear
+        # at the coarser granularity (zooming consistency): candidates
+        # are the newly exposed objects plus the previously visible.
+        in_old = region.contains_many(
+            self.dataset.xs[new_ids], self.dataset.ys[new_ids]
+        )
+        fresh = new_ids[~in_old]
+        candidates = np.union1d(fresh, self.visible)
+        mandatory = np.empty(0, dtype=np.int64)
+        return self._navigate(
+            "zoom_out", new_region, new_ids, mandatory, candidates
+        )
+
+    def pan(
+        self,
+        dx: float = 0.0,
+        dy: float = 0.0,
+        target: BoundingBox | None = None,
+    ) -> NavigationStep:
+        """Pan by ``(dx, dy)``; ``target`` overrides (same size, overlapping)."""
+        region = self._require_region()
+        new_region = target if target is not None else region.panned(dx, dy)
+        if not new_region.intersects(region):
+            raise ValueError("pan target must overlap the current viewport")
+        if not (
+            np.isclose(new_region.width, region.width)
+            and np.isclose(new_region.height, region.height)
+        ):
+            raise ValueError("pan must preserve the viewport size")
+
+        new_ids = self.dataset.objects_in(new_region)
+        inside = new_region.contains_many(
+            self.dataset.xs[self.visible], self.dataset.ys[self.visible]
+        )
+        mandatory = self.visible[inside]
+        # Fresh picks only from the newly exposed strip (panning
+        # consistency: overlap objects that were invisible stay so).
+        in_old = region.contains_many(
+            self.dataset.xs[new_ids], self.dataset.ys[new_ids]
+        )
+        candidates = np.setdiff1d(new_ids[~in_old], mandatory, assume_unique=True)
+        return self._navigate("pan", new_region, new_ids, mandatory, candidates)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _theta_for(self, region: BoundingBox) -> float:
+        return self.theta_fraction * max(region.width, region.height)
+
+    def _require_region(self) -> BoundingBox:
+        if self.region is None:
+            raise RuntimeError("session not started; call start(region) first")
+        return self.region
+
+    def _navigate(
+        self,
+        operation: str,
+        new_region: BoundingBox,
+        new_ids: np.ndarray,
+        mandatory: np.ndarray,
+        candidates: np.ndarray,
+    ) -> NavigationStep:
+        theta = self._theta_for(new_region)
+        bounds = None
+        used_prefetch = False
+        if self.prefetch_enabled:
+            data = self._prefetch_data.get(operation)
+            if data is not None and len(new_ids) > 0 and data.covers(candidates):
+                bounds = data.bounds_for(candidates, len(new_ids))
+                used_prefetch = True
+
+        started = time.perf_counter()
+        result = greedy_core(
+            self.dataset,
+            region_ids=new_ids,
+            candidate_ids=candidates,
+            mandatory_ids=mandatory,
+            k=self.k,
+            theta=theta,
+            aggregation=self.aggregation,
+            initial_bounds=bounds,
+            lazy=self.lazy,
+            init_mode=self.init_mode,
+        )
+        elapsed = time.perf_counter() - started
+        return self._commit(
+            operation, new_region, result, mandatory, candidates,
+            theta, elapsed, used_prefetch,
+        )
+
+    def _commit(
+        self,
+        operation: str,
+        region: BoundingBox,
+        result: SelectionResult,
+        mandatory: np.ndarray,
+        candidates: np.ndarray,
+        theta: float,
+        elapsed: float,
+        used_prefetch: bool,
+    ) -> NavigationStep:
+        self.region = region
+        self.visible = result.selected
+        step = NavigationStep(
+            operation=operation,
+            region=region,
+            result=result,
+            mandatory=mandatory,
+            candidates=candidates,
+            theta=theta,
+            elapsed_s=elapsed,
+            used_prefetch=used_prefetch,
+            stats=dict(result.stats),
+        )
+        self.history.append(step)
+        if self.predictor is not None:
+            self.predictor.observe(operation)
+        if self.prefetch_enabled:
+            self._precompute_prefetch()
+        return step
+
+    def _precompute_prefetch(self) -> None:
+        """Refresh prefetch material for all three possible next moves.
+
+        Runs off the response path (the paper's "while the user is
+        still in step 1"); timings are kept per kind in
+        :attr:`prefetch_elapsed`.
+        """
+        region = self._require_region()
+        kinds = ("zoom_in", "zoom_out", "pan")
+        if self.predictor is not None:
+            kinds = tuple(
+                self.predictor.predict(
+                    [s.operation for s in self.history]
+                )
+            )
+        builders = {
+            "zoom_in": lambda: self._prefetcher.prefetch_zoom_in(region),
+            "zoom_out": lambda: self._prefetcher.prefetch_zoom_out(
+                region, self.zoom_out_max_scale
+            ),
+            "pan": lambda: self._prefetcher.prefetch_pan(
+                region, tight=self.tight_pan_bounds
+            ),
+        }
+        self._prefetch_data = {kind: builders[kind]() for kind in kinds}
+
+    @property
+    def prefetch_elapsed(self) -> dict[str, float]:
+        """Seconds spent precomputing each prefetch kind (last refresh)."""
+        return {
+            kind: data.elapsed_s for kind, data in self._prefetch_data.items()
+        }

@@ -1,0 +1,54 @@
+"""Dataset substrate: synthetic analogues of the paper's corpora.
+
+The paper evaluates on crawled Twitter data (UK ~1–2M, US ~100–200M
+geo-tagged tweets) and a Foursquare POI crawl (Singapore, 322k POIs).
+Those corpora are proprietary and far beyond what a pure-Python
+environment should hold in RAM, so this package generates synthetic
+analogues that preserve the two properties the algorithms actually
+depend on:
+
+* **spatial skew** — objects cluster around "cities" (a Gaussian
+  mixture over the unit square with a uniform background), so query
+  regions have wildly varying populations just like real data;
+* **similarity structure** — each cluster leans toward a topic with a
+  Zipf-distributed vocabulary, so textual similarity is high within a
+  cluster and low across, giving the representative score something
+  meaningful to optimize.
+
+Scales are reduced (~100x for "US") and configurable; every generator
+is deterministic under a seed.  See DESIGN.md's substitution table.
+"""
+
+from repro.datasets.generators import (
+    DatasetSpec,
+    generate_clustered,
+    sg_pois,
+    uk_tweets,
+    us_tweets,
+)
+from repro.datasets.loaders import load_csv, load_jsonl, save_csv, save_jsonl
+from repro.datasets.vocab import TopicModel, make_vocabulary
+from repro.datasets.workloads import (
+    NavigationTrace,
+    pan_offset_for_overlap,
+    random_navigation_trace,
+    random_region_queries,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "NavigationTrace",
+    "TopicModel",
+    "generate_clustered",
+    "load_csv",
+    "load_jsonl",
+    "make_vocabulary",
+    "pan_offset_for_overlap",
+    "random_navigation_trace",
+    "random_region_queries",
+    "save_csv",
+    "save_jsonl",
+    "sg_pois",
+    "uk_tweets",
+    "us_tweets",
+]

@@ -1,0 +1,330 @@
+"""Synthetic geospatial corpus generators.
+
+:func:`generate_clustered` produces the raw material — hierarchically
+clustered coordinates, weights, topic-leaning texts — and the named
+presets (:func:`uk_tweets`, :func:`us_tweets`, :func:`sg_pois`)
+configure it to mirror the paper's three datasets at laptop scale.
+Scale factors are deliberate and documented (DESIGN.md substitution
+table): the paper's absolute sizes (up to 200M tweets) are far beyond
+pure-Python RAM, but every experiment's *shape* is scale-free.
+
+Weights are drawn uniformly from [0, 1], exactly as the paper does
+("for each geospatial object, we randomly set the weight ω in [0,1]",
+Sec. 7.1).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dataset import GeoDataset
+from repro.datasets.vocab import TopicModel
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Recipe for a synthetic corpus.
+
+    Spatial structure is two-level, like real geo-tagged data:
+
+    * **cities** (``n_clusters`` of them) carry the density skew —
+      Gaussian blobs with heavy-tailed sizes and standard deviations
+      drawn log-uniformly in ``[city_min_std, city_max_std]``;
+    * **neighbourhoods** partition each city into tiny topic patches
+      (~``objects_per_topic`` objects each, σ drawn from
+      ``[min_std, max_std]``), and every neighbourhood leans toward its
+      own slice of the vocabulary.
+
+    The neighbourhood level is what localizes textual similarity in
+    space: an object's near-duplicates sit within a viewport of it.
+    That locality is a genuine property of geo-text corpora (tweets
+    talk about local places, POIs repeat neighbourhood categories) and
+    is what makes the paper's prefetch upper bounds (Lemmas 5.1–5.3)
+    tight in practice.  ``cluster_fraction`` of objects follow this
+    structure; the rest are uniform background noise with random
+    topics.
+    """
+
+    name: str
+    n: int
+    n_clusters: int
+    cluster_fraction: float = 0.85
+    city_min_std: float = 0.01
+    city_max_std: float = 0.05
+    min_std: float = 0.001
+    max_std: float = 0.004
+    objects_per_topic: int = 80
+    text_length_low: int = 4
+    text_length_high: int = 12
+    vocab_size: int | None = None
+    topic_words: int = 24
+    background_words: int = 20_000
+    common_words: int = 420
+    # Fraction of objects whose text duplicates another object of the
+    # same topic — the "retweet" effect.  Real geo-tagged corpora are
+    # heavily duplicated, which is what makes small representative
+    # sets score highly on them.
+    duplicate_fraction: float = 0.0
+    seed: int = 2018
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise ValueError("n must be positive")
+        if self.n_clusters < 1:
+            raise ValueError("need at least one cluster")
+        if not 0.0 <= self.cluster_fraction <= 1.0:
+            raise ValueError("cluster_fraction must be in [0, 1]")
+        if not 0.0 <= self.duplicate_fraction < 1.0:
+            raise ValueError("duplicate_fraction must be in [0, 1)")
+        if self.objects_per_topic < 1:
+            raise ValueError("objects_per_topic must be >= 1")
+
+    def max_topics(self) -> int:
+        """Upper bound on the number of neighbourhood topics."""
+        clustered = int(round(self.n * self.cluster_fraction))
+        # One topic per full neighbourhood, plus one spare per city so
+        # small cities still get a topic of their own.
+        return max(1, clustered // self.objects_per_topic) + self.n_clusters
+
+    def effective_vocab_size(self) -> int:
+        """Explicit vocab size, or one sized to fit every topic slice."""
+        needed = self.common_words + self.max_topics() * self.topic_words
+        if self.vocab_size is None:
+            return needed + self.background_words
+        if self.vocab_size < needed:
+            raise ValueError(
+                f"vocab_size {self.vocab_size} too small for "
+                f"{self.max_topics()} topics ({needed} words needed)"
+            )
+        return self.vocab_size
+
+
+def generate_clustered(
+    spec: DatasetSpec,
+    with_texts: bool = True,
+    index_kind: str = "rtree",
+) -> GeoDataset:
+    """Materialize a :class:`GeoDataset` from a :class:`DatasetSpec`.
+
+    Deterministic under ``spec.seed``.  With ``with_texts=True`` the
+    similarity model is TF-IDF cosine over the generated texts (the
+    paper's metric); otherwise it is Euclidean-distance similarity and
+    no text is stored (much lighter, used by pure-spatial experiments).
+    """
+    rng = np.random.default_rng(spec.seed)
+
+    n_clustered = int(round(spec.n * spec.cluster_fraction))
+    n_background = spec.n - n_clustered
+
+    city_centers = rng.random((spec.n_clusters, 2))
+    city_stds = np.exp(
+        rng.uniform(
+            np.log(spec.city_min_std), np.log(spec.city_max_std),
+            spec.n_clusters,
+        )
+    )
+    # City sizes follow a heavy-tailed split, like real populations.
+    city_sizes = rng.dirichlet(np.full(spec.n_clusters, 0.6))
+    city_counts = rng.multinomial(n_clustered, city_sizes)
+
+    xs_parts: list[np.ndarray] = []
+    ys_parts: list[np.ndarray] = []
+    topic_parts: list[np.ndarray] = []
+    next_topic = 0
+    for c, count in enumerate(city_counts):
+        if count == 0:
+            continue
+        # Partition the city into neighbourhood-scale topic patches.
+        n_hoods = max(1, int(round(count / spec.objects_per_topic)))
+        hood_centers = city_centers[c] + rng.normal(
+            0.0, city_stds[c], (n_hoods, 2)
+        )
+        hood_stds = np.exp(
+            rng.uniform(np.log(spec.min_std), np.log(spec.max_std), n_hoods)
+        )
+        hood_counts = rng.multinomial(
+            count, rng.dirichlet(np.full(n_hoods, 2.0))
+        )
+        for h, hood_count in enumerate(hood_counts):
+            if hood_count == 0:
+                continue
+            xs_parts.append(
+                rng.normal(hood_centers[h, 0], hood_stds[h], hood_count)
+            )
+            ys_parts.append(
+                rng.normal(hood_centers[h, 1], hood_stds[h], hood_count)
+            )
+            topic_parts.append(
+                np.full(hood_count, next_topic + h, dtype=np.int64)
+            )
+        next_topic += n_hoods
+
+    n_topics = max(next_topic, 1)
+    if n_background:
+        xs_parts.append(rng.random(n_background))
+        ys_parts.append(rng.random(n_background))
+        topic_parts.append(
+            rng.integers(0, n_topics, n_background, dtype=np.int64)
+        )
+
+    xs = np.clip(np.concatenate(xs_parts), 0.0, 1.0)
+    ys = np.clip(np.concatenate(ys_parts), 0.0, 1.0)
+    topics = np.concatenate(topic_parts)
+
+    # Shuffle so object ids carry no cluster information.
+    order = rng.permutation(spec.n)
+    xs, ys, topics = xs[order], ys[order], topics[order]
+    weights = rng.random(spec.n)
+
+    texts: list[str] | None = None
+    if with_texts:
+        topic_model = TopicModel(
+            n_topics=n_topics,
+            vocab_size=spec.effective_vocab_size(),
+            topic_words=spec.topic_words,
+            common_words=spec.common_words,
+            rng=rng,
+        )
+        lengths = rng.integers(
+            spec.text_length_low, spec.text_length_high + 1, spec.n
+        )
+        texts = topic_model.sample_texts(topics, lengths, rng)
+        if spec.duplicate_fraction > 0.0:
+            texts, xs, ys = _duplicate_objects(
+                texts, xs, ys, topics, spec.duplicate_fraction, rng
+            )
+
+    dataset = GeoDataset.build(
+        xs, ys,
+        weights=weights,
+        texts=texts,
+        index_kind=index_kind,
+        meta={"spec": spec, "topics": topics},
+    )
+    return dataset
+
+
+# Spatial jitter for duplicated objects: well below any realistic
+# visibility threshold (the paper's default is 3e-3 of a viewport
+# side), so a duplicate group behaves like one venue on the map.
+_DUPLICATE_JITTER = 5e-6
+
+
+def _duplicate_objects(
+    texts: list[str],
+    xs: np.ndarray,
+    ys: np.ndarray,
+    topics: np.ndarray,
+    fraction: float,
+    rng: np.random.Generator,
+) -> tuple[list[str], np.ndarray, np.ndarray]:
+    """Replace a fraction of objects with near-copies of topic mates.
+
+    Models retweets / same-venue posts: a duplicated object repeats
+    another object's content *and location* (plus a metre-scale
+    jitter), keeping its own weight.  Co-location is the realistic
+    part that matters algorithmically — the visibility constraint can
+    then suppress a duplicate group with a single selection, exactly
+    as one map marker stands for one venue's many posts.
+    """
+    from repro.datasets.vocab import zipf_weights
+
+    texts = list(texts)
+    xs = xs.copy()
+    ys = ys.copy()
+    by_topic: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+    duplicate_mask = rng.random(len(texts)) < fraction
+    for i in np.flatnonzero(duplicate_mask):
+        topic = int(topics[i])
+        entry = by_topic.get(topic)
+        if entry is None:
+            pool = np.flatnonzero((topics == topic) & ~duplicate_mask)
+            # Virality is heavy-tailed: a few posts collect most of the
+            # reposts (shuffle first so popularity is not id-correlated).
+            pool = rng.permutation(pool)
+            entry = (pool, zipf_weights(len(pool), 1.2) if len(pool) else None)
+            by_topic[topic] = entry
+        pool, popularity = entry
+        if len(pool) == 0:
+            continue  # every object of this topic was marked duplicate
+        source = int(rng.choice(pool, p=popularity))
+        texts[i] = texts[source]
+        xs[i] = xs[source] + rng.normal(0.0, _DUPLICATE_JITTER)
+        ys[i] = ys[source] + rng.normal(0.0, _DUPLICATE_JITTER)
+    return texts, xs, ys
+
+
+def _scaled(default: int) -> int:
+    """Apply the REPRO_SCALE env multiplier to a default object count.
+
+    Benchmarks read dataset sizes through this hook so a single
+    environment variable scales the whole suite up (toward the paper's
+    sizes) or down (for quick smoke runs).
+    """
+    scale = float(os.environ.get("REPRO_SCALE", "1.0"))
+    return max(1000, int(default * scale))
+
+
+def uk_tweets(
+    n: int | None = None, seed: int = 2018, with_texts: bool = True
+) -> GeoDataset:
+    """Analogue of the paper's UK Twitter crawl (1–2M tweets; here ~120k).
+
+    A moderate number of cities with neighbourhood-scale topic patches;
+    heavy retweet duplication.
+    """
+    spec = DatasetSpec(
+        name="uk",
+        n=n if n is not None else _scaled(120_000),
+        n_clusters=14,
+        duplicate_fraction=0.45,
+        seed=seed,
+    )
+    return generate_clustered(spec, with_texts=with_texts)
+
+
+def us_tweets(
+    n: int | None = None, seed: int = 2018, with_texts: bool = True
+) -> GeoDataset:
+    """Analogue of the paper's US Twitter crawl (100–200M; here ~600k).
+
+    Many cities over a large frame; the workhorse of the SaSS
+    experiments, where only a few thousand samples are ever touched.
+    """
+    spec = DatasetSpec(
+        name="us",
+        n=n if n is not None else _scaled(600_000),
+        n_clusters=40,
+        city_min_std=0.006,
+        city_max_std=0.035,
+        duplicate_fraction=0.45,
+        seed=seed,
+    )
+    return generate_clustered(spec, with_texts=with_texts)
+
+
+def sg_pois(
+    n: int | None = None, seed: int = 2018, with_texts: bool = True
+) -> GeoDataset:
+    """Analogue of the paper's Singapore Foursquare POIs (322k; here ~60k).
+
+    Dense, compact clusters (a city-state), shorter category-like
+    texts, moderate duplication (POI categories repeat).
+    """
+    spec = DatasetSpec(
+        name="poi",
+        n=n if n is not None else _scaled(60_000),
+        n_clusters=24,
+        cluster_fraction=0.92,
+        city_min_std=0.008,
+        city_max_std=0.04,
+        text_length_low=2,
+        text_length_high=6,
+        objects_per_topic=60,
+        duplicate_fraction=0.3,
+        seed=seed,
+    )
+    return generate_clustered(spec, with_texts=with_texts)

@@ -1,0 +1,137 @@
+"""Persistence for geospatial corpora (JSON-Lines and CSV).
+
+JSONL is the primary format — one JSON object per line:
+``{"x": ..., "y": ..., "w": ..., "text": ...}`` — streamable,
+diff-able, no binary dependencies.  CSV is provided for interchange
+with spreadsheet/GIS tooling (columns ``x,y,w,text``).  Similarity
+models and indexes are rebuilt on load (they are derived state).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.dataset import GeoDataset
+
+
+def save_jsonl(dataset: GeoDataset, path: str | Path) -> None:
+    """Write the dataset's objects to ``path`` (one JSON per line)."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        for i in range(len(dataset)):
+            record = {
+                "x": float(dataset.xs[i]),
+                "y": float(dataset.ys[i]),
+                "w": float(dataset.weights[i]),
+            }
+            if dataset.texts is not None:
+                record["text"] = dataset.texts[i]
+            handle.write(json.dumps(record, ensure_ascii=False))
+            handle.write("\n")
+
+
+def load_jsonl(
+    path: str | Path,
+    index_kind: str = "rtree",
+) -> GeoDataset:
+    """Rebuild a :class:`GeoDataset` from a JSONL file.
+
+    Texts (when present in the file) reconstruct the TF-IDF cosine
+    similarity; otherwise the dataset falls back to Euclidean
+    similarity, mirroring :meth:`GeoDataset.build` defaults.
+    """
+    path = Path(path)
+    xs: list[float] = []
+    ys: list[float] = []
+    ws: list[float] = []
+    texts: list[str] = []
+    any_text = False
+    with path.open("r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{line_no}: invalid JSON") from exc
+            try:
+                xs.append(float(record["x"]))
+                ys.append(float(record["y"]))
+            except KeyError as exc:
+                raise ValueError(
+                    f"{path}:{line_no}: record missing coordinate {exc}"
+                ) from None
+            ws.append(float(record.get("w", 1.0)))
+            text = record.get("text")
+            if text is not None:
+                any_text = True
+            texts.append(text if text is not None else "")
+    return GeoDataset.build(
+        np.asarray(xs),
+        np.asarray(ys),
+        weights=np.asarray(ws),
+        texts=texts if any_text else None,
+        index_kind=index_kind,
+    )
+
+
+def save_csv(dataset: GeoDataset, path: str | Path) -> None:
+    """Write the dataset's objects to ``path`` as CSV (``x,y,w[,text]``)."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        fields = ["x", "y", "w"] + (["text"] if dataset.texts else [])
+        writer = csv.writer(handle)
+        writer.writerow(fields)
+        for i in range(len(dataset)):
+            row = [
+                f"{float(dataset.xs[i])!r}",
+                f"{float(dataset.ys[i])!r}",
+                f"{float(dataset.weights[i])!r}",
+            ]
+            if dataset.texts is not None:
+                row.append(dataset.texts[i])
+            writer.writerow(row)
+
+
+def load_csv(path: str | Path, index_kind: str = "rtree") -> GeoDataset:
+    """Rebuild a :class:`GeoDataset` from a CSV written by :func:`save_csv`.
+
+    Requires ``x`` and ``y`` columns; ``w`` defaults to 1.0 and a
+    ``text`` column (when present) reconstructs the TF-IDF cosine
+    similarity.
+    """
+    path = Path(path)
+    xs: list[float] = []
+    ys: list[float] = []
+    ws: list[float] = []
+    texts: list[str] = []
+    with path.open("r", encoding="utf-8", newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or not {
+            "x", "y"
+        } <= set(reader.fieldnames):
+            raise ValueError(f"{path}: CSV must have 'x' and 'y' columns")
+        has_text = "text" in reader.fieldnames
+        for line_no, record in enumerate(reader, start=2):
+            try:
+                xs.append(float(record["x"]))
+                ys.append(float(record["y"]))
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"{path}:{line_no}: invalid coordinates"
+                ) from None
+            ws.append(float(record.get("w") or 1.0))
+            if has_text:
+                texts.append(record.get("text") or "")
+    return GeoDataset.build(
+        np.asarray(xs),
+        np.asarray(ys),
+        weights=np.asarray(ws),
+        texts=texts if has_text else None,
+        index_kind=index_kind,
+    )

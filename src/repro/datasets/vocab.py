@@ -1,0 +1,142 @@
+"""Synthetic vocabulary and topic model for generated corpora.
+
+Words are pronounceable consonant-vowel syllable strings (so demo
+output reads naturally) generated deterministically from a seed.  A
+:class:`TopicModel` assigns each topic a Zipf-weighted distribution
+over a topic-specific slice of the vocabulary plus a shared common
+slice, mimicking how real geo-tagged text mixes local vocabulary
+("brunch", "gallery") with ubiquitous terms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_CONSONANTS = list("bcdfghjklmnprstvz")
+_VOWELS = list("aeiou")
+
+
+def make_vocabulary(size: int, rng: np.random.Generator) -> list[str]:
+    """``size`` distinct pronounceable pseudo-words."""
+    words: list[str] = []
+    seen: set[str] = set()
+    while len(words) < size:
+        syllables = rng.integers(2, 5)
+        word = "".join(
+            _CONSONANTS[rng.integers(len(_CONSONANTS))]
+            + _VOWELS[rng.integers(len(_VOWELS))]
+            for _ in range(syllables)
+        )
+        if word not in seen:
+            seen.add(word)
+            words.append(word)
+    return words
+
+
+def zipf_weights(size: int, exponent: float = 1.1) -> np.ndarray:
+    """Normalized Zipf weights ``rank^-exponent`` over ``size`` items."""
+    ranks = np.arange(1, size + 1, dtype=np.float64)
+    weights = ranks**-exponent
+    return weights / weights.sum()
+
+
+class TopicModel:
+    """Topics over a synthetic vocabulary.
+
+    Each word of a document comes from one of three pools:
+
+    * the **common** pool (probability ``common_prob``) — ubiquitous
+      terms shared by everything, Zipf-weighted;
+    * the document's **topic slice** (probability ``topic_prob``) —
+      the neighbourhood's local vocabulary;
+    * the large **background** pool (the rest) — the long tail of
+      ordinary language, sampled uniformly, so two *distinct* documents
+      are nearly orthogonal even within a topic.
+
+    This mirrors real geo-text: distinct posts from the same place are
+    mostly unrelated; strong similarity comes from repeated content
+    (retweets, venue posts), which the generator adds separately via
+    duplication.
+    """
+
+    def __init__(
+        self,
+        n_topics: int,
+        vocab_size: int = 4000,
+        topic_words: int = 24,
+        common_words: int = 300,
+        zipf_exponent: float = 0.6,
+        common_prob: float = 0.02,
+        topic_prob: float = 0.10,
+        rng: np.random.Generator | None = None,
+    ):
+        if n_topics < 1:
+            raise ValueError(f"need at least one topic, got {n_topics}")
+        needed = common_words + n_topics * topic_words + 1
+        if vocab_size < needed:
+            raise ValueError(
+                f"vocab_size {vocab_size} too small for {n_topics} topics "
+                f"({needed} words needed)"
+            )
+        if not 0.0 <= common_prob < 1.0:
+            raise ValueError("common_prob must be in [0, 1)")
+        if not 0.0 <= topic_prob <= 1.0 - common_prob:
+            raise ValueError("topic_prob must be in [0, 1 - common_prob]")
+        rng = rng or np.random.default_rng()
+        self.n_topics = n_topics
+        self.common_prob = common_prob
+        self.topic_prob = topic_prob
+        self.words = make_vocabulary(vocab_size, rng)
+
+        self._common = np.arange(common_words)
+        self._common_weights = zipf_weights(common_words, zipf_exponent)
+        self._topic_slices = []
+        for t in range(n_topics):
+            start = common_words + t * topic_words
+            self._topic_slices.append(np.arange(start, start + topic_words))
+        self._topic_weights = zipf_weights(topic_words, zipf_exponent)
+        background_start = common_words + n_topics * topic_words
+        self._background = np.arange(background_start, vocab_size)
+
+    def sample_text(
+        self, topic: int, length: int, rng: np.random.Generator
+    ) -> str:
+        """A ``length``-word document leaning toward ``topic``."""
+        if not 0 <= topic < self.n_topics:
+            raise ValueError(f"topic {topic} out of range")
+        ids = []
+        pools = rng.random(length)
+        n_common = int((pools < self.common_prob).sum())
+        n_topic = int(
+            (pools < self.common_prob + self.topic_prob).sum()
+        ) - n_common
+        n_background = length - n_common - n_topic
+        if n_common:
+            ids.extend(
+                rng.choice(self._common, size=n_common, p=self._common_weights)
+            )
+        if n_topic:
+            ids.extend(
+                rng.choice(
+                    self._topic_slices[topic],
+                    size=n_topic,
+                    p=self._topic_weights,
+                )
+            )
+        if n_background:
+            ids.extend(rng.choice(self._background, size=n_background))
+        return " ".join(self.words[int(i)] for i in ids)
+
+    def sample_texts(
+        self,
+        topics: np.ndarray,
+        lengths: np.ndarray,
+        rng: np.random.Generator,
+    ) -> list[str]:
+        """Vector form of :meth:`sample_text` (one doc per entry)."""
+        if len(topics) != len(lengths):
+            raise ValueError("topics and lengths must align")
+        return [
+            self.sample_text(int(t), int(ln), rng)
+            for t, ln in zip(topics, lengths)
+        ]

@@ -1,0 +1,171 @@
+"""Query and navigation workload generators (paper Sec. 7.1).
+
+Region queries follow the paper's protocol: "we randomly pick an object
+from the dataset and generate a square-shape query region R centered at
+this object" — centering on objects (not uniform space) means query
+populations reflect the data's density skew, like real user behavior.
+
+Navigation traces chain zoom-in / zoom-out / pan operations with the
+paper's geometry: zoom-in targets lie fully inside the previous region,
+zoom-out targets fully contain it, pans keep the size and overlap the
+previous region by a controllable fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dataset import GeoDataset
+from repro.core.problem import RegionQuery
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import Point
+
+
+def random_region_queries(
+    dataset: GeoDataset,
+    count: int,
+    region_fraction: float = 0.01,
+    k: int = 100,
+    theta_fraction: float = 0.003,
+    rng: np.random.Generator | None = None,
+    min_population: int = 0,
+    max_attempts: int = 200,
+) -> list[RegionQuery]:
+    """``count`` square region queries centered on random objects.
+
+    ``region_fraction`` is the region side length as a fraction of the
+    dataset frame side (paper default ``10^-2``).  With
+    ``min_population > 0``, regions with fewer objects are rejected and
+    redrawn (useful to keep benchmark iterations comparable).
+    """
+    if count <= 0:
+        raise ValueError("count must be positive")
+    if len(dataset) == 0:
+        raise ValueError("cannot generate queries over an empty dataset")
+    rng = rng or np.random.default_rng()
+    frame = dataset.frame()
+    side = region_fraction * max(frame.width, frame.height)
+
+    queries: list[RegionQuery] = []
+    attempts = 0
+    while len(queries) < count:
+        attempts += 1
+        if attempts > max_attempts * count:
+            raise RuntimeError(
+                f"could not find {count} regions with >= {min_population} "
+                f"objects after {attempts} attempts"
+            )
+        anchor = int(rng.integers(len(dataset)))
+        center = Point(float(dataset.xs[anchor]), float(dataset.ys[anchor]))
+        region = BoundingBox.from_center(center, side)
+        if min_population and dataset.index.count_region(region) < min_population:
+            continue
+        queries.append(
+            RegionQuery.with_theta_fraction(region, k=k,
+                                            theta_fraction=theta_fraction)
+        )
+    return queries
+
+
+def pan_offset_for_overlap(
+    region: BoundingBox,
+    overlap: float,
+    rng: np.random.Generator | None = None,
+    axis: str | None = None,
+) -> tuple[float, float]:
+    """Pan offset ``(dx, dy)`` giving the requested overlap fraction.
+
+    For a single-axis pan by ``d``, overlap is ``(w - |d|) / w``; the
+    axis and sign are drawn randomly unless ``axis`` ("x" or "y") is
+    pinned.  ``overlap`` must lie in ``[0, 1]``; note overlap 0 means
+    the windows merely touch.
+    """
+    if not 0.0 <= overlap <= 1.0:
+        raise ValueError(f"overlap must be in [0, 1], got {overlap}")
+    rng = rng or np.random.default_rng()
+    if axis is None:
+        axis = "x" if rng.random() < 0.5 else "y"
+    sign = 1.0 if rng.random() < 0.5 else -1.0
+    if axis == "x":
+        return (sign * (1.0 - overlap) * region.width, 0.0)
+    if axis == "y":
+        return (0.0, sign * (1.0 - overlap) * region.height)
+    raise ValueError(f"axis must be 'x' or 'y', got {axis!r}")
+
+
+@dataclass(frozen=True)
+class NavigationTrace:
+    """A starting region plus a sequence of navigation operations.
+
+    Operations are ``("zoom_in", scale)``, ``("zoom_out", scale)`` or
+    ``("pan", (dx, dy))`` tuples, replayable against a
+    :class:`~repro.core.session.MapSession` via :meth:`replay`.
+    """
+
+    start: BoundingBox
+    operations: tuple[tuple[str, object], ...]
+
+    def replay(self, session) -> list:
+        """Run the trace on ``session``; returns its NavigationSteps."""
+        steps = [session.start(self.start)]
+        for kind, arg in self.operations:
+            if kind == "zoom_in":
+                steps.append(session.zoom_in(scale=arg))
+            elif kind == "zoom_out":
+                steps.append(session.zoom_out(scale=arg))
+            elif kind == "pan":
+                dx, dy = arg
+                steps.append(session.pan(dx, dy))
+            else:
+                raise ValueError(f"unknown operation {kind!r}")
+        return steps
+
+
+def random_navigation_trace(
+    dataset: GeoDataset,
+    length: int,
+    region_fraction: float = 0.01,
+    zoom_in_scale: float = 0.5,
+    zoom_out_scale: float = 2.0,
+    pan_overlap: float = 0.5,
+    rng: np.random.Generator | None = None,
+) -> NavigationTrace:
+    """A random but *balanced* trace of ``length`` operations.
+
+    Zoom-ins and zoom-outs are kept paired (never drifting more than
+    one level from the start) so the viewport neither collapses to a
+    sliver nor swallows the whole frame over a long trace; pans are
+    drawn with the requested overlap.
+    """
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    rng = rng or np.random.default_rng()
+    start = random_region_queries(
+        dataset, 1, region_fraction=region_fraction, rng=rng
+    )[0].region
+
+    operations: list[tuple[str, object]] = []
+    region = start
+    depth = 0  # zoom level relative to start
+    for _ in range(length):
+        choices = ["pan"]
+        if depth <= 0:
+            choices.append("zoom_in")
+        if depth >= 0:
+            choices.append("zoom_out")
+        kind = choices[int(rng.integers(len(choices)))]
+        if kind == "zoom_in":
+            operations.append(("zoom_in", zoom_in_scale))
+            region = region.zoomed_in(zoom_in_scale)
+            depth += 1
+        elif kind == "zoom_out":
+            operations.append(("zoom_out", zoom_out_scale))
+            region = region.zoomed_out(zoom_out_scale)
+            depth -= 1
+        else:
+            dx, dy = pan_offset_for_overlap(region, pan_overlap, rng)
+            operations.append(("pan", (dx, dy)))
+            region = region.panned(dx, dy)
+    return NavigationTrace(start=start, operations=tuple(operations))

@@ -1,0 +1,35 @@
+"""Experiment harness: sweeps, timing, and paper-style reporting.
+
+The benchmark scripts under ``benchmarks/`` are thin: each one binds a
+workload to the sweep driver here and prints the same rows/series its
+paper figure reports.  Keeping the machinery in the library makes the
+experiments scriptable by downstream users too.
+"""
+
+from repro.experiments.charts import render_chart
+from repro.experiments.harness import (
+    MethodResult,
+    compare_methods,
+    run_selector,
+    selector_catalog,
+)
+from repro.experiments.reporting import (
+    format_series,
+    format_table,
+    print_series,
+    print_table,
+)
+from repro.experiments.timing import measure
+
+__all__ = [
+    "MethodResult",
+    "compare_methods",
+    "format_series",
+    "format_table",
+    "measure",
+    "print_series",
+    "print_table",
+    "render_chart",
+    "run_selector",
+    "selector_catalog",
+]

@@ -1,0 +1,95 @@
+"""ASCII chart rendering for benchmark series.
+
+The benchmark harness prints figures as aligned tables; for a quick
+visual read in a terminal, :func:`render_chart` draws the same series
+as a character plot — one symbol per curve, optional log-scale y axis
+(most of the paper's runtime figures are log-scale).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+_SYMBOLS = "ox+*#@%&"
+
+
+def render_chart(
+    xs: Sequence[object],
+    series: dict[str, Sequence[float]],
+    width: int = 60,
+    height: int = 16,
+    log_y: bool = False,
+    title: str = "",
+) -> str:
+    """Plot curves as ASCII; returns the chart as a string.
+
+    Each series gets the next symbol from ``o x + * # @ % &``; a legend
+    line maps symbols to names.  With ``log_y`` the vertical axis is
+    log10 (non-positive values are clamped to the smallest positive
+    value present).
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if len(series) > len(_SYMBOLS):
+        raise ValueError(f"at most {len(_SYMBOLS)} series supported")
+    if width < 8 or height < 4:
+        raise ValueError("chart must be at least 8x4")
+    n_points = len(xs)
+    for name, values in series.items():
+        if len(values) != n_points:
+            raise ValueError(f"series {name!r} length mismatch")
+    if n_points == 0:
+        raise ValueError("need at least one x value")
+
+    flat = [v for values in series.values() for v in values]
+    if log_y:
+        positive = [v for v in flat if v > 0]
+        floor = min(positive) if positive else 1.0
+        flat = [math.log10(max(v, floor)) for v in flat]
+
+        def transform(v: float) -> float:
+            return math.log10(max(v, floor))
+    else:
+        def transform(v: float) -> float:
+            return v
+
+    lo, hi = min(flat), max(flat)
+    span = hi - lo or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for s_index, (name, values) in enumerate(series.items()):
+        symbol = _SYMBOLS[s_index]
+        for p_index, value in enumerate(values):
+            col = (
+                0 if n_points == 1
+                else round(p_index * (width - 1) / (n_points - 1))
+            )
+            level = (transform(value) - lo) / span
+            row = height - 1 - round(level * (height - 1))
+            grid[row][col] = symbol
+
+    lines = []
+    if title:
+        lines.append(title)
+    axis_hi = f"{10 ** hi:.3g}" if log_y else f"{hi:.3g}"
+    axis_lo = f"{10 ** lo:.3g}" if log_y else f"{lo:.3g}"
+    label_width = max(len(axis_hi), len(axis_lo))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = axis_hi.rjust(label_width)
+        elif row_index == height - 1:
+            label = axis_lo.rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(
+        " " * label_width + " +" + "-" * width
+    )
+    x_axis = f"{xs[0]} .. {xs[-1]}"
+    lines.append(" " * (label_width + 2) + x_axis)
+    legend = "  ".join(
+        f"{_SYMBOLS[i]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * (label_width + 2) + legend)
+    return "\n".join(lines)

@@ -1,0 +1,131 @@
+"""Selector catalog and method-comparison driver.
+
+:func:`selector_catalog` exposes every selection method under the names
+the paper's figures use (Greedy, SASS, Random, K-means, MaxMin, MaxSum,
+DisC), each behind the same ``(dataset, query, rng) -> SelectionResult``
+signature.  :func:`compare_methods` runs a set of them over a query
+workload and aggregates runtime and representative score — the shape of
+Figures 7 and 8.
+"""
+
+from __future__ import annotations
+
+import statistics
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines import (
+    disc_select,
+    kmeans_select,
+    maxmin_select,
+    maxsum_select,
+    random_select,
+    topweight_select,
+)
+from repro.core.dataset import GeoDataset
+from repro.core.greedy import greedy_select
+from repro.core.problem import RegionQuery, SelectionResult
+from repro.core.sampling import sass_select
+
+Selector = Callable[..., SelectionResult]
+
+
+def selector_catalog() -> dict[str, Selector]:
+    """All selectors under their paper names."""
+
+    def greedy(dataset: GeoDataset, query: RegionQuery, rng=None):
+        return greedy_select(dataset, query)
+
+    def sass(dataset: GeoDataset, query: RegionQuery, rng=None):
+        # Score against the full region population so SaSS's quality is
+        # directly comparable to the other methods (the sample score is
+        # what the algorithm optimizes, but figures report full data).
+        return sass_select(dataset, query, rng=rng, evaluate_full_score=True)
+
+    return {
+        "Greedy": greedy,
+        "SASS": sass,
+        "Random": random_select,
+        "K-means": kmeans_select,
+        "MaxMin": maxmin_select,
+        "MaxSum": maxsum_select,
+        "DisC": disc_select,
+        "TopWeight": topweight_select,
+    }
+
+
+@dataclass
+class MethodResult:
+    """Aggregated runtime/score of one method over a workload."""
+
+    method: str
+    mean_runtime_s: float
+    stdev_runtime_s: float
+    mean_score: float
+    stdev_score: float
+    runs: int
+
+    def row(self) -> list:
+        """Cells for the Fig. 7/8-style comparison table."""
+        return [
+            self.method,
+            f"{self.mean_runtime_s:.4f}",
+            f"{self.mean_score:.4f}",
+            self.runs,
+        ]
+
+
+def run_selector(
+    name: str,
+    dataset: GeoDataset,
+    query: RegionQuery,
+    rng: np.random.Generator | None = None,
+) -> SelectionResult:
+    """Run one catalog selector by name."""
+    catalog = selector_catalog()
+    try:
+        selector = catalog[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown selector {name!r}; choose from {sorted(catalog)}"
+        ) from None
+    return selector(dataset, query, rng=rng)
+
+
+def compare_methods(
+    dataset: GeoDataset,
+    queries: Sequence[RegionQuery],
+    methods: Sequence[str],
+    seed: int = 7,
+) -> list[MethodResult]:
+    """Run each method over every query; aggregate runtime and score.
+
+    Runtime is the selector's own ``stats['elapsed_s']`` (excludes
+    query generation and region fetching, matching the paper's "we
+    report the runtime after the object fetching is finished").
+    """
+    catalog = selector_catalog()
+    results: list[MethodResult] = []
+    for name in methods:
+        selector = catalog[name]
+        times: list[float] = []
+        scores: list[float] = []
+        for q_index, query in enumerate(queries):
+            rng = np.random.default_rng(seed + q_index)
+            outcome = selector(dataset, query, rng=rng)
+            times.append(float(outcome.stats.get("elapsed_s", 0.0)))
+            # SaSS records its full-population score separately.
+            scores.append(float(outcome.stats.get("full_score", outcome.score)))
+        results.append(
+            MethodResult(
+                method=name,
+                mean_runtime_s=statistics.fmean(times),
+                stdev_runtime_s=statistics.stdev(times) if len(times) > 1 else 0.0,
+                mean_score=statistics.fmean(scores),
+                stdev_score=statistics.stdev(scores) if len(scores) > 1 else 0.0,
+                runs=len(queries),
+            )
+        )
+    return results

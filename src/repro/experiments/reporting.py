@@ -1,0 +1,74 @@
+"""Plain-text table/series formatting for benchmark output.
+
+Benchmarks print the same rows and series the paper's tables and
+figures report; these helpers keep that output aligned and paste-able
+into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Fixed-width text table."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for col, cell in enumerate(row):
+            widths[col] = max(widths[col], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[col]) for col, cell in enumerate(cells))
+
+    parts: list[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append("  ".join("-" * w for w in widths))
+    parts.extend(line(row) for row in str_rows)
+    return "\n".join(parts)
+
+
+def print_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> None:
+    """Print :func:`format_table` output followed by a blank line."""
+    print(format_table(headers, rows, title))
+    print()
+
+
+def format_series(
+    x_label: str,
+    xs: Sequence[object],
+    series: dict[str, Sequence[float]],
+    title: str = "",
+    fmt: str = "{:.4f}",
+) -> str:
+    """A figure as text: one row per x value, one column per curve."""
+    headers = [x_label, *series.keys()]
+    rows = []
+    for row_index, x in enumerate(xs):
+        row = [str(x)]
+        for values in series.values():
+            row.append(fmt.format(values[row_index]))
+        rows.append(row)
+    return format_table(headers, rows, title)
+
+
+def print_series(
+    x_label: str,
+    xs: Sequence[object],
+    series: dict[str, Sequence[float]],
+    title: str = "",
+    fmt: str = "{:.4f}",
+) -> None:
+    """Print :func:`format_series` output followed by a blank line."""
+    print(format_series(x_label, xs, series, title, fmt))
+    print()

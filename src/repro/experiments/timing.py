@@ -1,0 +1,49 @@
+"""Small timing utilities for the experiment harness."""
+
+from __future__ import annotations
+
+import statistics
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Wall-clock statistics over repeated calls."""
+
+    mean_s: float
+    stdev_s: float
+    min_s: float
+    max_s: float
+    repeats: int
+    last_result: object
+
+    @property
+    def mean_ms(self) -> float:
+        """Mean wall time in milliseconds."""
+        return self.mean_s * 1000.0
+
+
+def measure(
+    fn: Callable[[], object], repeats: int = 3, warmup: int = 0
+) -> Measurement:
+    """Time ``fn()`` ``repeats`` times (after ``warmup`` throwaway calls)."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    for _ in range(warmup):
+        fn()
+    times: list[float] = []
+    result: object = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - start)
+    return Measurement(
+        mean_s=statistics.fmean(times),
+        stdev_s=statistics.stdev(times) if len(times) > 1 else 0.0,
+        min_s=min(times),
+        max_s=max(times),
+        repeats=repeats,
+        last_result=result,
+    )

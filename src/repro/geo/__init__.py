@@ -1,0 +1,30 @@
+"""Geometry substrate: points, bounding boxes, and distance metrics.
+
+Everything in :mod:`repro` that talks about "where" goes through this
+package.  The API layer exposes small immutable value objects
+(:class:`Point`, :class:`BoundingBox`) while the hot paths operate on
+numpy coordinate arrays via the vectorized helpers in
+:mod:`repro.geo.distance`.
+"""
+
+from repro.geo.bbox import BoundingBox
+from repro.geo.distance import (
+    euclidean,
+    euclidean_many,
+    haversine,
+    haversine_many,
+    pairwise_min_distance,
+    squared_euclidean,
+)
+from repro.geo.point import Point
+
+__all__ = [
+    "BoundingBox",
+    "Point",
+    "euclidean",
+    "euclidean_many",
+    "haversine",
+    "haversine_many",
+    "pairwise_min_distance",
+    "squared_euclidean",
+]

@@ -1,0 +1,244 @@
+"""Axis-aligned bounding box with the map-navigation geometry.
+
+:class:`BoundingBox` doubles as the "region of user's interest" from the
+paper: the query region of an SOS query and the viewport the user
+navigates with zoom-in / zoom-out / pan.  The navigation helpers
+(:meth:`BoundingBox.zoomed_in`, :meth:`BoundingBox.zoomed_out`,
+:meth:`BoundingBox.panned`) implement the paper's operations exactly:
+
+* zooming keeps the *center* fixed and scales the side length
+  (Sec. 3.4: "the center of the map remains unchanged");
+* panning translates the window, keeping its size.
+
+Boxes are closed on the min edges and closed on the max edges
+(``minx <= x <= maxx``); the paper never depends on open/closed
+boundary semantics, and closed boxes make containment of corner points
+unsurprising.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.geo.point import Point
+
+
+@dataclass(frozen=True, slots=True)
+class BoundingBox:
+    """Axis-aligned rectangle ``[minx, maxx] x [miny, maxy]``."""
+
+    minx: float
+    miny: float
+    maxx: float
+    maxy: float
+
+    def __post_init__(self) -> None:
+        if self.minx > self.maxx or self.miny > self.maxy:
+            raise ValueError(
+                f"degenerate box: ({self.minx}, {self.miny}, "
+                f"{self.maxx}, {self.maxy})"
+            )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_center(
+        cls, center: Point, width: float, height: float | None = None
+    ) -> "BoundingBox":
+        """Box of the given size centered on ``center``.
+
+        ``height`` defaults to ``width`` (square viewports, as in all of
+        the paper's experiments).
+        """
+        if height is None:
+            height = width
+        hw = width / 2.0
+        hh = height / 2.0
+        return cls(center.x - hw, center.y - hh, center.x + hw, center.y + hh)
+
+    @classmethod
+    def from_points(cls, xs: np.ndarray, ys: np.ndarray) -> "BoundingBox":
+        """Tightest box containing every ``(xs[i], ys[i])``."""
+        if len(xs) == 0:
+            raise ValueError("cannot bound an empty point set")
+        return cls(
+            float(np.min(xs)), float(np.min(ys)),
+            float(np.max(xs)), float(np.max(ys)),
+        )
+
+    @classmethod
+    def unit(cls) -> "BoundingBox":
+        """The unit square ``[0, 1] x [0, 1]`` — the normalized frame."""
+        return cls(0.0, 0.0, 1.0, 1.0)
+
+    # ------------------------------------------------------------------
+    # Basic geometry
+    # ------------------------------------------------------------------
+
+    @property
+    def width(self) -> float:
+        return self.maxx - self.minx
+
+    @property
+    def height(self) -> float:
+        return self.maxy - self.miny
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point((self.minx + self.maxx) / 2.0, (self.miny + self.maxy) / 2.0)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.minx
+        yield self.miny
+        yield self.maxx
+        yield self.maxy
+
+    def contains_point(self, x: float, y: float) -> bool:
+        """Whether ``(x, y)`` lies inside (boundary inclusive)."""
+        return self.minx <= x <= self.maxx and self.miny <= y <= self.maxy
+
+    def contains_many(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Boolean mask of points inside the box (vectorized)."""
+        return (
+            (xs >= self.minx)
+            & (xs <= self.maxx)
+            & (ys >= self.miny)
+            & (ys <= self.maxy)
+        )
+
+    def contains_box(self, other: "BoundingBox") -> bool:
+        """Whether ``other`` lies entirely inside this box."""
+        return (
+            self.minx <= other.minx
+            and self.miny <= other.miny
+            and self.maxx >= other.maxx
+            and self.maxy >= other.maxy
+        )
+
+    def intersects(self, other: "BoundingBox") -> bool:
+        """Whether the two boxes share any point (touching counts)."""
+        return not (
+            other.minx > self.maxx
+            or other.maxx < self.minx
+            or other.miny > self.maxy
+            or other.maxy < self.miny
+        )
+
+    def intersection(self, other: "BoundingBox") -> "BoundingBox | None":
+        """Overlap box, or ``None`` when the boxes are disjoint."""
+        if not self.intersects(other):
+            return None
+        return BoundingBox(
+            max(self.minx, other.minx),
+            max(self.miny, other.miny),
+            min(self.maxx, other.maxx),
+            min(self.maxy, other.maxy),
+        )
+
+    def union(self, other: "BoundingBox") -> "BoundingBox":
+        """Smallest box containing both boxes."""
+        return BoundingBox(
+            min(self.minx, other.minx),
+            min(self.miny, other.miny),
+            max(self.maxx, other.maxx),
+            max(self.maxy, other.maxy),
+        )
+
+    def overlap_fraction(self, other: "BoundingBox") -> float:
+        """Area of the overlap as a fraction of this box's area.
+
+        Used to bucket panning operations by overlap percentage
+        (paper Fig. 14(c)).
+        """
+        inter = self.intersection(other)
+        if inter is None or self.area == 0.0:
+            return 0.0
+        return inter.area / self.area
+
+    def min_distance_to_point(self, x: float, y: float) -> float:
+        """Euclidean distance from the box to ``(x, y)`` (0 if inside)."""
+        dx = max(self.minx - x, 0.0, x - self.maxx)
+        dy = max(self.miny - y, 0.0, y - self.maxy)
+        return float(np.hypot(dx, dy))
+
+    def expanded(self, margin: float) -> "BoundingBox":
+        """Box grown by ``margin`` on every side."""
+        return BoundingBox(
+            self.minx - margin, self.miny - margin,
+            self.maxx + margin, self.maxy + margin,
+        )
+
+    def clipped_to(self, frame: "BoundingBox") -> "BoundingBox":
+        """This box clipped to lie inside ``frame``.
+
+        Raises ``ValueError`` when the two are disjoint — a navigation
+        operation should never leave the dataset frame entirely.
+        """
+        inter = self.intersection(frame)
+        if inter is None:
+            raise ValueError("box lies entirely outside the frame")
+        return inter
+
+    # ------------------------------------------------------------------
+    # Map-navigation geometry (paper Sec. 3.4)
+    # ------------------------------------------------------------------
+
+    def zoomed_in(self, scale: float) -> "BoundingBox":
+        """Viewport after zooming in: same center, side length ``* scale``.
+
+        ``scale`` must be in ``(0, 1)``; the paper's zoom-in scales are
+        ``2^-3 .. 2^-1`` by length (Table 2).
+        """
+        if not 0.0 < scale < 1.0:
+            raise ValueError(f"zoom-in scale must be in (0, 1), got {scale}")
+        return BoundingBox.from_center(
+            self.center, self.width * scale, self.height * scale
+        )
+
+    def zoomed_out(self, scale: float) -> "BoundingBox":
+        """Viewport after zooming out: same center, side length ``* scale``.
+
+        ``scale`` must be ``> 1``; the paper's zoom-out scales are
+        ``2^1 .. 2^3`` by length (Table 2).
+        """
+        if scale <= 1.0:
+            raise ValueError(f"zoom-out scale must be > 1, got {scale}")
+        return BoundingBox.from_center(
+            self.center, self.width * scale, self.height * scale
+        )
+
+    def panned(self, dx: float, dy: float) -> "BoundingBox":
+        """Viewport translated by ``(dx, dy)``, size unchanged."""
+        return BoundingBox(
+            self.minx + dx, self.miny + dy, self.maxx + dx, self.maxy + dy
+        )
+
+    def pan_union(self) -> "BoundingBox":
+        """Union of all possible panning targets overlapping this viewport.
+
+        A panned window of the same size overlaps the current window iff
+        its center stays within one window-size of the current center,
+        so the union ``rA`` (paper Fig. 5) is the box grown by the full
+        window size on each side — three windows wide and tall.
+        """
+        return BoundingBox(
+            self.minx - self.width, self.miny - self.height,
+            self.maxx + self.width, self.maxy + self.height,
+        )
+
+    def zoom_out_union(self, max_scale: float) -> "BoundingBox":
+        """Union of all zoom-out targets up to ``max_scale`` (paper Fig. 4).
+
+        Every zoom-out keeps the center, so the union is simply the
+        largest possible viewport.
+        """
+        return self.zoomed_out(max_scale)

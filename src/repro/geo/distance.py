@@ -1,0 +1,92 @@
+"""Distance metrics, scalar and vectorized.
+
+The selection algorithms only ever need two things from a metric:
+
+* scalar distance between two points (visibility checks), and
+* distance from one point to *many* points at once (conflict removal
+  after a greedy pick), which must be vectorized to keep the greedy
+  loop's constant small.
+
+Planar Euclidean distance is the default everywhere (the datasets are
+normalized into the unit square).  Haversine is provided for users who
+keep raw lon/lat coordinates.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+EARTH_RADIUS_KM = 6371.0088
+
+
+def euclidean(x1: float, y1: float, x2: float, y2: float) -> float:
+    """Planar Euclidean distance between ``(x1, y1)`` and ``(x2, y2)``."""
+    return math.hypot(x1 - x2, y1 - y2)
+
+
+def squared_euclidean(x1: float, y1: float, x2: float, y2: float) -> float:
+    """Squared planar distance — avoids the sqrt on comparison-only paths."""
+    dx = x1 - x2
+    dy = y1 - y2
+    return dx * dx + dy * dy
+
+
+def euclidean_many(
+    x: float, y: float, xs: np.ndarray, ys: np.ndarray
+) -> np.ndarray:
+    """Distances from ``(x, y)`` to every ``(xs[i], ys[i])``.
+
+    Parameters are kept as separate coordinate arrays (struct-of-arrays)
+    to match how :class:`repro.core.dataset.GeoDataset` stores objects.
+    """
+    return np.hypot(xs - x, ys - y)
+
+
+def haversine(
+    lon1: float, lat1: float, lon2: float, lat2: float
+) -> float:
+    """Great-circle distance in kilometres between two lon/lat points."""
+    phi1 = math.radians(lat1)
+    phi2 = math.radians(lat2)
+    dphi = math.radians(lat2 - lat1)
+    dlam = math.radians(lon2 - lon1)
+    a = (
+        math.sin(dphi / 2.0) ** 2
+        + math.cos(phi1) * math.cos(phi2) * math.sin(dlam / 2.0) ** 2
+    )
+    return 2.0 * EARTH_RADIUS_KM * math.asin(math.sqrt(a))
+
+
+def haversine_many(
+    lon: float, lat: float, lons: np.ndarray, lats: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`haversine` from one point to many points."""
+    phi1 = math.radians(lat)
+    phi2 = np.radians(lats)
+    dphi = np.radians(lats - lat)
+    dlam = np.radians(lons - lon)
+    a = (
+        np.sin(dphi / 2.0) ** 2
+        + math.cos(phi1) * np.cos(phi2) * np.sin(dlam / 2.0) ** 2
+    )
+    return 2.0 * EARTH_RADIUS_KM * np.arcsin(np.sqrt(a))
+
+
+def pairwise_min_distance(xs: np.ndarray, ys: np.ndarray) -> float:
+    """Smallest pairwise Euclidean distance among the given points.
+
+    Used by tests and benchmarks to assert the visibility constraint on
+    a selector's output.  Returns ``inf`` for fewer than two points.
+    Quadratic, so intended for result sets (size ``k``), not datasets.
+    """
+    n = len(xs)
+    if n < 2:
+        return float("inf")
+    pts = np.column_stack([xs, ys])
+    diff = pts[:, None, :] - pts[None, :, :]
+    dists = np.hypot(diff[..., 0], diff[..., 1])
+    # Mask the diagonal (distance of each point to itself).
+    np.fill_diagonal(dists, np.inf)
+    return float(dists.min())

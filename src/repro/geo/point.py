@@ -1,0 +1,64 @@
+"""Immutable 2-D point value object.
+
+Coordinates are plain floats in whatever planar reference frame the
+dataset uses.  All paper experiments use a unit-less planar frame where
+the full dataset extent is normalized into ``[0, 1] x [0, 1]``; region
+sizes and visibility thresholds in the paper (Table 2) are fractions of
+that frame, which this representation makes direct to express.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """A 2-D point ``(x, y)``.
+
+    The class is frozen so points can key dictionaries and live in sets;
+    it supports iteration/unpacking (``x, y = point``) and basic vector
+    arithmetic, which keeps geometry code readable.
+    """
+
+    x: float
+    y: float
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scalar: float) -> "Point":
+        return Point(self.x * scalar, self.y * scalar)
+
+    __rmul__ = __mul__
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def squared_distance_to(self, other: "Point") -> float:
+        """Squared Euclidean distance to ``other`` (cheaper, no sqrt)."""
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy
+
+    def midpoint(self, other: "Point") -> "Point":
+        """Point halfway between ``self`` and ``other``."""
+        return Point((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """A copy of this point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def as_tuple(self) -> tuple[float, float]:
+        """``(x, y)`` tuple — handy for numpy construction."""
+        return (self.x, self.y)

@@ -1,0 +1,57 @@
+"""Spatial index substrate.
+
+The paper uses an R-tree "as the spatial index for region queries"
+(Sec. 7.1).  Since this reproduction is dependency-free beyond
+numpy/scipy, the indexes are built from scratch:
+
+* :class:`LinearIndex` — brute-force scan; the ground truth the other
+  indexes are verified against.
+* :class:`GridIndex` — uniform grid binning; excellent for the
+  near-uniform-density region queries of the benchmarks.
+* :class:`KDTreeIndex` — median-split k-d tree with region and radius
+  queries and k-nearest-neighbour search.
+* :class:`QuadTreeIndex` — point-region quadtree with incremental
+  insert; spatial decomposition suits heavily clustered data.
+* :class:`RTreeIndex` — Sort-Tile-Recursive bulk-loaded R-tree with
+  incremental insert (quadratic split), the default index.
+
+All indexes implement the :class:`SpatialIndex` protocol over a fixed
+point table ``(xs, ys)`` whose implicit ids are row numbers.
+"""
+
+from repro.index.base import LinearIndex, SpatialIndex
+from repro.index.grid import GridIndex
+from repro.index.kdtree import KDTreeIndex
+from repro.index.quadtree import QuadTreeIndex
+from repro.index.rtree import RTreeIndex
+
+INDEX_CLASSES = {
+    "linear": LinearIndex,
+    "grid": GridIndex,
+    "kdtree": KDTreeIndex,
+    "quadtree": QuadTreeIndex,
+    "rtree": RTreeIndex,
+}
+
+
+def build_index(kind: str, xs, ys, **kwargs) -> SpatialIndex:
+    """Build a spatial index by name (``linear|grid|kdtree|rtree``)."""
+    try:
+        cls = INDEX_CLASSES[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown index kind {kind!r}; choose from {sorted(INDEX_CLASSES)}"
+        ) from None
+    return cls(xs, ys, **kwargs)
+
+
+__all__ = [
+    "GridIndex",
+    "INDEX_CLASSES",
+    "KDTreeIndex",
+    "LinearIndex",
+    "QuadTreeIndex",
+    "RTreeIndex",
+    "SpatialIndex",
+    "build_index",
+]

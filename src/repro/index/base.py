@@ -1,0 +1,94 @@
+"""Spatial index protocol and the brute-force reference implementation."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.geo.bbox import BoundingBox
+from repro.geo.distance import euclidean_many
+
+
+class SpatialIndex(ABC):
+    """Read-only index over a fixed table of 2-D points.
+
+    Points are identified by their row number in the coordinate arrays
+    handed to the constructor.  Query results are ``int64`` id arrays in
+    ascending order, which makes results directly comparable across
+    implementations (tests exploit this).
+    """
+
+    def __init__(self, xs: np.ndarray, ys: np.ndarray):
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        if xs.shape != ys.shape or xs.ndim != 1:
+            raise ValueError("xs and ys must be 1-D arrays of equal length")
+        self.xs = xs
+        self.ys = ys
+
+    def __len__(self) -> int:
+        return len(self.xs)
+
+    @abstractmethod
+    def query_region(self, box: BoundingBox) -> np.ndarray:
+        """Ids of all points inside ``box`` (boundary inclusive), sorted."""
+
+    def query_radius(self, x: float, y: float, radius: float) -> np.ndarray:
+        """Ids of all points within ``radius`` of ``(x, y)``, sorted.
+
+        Default implementation: region query on the bounding square of
+        the circle, refined by exact distance.  Subclasses may override
+        with something smarter, but the square pre-filter is already
+        near-optimal for the small radii (the visibility threshold)
+        this library queries with.
+        """
+        square = BoundingBox(x - radius, y - radius, x + radius, y + radius)
+        candidates = self.query_region(square)
+        if len(candidates) == 0:
+            return candidates
+        dists = euclidean_many(x, y, self.xs[candidates], self.ys[candidates])
+        return candidates[dists <= radius]
+
+    def count_region(self, box: BoundingBox) -> int:
+        """Number of points inside ``box``."""
+        return int(len(self.query_region(box)))
+
+    def nearest(self, x: float, y: float, k: int = 1) -> np.ndarray:
+        """Ids of the ``k`` nearest points to ``(x, y)``.
+
+        Default implementation grows a search radius geometrically until
+        it holds ``k`` points; exact and simple, if not optimal.
+        Results are ordered by distance (ties broken by id).
+        """
+        if k <= 0:
+            return np.empty(0, dtype=np.int64)
+        k = min(k, len(self))
+        if len(self) == 0:
+            return np.empty(0, dtype=np.int64)
+        # Starting radius: expected spacing for a uniform unit square.
+        radius = max(1e-9, np.sqrt(k / max(len(self), 1)))
+        while True:
+            ids = self.query_radius(x, y, radius)
+            if len(ids) >= k:
+                dists = euclidean_many(x, y, self.xs[ids], self.ys[ids])
+                order = np.lexsort((ids, dists))
+                return ids[order[:k]]
+            radius *= 2.0
+            if radius > 8.0 and len(ids) < k:
+                # Degenerate frame; fall back to a full scan.
+                dists = euclidean_many(x, y, self.xs, self.ys)
+                order = np.lexsort((np.arange(len(self)), dists))
+                return order[:k].astype(np.int64)
+
+
+class LinearIndex(SpatialIndex):
+    """Brute-force scan over the point table.
+
+    This is both the fallback for tiny datasets (where index build cost
+    dominates) and the ground truth other indexes are tested against.
+    """
+
+    def query_region(self, box: BoundingBox) -> np.ndarray:
+        mask = box.contains_many(self.xs, self.ys)
+        return np.flatnonzero(mask).astype(np.int64)

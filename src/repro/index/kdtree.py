@@ -1,0 +1,153 @@
+"""Median-split k-d tree.
+
+Built iteratively (explicit stack, no recursion limits) over an index
+permutation, with leaves of a configurable size.  Region queries descend
+only into subtrees whose bounding interval overlaps the query box;
+subtrees entirely inside the box are reported wholesale from the
+contiguous id slice, which keeps large-region queries fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geo.bbox import BoundingBox
+from repro.index.base import SpatialIndex
+
+_DEFAULT_LEAF_SIZE = 32
+
+
+@dataclass(slots=True)
+class _Node:
+    """One k-d tree node over ``ids[start:end]`` (a contiguous slice)."""
+
+    start: int
+    end: int
+    # Bounding box of the points in the slice.
+    minx: float
+    miny: float
+    maxx: float
+    maxy: float
+    # Children; both -1 for leaves.
+    left: int = -1
+    right: int = -1
+
+
+class KDTreeIndex(SpatialIndex):
+    """k-d tree with median splits on the wider axis."""
+
+    def __init__(
+        self, xs: np.ndarray, ys: np.ndarray, leaf_size: int = _DEFAULT_LEAF_SIZE
+    ):
+        super().__init__(xs, ys)
+        if leaf_size < 1:
+            raise ValueError(f"leaf_size must be >= 1, got {leaf_size}")
+        self.leaf_size = leaf_size
+        self._ids = np.arange(len(self.xs), dtype=np.int64)
+        self._nodes: list[_Node] = []
+        if len(self._ids) > 0:
+            self._build()
+
+    def _make_node(self, start: int, end: int) -> int:
+        sl = self._ids[start:end]
+        node = _Node(
+            start=start,
+            end=end,
+            minx=float(self.xs[sl].min()),
+            miny=float(self.ys[sl].min()),
+            maxx=float(self.xs[sl].max()),
+            maxy=float(self.ys[sl].max()),
+        )
+        self._nodes.append(node)
+        return len(self._nodes) - 1
+
+    def _build(self) -> None:
+        root = self._make_node(0, len(self._ids))
+        stack = [root]
+        while stack:
+            ni = stack.pop()
+            node = self._nodes[ni]
+            count = node.end - node.start
+            if count <= self.leaf_size:
+                continue
+            # Split on the wider axis at the median.
+            wider_x = (node.maxx - node.minx) >= (node.maxy - node.miny)
+            sl = self._ids[node.start:node.end]
+            keys = self.xs[sl] if wider_x else self.ys[sl]
+            mid = count // 2
+            part = np.argpartition(keys, mid)
+            self._ids[node.start:node.end] = sl[part]
+            # Degenerate case: all points identical on both axes would
+            # recurse forever; the box check handles it.
+            if node.maxx == node.minx and node.maxy == node.miny:
+                continue
+            node.left = self._make_node(node.start, node.start + mid)
+            node.right = self._make_node(node.start + mid, node.end)
+            stack.append(node.left)
+            stack.append(node.right)
+
+    def query_region(self, box: BoundingBox) -> np.ndarray:
+        if not self._nodes:
+            return np.empty(0, dtype=np.int64)
+        chunks: list[np.ndarray] = []
+        stack = [0]
+        while stack:
+            node = self._nodes[stack.pop()]
+            nbox = BoundingBox(node.minx, node.miny, node.maxx, node.maxy)
+            if not box.intersects(nbox):
+                continue
+            if box.contains_box(nbox):
+                chunks.append(self._ids[node.start:node.end])
+                continue
+            if node.left == -1:
+                ids = self._ids[node.start:node.end]
+                mask = box.contains_many(self.xs[ids], self.ys[ids])
+                if mask.any():
+                    chunks.append(ids[mask])
+                continue
+            stack.append(node.left)
+            stack.append(node.right)
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        result = np.concatenate(chunks)
+        result.sort()
+        return result
+
+    def nearest(self, x: float, y: float, k: int = 1) -> np.ndarray:
+        """Best-first k-NN over the tree (exact)."""
+        if k <= 0 or not self._nodes:
+            return np.empty(0, dtype=np.int64)
+        import heapq
+
+        k = min(k, len(self))
+        # (node min-distance, node index) priority queue, plus a bounded
+        # max-heap of the best candidates found so far.
+        pq: list[tuple[float, int]] = [(0.0, 0)]
+        best: list[tuple[float, int]] = []  # (-dist, -id) max-heap
+
+        def consider(ids: np.ndarray) -> None:
+            dists = np.hypot(self.xs[ids] - x, self.ys[ids] - y)
+            for d, i in zip(dists, ids):
+                item = (-float(d), -int(i))
+                if len(best) < k:
+                    heapq.heappush(best, item)
+                elif item > best[0]:
+                    heapq.heapreplace(best, item)
+
+        while pq:
+            bound, ni = heapq.heappop(pq)
+            if len(best) == k and bound > -best[0][0]:
+                break
+            node = self._nodes[ni]
+            if node.left == -1:
+                consider(self._ids[node.start:node.end])
+                continue
+            for child in (node.left, node.right):
+                cn = self._nodes[child]
+                cbox = BoundingBox(cn.minx, cn.miny, cn.maxx, cn.maxy)
+                heapq.heappush(pq, (cbox.min_distance_to_point(x, y), child))
+
+        out = sorted(((-d, -i) for d, i in best))
+        return np.array([i for _, i in out], dtype=np.int64)

@@ -1,0 +1,248 @@
+"""Point-region quadtree index.
+
+A classic alternative to the R-tree for point data: space is split
+into four equal quadrants recursively until a node holds at most
+``leaf_capacity`` points.  Unlike the k-d tree (which splits on data
+medians) the quadtree's decomposition is *spatial*, so dense areas go
+deep while empty quarters stay shallow — a good match for the heavily
+clustered corpora this library generates.
+
+Supports incremental :meth:`QuadTreeIndex.insert` (points append to
+the coordinate table; ids stay stable), like the R-tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geo.bbox import BoundingBox
+from repro.index.base import SpatialIndex
+
+_DEFAULT_LEAF_CAPACITY = 32
+# Identical coincident points could split forever; stop at this depth
+# and let leaves overflow instead.
+_MAX_DEPTH = 32
+
+
+@dataclass(slots=True)
+class _QNode:
+    """One quadtree cell.
+
+    Leaves keep explicit point ids; internal nodes keep the indexes of
+    their four children (NW, NE, SW, SE order).
+    """
+
+    minx: float
+    miny: float
+    maxx: float
+    maxy: float
+    depth: int
+    points: list[int] = field(default_factory=list)
+    children: tuple[int, int, int, int] | None = None
+
+    @property
+    def box(self) -> BoundingBox:
+        return BoundingBox(self.minx, self.miny, self.maxx, self.maxy)
+
+
+class QuadTreeIndex(SpatialIndex):
+    """Point-region quadtree with incremental insert."""
+
+    def __init__(
+        self,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        leaf_capacity: int = _DEFAULT_LEAF_CAPACITY,
+    ):
+        super().__init__(xs, ys)
+        if leaf_capacity < 1:
+            raise ValueError(
+                f"leaf_capacity must be >= 1, got {leaf_capacity}"
+            )
+        self.leaf_capacity = leaf_capacity
+        self._nodes: list[_QNode] = []
+        if len(self.xs):
+            frame = BoundingBox.from_points(self.xs, self.ys)
+        else:
+            frame = BoundingBox.unit()
+        # A zero-extent frame (single point / identical points) still
+        # needs positive size to subdivide.
+        pad = 1e-12 + 1e-9 * max(frame.width, frame.height)
+        self._root = self._make_node(
+            frame.minx - pad, frame.miny - pad,
+            frame.maxx + pad, frame.maxy + pad,
+            depth=0,
+        )
+        for obj_id in range(len(self.xs)):
+            self._insert_into(self._root, obj_id)
+
+    def _make_node(
+        self, minx: float, miny: float, maxx: float, maxy: float, depth: int
+    ) -> int:
+        self._nodes.append(_QNode(minx, miny, maxx, maxy, depth))
+        return len(self._nodes) - 1
+
+    def _child_for(self, node: _QNode, x: float, y: float) -> int:
+        midx = (node.minx + node.maxx) / 2.0
+        midy = (node.miny + node.maxy) / 2.0
+        quadrant = (0 if y >= midy else 2) + (0 if x < midx else 1)
+        return node.children[quadrant]
+
+    def _split(self, ni: int) -> None:
+        node = self._nodes[ni]
+        midx = (node.minx + node.maxx) / 2.0
+        midy = (node.miny + node.maxy) / 2.0
+        depth = node.depth + 1
+        children = (
+            self._make_node(node.minx, midy, midx, node.maxy, depth),  # NW
+            self._make_node(midx, midy, node.maxx, node.maxy, depth),  # NE
+            self._make_node(node.minx, node.miny, midx, midy, depth),  # SW
+            self._make_node(midx, node.miny, node.maxx, midy, depth),  # SE
+        )
+        node = self._nodes[ni]  # list may have reallocated
+        node.children = children
+        points, node.points = node.points, []
+        for obj_id in points:
+            child = self._child_for(
+                node, float(self.xs[obj_id]), float(self.ys[obj_id])
+            )
+            self._insert_into(child, obj_id)
+
+    def _insert_into(self, ni: int, obj_id: int) -> None:
+        while True:
+            node = self._nodes[ni]
+            if node.children is None:
+                node.points.append(obj_id)
+                if (
+                    len(node.points) > self.leaf_capacity
+                    and node.depth < _MAX_DEPTH
+                ):
+                    self._split(ni)
+                return
+            ni = self._child_for(
+                node, float(self.xs[obj_id]), float(self.ys[obj_id])
+            )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def query_region(self, box: BoundingBox) -> np.ndarray:
+        chunks: list[np.ndarray] = []
+        collected: list[int] = []
+        stack = [self._root]
+        while stack:
+            node = self._nodes[stack.pop()]
+            nbox = node.box
+            if not box.intersects(nbox):
+                continue
+            whole = box.contains_box(nbox)
+            if node.children is None:
+                if not node.points:
+                    continue
+                ids = np.asarray(node.points, dtype=np.int64)
+                if whole:
+                    chunks.append(ids)
+                else:
+                    mask = box.contains_many(self.xs[ids], self.ys[ids])
+                    if mask.any():
+                        chunks.append(ids[mask])
+            elif whole:
+                # Entire subtree qualifies; drain it without box tests.
+                sub = list(node.children)
+                while sub:
+                    child = self._nodes[sub.pop()]
+                    if child.children is None:
+                        collected.extend(child.points)
+                    else:
+                        sub.extend(child.children)
+            else:
+                stack.extend(node.children)
+        if collected:
+            chunks.append(np.asarray(collected, dtype=np.int64))
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        result = np.concatenate(chunks)
+        result.sort()
+        return result
+
+    # ------------------------------------------------------------------
+    # Incremental insert
+    # ------------------------------------------------------------------
+
+    def insert(self, x: float, y: float) -> int:
+        """Insert a point, returning its new id (stable row numbers).
+
+        Points outside the root frame grow the root by re-rooting:
+        a new, larger root adopts the old tree as one quadrant.
+        """
+        new_id = len(self.xs)
+        self.xs = np.append(self.xs, float(x))
+        self.ys = np.append(self.ys, float(y))
+        while not self._nodes[self._root].box.contains_point(x, y):
+            self._grow_root(x, y)
+        self._insert_into(self._root, new_id)
+        return new_id
+
+    def _grow_root(self, x: float, y: float) -> None:
+        root = self._nodes[self._root]
+        width = root.maxx - root.minx
+        height = root.maxy - root.miny
+        # Grow toward the out-of-frame point.
+        minx = root.minx - (width if x < root.minx else 0.0)
+        miny = root.miny - (height if y < root.miny else 0.0)
+        new_root = self._make_node(
+            minx, miny, minx + 2 * width, miny + 2 * height, depth=0
+        )
+        # Re-home existing points under the bigger root.  Quadtrees
+        # re-root cheaply only when the old box aligns with a quadrant;
+        # re-inserting ids is simpler and still O(n log n) worst case,
+        # and growth is rare (bulk data defines the frame up front).
+        old_root = self._root
+        self._root = new_root
+        stack = [old_root]
+        while stack:
+            node = self._nodes[stack.pop()]
+            if node.children is None:
+                for obj_id in node.points:
+                    self._insert_into(self._root, obj_id)
+            else:
+                stack.extend(node.children)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def depth(self) -> int:
+        """Maximum leaf depth."""
+        best = 0
+        stack = [self._root]
+        while stack:
+            node = self._nodes[stack.pop()]
+            if node.children is None:
+                best = max(best, node.depth)
+            else:
+                stack.extend(node.children)
+        return best
+
+    def check_invariants(self) -> None:
+        """Structural checks; raises ``AssertionError`` on violation."""
+        seen: list[int] = []
+        stack = [self._root]
+        while stack:
+            ni = stack.pop()
+            node = self._nodes[ni]
+            if node.children is None:
+                for obj_id in node.points:
+                    assert node.box.contains_point(
+                        float(self.xs[obj_id]), float(self.ys[obj_id])
+                    ), (ni, obj_id)
+                seen.extend(node.points)
+            else:
+                assert not node.points  # internal nodes hold no points
+                for child in node.children:
+                    assert self._nodes[child].depth == node.depth + 1
+                stack.extend(node.children)
+        assert sorted(seen) == list(range(len(self.xs)))

@@ -1,0 +1,437 @@
+"""R-tree over points: STR bulk load plus incremental insert.
+
+This is the default index of the library, mirroring the paper's setup
+("we use R-tree as the spatial index for region queries", Sec. 7.1).
+
+Construction uses Sort-Tile-Recursive (STR) packing, which produces a
+near-optimal static tree in ``O(n log n)``: points are sorted into
+vertical slabs by x, each slab sorted by y, and consecutive runs of
+``fanout`` points become leaves; the process repeats on the leaf MBRs
+until a single root remains.
+
+Incremental :meth:`RTreeIndex.insert` follows the classic Guttman
+algorithm: choose the subtree needing the least MBR enlargement, split
+overflowing nodes with the quadratic split heuristic, propagate splits
+upward (growing a new root if needed).  Inserted points are appended to
+the coordinate arrays, so ids remain stable row numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geo.bbox import BoundingBox
+from repro.index.base import SpatialIndex
+
+_DEFAULT_FANOUT = 32
+
+
+@dataclass(slots=True)
+class _RNode:
+    """An R-tree node.
+
+    Leaves hold point ids in ``entries``; internal nodes hold child node
+    indexes in ``entries``.  Every node caches its MBR.
+    """
+
+    is_leaf: bool
+    minx: float = np.inf
+    miny: float = np.inf
+    maxx: float = -np.inf
+    maxy: float = -np.inf
+    entries: list[int] = field(default_factory=list)
+    parent: int = -1
+
+    @property
+    def box(self) -> BoundingBox:
+        return BoundingBox(self.minx, self.miny, self.maxx, self.maxy)
+
+    def area(self) -> float:
+        if self.minx > self.maxx:
+            return 0.0
+        return (self.maxx - self.minx) * (self.maxy - self.miny)
+
+    def extend(self, minx: float, miny: float, maxx: float, maxy: float) -> None:
+        self.minx = min(self.minx, minx)
+        self.miny = min(self.miny, miny)
+        self.maxx = max(self.maxx, maxx)
+        self.maxy = max(self.maxy, maxy)
+
+    def enlargement(self, x: float, y: float) -> float:
+        """Area growth if ``(x, y)`` joined this node's MBR."""
+        nminx = min(self.minx, x)
+        nminy = min(self.miny, y)
+        nmaxx = max(self.maxx, x)
+        nmaxy = max(self.maxy, y)
+        return (nmaxx - nminx) * (nmaxy - nminy) - self.area()
+
+
+class RTreeIndex(SpatialIndex):
+    """STR bulk-loaded R-tree with Guttman-style incremental insert."""
+
+    def __init__(
+        self, xs: np.ndarray, ys: np.ndarray, fanout: int = _DEFAULT_FANOUT
+    ):
+        super().__init__(xs, ys)
+        if fanout < 4:
+            raise ValueError(f"fanout must be >= 4, got {fanout}")
+        self.fanout = fanout
+        self._min_fill = max(2, fanout // 3)
+        self._nodes: list[_RNode] = []
+        self._root = -1
+        if len(self.xs) > 0:
+            self._bulk_load()
+
+    # ------------------------------------------------------------------
+    # STR bulk load
+    # ------------------------------------------------------------------
+
+    def _bulk_load(self) -> None:
+        ids = np.argsort(self.xs, kind="stable").astype(np.int64)
+        n = len(ids)
+        f = self.fanout
+        # Number of leaves, slabs, and leaf capacity per STR.
+        leaves_needed = int(np.ceil(n / f))
+        slabs = int(np.ceil(np.sqrt(leaves_needed)))
+        slab_size = int(np.ceil(n / slabs))
+
+        leaf_indexes: list[int] = []
+        for s in range(0, n, slab_size):
+            slab = ids[s:s + slab_size]
+            slab = slab[np.argsort(self.ys[slab], kind="stable")]
+            for t in range(0, len(slab), f):
+                run = slab[t:t + f]
+                node = _RNode(is_leaf=True, entries=[int(i) for i in run])
+                node.extend(
+                    float(self.xs[run].min()), float(self.ys[run].min()),
+                    float(self.xs[run].max()), float(self.ys[run].max()),
+                )
+                self._nodes.append(node)
+                leaf_indexes.append(len(self._nodes) - 1)
+
+        # Pack upward until one root remains.
+        level = leaf_indexes
+        while len(level) > 1:
+            next_level: list[int] = []
+            # Sort level nodes by MBR center x then tile by y, same scheme.
+            centers_x = np.array(
+                [(self._nodes[i].minx + self._nodes[i].maxx) / 2 for i in level]
+            )
+            order = np.argsort(centers_x, kind="stable")
+            level_sorted = [level[int(i)] for i in order]
+            groups_needed = int(np.ceil(len(level_sorted) / f))
+            slabs = int(np.ceil(np.sqrt(groups_needed)))
+            slab_size = int(np.ceil(len(level_sorted) / slabs))
+            for s in range(0, len(level_sorted), slab_size):
+                slab_nodes = level_sorted[s:s + slab_size]
+                centers_y = np.array(
+                    [
+                        (self._nodes[i].miny + self._nodes[i].maxy) / 2
+                        for i in slab_nodes
+                    ]
+                )
+                slab_nodes = [
+                    slab_nodes[int(i)]
+                    for i in np.argsort(centers_y, kind="stable")
+                ]
+                for t in range(0, len(slab_nodes), f):
+                    children = slab_nodes[t:t + f]
+                    node = _RNode(is_leaf=False, entries=list(children))
+                    for c in children:
+                        cn = self._nodes[c]
+                        node.extend(cn.minx, cn.miny, cn.maxx, cn.maxy)
+                    self._nodes.append(node)
+                    parent_index = len(self._nodes) - 1
+                    for c in children:
+                        self._nodes[c].parent = parent_index
+                    next_level.append(parent_index)
+            level = next_level
+        self._root = level[0]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def query_region(self, box: BoundingBox) -> np.ndarray:
+        if self._root == -1:
+            return np.empty(0, dtype=np.int64)
+        out: list[int] = []
+        chunks: list[np.ndarray] = []
+        stack = [self._root]
+        while stack:
+            node = self._nodes[stack.pop()]
+            if node.minx > node.maxx or not box.intersects(node.box):
+                continue
+            if node.is_leaf:
+                ids = np.asarray(node.entries, dtype=np.int64)
+                if box.contains_box(node.box):
+                    chunks.append(ids)
+                else:
+                    mask = box.contains_many(self.xs[ids], self.ys[ids])
+                    if mask.any():
+                        chunks.append(ids[mask])
+            elif box.contains_box(node.box):
+                # Whole subtree qualifies: collect all leaf ids below.
+                sub = [node]
+                while sub:
+                    sn = sub.pop()
+                    if sn.is_leaf:
+                        out.extend(sn.entries)
+                    else:
+                        sub.extend(self._nodes[c] for c in sn.entries)
+            else:
+                stack.extend(node.entries)
+        if out:
+            chunks.append(np.asarray(out, dtype=np.int64))
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        result = np.concatenate(chunks)
+        result.sort()
+        return result
+
+    def nearest(self, x: float, y: float, k: int = 1) -> np.ndarray:
+        """Best-first k-nearest-neighbour search over the tree (exact).
+
+        Expands nodes in order of their MBR's distance to the query
+        point, stopping once the k-th best candidate is closer than the
+        nearest unexpanded node — the classic branch-and-bound kNN.
+        """
+        if k <= 0 or self._root == -1:
+            return np.empty(0, dtype=np.int64)
+        import heapq
+
+        k = min(k, len(self))
+        pq: list[tuple[float, int]] = [(0.0, self._root)]
+        best: list[tuple[float, int]] = []  # (-dist, -id) max-heap
+
+        def consider(ids: np.ndarray) -> None:
+            dists = np.hypot(self.xs[ids] - x, self.ys[ids] - y)
+            for d, i in zip(dists, ids):
+                item = (-float(d), -int(i))
+                if len(best) < k:
+                    heapq.heappush(best, item)
+                elif item > best[0]:
+                    heapq.heapreplace(best, item)
+
+        while pq:
+            bound, ni = heapq.heappop(pq)
+            if len(best) == k and bound > -best[0][0]:
+                break
+            node = self._nodes[ni]
+            if node.is_leaf:
+                consider(np.asarray(node.entries, dtype=np.int64))
+                continue
+            for child in node.entries:
+                cn = self._nodes[child]
+                heapq.heappush(
+                    pq, (cn.box.min_distance_to_point(x, y), child)
+                )
+
+        out = sorted(((-d, -i) for d, i in best))
+        return np.array([i for _, i in out], dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Incremental insert
+    # ------------------------------------------------------------------
+
+    def insert(self, x: float, y: float) -> int:
+        """Insert a point, returning its new id.
+
+        The coordinate table grows by one row; existing ids are stable.
+        """
+        new_id = len(self.xs)
+        self.xs = np.append(self.xs, float(x))
+        self.ys = np.append(self.ys, float(y))
+
+        if self._root == -1:
+            node = _RNode(is_leaf=True, entries=[new_id])
+            node.extend(x, y, x, y)
+            self._nodes.append(node)
+            self._root = len(self._nodes) - 1
+            return new_id
+
+        leaf_index = self._choose_leaf(x, y)
+        leaf = self._nodes[leaf_index]
+        leaf.entries.append(new_id)
+        leaf.extend(x, y, x, y)
+        if len(leaf.entries) > self.fanout:
+            self._split(leaf_index)
+        else:
+            self._adjust_upward(leaf.parent)
+        return new_id
+
+    def _choose_leaf(self, x: float, y: float) -> int:
+        ni = self._root
+        while not self._nodes[ni].is_leaf:
+            node = self._nodes[ni]
+            best = None
+            best_key = (np.inf, np.inf)
+            for c in node.entries:
+                cn = self._nodes[c]
+                key = (cn.enlargement(x, y), cn.area())
+                if key < best_key:
+                    best_key = key
+                    best = c
+            ni = best
+        return ni
+
+    def _entry_box(self, node: _RNode, e: int) -> tuple[float, float, float, float]:
+        if node.is_leaf:
+            return (
+                float(self.xs[e]), float(self.ys[e]),
+                float(self.xs[e]), float(self.ys[e]),
+            )
+        cn = self._nodes[e]
+        return (cn.minx, cn.miny, cn.maxx, cn.maxy)
+
+    def _split(self, ni: int) -> None:
+        """Quadratic split of an overflowing node, propagating upward."""
+        node = self._nodes[ni]
+        entries = node.entries
+        boxes = [self._entry_box(node, e) for e in entries]
+
+        # Pick the pair of seeds wasting the most area together.
+        worst = -np.inf
+        seed_a = seed_b = 0
+        for i in range(len(entries)):
+            for j in range(i + 1, len(entries)):
+                bi, bj = boxes[i], boxes[j]
+                minx = min(bi[0], bj[0])
+                miny = min(bi[1], bj[1])
+                maxx = max(bi[2], bj[2])
+                maxy = max(bi[3], bj[3])
+                waste = (
+                    (maxx - minx) * (maxy - miny)
+                    - (bi[2] - bi[0]) * (bi[3] - bi[1])
+                    - (bj[2] - bj[0]) * (bj[3] - bj[1])
+                )
+                if waste > worst:
+                    worst = waste
+                    seed_a, seed_b = i, j
+
+        group_a = _RNode(is_leaf=node.is_leaf)
+        group_b = _RNode(is_leaf=node.is_leaf)
+        for group, seed in ((group_a, seed_a), (group_b, seed_b)):
+            group.entries.append(entries[seed])
+            group.extend(*boxes[seed])
+
+        remaining = [
+            i for i in range(len(entries)) if i not in (seed_a, seed_b)
+        ]
+        for i in remaining:
+            # Respect the minimum-fill invariant.
+            left = len(remaining) - remaining.index(i)
+            if len(group_a.entries) + left <= self._min_fill:
+                target = group_a
+            elif len(group_b.entries) + left <= self._min_fill:
+                target = group_b
+            else:
+                bx = boxes[i]
+                grow_a = _box_enlargement(group_a, bx)
+                grow_b = _box_enlargement(group_b, bx)
+                if grow_a < grow_b:
+                    target = group_a
+                elif grow_b < grow_a:
+                    target = group_b
+                else:
+                    target = group_a if group_a.area() <= group_b.area() else group_b
+            target.entries.append(entries[i])
+            target.extend(*boxes[i])
+
+        # Reuse the original slot for group_a; append group_b.
+        parent = node.parent
+        self._nodes[ni] = group_a
+        group_a.parent = parent
+        self._nodes.append(group_b)
+        bi = len(self._nodes) - 1
+        group_b.parent = parent
+        if not group_a.is_leaf:
+            for c in group_a.entries:
+                self._nodes[c].parent = ni
+            for c in group_b.entries:
+                self._nodes[c].parent = bi
+
+        if parent == -1:
+            new_root = _RNode(is_leaf=False, entries=[ni, bi])
+            new_root.extend(group_a.minx, group_a.miny, group_a.maxx, group_a.maxy)
+            new_root.extend(group_b.minx, group_b.miny, group_b.maxx, group_b.maxy)
+            self._nodes.append(new_root)
+            root_index = len(self._nodes) - 1
+            group_a.parent = root_index
+            group_b.parent = root_index
+            self._root = root_index
+            return
+
+        # The parent gains a child; may itself overflow.
+        pnode = self._nodes[parent]
+        pnode.entries.append(bi)
+        pnode.extend(group_b.minx, group_b.miny, group_b.maxx, group_b.maxy)
+        pnode.extend(group_a.minx, group_a.miny, group_a.maxx, group_a.maxy)
+        if len(pnode.entries) > self.fanout:
+            self._split(parent)
+        else:
+            self._adjust_upward(pnode.parent)
+
+    def _adjust_upward(self, ni: int) -> None:
+        """Re-extend ancestor MBRs after a child grew."""
+        while ni != -1:
+            node = self._nodes[ni]
+            for c in node.entries:
+                cn = self._nodes[c]
+                node.extend(cn.minx, cn.miny, cn.maxx, cn.maxy)
+            ni = node.parent
+
+    # ------------------------------------------------------------------
+    # Introspection (used by tests)
+    # ------------------------------------------------------------------
+
+    def height(self) -> int:
+        """Tree height (0 for an empty tree, 1 for a lone leaf root)."""
+        if self._root == -1:
+            return 0
+        h = 1
+        ni = self._root
+        while not self._nodes[ni].is_leaf:
+            ni = self._nodes[ni].entries[0]
+            h += 1
+        return h
+
+    def check_invariants(self) -> None:
+        """Validate structural invariants; raises ``AssertionError``.
+
+        Every point id appears in exactly one leaf, every node's MBR
+        contains its entries, and no internal node exceeds the fanout.
+        """
+        if self._root == -1:
+            assert len(self.xs) == 0
+            return
+        seen: list[int] = []
+        stack = [self._root]
+        while stack:
+            ni = stack.pop()
+            node = self._nodes[ni]
+            assert len(node.entries) <= self.fanout + 1
+            if node.is_leaf:
+                for e in node.entries:
+                    assert node.minx <= self.xs[e] <= node.maxx
+                    assert node.miny <= self.ys[e] <= node.maxy
+                seen.extend(node.entries)
+            else:
+                for c in node.entries:
+                    cn = self._nodes[c]
+                    assert node.minx <= cn.minx and node.maxx >= cn.maxx
+                    assert node.miny <= cn.miny and node.maxy >= cn.maxy
+                    stack.append(c)
+        assert sorted(seen) == list(range(len(self.xs)))
+
+
+def _box_enlargement(
+    group: _RNode, box: tuple[float, float, float, float]
+) -> float:
+    minx = min(group.minx, box[0])
+    miny = min(group.miny, box[1])
+    maxx = max(group.maxx, box[2])
+    maxy = max(group.maxy, box[3])
+    return (maxx - minx) * (maxy - miny) - group.area()

@@ -1,0 +1,56 @@
+"""Similarity substrate — the paper's "general function" ``Sim(oi, oj)``.
+
+Section 3.1 of the paper deliberately leaves ``Sim(., .)`` abstract so
+the same selection machinery works for tweets, POIs, photos, and so on.
+This package provides:
+
+* :class:`SimilarityModel` — the protocol.  The one performance-critical
+  method is :meth:`SimilarityModel.sims_to`, a vectorized row kernel
+  returning the similarity of one object to many, which is what makes
+  the greedy marginal-gain loop tractable in Python.
+* :class:`CosineTextSimilarity` — cosine over TF-IDF keyword vectors
+  (the metric used for the paper's Twitter and POI experiments).
+* :class:`EuclideanSimilarity` — ``1 - dist / d_max`` (the metric of the
+  paper's user study, Sec. 7.2, reducing the score to WMSD).
+* :class:`GaussianSpatialSimilarity` — ``exp(-dist^2 / (2 sigma^2))``.
+* :class:`JaccardSimilarity` — set overlap of keyword ids.
+* :class:`CombinedSimilarity` — convex combination of other models
+  (e.g. text + space, as the introduction suggests for tweets).
+* :class:`MatrixSimilarity` — an explicit precomputed matrix; the
+  workhorse of tests and of the NP-hardness-reduction instances.
+
+All models guarantee values in ``[0, 1]`` and ``Sim(o, o) = 1`` — both
+assumptions the paper's score definition relies on.
+"""
+
+from repro.similarity.base import MatrixSimilarity, SimilarityModel
+from repro.similarity.combined import CombinedSimilarity
+from repro.similarity.minhash import (
+    MinHashSimilarity,
+    compute_signatures,
+    near_duplicate_groups,
+)
+from repro.similarity.spatial import EuclideanSimilarity, GaussianSpatialSimilarity
+from repro.similarity.text import (
+    CosineTextSimilarity,
+    JaccardSimilarity,
+    TfidfVectorizer,
+    Tokenizer,
+    Vocabulary,
+)
+
+__all__ = [
+    "CombinedSimilarity",
+    "CosineTextSimilarity",
+    "EuclideanSimilarity",
+    "GaussianSpatialSimilarity",
+    "JaccardSimilarity",
+    "MatrixSimilarity",
+    "MinHashSimilarity",
+    "SimilarityModel",
+    "TfidfVectorizer",
+    "Tokenizer",
+    "Vocabulary",
+    "compute_signatures",
+    "near_duplicate_groups",
+]

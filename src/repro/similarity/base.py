@@ -1,0 +1,151 @@
+"""Similarity protocol and the precomputed-matrix implementation."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class SimilarityModel(ABC):
+    """Pairwise similarity over a fixed table of objects.
+
+    Objects are identified by row number, exactly as in the spatial
+    indexes.  Implementations must guarantee:
+
+    * ``sim(i, j) in [0, 1]`` for all pairs,
+    * ``sim(i, i) == 1`` (an object always fully represents itself,
+      which the paper's Eq. 2 and the NP-hardness proof both use),
+    * symmetry: ``sim(i, j) == sim(j, i)``.
+
+    The abstract surface is intentionally tiny: a scalar ``sim`` and a
+    vectorized ``sims_to`` row kernel.  Everything in the selection
+    algorithms is built on those two calls.
+    """
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of objects the model is defined over."""
+
+    @abstractmethod
+    def sim(self, i: int, j: int) -> float:
+        """Similarity of objects ``i`` and ``j``."""
+
+    @abstractmethod
+    def sims_to(self, i: int, ids: np.ndarray) -> np.ndarray:
+        """Similarities of object ``i`` to each object in ``ids``.
+
+        Returns a ``float64`` array aligned with ``ids``.  This is the
+        hot path of the greedy algorithm; implementations should be
+        fully vectorized.
+        """
+
+    def row_kernel(self, ids: np.ndarray):
+        """A specialized ``f(obj_id) -> sims_to(obj_id, ids)`` closure.
+
+        The greedy loop evaluates similarities of many different
+        objects against the *same* population; implementations can
+        amortize per-population work (sub-matrix extraction, coordinate
+        gathering) into the closure.  The default simply defers to
+        :meth:`sims_to`.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+
+        def kernel(obj_id: int) -> np.ndarray:
+            return self.sims_to(int(obj_id), ids)
+
+        return kernel
+
+    def weighted_sims_sum(
+        self,
+        target_ids: np.ndarray,
+        source_ids: np.ndarray,
+        source_weights: np.ndarray,
+    ) -> np.ndarray:
+        """``out[t] = Σ_s source_weights[s] · sim(target_ids[t], source_ids[s])``.
+
+        This bulk kernel is what the Sec. 5.2 prefetcher computes: the
+        weighted sum of similarities from each target to a whole source
+        population (the upper bounds of Lemmas 5.1–5.3).  The default
+        loops ``sims_to`` over targets; models whose similarity is an
+        inner product override it with a single matrix-vector product.
+        """
+        target_ids = np.asarray(target_ids, dtype=np.int64)
+        source_ids = np.asarray(source_ids, dtype=np.int64)
+        weights = np.asarray(source_weights, dtype=np.float64)
+        if len(source_ids) != len(weights):
+            raise ValueError("source_ids and source_weights must align")
+        out = np.empty(len(target_ids), dtype=np.float64)
+        for row, t in enumerate(target_ids):
+            out[row] = float(np.dot(weights, self.sims_to(int(t), source_ids)))
+        return out
+
+    def pairwise_matrix(self, ids: np.ndarray) -> np.ndarray:
+        """Dense ``len(ids) x len(ids)`` similarity matrix.
+
+        Convenience for baselines (MaxMin/MaxSum/DisC) that need all
+        pairs of a *small* candidate set.  Quadratic in ``len(ids)``.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        out = np.empty((len(ids), len(ids)), dtype=np.float64)
+        for row, i in enumerate(ids):
+            out[row] = self.sims_to(int(i), ids)
+        return out
+
+
+class MatrixSimilarity(SimilarityModel):
+    """Similarity read from an explicit symmetric matrix.
+
+    Used heavily in tests (random submodularity instances, the MDS
+    reduction of Theorem 3.2) and available to users with small
+    datasets and bespoke metrics.
+    """
+
+    def __init__(self, matrix: np.ndarray, validate: bool = True):
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError(f"matrix must be square, got shape {matrix.shape}")
+        if validate:
+            if matrix.size and (matrix.min() < 0.0 or matrix.max() > 1.0):
+                raise ValueError("similarities must lie in [0, 1]")
+            if not np.allclose(matrix, matrix.T):
+                raise ValueError("similarity matrix must be symmetric")
+            if matrix.size and not np.allclose(np.diag(matrix), 1.0):
+                raise ValueError("self-similarity must be 1")
+        self._matrix = matrix
+
+    @classmethod
+    def random(
+        cls, n: int, rng: np.random.Generator | None = None
+    ) -> "MatrixSimilarity":
+        """A random valid similarity matrix (symmetric, unit diagonal)."""
+        rng = rng or np.random.default_rng()
+        raw = rng.random((n, n))
+        sym = (raw + raw.T) / 2.0
+        np.fill_diagonal(sym, 1.0)
+        return cls(sym)
+
+    def __len__(self) -> int:
+        return self._matrix.shape[0]
+
+    def sim(self, i: int, j: int) -> float:
+        return float(self._matrix[i, j])
+
+    def sims_to(self, i: int, ids: np.ndarray) -> np.ndarray:
+        return self._matrix[i, np.asarray(ids, dtype=np.int64)]
+
+    def weighted_sims_sum(
+        self,
+        target_ids: np.ndarray,
+        source_ids: np.ndarray,
+        source_weights: np.ndarray,
+    ) -> np.ndarray:
+        target_ids = np.asarray(target_ids, dtype=np.int64)
+        source_ids = np.asarray(source_ids, dtype=np.int64)
+        weights = np.asarray(source_weights, dtype=np.float64)
+        return self._matrix[np.ix_(target_ids, source_ids)] @ weights
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The underlying matrix (read-only view for callers)."""
+        return self._matrix

@@ -1,0 +1,186 @@
+"""MinHash similarity and LSH near-duplicate detection.
+
+Geo-text corpora are dominated by near-duplicate content (retweets,
+same-venue posts) — the very redundancy representative selection
+exploits.  Exact pairwise Jaccard is quadratic; MinHash signatures
+estimate it in constant time per pair, and Locality-Sensitive Hashing
+over signature bands surfaces candidate duplicate groups in linear
+time.
+
+Two public pieces:
+
+* :class:`MinHashSimilarity` — a :class:`SimilarityModel` whose
+  ``sim(i, j)`` is the fraction of matching signature entries, an
+  unbiased estimator of the Jaccard similarity of the underlying
+  keyword sets.  Drop-in for any selector (cheaper than exact Jaccard
+  for long documents).
+* :func:`near_duplicate_groups` — LSH banding over the signatures,
+  returning groups of objects that are likely near-duplicates; handy
+  for pre-grouping venue posts before selection or for corpus
+  diagnostics.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.similarity.base import SimilarityModel
+from repro.similarity.text import Tokenizer
+
+# A Mersenne prime comfortably above any 32-bit token hash.
+_PRIME = (1 << 61) - 1
+
+
+def _token_sets(
+    texts: Sequence[str], tokenizer: Tokenizer | None
+) -> list[set[int]]:
+    tokenizer = tokenizer or Tokenizer()
+    vocabulary: dict[str, int] = {}
+    sets: list[set[int]] = []
+    for text in texts:
+        ids = set()
+        for token in tokenizer.tokenize(text):
+            tid = vocabulary.setdefault(token, len(vocabulary))
+            ids.add(tid)
+        sets.append(ids)
+    return sets
+
+
+def compute_signatures(
+    keyword_sets: Sequence[Iterable[int]],
+    num_hashes: int = 64,
+    seed: int = 0,
+) -> np.ndarray:
+    """MinHash signature matrix (``len(sets) x num_hashes``, uint64).
+
+    Uses the standard universal hash family ``(a·x + b) mod p``; an
+    empty set gets the all-max sentinel signature (matching nothing,
+    including other empty sets — callers wanting empty==empty handle
+    it explicitly, as :class:`MinHashSimilarity` does for the
+    self-similarity contract).
+    """
+    if num_hashes < 1:
+        raise ValueError("num_hashes must be positive")
+    rng = np.random.default_rng(seed)
+    a = rng.integers(1, _PRIME, size=num_hashes, dtype=np.uint64)
+    b = rng.integers(0, _PRIME, size=num_hashes, dtype=np.uint64)
+
+    signatures = np.full(
+        (len(keyword_sets), num_hashes), np.iinfo(np.uint64).max,
+        dtype=np.uint64,
+    )
+    for row, kws in enumerate(keyword_sets):
+        ids = np.fromiter((int(k) for k in kws), dtype=np.uint64)
+        if len(ids) == 0:
+            continue
+        # (h, |ids|) hash values; min over the set per hash function.
+        hashed = (
+            (a[:, None] * ids[None, :] + b[:, None]) % np.uint64(_PRIME)
+        )
+        signatures[row] = hashed.min(axis=1)
+    return signatures
+
+
+class MinHashSimilarity(SimilarityModel):
+    """Jaccard similarity estimated from MinHash signatures."""
+
+    def __init__(
+        self,
+        keyword_sets: Sequence[Iterable[int]],
+        num_hashes: int = 64,
+        seed: int = 0,
+    ):
+        self._signatures = compute_signatures(keyword_sets, num_hashes, seed)
+        self._n = len(keyword_sets)
+
+    @classmethod
+    def from_texts(
+        cls,
+        texts: Sequence[str],
+        num_hashes: int = 64,
+        seed: int = 0,
+        tokenizer: Tokenizer | None = None,
+    ) -> "MinHashSimilarity":
+        """Build from raw strings via the standard tokenizer."""
+        return cls(_token_sets(texts, tokenizer), num_hashes, seed)
+
+    def __len__(self) -> int:
+        return self._n
+
+    def sim(self, i: int, j: int) -> float:
+        if i == j:
+            return 1.0
+        matches = self._signatures[i] == self._signatures[j]
+        return float(matches.mean())
+
+    def sims_to(self, i: int, ids: np.ndarray) -> np.ndarray:
+        ids = np.asarray(ids, dtype=np.int64)
+        matches = self._signatures[ids] == self._signatures[i][None, :]
+        sims = matches.mean(axis=1)
+        sims[ids == i] = 1.0
+        return sims
+
+    @property
+    def signatures(self) -> np.ndarray:
+        """The signature matrix (read-only use expected)."""
+        return self._signatures
+
+
+def near_duplicate_groups(
+    signatures: np.ndarray,
+    bands: int = 16,
+    min_group: int = 2,
+) -> list[np.ndarray]:
+    """Groups of likely near-duplicates via LSH banding.
+
+    The signature columns are split into ``bands``; objects sharing any
+    full band land in the same bucket.  With ``h`` hashes and ``b``
+    bands the match probability for Jaccard ``s`` is
+    ``1 - (1 - s^(h/b))^b`` — steep around ``s ≈ (1/b)^(b/h)``.
+    Buckets are merged transitively (union-find), and groups smaller
+    than ``min_group`` are dropped.
+
+    Returns sorted id arrays, largest group first.
+    """
+    n, num_hashes = signatures.shape
+    if bands < 1 or num_hashes % bands != 0:
+        raise ValueError(
+            f"bands must divide the signature width ({num_hashes})"
+        )
+    rows_per_band = num_hashes // bands
+
+    parent = np.arange(n)
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(x: int, y: int) -> None:
+        rx, ry = find(x), find(y)
+        if rx != ry:
+            parent[max(rx, ry)] = min(rx, ry)
+
+    for band in range(bands):
+        chunk = signatures[:, band * rows_per_band:(band + 1) * rows_per_band]
+        buckets: dict[bytes, int] = {}
+        for row in range(n):
+            key = chunk[row].tobytes()
+            first = buckets.setdefault(key, row)
+            if first != row:
+                union(first, row)
+
+    members: dict[int, list[int]] = defaultdict(list)
+    for row in range(n):
+        members[find(row)].append(row)
+    groups = [
+        np.asarray(sorted(group), dtype=np.int64)
+        for group in members.values()
+        if len(group) >= min_group
+    ]
+    groups.sort(key=len, reverse=True)
+    return groups

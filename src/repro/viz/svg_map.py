@@ -1,0 +1,77 @@
+"""SVG map renderer.
+
+Writes a standalone SVG of a region: the population as small grey
+dots, the selection as red circled markers — the same visual language
+as the paper's Figure 6 selection gallery.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from xml.sax.saxutils import escape
+
+import numpy as np
+
+from repro.core.dataset import GeoDataset
+from repro.geo.bbox import BoundingBox
+
+
+def render_svg(
+    dataset: GeoDataset,
+    region: BoundingBox,
+    selected: np.ndarray | None = None,
+    size: int = 480,
+    title: str = "",
+    path: str | Path | None = None,
+    max_background_points: int = 20_000,
+) -> str:
+    """Render ``region`` to an SVG string (optionally written to ``path``).
+
+    When the region holds more than ``max_background_points`` objects a
+    uniform subsample is drawn for the background layer (the selection
+    is always drawn in full).
+    """
+    if size < 16:
+        raise ValueError("size must be at least 16 px")
+    ids = dataset.objects_in(region)
+    if len(ids) > max_background_points:
+        step = int(np.ceil(len(ids) / max_background_points))
+        ids = ids[::step]
+
+    def px(x: float, y: float) -> tuple[float, float]:
+        sx = (x - region.minx) / max(region.width, 1e-300) * size
+        sy = size - (y - region.miny) / max(region.height, 1e-300) * size
+        return (round(sx, 2), round(sy, 2))
+
+    parts: list[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{size}" '
+        f'height="{size}" viewBox="0 0 {size} {size}">',
+        f'<rect width="{size}" height="{size}" fill="#fcfcf8" '
+        f'stroke="#888" stroke-width="1"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="8" y="16" font-size="12" font-family="sans-serif" '
+            f'fill="#333">{escape(title)}</text>'
+        )
+    for obj in ids:
+        cx, cy = px(float(dataset.xs[obj]), float(dataset.ys[obj]))
+        parts.append(
+            f'<circle cx="{cx}" cy="{cy}" r="1.2" fill="#9aa" opacity="0.6"/>'
+        )
+    if selected is not None:
+        for obj in np.asarray(selected, dtype=np.int64):
+            x = float(dataset.xs[obj])
+            y = float(dataset.ys[obj])
+            if not region.contains_point(x, y):
+                continue
+            cx, cy = px(x, y)
+            parts.append(
+                f'<circle cx="{cx}" cy="{cy}" r="4" fill="#d33" '
+                f'stroke="#fff" stroke-width="1.2"/>'
+            )
+    parts.append("</svg>")
+    svg = "\n".join(parts)
+    if path is not None:
+        Path(path).write_text(svg, encoding="utf-8")
+    return svg

@@ -1,0 +1,71 @@
+"""Shared fixtures for the test suite.
+
+Fixture datasets are small and deterministic; anything that needs
+scale belongs in benchmarks, not tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import GeoDataset, RegionQuery
+from repro.geo import BoundingBox
+from repro.similarity import MatrixSimilarity
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def uniform_dataset() -> GeoDataset:
+    """600 uniform points in the unit square, Euclidean similarity."""
+    gen = np.random.default_rng(7)
+    xs = gen.random(600)
+    ys = gen.random(600)
+    return GeoDataset.build(xs, ys)
+
+
+@pytest.fixture
+def weighted_dataset() -> GeoDataset:
+    """400 uniform points with non-trivial weights."""
+    gen = np.random.default_rng(11)
+    xs = gen.random(400)
+    ys = gen.random(400)
+    weights = gen.random(400)
+    return GeoDataset.build(xs, ys, weights=weights)
+
+
+@pytest.fixture
+def matrix_dataset() -> GeoDataset:
+    """40 points with a random explicit similarity matrix."""
+    gen = np.random.default_rng(3)
+    xs = gen.random(40)
+    ys = gen.random(40)
+    sim = MatrixSimilarity.random(40, gen)
+    return GeoDataset.build(xs, ys, similarity=sim)
+
+
+@pytest.fixture
+def text_dataset() -> GeoDataset:
+    """Small clustered corpus with TF-IDF cosine similarity."""
+    from repro.datasets import DatasetSpec, generate_clustered
+
+    spec = DatasetSpec(name="test", n=1500, n_clusters=4, seed=99)
+    return generate_clustered(spec)
+
+
+@pytest.fixture
+def center_query() -> RegionQuery:
+    """A query over the central quarter of the unit square."""
+    region = BoundingBox(0.25, 0.25, 0.75, 0.75)
+    return RegionQuery(region=region, k=12, theta=0.02)
+
+
+def make_grid_dataset(side: int = 10, spacing: float = 0.1) -> GeoDataset:
+    """Points on a regular grid — handy for predictable visibility."""
+    coords = np.arange(side) * spacing
+    gx, gy = np.meshgrid(coords, coords)
+    return GeoDataset.build(gx.ravel(), gy.ravel())

@@ -1,0 +1,54 @@
+"""Public API surface tests: imports, __all__, and the README quickstart."""
+
+import importlib
+
+import numpy as np
+import pytest
+
+
+class TestPublicSurface:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.geo",
+            "repro.index",
+            "repro.similarity",
+            "repro.core",
+            "repro.baselines",
+            "repro.datasets",
+            "repro.experiments",
+            "repro.viz",
+        ],
+    )
+    def test_subpackage_all_exports_resolve(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert getattr(mod, name) is not None, f"{module}.{name}"
+
+
+class TestQuickstartSnippet:
+    def test_readme_quickstart_runs(self):
+        """The exact flow documented in the package docstring/README."""
+        from repro import GeoDataset, RegionQuery, greedy_select
+        from repro.geo import BoundingBox
+
+        rng = np.random.default_rng(7)
+        xs, ys = rng.random(10_000), rng.random(10_000)
+        dataset = GeoDataset.build(xs, ys)
+
+        region = BoundingBox(0.2, 0.2, 0.4, 0.4)
+        query = RegionQuery.with_theta_fraction(region, k=25)
+        result = greedy_select(dataset, query)
+        assert len(result) == 25
+        assert 0.0 < result.score <= 1.0

@@ -1,0 +1,223 @@
+"""Tests for the baseline selectors."""
+
+import numpy as np
+import pytest
+
+from repro import RegionQuery, greedy_select, representative_score
+from repro.baselines import (
+    SELECTOR_REGISTRY,
+    disc_select,
+    kmeans_select,
+    maxmin_select,
+    maxsum_select,
+    random_select,
+    topweight_select,
+)
+from repro.geo import BoundingBox
+from repro.geo.distance import pairwise_min_distance
+
+ALL_BASELINES = sorted(SELECTOR_REGISTRY)
+
+
+@pytest.fixture(params=ALL_BASELINES)
+def baseline(request):
+    return SELECTOR_REGISTRY[request.param]
+
+
+class TestCommonContract:
+    def test_at_most_k_selected(self, baseline, uniform_dataset, center_query):
+        result = baseline(
+            uniform_dataset, center_query, rng=np.random.default_rng(0)
+        )
+        assert 0 < len(result) <= max(
+            center_query.k, int(center_query.k * 1.2)
+        )  # DisC may overshoot slightly by design
+
+    def test_selection_inside_region(self, baseline, uniform_dataset,
+                                     center_query):
+        result = baseline(
+            uniform_dataset, center_query, rng=np.random.default_rng(1)
+        )
+        for obj in result.selected:
+            assert center_query.region.contains_point(
+                float(uniform_dataset.xs[obj]),
+                float(uniform_dataset.ys[obj]),
+            )
+
+    def test_no_duplicates(self, baseline, uniform_dataset, center_query):
+        result = baseline(
+            uniform_dataset, center_query, rng=np.random.default_rng(2)
+        )
+        assert len(set(result.selected.tolist())) == len(result)
+
+    def test_score_is_full_population_score(
+        self, baseline, uniform_dataset, center_query
+    ):
+        result = baseline(
+            uniform_dataset, center_query, rng=np.random.default_rng(3)
+        )
+        want = representative_score(
+            uniform_dataset, result.region_ids, result.selected
+        )
+        assert result.score == pytest.approx(want)
+
+    def test_empty_region(self, baseline, uniform_dataset):
+        query = RegionQuery(
+            region=BoundingBox(5.0, 5.0, 6.0, 6.0), k=5, theta=0.01
+        )
+        result = baseline(uniform_dataset, query, rng=np.random.default_rng(4))
+        assert len(result) == 0
+
+    def test_deterministic_under_rng(self, baseline, uniform_dataset,
+                                     center_query):
+        a = baseline(uniform_dataset, center_query,
+                     rng=np.random.default_rng(42))
+        b = baseline(uniform_dataset, center_query,
+                     rng=np.random.default_rng(42))
+        assert a.selected.tolist() == b.selected.tolist()
+
+
+class TestVisibilityEnforcement:
+    """Random and TopWeight enforce θ; the diversity/cluster baselines
+    are exempt per the paper."""
+
+    @pytest.mark.parametrize("selector", [random_select, topweight_select])
+    def test_enforcing_selectors(self, selector, uniform_dataset,
+                                 center_query):
+        result = selector(
+            uniform_dataset, center_query, rng=np.random.default_rng(5)
+        )
+        sel = result.selected
+        assert pairwise_min_distance(
+            uniform_dataset.xs[sel], uniform_dataset.ys[sel]
+        ) >= center_query.theta
+
+
+class TestRandom:
+    def test_fewer_when_theta_binds(self, uniform_dataset):
+        query = RegionQuery(
+            region=BoundingBox(0.0, 0.0, 1.0, 1.0), k=600, theta=0.2
+        )
+        result = random_select(
+            uniform_dataset, query, rng=np.random.default_rng(6)
+        )
+        assert len(result) < 600
+
+    def test_different_rngs_differ(self, uniform_dataset, center_query):
+        a = random_select(uniform_dataset, center_query,
+                          rng=np.random.default_rng(1))
+        b = random_select(uniform_dataset, center_query,
+                          rng=np.random.default_rng(2))
+        assert a.selected.tolist() != b.selected.tolist()
+
+
+class TestTopWeight:
+    def test_prefers_heavy_objects(self):
+        from repro import GeoDataset
+
+        gen = np.random.default_rng(7)
+        xs, ys = gen.random(100), gen.random(100)
+        weights = np.linspace(0.0, 1.0, 100)
+        ds = GeoDataset.build(xs, ys, weights=weights)
+        query = RegionQuery(
+            region=BoundingBox(0.0, 0.0, 1.0, 1.0), k=10, theta=0.0
+        )
+        result = topweight_select(ds, query)
+        # With no visibility pressure, picks are exactly the top-10.
+        assert sorted(result.selected.tolist()) == list(range(90, 100))
+
+
+class TestDiversityBaselines:
+    def test_maxmin_spreads_points(self, uniform_dataset, center_query):
+        result = maxmin_select(
+            uniform_dataset, center_query, rng=np.random.default_rng(8)
+        )
+        sel = result.selected
+        spread = pairwise_min_distance(
+            uniform_dataset.xs[sel], uniform_dataset.ys[sel]
+        )
+        rnd = random_select(
+            uniform_dataset, center_query, rng=np.random.default_rng(8)
+        )
+        rnd_spread = pairwise_min_distance(
+            uniform_dataset.xs[rnd.selected], uniform_dataset.ys[rnd.selected]
+        )
+        # MaxMin maximizes the minimum separation (with Euclidean
+        # similarity, dissimilarity == normalized distance).
+        assert spread > rnd_spread
+
+    def test_maxsum_runs_and_scores(self, uniform_dataset, center_query):
+        result = maxsum_select(
+            uniform_dataset, center_query, rng=np.random.default_rng(9)
+        )
+        assert len(result) == center_query.k
+        assert 0.0 <= result.score <= 1.0
+
+    def test_single_object_region(self):
+        from repro import GeoDataset
+
+        ds = GeoDataset.build(np.array([0.5]), np.array([0.5]))
+        query = RegionQuery(
+            region=BoundingBox(0.0, 0.0, 1.0, 1.0), k=3, theta=0.0
+        )
+        for selector in (maxmin_select, maxsum_select):
+            result = selector(ds, query, rng=np.random.default_rng(0))
+            assert result.selected.tolist() == [0]
+
+
+class TestDisC:
+    def test_output_size_near_k(self, uniform_dataset, center_query):
+        result = disc_select(
+            uniform_dataset, center_query, rng=np.random.default_rng(10)
+        )
+        assert abs(len(result) - center_query.k) <= max(
+            2, int(0.25 * center_query.k)
+        )
+
+    def test_radius_gap_stat(self, uniform_dataset, center_query):
+        result = disc_select(
+            uniform_dataset, center_query, rng=np.random.default_rng(11)
+        )
+        assert result.stats["radius_gap"] == abs(
+            len(result) - center_query.k
+        )
+
+
+class TestKMeans:
+    def test_one_pick_per_cluster(self, uniform_dataset, center_query):
+        result = kmeans_select(
+            uniform_dataset, center_query, rng=np.random.default_rng(12)
+        )
+        assert 1 <= len(result) <= center_query.k
+
+    def test_separated_clusters_found(self):
+        from repro import GeoDataset
+
+        gen = np.random.default_rng(13)
+        centers = np.array([[0.2, 0.2], [0.8, 0.2], [0.5, 0.8]])
+        pts = np.concatenate(
+            [c + gen.normal(0, 0.02, (50, 2)) for c in centers]
+        )
+        ds = GeoDataset.build(pts[:, 0], pts[:, 1])
+        query = RegionQuery(
+            region=BoundingBox(-1, -1, 2, 2), k=3, theta=0.0
+        )
+        result = kmeans_select(ds, query, rng=np.random.default_rng(14))
+        got = sorted(
+            (round(float(ds.xs[i]), 1), round(float(ds.ys[i]), 1))
+            for i in result.selected
+        )
+        assert got == [(0.2, 0.2), (0.5, 0.8), (0.8, 0.2)]
+
+
+class TestQualityOrdering:
+    def test_greedy_beats_baselines_on_score(self, text_dataset):
+        """The paper's headline quality result (Fig. 7/8, Table 3)."""
+        region = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        query = RegionQuery(region=region, k=15, theta=0.0)
+        greedy_score = greedy_select(text_dataset, query).score
+        for name in ("random", "maxmin", "maxsum", "kmeans"):
+            score = SELECTOR_REGISTRY[name](
+                text_dataset, query, rng=np.random.default_rng(0)
+            ).score
+            assert greedy_score >= score - 1e-9, name

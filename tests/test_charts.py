@@ -1,0 +1,69 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.experiments import render_chart
+
+
+class TestRenderChart:
+    def test_basic_structure(self):
+        out = render_chart(
+            [1, 2, 3], {"a": [1.0, 2.0, 3.0]}, width=20, height=6,
+            title="t",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "t"
+        assert len([line for line in lines if "|" in line]) == 6
+        assert "o=a" in lines[-1]
+        assert "1 .. 3" in out
+
+    def test_extremes_land_on_edges(self):
+        out = render_chart([0, 1], {"a": [0.0, 10.0]}, width=10, height=5)
+        rows = [line for line in out.splitlines() if "|" in line]
+        assert "o" in rows[0]       # max on the top row
+        assert "o" in rows[-1]      # min on the bottom row
+
+    def test_multiple_series_symbols(self):
+        out = render_chart(
+            [1, 2], {"a": [1, 2], "b": [2, 1], "c": [1.5, 1.5]},
+            width=12, height=5,
+        )
+        legend = out.splitlines()[-1]
+        assert "o=a" in legend and "x=b" in legend and "+=c" in legend
+
+    def test_log_scale_labels(self):
+        out = render_chart(
+            [1, 2], {"a": [0.01, 100.0]}, width=10, height=5, log_y=True
+        )
+        assert "100" in out
+        assert "0.01" in out
+
+    def test_log_scale_clamps_nonpositive(self):
+        out = render_chart(
+            [1, 2, 3], {"a": [0.0, 0.1, 1.0]}, width=10, height=5,
+            log_y=True,
+        )
+        assert "|" in out  # no crash; zero clamped to 0.1
+
+    def test_single_point(self):
+        out = render_chart([5], {"a": [3.0]}, width=10, height=4)
+        assert "o" in out
+
+    def test_flat_series(self):
+        out = render_chart([1, 2, 3], {"a": [2.0, 2.0, 2.0]},
+                           width=10, height=4)
+        grid = "".join(line for line in out.splitlines() if "|" in line)
+        assert grid.count("o") == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one series"):
+            render_chart([1], {})
+        with pytest.raises(ValueError, match="length mismatch"):
+            render_chart([1, 2], {"a": [1.0]})
+        with pytest.raises(ValueError, match="at least 8x4"):
+            render_chart([1], {"a": [1.0]}, width=4, height=2)
+        with pytest.raises(ValueError, match="at least one x"):
+            render_chart([], {"a": []})
+        many = {str(i): [1.0] for i in range(9)}
+        with pytest.raises(ValueError, match="at most"):
+            render_chart([1], many)

@@ -1,0 +1,109 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def corpus_path(tmp_path):
+    path = tmp_path / "corpus.jsonl"
+    rc = main(["generate", "--preset", "poi", "--n", "2000",
+               "--out", str(path)])
+    assert rc == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_corpus(self, corpus_path):
+        assert corpus_path.exists()
+        lines = corpus_path.read_text().strip().splitlines()
+        assert len(lines) == 2000
+
+    def test_seed_changes_output(self, tmp_path):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        main(["generate", "--preset", "uk", "--n", "1500", "--seed", "1",
+              "--out", str(a)])
+        main(["generate", "--preset", "uk", "--n", "1500", "--seed", "2",
+              "--out", str(b)])
+        assert a.read_text() != b.read_text()
+
+
+class TestSelect:
+    def test_basic_selection(self, corpus_path, capsys):
+        rc = main(["select", str(corpus_path), "--k", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "selected 5 of" in out
+        assert out.count("#") >= 5
+
+    def test_region_argument(self, corpus_path, capsys):
+        rc = main([
+            "select", str(corpus_path),
+            "--region", "0.0,0.0,0.5,0.5", "--k", "3",
+        ])
+        assert rc == 0
+        assert "selected" in capsys.readouterr().out
+
+    def test_bad_region_rejected(self, corpus_path):
+        with pytest.raises(SystemExit):
+            main(["select", str(corpus_path), "--region", "nope"])
+        with pytest.raises(SystemExit):
+            main(["select", str(corpus_path), "--region", "0,0,1"])
+
+    def test_keyword_filter(self, corpus_path, capsys):
+        # Find a word that actually occurs.
+        first_text = None
+        import json
+
+        with open(corpus_path) as handle:
+            for line in handle:
+                record = json.loads(line)
+                if record.get("text"):
+                    first_text = record["text"].split()[0]
+                    break
+        rc = main([
+            "select", str(corpus_path), "--k", "3", "--filter", first_text,
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "selected" in out
+
+    def test_sample_mode(self, corpus_path, capsys):
+        rc = main(["select", str(corpus_path), "--k", "5", "--sample"])
+        assert rc == 0
+        assert "selected 5" in capsys.readouterr().out
+
+    def test_ascii_map_and_svg(self, corpus_path, capsys, tmp_path):
+        svg = tmp_path / "out.svg"
+        rc = main([
+            "select", str(corpus_path), "--k", "4", "--map",
+            "--svg", str(svg),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "+--" in out  # ASCII border
+        assert svg.exists()
+
+
+class TestExplore:
+    def test_replays_operations(self, corpus_path, capsys):
+        rc = main([
+            "explore", str(corpus_path), "--k", "6", "--steps", "3",
+            "--region-fraction", "0.4", "--prefetch",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "initial" in out
+        assert out.count("ms") >= 4  # initial + 3 operations
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate"])

@@ -1,0 +1,113 @@
+"""Tests for the GeoDataset handle."""
+
+import numpy as np
+import pytest
+
+from repro import GeoDataset
+from repro.geo import BoundingBox
+from repro.similarity import (
+    CombinedSimilarity,
+    CosineTextSimilarity,
+    EuclideanSimilarity,
+    MatrixSimilarity,
+)
+
+
+class TestValidation:
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="equal length"):
+            GeoDataset.build(np.array([0.0, 1.0]), np.array([0.0]))
+
+    def test_weight_range(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            GeoDataset.build(
+                np.array([0.0]), np.array([0.0]), weights=np.array([1.5])
+            )
+
+    def test_similarity_size_mismatch(self):
+        sim = MatrixSimilarity.random(3, np.random.default_rng(0))
+        with pytest.raises(ValueError, match="similarity"):
+            GeoDataset.build(np.zeros(2), np.zeros(2), similarity=sim)
+
+    def test_texts_length_mismatch(self):
+        with pytest.raises(ValueError, match="texts"):
+            GeoDataset.build(np.zeros(2), np.zeros(2), texts=["only one"])
+
+
+class TestBuilders:
+    def test_default_similarity_is_euclidean(self):
+        ds = GeoDataset.build(np.array([0.0, 1.0]), np.array([0.0, 0.0]))
+        assert isinstance(ds.similarity, EuclideanSimilarity)
+
+    def test_texts_build_cosine(self):
+        ds = GeoDataset.build(
+            np.array([0.0, 1.0]), np.array([0.0, 0.0]),
+            texts=["coffee shop", "coffee roastery"],
+        )
+        assert isinstance(ds.similarity, CosineTextSimilarity)
+        assert ds.similarity.sim(0, 1) > 0.0
+
+    def test_default_weights_are_unit(self):
+        ds = GeoDataset.build(np.array([0.5]), np.array([0.5]))
+        assert ds.weights.tolist() == [1.0]
+
+    def test_from_tweets_mixes_text_and_space(self):
+        xs = np.array([0.0, 0.001, 0.9])
+        ys = np.array([0.0, 0.001, 0.9])
+        texts = ["rainy monday", "rainy monday", "rainy monday"]
+        ds = GeoDataset.from_tweets(xs, ys, texts, spatial_sigma=0.1)
+        assert isinstance(ds.similarity, CombinedSimilarity)
+        # Same text, near vs far location: nearness must matter.
+        assert ds.similarity.sim(0, 1) > ds.similarity.sim(0, 2)
+
+    def test_index_kind_selectable(self):
+        from repro.index import GridIndex
+
+        ds = GeoDataset.build(
+            np.array([0.1, 0.9]), np.array([0.1, 0.9]), index_kind="grid"
+        )
+        assert isinstance(ds.index, GridIndex)
+
+
+class TestQueries:
+    @pytest.fixture
+    def ds(self):
+        gen = np.random.default_rng(1)
+        return GeoDataset.build(gen.random(200), gen.random(200))
+
+    def test_objects_in(self, ds):
+        box = BoundingBox(0.0, 0.0, 0.5, 0.5)
+        ids = ds.objects_in(box)
+        mask = box.contains_many(ds.xs, ds.ys)
+        assert ids.tolist() == np.flatnonzero(mask).tolist()
+
+    def test_frame_covers_all(self, ds):
+        frame = ds.frame()
+        assert frame.contains_many(ds.xs, ds.ys).all()
+
+    def test_frame_of_empty_dataset(self):
+        ds = GeoDataset.build(np.array([]), np.array([]))
+        assert ds.frame() == BoundingBox.unit()
+
+    def test_conflicts_with_strict_inequality(self):
+        xs = np.array([0.0, 0.1, 0.2])
+        ys = np.zeros(3)
+        ds = GeoDataset.build(xs, ys)
+        # theta = 0.1: object 1 at distance exactly 0.1 does NOT conflict
+        # (constraint is dist >= theta).
+        conflicts = ds.conflicts_with(0, 0.1)
+        assert conflicts.tolist() == [0]
+        conflicts = ds.conflicts_with(0, 0.10001)
+        assert conflicts.tolist() == [0, 1]
+
+    def test_subset_texts(self):
+        ds = GeoDataset.build(
+            np.array([0.0, 1.0]), np.array([0.0, 1.0]), texts=["a", "b"]
+        )
+        assert ds.subset_texts(np.array([1, 0])) == ["b", "a"]
+
+    def test_subset_texts_without_texts(self, ds):
+        assert ds.subset_texts(np.array([0, 1])) == ["", ""]
+
+    def test_len(self, ds):
+        assert len(ds) == 200

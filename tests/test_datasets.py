@@ -1,0 +1,255 @@
+"""Tests for the synthetic dataset substrate (generators, vocab, loaders)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DatasetSpec,
+    TopicModel,
+    generate_clustered,
+    load_csv,
+    load_jsonl,
+    make_vocabulary,
+    save_csv,
+    save_jsonl,
+    sg_pois,
+    uk_tweets,
+    us_tweets,
+)
+from repro.datasets.vocab import zipf_weights
+
+
+class TestVocabulary:
+    def test_distinct_words(self):
+        words = make_vocabulary(500, np.random.default_rng(0))
+        assert len(words) == 500
+        assert len(set(words)) == 500
+
+    def test_deterministic(self):
+        a = make_vocabulary(100, np.random.default_rng(5))
+        b = make_vocabulary(100, np.random.default_rng(5))
+        assert a == b
+
+    def test_zipf_weights_normalized_and_decreasing(self):
+        w = zipf_weights(50)
+        assert w.sum() == pytest.approx(1.0)
+        assert all(w[i] >= w[i + 1] for i in range(49))
+
+
+class TestTopicModel:
+    @pytest.fixture
+    def model(self):
+        return TopicModel(
+            n_topics=3, vocab_size=1000, topic_words=100,
+            common_words=200, rng=np.random.default_rng(1),
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="too small"):
+            TopicModel(n_topics=10, vocab_size=100, topic_words=50,
+                       common_words=50)
+        with pytest.raises(ValueError, match="at least one topic"):
+            TopicModel(n_topics=0)
+        with pytest.raises(ValueError, match="common_prob"):
+            TopicModel(n_topics=1, common_prob=1.5)
+
+    def test_text_length(self, model):
+        rng = np.random.default_rng(2)
+        text = model.sample_text(0, 8, rng)
+        assert len(text.split()) == 8
+
+    def test_topic_out_of_range(self, model):
+        with pytest.raises(ValueError):
+            model.sample_text(5, 4, np.random.default_rng(0))
+
+    def test_same_topic_texts_share_vocabulary(self, model):
+        rng = np.random.default_rng(3)
+        docs_a = " ".join(model.sample_text(0, 50, rng) for _ in range(5))
+        docs_b = " ".join(model.sample_text(0, 50, rng) for _ in range(5))
+        docs_c = " ".join(model.sample_text(1, 50, rng) for _ in range(5))
+        a, b, c = set(docs_a.split()), set(docs_b.split()), set(docs_c.split())
+
+        def jaccard(x, y):
+            return len(x & y) / len(x | y)
+
+        assert jaccard(a, b) > jaccard(a, c)
+
+    def test_sample_texts_alignment(self, model):
+        rng = np.random.default_rng(4)
+        with pytest.raises(ValueError):
+            model.sample_texts(np.array([0, 1]), np.array([3]), rng)
+        texts = model.sample_texts(
+            np.array([0, 1, 2]), np.array([3, 4, 5]), rng
+        )
+        assert [len(t.split()) for t in texts] == [3, 4, 5]
+
+
+class TestGenerators:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            DatasetSpec(name="x", n=0, n_clusters=3)
+        with pytest.raises(ValueError):
+            DatasetSpec(name="x", n=10, n_clusters=0)
+        with pytest.raises(ValueError):
+            DatasetSpec(name="x", n=10, n_clusters=1, cluster_fraction=1.5)
+
+    def test_size_and_frame(self):
+        ds = generate_clustered(
+            DatasetSpec(name="t", n=3000, n_clusters=5, seed=1)
+        )
+        assert len(ds) == 3000
+        assert ds.xs.min() >= 0.0 and ds.xs.max() <= 1.0
+        assert ds.ys.min() >= 0.0 and ds.ys.max() <= 1.0
+        assert ds.weights.min() >= 0.0 and ds.weights.max() <= 1.0
+
+    def test_deterministic_under_seed(self):
+        spec = DatasetSpec(name="t", n=1000, n_clusters=3, seed=42)
+        a = generate_clustered(spec)
+        b = generate_clustered(spec)
+        assert np.array_equal(a.xs, b.xs)
+        assert a.texts == b.texts
+
+    def test_different_seeds_differ(self):
+        a = generate_clustered(DatasetSpec(name="t", n=500, n_clusters=3, seed=1))
+        b = generate_clustered(DatasetSpec(name="t", n=500, n_clusters=3, seed=2))
+        assert not np.array_equal(a.xs, b.xs)
+
+    def test_clustered_data_is_skewed(self):
+        """Density skew: some small regions are far denser than uniform."""
+        ds = generate_clustered(
+            DatasetSpec(name="t", n=5000, n_clusters=4,
+                        cluster_fraction=0.9, seed=7),
+            with_texts=False,
+        )
+        from repro.geo import BoundingBox
+
+        counts = []
+        for x0 in np.linspace(0, 0.9, 10):
+            for y0 in np.linspace(0, 0.9, 10):
+                counts.append(
+                    ds.index.count_region(BoundingBox(x0, y0, x0 + 0.1, y0 + 0.1))
+                )
+        counts = np.array(counts)
+        # A uniform layout has max/mean ~ 1.5; clusters push it way up.
+        assert counts.max() / max(counts.mean(), 1) > 3.0
+
+    def test_without_texts_uses_euclidean(self):
+        from repro.similarity import EuclideanSimilarity
+
+        ds = generate_clustered(
+            DatasetSpec(name="t", n=200, n_clusters=2, seed=3),
+            with_texts=False,
+        )
+        assert ds.texts is None
+        assert isinstance(ds.similarity, EuclideanSimilarity)
+
+    def test_named_presets(self):
+        for factory in (uk_tweets, us_tweets, sg_pois):
+            ds = factory(n=2000)
+            assert len(ds) == 2000
+            assert ds.texts is not None
+            assert len(ds.meta["topics"]) == 2000
+
+    def test_scale_env_hook(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.01")
+        ds = uk_tweets()
+        assert len(ds) < 10_000  # 120k default scaled down
+
+
+class TestLoaders:
+    def test_roundtrip_with_texts(self, tmp_path):
+        ds = generate_clustered(
+            DatasetSpec(name="t", n=150, n_clusters=2, seed=5)
+        )
+        path = tmp_path / "corpus.jsonl"
+        save_jsonl(ds, path)
+        back = load_jsonl(path)
+        assert len(back) == len(ds)
+        assert np.allclose(back.xs, ds.xs)
+        assert np.allclose(back.weights, ds.weights)
+        assert back.texts == ds.texts
+
+    def test_roundtrip_without_texts(self, tmp_path):
+        ds = generate_clustered(
+            DatasetSpec(name="t", n=80, n_clusters=2, seed=6),
+            with_texts=False,
+        )
+        path = tmp_path / "plain.jsonl"
+        save_jsonl(ds, path)
+        back = load_jsonl(path)
+        assert back.texts is None
+        assert np.allclose(back.ys, ds.ys)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        path.write_text('{"x": 0.1, "y": 0.2}\n\n{"x": 0.3, "y": 0.4}\n')
+        back = load_jsonl(path)
+        assert len(back) == 2
+        assert back.weights.tolist() == [1.0, 1.0]
+
+    def test_invalid_json_reported_with_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"x": 0.1, "y": 0.2}\nnot json\n')
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            load_jsonl(path)
+
+    def test_missing_coordinate_reported(self, tmp_path):
+        path = tmp_path / "short.jsonl"
+        path.write_text('{"x": 0.1}\n')
+        with pytest.raises(ValueError, match="missing coordinate"):
+            load_jsonl(path)
+
+
+class TestCsvLoaders:
+    def test_roundtrip_with_texts(self, tmp_path):
+        ds = generate_clustered(
+            DatasetSpec(name="t", n=120, n_clusters=2, seed=8)
+        )
+        path = tmp_path / "corpus.csv"
+        save_csv(ds, path)
+        back = load_csv(path)
+        assert len(back) == len(ds)
+        assert np.allclose(back.xs, ds.xs)
+        assert np.allclose(back.weights, ds.weights)
+        assert back.texts == ds.texts
+
+    def test_roundtrip_without_texts(self, tmp_path):
+        ds = generate_clustered(
+            DatasetSpec(name="t", n=60, n_clusters=2, seed=9),
+            with_texts=False,
+        )
+        path = tmp_path / "plain.csv"
+        save_csv(ds, path)
+        back = load_csv(path)
+        assert back.texts is None
+        assert np.allclose(back.ys, ds.ys)
+
+    def test_texts_with_commas_and_quotes(self, tmp_path):
+        from repro import GeoDataset
+
+        texts = ['cafe, "best" brunch', "plain text"]
+        ds = GeoDataset.build(
+            np.array([0.1, 0.9]), np.array([0.2, 0.8]), texts=texts
+        )
+        path = tmp_path / "quoted.csv"
+        save_csv(ds, path)
+        back = load_csv(path)
+        assert back.texts == texts
+
+    def test_missing_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError, match="columns"):
+            load_csv(path)
+
+    def test_invalid_coordinates_reported(self, tmp_path):
+        path = tmp_path / "badcoord.csv"
+        path.write_text("x,y\n0.1,nope-not-a-float-x\n")
+        with pytest.raises(ValueError, match="badcoord.csv:2"):
+            load_csv(path)
+
+    def test_missing_weight_defaults_to_one(self, tmp_path):
+        path = tmp_path / "noweight.csv"
+        path.write_text("x,y\n0.1,0.2\n0.3,0.4\n")
+        back = load_csv(path)
+        assert back.weights.tolist() == [1.0, 1.0]

@@ -1,0 +1,150 @@
+"""Adversarial and degenerate inputs across the selection stack."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Aggregation,
+    GeoDataset,
+    MapSession,
+    RegionQuery,
+    greedy_select,
+    sass_select,
+)
+from repro.geo import BoundingBox
+from repro.similarity import MatrixSimilarity
+
+WHOLE = BoundingBox(-0.1, -0.1, 1.1, 1.1)
+
+
+def dataset_with_matrix(matrix: np.ndarray) -> GeoDataset:
+    n = matrix.shape[0]
+    gen = np.random.default_rng(0)
+    return GeoDataset.build(
+        gen.random(n), gen.random(n), similarity=MatrixSimilarity(matrix)
+    )
+
+
+class TestDegenerateSimilarity:
+    def test_identity_similarity(self):
+        """Every object only similar to itself: score = k-coverage."""
+        ds = dataset_with_matrix(np.eye(20))
+        query = RegionQuery(region=WHOLE, k=5, theta=0.0)
+        result = greedy_select(ds, query)
+        assert len(result) == 5
+        # Each pick contributes exactly its own weight (= 1 here).
+        assert result.score == pytest.approx(5 / 20)
+
+    def test_all_ones_similarity(self):
+        """Everything identical: one pick saturates the score."""
+        ds = dataset_with_matrix(np.ones((15, 15)))
+        query = RegionQuery(region=WHOLE, k=5, theta=0.0)
+        result = greedy_select(ds, query)
+        assert result.score == pytest.approx(1.0)
+        # Further picks add nothing but are still allowed up to k.
+        assert len(result) == 5
+
+    def test_zero_weights(self):
+        gen = np.random.default_rng(1)
+        ds = GeoDataset.build(
+            gen.random(10), gen.random(10), weights=np.zeros(10)
+        )
+        query = RegionQuery(region=WHOLE, k=3, theta=0.0)
+        result = greedy_select(ds, query)
+        assert result.score == 0.0
+        assert len(result) == 3  # selection proceeds; utility is just 0
+
+
+class TestDegenerateGeometry:
+    def test_all_objects_coincident(self):
+        ds = GeoDataset.build(np.full(30, 0.5), np.full(30, 0.5))
+        query = RegionQuery(region=WHOLE, k=10, theta=0.01)
+        result = greedy_select(ds, query)
+        # All conflict with each other: exactly one survives.
+        assert len(result) == 1
+
+    def test_theta_bigger_than_region(self):
+        gen = np.random.default_rng(2)
+        ds = GeoDataset.build(gen.random(50), gen.random(50))
+        query = RegionQuery(region=WHOLE, k=10, theta=5.0)
+        result = greedy_select(ds, query)
+        assert len(result) == 1
+
+    def test_k_one(self):
+        gen = np.random.default_rng(3)
+        ds = GeoDataset.build(gen.random(50), gen.random(50))
+        query = RegionQuery(region=WHOLE, k=1, theta=0.0)
+        result = greedy_select(ds, query)
+        assert len(result) == 1
+
+    def test_single_object_dataset(self):
+        ds = GeoDataset.build(np.array([0.5]), np.array([0.5]))
+        query = RegionQuery(region=WHOLE, k=5, theta=0.1)
+        result = greedy_select(ds, query)
+        assert result.selected.tolist() == [0]
+        assert result.score == pytest.approx(1.0)
+
+    def test_empty_dataset(self):
+        ds = GeoDataset.build(np.array([]), np.array([]))
+        query = RegionQuery(region=WHOLE, k=5, theta=0.1)
+        result = greedy_select(ds, query)
+        assert len(result) == 0
+
+
+class TestQueryValidation:
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            RegionQuery(region=WHOLE, k=0, theta=0.0)
+        with pytest.raises(ValueError):
+            RegionQuery(region=WHOLE, k=-3, theta=0.0)
+
+    def test_bad_theta(self):
+        with pytest.raises(ValueError):
+            RegionQuery(region=WHOLE, k=5, theta=-0.1)
+
+    def test_theta_for_helper(self):
+        region = BoundingBox(0.0, 0.0, 2.0, 1.0)
+        assert RegionQuery.theta_for(region, 0.01) == pytest.approx(0.02)
+
+
+class TestSessionDegenerate:
+    def test_session_on_sparse_area(self):
+        gen = np.random.default_rng(4)
+        ds = GeoDataset.build(gen.random(100), gen.random(100))
+        session = MapSession(ds, k=5)
+        # A viewport holding nothing at all.
+        step = session.start(BoundingBox(2.0, 2.0, 2.1, 2.1))
+        assert len(step.result) == 0
+        # Navigation from an empty viewport still works.
+        step = session.zoom_out(2.0)
+        assert len(step.result) == 0
+
+    def test_session_zoom_in_to_empty(self):
+        ds = GeoDataset.build(
+            np.array([0.05, 0.95]), np.array([0.05, 0.95])
+        )
+        session = MapSession(ds, k=2)
+        session.start(BoundingBox(0.0, 0.0, 1.0, 1.0))
+        step = session.zoom_in(0.1)  # center region holds nothing
+        assert len(step.result) == 0
+
+
+class TestSamplingDegenerate:
+    def test_sample_size_exceeding_population(self):
+        gen = np.random.default_rng(5)
+        ds = GeoDataset.build(gen.random(50), gen.random(50))
+        query = RegionQuery(region=WHOLE, k=5, theta=0.0)
+        result = sass_select(ds, query, epsilon=0.01, delta=0.01)
+        # Sample capped at the population: degenerates to full greedy.
+        assert result.stats["sample_size"] == 50
+        assert len(result) == 5
+
+    def test_sum_aggregation_through_sass(self):
+        gen = np.random.default_rng(6)
+        ds = GeoDataset.build(gen.random(500), gen.random(500))
+        query = RegionQuery(region=WHOLE, k=5, theta=0.0)
+        result = sass_select(
+            ds, query, aggregation=Aggregation.SUM,
+            rng=np.random.default_rng(0),
+        )
+        assert len(result) == 5

@@ -1,0 +1,78 @@
+"""Tests for the brute-force exact SOS solver."""
+
+import numpy as np
+import pytest
+
+from repro import GeoDataset, RegionQuery, exact_select, representative_score
+from repro.geo import BoundingBox
+from repro.geo.distance import pairwise_min_distance
+from repro.similarity import MatrixSimilarity
+
+WHOLE = BoundingBox(-0.1, -0.1, 1.1, 1.1)
+
+
+def dataset(n: int, seed: int) -> GeoDataset:
+    gen = np.random.default_rng(seed)
+    return GeoDataset.build(
+        gen.random(n), gen.random(n),
+        weights=gen.random(n),
+        similarity=MatrixSimilarity.random(n, gen),
+    )
+
+
+class TestExactSolver:
+    def test_population_guard(self):
+        ds = dataset(80, 0)
+        query = RegionQuery(region=WHOLE, k=3, theta=0.0)
+        with pytest.raises(ValueError, match="limited"):
+            exact_select(ds, query, max_population=64)
+
+    def test_beats_every_feasible_subset(self):
+        ds = dataset(9, 1)
+        query = RegionQuery(region=WHOLE, k=3, theta=0.1)
+        result = exact_select(ds, query)
+        # Exhaustively verify optimality over all feasible <=k subsets.
+        from itertools import combinations
+
+        ids = np.arange(9)
+        best = 0.0
+        for size in range(1, 4):
+            for combo in combinations(range(9), size):
+                sel = np.array(combo)
+                if pairwise_min_distance(ds.xs[sel], ds.ys[sel]) < query.theta:
+                    continue
+                best = max(best, representative_score(ds, ids, sel))
+        assert result.score == pytest.approx(best)
+
+    def test_respects_visibility(self):
+        ds = dataset(10, 2)
+        query = RegionQuery(region=WHOLE, k=4, theta=0.3)
+        result = exact_select(ds, query)
+        sel = result.selected
+        if len(sel) >= 2:
+            assert pairwise_min_distance(ds.xs[sel], ds.ys[sel]) >= query.theta
+
+    def test_selects_fewer_when_theta_binds(self):
+        xs = np.array([0.0, 0.01, 0.02])
+        ys = np.zeros(3)
+        ds = GeoDataset.build(xs, ys)
+        query = RegionQuery(region=WHOLE, k=3, theta=0.5)
+        result = exact_select(ds, query)
+        assert len(result) == 1
+
+    def test_empty_region(self):
+        ds = dataset(5, 3)
+        query = RegionQuery(
+            region=BoundingBox(5.0, 5.0, 6.0, 6.0), k=2, theta=0.0
+        )
+        result = exact_select(ds, query)
+        assert len(result) == 0
+        assert result.score == 0.0
+
+    def test_k_one_picks_max_mass(self):
+        ds = dataset(8, 4)
+        query = RegionQuery(region=WHOLE, k=1, theta=0.0)
+        result = exact_select(ds, query)
+        ids = np.arange(8)
+        masses = [representative_score(ds, ids, np.array([i])) for i in ids]
+        assert result.score == pytest.approx(max(masses))

@@ -1,0 +1,112 @@
+"""Tests for the experiment harness, timing, and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import random_region_queries, uk_tweets
+from repro.experiments import (
+    compare_methods,
+    format_series,
+    format_table,
+    measure,
+    run_selector,
+    selector_catalog,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return uk_tweets(n=4000)
+
+
+@pytest.fixture(scope="module")
+def queries(dataset):
+    return random_region_queries(
+        dataset, 2, region_fraction=0.15, k=10,
+        rng=np.random.default_rng(0), min_population=30,
+    )
+
+
+class TestCatalog:
+    def test_contains_paper_methods(self):
+        catalog = selector_catalog()
+        for name in ("Greedy", "SASS", "Random", "K-means",
+                     "MaxMin", "MaxSum", "DisC"):
+            assert name in catalog
+
+    def test_run_selector_by_name(self, dataset, queries):
+        result = run_selector(
+            "Greedy", dataset, queries[0], rng=np.random.default_rng(1)
+        )
+        assert len(result) == queries[0].k
+
+    def test_unknown_selector(self, dataset, queries):
+        with pytest.raises(ValueError, match="unknown selector"):
+            run_selector("Oracle", dataset, queries[0])
+
+
+class TestCompareMethods:
+    def test_aggregates_all_methods(self, dataset, queries):
+        rows = compare_methods(dataset, queries, ["Greedy", "Random"])
+        assert [r.method for r in rows] == ["Greedy", "Random"]
+        for row in rows:
+            assert row.runs == len(queries)
+            assert row.mean_runtime_s >= 0.0
+            assert 0.0 <= row.mean_score <= 1.0
+
+    def test_greedy_scores_at_least_random(self, dataset, queries):
+        rows = compare_methods(dataset, queries, ["Greedy", "Random"])
+        by_name = {r.method: r for r in rows}
+        assert by_name["Greedy"].mean_score >= by_name["Random"].mean_score
+
+    def test_row_formatting(self, dataset, queries):
+        rows = compare_methods(dataset, queries, ["Random"])
+        cells = rows[0].row()
+        assert cells[0] == "Random"
+        assert len(cells) == 4
+
+
+class TestMeasure:
+    def test_repeats_and_result(self):
+        calls = []
+        m = measure(lambda: calls.append(1) or len(calls), repeats=5)
+        assert m.repeats == 5
+        assert len(calls) == 5
+        assert m.last_result == 5
+        assert m.min_s <= m.mean_s <= m.max_s
+        assert m.mean_ms == pytest.approx(m.mean_s * 1000)
+
+    def test_warmup_not_counted_in_stats(self):
+        calls = []
+        measure(lambda: calls.append(1), repeats=2, warmup=3)
+        assert len(calls) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            measure(lambda: None, repeats=0)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        out = format_table(
+            ["method", "runtime"],
+            [["Greedy", "1.5"], ["Random", "0.1"]],
+            title="Fig 7",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "Fig 7"
+        assert lines[1].startswith("method")
+        assert all(len(line) >= len("method  runtime") for line in lines[1:])
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [["only one"]])
+
+    def test_format_series(self):
+        out = format_series(
+            "k", [60, 80],
+            {"Greedy": [0.5, 0.7], "Random": [0.1, 0.2]},
+        )
+        lines = out.splitlines()
+        assert lines[0].split() == ["k", "Greedy", "Random"]
+        assert lines[2].split() == ["60", "0.5000", "0.1000"]

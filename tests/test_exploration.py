@@ -1,0 +1,78 @@
+"""Tests for the map-exploration extension (Sec. 3.2, Fig. 1(c))."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    GeoDataset,
+    assign_representatives,
+    represented_objects,
+    similarity_to_set,
+)
+from repro.similarity import MatrixSimilarity
+
+
+@pytest.fixture
+def ds():
+    # Two tight similarity groups: {0,1,2} and {3,4}.
+    sim = np.eye(5)
+    for i, j in [(0, 1), (0, 2), (1, 2)]:
+        sim[i, j] = sim[j, i] = 0.9
+    sim[3, 4] = sim[4, 3] = 0.8
+    gen = np.random.default_rng(0)
+    return GeoDataset.build(
+        gen.random(5), gen.random(5), similarity=MatrixSimilarity(sim)
+    )
+
+
+class TestAssignRepresentatives:
+    def test_groups_assigned_to_their_member(self, ds):
+        ids = np.arange(5)
+        selected = np.array([0, 3])
+        reps = assign_representatives(ds, ids, selected)
+        assert reps.tolist() == [0, 0, 0, 3, 3]
+
+    def test_selected_represent_themselves(self, ds):
+        ids = np.arange(5)
+        selected = np.array([1, 4])
+        reps = assign_representatives(ds, ids, selected)
+        assert reps[1] == 1
+        assert reps[4] == 4
+
+    def test_empty_selection_rejected(self, ds):
+        with pytest.raises(ValueError):
+            assign_representatives(ds, np.arange(5), np.array([]))
+
+    def test_assignment_consistent_with_sim_to_set(self, ds):
+        ids = np.arange(5)
+        selected = np.array([0, 3])
+        reps = assign_representatives(ds, ids, selected)
+        for obj, rep in zip(ids, reps):
+            assert ds.similarity.sim(int(obj), int(rep)) == pytest.approx(
+                similarity_to_set(ds, int(obj), selected)
+            )
+
+
+class TestRepresentedObjects:
+    def test_click_expands_group(self, ds):
+        ids = np.arange(5)
+        selected = np.array([0, 3])
+        assert represented_objects(ds, ids, selected, 0).tolist() == [1, 2]
+        assert represented_objects(ds, ids, selected, 3).tolist() == [4]
+
+    def test_marker_excluded_from_own_group(self, ds):
+        ids = np.arange(5)
+        selected = np.array([0, 3])
+        for marker in (0, 3):
+            mine = represented_objects(ds, ids, selected, marker)
+            assert marker not in mine.tolist()
+
+    def test_partition_covers_region(self, ds):
+        ids = np.arange(5)
+        selected = np.array([0, 3])
+        covered = set(selected.tolist())
+        for marker in selected:
+            covered.update(
+                represented_objects(ds, ids, selected, int(marker)).tolist()
+            )
+        assert covered == set(ids.tolist())

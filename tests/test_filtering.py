@@ -1,0 +1,79 @@
+"""Tests for the filtering condition (Sec. 3.3's keyword filter)."""
+
+import numpy as np
+import pytest
+
+from repro import GeoDataset, RegionQuery, greedy_select
+from repro.geo import BoundingBox
+
+TEXTS = [
+    "sushi restaurant downtown",
+    "art gallery modern",
+    "thai restaurant spicy noodles",
+    "city park fountain",
+    "Restaurant bar rooftop",
+    "bike rental shop",
+]
+
+
+@pytest.fixture
+def ds():
+    gen = np.random.default_rng(5)
+    return GeoDataset.build(gen.random(6), gen.random(6), texts=TEXTS)
+
+
+class TestKeywordFilter:
+    def test_matches_case_insensitive(self, ds):
+        ids = ds.keyword_filter("restaurant")
+        assert ids.tolist() == [0, 2, 4]
+
+    def test_no_matches(self, ds):
+        assert len(ds.keyword_filter("pharmacy")) == 0
+
+    def test_substring_semantics(self, ds):
+        assert ds.keyword_filter("rest").tolist() == [0, 2, 4]
+
+    def test_empty_keyword_rejected(self, ds):
+        with pytest.raises(ValueError):
+            ds.keyword_filter("")
+
+    def test_requires_texts(self):
+        plain = GeoDataset.build(np.array([0.5]), np.array([0.5]))
+        with pytest.raises(ValueError, match="texts"):
+            plain.keyword_filter("x")
+
+
+class TestFilteredSelection:
+    def test_selection_restricted_to_filter(self, ds):
+        query = RegionQuery(
+            region=BoundingBox(-0.1, -0.1, 1.1, 1.1), k=2, theta=0.0
+        )
+        matching = ds.keyword_filter("restaurant")
+        result = greedy_select(ds, query, candidates=matching)
+        assert set(result.selected.tolist()) <= set(matching.tolist())
+        assert len(result) == 2
+
+    def test_score_still_covers_whole_region(self, ds):
+        from repro import representative_score
+
+        query = RegionQuery(
+            region=BoundingBox(-0.1, -0.1, 1.1, 1.1), k=2, theta=0.0
+        )
+        matching = ds.keyword_filter("restaurant")
+        result = greedy_select(ds, query, candidates=matching)
+        want = representative_score(ds, result.region_ids, result.selected)
+        assert result.score == pytest.approx(want)
+        assert len(result.region_ids) == 6  # population unrestricted
+
+    def test_filter_outside_region_ignored(self, ds):
+        # Candidates outside the viewport cannot be picked.
+        tiny = BoundingBox.from_center(
+            __import__("repro.geo.point", fromlist=["Point"]).Point(
+                float(ds.xs[1]), float(ds.ys[1])
+            ),
+            1e-6,
+        )
+        query = RegionQuery(region=tiny, k=2, theta=0.0)
+        matching = ds.keyword_filter("restaurant")
+        result = greedy_select(ds, query, candidates=matching)
+        assert len(result) == 0

@@ -1,0 +1,187 @@
+"""Tests for repro.geo.bbox — geometry and map-navigation semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geo import BoundingBox, Point
+
+coord = st.floats(min_value=-100.0, max_value=100.0,
+                  allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def boxes(draw):
+    x1, x2 = sorted((draw(coord), draw(coord)))
+    y1, y2 = sorted((draw(coord), draw(coord)))
+    return BoundingBox(x1, y1, x2, y2)
+
+
+class TestConstruction:
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            BoundingBox(1.0, 0.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            BoundingBox(0.0, 1.0, 1.0, 0.0)
+
+    def test_zero_area_allowed(self):
+        box = BoundingBox(0.5, 0.5, 0.5, 0.5)
+        assert box.area == 0.0
+        assert box.contains_point(0.5, 0.5)
+
+    def test_from_center(self):
+        box = BoundingBox.from_center(Point(0.5, 0.5), 0.2)
+        assert box == BoundingBox(0.4, 0.4, 0.6, 0.6)
+
+    def test_from_center_rectangle(self):
+        box = BoundingBox.from_center(Point(0.0, 0.0), 2.0, 4.0)
+        assert (box.width, box.height) == (2.0, 4.0)
+
+    def test_from_points(self):
+        xs = np.array([0.1, 0.9, 0.5])
+        ys = np.array([0.2, 0.3, 0.8])
+        assert BoundingBox.from_points(xs, ys) == BoundingBox(0.1, 0.2, 0.9, 0.8)
+
+    def test_from_points_empty_raises(self):
+        with pytest.raises(ValueError):
+            BoundingBox.from_points(np.array([]), np.array([]))
+
+    def test_unit(self):
+        assert BoundingBox.unit() == BoundingBox(0.0, 0.0, 1.0, 1.0)
+
+    def test_iter_unpacks(self):
+        minx, miny, maxx, maxy = BoundingBox(1.0, 2.0, 3.0, 4.0)
+        assert (minx, miny, maxx, maxy) == (1.0, 2.0, 3.0, 4.0)
+
+
+class TestContainmentAndIntersection:
+    def test_contains_point_boundary_inclusive(self):
+        box = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        assert box.contains_point(0.0, 0.0)
+        assert box.contains_point(1.0, 1.0)
+        assert not box.contains_point(1.0001, 0.5)
+
+    def test_contains_many(self):
+        box = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        xs = np.array([0.5, 1.5, -0.1, 1.0])
+        ys = np.array([0.5, 0.5, 0.5, 1.0])
+        assert box.contains_many(xs, ys).tolist() == [True, False, False, True]
+
+    def test_contains_box(self):
+        outer = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        assert outer.contains_box(BoundingBox(0.2, 0.2, 0.8, 0.8))
+        assert outer.contains_box(outer)
+        assert not outer.contains_box(BoundingBox(0.5, 0.5, 1.5, 0.9))
+
+    def test_intersects_touching(self):
+        a = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        b = BoundingBox(1.0, 0.0, 2.0, 1.0)
+        assert a.intersects(b)
+        assert b.intersects(a)
+
+    def test_disjoint(self):
+        a = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        b = BoundingBox(1.1, 0.0, 2.0, 1.0)
+        assert not a.intersects(b)
+        assert a.intersection(b) is None
+
+    def test_intersection_box(self):
+        a = BoundingBox(0.0, 0.0, 2.0, 2.0)
+        b = BoundingBox(1.0, 1.0, 3.0, 3.0)
+        assert a.intersection(b) == BoundingBox(1.0, 1.0, 2.0, 2.0)
+
+    def test_union(self):
+        a = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        b = BoundingBox(2.0, -1.0, 3.0, 0.5)
+        assert a.union(b) == BoundingBox(0.0, -1.0, 3.0, 1.0)
+
+    def test_overlap_fraction(self):
+        a = BoundingBox(0.0, 0.0, 2.0, 2.0)
+        b = BoundingBox(1.0, 0.0, 3.0, 2.0)
+        assert a.overlap_fraction(b) == pytest.approx(0.5)
+        assert a.overlap_fraction(BoundingBox(5.0, 5.0, 6.0, 6.0)) == 0.0
+
+    def test_min_distance_to_point(self):
+        box = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        assert box.min_distance_to_point(0.5, 0.5) == 0.0
+        assert box.min_distance_to_point(2.0, 0.5) == pytest.approx(1.0)
+        assert box.min_distance_to_point(4.0, 5.0) == pytest.approx(5.0)
+
+    def test_expanded(self):
+        assert BoundingBox(0.0, 0.0, 1.0, 1.0).expanded(0.5) == BoundingBox(
+            -0.5, -0.5, 1.5, 1.5
+        )
+
+    def test_clipped_to(self):
+        frame = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        box = BoundingBox(0.5, -0.5, 1.5, 0.5)
+        assert box.clipped_to(frame) == BoundingBox(0.5, 0.0, 1.0, 0.5)
+        with pytest.raises(ValueError):
+            BoundingBox(2.0, 2.0, 3.0, 3.0).clipped_to(frame)
+
+    @given(boxes(), boxes())
+    def test_intersection_inside_both(self, a, b):
+        inter = a.intersection(b)
+        if inter is not None:
+            assert a.contains_box(inter)
+            assert b.contains_box(inter)
+
+    @given(boxes(), boxes())
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert u.contains_box(a)
+        assert u.contains_box(b)
+
+
+class TestNavigationGeometry:
+    def test_zoom_in_keeps_center(self):
+        box = BoundingBox(0.0, 0.0, 2.0, 2.0)
+        inner = box.zoomed_in(0.5)
+        assert inner.center == box.center
+        assert inner.width == pytest.approx(1.0)
+        assert box.contains_box(inner)
+
+    def test_zoom_out_keeps_center(self):
+        box = BoundingBox(0.0, 0.0, 2.0, 2.0)
+        outer = box.zoomed_out(2.0)
+        assert outer.center == box.center
+        assert outer.width == pytest.approx(4.0)
+        assert outer.contains_box(box)
+
+    def test_zoom_in_rejects_bad_scale(self):
+        box = BoundingBox.unit()
+        for scale in (0.0, 1.0, 1.5, -0.5):
+            with pytest.raises(ValueError):
+                box.zoomed_in(scale)
+
+    def test_zoom_out_rejects_bad_scale(self):
+        box = BoundingBox.unit()
+        for scale in (0.0, 0.5, 1.0, -2.0):
+            with pytest.raises(ValueError):
+                box.zoomed_out(scale)
+
+    def test_zoom_roundtrip(self):
+        box = BoundingBox(0.1, 0.2, 0.5, 0.6)
+        back = box.zoomed_in(0.5).zoomed_out(2.0)
+        for got, want in zip(back, box):
+            assert got == pytest.approx(want)
+
+    def test_panned(self):
+        box = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        moved = box.panned(0.25, -0.5)
+        assert moved == BoundingBox(0.25, -0.5, 1.25, 0.5)
+        assert moved.width == box.width and moved.height == box.height
+
+    def test_pan_union_covers_all_overlapping_pans(self):
+        box = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        union = box.pan_union()
+        # Extreme overlapping pans (just touching) stay inside rA.
+        for dx, dy in [(1.0, 0.0), (-1.0, 0.0), (0.0, 1.0), (1.0, 1.0)]:
+            assert union.contains_box(box.panned(dx, dy))
+
+    def test_zoom_out_union(self):
+        box = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        union = box.zoom_out_union(4.0)
+        for scale in (1.5, 2.0, 4.0):
+            assert union.contains_box(box.zoomed_out(scale))

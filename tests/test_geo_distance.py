@@ -1,0 +1,99 @@
+"""Tests for repro.geo.distance."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geo import (
+    euclidean,
+    euclidean_many,
+    haversine,
+    haversine_many,
+    pairwise_min_distance,
+    squared_euclidean,
+)
+
+coord = st.floats(min_value=-1e3, max_value=1e3,
+                  allow_nan=False, allow_infinity=False)
+
+
+class TestEuclidean:
+    def test_basic(self):
+        assert euclidean(0, 0, 3, 4) == pytest.approx(5.0)
+
+    def test_squared(self):
+        assert squared_euclidean(0, 0, 3, 4) == pytest.approx(25.0)
+
+    def test_many_matches_scalar(self):
+        xs = np.array([0.0, 1.0, 3.0])
+        ys = np.array([0.0, 1.0, 4.0])
+        got = euclidean_many(0.0, 0.0, xs, ys)
+        want = [euclidean(0, 0, x, y) for x, y in zip(xs, ys)]
+        assert got == pytest.approx(want)
+
+    def test_many_empty(self):
+        out = euclidean_many(0.0, 0.0, np.array([]), np.array([]))
+        assert len(out) == 0
+
+    @given(coord, coord, coord, coord)
+    def test_scalar_vector_agree(self, x1, y1, x2, y2):
+        vec = euclidean_many(x1, y1, np.array([x2]), np.array([y2]))[0]
+        assert vec == pytest.approx(euclidean(x1, y1, x2, y2))
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine(103.8, 1.35, 103.8, 1.35) == 0.0
+
+    def test_london_to_paris(self):
+        # London (−0.1276, 51.5072) to Paris (2.3522, 48.8566): ~344 km.
+        d = haversine(-0.1276, 51.5072, 2.3522, 48.8566)
+        assert d == pytest.approx(344, rel=0.02)
+
+    def test_quarter_meridian(self):
+        # Equator to pole along a meridian is a quarter circumference.
+        d = haversine(0.0, 0.0, 0.0, 90.0)
+        assert d == pytest.approx(10_007.5, rel=0.01)
+
+    def test_many_matches_scalar(self):
+        lons = np.array([2.3522, 13.405])
+        lats = np.array([48.8566, 52.52])
+        got = haversine_many(-0.1276, 51.5072, lons, lats)
+        want = [haversine(-0.1276, 51.5072, lo, la) for lo, la in zip(lons, lats)]
+        assert got == pytest.approx(want)
+
+    @given(
+        st.floats(-180, 180), st.floats(-89, 89),
+        st.floats(-180, 180), st.floats(-89, 89),
+    )
+    def test_symmetry(self, lon1, lat1, lon2, lat2):
+        assert haversine(lon1, lat1, lon2, lat2) == pytest.approx(
+            haversine(lon2, lat2, lon1, lat1), abs=1e-6
+        )
+
+
+class TestPairwiseMinDistance:
+    def test_fewer_than_two(self):
+        assert pairwise_min_distance(np.array([]), np.array([])) == np.inf
+        assert pairwise_min_distance(np.array([1.0]), np.array([1.0])) == np.inf
+
+    def test_known_minimum(self):
+        xs = np.array([0.0, 1.0, 0.1])
+        ys = np.array([0.0, 0.0, 0.0])
+        assert pairwise_min_distance(xs, ys) == pytest.approx(0.1)
+
+    def test_coincident_points(self):
+        xs = np.array([0.5, 0.5, 1.0])
+        ys = np.array([0.5, 0.5, 1.0])
+        assert pairwise_min_distance(xs, ys) == 0.0
+
+    def test_matches_bruteforce(self, rng):
+        xs = rng.random(30)
+        ys = rng.random(30)
+        best = min(
+            np.hypot(xs[i] - xs[j], ys[i] - ys[j])
+            for i in range(30)
+            for j in range(i + 1, 30)
+        )
+        assert pairwise_min_distance(xs, ys) == pytest.approx(best)

@@ -1,0 +1,76 @@
+"""Tests for repro.geo.point."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geo import Point
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestPointBasics:
+    def test_unpacking(self):
+        x, y = Point(1.5, -2.0)
+        assert (x, y) == (1.5, -2.0)
+
+    def test_as_tuple(self):
+        assert Point(0.25, 0.75).as_tuple() == (0.25, 0.75)
+
+    def test_equality_and_hash(self):
+        assert Point(1.0, 2.0) == Point(1.0, 2.0)
+        assert hash(Point(1.0, 2.0)) == hash(Point(1.0, 2.0))
+        assert Point(1.0, 2.0) != Point(2.0, 1.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Point(0.0, 0.0).x = 1.0
+
+    def test_arithmetic(self):
+        a = Point(1.0, 2.0)
+        b = Point(0.5, -1.0)
+        assert a + b == Point(1.5, 1.0)
+        assert a - b == Point(0.5, 3.0)
+        assert a * 2.0 == Point(2.0, 4.0)
+        assert 2.0 * a == Point(2.0, 4.0)
+
+    def test_translated(self):
+        assert Point(1.0, 1.0).translated(0.5, -0.5) == Point(1.5, 0.5)
+
+    def test_midpoint(self):
+        assert Point(0.0, 0.0).midpoint(Point(2.0, 4.0)) == Point(1.0, 2.0)
+
+
+class TestPointDistance:
+    def test_345_triangle(self):
+        assert Point(0.0, 0.0).distance_to(Point(3.0, 4.0)) == pytest.approx(5.0)
+
+    def test_squared_distance(self):
+        assert Point(0.0, 0.0).squared_distance_to(
+            Point(3.0, 4.0)
+        ) == pytest.approx(25.0)
+
+    def test_distance_to_self_is_zero(self):
+        p = Point(1.23, 4.56)
+        assert p.distance_to(p) == 0.0
+
+    @given(finite, finite, finite, finite)
+    def test_symmetry(self, x1, y1, x2, y2):
+        a, b = Point(x1, y1), Point(x2, y2)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    @given(finite, finite, finite, finite, finite, finite)
+    def test_triangle_inequality(self, x1, y1, x2, y2, x3, y3):
+        a, b, c = Point(x1, y1), Point(x2, y2), Point(x3, y3)
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-9
+
+    @given(finite, finite, finite, finite)
+    def test_squared_consistent_with_distance(self, x1, y1, x2, y2):
+        a, b = Point(x1, y1), Point(x2, y2)
+        assert math.sqrt(a.squared_distance_to(b)) == pytest.approx(
+            a.distance_to(b), abs=1e-9
+        )

@@ -1,0 +1,191 @@
+"""Tests for the greedy SOS solver (Algorithm 1).
+
+Covers the visibility constraint, equivalence of lazy / naive / bulk
+variants, the Lemma 4.3 geometry, and the empirical 1/8 approximation
+guarantee against the exact solver.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Aggregation,
+    GeoDataset,
+    RegionQuery,
+    exact_select,
+    greedy_select,
+    representative_score,
+)
+from repro.geo import BoundingBox
+from repro.geo.distance import pairwise_min_distance
+from repro.similarity import MatrixSimilarity
+
+
+def small_dataset(n: int, seed: int, weights=True) -> GeoDataset:
+    gen = np.random.default_rng(seed)
+    return GeoDataset.build(
+        gen.random(n), gen.random(n),
+        weights=gen.random(n) if weights else None,
+        similarity=MatrixSimilarity.random(n, gen),
+    )
+
+
+class TestBasicBehaviour:
+    def test_selects_k(self, uniform_dataset, center_query):
+        result = greedy_select(uniform_dataset, center_query)
+        assert len(result) == center_query.k
+
+    def test_selection_inside_region(self, uniform_dataset, center_query):
+        result = greedy_select(uniform_dataset, center_query)
+        for obj in result.selected:
+            assert center_query.region.contains_point(
+                float(uniform_dataset.xs[obj]), float(uniform_dataset.ys[obj])
+            )
+
+    def test_visibility_constraint(self, uniform_dataset, center_query):
+        result = greedy_select(uniform_dataset, center_query)
+        sel = result.selected
+        dmin = pairwise_min_distance(
+            uniform_dataset.xs[sel], uniform_dataset.ys[sel]
+        )
+        assert dmin >= center_query.theta
+
+    def test_no_duplicates(self, uniform_dataset, center_query):
+        result = greedy_select(uniform_dataset, center_query)
+        assert len(set(result.selected.tolist())) == len(result)
+
+    def test_score_matches_reported(self, uniform_dataset, center_query):
+        result = greedy_select(uniform_dataset, center_query)
+        want = representative_score(
+            uniform_dataset, result.region_ids, result.selected
+        )
+        assert result.score == pytest.approx(want)
+
+    def test_empty_region(self, uniform_dataset):
+        query = RegionQuery(
+            region=BoundingBox(2.0, 2.0, 3.0, 3.0), k=5, theta=0.01
+        )
+        result = greedy_select(uniform_dataset, query)
+        assert len(result) == 0
+        assert result.score == 0.0
+
+    def test_k_larger_than_population(self, uniform_dataset):
+        query = RegionQuery(
+            region=BoundingBox(0.0, 0.0, 0.08, 0.08), k=500, theta=0.0
+        )
+        result = greedy_select(uniform_dataset, query)
+        assert len(result) == len(result.region_ids)
+
+    def test_theta_caps_selection_size(self):
+        # Points 0.1 apart; theta 0.25 admits only every third point.
+        xs = np.arange(10) * 0.1
+        ys = np.zeros(10)
+        ds = GeoDataset.build(xs, ys)
+        query = RegionQuery(region=BoundingBox(-1, -1, 2, 2), k=10, theta=0.25)
+        result = greedy_select(ds, query)
+        assert len(result) < 10
+        sel = result.selected
+        assert pairwise_min_distance(ds.xs[sel], ds.ys[sel]) >= 0.25
+
+    def test_first_pick_maximizes_initial_gain(self):
+        ds = small_dataset(15, seed=4)
+        ids = np.arange(15)
+        query = RegionQuery(region=BoundingBox(-1, -1, 2, 2), k=1, theta=0.0)
+        result = greedy_select(ds, query)
+        masses = [
+            float(np.dot(ds.weights, ds.similarity.sims_to(i, ids))) / 15
+            for i in range(15)
+        ]
+        assert result.score == pytest.approx(max(masses))
+
+    def test_stats_recorded(self, uniform_dataset, center_query):
+        result = greedy_select(uniform_dataset, center_query)
+        assert result.stats["gain_evaluations"] > 0
+        assert result.stats["population"] == len(result.region_ids)
+        assert result.stats["elapsed_s"] >= 0.0
+
+
+class TestVariantEquivalence:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 5000))
+    def test_lazy_equals_naive(self, seed):
+        ds = small_dataset(40, seed)
+        query = RegionQuery(
+            region=BoundingBox(0.0, 0.0, 1.0, 1.0), k=8, theta=0.05
+        )
+        lazy = greedy_select(ds, query, lazy=True)
+        naive = greedy_select(ds, query, lazy=False)
+        assert lazy.selected.tolist() == naive.selected.tolist()
+        assert lazy.score == pytest.approx(naive.score)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 5000))
+    def test_bulk_init_equals_exact_init(self, seed):
+        ds = small_dataset(40, seed)
+        query = RegionQuery(
+            region=BoundingBox(0.0, 0.0, 1.0, 1.0), k=8, theta=0.05
+        )
+        exact = greedy_select(ds, query, init_mode="exact")
+        bulk = greedy_select(ds, query, init_mode="bulk")
+        assert exact.selected.tolist() == bulk.selected.tolist()
+
+    def test_lazy_saves_evaluations(self):
+        ds = small_dataset(120, seed=9)
+        query = RegionQuery(
+            region=BoundingBox(0.0, 0.0, 1.0, 1.0), k=15, theta=0.02
+        )
+        lazy = greedy_select(ds, query, lazy=True)
+        naive = greedy_select(ds, query, lazy=False)
+        assert lazy.stats["gain_evaluations"] < naive.stats["gain_evaluations"]
+
+    def test_invalid_init_mode(self, uniform_dataset, center_query):
+        with pytest.raises(ValueError, match="init_mode"):
+            greedy_select(uniform_dataset, center_query, init_mode="nope")
+
+
+class TestSumAggregation:
+    def test_selects_k_and_visibility(self, uniform_dataset, center_query):
+        result = greedy_select(
+            uniform_dataset, center_query, aggregation=Aggregation.SUM
+        )
+        assert len(result) == center_query.k
+        sel = result.selected
+        assert pairwise_min_distance(
+            uniform_dataset.xs[sel], uniform_dataset.ys[sel]
+        ) >= center_query.theta
+
+    def test_score_is_sum_score(self, uniform_dataset, center_query):
+        result = greedy_select(
+            uniform_dataset, center_query, aggregation=Aggregation.SUM
+        )
+        want = representative_score(
+            uniform_dataset, result.region_ids, result.selected,
+            Aggregation.SUM,
+        )
+        assert result.score == pytest.approx(want)
+
+
+class TestApproximationGuarantee:
+    """Theorem 4.4: greedy >= OPT / 8 (we usually see much better)."""
+
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(0, 3000))
+    def test_ratio_against_exact(self, seed):
+        gen = np.random.default_rng(seed)
+        n = 12
+        ds = GeoDataset.build(
+            gen.random(n), gen.random(n),
+            weights=gen.random(n),
+            similarity=MatrixSimilarity.random(n, gen),
+        )
+        query = RegionQuery(
+            region=BoundingBox(-0.1, -0.1, 1.1, 1.1), k=4,
+            theta=float(gen.uniform(0.0, 0.3)),
+        )
+        opt = exact_select(ds, query)
+        grd = greedy_select(ds, query)
+        assert grd.score >= opt.score / 8.0 - 1e-12
+        # Sanity: exact is at least as good as greedy.
+        assert opt.score >= grd.score - 1e-12

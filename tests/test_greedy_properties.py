@@ -1,0 +1,104 @@
+"""Property-based tests of the greedy selector's global invariants.
+
+These complement the targeted tests in test_greedy.py: over randomly
+generated instances, the output must always respect the visibility
+constraint, never exceed ``k``, achieve at least the best single-object
+score, and behave monotonically in ``k`` and ``θ``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import GeoDataset, RegionQuery, greedy_select, representative_score
+from repro.geo import BoundingBox
+from repro.geo.distance import pairwise_min_distance
+from repro.similarity import MatrixSimilarity
+
+WHOLE = BoundingBox(-0.1, -0.1, 1.1, 1.1)
+
+
+@st.composite
+def instances(draw):
+    seed = draw(st.integers(0, 100_000))
+    n = draw(st.integers(3, 40))
+    k = draw(st.integers(1, 10))
+    theta = draw(st.floats(0.0, 0.3))
+    gen = np.random.default_rng(seed)
+    ds = GeoDataset.build(
+        gen.random(n), gen.random(n),
+        weights=gen.random(n),
+        similarity=MatrixSimilarity.random(n, gen),
+    )
+    return ds, RegionQuery(region=WHOLE, k=k, theta=theta)
+
+
+class TestGlobalInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(inst=instances())
+    def test_feasibility(self, inst):
+        ds, query = inst
+        result = greedy_select(ds, query)
+        assert len(result) <= query.k
+        sel = result.selected
+        assert len(set(sel.tolist())) == len(sel)
+        if len(sel) >= 2:
+            assert pairwise_min_distance(
+                ds.xs[sel], ds.ys[sel]
+            ) >= query.theta - 1e-12
+
+    @settings(max_examples=50, deadline=None)
+    @given(inst=instances())
+    def test_score_consistency(self, inst):
+        ds, query = inst
+        result = greedy_select(ds, query)
+        want = representative_score(ds, result.region_ids, result.selected)
+        assert result.score == pytest.approx(want)
+
+    @settings(max_examples=30, deadline=None)
+    @given(inst=instances())
+    def test_at_least_best_single_object(self, inst):
+        """Greedy's first pick maximizes the single-object score, so
+        the final score dominates every singleton."""
+        ds, query = inst
+        result = greedy_select(ds, query)
+        ids = np.arange(len(ds))
+        best_single = max(
+            representative_score(ds, ids, np.array([i])) for i in ids
+        )
+        assert result.score >= best_single - 1e-12
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), theta=st.floats(0.0, 0.2))
+    def test_monotone_in_k(self, seed, theta):
+        gen = np.random.default_rng(seed)
+        n = 25
+        ds = GeoDataset.build(
+            gen.random(n), gen.random(n),
+            similarity=MatrixSimilarity.random(n, gen),
+        )
+        scores = [
+            greedy_select(ds, RegionQuery(region=WHOLE, k=k, theta=theta)).score
+            for k in (1, 3, 6, 12)
+        ]
+        assert all(a <= b + 1e-12 for a, b in zip(scores, scores[1:]))
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_looser_theta_never_hurts(self, seed):
+        """Relaxing the visibility constraint can only help: the
+        feasible set grows, so the greedy score with smaller θ is at
+        least the score with a larger θ minus numerical slack."""
+        gen = np.random.default_rng(seed)
+        n = 25
+        ds = GeoDataset.build(
+            gen.random(n), gen.random(n),
+            similarity=MatrixSimilarity.random(n, gen),
+        )
+        tight = greedy_select(ds, RegionQuery(region=WHOLE, k=5, theta=0.3))
+        loose = greedy_select(ds, RegionQuery(region=WHOLE, k=5, theta=0.0))
+        # Greedy is not optimal, so this is not a theorem — but on
+        # these instance sizes the heuristic should essentially never
+        # lose more than a whisker when constraints are removed.
+        assert loose.score >= tight.score - 0.05

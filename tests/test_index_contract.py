@@ -1,0 +1,165 @@
+"""Contract tests every spatial index must pass, parametrized by kind.
+
+The :class:`LinearIndex` scan is the ground truth; each index's region,
+radius and nearest-neighbour queries must agree with it on random and
+adversarial inputs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo import BoundingBox
+from repro.index import INDEX_CLASSES, LinearIndex, build_index
+
+KINDS = sorted(INDEX_CLASSES)
+
+
+@pytest.fixture(params=KINDS)
+def kind(request):
+    return request.param
+
+
+def random_points(n: int, seed: int) -> tuple[np.ndarray, np.ndarray]:
+    gen = np.random.default_rng(seed)
+    return gen.random(n), gen.random(n)
+
+
+class TestRegionQueries:
+    def test_empty_index(self, kind):
+        index = build_index(kind, np.array([]), np.array([]))
+        assert len(index) == 0
+        out = index.query_region(BoundingBox.unit())
+        assert len(out) == 0
+
+    def test_single_point(self, kind):
+        index = build_index(kind, np.array([0.5]), np.array([0.5]))
+        assert index.query_region(BoundingBox.unit()).tolist() == [0]
+        empty = index.query_region(BoundingBox(0.6, 0.6, 0.9, 0.9))
+        assert len(empty) == 0
+
+    def test_whole_frame_returns_everything(self, kind):
+        xs, ys = random_points(500, 1)
+        index = build_index(kind, xs, ys)
+        out = index.query_region(BoundingBox(-1.0, -1.0, 2.0, 2.0))
+        assert out.tolist() == list(range(500))
+
+    def test_matches_linear_scan(self, kind):
+        xs, ys = random_points(800, 2)
+        index = build_index(kind, xs, ys)
+        truth = LinearIndex(xs, ys)
+        gen = np.random.default_rng(3)
+        for _ in range(25):
+            x1, x2 = sorted(gen.random(2))
+            y1, y2 = sorted(gen.random(2))
+            box = BoundingBox(x1, y1, x2, y2)
+            assert index.query_region(box).tolist() == (
+                truth.query_region(box).tolist()
+            )
+
+    def test_boundary_points_included(self, kind):
+        xs = np.array([0.0, 0.5, 1.0])
+        ys = np.array([0.0, 0.5, 1.0])
+        index = build_index(kind, xs, ys)
+        out = index.query_region(BoundingBox(0.0, 0.0, 1.0, 1.0))
+        assert out.tolist() == [0, 1, 2]
+
+    def test_duplicate_points(self, kind):
+        xs = np.array([0.5] * 50 + [0.9])
+        ys = np.array([0.5] * 50 + [0.9])
+        index = build_index(kind, xs, ys)
+        out = index.query_region(BoundingBox(0.4, 0.4, 0.6, 0.6))
+        assert out.tolist() == list(range(50))
+
+    def test_collinear_points(self, kind):
+        xs = np.linspace(0.0, 1.0, 100)
+        ys = np.zeros(100)
+        index = build_index(kind, xs, ys)
+        out = index.query_region(BoundingBox(0.25, -0.1, 0.5, 0.1))
+        truth = LinearIndex(xs, ys).query_region(
+            BoundingBox(0.25, -0.1, 0.5, 0.1)
+        )
+        assert out.tolist() == truth.tolist()
+
+    def test_count_region(self, kind):
+        xs, ys = random_points(300, 4)
+        index = build_index(kind, xs, ys)
+        box = BoundingBox(0.2, 0.2, 0.7, 0.7)
+        assert index.count_region(box) == len(index.query_region(box))
+
+    @settings(max_examples=30, deadline=None)
+    @pytest.mark.parametrize("index_kind", KINDS)
+    @given(seed=st.integers(0, 10_000), n=st.integers(1, 200))
+    def test_property_random_against_linear(self, index_kind, seed, n):
+        kind = index_kind
+        xs, ys = random_points(n, seed)
+        index = build_index(kind, xs, ys)
+        truth = LinearIndex(xs, ys)
+        gen = np.random.default_rng(seed + 1)
+        x1, x2 = sorted(gen.random(2))
+        y1, y2 = sorted(gen.random(2))
+        box = BoundingBox(x1, y1, x2, y2)
+        assert index.query_region(box).tolist() == truth.query_region(box).tolist()
+
+
+class TestRadiusQueries:
+    def test_matches_bruteforce(self, kind):
+        xs, ys = random_points(400, 5)
+        index = build_index(kind, xs, ys)
+        gen = np.random.default_rng(6)
+        for _ in range(10):
+            x, y = gen.random(2)
+            r = gen.uniform(0.01, 0.3)
+            got = set(index.query_radius(x, y, r).tolist())
+            want = {
+                i
+                for i in range(400)
+                if np.hypot(xs[i] - x, ys[i] - y) <= r
+            }
+            assert got == want
+
+    def test_zero_radius_hits_exact_point(self, kind):
+        xs = np.array([0.25, 0.75])
+        ys = np.array([0.25, 0.75])
+        index = build_index(kind, xs, ys)
+        assert index.query_radius(0.25, 0.25, 0.0).tolist() == [0]
+
+    def test_corner_of_square_excluded(self, kind):
+        # A point at distance r*sqrt(2) passes the bounding-square
+        # prefilter but must be refined away.
+        xs = np.array([0.0, 0.1])
+        ys = np.array([0.0, 0.1])
+        index = build_index(kind, xs, ys)
+        out = index.query_radius(0.0, 0.0, 0.12)
+        assert out.tolist() == [0]
+
+
+class TestNearest:
+    def test_k_zero(self, kind):
+        xs, ys = random_points(50, 7)
+        index = build_index(kind, xs, ys)
+        assert len(index.nearest(0.5, 0.5, 0)) == 0
+
+    def test_k_exceeds_size(self, kind):
+        xs, ys = random_points(5, 8)
+        index = build_index(kind, xs, ys)
+        out = index.nearest(0.5, 0.5, 50)
+        assert sorted(out.tolist()) == list(range(5))
+
+    def test_matches_bruteforce_distances(self, kind):
+        xs, ys = random_points(300, 9)
+        index = build_index(kind, xs, ys)
+        gen = np.random.default_rng(10)
+        for _ in range(10):
+            x, y = gen.random(2)
+            got = index.nearest(x, y, 7)
+            got_d = sorted(np.hypot(xs[got] - x, ys[got] - y))
+            all_d = sorted(np.hypot(xs - x, ys - y))
+            assert got_d == pytest.approx(all_d[:7])
+
+    def test_nearest_of_query_point_itself(self, kind):
+        xs = np.array([0.1, 0.5, 0.9])
+        ys = np.array([0.1, 0.5, 0.9])
+        index = build_index(kind, xs, ys)
+        assert index.nearest(0.5, 0.5, 1).tolist() == [1]

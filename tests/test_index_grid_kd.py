@@ -1,0 +1,90 @@
+"""Grid- and KD-tree-specific tests beyond the shared contract."""
+
+import numpy as np
+import pytest
+
+from repro.geo import BoundingBox
+from repro.index import GridIndex, KDTreeIndex, LinearIndex, build_index
+
+
+class TestGridIndex:
+    def test_cells_validation(self):
+        with pytest.raises(ValueError):
+            GridIndex(np.array([0.0]), np.array([0.0]), cells=0)
+
+    def test_explicit_cells(self):
+        gen = np.random.default_rng(0)
+        xs, ys = gen.random(200), gen.random(200)
+        for cells in (1, 2, 7, 50):
+            grid = GridIndex(xs, ys, cells=cells)
+            truth = LinearIndex(xs, ys)
+            box = BoundingBox(0.3, 0.1, 0.8, 0.55)
+            assert grid.query_region(box).tolist() == (
+                truth.query_region(box).tolist()
+            )
+
+    def test_identical_points_one_cell(self):
+        xs = np.full(100, 0.5)
+        ys = np.full(100, 0.5)
+        grid = GridIndex(xs, ys)
+        out = grid.query_region(BoundingBox(0.4, 0.4, 0.6, 0.6))
+        assert out.tolist() == list(range(100))
+
+    def test_query_outside_frame(self):
+        gen = np.random.default_rng(1)
+        grid = GridIndex(gen.random(50), gen.random(50))
+        assert len(grid.query_region(BoundingBox(5.0, 5.0, 6.0, 6.0))) == 0
+
+    def test_default_resolution_scales(self):
+        gen = np.random.default_rng(2)
+        small = GridIndex(gen.random(100), gen.random(100))
+        large = GridIndex(gen.random(100_000), gen.random(100_000))
+        assert large.cells > small.cells
+
+
+class TestKDTreeIndex:
+    def test_leaf_size_validation(self):
+        with pytest.raises(ValueError):
+            KDTreeIndex(np.array([0.0]), np.array([0.0]), leaf_size=0)
+
+    def test_small_leaf_size(self):
+        gen = np.random.default_rng(3)
+        xs, ys = gen.random(300), gen.random(300)
+        tree = KDTreeIndex(xs, ys, leaf_size=1)
+        truth = LinearIndex(xs, ys)
+        box = BoundingBox(0.25, 0.25, 0.75, 0.6)
+        assert tree.query_region(box).tolist() == truth.query_region(box).tolist()
+
+    def test_identical_points_terminate(self):
+        # All-identical coordinates must not recurse forever.
+        xs = np.full(500, 0.3)
+        ys = np.full(500, 0.7)
+        tree = KDTreeIndex(xs, ys, leaf_size=4)
+        out = tree.query_region(BoundingBox(0.0, 0.0, 1.0, 1.0))
+        assert out.tolist() == list(range(500))
+
+    def test_nearest_best_first_prunes_correctly(self):
+        gen = np.random.default_rng(4)
+        xs, ys = gen.random(1000), gen.random(1000)
+        tree = KDTreeIndex(xs, ys, leaf_size=8)
+        for seed in range(5):
+            g2 = np.random.default_rng(seed)
+            x, y = g2.random(2)
+            got = tree.nearest(x, y, 5)
+            d_got = np.sort(np.hypot(xs[got] - x, ys[got] - y))
+            d_all = np.sort(np.hypot(xs - x, ys - y))
+            assert d_got == pytest.approx(d_all[:5])
+
+
+class TestBuildIndexFactory:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown index kind"):
+            build_index("voronoi", np.array([0.0]), np.array([0.0]))
+
+    def test_kwargs_forwarded(self):
+        grid = build_index("grid", np.array([0.1]), np.array([0.2]), cells=3)
+        assert grid.cells == 3
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            build_index("linear", np.array([0.0, 1.0]), np.array([0.0]))

@@ -1,0 +1,74 @@
+"""Property-based tests for incremental inserts (R-tree, quadtree).
+
+Hypothesis drives interleavings of bulk-loaded points and inserts; the
+index must stay equivalent to a linear scan after every batch, and its
+structural invariants must hold.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo import BoundingBox
+from repro.index import LinearIndex, QuadTreeIndex, RTreeIndex
+
+coord = st.floats(min_value=0.0, max_value=1.0,
+                  allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def workloads(draw):
+    bulk_n = draw(st.integers(0, 60))
+    seed = draw(st.integers(0, 10_000))
+    inserts = draw(
+        st.lists(st.tuples(coord, coord), min_size=0, max_size=40)
+    )
+    gen = np.random.default_rng(seed)
+    return gen.random(bulk_n), gen.random(bulk_n), inserts, seed
+
+
+@pytest.mark.parametrize("index_cls", [RTreeIndex, QuadTreeIndex])
+class TestInsertEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(workload=workloads())
+    def test_matches_linear_after_inserts(self, index_cls, workload):
+        xs, ys, inserts, seed = workload
+        kwargs = {"fanout": 4} if index_cls is RTreeIndex else {
+            "leaf_capacity": 4
+        }
+        tree = index_cls(xs, ys, **kwargs)
+        expected_id = len(xs)
+        for x, y in inserts:
+            assert tree.insert(float(x), float(y)) == expected_id
+            expected_id += 1
+        tree.check_invariants()
+
+        truth = LinearIndex(tree.xs, tree.ys)
+        gen = np.random.default_rng(seed + 1)
+        for _ in range(5):
+            x1, x2 = sorted(gen.random(2))
+            y1, y2 = sorted(gen.random(2))
+            box = BoundingBox(x1, y1, x2, y2)
+            assert tree.query_region(box).tolist() == (
+                truth.query_region(box).tolist()
+            ), index_cls.__name__
+
+    @settings(max_examples=20, deadline=None)
+    @given(workload=workloads())
+    def test_radius_matches_after_inserts(self, index_cls, workload):
+        xs, ys, inserts, seed = workload
+        tree = index_cls(xs, ys)
+        for x, y in inserts:
+            tree.insert(float(x), float(y))
+        if len(tree) == 0:
+            return
+        gen = np.random.default_rng(seed + 2)
+        x, y = gen.random(2)
+        r = float(gen.uniform(0.05, 0.4))
+        got = set(tree.query_radius(float(x), float(y), r).tolist())
+        want = {
+            i for i in range(len(tree))
+            if np.hypot(tree.xs[i] - x, tree.ys[i] - y) <= r
+        }
+        assert got == want, index_cls.__name__

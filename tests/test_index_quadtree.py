@@ -1,0 +1,96 @@
+"""Quadtree-specific tests beyond the shared index contract."""
+
+import numpy as np
+import pytest
+
+from repro.geo import BoundingBox
+from repro.index import LinearIndex, QuadTreeIndex
+
+
+def random_points(n: int, seed: int) -> tuple[np.ndarray, np.ndarray]:
+    gen = np.random.default_rng(seed)
+    return gen.random(n), gen.random(n)
+
+
+class TestBuild:
+    def test_invariants(self):
+        xs, ys = random_points(3000, 1)
+        tree = QuadTreeIndex(xs, ys)
+        tree.check_invariants()
+
+    def test_leaf_capacity_validation(self):
+        with pytest.raises(ValueError):
+            QuadTreeIndex(np.array([0.0]), np.array([0.0]), leaf_capacity=0)
+
+    def test_clustered_data_goes_deep(self):
+        gen = np.random.default_rng(2)
+        # A tight blob plus sparse background: the blob must deepen the
+        # tree far beyond what uniform data of the same size needs.
+        blob = 0.5 + gen.normal(0, 0.001, (2000, 2))
+        sparse = gen.random((100, 2))
+        pts = np.concatenate([blob, sparse])
+        tree = QuadTreeIndex(pts[:, 0], pts[:, 1], leaf_capacity=16)
+        uniform = QuadTreeIndex(*random_points(2100, 3), leaf_capacity=16)
+        assert tree.depth() > uniform.depth()
+
+    def test_coincident_points_terminate(self):
+        xs = np.full(500, 0.25)
+        ys = np.full(500, 0.75)
+        tree = QuadTreeIndex(xs, ys, leaf_capacity=4)
+        tree.check_invariants()
+        out = tree.query_region(BoundingBox(0.0, 0.0, 1.0, 1.0))
+        assert out.tolist() == list(range(500))
+
+    def test_empty_tree(self):
+        tree = QuadTreeIndex(np.array([]), np.array([]))
+        assert len(tree.query_region(BoundingBox.unit())) == 0
+        tree.check_invariants()
+
+
+class TestInsert:
+    def test_insert_matches_linear(self):
+        xs, ys = random_points(100, 4)
+        tree = QuadTreeIndex(xs, ys, leaf_capacity=8)
+        gen = np.random.default_rng(5)
+        for _ in range(400):
+            tree.insert(float(gen.random()), float(gen.random()))
+        tree.check_invariants()
+        truth = LinearIndex(tree.xs, tree.ys)
+        for _ in range(15):
+            x1, x2 = sorted(gen.random(2))
+            y1, y2 = sorted(gen.random(2))
+            box = BoundingBox(x1, y1, x2, y2)
+            assert tree.query_region(box).tolist() == (
+                truth.query_region(box).tolist()
+            )
+
+    def test_insert_outside_frame_grows_root(self):
+        xs, ys = random_points(50, 6)
+        tree = QuadTreeIndex(xs, ys)
+        far_id = tree.insert(5.0, -3.0)
+        tree.check_invariants()
+        hit = tree.query_region(BoundingBox(4.9, -3.1, 5.1, -2.9))
+        assert hit.tolist() == [far_id]
+        # The original points are still all reachable.
+        everything = tree.query_region(BoundingBox(-10, -10, 10, 10))
+        assert len(everything) == 51
+
+    def test_insert_into_empty_tree(self):
+        tree = QuadTreeIndex(np.array([]), np.array([]))
+        new_id = tree.insert(0.3, 0.3)
+        assert new_id == 0
+        assert tree.query_region(BoundingBox.unit()).tolist() == [0]
+
+    def test_radius_and_nearest_inherited(self):
+        xs, ys = random_points(300, 7)
+        tree = QuadTreeIndex(xs, ys)
+        got = set(tree.query_radius(0.5, 0.5, 0.1).tolist())
+        want = {
+            i for i in range(300)
+            if np.hypot(xs[i] - 0.5, ys[i] - 0.5) <= 0.1
+        }
+        assert got == want
+        near = tree.nearest(0.5, 0.5, 3)
+        d_near = sorted(np.hypot(xs[near] - 0.5, ys[near] - 0.5))
+        d_all = sorted(np.hypot(xs - 0.5, ys - 0.5))
+        assert d_near == pytest.approx(d_all[:3])

@@ -1,0 +1,105 @@
+"""R-tree-specific tests: structure invariants and incremental insert."""
+
+import numpy as np
+import pytest
+
+from repro.geo import BoundingBox
+from repro.index import LinearIndex, RTreeIndex
+
+
+def random_points(n: int, seed: int) -> tuple[np.ndarray, np.ndarray]:
+    gen = np.random.default_rng(seed)
+    return gen.random(n), gen.random(n)
+
+
+class TestBulkLoad:
+    def test_invariants_after_bulk_load(self):
+        xs, ys = random_points(2000, 1)
+        tree = RTreeIndex(xs, ys)
+        tree.check_invariants()
+
+    def test_height_logarithmic(self):
+        xs, ys = random_points(5000, 2)
+        tree = RTreeIndex(xs, ys, fanout=16)
+        # 5000 points at fanout 16: ceil(log_16(5000/16)) + 1 levels ≈ 4.
+        assert 2 <= tree.height() <= 5
+
+    def test_single_leaf_tree(self):
+        xs, ys = random_points(10, 3)
+        tree = RTreeIndex(xs, ys, fanout=32)
+        assert tree.height() == 1
+        tree.check_invariants()
+
+    def test_fanout_validation(self):
+        with pytest.raises(ValueError):
+            RTreeIndex(np.array([0.0]), np.array([0.0]), fanout=3)
+
+    def test_empty_tree(self):
+        tree = RTreeIndex(np.array([]), np.array([]))
+        assert tree.height() == 0
+        tree.check_invariants()
+        assert len(tree.query_region(BoundingBox.unit())) == 0
+
+
+class TestInsert:
+    def test_insert_into_empty(self):
+        tree = RTreeIndex(np.array([]), np.array([]))
+        new_id = tree.insert(0.5, 0.5)
+        assert new_id == 0
+        assert tree.query_region(BoundingBox.unit()).tolist() == [0]
+        tree.check_invariants()
+
+    def test_ids_stable_across_inserts(self):
+        xs, ys = random_points(100, 4)
+        tree = RTreeIndex(xs, ys)
+        before = tree.query_region(BoundingBox(0.0, 0.0, 0.5, 0.5)).tolist()
+        new_id = tree.insert(0.75, 0.75)
+        assert new_id == 100
+        after = tree.query_region(BoundingBox(0.0, 0.0, 0.5, 0.5)).tolist()
+        assert before == after
+
+    def test_many_inserts_match_linear(self):
+        xs, ys = random_points(50, 5)
+        tree = RTreeIndex(xs, ys, fanout=8)
+        gen = np.random.default_rng(6)
+        for _ in range(500):
+            x, y = gen.random(2)
+            tree.insert(float(x), float(y))
+        tree.check_invariants()
+        truth = LinearIndex(tree.xs, tree.ys)
+        for _ in range(20):
+            x1, x2 = sorted(gen.random(2))
+            y1, y2 = sorted(gen.random(2))
+            box = BoundingBox(x1, y1, x2, y2)
+            assert tree.query_region(box).tolist() == (
+                truth.query_region(box).tolist()
+            )
+
+    def test_inserts_only_tree(self):
+        tree = RTreeIndex(np.array([]), np.array([]), fanout=4)
+        gen = np.random.default_rng(7)
+        for _ in range(200):
+            tree.insert(float(gen.random()), float(gen.random()))
+        tree.check_invariants()
+        assert len(tree) == 200
+        assert tree.query_region(
+            BoundingBox(-1, -1, 2, 2)
+        ).tolist() == list(range(200))
+
+    def test_duplicate_inserts(self):
+        tree = RTreeIndex(np.array([0.5]), np.array([0.5]), fanout=4)
+        for _ in range(20):
+            tree.insert(0.5, 0.5)
+        tree.check_invariants()
+        out = tree.query_region(BoundingBox(0.4, 0.4, 0.6, 0.6))
+        assert len(out) == 21
+
+    def test_root_split_grows_height(self):
+        tree = RTreeIndex(np.array([]), np.array([]), fanout=4)
+        gen = np.random.default_rng(8)
+        heights = set()
+        for _ in range(100):
+            tree.insert(float(gen.random()), float(gen.random()))
+            heights.add(tree.height())
+        assert max(heights) >= 3  # the tree actually grew
+        tree.check_invariants()

@@ -1,0 +1,134 @@
+"""End-to-end integration tests gluing the whole pipeline together.
+
+These walk the realistic user journey across module boundaries:
+generate → persist → reload → query → select → navigate → explore →
+render, asserting cross-module invariants at each step.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    MapSession,
+    RegionQuery,
+    greedy_select,
+    representative_score,
+    represented_objects,
+    sass_select,
+)
+from repro.datasets import (
+    DatasetSpec,
+    generate_clustered,
+    load_jsonl,
+    random_navigation_trace,
+    random_region_queries,
+    save_jsonl,
+)
+from repro.geo.distance import pairwise_min_distance
+from repro.viz import render_ascii, render_svg
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_clustered(
+        DatasetSpec(
+            name="integration", n=4000, n_clusters=5,
+            duplicate_fraction=0.3, seed=77,
+        )
+    )
+
+
+class TestFullPipeline:
+    def test_generate_persist_reload_select(self, corpus, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        save_jsonl(corpus, path)
+        reloaded = load_jsonl(path)
+
+        (query,) = random_region_queries(
+            reloaded, 1, region_fraction=0.3, k=15,
+            rng=np.random.default_rng(0), min_population=100,
+        )
+        result = greedy_select(reloaded, query)
+        assert len(result) == 15
+        sel = result.selected
+        assert pairwise_min_distance(
+            reloaded.xs[sel], reloaded.ys[sel]
+        ) >= query.theta
+        # Reloaded dataset reproduces the original's selection (same
+        # objects, same texts -> same TF-IDF -> same greedy walk).
+        original = greedy_select(corpus, query)
+        assert result.selected.tolist() == original.selected.tolist()
+
+    def test_navigate_and_explore(self, corpus):
+        trace = random_navigation_trace(
+            corpus, 5, region_fraction=0.3, rng=np.random.default_rng(3)
+        )
+        session = MapSession(corpus, k=10, theta_fraction=0.01, prefetch=True)
+        steps = trace.replay(session)
+        final = steps[-1]
+        if len(final.result) == 0:
+            pytest.skip("trace wandered into empty space")
+        region_ids = corpus.objects_in(final.region)
+        # Click-to-expand partitions the viewport population.
+        covered = set(final.result.selected.tolist())
+        for marker in final.result.selected:
+            covered.update(
+                represented_objects(
+                    corpus, region_ids, final.result.selected, int(marker)
+                ).tolist()
+            )
+        assert covered == set(region_ids.tolist())
+
+    def test_sampled_selection_quality_on_pipeline(self, corpus):
+        (query,) = random_region_queries(
+            corpus, 1, region_fraction=0.5, k=20,
+            rng=np.random.default_rng(5), min_population=1000,
+        )
+        full = greedy_select(corpus, query)
+        sampled = sass_select(
+            corpus, query, epsilon=0.05, rng=np.random.default_rng(6)
+        )
+        population = corpus.objects_in(query.region)
+        full_quality = full.score
+        sample_quality = representative_score(
+            corpus, population, sampled.selected
+        )
+        # The sampled selection keeps most of the full greedy quality.
+        assert sample_quality >= 0.7 * full_quality
+
+    def test_render_both_backends(self, corpus, tmp_path):
+        (query,) = random_region_queries(
+            corpus, 1, region_fraction=0.3, k=8,
+            rng=np.random.default_rng(8), min_population=50,
+        )
+        result = greedy_select(corpus, query)
+        ascii_map = render_ascii(
+            corpus, query.region, selected=result.selected,
+            width=40, height=12,
+        )
+        assert "#" in ascii_map
+        svg = render_svg(
+            corpus, query.region, selected=result.selected,
+            path=tmp_path / "map.svg",
+        )
+        assert (tmp_path / "map.svg").exists()
+        assert svg.count('fill="#d33"') == len(result)
+
+    def test_weights_steer_selection(self):
+        """Heavier objects are likelier to be represented: two identical
+        duplicate groups, one heavy and one light — with k=1 the greedy
+        must represent the heavy one."""
+        from repro import GeoDataset
+
+        texts = ["alpha event"] * 10 + ["beta festival"] * 10
+        xs = np.array([0.2] * 10 + [0.8] * 10)
+        ys = np.array([0.2] * 10 + [0.8] * 10)
+        weights = np.array([1.0] * 10 + [0.05] * 10)
+        ds = GeoDataset.build(xs, ys, weights=weights, texts=texts)
+        from repro.geo import BoundingBox
+
+        query = RegionQuery(
+            region=BoundingBox(0.0, 0.0, 1.0, 1.0), k=1, theta=0.0
+        )
+        result = greedy_select(ds, query)
+        assert int(result.selected[0]) < 10  # the heavy group

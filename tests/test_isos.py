@@ -1,0 +1,148 @@
+"""Tests for the ISOS greedy (Def. 3.6, Sec. 5.1)."""
+
+import numpy as np
+import pytest
+
+from repro import GeoDataset, IsosQuery, isos_select
+from repro.geo import BoundingBox
+from repro.geo.distance import pairwise_min_distance
+from repro.similarity import MatrixSimilarity
+
+WHOLE = BoundingBox(-0.1, -0.1, 1.1, 1.1)
+
+
+@pytest.fixture
+def ds():
+    gen = np.random.default_rng(21)
+    n = 60
+    return GeoDataset.build(
+        gen.random(n), gen.random(n),
+        weights=gen.random(n),
+        similarity=MatrixSimilarity.random(n, gen),
+    )
+
+
+class TestIsosQueryValidation:
+    def test_d_larger_than_k_rejected(self):
+        with pytest.raises(ValueError, match="exceeds k"):
+            IsosQuery(
+                region=WHOLE, k=2, theta=0.0,
+                candidates=np.array([5, 6]),
+                mandatory=np.array([0, 1, 2]),
+            )
+
+    def test_overlapping_d_and_g_rejected(self):
+        with pytest.raises(ValueError, match="overlap"):
+            IsosQuery(
+                region=WHOLE, k=5, theta=0.0,
+                candidates=np.array([1, 2, 3]),
+                mandatory=np.array([3, 4]),
+            )
+
+    def test_bad_k_and_theta(self):
+        with pytest.raises(ValueError):
+            IsosQuery(region=WHOLE, k=0, theta=0.0,
+                      candidates=np.array([1]), mandatory=np.array([]))
+        with pytest.raises(ValueError):
+            IsosQuery(region=WHOLE, k=2, theta=-0.1,
+                      candidates=np.array([1]), mandatory=np.array([]))
+
+
+class TestIsosSelection:
+    def test_mandatory_always_included_first(self, ds):
+        mandatory = np.array([3, 17])
+        candidates = np.setdiff1d(np.arange(60), mandatory)
+        query = IsosQuery(
+            region=WHOLE, k=6, theta=0.0,
+            candidates=candidates, mandatory=mandatory,
+        )
+        result = isos_select(ds, query)
+        assert result.selected[:2].tolist() == [3, 17]
+        assert len(result) == 6
+
+    def test_picks_only_from_candidates(self, ds):
+        mandatory = np.array([0])
+        candidates = np.arange(40, 60)  # narrow G
+        query = IsosQuery(
+            region=WHOLE, k=5, theta=0.0,
+            candidates=candidates, mandatory=mandatory,
+        )
+        result = isos_select(ds, query)
+        picks = result.selected[1:]
+        assert set(picks.tolist()) <= set(candidates.tolist())
+
+    def test_visibility_including_mandatory(self, ds):
+        mandatory = np.array([1, 2])
+        candidates = np.setdiff1d(np.arange(60), mandatory)
+        query = IsosQuery(
+            region=WHOLE, k=8, theta=0.08,
+            candidates=candidates, mandatory=mandatory,
+        )
+        result = isos_select(ds, query)
+        picks = result.selected[2:]
+        # Greedy picks must respect theta among themselves AND against D.
+        sel = result.selected
+        sub = np.concatenate([picks, mandatory])
+        assert set(sub.tolist()) == set(sel.tolist())
+        if len(picks) >= 1:
+            for p in picks:
+                for m in mandatory:
+                    d = np.hypot(ds.xs[p] - ds.xs[m], ds.ys[p] - ds.ys[m])
+                    assert d >= query.theta
+            if len(picks) >= 2:
+                assert pairwise_min_distance(
+                    ds.xs[picks], ds.ys[picks]
+                ) >= query.theta
+
+    def test_empty_candidates_returns_mandatory_only(self, ds):
+        mandatory = np.array([5, 6])
+        query = IsosQuery(
+            region=WHOLE, k=4, theta=0.0,
+            candidates=np.array([], dtype=np.int64), mandatory=mandatory,
+        )
+        result = isos_select(ds, query)
+        assert result.selected.tolist() == [5, 6]
+
+    def test_empty_mandatory_reduces_to_sos_candidates(self, ds):
+        candidates = np.arange(60)
+        query = IsosQuery(
+            region=WHOLE, k=5, theta=0.02,
+            candidates=candidates, mandatory=np.array([], dtype=np.int64),
+        )
+        result = isos_select(ds, query)
+        assert len(result) == 5
+
+    def test_score_includes_mandatory_contribution(self, ds):
+        from repro import representative_score
+
+        mandatory = np.array([10])
+        candidates = np.setdiff1d(np.arange(60), mandatory)
+        query = IsosQuery(
+            region=WHOLE, k=3, theta=0.0,
+            candidates=candidates, mandatory=mandatory,
+        )
+        result = isos_select(ds, query)
+        want = representative_score(ds, result.region_ids, result.selected)
+        assert result.score == pytest.approx(want)
+
+    def test_initial_bounds_must_align(self, ds):
+        query = IsosQuery(
+            region=WHOLE, k=3, theta=0.0,
+            candidates=np.arange(10), mandatory=np.array([], dtype=np.int64),
+        )
+        with pytest.raises(ValueError, match="align"):
+            isos_select(ds, query, initial_bounds=np.ones(5))
+
+    def test_valid_upper_bounds_give_same_selection(self, ds):
+        """Seeding the heap with any dominating bounds must not change
+        the output (the lazy-forward correctness argument)."""
+        candidates = np.arange(60)
+        query = IsosQuery(
+            region=WHOLE, k=6, theta=0.03,
+            candidates=candidates, mandatory=np.array([], dtype=np.int64),
+        )
+        plain = isos_select(ds, query)
+        loose = isos_select(
+            ds, query, initial_bounds=np.full(60, 1e6)
+        )
+        assert plain.selected.tolist() == loose.selected.tolist()

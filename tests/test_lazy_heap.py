@@ -1,0 +1,130 @@
+"""Tests for the lazy-forward heap."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lazy_heap import LazyForwardHeap
+
+
+class TestBasics:
+    def test_empty_pop(self):
+        heap = LazyForwardHeap()
+        assert heap.pop_best(0, lambda _: 0.0) is None
+        assert len(heap) == 0
+
+    def test_fresh_entries_pop_in_gain_order(self):
+        heap = LazyForwardHeap()
+        heap.push(1, 0.5, iteration=0)
+        heap.push(2, 0.9, iteration=0)
+        heap.push(3, 0.1, iteration=0)
+        fail = pytest.fail
+        order = [
+            heap.pop_best(0, lambda _: fail("no recompute expected"))
+            for _ in range(3)
+        ]
+        assert [obj for obj, _ in order] == [2, 1, 3]
+        assert [g for _, g in order] == [0.9, 0.5, 0.1]
+
+    def test_tie_breaks_by_smaller_id(self):
+        heap = LazyForwardHeap()
+        heap.push(9, 0.5, iteration=0)
+        heap.push(4, 0.5, iteration=0)
+        obj, _ = heap.pop_best(0, lambda _: 0.0)
+        assert obj == 4
+
+    def test_deactivate_skips_entries(self):
+        heap = LazyForwardHeap()
+        heap.push(1, 0.9, iteration=0)
+        heap.push(2, 0.5, iteration=0)
+        heap.deactivate(1)
+        assert len(heap) == 1
+        obj, _ = heap.pop_best(0, lambda _: 0.0)
+        assert obj == 2
+
+    def test_deactivate_many(self):
+        heap = LazyForwardHeap()
+        for i in range(5):
+            heap.push(i, float(i), iteration=0)
+        heap.deactivate_many(np.array([0, 2, 4]))
+        assert sorted(heap.active_ids()) == [1, 3]
+
+    def test_repush_supersedes(self):
+        heap = LazyForwardHeap()
+        heap.push(1, 0.9, iteration=0)
+        heap.push(1, 0.2, iteration=0)  # newer value wins
+        heap.push(2, 0.5, iteration=0)
+        obj, gain = heap.pop_best(0, lambda _: 0.0)
+        assert (obj, gain) == (2, 0.5)
+        obj, gain = heap.pop_best(0, lambda _: 0.0)
+        assert (obj, gain) == (1, 0.2)
+
+    def test_is_active(self):
+        heap = LazyForwardHeap()
+        heap.push(7, 1.0)
+        assert heap.is_active(7)
+        heap.deactivate(7)
+        assert not heap.is_active(7)
+
+
+class TestLazyForward:
+    def test_stale_entries_recomputed(self):
+        heap = LazyForwardHeap()
+        heap.push(1, 0.9)  # stale (default tag)
+        heap.push(2, 0.8)
+        calls = []
+
+        def gain(obj):
+            calls.append(obj)
+            return {1: 0.1, 2: 0.7}[obj]
+
+        obj, gain_value = heap.pop_best(0, gain)
+        # Object 1's refreshed gain (0.1) drops below object 2's bound
+        # (0.8); 2 is then refreshed to 0.7 which dominates 0.1.
+        assert (obj, gain_value) == (2, 0.7)
+        assert calls == [1, 2]
+
+    def test_celf_shortcut_skips_reinsert(self):
+        heap = LazyForwardHeap()
+        heap.push(1, 0.9)
+        heap.push(2, 0.3)
+        calls = []
+
+        def gain(obj):
+            calls.append(obj)
+            return 0.5  # still above 2's bound of 0.3
+
+        obj, gain_value = heap.pop_best(0, gain)
+        assert (obj, gain_value) == (1, 0.5)
+        assert calls == [1]  # object 2 never recomputed
+
+    def test_iteration_tag_freshness(self):
+        heap = LazyForwardHeap()
+        heap.push(1, 0.9, iteration=0)
+        obj, _ = heap.pop_best(0, lambda _: pytest.fail("fresh at iter 0"))
+        assert obj == 1
+        # Same tag is stale at a later iteration.
+        heap.push(2, 0.9, iteration=0)
+        recomputed = []
+        heap.pop_best(3, lambda o: recomputed.append(o) or 0.5)
+        assert recomputed == [2]
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        gains=st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=1, max_size=20,
+        )
+    )
+    def test_selects_true_maximum(self, gains):
+        """Starting from arbitrary valid upper bounds, pop_best must
+        return the object with the maximum true gain."""
+        heap = LazyForwardHeap()
+        true_gain = dict(enumerate(gains))
+        for obj, g in true_gain.items():
+            # Any bound >= true gain is valid; use 1.0 (maximally stale).
+            heap.push(obj, 1.0)
+        obj, gain_value = heap.pop_best(0, lambda o: true_gain[o])
+        assert gain_value == pytest.approx(max(gains))
+        assert true_gain[obj] == pytest.approx(max(gains))

@@ -1,0 +1,152 @@
+"""Tests for MinHash similarity and LSH near-duplicate detection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.similarity import (
+    JaccardSimilarity,
+    MinHashSimilarity,
+    compute_signatures,
+    near_duplicate_groups,
+)
+
+
+class TestSignatures:
+    def test_shape_and_determinism(self):
+        sets = [{1, 2, 3}, {2, 3, 4}, {9}]
+        a = compute_signatures(sets, num_hashes=32, seed=5)
+        b = compute_signatures(sets, num_hashes=32, seed=5)
+        assert a.shape == (3, 32)
+        assert np.array_equal(a, b)
+
+    def test_different_seed_differs(self):
+        sets = [{1, 2, 3}, {2, 3, 4}]
+        a = compute_signatures(sets, seed=1)
+        b = compute_signatures(sets, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_identical_sets_identical_signatures(self):
+        sets = [{5, 6, 7}, {5, 6, 7}]
+        sigs = compute_signatures(sets)
+        assert np.array_equal(sigs[0], sigs[1])
+
+    def test_empty_set_sentinel(self):
+        sigs = compute_signatures([set(), {1}])
+        assert (sigs[0] == np.iinfo(np.uint64).max).all()
+
+    def test_num_hashes_validation(self):
+        with pytest.raises(ValueError):
+            compute_signatures([{1}], num_hashes=0)
+
+
+class TestMinHashSimilarity:
+    def test_protocol_contract(self):
+        model = MinHashSimilarity([{1, 2}, {2, 3}, {9, 10}], num_hashes=64)
+        ids = np.arange(3)
+        for i in range(3):
+            sims = model.sims_to(i, ids)
+            assert sims[i] == 1.0
+            assert np.all(sims >= 0.0) and np.all(sims <= 1.0)
+            for j in range(3):
+                assert model.sim(i, j) == pytest.approx(model.sim(j, i))
+
+    def test_estimates_jaccard(self):
+        """With many hashes the estimate concentrates near the truth."""
+        gen = np.random.default_rng(3)
+        sets = [
+            set(int(x) for x in gen.integers(0, 40, size=20))
+            for _ in range(12)
+        ]
+        exact = JaccardSimilarity(sets)
+        approx = MinHashSimilarity(sets, num_hashes=512, seed=1)
+        for i in range(12):
+            for j in range(i + 1, 12):
+                assert approx.sim(i, j) == pytest.approx(
+                    exact.sim(i, j), abs=0.12
+                )
+
+    def test_disjoint_sets_near_zero(self):
+        model = MinHashSimilarity([{1, 2, 3}, {100, 200, 300}],
+                                  num_hashes=128)
+        assert model.sim(0, 1) < 0.1
+
+    def test_from_texts(self):
+        model = MinHashSimilarity.from_texts(
+            ["coffee shop downtown", "coffee shop downtown",
+             "modern art museum"],
+            num_hashes=64,
+        )
+        assert model.sim(0, 1) == 1.0
+        assert model.sim(0, 2) < 0.5
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_subset_similarity_positive(self, seed):
+        gen = np.random.default_rng(seed)
+        base = set(int(x) for x in gen.integers(0, 100, size=30))
+        if len(base) < 4:
+            return
+        subset = set(list(base)[: len(base) // 2])
+        model = MinHashSimilarity([base, subset], num_hashes=256)
+        assert model.sim(0, 1) > 0.2
+
+
+class TestNearDuplicateGroups:
+    def test_finds_duplicate_groups(self):
+        sets = (
+            [{1, 2, 3, 4}] * 5        # group A
+            + [{50, 51, 52}] * 3      # group B
+            + [{i * 7, i * 7 + 1} for i in range(10, 16)]  # singletons
+        )
+        sigs = compute_signatures(sets, num_hashes=64)
+        groups = near_duplicate_groups(sigs, bands=16)
+        sizes = sorted(len(g) for g in groups)
+        assert sizes[-1] == 5  # group A found whole
+        assert 3 in sizes      # group B too
+        flat = set()
+        for g in groups:
+            flat.update(g.tolist())
+        assert {0, 1, 2, 3, 4} <= flat
+
+    def test_largest_group_first(self):
+        sets = [{1}] * 4 + [{2}] * 2
+        groups = near_duplicate_groups(compute_signatures(sets), bands=8)
+        assert len(groups[0]) >= len(groups[-1])
+
+    def test_min_group_filters(self):
+        sets = [{1}, {1}, {99}]
+        groups = near_duplicate_groups(
+            compute_signatures(sets), bands=8, min_group=3
+        )
+        assert groups == []
+
+    def test_bands_validation(self):
+        sigs = compute_signatures([{1}], num_hashes=64)
+        with pytest.raises(ValueError):
+            near_duplicate_groups(sigs, bands=7)  # 64 % 7 != 0
+
+    def test_on_generated_corpus(self):
+        """The synthetic generator's duplicate groups are recoverable."""
+        from repro.datasets import DatasetSpec, generate_clustered
+
+        ds = generate_clustered(
+            DatasetSpec(name="lsh", n=800, n_clusters=3,
+                        duplicate_fraction=0.5, seed=4)
+        )
+        from repro.similarity.minhash import _token_sets
+
+        sets = _token_sets(ds.texts, None)
+        groups = near_duplicate_groups(
+            compute_signatures(sets, num_hashes=64), bands=16
+        )
+        # Heavy duplication must surface plenty of multi-member groups.
+        assert len(groups) > 20
+        # Every group's members share identical text (generator copies
+        # texts verbatim), modulo LSH's small false-positive rate.
+        exact = 0
+        for group in groups[:20]:
+            texts = {ds.texts[int(i)] for i in group}
+            exact += int(len(texts) == 1)
+        assert exact >= 15

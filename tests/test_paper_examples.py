@@ -1,0 +1,182 @@
+"""Tests pinned to the paper's own worked examples and proofs.
+
+* Appendix D (Example D.1): the greedy run on the 6-object instance.
+* Lemma 4.3: at most 7 θ-separated objects conflict with an outsider.
+* Theorem 3.2: the Minimum-Dominating-Set reduction instances behave as
+  the proof requires (0/1 similarities, full-score iff dominating).
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    GeoDataset,
+    RegionQuery,
+    greedy_select,
+    representative_score,
+)
+from repro.geo import BoundingBox
+from repro.similarity import MatrixSimilarity
+
+
+class TestExampleD1:
+    """The heap walk-through of Appendix D.
+
+    Six objects; the similarity table gives object o1 initial mass 2.6,
+    o4 2.5, o3 2.3, o2 2.2.  The greedy selects o1 first; o2 and o5
+    conflict with o1 and are removed; recomputation puts o4 (or o3, who
+    tie at 1.2) next — the example selects o4.
+    """
+
+    def build(self):
+        # Index mapping: o1..o6 -> 0..5.  Similarities from Figure 16's
+        # table (symmetric closure; unspecified pairs 0).  Values chosen
+        # to reproduce the masses 2.6/2.2/2.3/2.5 of Figure 17(a).
+        sim = np.eye(6)
+
+        def set_pair(i, j, v):
+            sim[i, j] = sim[j, i] = v
+
+        set_pair(0, 1, 0.9)   # o1-o2
+        set_pair(0, 2, 0.2)   # o1-o3
+        set_pair(0, 3, 0.5)   # o1-o4
+        set_pair(1, 2, 0.3)   # o2-o3
+        set_pair(2, 3, 0.8)   # o3-o4
+        set_pair(3, 4, 0.2)   # o4-o5
+        set_pair(4, 5, 0.3)   # o5-o6
+        # Masses: o1: 1+.9+.2+.5 = 2.6 ✓; o2: 1+.9+.3 = 2.2 ✓;
+        #         o3: 1+.2+.3+.8 = 2.3 ✓; o4: 1+.5+.8+.2 = 2.5 ✓.
+
+        # Layout: o2 and o5 within θ of o1; everyone else far apart.
+        xs = np.array([0.00, 0.01, 0.50, 0.70, 0.02, 0.90])
+        ys = np.array([0.00, 0.00, 0.50, 0.10, 0.01, 0.90])
+        return GeoDataset.build(
+            xs, ys, similarity=MatrixSimilarity(sim)
+        )
+
+    def test_greedy_walkthrough(self):
+        ds = self.build()
+        query = RegionQuery(
+            region=BoundingBox(-0.1, -0.1, 1.0, 1.0), k=2, theta=0.1
+        )
+        result = greedy_select(ds, query)
+        # o1 first (max mass), then o4 (max marginal after removal of
+        # the conflicting o2, o5).
+        assert result.selected.tolist() == [0, 3]
+
+    def test_first_pick_mass(self):
+        ds = self.build()
+        ids = np.arange(6)
+        mass = representative_score(ds, ids, np.array([0]))
+        assert mass == pytest.approx(2.6 / 6.0)
+
+    def test_marginal_of_o4_after_o1(self):
+        ds = self.build()
+        ids = np.arange(6)
+        with_o1 = representative_score(ds, ids, np.array([0]))
+        with_both = representative_score(ds, ids, np.array([0, 3]))
+        # The appendix prints Δ(o4 | {o1}) = 1.2, but that is
+        # inconsistent with its own initial masses (2.6/2.2/2.3/2.5),
+        # which uniquely determine sim(o3,o4)=0.8 and sim(o4,o5)=0.2
+        # and give Δ = 1.3.  We pin the value implied by the masses.
+        assert (with_both - with_o1) == pytest.approx(1.3 / 6.0)
+
+
+class TestLemma43Geometry:
+    """At most 7 members of a θ-separated set lie within θ of a point."""
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_theta_separated_sets(self, seed):
+        gen = np.random.default_rng(seed)
+        theta = 0.05
+        # Greedily build a theta-separated set.
+        pts: list[tuple[float, float]] = []
+        for _ in range(3000):
+            x, y = gen.random(2)
+            if all(np.hypot(x - px, y - py) >= theta for px, py in pts):
+                pts.append((x, y))
+        pts_arr = np.array(pts)
+        # For random probe points, count conflicts (strict < theta).
+        for _ in range(50):
+            x, y = gen.random(2)
+            dists = np.hypot(pts_arr[:, 0] - x, pts_arr[:, 1] - y)
+            assert int((dists < theta).sum()) <= 7
+
+    def test_seven_is_achievable(self):
+        """The hexagonal packing of Figure 15 realizes exactly 7."""
+        theta = 1.0
+        center = (0.0, 0.0)
+        ring = [
+            (theta * np.cos(a), theta * np.sin(a))
+            for a in np.linspace(0, 2 * np.pi, 7)[:-1]
+        ]
+        pts = np.array([center] + ring)
+        # The set is theta-separated (ring radius = theta, neighbors
+        # exactly theta apart).
+        for i in range(len(pts)):
+            for j in range(i + 1, len(pts)):
+                assert np.hypot(*(pts[i] - pts[j])) >= theta - 1e-9
+        # A probe just off the center conflicts with all 7 center+ring
+        # points? No — ring points are at distance exactly theta from
+        # the center, so a probe epsilon-near a ring gap conflicts with
+        # center plus its 2-3 nearest ring points.  The classical tight
+        # case: probe at the center position conflicts with center only
+        # (others at exactly theta).  Shrink the ring slightly to show
+        # 7 conflicts are possible.
+        squeezed = np.array([center] + [
+            ((theta - 1e-6) * np.cos(a), (theta - 1e-6) * np.sin(a))
+            for a in np.linspace(0, 2 * np.pi, 7)[:-1]
+        ])
+        probe = np.array(center)
+        dists = np.hypot(squeezed[:, 0] - probe[0], squeezed[:, 1] - probe[1])
+        assert int((dists < theta).sum()) == 7
+
+
+class TestMdsReduction:
+    """Theorem 3.2: SOS instances built from graphs solve MDS."""
+
+    def build_instance(self, edges, n):
+        sim = np.eye(n)
+        for u, v in edges:
+            sim[u, v] = sim[v, u] = 1.0
+        gen = np.random.default_rng(0)
+        # Positions far apart so theta never binds.
+        xs = np.arange(n, dtype=np.float64)
+        ys = gen.random(n)
+        return GeoDataset.build(xs, ys, similarity=MatrixSimilarity(sim))
+
+    def test_star_graph_dominated_by_center(self):
+        # Star: node 0 adjacent to all others; {0} dominates.
+        n = 6
+        edges = [(0, i) for i in range(1, n)]
+        ds = self.build_instance(edges, n)
+        ids = np.arange(n)
+        assert representative_score(
+            ds, ids, np.array([0])
+        ) == pytest.approx(1.0)
+        # A leaf alone does not dominate.
+        assert representative_score(ds, ids, np.array([1])) < 1.0
+
+    def test_path_graph_needs_two(self):
+        # Path 0-1-2-3-4: minimum dominating set has size 2 ({1, 3}).
+        edges = [(i, i + 1) for i in range(4)]
+        ds = self.build_instance(edges, 5)
+        ids = np.arange(5)
+        assert representative_score(
+            ds, ids, np.array([1, 3])
+        ) == pytest.approx(1.0)
+        for single in range(5):
+            assert representative_score(ds, ids, np.array([single])) < 1.0
+
+    def test_greedy_solves_easy_mds(self):
+        # On the star graph, greedy's first pick is the center and the
+        # score is full — i.e. greedy finds the dominating set.
+        n = 6
+        edges = [(0, i) for i in range(1, n)]
+        ds = self.build_instance(edges, n)
+        query = RegionQuery(
+            region=BoundingBox(-1.0, -1.0, float(n), 2.0), k=1, theta=0.0
+        )
+        result = greedy_select(ds, query)
+        assert result.selected.tolist() == [0]
+        assert result.score == pytest.approx(1.0)

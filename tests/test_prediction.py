@@ -1,0 +1,133 @@
+"""Tests for the navigation predictor and predicted prefetching."""
+
+import pytest
+
+from repro import FrequencyPredictor, MapSession
+from repro.core.prediction import OPERATIONS
+from repro.geo import BoundingBox
+
+
+class TestFrequencyPredictor:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FrequencyPredictor(top=0)
+        with pytest.raises(ValueError):
+            FrequencyPredictor(top=4)
+        with pytest.raises(ValueError):
+            FrequencyPredictor(smoothing=0.0)
+
+    def test_cold_start_returns_top_operations(self):
+        predictor = FrequencyPredictor(top=2)
+        ranked = predictor.predict([])
+        assert len(ranked) == 2
+        assert set(ranked) <= set(OPERATIONS)
+
+    def test_learns_dominant_operation(self):
+        predictor = FrequencyPredictor(top=1)
+        for _ in range(10):
+            predictor.observe("pan")
+        assert predictor.predict(["pan"]) == ["pan"]
+
+    def test_transitions_outweigh_base_frequency(self):
+        predictor = FrequencyPredictor(top=1, smoothing=0.5)
+        # Overall zoom_in is frequent, but pans are always followed by
+        # zoom_out in this user's behaviour.
+        for _ in range(6):
+            predictor.observe("zoom_in")
+        for _ in range(4):
+            predictor.observe("pan")
+            predictor.observe("zoom_out")
+        assert predictor.predict(["pan"]) == ["zoom_out"]
+
+    def test_ignores_initial_marker(self):
+        predictor = FrequencyPredictor(top=1)
+        predictor.observe("initial")
+        # No crash, no learning from the marker.
+        assert len(predictor.predict(["initial"])) == 1
+
+    def test_rank_is_subset_ordering(self):
+        predictor = FrequencyPredictor(top=3)
+        for op, times in (("pan", 5), ("zoom_in", 3), ("zoom_out", 1)):
+            for _ in range(times):
+                predictor.observe(op)
+        # With no transition signal (interleaving destroyed), ranking
+        # follows frequency.
+        predictor._last = None
+        assert predictor.predict([]) == ["pan", "zoom_in", "zoom_out"]
+
+
+class TestPredictedPrefetchSession:
+    @pytest.fixture
+    def dataset(self):
+        from repro.datasets import sg_pois
+
+        return sg_pois(n=6000)
+
+    def test_predicted_prefetch_hits_repeated_operation(self, dataset):
+        session = MapSession(
+            dataset, k=6, prefetch=True,
+            predictor=FrequencyPredictor(top=1),
+        )
+        session.start(BoundingBox(0.2, 0.2, 0.8, 0.8))
+        session.pan(0.03, 0.0)
+        step = session.pan(0.03, 0.0)
+        assert step.used_prefetch
+
+    def test_miss_falls_back_correctly(self, dataset):
+        predictor = FrequencyPredictor(top=1)
+        for _ in range(5):
+            predictor.observe("pan")  # predictor is convinced it's pans
+        session = MapSession(
+            dataset, k=6, prefetch=True, predictor=predictor,
+        )
+        session.start(BoundingBox(0.2, 0.2, 0.8, 0.8))
+        step = session.zoom_in(0.5)  # surprise!
+        assert not step.used_prefetch
+        assert len(step.result) > 0  # fell back to exact init, correct
+
+    def test_quality_matches_full_prefetch(self, dataset):
+        """Predicted prefetching never changes selection quality —
+        only whether the heap starts from bounds or exact gains (ties
+        among duplicated objects may resolve differently, so we compare
+        scores, not ids)."""
+        region = BoundingBox(0.2, 0.2, 0.8, 0.8)
+        full = MapSession(dataset, k=6, prefetch=True)
+        pred = MapSession(
+            dataset, k=6, prefetch=True,
+            predictor=FrequencyPredictor(top=2),
+        )
+        a = full.start(region)
+        b = pred.start(region)
+        assert a.result.score == pytest.approx(b.result.score)
+        for op, kwargs in (
+            ("pan", dict(dx=0.05, dy=0.0)),
+            ("zoom_in", dict(scale=0.5)),
+            ("zoom_out", dict(scale=2.0)),
+        ):
+            a = getattr(full, op)(**kwargs)
+            b = getattr(pred, op)(**kwargs)
+            assert a.result.score == pytest.approx(b.result.score, rel=1e-6)
+
+    def test_predicted_precompute_cheaper(self, dataset):
+        region = BoundingBox(0.2, 0.2, 0.8, 0.8)
+        full = MapSession(dataset, k=6, prefetch=True)
+        pred = MapSession(
+            dataset, k=6, prefetch=True,
+            predictor=FrequencyPredictor(top=1),
+        )
+        full.start(region)
+        pred.start(region)
+        assert len(pred.prefetch_elapsed) < len(full.prefetch_elapsed)
+
+    def test_rng_free_determinism(self, dataset):
+        region = BoundingBox(0.2, 0.2, 0.8, 0.8)
+        runs = []
+        for _ in range(2):
+            session = MapSession(
+                dataset, k=6, prefetch=True,
+                predictor=FrequencyPredictor(top=2),
+            )
+            session.start(region)
+            step = session.pan(0.04, 0.0)
+            runs.append(step.result.selected.tolist())
+        assert runs[0] == runs[1]

@@ -1,0 +1,192 @@
+"""Tests for the Sec. 5.2 prefetcher.
+
+The central property, verified per lemma: every prefetched bound
+dominates the true first-iteration marginal gain of its object in the
+realized new region — and therefore prefetch-seeded selections equal
+plain ISOS selections.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Prefetcher, isos_select
+from repro.core.problem import IsosQuery
+from repro.core.scoring import MarginalGainState
+from repro.geo import BoundingBox
+
+
+@pytest.fixture
+def ds(text_dataset):
+    return text_dataset
+
+
+def dense_region(ds, side=0.3):
+    """A region guaranteed to hold a good number of objects."""
+    from repro.geo.point import Point
+
+    best = None
+    gen = np.random.default_rng(2)
+    for _ in range(20):
+        anchor = int(gen.integers(len(ds)))
+        region = BoundingBox.from_center(
+            Point(float(ds.xs[anchor]), float(ds.ys[anchor])), side
+        ).clipped_to(BoundingBox(-0.5, -0.5, 1.5, 1.5))
+        ids = ds.objects_in(region)
+        if best is None or len(ids) > len(best[1]):
+            best = (region, ids)
+    return best[0]
+
+
+def assert_bounds_dominate(ds, data, new_region, mandatory):
+    """Every candidate's prefetched bound >= its true gain given D."""
+    new_ids = ds.objects_in(new_region)
+    if len(new_ids) == 0:
+        return
+    state = MarginalGainState(ds, new_ids)
+    for obj in mandatory:
+        state.add(int(obj))
+    candidates = np.setdiff1d(new_ids, mandatory)
+    if len(candidates) == 0:
+        return
+    assert data.covers(candidates)
+    bounds = data.bounds_for(candidates, len(new_ids))
+    for obj, bound in zip(candidates, bounds):
+        assert bound >= state.gain(int(obj)) - 1e-9
+
+
+class TestZoomInPrefetch:
+    def test_bounds_dominate_gains(self, ds):
+        region = dense_region(ds)
+        data = Prefetcher(ds).prefetch_zoom_in(region)
+        assert data.kind == "zoom_in"
+        for scale in (0.5, 0.25):
+            new_region = region.zoomed_in(scale)
+            assert_bounds_dominate(
+                ds, data, new_region, np.array([], dtype=np.int64)
+            )
+
+    def test_bounds_dominate_with_mandatory(self, ds):
+        region = dense_region(ds)
+        data = Prefetcher(ds).prefetch_zoom_in(region)
+        new_region = region.zoomed_in(0.5)
+        new_ids = ds.objects_in(new_region)
+        if len(new_ids) >= 3:
+            mandatory = new_ids[:2]
+            assert_bounds_dominate(ds, data, new_region, mandatory)
+
+    def test_covers_exactly_the_region(self, ds):
+        region = dense_region(ds)
+        data = Prefetcher(ds).prefetch_zoom_in(region)
+        ids = ds.objects_in(region)
+        assert data.covers(ids)
+        outside = np.setdiff1d(np.arange(len(ds)), ids)[:5]
+        if len(outside):
+            assert not data.covers(outside)
+
+
+class TestZoomOutPrefetch:
+    def test_bounds_dominate_gains(self, ds):
+        region = dense_region(ds, side=0.15)
+        data = Prefetcher(ds).prefetch_zoom_out(region, max_scale=4.0)
+        for scale in (1.5, 2.0, 4.0):
+            new_region = region.zoomed_out(scale)
+            assert_bounds_dominate(
+                ds, data, new_region, np.array([], dtype=np.int64)
+            )
+
+    def test_does_not_cover_beyond_max_scale(self, ds):
+        region = dense_region(ds, side=0.1)
+        data = Prefetcher(ds).prefetch_zoom_out(region, max_scale=2.0)
+        far = region.zoomed_out(8.0)
+        far_ids = ds.objects_in(far)
+        near_ids = ds.objects_in(region.zoom_out_union(2.0))
+        extra = np.setdiff1d(far_ids, near_ids)
+        if len(extra):
+            assert not data.covers(extra)
+
+
+class TestPanPrefetch:
+    @pytest.mark.parametrize("tight", [False, True])
+    def test_bounds_dominate_gains(self, ds, tight):
+        region = dense_region(ds, side=0.2)
+        data = Prefetcher(ds).prefetch_pan(region, tight=tight)
+        for dx, dy in [(0.1, 0.0), (0.0, -0.1), (0.15, 0.1)]:
+            new_region = region.panned(dx, dy)
+            new_ids = ds.objects_in(new_region)
+            overlap_ids = ds.objects_in(region)
+            mandatory = np.intersect1d(new_ids, overlap_ids)[:3]
+            assert_bounds_dominate(ds, data, new_region, mandatory)
+
+    def test_tight_bounds_not_looser(self, ds):
+        region = dense_region(ds, side=0.2)
+        pf = Prefetcher(ds)
+        loose = pf.prefetch_pan(region, tight=False)
+        tight = pf.prefetch_pan(region, tight=True)
+        assert np.array_equal(loose.ids, tight.ids)
+        assert np.all(tight.raw_sums <= loose.raw_sums + 1e-9)
+
+
+class TestPrefetchSeededSelection:
+    def test_same_selection_as_plain_isos(self, ds):
+        region = dense_region(ds, side=0.25)
+        data = Prefetcher(ds).prefetch_zoom_in(region)
+        new_region = region.zoomed_in(0.5)
+        new_ids = ds.objects_in(new_region)
+        if len(new_ids) < 5:
+            pytest.skip("region too sparse for a meaningful comparison")
+        mandatory = new_ids[:1]
+        candidates = np.setdiff1d(new_ids, mandatory)
+        query = IsosQuery(
+            region=new_region, k=min(6, len(new_ids)), theta=0.0,
+            candidates=candidates, mandatory=mandatory,
+        )
+        plain = isos_select(ds, query)
+        seeded = isos_select(
+            ds, query,
+            initial_bounds=data.bounds_for(candidates, len(new_ids)),
+        )
+        assert plain.selected.tolist() == seeded.selected.tolist()
+        assert plain.score == pytest.approx(seeded.score)
+
+    def test_seeded_needs_fewer_initial_evaluations(self, ds):
+        region = dense_region(ds, side=0.25)
+        data = Prefetcher(ds).prefetch_zoom_in(region)
+        new_region = region.zoomed_in(0.5)
+        new_ids = ds.objects_in(new_region)
+        if len(new_ids) < 30:
+            pytest.skip("region too sparse")
+        candidates = new_ids
+        query = IsosQuery(
+            region=new_region, k=5, theta=0.0,
+            candidates=candidates, mandatory=np.array([], dtype=np.int64),
+        )
+        plain = isos_select(ds, query)
+        seeded = isos_select(
+            ds, query,
+            initial_bounds=data.bounds_for(candidates, len(new_ids)),
+        )
+        assert (
+            seeded.stats["gain_evaluations"] < plain.stats["gain_evaluations"]
+        )
+
+
+class TestPrefetchDataValidation:
+    def test_misaligned_arrays_rejected(self):
+        from repro import PrefetchData
+
+        with pytest.raises(ValueError, match="align"):
+            PrefetchData(
+                kind="pan", source_region=BoundingBox.unit(),
+                ids=np.array([1, 2]), raw_sums=np.array([0.5]),
+                elapsed_s=0.0,
+            )
+
+    def test_bounds_for_bad_population(self):
+        from repro import PrefetchData
+
+        data = PrefetchData(
+            kind="pan", source_region=BoundingBox.unit(),
+            ids=np.array([1]), raw_sums=np.array([0.5]), elapsed_s=0.0,
+        )
+        with pytest.raises(ValueError):
+            data.bounds_for(np.array([1]), 0)

@@ -1,0 +1,160 @@
+"""Tests for SaSS (Algorithm 2) and the sample-size formulas."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    GeoDataset,
+    RegionQuery,
+    hoeffding_sample_size,
+    sass_select,
+    serfling_sample_size,
+)
+from repro.geo import BoundingBox
+from repro.geo.distance import pairwise_min_distance
+
+
+class TestSampleSizes:
+    def test_hoeffding_formula(self):
+        # m = ceil(ln(2/δ) / (2 ε²))
+        eps, delta = 0.05, 0.1
+        want = math.ceil(math.log(2 / delta) / (2 * eps * eps))
+        assert hoeffding_sample_size(eps, delta) == want
+
+    def test_hoeffding_paper_defaults_magnitude(self):
+        # Paper defaults (ε=.05, δ=.1) need ~600 samples — the reason
+        # <2% of even 100M objects suffices.
+        m = hoeffding_sample_size(0.05, 0.1)
+        assert 550 <= m <= 650
+
+    def test_serfling_tighter_than_hoeffding(self):
+        for population in (1_000, 50_000, 10**6):
+            s = serfling_sample_size(0.05, 0.1, population)
+            h = hoeffding_sample_size(0.05, 0.1)
+            assert s <= h
+
+    def test_serfling_converges_to_hoeffding(self):
+        s = serfling_sample_size(0.05, 0.1, 10**12)
+        h = hoeffding_sample_size(0.05, 0.1)
+        assert abs(s - h) <= 1
+
+    def test_serfling_capped_by_population(self):
+        assert serfling_sample_size(0.01, 0.01, 50) == 50
+
+    def test_smaller_epsilon_needs_more_samples(self):
+        assert hoeffding_sample_size(0.03, 0.1) > hoeffding_sample_size(0.07, 0.1)
+        assert serfling_sample_size(0.03, 0.1, 10**6) > serfling_sample_size(
+            0.07, 0.1, 10**6
+        )
+
+    def test_smaller_delta_needs_more_samples(self):
+        assert hoeffding_sample_size(0.05, 0.05) > hoeffding_sample_size(
+            0.05, 0.2
+        )
+
+    def test_parameter_validation(self):
+        for eps, delta in [(0.0, 0.1), (1.0, 0.1), (0.05, 0.0), (0.05, 1.0)]:
+            with pytest.raises(ValueError):
+                hoeffding_sample_size(eps, delta)
+            with pytest.raises(ValueError):
+                serfling_sample_size(eps, delta, 100)
+        with pytest.raises(ValueError):
+            serfling_sample_size(0.05, 0.1, 0)
+
+
+@pytest.fixture
+def big_uniform():
+    gen = np.random.default_rng(31)
+    n = 30_000
+    return GeoDataset.build(gen.random(n), gen.random(n))
+
+
+WHOLE = BoundingBox(0.0, 0.0, 1.0, 1.0)
+
+
+class TestSassSelect:
+    def test_respects_k_and_visibility(self, big_uniform):
+        query = RegionQuery(region=WHOLE, k=25, theta=0.01)
+        result = sass_select(big_uniform, query, rng=np.random.default_rng(1))
+        assert len(result) == 25
+        sel = result.selected
+        assert pairwise_min_distance(
+            big_uniform.xs[sel], big_uniform.ys[sel]
+        ) >= query.theta
+
+    def test_sample_size_matches_bound(self, big_uniform):
+        query = RegionQuery(region=WHOLE, k=10, theta=0.0)
+        result = sass_select(
+            big_uniform, query, epsilon=0.05, delta=0.1,
+            bound="serfling", rng=np.random.default_rng(2),
+        )
+        want = serfling_sample_size(0.05, 0.1, len(big_uniform))
+        assert result.stats["sample_size"] == want
+        assert result.stats["sampling_ratio"] == pytest.approx(
+            want / len(big_uniform)
+        )
+
+    def test_hoeffding_bound_option(self, big_uniform):
+        query = RegionQuery(region=WHOLE, k=10, theta=0.0)
+        result = sass_select(
+            big_uniform, query, bound="hoeffding",
+            rng=np.random.default_rng(3),
+        )
+        assert result.stats["sample_size"] == hoeffding_sample_size(0.05, 0.1)
+
+    def test_unknown_bound_rejected(self, big_uniform):
+        query = RegionQuery(region=WHOLE, k=10, theta=0.0)
+        with pytest.raises(ValueError, match="bound"):
+            sass_select(big_uniform, query, bound="chernoff")
+
+    def test_empty_region(self, big_uniform):
+        query = RegionQuery(
+            region=BoundingBox(3.0, 3.0, 4.0, 4.0), k=5, theta=0.0
+        )
+        result = sass_select(big_uniform, query)
+        assert len(result) == 0
+        assert result.stats["sample_size"] == 0
+
+    def test_selection_comes_from_sample(self, big_uniform):
+        query = RegionQuery(region=WHOLE, k=15, theta=0.005)
+        result = sass_select(big_uniform, query, rng=np.random.default_rng(4))
+        assert set(result.selected.tolist()) <= set(result.region_ids.tolist())
+
+    def test_deterministic_under_rng(self, big_uniform):
+        query = RegionQuery(region=WHOLE, k=10, theta=0.005)
+        a = sass_select(big_uniform, query, rng=np.random.default_rng(99))
+        b = sass_select(big_uniform, query, rng=np.random.default_rng(99))
+        assert a.selected.tolist() == b.selected.tolist()
+
+    def test_full_score_evaluation(self, big_uniform):
+        from repro import representative_score
+
+        query = RegionQuery(region=WHOLE, k=10, theta=0.005)
+        result = sass_select(
+            big_uniform, query, rng=np.random.default_rng(5),
+            evaluate_full_score=True,
+        )
+        all_ids = big_uniform.objects_in(WHOLE)
+        want = representative_score(big_uniform, all_ids, result.selected)
+        assert result.stats["full_score"] == pytest.approx(want)
+        assert result.stats["score_difference"] == pytest.approx(
+            abs(want - result.score)
+        )
+
+    def test_score_error_within_epsilon(self, big_uniform):
+        """Theorem 6.3's practical consequence: the sample score tracks
+        the full-population score within ~ε (checked across seeds with
+        a small allowance since δ=0.1 permits rare excursions)."""
+        query = RegionQuery(region=WHOLE, k=20, theta=0.005)
+        epsilon = 0.05
+        failures = 0
+        for seed in range(10):
+            result = sass_select(
+                big_uniform, query, epsilon=epsilon, delta=0.1,
+                rng=np.random.default_rng(seed), evaluate_full_score=True,
+            )
+            if result.stats["score_difference"] > epsilon:
+                failures += 1
+        assert failures <= 2  # δ = 0.1 allows occasional misses

@@ -1,0 +1,195 @@
+"""Tests for the representative score (Eq. 1–2) and marginal-gain state.
+
+Includes the property-based verification of the two lemmas the greedy
+guarantee rests on: monotonicity (Lemma 4.2) and submodularity
+(Lemma 4.1) of ``Sim(O, ·)``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Aggregation, GeoDataset, representative_score, similarity_to_set
+from repro.core.scoring import MarginalGainState
+from repro.similarity import MatrixSimilarity
+
+
+def dataset_from_matrix(matrix: np.ndarray, weights=None) -> GeoDataset:
+    n = matrix.shape[0]
+    gen = np.random.default_rng(0)
+    return GeoDataset.build(
+        gen.random(n), gen.random(n),
+        weights=weights,
+        similarity=MatrixSimilarity(matrix),
+    )
+
+
+@pytest.fixture
+def tiny_dataset():
+    # Hand-checkable 4-object similarity structure.
+    m = np.array(
+        [
+            [1.0, 0.8, 0.1, 0.0],
+            [0.8, 1.0, 0.2, 0.0],
+            [0.1, 0.2, 1.0, 0.5],
+            [0.0, 0.0, 0.5, 1.0],
+        ]
+    )
+    return dataset_from_matrix(m)
+
+
+class TestSimilarityToSet:
+    def test_empty_selection(self, tiny_dataset):
+        assert similarity_to_set(tiny_dataset, 0, np.array([])) == 0.0
+
+    def test_max_aggregation(self, tiny_dataset):
+        assert similarity_to_set(
+            tiny_dataset, 0, np.array([2, 3])
+        ) == pytest.approx(0.1)
+        assert similarity_to_set(
+            tiny_dataset, 0, np.array([1, 2])
+        ) == pytest.approx(0.8)
+
+    def test_sum_aggregation(self, tiny_dataset):
+        got = similarity_to_set(
+            tiny_dataset, 0, np.array([1, 2]), Aggregation.SUM
+        )
+        assert got == pytest.approx(0.9)
+
+    def test_avg_aggregation(self, tiny_dataset):
+        got = similarity_to_set(
+            tiny_dataset, 0, np.array([1, 2]), Aggregation.AVG
+        )
+        assert got == pytest.approx(0.45)
+
+    def test_self_in_selection_gives_one(self, tiny_dataset):
+        assert similarity_to_set(tiny_dataset, 2, np.array([2])) == 1.0
+
+
+class TestRepresentativeScore:
+    def test_empty_cases(self, tiny_dataset):
+        ids = np.arange(4)
+        assert representative_score(tiny_dataset, ids, np.array([])) == 0.0
+        assert representative_score(tiny_dataset, np.array([]), ids) == 0.0
+
+    def test_hand_computed(self, tiny_dataset):
+        # S = {0}: Sim(o,S) = [1.0, 0.8, 0.1, 0.0], unit weights.
+        ids = np.arange(4)
+        got = representative_score(tiny_dataset, ids, np.array([0]))
+        assert got == pytest.approx((1.0 + 0.8 + 0.1 + 0.0) / 4.0)
+
+    def test_full_selection_scores_weight_mean(self, tiny_dataset):
+        # Every object represents itself at similarity 1.
+        ids = np.arange(4)
+        got = representative_score(tiny_dataset, ids, ids)
+        assert got == pytest.approx(1.0)
+
+    def test_weights_scale_contributions(self):
+        m = np.eye(2)
+        ds = dataset_from_matrix(m, weights=np.array([1.0, 0.0]))
+        ids = np.arange(2)
+        # S = {0}: object 0 contributes 1*1, object 1 contributes 0*0.
+        assert representative_score(ds, ids, np.array([0])) == pytest.approx(0.5)
+        # S = {1}: object 1's weight is 0, object 0 has sim 0.
+        assert representative_score(ds, ids, np.array([1])) == pytest.approx(0.0)
+
+    def test_sum_vs_max(self, tiny_dataset):
+        ids = np.arange(4)
+        selected = np.array([0, 1])
+        s_max = representative_score(tiny_dataset, ids, selected, Aggregation.MAX)
+        s_sum = representative_score(tiny_dataset, ids, selected, Aggregation.SUM)
+        s_avg = representative_score(tiny_dataset, ids, selected, Aggregation.AVG)
+        assert s_sum >= s_max >= s_avg - 1e-12
+        assert s_avg == pytest.approx(s_sum / 2.0)
+
+
+class TestLemmaProperties:
+    """Lemmas 4.1 (submodularity) and 4.2 (monotonicity), empirically."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_monotone(self, seed):
+        gen = np.random.default_rng(seed)
+        n = 12
+        ds = dataset_from_matrix(
+            MatrixSimilarity.random(n, gen).matrix, weights=gen.random(n)
+        )
+        ids = np.arange(n)
+        subset = gen.choice(n, size=4, replace=False)
+        superset = np.union1d(subset, gen.choice(n, size=3, replace=False))
+        assert representative_score(ds, ids, subset) <= (
+            representative_score(ds, ids, superset) + 1e-12
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_submodular(self, seed):
+        gen = np.random.default_rng(seed)
+        n = 12
+        ds = dataset_from_matrix(
+            MatrixSimilarity.random(n, gen).matrix, weights=gen.random(n)
+        )
+        ids = np.arange(n)
+        small = gen.choice(n, size=3, replace=False)
+        extra = gen.choice(np.setdiff1d(ids, small), size=3, replace=False)
+        big = np.union1d(small, extra)
+        v = int(gen.choice(np.setdiff1d(ids, big)))
+
+        def score(sel):
+            return representative_score(ds, ids, np.asarray(sel))
+
+        gain_small = score(np.append(small, v)) - score(small)
+        gain_big = score(np.append(big, v)) - score(big)
+        assert gain_small >= gain_big - 1e-12
+
+
+class TestMarginalGainState:
+    def test_rejects_avg(self, tiny_dataset):
+        with pytest.raises(ValueError, match="AVG"):
+            MarginalGainState(tiny_dataset, np.arange(4), Aggregation.AVG)
+
+    def test_gain_matches_score_delta(self, tiny_dataset):
+        ids = np.arange(4)
+        state = MarginalGainState(tiny_dataset, ids)
+        for pick in (0, 3, 1):
+            expected = state.gain(pick)
+            before = state.score
+            realized = state.add(pick)
+            assert realized == pytest.approx(expected)
+            assert state.score == pytest.approx(before + expected)
+
+    def test_score_matches_representative_score(self, tiny_dataset):
+        ids = np.arange(4)
+        state = MarginalGainState(tiny_dataset, ids)
+        state.add(0)
+        state.add(3)
+        want = representative_score(tiny_dataset, ids, np.array([0, 3]))
+        assert state.score == pytest.approx(want)
+
+    def test_sum_gain_is_selection_independent(self, tiny_dataset):
+        ids = np.arange(4)
+        state = MarginalGainState(tiny_dataset, ids, Aggregation.SUM)
+        g_before = state.gain(2)
+        state.add(0)
+        state.add(1)
+        assert state.gain(2) == pytest.approx(g_before)
+
+    def test_empty_population(self, tiny_dataset):
+        state = MarginalGainState(tiny_dataset, np.array([], dtype=np.int64))
+        assert state.gain(0) == 0.0
+        assert state.add(0) == 0.0
+        assert state.score == 0.0
+
+    def test_gain_evaluations_counted(self, tiny_dataset):
+        state = MarginalGainState(tiny_dataset, np.arange(4))
+        assert state.gain_evaluations == 0
+        state.gain(0)
+        state.gain(1)
+        assert state.gain_evaluations == 2
+
+    def test_readding_same_object_gains_nothing(self, tiny_dataset):
+        state = MarginalGainState(tiny_dataset, np.arange(4))
+        state.add(2)
+        assert state.gain(2) == pytest.approx(0.0)
+        assert state.add(2) == pytest.approx(0.0)

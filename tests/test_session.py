@@ -1,0 +1,250 @@
+"""Tests for the interactive MapSession — the consistency constraints.
+
+These are the paper's zooming- and panning-consistency invariants
+(Sec. 3.4), checked operation by operation and over random traces.
+"""
+
+import numpy as np
+import pytest
+
+from repro import MapSession
+from repro.datasets import random_navigation_trace
+from repro.geo import BoundingBox
+from repro.geo.distance import pairwise_min_distance
+
+
+@pytest.fixture
+def session(text_dataset):
+    return MapSession(text_dataset, k=10, theta_fraction=0.01)
+
+
+def start_region(dataset, side=0.4):
+    from repro.geo.point import Point
+
+    gen = np.random.default_rng(17)
+    best = None
+    for _ in range(20):
+        anchor = int(gen.integers(len(dataset)))
+        region = BoundingBox.from_center(
+            Point(float(dataset.xs[anchor]), float(dataset.ys[anchor])), side
+        )
+        ids = dataset.objects_in(region)
+        if best is None or len(ids) > len(best[1]):
+            best = (region, ids)
+    return best[0]
+
+
+class TestLifecycle:
+    def test_requires_start(self, session):
+        with pytest.raises(RuntimeError, match="not started"):
+            session.zoom_in()
+        with pytest.raises(RuntimeError):
+            session.pan(0.1, 0.0)
+
+    def test_start_selects_k(self, session, text_dataset):
+        region = start_region(text_dataset)
+        step = session.start(region)
+        assert step.operation == "initial"
+        assert len(step.result) <= session.k
+        assert session.region == region
+
+    def test_parameter_validation(self, text_dataset):
+        with pytest.raises(ValueError):
+            MapSession(text_dataset, k=0)
+        with pytest.raises(ValueError):
+            MapSession(text_dataset, theta_fraction=-0.1)
+        with pytest.raises(ValueError):
+            MapSession(text_dataset, zoom_out_max_scale=1.0)
+
+    def test_history_grows(self, session, text_dataset):
+        session.start(start_region(text_dataset))
+        session.zoom_in()
+        session.zoom_out()
+        assert [s.operation for s in session.history] == [
+            "initial", "zoom_in", "zoom_out",
+        ]
+
+
+class TestZoomInConsistency:
+    def test_visible_in_new_region_stay_visible(self, session, text_dataset):
+        session.start(start_region(text_dataset))
+        before = session.visible
+        step = session.zoom_in(0.5)
+        ds = text_dataset
+        inside = step.region.contains_many(ds.xs[before], ds.ys[before])
+        must_stay = set(before[inside].tolist())
+        assert must_stay <= step.result.selected_set
+
+    def test_target_outside_rejected(self, session, text_dataset):
+        session.start(start_region(text_dataset))
+        with pytest.raises(ValueError, match="inside"):
+            session.zoom_in(target=session.region.panned(10.0, 0.0))
+
+    def test_theta_scales_down(self, session, text_dataset):
+        s0 = session.start(start_region(text_dataset))
+        s1 = session.zoom_in(0.5)
+        assert s1.theta == pytest.approx(s0.theta * 0.5)
+
+    def test_selection_respects_new_theta(self, session, text_dataset):
+        session.start(start_region(text_dataset))
+        step = session.zoom_in(0.5)
+        sel = step.result.selected
+        if len(sel) >= 2:
+            ds = text_dataset
+            assert pairwise_min_distance(ds.xs[sel], ds.ys[sel]) >= step.theta
+
+
+class TestZoomOutConsistency:
+    def test_old_invisible_objects_stay_invisible(self, session, text_dataset):
+        s0 = session.start(start_region(text_dataset, side=0.2))
+        old_region = s0.region
+        old_visible = set(s0.result.selected.tolist())
+        step = session.zoom_out(2.0)
+        ds = text_dataset
+        for obj in step.result.selected:
+            x, y = float(ds.xs[obj]), float(ds.ys[obj])
+            if old_region.contains_point(x, y):
+                # Zooming consistency: visible at coarse => visible at
+                # finer granularity, so in-old-region picks must come
+                # from the previously visible set.
+                assert int(obj) in old_visible
+
+    def test_target_must_contain_current(self, session, text_dataset):
+        session.start(start_region(text_dataset))
+        with pytest.raises(ValueError, match="contain"):
+            session.zoom_out(target=session.region.zoomed_in(0.5))
+
+    def test_theta_scales_up(self, session, text_dataset):
+        s0 = session.start(start_region(text_dataset, side=0.2))
+        s1 = session.zoom_out(2.0)
+        assert s1.theta == pytest.approx(s0.theta * 2.0)
+
+
+class TestPanConsistency:
+    def test_overlap_visible_objects_stay(self, session, text_dataset):
+        s0 = session.start(start_region(text_dataset))
+        dx = s0.region.width * 0.4
+        before = session.visible
+        step = session.pan(dx, 0.0)
+        ds = text_dataset
+        inside = step.region.contains_many(ds.xs[before], ds.ys[before])
+        must_stay = set(before[inside].tolist())
+        assert must_stay <= step.result.selected_set
+
+    def test_overlap_invisible_objects_stay_invisible(
+        self, session, text_dataset
+    ):
+        s0 = session.start(start_region(text_dataset))
+        old_region = s0.region
+        old_visible = set(s0.result.selected.tolist())
+        step = session.pan(old_region.width * 0.3, 0.0)
+        ds = text_dataset
+        for obj in step.result.selected:
+            x, y = float(ds.xs[obj]), float(ds.ys[obj])
+            if old_region.contains_point(x, y):
+                assert int(obj) in old_visible
+
+    def test_disjoint_pan_rejected(self, session, text_dataset):
+        session.start(start_region(text_dataset))
+        with pytest.raises(ValueError, match="overlap"):
+            session.pan(10.0, 10.0)
+
+    def test_size_change_rejected(self, session, text_dataset):
+        session.start(start_region(text_dataset))
+        bad = session.region.zoomed_in(0.9).panned(0.01, 0.0)
+        with pytest.raises(ValueError, match="size"):
+            session.pan(target=bad)
+
+    def test_theta_unchanged(self, session, text_dataset):
+        s0 = session.start(start_region(text_dataset))
+        s1 = session.pan(s0.region.width * 0.2, 0.0)
+        assert s1.theta == pytest.approx(s0.theta)
+
+
+class TestPrefetchedSessionEquivalence:
+    def test_prefetch_does_not_change_selections(self, text_dataset):
+        region = start_region(text_dataset)
+        plain = MapSession(text_dataset, k=10, theta_fraction=0.01)
+        fast = MapSession(
+            text_dataset, k=10, theta_fraction=0.01, prefetch=True
+        )
+        operations = [
+            ("zoom_in", dict(scale=0.5)),
+            ("pan", dict(dx=0.02, dy=0.0)),
+            ("zoom_out", dict(scale=2.0)),
+        ]
+        a = plain.start(region)
+        b = fast.start(region)
+        assert a.result.selected.tolist() == b.result.selected.tolist()
+        for op, kwargs in operations:
+            a = getattr(plain, op)(**kwargs)
+            b = getattr(fast, op)(**kwargs)
+            assert a.result.selected.tolist() == b.result.selected.tolist(), op
+
+    def test_prefetch_used_flag(self, text_dataset):
+        session = MapSession(
+            text_dataset, k=8, theta_fraction=0.01, prefetch=True
+        )
+        session.start(start_region(text_dataset))
+        step = session.zoom_in(0.5)
+        assert step.used_prefetch
+        assert "zoom_in" in session.prefetch_elapsed
+
+
+class TestRandomTraces:
+    def test_invariants_hold_along_random_traces(self, text_dataset):
+        for seed in range(3):
+            rng = np.random.default_rng(seed)
+            trace = random_navigation_trace(
+                text_dataset, length=6, region_fraction=0.3, rng=rng
+            )
+            session = MapSession(text_dataset, k=8, theta_fraction=0.01)
+            steps = trace.replay(session)
+            ds = text_dataset
+            for prev, step in zip(steps, steps[1:]):
+                prev_visible = prev.result.selected
+                if step.operation in ("zoom_in", "pan"):
+                    inside = step.region.contains_many(
+                        ds.xs[prev_visible], ds.ys[prev_visible]
+                    )
+                    must_stay = set(prev_visible[inside].tolist())
+                    assert must_stay <= step.result.selected_set
+                if step.operation in ("zoom_out", "pan"):
+                    old_vis = set(prev_visible.tolist())
+                    for obj in step.result.selected:
+                        x = float(ds.xs[obj])
+                        y = float(ds.ys[obj])
+                        if prev.region.contains_point(x, y):
+                            assert int(obj) in old_vis
+                sel = step.result.selected
+                if len(sel) >= 2:
+                    assert pairwise_min_distance(
+                        ds.xs[sel], ds.ys[sel]
+                    ) >= step.theta - 1e-12
+
+
+class TestScreenTheta:
+    def test_ratio(self):
+        from repro import theta_fraction_for_screen
+
+        assert theta_fraction_for_screen(24, 800) == pytest.approx(0.03)
+
+    def test_validation(self):
+        from repro import theta_fraction_for_screen
+
+        with pytest.raises(ValueError):
+            theta_fraction_for_screen(0, 800)
+        with pytest.raises(ValueError):
+            theta_fraction_for_screen(24, 0)
+        with pytest.raises(ValueError):
+            theta_fraction_for_screen(900, 800)
+
+    def test_plugs_into_session(self, text_dataset):
+        from repro import theta_fraction_for_screen
+
+        session = MapSession(
+            text_dataset, k=5,
+            theta_fraction=theta_fraction_for_screen(16, 640),
+        )
+        step = session.start(BoundingBox(0.1, 0.1, 0.9, 0.9))
+        assert step.theta == pytest.approx(0.8 * 16 / 640)

@@ -1,0 +1,130 @@
+"""Multi-level session scenarios: consistency across chained operations.
+
+The per-operation invariants are covered in test_session.py; these
+tests chain several zoom levels and verify the *cumulative* behaviour
+the paper's Examples 3.3–3.5 imply (visibility persists down a zoom
+stack, previously-hidden objects stay hidden through zoom-out chains,
+and θ tracks the viewport across the whole trajectory).
+"""
+
+import numpy as np
+import pytest
+
+from repro import MapSession
+from repro.geo import BoundingBox
+from repro.geo.distance import pairwise_min_distance
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    from repro.datasets import DatasetSpec, generate_clustered
+
+    return generate_clustered(
+        DatasetSpec(name="multi", n=8000, n_clusters=6,
+                    duplicate_fraction=0.3, seed=21)
+    )
+
+
+def dense_start(dataset, side=0.4):
+    from repro.geo.point import Point
+
+    gen = np.random.default_rng(3)
+    best = None
+    for _ in range(30):
+        anchor = int(gen.integers(len(dataset)))
+        region = BoundingBox.from_center(
+            Point(float(dataset.xs[anchor]), float(dataset.ys[anchor])), side
+        )
+        count = dataset.index.count_region(region)
+        if best is None or count > best[1]:
+            best = (region, count)
+    return best[0]
+
+
+class TestZoomStack:
+    def test_visibility_persists_down_three_levels(self, dataset):
+        session = MapSession(dataset, k=12, theta_fraction=0.01)
+        session.start(dense_start(dataset))
+        for _ in range(3):
+            before = session.visible
+            step = session.zoom_in(0.6)
+            inside = step.region.contains_many(
+                dataset.xs[before], dataset.ys[before]
+            )
+            assert set(before[inside].tolist()) <= step.result.selected_set
+
+    def test_zoom_in_out_roundtrip_consistency(self, dataset):
+        """Zoom in then back out: objects visible at the coarse level
+        before the trip that were inside the finer viewport and stayed
+        visible there are legitimate candidates again; objects that
+        were never visible at the fine level cannot appear inside the
+        old fine viewport after zooming out."""
+        session = MapSession(dataset, k=10, theta_fraction=0.01)
+        session.start(dense_start(dataset))
+        fine = session.zoom_in(0.5)
+        fine_visible = set(fine.result.selected.tolist())
+        coarse = session.zoom_out(2.0)
+        for obj in coarse.result.selected:
+            x, y = float(dataset.xs[obj]), float(dataset.ys[obj])
+            if fine.region.contains_point(x, y):
+                assert int(obj) in fine_visible
+
+    def test_theta_tracks_viewport_through_chain(self, dataset):
+        session = MapSession(dataset, k=8, theta_fraction=0.02)
+        s0 = session.start(dense_start(dataset))
+        s1 = session.zoom_in(0.5)
+        s2 = session.zoom_in(0.5)
+        s3 = session.zoom_out(4.0)
+        assert s1.theta == pytest.approx(s0.theta * 0.5)
+        assert s2.theta == pytest.approx(s0.theta * 0.25)
+        assert s3.theta == pytest.approx(s0.theta)
+
+    def test_every_step_theta_feasible(self, dataset):
+        session = MapSession(dataset, k=10, theta_fraction=0.02)
+        session.start(dense_start(dataset))
+        operations = ("zoom_in", "pan", "zoom_out", "pan", "zoom_in")
+        for op in operations:
+            if op == "zoom_in":
+                step = session.zoom_in(0.5)
+            elif op == "zoom_out":
+                step = session.zoom_out(2.0)
+            else:
+                step = session.pan(session.region.width * 0.3, 0.0)
+            sel = step.result.selected
+            if len(sel) >= 2:
+                assert pairwise_min_distance(
+                    dataset.xs[sel], dataset.ys[sel]
+                ) >= step.theta - 1e-12
+
+
+class TestPanChains:
+    def test_long_pan_keeps_rolling_consistency(self, dataset):
+        session = MapSession(dataset, k=10, theta_fraction=0.01)
+        session.start(dense_start(dataset, side=0.3))
+        previous = session.history[-1]
+        for _ in range(5):
+            step = session.pan(session.region.width * 0.25, 0.0)
+            prev_visible = previous.result.selected
+            inside = step.region.contains_many(
+                dataset.xs[prev_visible], dataset.ys[prev_visible]
+            )
+            assert set(prev_visible[inside].tolist()) <= (
+                step.result.selected_set
+            )
+            previous = step
+
+    def test_pan_away_and_back_respects_current_visibility(self, dataset):
+        """Panning away and back: consistency is defined against the
+        *current* state (the paper's constraints are pairwise between
+        consecutive views), so the selection after returning only has
+        to honour the intermediate view."""
+        session = MapSession(dataset, k=10, theta_fraction=0.01)
+        start = session.start(dense_start(dataset, side=0.3))
+        away = session.pan(start.region.width * 0.5, 0.0)
+        back = session.pan(-start.region.width * 0.5, 0.0)
+        assert back.region.overlap_fraction(start.region) == pytest.approx(1.0)
+        prev_visible = away.result.selected
+        inside = back.region.contains_many(
+            dataset.xs[prev_visible], dataset.ys[prev_visible]
+        )
+        assert set(prev_visible[inside].tolist()) <= back.result.selected_set

@@ -1,0 +1,136 @@
+"""Property-based tests of the similarity protocol over random corpora.
+
+Every model must satisfy the protocol contract (range, symmetry, unit
+self-similarity) and the consistency of its three access paths
+(``sim``, ``sims_to``, ``row_kernel``) — checked here with
+hypothesis-generated inputs rather than hand-picked ones.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.similarity import (
+    CombinedSimilarity,
+    CosineTextSimilarity,
+    EuclideanSimilarity,
+    GaussianSpatialSimilarity,
+    JaccardSimilarity,
+    MatrixSimilarity,
+)
+
+WORDS = ["cafe", "park", "museum", "market", "river", "tower", "bar",
+         "sushi", "gallery", "bridge", "站", "δρόμος"]
+
+
+@st.composite
+def corpora(draw):
+    n = draw(st.integers(2, 12))
+    texts = [
+        " ".join(
+            draw(st.lists(st.sampled_from(WORDS), min_size=0, max_size=6))
+        )
+        for _ in range(n)
+    ]
+    return texts
+
+
+@st.composite
+def models(draw):
+    """A random similarity model of a random kind."""
+    kind = draw(st.sampled_from(
+        ["matrix", "euclidean", "gaussian", "cosine", "jaccard", "combined"]
+    ))
+    seed = draw(st.integers(0, 10_000))
+    gen = np.random.default_rng(seed)
+    n = draw(st.integers(2, 10))
+    xs, ys = gen.random(n), gen.random(n)
+    if kind == "matrix":
+        return MatrixSimilarity.random(n, gen)
+    if kind == "euclidean":
+        return EuclideanSimilarity(xs, ys)
+    if kind == "gaussian":
+        return GaussianSpatialSimilarity(xs, ys, sigma=0.1)
+    if kind == "cosine":
+        texts = [
+            " ".join(gen.choice(WORDS, size=int(gen.integers(0, 6))))
+            for _ in range(n)
+        ]
+        return CosineTextSimilarity.from_texts(texts)
+    if kind == "jaccard":
+        sets = [
+            set(int(k) for k in gen.integers(0, 8, int(gen.integers(0, 5))))
+            for _ in range(n)
+        ]
+        return JaccardSimilarity(sets)
+    return CombinedSimilarity(
+        [MatrixSimilarity.random(n, gen),
+         GaussianSpatialSimilarity(xs, ys, sigma=0.2)],
+        [0.6, 0.4],
+    )
+
+
+class TestProtocolContract:
+    @settings(max_examples=60, deadline=None)
+    @given(model=models())
+    def test_range_symmetry_diagonal(self, model):
+        n = len(model)
+        ids = np.arange(n)
+        for i in range(n):
+            sims = model.sims_to(i, ids)
+            assert np.all(sims >= -1e-12) and np.all(sims <= 1.0 + 1e-12)
+            assert sims[i] == pytest.approx(1.0)
+            for j in range(n):
+                assert model.sim(i, j) == pytest.approx(
+                    model.sim(j, i), abs=1e-9
+                )
+
+    @settings(max_examples=60, deadline=None)
+    @given(model=models())
+    def test_access_paths_agree(self, model):
+        n = len(model)
+        ids = np.arange(n)
+        kernel = model.row_kernel(ids)
+        for i in range(n):
+            row = model.sims_to(i, ids)
+            assert kernel(i) == pytest.approx(row, abs=1e-9)
+            assert row == pytest.approx(
+                [model.sim(i, j) for j in range(n)], abs=1e-9
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(model=models(), seed=st.integers(0, 1000))
+    def test_weighted_sums_match_direct(self, model, seed):
+        n = len(model)
+        gen = np.random.default_rng(seed)
+        weights = gen.random(n)
+        ids = np.arange(n)
+        got = model.weighted_sims_sum(ids, ids, weights)
+        want = [float(np.dot(weights, model.sims_to(i, ids))) for i in ids]
+        assert got == pytest.approx(want, abs=1e-9)
+
+
+class TestCosineOverRandomCorpora:
+    @settings(max_examples=40, deadline=None)
+    @given(texts=corpora())
+    def test_identical_texts_have_similarity_one(self, texts):
+        from repro.similarity import Tokenizer
+
+        doubled = texts + [texts[0]]
+        model = CosineTextSimilarity.from_texts(doubled)
+        # A doc the (Latin-script) tokenizer cannot tokenize vectorizes
+        # to zero and is similar to nothing but itself.
+        tokenizable = bool(Tokenizer().tokenize(texts[0]))
+        assert model.sim(0, len(doubled) - 1) == pytest.approx(
+            1.0 if tokenizable else 0.0
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(texts=corpora())
+    def test_disjoint_vocabulary_is_orthogonal(self, texts):
+        marker = "zzzuniquezzz"
+        model = CosineTextSimilarity.from_texts(texts + [marker])
+        last = len(texts)
+        for i in range(len(texts)):
+            assert model.sim(i, last) == pytest.approx(0.0)

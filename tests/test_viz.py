@@ -1,0 +1,92 @@
+"""Tests for the ASCII and SVG renderers."""
+
+import numpy as np
+import pytest
+
+from repro import GeoDataset
+from repro.geo import BoundingBox
+from repro.viz import render_ascii, render_svg
+
+
+@pytest.fixture
+def ds():
+    gen = np.random.default_rng(2)
+    return GeoDataset.build(gen.random(300), gen.random(300))
+
+
+REGION = BoundingBox(0.0, 0.0, 1.0, 1.0)
+
+
+class TestAsciiRenderer:
+    def test_dimensions(self, ds):
+        out = render_ascii(ds, REGION, width=40, height=10)
+        lines = out.splitlines()
+        assert len(lines) == 12  # 10 rows + 2 border lines
+        assert all(len(line) == 42 for line in lines)
+
+    def test_no_border(self, ds):
+        out = render_ascii(ds, REGION, width=40, height=10, border=False)
+        assert len(out.splitlines()) == 10
+
+    def test_selected_marked(self, ds):
+        selected = np.array([0, 1, 2])
+        out = render_ascii(ds, REGION, selected=selected, width=60, height=20)
+        assert out.count("#") >= 1
+
+    def test_selection_outside_region_ignored(self, ds):
+        sub_region = BoundingBox(0.0, 0.0, 0.1, 0.1)
+        far = np.array(
+            [i for i in range(300)
+             if not sub_region.contains_point(float(ds.xs[i]), float(ds.ys[i]))]
+        )[:3]
+        out = render_ascii(ds, sub_region, selected=far, width=30, height=10)
+        assert "#" not in out
+
+    def test_empty_region(self, ds):
+        out = render_ascii(
+            ds, BoundingBox(5.0, 5.0, 6.0, 6.0), width=20, height=5
+        )
+        body = [line[1:-1] for line in out.splitlines()[1:-1]]
+        assert all(set(line) <= {" "} for line in body)
+
+    def test_grid_validation(self, ds):
+        with pytest.raises(ValueError):
+            render_ascii(ds, REGION, width=1, height=1)
+
+    def test_dense_cells_shade_darker(self):
+        # 100 points in one corner cell, 1 in another.
+        xs = np.concatenate([np.full(100, 0.05), [0.95]])
+        ys = np.concatenate([np.full(100, 0.05), [0.95]])
+        ds = GeoDataset.build(xs, ys)
+        out = render_ascii(ds, REGION, width=10, height=10, border=False)
+        assert "*" in out  # the heavy cell reaches the top ramp level
+        assert "." in out  # the light cell stays near the bottom
+
+
+class TestSvgRenderer:
+    def test_valid_svg_structure(self, ds):
+        svg = render_svg(ds, REGION, size=200)
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert 'width="200"' in svg
+
+    def test_selected_drawn_highlighted(self, ds):
+        svg = render_svg(ds, REGION, selected=np.array([5]))
+        assert svg.count('fill="#d33"') == 1
+
+    def test_title_escaped(self, ds):
+        svg = render_svg(ds, REGION, title="<Greedy> & co")
+        assert "&lt;Greedy&gt; &amp; co" in svg
+
+    def test_written_to_file(self, ds, tmp_path):
+        path = tmp_path / "map.svg"
+        svg = render_svg(ds, REGION, path=path)
+        assert path.read_text() == svg
+
+    def test_background_subsampled(self, ds):
+        svg = render_svg(ds, REGION, max_background_points=50)
+        assert svg.count('r="1.2"') <= 60
+
+    def test_size_validation(self, ds):
+        with pytest.raises(ValueError):
+            render_svg(ds, REGION, size=4)

@@ -1,0 +1,138 @@
+"""Tests for query/navigation workload generation."""
+
+import numpy as np
+import pytest
+
+from repro import MapSession
+from repro.datasets import (
+    pan_offset_for_overlap,
+    random_navigation_trace,
+    random_region_queries,
+    uk_tweets,
+)
+from repro.geo import BoundingBox
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return uk_tweets(n=5000)
+
+
+class TestRegionQueries:
+    def test_count_and_size(self, dataset):
+        queries = random_region_queries(
+            dataset, 5, region_fraction=0.1, k=20,
+            rng=np.random.default_rng(0),
+        )
+        assert len(queries) == 5
+        frame = dataset.frame()
+        side = 0.1 * max(frame.width, frame.height)
+        for q in queries:
+            assert q.region.width == pytest.approx(side)
+            assert q.k == 20
+
+    def test_theta_follows_fraction(self, dataset):
+        (query,) = random_region_queries(
+            dataset, 1, region_fraction=0.1, theta_fraction=0.01,
+            rng=np.random.default_rng(1),
+        )
+        assert query.theta == pytest.approx(0.01 * query.region.width)
+
+    def test_centered_on_objects(self, dataset):
+        queries = random_region_queries(
+            dataset, 10, region_fraction=0.05, rng=np.random.default_rng(2)
+        )
+        for q in queries:
+            center = q.region.center
+            dists = np.hypot(dataset.xs - center.x, dataset.ys - center.y)
+            assert dists.min() < 1e-9  # an object sits at the center
+
+    def test_min_population_respected(self, dataset):
+        queries = random_region_queries(
+            dataset, 5, region_fraction=0.1, min_population=20,
+            rng=np.random.default_rng(3),
+        )
+        for q in queries:
+            assert dataset.index.count_region(q.region) >= 20
+
+    def test_impossible_min_population_raises(self, dataset):
+        with pytest.raises(RuntimeError, match="could not find"):
+            random_region_queries(
+                dataset, 1, region_fraction=0.001,
+                min_population=10_000, max_attempts=3,
+                rng=np.random.default_rng(4),
+            )
+
+    def test_validation(self, dataset):
+        with pytest.raises(ValueError):
+            random_region_queries(dataset, 0)
+
+
+class TestPanOffsets:
+    def test_overlap_fraction_realized(self):
+        region = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        for overlap in (0.0, 0.25, 0.5, 0.9, 1.0):
+            dx, dy = pan_offset_for_overlap(
+                region, overlap, rng=np.random.default_rng(5), axis="x"
+            )
+            moved = region.panned(dx, dy)
+            assert region.overlap_fraction(moved) == pytest.approx(overlap)
+
+    def test_axis_pinning(self):
+        region = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        dx, dy = pan_offset_for_overlap(
+            region, 0.5, rng=np.random.default_rng(6), axis="y"
+        )
+        assert dx == 0.0 and dy != 0.0
+
+    def test_invalid_inputs(self):
+        region = BoundingBox.unit()
+        with pytest.raises(ValueError):
+            pan_offset_for_overlap(region, 1.5)
+        with pytest.raises(ValueError):
+            pan_offset_for_overlap(region, 0.5, axis="z")
+
+
+class TestNavigationTraces:
+    def test_trace_length(self, dataset):
+        trace = random_navigation_trace(
+            dataset, 8, rng=np.random.default_rng(7)
+        )
+        assert len(trace.operations) == 8
+
+    def test_replay_on_session(self, dataset):
+        trace = random_navigation_trace(
+            dataset, 4, region_fraction=0.2, rng=np.random.default_rng(8)
+        )
+        session = MapSession(dataset, k=5, theta_fraction=0.005)
+        steps = trace.replay(session)
+        assert len(steps) == 5  # start + 4 operations
+        assert steps[0].operation == "initial"
+
+    def test_zoom_depth_bounded(self, dataset):
+        """Zoom-ins and zoom-outs never drift more than one level."""
+        trace = random_navigation_trace(
+            dataset, 50, rng=np.random.default_rng(9)
+        )
+        depth = 0
+        for kind, _arg in trace.operations:
+            if kind == "zoom_in":
+                depth += 1
+            elif kind == "zoom_out":
+                depth -= 1
+            assert -1 <= depth <= 1
+
+    def test_unknown_operation_rejected(self, dataset):
+        from repro.datasets import NavigationTrace
+
+        trace = NavigationTrace(
+            start=BoundingBox(0.4, 0.4, 0.6, 0.6),
+            operations=(("teleport", None),),
+        )
+        session = MapSession(dataset, k=5)
+        with pytest.raises(ValueError, match="teleport"):
+            trace.replay(session)
+
+    def test_negative_length_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            random_navigation_trace(dataset, -1)
