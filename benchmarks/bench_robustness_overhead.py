@@ -1,0 +1,74 @@
+"""Deadline-check overhead on the undegraded hot path.
+
+The anytime budget adds one strided clock check per heap pop and per
+init step.  With a generous deadline that never fires, the selection
+is bit-identical to the unbudgeted run — this benchmark verifies the
+instrumentation cost stays under 5% of the fig-18-style greedy
+runtime (the CI smoke job runs it on every push).
+"""
+
+import statistics
+import time
+
+import pytest
+
+from common import queries, report_table, uk
+from repro import Budget, greedy_select
+
+ROUNDS = 9
+WARMUP = 2
+OVERHEAD_LIMIT = 0.05
+
+
+def _best_time(fn, rounds=ROUNDS, warmup=WARMUP):
+    """Minimum of repeated timings — the standard noise-robust
+    estimator for a deterministic workload."""
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - started)
+    return min(samples), statistics.median(samples)
+
+
+def test_deadline_check_overhead(benchmark):
+    dataset = uk()
+    workload = queries(dataset, count=3, k=100, seed=600)
+    generous = Budget.from_seconds(3600.0)
+
+    def plain():
+        for query in workload:
+            greedy_select(dataset, query)
+
+    def budgeted():
+        for query in workload:
+            greedy_select(dataset, query, budget=generous)
+
+    # Selections must be identical: the budget never fires here.
+    for query in workload:
+        a = greedy_select(dataset, query)
+        b = greedy_select(dataset, query, budget=generous)
+        assert a.selected.tolist() == b.selected.tolist()
+        assert not b.degraded
+
+    plain_best, plain_median = _best_time(plain)
+    budget_best, budget_median = _best_time(budgeted)
+    overhead = budget_best / plain_best - 1.0
+
+    benchmark.pedantic(budgeted, rounds=1, iterations=1)
+    report_table(
+        "robustness_overhead",
+        ["variant", "best (s)", "median (s)"],
+        [
+            ["no budget", f"{plain_best:.4f}", f"{plain_median:.4f}"],
+            ["generous budget", f"{budget_best:.4f}", f"{budget_median:.4f}"],
+            ["overhead", f"{overhead:+.2%}", ""],
+        ],
+        title="Deadline-check overhead on the undegraded path",
+    )
+    assert overhead < OVERHEAD_LIMIT, (
+        f"budget instrumentation costs {overhead:.2%} "
+        f"(limit {OVERHEAD_LIMIT:.0%})"
+    )

@@ -53,24 +53,45 @@ from repro.core import (
     theta_fraction_for_screen,
 )
 from repro.geo import BoundingBox, Point
+from repro.robustness import (
+    Budget,
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    FaultInjector,
+    InfeasibleSelection,
+    PrefetchUnavailable,
+    RobustnessError,
+    Tier,
+    select_with_ladder,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Aggregation",
     "BoundingBox",
+    "Budget",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceeded",
+    "FaultInjector",
     "FrequencyPredictor",
     "GeoDataset",
+    "InfeasibleSelection",
     "IsosQuery",
     "MapSession",
     "NavigationPredictor",
     "NavigationStep",
     "Point",
     "PrefetchData",
+    "PrefetchUnavailable",
     "Prefetcher",
     "RegionQuery",
+    "RobustnessError",
     "SelectionResult",
     "StreamingSelector",
+    "Tier",
     "__version__",
     "assign_representatives",
     "exact_select",
@@ -80,6 +101,7 @@ __all__ = [
     "representative_score",
     "represented_objects",
     "sass_select",
+    "select_with_ladder",
     "serfling_sample_size",
     "similarity_to_set",
     "theta_fraction_for_screen",

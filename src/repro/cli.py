@@ -19,7 +19,16 @@ import sys
 
 import numpy as np
 
-from repro import MapSession, RegionQuery, greedy_select, sass_select
+from repro import (
+    Budget,
+    Deadline,
+    FaultInjector,
+    MapSession,
+    RegionQuery,
+    greedy_select,
+    sass_select,
+)
+from repro.robustness.faults import STANDARD_POINTS
 from repro.datasets import (
     load_jsonl,
     random_navigation_trace,
@@ -32,6 +41,39 @@ from repro.geo import BoundingBox
 from repro.viz import render_ascii, render_svg
 
 _PRESETS = {"uk": uk_tweets, "us": us_tweets, "poi": sg_pois}
+
+
+def _parse_fault(text: str) -> tuple[str, float]:
+    """Parse ``point[:probability]`` fault specs (e.g. ``index.query:0.5``)."""
+    point, _, prob = text.partition(":")
+    if point not in STANDARD_POINTS:
+        raise argparse.ArgumentTypeError(
+            f"unknown fault point {point!r}; choose from "
+            + ", ".join(STANDARD_POINTS)
+        )
+    try:
+        probability = float(prob) if prob else 1.0
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad fault probability {prob!r}"
+        ) from None
+    if not 0.0 <= probability <= 1.0:
+        raise argparse.ArgumentTypeError("fault probability must be in [0, 1]")
+    return point, probability
+
+
+def _parse_deadline_ms(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad deadline {text!r}"
+        ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"deadline must be positive, got {text}"
+        )
+    return value
 
 
 def _parse_region(text: str) -> BoundingBox:
@@ -61,19 +103,28 @@ def _cmd_select(args: argparse.Namespace) -> int:
     query = RegionQuery.with_theta_fraction(
         region, k=args.k, theta_fraction=args.theta_fraction
     )
+    budget = (
+        Budget(Deadline.after(args.deadline_ms / 1000.0))
+        if args.deadline_ms is not None
+        else None
+    )
     if args.sample:
         result = sass_select(
-            dataset, query, rng=np.random.default_rng(args.seed)
+            dataset, query, rng=np.random.default_rng(args.seed),
+            budget=budget,
         )
     else:
         candidates = (
             dataset.keyword_filter(args.filter) if args.filter else None
         )
-        result = greedy_select(dataset, query, candidates=candidates)
+        result = greedy_select(
+            dataset, query, candidates=candidates, budget=budget
+        )
+    flags = " [degraded]" if result.degraded else ""
     print(
         f"selected {len(result)} of {len(result.region_ids)} objects, "
         f"score={result.score:.4f}, "
-        f"{result.stats.get('elapsed_s', 0.0) * 1000:.1f} ms"
+        f"{result.stats.get('elapsed_s', 0.0) * 1000:.1f} ms{flags}"
     )
     for obj in result.selected:
         text = dataset.texts[int(obj)] if dataset.texts else ""
@@ -95,9 +146,24 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     trace = random_navigation_trace(
         dataset, args.steps, region_fraction=args.region_fraction, rng=rng
     )
-    session = MapSession(dataset, k=args.k, prefetch=args.prefetch)
+    injector = None
+    if args.fault:
+        injector = FaultInjector(seed=args.seed)
+        for point, probability in args.fault:
+            injector.arm(point, probability=probability)
+    session = MapSession(
+        dataset,
+        k=args.k,
+        prefetch=args.prefetch,
+        deadline_s=(
+            args.deadline_ms / 1000.0 if args.deadline_ms is not None else None
+        ),
+        fault_injector=injector,
+    )
     for step in trace.replay(session):
         flags = " [prefetched]" if step.used_prefetch else ""
+        if step.degraded:
+            flags += f" [degraded:{step.tier}]"
         print(
             f"{step.operation:8s} {len(step.result):3d} markers  "
             f"score={step.result.score:.4f}  "
@@ -134,6 +200,9 @@ def build_parser() -> argparse.ArgumentParser:
     sel.add_argument("--sample", action="store_true",
                      help="use SaSS sampling instead of the full greedy")
     sel.add_argument("--seed", type=int, default=0)
+    sel.add_argument("--deadline-ms", type=_parse_deadline_ms, default=None,
+                     help="anytime budget: return the partial prefix "
+                          "after this many milliseconds")
     sel.add_argument("--map", action="store_true",
                      help="render an ASCII map of the selection")
     sel.add_argument("--svg", default=None, help="write an SVG map here")
@@ -146,6 +215,13 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--region-fraction", type=float, default=0.1)
     exp.add_argument("--prefetch", action="store_true")
     exp.add_argument("--seed", type=int, default=0)
+    exp.add_argument("--deadline-ms", type=_parse_deadline_ms, default=None,
+                     help="per-operation response deadline; late "
+                          "selections degrade through the ladder")
+    exp.add_argument("--fault", type=_parse_fault, action="append",
+                     default=None, metavar="POINT[:PROB]",
+                     help="arm a fault injection point "
+                          f"({', '.join(STANDARD_POINTS)}); repeatable")
     exp.set_defaults(func=_cmd_explore)
     return parser
 

@@ -24,6 +24,14 @@ from repro.core.dataset import GeoDataset
 from repro.core.lazy_heap import LazyForwardHeap
 from repro.core.problem import Aggregation, RegionQuery, SelectionResult
 from repro.core.scoring import MarginalGainState
+from repro.geo.distance import pairwise_min_distance
+from repro.robustness.budget import Budget
+from repro.robustness.errors import InfeasibleSelection
+from repro.robustness.faults import (
+    INDEX_QUERY,
+    SIMILARITY_EVAL,
+    FaultInjector,
+)
 
 
 def greedy_select(
@@ -33,6 +41,8 @@ def greedy_select(
     lazy: bool = True,
     init_mode: str = "exact",
     candidates: np.ndarray | None = None,
+    budget: Budget | None = None,
+    strict: bool = False,
 ) -> SelectionResult:
     """Solve an SOS query with the greedy algorithm (Algorithm 1).
 
@@ -53,6 +63,12 @@ def greedy_select(
         these ids — e.g. ``dataset.keyword_filter("restaurant")``.
         The representative score is still computed over the whole
         region population; only membership of ``S`` is restricted.
+    budget:
+        Optional :class:`~repro.robustness.Budget` making the
+        selection *anytime* (see :func:`greedy_core`).
+    strict:
+        Raise :class:`~repro.robustness.InfeasibleSelection` instead
+        of returning a short selection (see :func:`greedy_core`).
     """
     region_ids = dataset.objects_in(query.region)
     if candidates is None:
@@ -71,6 +87,8 @@ def greedy_select(
         aggregation=aggregation,
         lazy=lazy,
         init_mode=init_mode,
+        budget=budget,
+        strict=strict,
     )
 
 
@@ -85,6 +103,9 @@ def greedy_core(
     initial_bounds: np.ndarray | None = None,
     lazy: bool = True,
     init_mode: str = "exact",
+    budget: Budget | None = None,
+    fault_injector: FaultInjector | None = None,
+    strict: bool = False,
 ) -> SelectionResult:
     """Shared greedy engine for SOS, ISOS and the prefetch path.
 
@@ -115,11 +136,54 @@ def greedy_core(
         models expose linear structure.  Bulk values are exact gains
         when ``D`` is empty (or the objective is modular), and valid
         upper bounds otherwise; selections are identical either way.
+    budget:
+        Optional :class:`~repro.robustness.Budget` (wall-clock deadline
+        and/or iteration cap) making the selection *anytime*: the
+        budget is checked inside the heap-initialization sweep and at
+        the top of every lazy-forward iteration, and on exhaustion the
+        partial prefix selected so far is returned — it is still
+        ``θ``-feasible and in greedy pick order — with
+        ``result.degraded = True`` and
+        ``result.stats["budget_exhausted"]`` naming the cause
+        (``"deadline"`` or ``"max_iterations"``).
+    fault_injector:
+        Optional :class:`~repro.robustness.FaultInjector`; when given,
+        the engine traverses the ``similarity.eval`` point on every
+        gain evaluation / mandatory seed and the ``index.query`` point
+        on every conflict lookup.
+    strict:
+        Input validation mode.  The engine *always* rejects ``k <= 0``,
+        ``|D| > k``, and a mandatory set that is not ``θ``-feasible
+        (:class:`~repro.robustness.InfeasibleSelection` — no feasible
+        superset of ``D`` exists).  With ``strict=True`` it also
+        rejects instances that could only yield a short selection:
+        empty candidates with ``k > |D|``, or ``|G| + |D| < k``.  With
+        ``strict=False`` (default) those return the documented partial
+        result (``stats["short_selection"] = True`` when fewer than
+        ``k`` objects come back).
     """
     started = time.perf_counter()
     region_ids = np.asarray(region_ids, dtype=np.int64)
     candidate_ids = np.asarray(candidate_ids, dtype=np.int64)
     mandatory_ids = np.asarray(mandatory_ids, dtype=np.int64)
+    _validate_instance(
+        dataset, candidate_ids, mandatory_ids, k, theta, strict
+    )
+
+    if fault_injector is not None:
+        def gain_fn(obj_id: int) -> float:
+            fault_injector.check(SIMILARITY_EVAL)
+            return state.gain(obj_id)
+
+        def conflicts(obj_id: int) -> np.ndarray:
+            fault_injector.check(INDEX_QUERY)
+            return dataset.conflicts_with(obj_id, theta)
+    else:
+        def gain_fn(obj_id: int) -> float:
+            return state.gain(obj_id)
+
+        def conflicts(obj_id: int) -> np.ndarray:
+            return dataset.conflicts_with(obj_id, theta)
 
     state = MarginalGainState(dataset, region_ids, aggregation)
     heap = LazyForwardHeap()
@@ -128,6 +192,8 @@ def greedy_core(
     # Seed the mandatory set D (ISOS): these are part of S from the
     # start and constrain candidates through the visibility threshold.
     for obj in mandatory_ids:
+        if fault_injector is not None:
+            fault_injector.check(SIMILARITY_EVAL)
         state.add(int(obj))
         selected.append(int(obj))
 
@@ -135,9 +201,7 @@ def greedy_core(
     # Mandatory picks suppress conflicting candidates up front.
     blocked: set[int] = set()
     for obj in mandatory_ids:
-        blocked.update(
-            int(c) for c in dataset.conflicts_with(int(obj), theta)
-        )
+        blocked.update(int(c) for c in conflicts(int(obj)))
 
     if initial_bounds is not None:
         if len(initial_bounds) != len(candidate_ids):
@@ -146,20 +210,33 @@ def greedy_core(
                 f"({len(initial_bounds)} vs {len(candidate_ids)})"
             )
         for obj, bound in zip(candidate_ids, initial_bounds):
+            if budget is not None and not budget.tick():
+                break
             if int(obj) not in blocked:
                 heap.push(int(obj), float(bound))  # stale upper bounds
     elif init_mode == "bulk":
-        if len(region_ids) and len(candidate_ids):
+        if budget is not None:
+            budget.exhausted()  # one clock read before the big sweep
+        if budget is not None and budget.exhausted_reason is not None:
+            masses = np.zeros(0, dtype=np.float64)
+            candidate_iter = candidate_ids[:0]
+        elif len(region_ids) and len(candidate_ids):
+            if fault_injector is not None:
+                fault_injector.check(SIMILARITY_EVAL)
             masses = dataset.similarity.weighted_sims_sum(
                 candidate_ids, region_ids, dataset.weights[region_ids]
             ) / len(region_ids)
+            candidate_iter = candidate_ids
         else:
             masses = np.zeros(len(candidate_ids), dtype=np.float64)
+            candidate_iter = candidate_ids
         # With no mandatory seed (or a modular objective) the mass IS
         # the exact first-iteration gain; otherwise it is only an upper
         # bound and must enter the heap stale.
         exact = len(mandatory_ids) == 0 or aggregation is Aggregation.SUM
-        for obj, mass in zip(candidate_ids, masses):
+        for obj, mass in zip(candidate_iter, masses):
+            if budget is not None and not budget.tick():
+                break
             if int(obj) in blocked:
                 continue
             if exact:
@@ -168,24 +245,39 @@ def greedy_core(
                 heap.push(int(obj), float(mass))
     elif init_mode == "exact":
         for obj in candidate_ids:
+            # Each exact init gain costs O(|O|); the budget tick keeps
+            # a blown deadline from blocking behind the full O(n·|G|)
+            # sweep (the anytime property's hard case).
+            if budget is not None and not budget.tick():
+                break
             if int(obj) not in blocked:
                 # Iteration tag 0 == first |S|-after-D state: exact.
-                heap.push(int(obj), state.gain(int(obj)), iteration=0)
+                heap.push(int(obj), gain_fn(int(obj)), iteration=0)
     else:
         raise ValueError(f"init_mode must be 'exact' or 'bulk', got {init_mode!r}")
 
     iteration = 0
+    budget_reason: str | None = None
     while len(selected) < k and len(heap) > 0:
+        if budget is not None:
+            budget_reason = budget.exhausted(iteration)
+            if budget_reason is not None:
+                break
         if not lazy and iteration > 0:
-            _refresh_all(heap, state, iteration)
-        picked = heap.pop_best(iteration, state.gain)
+            _refresh_all(heap, gain_fn, iteration)
+        picked = heap.pop_best(iteration, gain_fn)
         if picked is None:
             break
         obj_id, _gain = picked
         state.add(obj_id)
         selected.append(obj_id)
-        heap.deactivate_many(dataset.conflicts_with(obj_id, theta))
+        heap.deactivate_many(conflicts(obj_id))
         iteration += 1
+
+    if budget is not None and budget_reason is None:
+        # Init-sweep exhaustion with an empty-enough heap never reaches
+        # the loop check above; surface it all the same.
+        budget_reason = budget.exhausted_reason
 
     elapsed = time.perf_counter() - started
     selected_arr = np.asarray(selected, dtype=np.int64)
@@ -193,6 +285,7 @@ def greedy_core(
         selected=selected_arr,
         score=state.score,
         region_ids=region_ids,
+        degraded=budget_reason is not None,
         stats={
             "gain_evaluations": state.gain_evaluations,
             "heap_pushes": heap.pushes,
@@ -200,15 +293,58 @@ def greedy_core(
             "population": int(len(region_ids)),
             "candidates": int(len(candidate_set)),
             "mandatory": int(len(mandatory_ids)),
+            "budget_exhausted": budget_reason,
+            "short_selection": len(selected_arr) < k,
         },
     )
 
 
-def _refresh_all(
-    heap: LazyForwardHeap, state: MarginalGainState, iteration: int
+def _validate_instance(
+    dataset: GeoDataset,
+    candidate_ids: np.ndarray,
+    mandatory_ids: np.ndarray,
+    k: int,
+    theta: float,
+    strict: bool,
 ) -> None:
+    """Reject instances no selector (or degradation tier) can satisfy.
+
+    Uses pure-numpy pairwise distances for the mandatory set (never the
+    spatial index) so validation stays trustworthy under index faults.
+    """
+    if k <= 0:
+        raise InfeasibleSelection(f"k must be positive, got {k}")
+    if theta < 0:
+        raise InfeasibleSelection(f"theta must be non-negative, got {theta}")
+    if len(mandatory_ids) > k:
+        raise InfeasibleSelection(
+            f"|D| = {len(mandatory_ids)} exceeds k = {k}"
+        )
+    if len(mandatory_ids) >= 2 and theta > 0.0:
+        closest = pairwise_min_distance(
+            dataset.xs[mandatory_ids], dataset.ys[mandatory_ids]
+        )
+        if closest < theta:
+            raise InfeasibleSelection(
+                f"mandatory set is not θ-feasible: closest pair at "
+                f"{closest:.6g} < θ = {theta:.6g}"
+            )
+    if strict:
+        if len(candidate_ids) == 0 and k > len(mandatory_ids):
+            raise InfeasibleSelection(
+                f"empty candidate set cannot fill k = {k} "
+                f"(|D| = {len(mandatory_ids)})"
+            )
+        if len(candidate_ids) + len(mandatory_ids) < k:
+            raise InfeasibleSelection(
+                f"k = {k} exceeds |G| + |D| = "
+                f"{len(candidate_ids) + len(mandatory_ids)}"
+            )
+
+
+def _refresh_all(heap: LazyForwardHeap, gain_fn, iteration: int) -> None:
     """Recompute every active entry (the non-lazy ablation path)."""
     # Draining pop_best would mutate order mid-recompute; instead push a
     # fresh exact gain for every active id, superseding old entries.
     for obj_id in heap.active_ids():
-        heap.push(obj_id, state.gain(obj_id), iteration)
+        heap.push(obj_id, gain_fn(obj_id), iteration)

@@ -14,6 +14,8 @@ import numpy as np
 from repro.core.dataset import GeoDataset
 from repro.core.greedy import greedy_core
 from repro.core.problem import Aggregation, IsosQuery, SelectionResult
+from repro.robustness.budget import Budget
+from repro.robustness.faults import FaultInjector
 
 
 def isos_select(
@@ -23,13 +25,19 @@ def isos_select(
     initial_bounds: np.ndarray | None = None,
     lazy: bool = True,
     init_mode: str = "exact",
+    budget: Budget | None = None,
+    fault_injector: FaultInjector | None = None,
+    strict: bool = False,
 ) -> SelectionResult:
     """Solve an ISOS query (Def. 3.6) with the extended greedy.
 
     ``initial_bounds``, when given (aligned with ``query.candidates``),
     seeds the heap with prefetched upper bounds instead of exact gains
     — the Sec. 5.2 fast path.  The selected ids in the result start
-    with ``D`` followed by greedy picks.
+    with ``D`` followed by greedy picks.  ``budget``,
+    ``fault_injector`` and ``strict`` pass straight through to
+    :func:`~repro.core.greedy.greedy_core` (anytime selection, fault
+    points, and input validation).
     """
     region_ids = dataset.objects_in(query.region)
     return greedy_core(
@@ -43,4 +51,7 @@ def isos_select(
         initial_bounds=initial_bounds,
         lazy=lazy,
         init_mode=init_mode,
+        budget=budget,
+        fault_injector=fault_injector,
+        strict=strict,
     )

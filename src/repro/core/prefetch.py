@@ -37,6 +37,7 @@ import numpy as np
 from repro.core.dataset import GeoDataset
 from repro.geo.bbox import BoundingBox
 from repro.geo.point import Point
+from repro.robustness.faults import PREFETCH_COMPUTE, FaultInjector
 
 
 @dataclass
@@ -65,6 +66,16 @@ class PrefetchData:
         """Whether every candidate has a precomputed bound."""
         return all(int(i) in self._pos for i in candidate_ids)
 
+    def is_stale(self, current_region: BoundingBox) -> bool:
+        """Whether the bounds were computed from a different viewport.
+
+        Stale bounds are *not* valid upper bounds for navigations out
+        of ``current_region``; the session discards them and serves the
+        operation cold (:class:`~repro.robustness.PrefetchUnavailable`
+        internally).
+        """
+        return self.source_region != current_region
+
     def bounds_for(
         self, candidate_ids: np.ndarray, population_size: int
     ) -> np.ndarray:
@@ -84,10 +95,26 @@ class PrefetchData:
 
 
 class Prefetcher:
-    """Computes :class:`PrefetchData` for the three navigation kinds."""
+    """Computes :class:`PrefetchData` for the three navigation kinds.
 
-    def __init__(self, dataset: GeoDataset):
+    ``fault_injector``, when given, is traversed at the
+    ``prefetch.compute`` point on every precomputation — the hook the
+    fault-injection harness uses to prove prefetch failures stay off
+    the response path (:class:`~repro.core.session.MapSession` wraps
+    these calls in a circuit breaker and serves operations cold).
+    """
+
+    def __init__(
+        self,
+        dataset: GeoDataset,
+        fault_injector: FaultInjector | None = None,
+    ):
         self.dataset = dataset
+        self.fault_injector = fault_injector
+
+    def _check(self) -> None:
+        if self.fault_injector is not None:
+            self.fault_injector.check(PREFETCH_COMPUTE)
 
     def _raw_sums(self, ids: np.ndarray) -> np.ndarray:
         weights = self.dataset.weights[ids]
@@ -99,6 +126,7 @@ class Prefetcher:
         Any zoomed-in viewport lies inside the current one, so the
         superset population is simply the current region's objects.
         """
+        self._check()
         started = time.perf_counter()
         ids = self.dataset.objects_in(region)
         raw = self._raw_sums(ids)
@@ -118,6 +146,7 @@ class Prefetcher:
         Zoom-out keeps the center, so the union of possible viewports
         is the largest one; objects beyond ``max_scale`` cannot appear.
         """
+        self._check()
         started = time.perf_counter()
         area = region.zoom_out_union(max_scale)
         ids = self.dataset.objects_in(area)
@@ -143,6 +172,7 @@ class Prefetcher:
         centered on ``v`` — slower to precompute, tighter at query
         time.
         """
+        self._check()
         started = time.perf_counter()
         area = region.pan_union()
         ids = self.dataset.objects_in(area)

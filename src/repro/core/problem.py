@@ -117,12 +117,20 @@ class SelectionResult:
         Free-form counters from the selector: ``gain_evaluations``
         (marginal-gain recomputations, the paper's ``nc``),
         ``heap_pushes``, ``sample_size``, ``elapsed_s``, ...
+    degraded:
+        ``True`` when the selection is a best-effort answer rather
+        than the selector's full computation: an anytime prefix cut
+        short by a :class:`~repro.robustness.Budget`, or a lower tier
+        of the :mod:`repro.robustness.ladder`.  Degraded results are
+        still ``θ``-feasible; ``stats["budget_exhausted"]`` /
+        ``stats["tier"]`` say why and how.
     """
 
     selected: np.ndarray
     score: float
     region_ids: np.ndarray
     stats: dict = field(default_factory=dict)
+    degraded: bool = False
 
     def __post_init__(self) -> None:
         self.selected = np.asarray(self.selected, dtype=np.int64)

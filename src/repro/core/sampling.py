@@ -27,6 +27,8 @@ from repro.core.dataset import GeoDataset
 from repro.core.greedy import greedy_core
 from repro.core.problem import Aggregation, RegionQuery, SelectionResult
 from repro.core.scoring import representative_score
+from repro.robustness.budget import Budget
+from repro.robustness.faults import FaultInjector
 
 
 def hoeffding_sample_size(epsilon: float, delta: float) -> int:
@@ -58,6 +60,31 @@ def _validate(epsilon: float, delta: float) -> None:
         raise ValueError(f"delta must be in (0, 1), got {delta}")
 
 
+def draw_sample(
+    region_ids: np.ndarray,
+    epsilon: float,
+    delta: float,
+    rng: np.random.Generator,
+    bound: str = "serfling",
+) -> np.ndarray:
+    """Uniform sample of ``region_ids`` at the SaSS-mandated size.
+
+    The sampling step of Algorithm 2, reusable on its own (the
+    degradation ladder samples the population this way before running
+    a budgeted greedy on the sample).  Returns sorted ids.
+    """
+    population = len(region_ids)
+    if population == 0:
+        return np.asarray(region_ids, dtype=np.int64)
+    if bound == "serfling":
+        m = serfling_sample_size(epsilon, delta, population)
+    elif bound == "hoeffding":
+        m = min(population, hoeffding_sample_size(epsilon, delta))
+    else:
+        raise ValueError(f"bound must be 'serfling' or 'hoeffding', got {bound!r}")
+    return np.sort(rng.choice(region_ids, size=m, replace=False))
+
+
 def sass_select(
     dataset: GeoDataset,
     query: RegionQuery,
@@ -67,6 +94,8 @@ def sass_select(
     bound: str = "serfling",
     rng: np.random.Generator | None = None,
     evaluate_full_score: bool = False,
+    budget: Budget | None = None,
+    fault_injector: FaultInjector | None = None,
 ) -> SelectionResult:
     """Algorithm 2: sample the region, run the greedy on the sample.
 
@@ -82,6 +111,9 @@ def sass_select(
         the *full* region population and record both scores in
         ``stats`` (used by the Fig. 9/10 score-difference panels).
         Costs ``O(k · n)`` extra similarity work.
+    budget, fault_injector:
+        Passed through to the underlying greedy: the sampled selection
+        is anytime too, and traverses the same fault points.
 
     The result's ``score``/``region_ids`` refer to the sample (that is
     what the algorithm optimizes); ``stats['sample_size']`` and
@@ -100,14 +132,8 @@ def sass_select(
             stats={"sample_size": 0, "sampling_ratio": 0.0, "elapsed_s": 0.0},
         )
 
-    if bound == "serfling":
-        m = serfling_sample_size(epsilon, delta, population)
-    elif bound == "hoeffding":
-        m = min(population, hoeffding_sample_size(epsilon, delta))
-    else:
-        raise ValueError(f"bound must be 'serfling' or 'hoeffding', got {bound!r}")
-
-    sample_ids = np.sort(rng.choice(region_ids, size=m, replace=False))
+    sample_ids = draw_sample(region_ids, epsilon, delta, rng, bound=bound)
+    m = len(sample_ids)
     result = greedy_core(
         dataset,
         region_ids=sample_ids,
@@ -116,6 +142,8 @@ def sass_select(
         k=query.k,
         theta=query.theta,
         aggregation=aggregation,
+        budget=budget,
+        fault_injector=fault_injector,
     )
     elapsed = time.perf_counter() - started
 
@@ -140,4 +168,5 @@ def sass_select(
         score=result.score,
         region_ids=sample_ids,
         stats=stats,
+        degraded=result.degraded,
     )

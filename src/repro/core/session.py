@@ -27,6 +27,17 @@ after every operation it precomputes upper-bound material for all three
 possible next operations; the next operation then seeds the greedy heap
 from those bounds.  Response time (``NavigationStep.elapsed_s``)
 excludes prefetch work, matching how the paper reports Fig. 13–14.
+
+Every selection is served through the degradation ladder
+(:func:`repro.robustness.select_with_ladder`): with a ``deadline_s``
+budget the exact greedy becomes anytime and, when cut short, the
+session descends to SaSS sampling and finally a top-weight fill — the
+response is always ``θ``-feasible, and ``NavigationStep.tier`` /
+``NavigationStep.degraded`` record how it was produced.  Prefetch
+computations run behind a circuit breaker, index queries fall back to
+a brute-force scan, and a :class:`~repro.robustness.FaultInjector` can
+be threaded through all three failure points to drill the transitions
+(see ``docs/ROBUSTNESS.md``).
 """
 
 from __future__ import annotations
@@ -37,11 +48,19 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.dataset import GeoDataset
-from repro.core.greedy import greedy_core
 from repro.core.prediction import NavigationPredictor
 from repro.core.prefetch import PrefetchData, Prefetcher
 from repro.core.problem import Aggregation, SelectionResult
 from repro.geo.bbox import BoundingBox
+from repro.robustness.breaker import CircuitBreaker
+from repro.robustness.budget import Deadline
+from repro.robustness.errors import (
+    InvalidNavigation,
+    PrefetchUnavailable,
+    SessionNotStarted,
+)
+from repro.robustness.faults import INDEX_QUERY, FaultInjector
+from repro.robustness.ladder import select_with_ladder
 
 DEFAULT_THETA_FRACTION = 0.003
 
@@ -77,6 +96,11 @@ class NavigationStep:
     elapsed_s: float
     used_prefetch: bool = False
     stats: dict = field(default_factory=dict)
+    # Which degradation tier served the step ("exact" when nothing
+    # degraded) and whether the answer is best-effort in any way
+    # (lower tier, anytime prefix, or index fallback).
+    tier: str = "exact"
+    degraded: bool = False
 
     @property
     def visible(self) -> np.ndarray:
@@ -111,6 +135,21 @@ class MapSession:
         when given, prefetching is computed only for the predicted
         operations (cheaper precompute, possible cache misses that
         fall back to exact initialization).
+    deadline_s:
+        Optional per-operation response deadline in seconds.  Each
+        navigation runs the degradation ladder (exact → sampled →
+        top-weight) under this wall-clock budget and always returns a
+        ``θ``-feasible selection; :attr:`NavigationStep.tier` records
+        which tier served it.
+    max_iterations:
+        Optional cap on greedy iterations per tier attempt.
+    fault_injector:
+        Optional :class:`~repro.robustness.FaultInjector` threaded
+        through the index / similarity / prefetch injection points —
+        faults descend the ladder instead of escaping the session.
+    breaker:
+        Circuit breaker guarding the prefetch pipeline (a default one
+        is created; pass your own to tune thresholds or share state).
     """
 
     def __init__(
@@ -125,6 +164,10 @@ class MapSession:
         lazy: bool = True,
         init_mode: str = "exact",
         predictor: "NavigationPredictor | None" = None,
+        deadline_s: float | None = None,
+        max_iterations: int | None = None,
+        fault_injector: FaultInjector | None = None,
+        breaker: CircuitBreaker | None = None,
     ):
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
@@ -132,6 +175,8 @@ class MapSession:
             raise ValueError("theta_fraction must be non-negative")
         if zoom_out_max_scale <= 1.0:
             raise ValueError("zoom_out_max_scale must exceed 1")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError(f"deadline_s must be positive, got {deadline_s}")
         self.dataset = dataset
         self.k = k
         self.theta_fraction = theta_fraction
@@ -145,9 +190,18 @@ class MapSession:
         # paper cites): precompute bounds only for the operations the
         # predictor ranks likely.  None = prefetch all three kinds.
         self.predictor = predictor
+        self.deadline_s = deadline_s
+        self.max_iterations = max_iterations
+        self.fault_injector = fault_injector
+        self.breaker = breaker or CircuitBreaker(name="prefetch")
+        # Deterministic tier-2 sampling, independent of user RNG state.
+        self._ladder_rng = np.random.default_rng(2018)
 
-        self._prefetcher = Prefetcher(dataset)
+        self._prefetcher = Prefetcher(dataset, fault_injector=fault_injector)
         self._prefetch_data: dict[str, PrefetchData] = {}
+        self._prefetch_errors: dict[str, str] = {}
+        self._index_fallback = False
+        self.index_fallbacks = 0  # lifetime count, for observability
         self.region: BoundingBox | None = None
         self.visible: np.ndarray = np.empty(0, dtype=np.int64)
         self.history: list[NavigationStep] = []
@@ -159,9 +213,9 @@ class MapSession:
     def start(self, region: BoundingBox) -> NavigationStep:
         """Open the session on ``region`` with a plain SOS selection."""
         theta = self._theta_for(region)
-        region_ids = self.dataset.objects_in(region)
+        region_ids = self._objects_in(region)
         started = time.perf_counter()
-        result = greedy_core(
+        result = select_with_ladder(
             self.dataset,
             region_ids=region_ids,
             candidate_ids=region_ids,
@@ -169,8 +223,12 @@ class MapSession:
             k=self.k,
             theta=theta,
             aggregation=self.aggregation,
+            deadline=self._new_deadline(),
+            max_iterations=self.max_iterations,
             lazy=self.lazy,
             init_mode=self.init_mode,
+            fault_injector=self.fault_injector,
+            rng=self._ladder_rng,
         )
         elapsed = time.perf_counter() - started
         step = self._commit(
@@ -197,9 +255,11 @@ class MapSession:
         region = self._require_region()
         new_region = target if target is not None else region.zoomed_in(scale)
         if not region.contains_box(new_region):
-            raise ValueError("zoom-in target must lie inside the current viewport")
+            raise InvalidNavigation(
+                "zoom-in target must lie inside the current viewport"
+            )
 
-        new_ids = self.dataset.objects_in(new_region)
+        new_ids = self._objects_in(new_region)
         inside = new_region.contains_many(
             self.dataset.xs[self.visible], self.dataset.ys[self.visible]
         )
@@ -216,9 +276,11 @@ class MapSession:
         region = self._require_region()
         new_region = target if target is not None else region.zoomed_out(scale)
         if not new_region.contains_box(region):
-            raise ValueError("zoom-out target must contain the current viewport")
+            raise InvalidNavigation(
+                "zoom-out target must contain the current viewport"
+            )
 
-        new_ids = self.dataset.objects_in(new_region)
+        new_ids = self._objects_in(new_region)
         # Objects of the old viewport that were invisible cannot appear
         # at the coarser granularity (zooming consistency): candidates
         # are the newly exposed objects plus the previously visible.
@@ -242,14 +304,16 @@ class MapSession:
         region = self._require_region()
         new_region = target if target is not None else region.panned(dx, dy)
         if not new_region.intersects(region):
-            raise ValueError("pan target must overlap the current viewport")
+            raise InvalidNavigation(
+                "pan target must overlap the current viewport"
+            )
         if not (
             np.isclose(new_region.width, region.width)
             and np.isclose(new_region.height, region.height)
         ):
-            raise ValueError("pan must preserve the viewport size")
+            raise InvalidNavigation("pan must preserve the viewport size")
 
-        new_ids = self.dataset.objects_in(new_region)
+        new_ids = self._objects_in(new_region)
         inside = new_region.contains_many(
             self.dataset.xs[self.visible], self.dataset.ys[self.visible]
         )
@@ -271,8 +335,60 @@ class MapSession:
 
     def _require_region(self) -> BoundingBox:
         if self.region is None:
-            raise RuntimeError("session not started; call start(region) first")
+            raise SessionNotStarted(
+                "session not started; call start(region) first"
+            )
         return self.region
+
+    def _new_deadline(self) -> Deadline | None:
+        """Fresh per-operation deadline (``None`` when unconfigured)."""
+        if self.deadline_s is None:
+            return None
+        return Deadline.after(self.deadline_s)
+
+    def _objects_in(self, region: BoundingBox) -> np.ndarray:
+        """Region query with graceful index degradation.
+
+        Traverses the ``index.query`` fault point; any index failure
+        falls back to a brute-force coordinate scan (exact, just
+        slower) so a broken index never errors the response path.
+        """
+        self._index_fallback = False
+        try:
+            if self.fault_injector is not None:
+                self.fault_injector.check(INDEX_QUERY)
+            return self.dataset.objects_in(region)
+        except Exception:
+            self._index_fallback = True
+            self.index_fallbacks += 1
+            mask = region.contains_many(self.dataset.xs, self.dataset.ys)
+            return np.flatnonzero(mask).astype(np.int64)
+
+    def _prefetch_bounds(
+        self,
+        operation: str,
+        candidates: np.ndarray,
+        new_ids: np.ndarray,
+    ) -> np.ndarray:
+        """Prefetched upper bounds for this operation, or raise.
+
+        Raises :class:`PrefetchUnavailable` when the material is
+        missing (breaker skipped it / predictor miss), stale (computed
+        from a different viewport), or does not cover the candidates —
+        every case is served cold by the caller.
+        """
+        data = self._prefetch_data.get(operation)
+        if data is None:
+            raise PrefetchUnavailable(f"no prefetch data for {operation!r}")
+        if self.region is not None and data.is_stale(self.region):
+            raise PrefetchUnavailable(
+                f"prefetch data for {operation!r} is stale"
+            )
+        if len(new_ids) == 0 or not data.covers(candidates):
+            raise PrefetchUnavailable(
+                f"prefetch data for {operation!r} does not cover candidates"
+            )
+        return data.bounds_for(candidates, len(new_ids))
 
     def _navigate(
         self,
@@ -286,13 +402,14 @@ class MapSession:
         bounds = None
         used_prefetch = False
         if self.prefetch_enabled:
-            data = self._prefetch_data.get(operation)
-            if data is not None and len(new_ids) > 0 and data.covers(candidates):
-                bounds = data.bounds_for(candidates, len(new_ids))
+            try:
+                bounds = self._prefetch_bounds(operation, candidates, new_ids)
                 used_prefetch = True
+            except PrefetchUnavailable:
+                bounds = None  # serve cold
 
         started = time.perf_counter()
-        result = greedy_core(
+        result = select_with_ladder(
             self.dataset,
             region_ids=new_ids,
             candidate_ids=candidates,
@@ -300,9 +417,13 @@ class MapSession:
             k=self.k,
             theta=theta,
             aggregation=self.aggregation,
+            deadline=self._new_deadline(),
+            max_iterations=self.max_iterations,
             initial_bounds=bounds,
             lazy=self.lazy,
             init_mode=self.init_mode,
+            fault_injector=self.fault_injector,
+            rng=self._ladder_rng,
         )
         elapsed = time.perf_counter() - started
         return self._commit(
@@ -323,6 +444,8 @@ class MapSession:
     ) -> NavigationStep:
         self.region = region
         self.visible = result.selected
+        stats = dict(result.stats)
+        stats["index_fallback"] = self._index_fallback
         step = NavigationStep(
             operation=operation,
             region=region,
@@ -332,7 +455,9 @@ class MapSession:
             theta=theta,
             elapsed_s=elapsed,
             used_prefetch=used_prefetch,
-            stats=dict(result.stats),
+            stats=stats,
+            tier=result.stats.get("tier", "exact"),
+            degraded=result.degraded or self._index_fallback,
         )
         self.history.append(step)
         if self.predictor is not None:
@@ -347,6 +472,13 @@ class MapSession:
         Runs off the response path (the paper's "while the user is
         still in step 1"); timings are kept per kind in
         :attr:`prefetch_elapsed`.
+
+        Every precomputation goes through the prefetch circuit
+        breaker: failures (injected or real) drop that kind's material
+        — the next operation is simply served cold — and after
+        ``breaker.failure_threshold`` consecutive failures the
+        pipeline is not called at all until the breaker's cool-down
+        probe succeeds.  No exception escapes.
         """
         region = self._require_region()
         kinds = ("zoom_in", "zoom_out", "pan")
@@ -365,7 +497,15 @@ class MapSession:
                 region, tight=self.tight_pan_bounds
             ),
         }
-        self._prefetch_data = {kind: builders[kind]() for kind in kinds}
+        data: dict[str, PrefetchData] = {}
+        errors: dict[str, str] = {}
+        for kind in kinds:
+            try:
+                data[kind] = self.breaker.call(builders[kind])
+            except Exception as exc:
+                errors[kind] = exc.__class__.__name__
+        self._prefetch_data = data
+        self._prefetch_errors = errors
 
     @property
     def prefetch_elapsed(self) -> dict[str, float]:
@@ -373,3 +513,8 @@ class MapSession:
         return {
             kind: data.elapsed_s for kind, data in self._prefetch_data.items()
         }
+
+    @property
+    def prefetch_errors(self) -> dict[str, str]:
+        """Exception class per prefetch kind that failed (last refresh)."""
+        return dict(self._prefetch_errors)

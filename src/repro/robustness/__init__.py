@@ -1,0 +1,66 @@
+"""Robustness subsystem: deadlines, degradation, typed failures.
+
+The paper's systems argument (Sec. 5, Fig. 13–14) is that selection
+must land while the user is still looking at the map.  This package
+turns that from an aspiration into machinery:
+
+* :class:`Deadline` / :class:`Budget` — wall-clock + iteration budgets
+  that make :func:`~repro.core.greedy.greedy_core` an *anytime*
+  algorithm (partial ``θ``-feasible prefix on expiry, never a block).
+* :func:`select_with_ladder` / :class:`Tier` — the degradation ladder
+  (exact → sampled → top-weight) behind
+  :class:`~repro.core.session.MapSession`.
+* :class:`RobustnessError` and friends — the typed error taxonomy at
+  the session boundary.
+* :class:`CircuitBreaker` — keeps a failing prefetch pipeline off the
+  response path.
+* :class:`FaultInjector` — named injection points
+  (``index.query``, ``similarity.eval``, ``prefetch.compute``) used by
+  the test suite to prove every degradation transition.
+
+See ``docs/ROBUSTNESS.md`` for the full model.
+"""
+
+from repro.robustness.breaker import CircuitBreaker
+from repro.robustness.budget import Budget, Deadline
+from repro.robustness.errors import (
+    CircuitOpen,
+    DeadlineExceeded,
+    FaultInjected,
+    InfeasibleSelection,
+    InvalidNavigation,
+    PrefetchUnavailable,
+    RobustnessError,
+    SessionNotStarted,
+)
+from repro.robustness.faults import (
+    INDEX_QUERY,
+    PREFETCH_COMPUTE,
+    SIMILARITY_EVAL,
+    STANDARD_POINTS,
+    FaultInjector,
+    FaultRule,
+)
+from repro.robustness.ladder import Tier, select_with_ladder
+
+__all__ = [
+    "Budget",
+    "CircuitBreaker",
+    "CircuitOpen",
+    "Deadline",
+    "DeadlineExceeded",
+    "FaultInjected",
+    "FaultInjector",
+    "FaultRule",
+    "INDEX_QUERY",
+    "InfeasibleSelection",
+    "InvalidNavigation",
+    "PREFETCH_COMPUTE",
+    "PrefetchUnavailable",
+    "RobustnessError",
+    "SIMILARITY_EVAL",
+    "STANDARD_POINTS",
+    "SessionNotStarted",
+    "Tier",
+    "select_with_ladder",
+]

@@ -1,0 +1,113 @@
+"""A small circuit breaker for background dependencies.
+
+The prefetch pipeline (Sec. 5.2) is an accelerator: when it fails the
+correct move is to *stop calling it for a while* and serve operations
+cold, not to retry it on every navigation and risk dragging its latency
+or errors onto the response path.  :class:`CircuitBreaker` implements
+the standard three-state automaton:
+
+* **closed** — calls pass through; consecutive failures are counted;
+* **open** — after ``failure_threshold`` consecutive failures, calls
+  are refused (:class:`CircuitOpen`) for ``reset_after_s`` seconds;
+* **half-open** — after the cool-down one probe call is let through;
+  success closes the breaker, failure re-opens it.
+
+The clock is injectable so tests can drive state transitions without
+sleeping; it defaults to the monotonic ``time.perf_counter``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from typing import TypeVar
+
+from repro.robustness.errors import CircuitOpen
+
+T = TypeVar("T")
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with a cool-down probe."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_after_s: float = 30.0,
+        clock: Callable[[], float] = time.perf_counter,
+        name: str = "breaker",
+    ):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_after_s < 0:
+            raise ValueError(
+                f"reset_after_s must be >= 0, got {reset_after_s}"
+            )
+        self.failure_threshold = failure_threshold
+        self.reset_after_s = reset_after_s
+        self.name = name
+        self._clock = clock
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self.failures = 0  # lifetime counters, for observability
+        self.successes = 0
+        self.rejections = 0
+
+    @property
+    def state(self) -> str:
+        """Current state, advancing ``open → half_open`` on cool-down."""
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self.reset_after_s
+        ):
+            self._state = HALF_OPEN
+        return self._state
+
+    def allows(self) -> bool:
+        """Whether a call would currently be admitted."""
+        return self.state != OPEN
+
+    def record_success(self) -> None:
+        """Note a successful call (closes a half-open breaker)."""
+        self.successes += 1
+        self._consecutive_failures = 0
+        self._state = CLOSED
+
+    def record_failure(self) -> None:
+        """Note a failed call (may trip the breaker open)."""
+        self.failures += 1
+        self._consecutive_failures += 1
+        if (
+            self._state == HALF_OPEN
+            or self._consecutive_failures >= self.failure_threshold
+        ):
+            self._state = OPEN
+            self._opened_at = self._clock()
+
+    def call(self, fn: Callable[[], T]) -> T:
+        """Run ``fn`` through the breaker.
+
+        Raises :class:`CircuitOpen` without calling ``fn`` while open;
+        otherwise records the outcome and propagates ``fn``'s result or
+        exception.
+        """
+        if not self.allows():
+            self.rejections += 1
+            raise CircuitOpen(
+                f"{self.name} is open "
+                f"({self._consecutive_failures} consecutive failures)"
+            )
+        try:
+            result = fn()
+        except Exception:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result

@@ -1,0 +1,148 @@
+"""Deadline and budget primitives for anytime selection.
+
+A :class:`Deadline` is a fixed point on the monotonic clock
+(``time.perf_counter`` — wall-clock adjustments must not move response
+deadlines).  A :class:`Budget` pairs an optional deadline with an
+optional iteration cap and carries the *exhaustion state* of one unit
+of work: the greedy loop asks it cheaply and repeatedly, and once a
+budget reports exhausted it stays exhausted (so every caller observes
+one consistent verdict).
+
+Tiers of a degradation ladder share a single ``Deadline`` (the user is
+waiting on one response) but get a fresh ``Budget`` each (iteration
+counts restart per attempt).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from repro.robustness.errors import DeadlineExceeded
+
+_CLOCK = time.perf_counter
+
+
+class Deadline:
+    """A point in monotonic time by which work must finish."""
+
+    __slots__ = ("expires_at",)
+
+    def __init__(self, expires_at: float):
+        self.expires_at = float(expires_at)
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        """Deadline ``seconds`` from now (must be positive)."""
+        if seconds <= 0:
+            raise ValueError(f"deadline must be positive, got {seconds}")
+        return cls(_CLOCK() + seconds)
+
+    @classmethod
+    def never(cls) -> "Deadline":
+        """A deadline that never expires."""
+        return cls(math.inf)
+
+    def remaining(self) -> float:
+        """Seconds left (negative once expired, ``inf`` for never)."""
+        return self.expires_at - _CLOCK()
+
+    def expired(self) -> bool:
+        """Whether the deadline has passed."""
+        return _CLOCK() >= self.expires_at
+
+    def check(self, context: str = "operation") -> None:
+        """Raise :class:`DeadlineExceeded` if the deadline has passed."""
+        if self.expired():
+            raise DeadlineExceeded(f"deadline expired before {context}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Deadline(remaining={self.remaining():.6f}s)"
+
+
+class Budget:
+    """Wall-clock + iteration budget for one selection attempt.
+
+    Parameters
+    ----------
+    deadline:
+        Optional :class:`Deadline`; work stops when it expires.
+    max_iterations:
+        Optional cap on greedy iterations (picks after the mandatory
+        seed).
+    check_stride:
+        The clock is only read every ``check_stride`` calls to
+        :meth:`tick` so that per-candidate bookkeeping (heap
+        initialization) pays amortized nanoseconds, not a syscall per
+        object.  :meth:`exhausted` — called once per greedy iteration,
+        where a gain evaluation dwarfs a clock read — always checks.
+    """
+
+    __slots__ = ("deadline", "max_iterations", "check_stride",
+                 "_ticks", "_reason")
+
+    def __init__(
+        self,
+        deadline: Deadline | None = None,
+        max_iterations: int | None = None,
+        check_stride: int = 16,
+    ):
+        if max_iterations is not None and max_iterations < 0:
+            raise ValueError(
+                f"max_iterations must be non-negative, got {max_iterations}"
+            )
+        if check_stride < 1:
+            raise ValueError(f"check_stride must be >= 1, got {check_stride}")
+        self.deadline = deadline
+        self.max_iterations = max_iterations
+        self.check_stride = check_stride
+        self._ticks = 0
+        self._reason: str | None = None
+
+    @classmethod
+    def from_seconds(
+        cls, seconds: float, max_iterations: int | None = None
+    ) -> "Budget":
+        """Budget whose deadline is ``seconds`` from now."""
+        return cls(Deadline.after(seconds), max_iterations=max_iterations)
+
+    @property
+    def exhausted_reason(self) -> str | None:
+        """Why the budget ran out (``None`` while it has not)."""
+        return self._reason
+
+    def tick(self) -> bool:
+        """Record one cheap unit of work; ``True`` while budget remains.
+
+        Intended for tight per-candidate loops: the deadline is only
+        consulted every ``check_stride`` ticks.
+        """
+        if self._reason is not None:
+            return False
+        self._ticks += 1
+        if (
+            self.deadline is not None
+            and self._ticks % self.check_stride == 0
+            and self.deadline.expired()
+        ):
+            self._reason = "deadline"
+            return False
+        return True
+
+    def exhausted(self, iteration: int | None = None) -> str | None:
+        """Full check (clock + iteration cap); returns the reason or ``None``.
+
+        Intended once per greedy iteration, where the surrounding work
+        amortizes the clock read.
+        """
+        if self._reason is not None:
+            return self._reason
+        if (
+            self.max_iterations is not None
+            and iteration is not None
+            and iteration >= self.max_iterations
+        ):
+            self._reason = "max_iterations"
+        elif self.deadline is not None and self.deadline.expired():
+            self._reason = "deadline"
+        return self._reason

@@ -1,0 +1,72 @@
+"""Typed error taxonomy for the selection stack.
+
+The paper's premise is interactive latency: a response that errors (or
+never arrives) is worse than a degraded one.  The session boundary
+therefore needs errors a caller can *route on* — "the request itself is
+malformed" vs "the system cannot serve it right now" — instead of bare
+``ValueError``s that conflate both.
+
+Every class multiply-inherits from the builtin it used to be raised as
+(``ValueError``, ``RuntimeError``, ``TimeoutError``), so existing
+``except ValueError`` call sites keep working while new code can catch
+the precise type or the :class:`RobustnessError` root.
+"""
+
+from __future__ import annotations
+
+
+class RobustnessError(Exception):
+    """Root of the robustness taxonomy.
+
+    Catching this at the session boundary covers every failure the
+    degradation machinery may raise or route on.
+    """
+
+
+class InfeasibleSelection(RobustnessError, ValueError):
+    """The selection instance cannot be satisfied as specified.
+
+    Raised for contract violations no degradation tier can repair: a
+    mandatory set that is not ``θ``-feasible, ``|D| > k``, or — under
+    ``strict`` validation — an empty/undersized candidate set.
+    """
+
+
+class DeadlineExceeded(RobustnessError, TimeoutError):
+    """A wall-clock deadline expired before the work could start/finish.
+
+    The anytime greedy does *not* raise this — it returns a partial
+    prefix — but ladder tiers that would start already-late work, and
+    callers using :meth:`repro.robustness.Deadline.check`, do.
+    """
+
+
+class PrefetchUnavailable(RobustnessError, RuntimeError):
+    """Prefetched bounds cannot be used (missing, stale, or breaker open).
+
+    Never escapes :class:`~repro.core.session.MapSession`: the
+    operation is served cold (exact heap initialization) instead.
+    """
+
+
+class CircuitOpen(RobustnessError, RuntimeError):
+    """A circuit breaker is open and refusing calls."""
+
+
+class InvalidNavigation(RobustnessError, ValueError):
+    """A navigation target violates the operation's geometry contract.
+
+    (zoom-in target outside the viewport, disjoint pan, resized pan...)
+    """
+
+
+class SessionNotStarted(RobustnessError, RuntimeError):
+    """Navigation was attempted before :meth:`MapSession.start`."""
+
+
+class FaultInjected(RobustnessError, RuntimeError):
+    """Synthetic failure raised by a :class:`FaultInjector` point."""
+
+    def __init__(self, point: str, message: str | None = None):
+        self.point = point
+        super().__init__(message or f"injected fault at {point!r}")

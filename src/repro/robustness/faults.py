@@ -1,0 +1,153 @@
+"""Fault injection for the selection stack.
+
+A :class:`FaultInjector` owns a set of *named injection points* — the
+places where the real system can actually fail — and fires configurable
+synthetic failures (exceptions and/or added latency) when the
+instrumented code passes through them.  Production code calls
+:meth:`FaultInjector.check` at each point; with no rule armed the call
+is a dictionary miss, so leaving the hooks wired in costs nothing.
+
+The three standard points mirror the hot path's external dependencies:
+
+* ``index.query`` — spatial-index region/radius lookups;
+* ``similarity.eval`` — marginal-gain / similarity kernel evaluations;
+* ``prefetch.compute`` — the Sec. 5.2 background precomputation.
+
+Randomness is owned by the injector (seeded generator), so fault
+schedules are reproducible in tests.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.robustness.errors import FaultInjected
+
+# Standard injection point names (any string is accepted; these are the
+# ones wired through the library).
+INDEX_QUERY = "index.query"
+SIMILARITY_EVAL = "similarity.eval"
+PREFETCH_COMPUTE = "prefetch.compute"
+
+STANDARD_POINTS = (INDEX_QUERY, SIMILARITY_EVAL, PREFETCH_COMPUTE)
+
+
+class _DefaultError:
+    """Sentinel: raise :class:`FaultInjected` carrying the point name."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<FaultInjected(point)>"
+
+
+INJECTED = _DefaultError()
+
+
+@dataclass
+class FaultRule:
+    """How one injection point misbehaves.
+
+    Attributes
+    ----------
+    probability:
+        Chance in ``[0, 1]`` that a traversal of the point fires.
+    latency_s:
+        Synthetic delay added on every fire *before* the error (models
+        slow dependencies; combine with ``error=None`` for a
+        slow-but-successful dependency).
+    error:
+        Zero-arg callable producing the exception to raise, or ``None``
+        to fire latency only.  Defaults to raising
+        :class:`FaultInjected` tagged with the point name.
+    max_fires:
+        Stop firing after this many fires (``None`` = unlimited) —
+        models transient faults that heal.
+    """
+
+    probability: float = 1.0
+    latency_s: float = 0.0
+    error: Callable[[], BaseException] | None = INJECTED  # type: ignore[assignment]
+    max_fires: int | None = None
+    fires: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+        if self.latency_s < 0:
+            raise ValueError(f"latency_s must be >= 0, got {self.latency_s}")
+        if self.max_fires is not None and self.max_fires < 0:
+            raise ValueError(f"max_fires must be >= 0, got {self.max_fires}")
+
+
+class FaultInjector:
+    """Registry of armed :class:`FaultRule`\\ s keyed by point name."""
+
+    def __init__(self, seed: int = 0):
+        self._rules: dict[str, FaultRule] = {}
+        self._rng = np.random.default_rng(seed)
+        self.attempts: dict[str, int] = {}
+
+    def arm(
+        self,
+        point: str,
+        probability: float = 1.0,
+        latency_s: float = 0.0,
+        error: Callable[[], BaseException] | None = INJECTED,  # type: ignore[assignment]
+        max_fires: int | None = None,
+    ) -> "FaultInjector":
+        """Arm ``point`` with a rule; returns ``self`` for chaining."""
+        rule = FaultRule(
+            probability=probability,
+            latency_s=latency_s,
+            error=error,
+            max_fires=max_fires,
+        )
+        self._rules[point] = rule
+        return self
+
+    def disarm(self, point: str) -> None:
+        """Remove the rule for ``point`` (no-op when absent)."""
+        self._rules.pop(point, None)
+
+    def disarm_all(self) -> None:
+        """Remove every rule."""
+        self._rules.clear()
+
+    def rule(self, point: str) -> FaultRule | None:
+        """The armed rule for ``point``, if any."""
+        return self._rules.get(point)
+
+    def fires(self, point: str) -> int:
+        """How many times ``point`` has fired so far."""
+        rule = self._rules.get(point)
+        return rule.fires if rule is not None else 0
+
+    def check(self, point: str) -> None:
+        """Traverse ``point``: maybe sleep, maybe raise.
+
+        Call this from instrumented code.  With no rule armed this is a
+        dict lookup; with a rule, the injector draws against the rule's
+        probability and, on a fire, applies latency and raises the
+        configured error.  ``FaultInjected`` errors carry the point
+        name.
+        """
+        rule = self._rules.get(point)
+        if rule is None:
+            return
+        self.attempts[point] = self.attempts.get(point, 0) + 1
+        if rule.max_fires is not None and rule.fires >= rule.max_fires:
+            return
+        if rule.probability < 1.0 and self._rng.random() >= rule.probability:
+            return
+        rule.fires += 1
+        if rule.latency_s > 0.0:
+            time.sleep(rule.latency_s)
+        if rule.error is INJECTED:
+            raise FaultInjected(point)
+        if rule.error is not None:
+            raise rule.error()

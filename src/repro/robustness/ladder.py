@@ -1,0 +1,249 @@
+"""The degradation ladder: exact → sampled → top-weight.
+
+Interactive selection must answer *something* before the user stops
+looking at the map.  The ladder runs up to three tiers, descending
+whenever the deadline or a fault fires, and guarantees the answer is
+``θ``-feasible at whatever tier served it:
+
+1. **exact** — the lazy-forward greedy (Algorithm 1 / ISOS), run as an
+   *anytime* computation under the operation's
+   :class:`~repro.robustness.Budget`.  With no deadline and no fault
+   this is bit-for-bit the undegraded engine.
+2. **sampled** — SaSS (Algorithm 2): greedy over a
+   Serfling-sized uniform sample of the population, so both heap
+   initialization and gain evaluations shrink by orders of magnitude.
+   Entered when tier 1 was cut short or errored and the deadline has
+   not already passed.
+3. **top-weight** — the map-service default policy (Sec. 2): mandatory
+   set first, then highest-weight candidates that stay ``θ``-apart.
+   Pure numpy over coordinates and weights — no similarity kernel, no
+   spatial index — so it cannot be blocked by a deadline nor broken by
+   the fault points, and it always terminates.  Its ``score`` field is
+   0.0 with ``stats["score_evaluated"] = False`` (evaluating Eq. 2
+   would cost the very similarity work the tier exists to avoid).
+
+All tiers share one wall-clock :class:`Deadline`; each attempt gets a
+fresh :class:`Budget` (iteration counts restart).  Contract violations
+(:class:`InfeasibleSelection`) are *not* degraded around — no tier can
+return a feasible superset of an infeasible mandatory set — and
+propagate to the caller.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.problem import Aggregation, SelectionResult
+from repro.robustness.budget import Budget, Deadline
+from repro.robustness.errors import InfeasibleSelection
+from repro.robustness.faults import FaultInjector
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.dataset import GeoDataset
+
+
+class Tier(str, enum.Enum):
+    """Degradation tiers, best first."""
+
+    EXACT = "exact"
+    SAMPLED = "sampled"
+    TOPWEIGHT = "topweight"
+
+
+def select_with_ladder(
+    dataset: GeoDataset,
+    *,
+    region_ids: np.ndarray,
+    candidate_ids: np.ndarray,
+    mandatory_ids: np.ndarray,
+    k: int,
+    theta: float,
+    aggregation: Aggregation = Aggregation.MAX,
+    deadline: Deadline | None = None,
+    max_iterations: int | None = None,
+    initial_bounds: np.ndarray | None = None,
+    lazy: bool = True,
+    init_mode: str = "exact",
+    fault_injector: FaultInjector | None = None,
+    rng: np.random.Generator | None = None,
+    epsilon: float = 0.05,
+    delta: float = 0.1,
+) -> SelectionResult:
+    """Serve one selection through the degradation ladder.
+
+    Arguments mirror :func:`~repro.core.greedy.greedy_core`;
+    ``deadline``/``max_iterations`` bound each tier attempt,
+    ``epsilon``/``delta``/``rng`` parameterize the tier-2 sample.  The
+    returned result always records ``stats["tier"]`` (the serving
+    tier) and ``stats["ladder_attempts"]`` (``(tier, reason)`` pairs
+    for every tier that was tried and abandoned), and is marked
+    ``degraded`` unless tier 1 completed in full.
+    """
+    # Imported here, not at module top: greedy/sampling themselves
+    # import the robustness primitives, and this package's __init__
+    # pulls in the ladder — a module-level import would be circular.
+    from repro.core.greedy import _validate_instance, greedy_core
+    from repro.core.sampling import draw_sample
+
+    region_ids = np.asarray(region_ids, dtype=np.int64)
+    candidate_ids = np.asarray(candidate_ids, dtype=np.int64)
+    mandatory_ids = np.asarray(mandatory_ids, dtype=np.int64)
+    # Fail fast on contract violations before burning budget on a tier
+    # that must reject them anyway.
+    _validate_instance(
+        dataset, candidate_ids, mandatory_ids, k, theta, strict=False
+    )
+
+    attempts: list[tuple[str, str]] = []
+
+    # Tier 1 — anytime exact greedy.
+    budget = _fresh_budget(deadline, max_iterations)
+    try:
+        result = greedy_core(
+            dataset,
+            region_ids=region_ids,
+            candidate_ids=candidate_ids,
+            mandatory_ids=mandatory_ids,
+            k=k,
+            theta=theta,
+            aggregation=aggregation,
+            initial_bounds=initial_bounds,
+            lazy=lazy,
+            init_mode=init_mode,
+            budget=budget,
+            fault_injector=fault_injector,
+        )
+    except InfeasibleSelection:
+        raise
+    except Exception as exc:
+        attempts.append((Tier.EXACT.value, _describe(exc)))
+    else:
+        if not (result.degraded and result.stats.get("short_selection")):
+            return _finalize(result, Tier.EXACT, attempts)
+        attempts.append(
+            (Tier.EXACT.value, result.stats.get("budget_exhausted") or "short")
+        )
+
+    # Tier 2 — SaSS-sampled greedy, if there is any time left to spend.
+    if deadline is not None and deadline.expired():
+        attempts.append((Tier.SAMPLED.value, "skipped:deadline"))
+    else:
+        rng = rng if rng is not None else np.random.default_rng(0)
+        sample_ids = draw_sample(region_ids, epsilon, delta, rng)
+        budget = _fresh_budget(deadline, max_iterations)
+        try:
+            result = greedy_core(
+                dataset,
+                region_ids=sample_ids,
+                # Picks must still come from G; score is over the sample.
+                candidate_ids=np.intersect1d(sample_ids, candidate_ids),
+                mandatory_ids=mandatory_ids,
+                k=k,
+                theta=theta,
+                aggregation=aggregation,
+                budget=budget,
+                fault_injector=fault_injector,
+            )
+        except InfeasibleSelection:
+            raise
+        except Exception as exc:
+            attempts.append((Tier.SAMPLED.value, _describe(exc)))
+        else:
+            if not (result.degraded and result.stats.get("short_selection")):
+                result.stats["sample_size"] = int(len(sample_ids))
+                return _finalize(result, Tier.SAMPLED, attempts)
+            attempts.append(
+                (
+                    Tier.SAMPLED.value,
+                    result.stats.get("budget_exhausted") or "short",
+                )
+            )
+
+    # Tier 3 — top-weight fill.  Unconditional and unbreakable.
+    result = _topweight_fill(
+        dataset, region_ids, candidate_ids, mandatory_ids, k, theta
+    )
+    return _finalize(result, Tier.TOPWEIGHT, attempts)
+
+
+def _fresh_budget(
+    deadline: Deadline | None, max_iterations: int | None
+) -> Budget | None:
+    if deadline is None and max_iterations is None:
+        return None
+    return Budget(deadline=deadline, max_iterations=max_iterations)
+
+
+def _describe(exc: Exception) -> str:
+    return f"fault:{exc.__class__.__name__}"
+
+
+def _finalize(
+    result: SelectionResult, tier: Tier, attempts: list[tuple[str, str]]
+) -> SelectionResult:
+    result.stats["tier"] = tier.value
+    result.stats["ladder_attempts"] = attempts
+    if tier is not Tier.EXACT:
+        result.degraded = True
+    return result
+
+
+def _topweight_fill(
+    dataset: GeoDataset,
+    region_ids: np.ndarray,
+    candidate_ids: np.ndarray,
+    mandatory_ids: np.ndarray,
+    k: int,
+    theta: float,
+) -> SelectionResult:
+    """Mandatory set + highest-weight ``θ``-apart candidates.
+
+    The last-resort tier: touches only coordinate/weight arrays, so it
+    survives index and similarity faults and runs in
+    ``O(|G| log |G| + |G| · k)`` worst case (the scan stops as soon as
+    ``k`` objects are placed).
+    """
+    started = time.perf_counter()
+    selected = [int(i) for i in mandatory_ids]
+    sel_xs = [float(x) for x in dataset.xs[mandatory_ids]]
+    sel_ys = [float(y) for y in dataset.ys[mandatory_ids]]
+
+    if len(candidate_ids) and len(selected) < k:
+        order = candidate_ids[
+            np.argsort(-dataset.weights[candidate_ids], kind="stable")
+        ]
+        for obj in order:
+            if len(selected) >= k:
+                break
+            x = float(dataset.xs[obj])
+            y = float(dataset.ys[obj])
+            if theta > 0.0 and sel_xs:
+                dists = np.hypot(
+                    np.asarray(sel_xs) - x, np.asarray(sel_ys) - y
+                )
+                if float(dists.min()) < theta:
+                    continue
+            selected.append(int(obj))
+            sel_xs.append(x)
+            sel_ys.append(y)
+
+    selected_arr = np.asarray(selected, dtype=np.int64)
+    return SelectionResult(
+        selected=selected_arr,
+        score=0.0,
+        region_ids=np.asarray(region_ids, dtype=np.int64),
+        degraded=True,
+        stats={
+            "elapsed_s": time.perf_counter() - started,
+            "population": int(len(region_ids)),
+            "candidates": int(len(candidate_ids)),
+            "mandatory": int(len(mandatory_ids)),
+            "budget_exhausted": None,
+            "short_selection": len(selected_arr) < k,
+            "score_evaluated": False,
+        },
+    )

@@ -6,11 +6,13 @@ import pytest
 from repro import (
     Aggregation,
     GeoDataset,
+    InfeasibleSelection,
     MapSession,
     RegionQuery,
     greedy_select,
     sass_select,
 )
+from repro.core.greedy import greedy_core
 from repro.geo import BoundingBox
 from repro.similarity import MatrixSimilarity
 
@@ -105,6 +107,83 @@ class TestQueryValidation:
     def test_theta_for_helper(self):
         region = BoundingBox(0.0, 0.0, 2.0, 1.0)
         assert RegionQuery.theta_for(region, 0.01) == pytest.approx(0.02)
+
+
+class TestInstanceValidation:
+    """greedy_core input contracts (InfeasibleSelection taxonomy)."""
+
+    def _core(self, ds, **overrides):
+        ids = np.arange(len(ds), dtype=np.int64)
+        kwargs = dict(
+            region_ids=ids,
+            candidate_ids=ids,
+            mandatory_ids=np.empty(0, dtype=np.int64),
+            k=3,
+            theta=0.0,
+        )
+        kwargs.update(overrides)
+        return greedy_core(ds, **kwargs)
+
+    @pytest.fixture
+    def ds(self):
+        gen = np.random.default_rng(7)
+        return GeoDataset.build(gen.random(20), gen.random(20))
+
+    def test_nonpositive_k(self, ds):
+        with pytest.raises(InfeasibleSelection, match="k must be positive"):
+            self._core(ds, k=0)
+        # Backward compatible: it is still a ValueError.
+        with pytest.raises(ValueError):
+            self._core(ds, k=-2)
+
+    def test_negative_theta(self, ds):
+        with pytest.raises(InfeasibleSelection, match="non-negative"):
+            self._core(ds, theta=-0.5)
+
+    def test_mandatory_larger_than_k(self, ds):
+        with pytest.raises(InfeasibleSelection, match=r"exceeds k"):
+            self._core(
+                ds,
+                mandatory_ids=np.arange(5, dtype=np.int64),
+                candidate_ids=np.arange(5, 20, dtype=np.int64),
+                k=4,
+            )
+
+    def test_mandatory_violating_theta(self):
+        ds = GeoDataset.build(
+            np.array([0.5, 0.501, 0.9]), np.array([0.5, 0.501, 0.9])
+        )
+        with pytest.raises(InfeasibleSelection, match="feasible"):
+            greedy_core(
+                ds,
+                region_ids=np.arange(3, dtype=np.int64),
+                candidate_ids=np.array([2], dtype=np.int64),
+                mandatory_ids=np.array([0, 1], dtype=np.int64),
+                k=3,
+                theta=0.1,
+            )
+
+    def test_empty_candidates_default_is_partial(self, ds):
+        result = self._core(
+            ds, candidate_ids=np.empty(0, dtype=np.int64), k=3
+        )
+        assert len(result) == 0
+        assert result.stats["short_selection"]
+
+    def test_empty_candidates_strict_raises(self, ds):
+        with pytest.raises(InfeasibleSelection, match="empty"):
+            self._core(
+                ds, candidate_ids=np.empty(0, dtype=np.int64), strict=True
+            )
+
+    def test_k_exceeding_population_default_is_partial(self, ds):
+        result = self._core(ds, k=100)
+        assert len(result) == 20
+        assert result.stats["short_selection"]
+
+    def test_k_exceeding_population_strict_raises(self, ds):
+        with pytest.raises(InfeasibleSelection, match=r"exceeds \|G\|"):
+            self._core(ds, k=100, strict=True)
 
 
 class TestSessionDegenerate:

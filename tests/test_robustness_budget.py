@@ -1,0 +1,149 @@
+"""Deadline/Budget primitives and the anytime greedy."""
+
+import numpy as np
+import pytest
+
+from repro import Budget, Deadline, GeoDataset, RegionQuery, greedy_select
+from repro.core.greedy import greedy_core
+from repro.geo import BoundingBox
+from repro.geo.distance import pairwise_min_distance
+from repro.robustness import DeadlineExceeded
+
+WHOLE = BoundingBox(-0.1, -0.1, 1.1, 1.1)
+
+
+@pytest.fixture
+def dataset():
+    gen = np.random.default_rng(42)
+    return GeoDataset.build(gen.random(800), gen.random(800))
+
+
+class TestDeadline:
+    def test_after_and_remaining(self):
+        dl = Deadline.after(60.0)
+        assert not dl.expired()
+        assert 0.0 < dl.remaining() <= 60.0
+
+    def test_expired(self):
+        dl = Deadline(expires_at=0.0)  # epoch of the monotonic clock
+        assert dl.expired()
+        assert dl.remaining() < 0.0
+
+    def test_never(self):
+        dl = Deadline.never()
+        assert not dl.expired()
+        assert dl.remaining() == float("inf")
+
+    def test_check_raises(self):
+        with pytest.raises(DeadlineExceeded):
+            Deadline(expires_at=0.0).check("unit test")
+        Deadline.never().check("unit test")  # no raise
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Deadline.after(0.0)
+        with pytest.raises(ValueError):
+            Deadline.after(-1.0)
+
+
+class TestBudget:
+    def test_no_limits_never_exhausts(self):
+        budget = Budget()
+        for i in range(1000):
+            assert budget.tick()
+        assert budget.exhausted(999) is None
+
+    def test_max_iterations(self):
+        budget = Budget(max_iterations=3)
+        assert budget.exhausted(2) is None
+        assert budget.exhausted(3) == "max_iterations"
+        # Exhaustion is sticky: later calls repeat the verdict.
+        assert budget.exhausted(0) == "max_iterations"
+        assert not budget.tick()
+
+    def test_deadline_exhaustion_via_tick(self):
+        budget = Budget(deadline=Deadline(expires_at=0.0), check_stride=4)
+        # Strided: the first three ticks never consult the clock.
+        assert budget.tick()
+        assert budget.tick()
+        assert budget.tick()
+        assert not budget.tick()
+        assert budget.exhausted_reason == "deadline"
+
+    def test_exhausted_checks_clock_immediately(self):
+        budget = Budget(deadline=Deadline(expires_at=0.0))
+        assert budget.exhausted(0) == "deadline"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Budget(max_iterations=-1)
+        with pytest.raises(ValueError):
+            Budget(check_stride=0)
+
+
+class TestAnytimeGreedy:
+    def test_iteration_cap_returns_prefix_of_full_run(self, dataset):
+        query = RegionQuery(region=WHOLE, k=20, theta=0.01)
+        full = greedy_select(dataset, query)
+        capped = greedy_select(dataset, query, budget=Budget(max_iterations=7))
+        assert len(capped) == 7
+        assert capped.degraded
+        assert capped.stats["budget_exhausted"] == "max_iterations"
+        assert capped.stats["short_selection"]
+        # Anytime property: the prefix matches the unbudgeted pick order.
+        assert capped.selected.tolist() == full.selected.tolist()[:7]
+
+    def test_prefix_is_theta_feasible(self, dataset):
+        query = RegionQuery(region=WHOLE, k=20, theta=0.02)
+        capped = greedy_select(dataset, query, budget=Budget(max_iterations=5))
+        sel = capped.selected
+        assert pairwise_min_distance(
+            dataset.xs[sel], dataset.ys[sel]
+        ) >= 0.02
+
+    def test_expired_deadline_returns_immediately(self, dataset):
+        query = RegionQuery(region=WHOLE, k=20, theta=0.01)
+        budget = Budget(deadline=Deadline(expires_at=0.0), check_stride=1)
+        result = greedy_select(dataset, query, budget=budget)
+        assert result.degraded
+        assert result.stats["budget_exhausted"] == "deadline"
+        assert len(result) < 20
+        # Almost no gain evaluations: the init sweep stopped at the
+        # first strided clock check.
+        assert result.stats["gain_evaluations"] <= 1
+
+    def test_generous_budget_is_invisible(self, dataset):
+        query = RegionQuery(region=WHOLE, k=15, theta=0.01)
+        plain = greedy_select(dataset, query)
+        budgeted = greedy_select(
+            dataset, query, budget=Budget.from_seconds(3600.0)
+        )
+        assert not budgeted.degraded
+        assert budgeted.stats["budget_exhausted"] is None
+        assert budgeted.selected.tolist() == plain.selected.tolist()
+        assert budgeted.score == pytest.approx(plain.score)
+
+    def test_mandatory_prefix_survives_expiry(self, dataset):
+        region_ids = dataset.objects_in(WHOLE)
+        mandatory = region_ids[:3]
+        result = greedy_core(
+            dataset,
+            region_ids=region_ids,
+            candidate_ids=np.setdiff1d(region_ids, mandatory),
+            mandatory_ids=mandatory,
+            k=10,
+            theta=0.0,
+            budget=Budget(deadline=Deadline(expires_at=0.0), check_stride=1),
+        )
+        assert result.degraded
+        # The mandatory seed is always part of the anytime prefix.
+        assert result.selected.tolist()[:3] == [int(i) for i in mandatory]
+
+    def test_bulk_init_respects_budget(self, dataset):
+        query = RegionQuery(region=WHOLE, k=10, theta=0.01)
+        budget = Budget(deadline=Deadline(expires_at=0.0), check_stride=1)
+        result = greedy_select(
+            dataset, query, init_mode="bulk", budget=budget
+        )
+        assert result.degraded
+        assert len(result) == 0

@@ -1,0 +1,149 @@
+"""Fault-injection harness and the prefetch circuit breaker."""
+
+import pytest
+
+from repro.robustness import (
+    INDEX_QUERY,
+    PREFETCH_COMPUTE,
+    SIMILARITY_EVAL,
+    CircuitBreaker,
+    CircuitOpen,
+    FaultInjected,
+    FaultInjector,
+)
+from repro.robustness.faults import STANDARD_POINTS
+
+
+class TestFaultInjector:
+    def test_unarmed_point_is_a_noop(self):
+        injector = FaultInjector()
+        injector.check(INDEX_QUERY)  # nothing armed, nothing raised
+        assert injector.fires(INDEX_QUERY) == 0
+
+    def test_armed_point_fires(self):
+        injector = FaultInjector().arm(INDEX_QUERY)
+        with pytest.raises(FaultInjected) as err:
+            injector.check(INDEX_QUERY)
+        assert err.value.point == INDEX_QUERY
+        assert injector.fires(INDEX_QUERY) == 1
+        # Other points stay clean.
+        injector.check(SIMILARITY_EVAL)
+
+    def test_probability_is_seeded_and_partial(self):
+        def fire_count(seed):
+            injector = FaultInjector(seed=seed).arm(
+                PREFETCH_COMPUTE, probability=0.5
+            )
+            for _ in range(200):
+                try:
+                    injector.check(PREFETCH_COMPUTE)
+                except FaultInjected:
+                    pass
+            return injector.fires(PREFETCH_COMPUTE)
+
+        count = fire_count(7)
+        assert 0 < count < 200  # genuinely probabilistic
+        assert count == fire_count(7)  # and reproducible
+
+    def test_max_fires(self):
+        injector = FaultInjector().arm(INDEX_QUERY, max_fires=2)
+        for _ in range(2):
+            with pytest.raises(FaultInjected):
+                injector.check(INDEX_QUERY)
+        injector.check(INDEX_QUERY)  # budget spent: passes through
+        assert injector.fires(INDEX_QUERY) == 2
+        assert injector.attempts[INDEX_QUERY] == 3
+
+    def test_custom_error(self):
+        injector = FaultInjector().arm(SIMILARITY_EVAL, error=KeyError)
+        with pytest.raises(KeyError):
+            injector.check(SIMILARITY_EVAL)
+
+    def test_disarm(self):
+        injector = FaultInjector().arm(INDEX_QUERY)
+        injector.disarm(INDEX_QUERY)
+        injector.check(INDEX_QUERY)
+        injector.arm(INDEX_QUERY).arm(PREFETCH_COMPUTE)
+        injector.disarm_all()
+        for point in STANDARD_POINTS:
+            injector.check(point)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultInjector().arm(INDEX_QUERY, probability=1.5)
+        with pytest.raises(ValueError):
+            FaultInjector().arm(INDEX_QUERY, latency_s=-1.0)
+        with pytest.raises(ValueError):
+            FaultInjector().arm(INDEX_QUERY, max_fires=-1)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold(self):
+        breaker = CircuitBreaker(failure_threshold=3, clock=FakeClock())
+        for _ in range(2):
+            breaker.record_failure()
+            assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allows()
+
+    def test_success_resets_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_open_rejects_calls(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, clock=clock)
+        breaker.record_failure()
+        with pytest.raises(CircuitOpen):
+            breaker.call(lambda: "never runs")
+        assert breaker.rejections == 1
+
+    def test_half_open_probe_and_close(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_after_s=10.0, clock=clock
+        )
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.now = 11.0  # cool-down elapsed: one probe allowed
+        assert breaker.state == "half_open"
+        assert breaker.call(lambda: 42) == 42
+        assert breaker.state == "closed"
+
+    def test_half_open_failure_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=3, reset_after_s=10.0, clock=clock
+        )
+        for _ in range(3):
+            breaker.record_failure()
+        clock.now = 11.0
+        assert breaker.state == "half_open"
+        with pytest.raises(RuntimeError):
+            breaker.call(self._boom)
+        # A single half-open failure re-opens regardless of threshold.
+        assert breaker.state == "open"
+
+    def test_call_propagates_and_counts(self):
+        breaker = CircuitBreaker(failure_threshold=5, clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            breaker.call(self._boom)
+        assert breaker.failures == 1
+        assert breaker.call(lambda: "ok") == "ok"
+        assert breaker.successes == 1
+
+    @staticmethod
+    def _boom():
+        raise RuntimeError("downstream failure")

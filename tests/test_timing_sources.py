@@ -1,0 +1,36 @@
+"""Guard: all elapsed-time measurement uses the monotonic clock.
+
+``time.time()`` is wall-clock and can jump (NTP slew, DST, manual
+adjustment), which corrupts both the reported response times and —
+worse — the :class:`~repro.robustness.Deadline` arithmetic.  Every
+duration in this codebase must come from ``time.perf_counter()``
+(or ``time.monotonic()``); this test fails the build if a wall-clock
+read sneaks back in.
+"""
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+BENCHMARKS = Path(__file__).resolve().parent.parent / "benchmarks"
+
+WALL_CLOCK = re.compile(r"\btime\.time\s*\(")
+
+
+def _offenders(root):
+    hits = []
+    for path in sorted(root.rglob("*.py")):
+        for lineno, line in enumerate(
+            path.read_text().splitlines(), start=1
+        ):
+            if WALL_CLOCK.search(line):
+                hits.append(f"{path.relative_to(root.parent)}:{lineno}")
+    return hits
+
+
+def test_no_wall_clock_timing_in_src():
+    assert _offenders(SRC) == []
+
+
+def test_no_wall_clock_timing_in_benchmarks():
+    assert _offenders(BENCHMARKS) == []
