@@ -15,6 +15,8 @@ import pytest
 from common import queries, report_table, uk
 from repro import Budget, greedy_select
 
+pytestmark = pytest.mark.bench
+
 ROUNDS = 9
 WARMUP = 2
 OVERHEAD_LIMIT = 0.05

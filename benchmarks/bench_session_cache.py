@@ -1,0 +1,155 @@
+"""Cold-vs-warm session-cache regression gate.
+
+Replays a fixed-seed overlapping-viewport workload (zoom-in heavy —
+the Lemma 5.1 regime the warm start targets) through two sessions over
+the same corpus:
+
+* **cold** — a count-only :class:`SimilarityCache` (``max_entries=0``)
+  that never stores a value, so every step pays full evaluation cost
+  while still reporting exact pair counts;
+* **warm** — the real cache plus the selection warm start.
+
+Asserts the two produce bit-identical selections on every step and
+that the warm session saves at least ``MIN_SAVINGS`` of the cold
+session's similarity evaluations across navigation steps.  Writes
+``benchmarks/results/BENCH_session_cache.json`` (per-variant p50/p95
+step latency, sim-eval counts, cache hit rate) for the CI artifact.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from common import RESULTS_DIR, report_table, uk
+from repro import MapSession, SimilarityCache
+from repro.metrics import percentile
+
+pytestmark = pytest.mark.bench
+
+MIN_SAVINGS = 0.30
+K = 100
+SEED = 2018
+TRACES = 2
+ZOOM_SCALES = (0.85, 0.8, 0.85, 0.75)
+REGION_FRACTION = 0.02
+
+
+def _start_regions(dataset, count: int):
+    """Fixed-seed object-centered start viewports with real population."""
+    from repro.datasets import random_region_queries
+
+    qs = random_region_queries(
+        dataset, count,
+        region_fraction=REGION_FRACTION,
+        k=K,
+        rng=np.random.default_rng(SEED),
+        min_population=1000,
+    )
+    return [q.region for q in qs]
+
+
+def _replay(dataset, regions, *, similarity_cache, warm_start):
+    """Run the workload; returns (navigation steps, cache counters)."""
+    nav_steps = []
+    cache = similarity_cache
+    for region in regions:
+        session = MapSession(
+            dataset, k=K,
+            similarity_cache=cache,
+            warm_start=warm_start,
+        )
+        session.start(region)
+        for scale in ZOOM_SCALES:
+            nav_steps.append(session.zoom_in(scale))
+        cache = session.similarity_cache  # share across traces
+    return nav_steps, cache.counters()
+
+
+def _stats(steps, counters):
+    latencies = [s.elapsed_s for s in steps]
+    pairs = sum(s.stats["sim_pairs_evaluated"] for s in steps)
+    served = counters["pairs_evaluated"] + counters["pairs_saved"]
+    return {
+        "steps": len(steps),
+        "p50_latency_ms": percentile(latencies, 50.0) * 1000.0,
+        "p95_latency_ms": percentile(latencies, 95.0) * 1000.0,
+        "sim_pairs_evaluated": int(pairs),
+        "cache_hits": counters["hits"],
+        "cache_misses": counters["misses"],
+        "cache_hit_rate": (
+            counters["pairs_saved"] / served if served else 0.0
+        ),
+        "warm_started_steps": int(sum(s.warm_started for s in steps)),
+    }
+
+
+def test_session_cache_regression():
+    dataset = uk()
+    regions = _start_regions(dataset, TRACES)
+
+    cold_steps, cold_counters = _replay(
+        dataset, regions,
+        similarity_cache=SimilarityCache(dataset.similarity, max_entries=0),
+        warm_start=False,
+    )
+    warm_steps, warm_counters = _replay(
+        dataset, regions, similarity_cache=True, warm_start=True
+    )
+
+    # Warm-start selections must be bit-identical to cold ones.
+    assert len(cold_steps) == len(warm_steps)
+    for c, w in zip(cold_steps, warm_steps):
+        assert c.result.selected.tolist() == w.result.selected.tolist(), (
+            f"warm {w.operation} selection diverged from cold"
+        )
+        assert c.result.score == w.result.score
+
+    cold = _stats(cold_steps, cold_counters)
+    warm = _stats(warm_steps, warm_counters)
+    savings = 1.0 - warm["sim_pairs_evaluated"] / cold["sim_pairs_evaluated"]
+
+    payload = {
+        "workload": {
+            "dataset": "uk",
+            "objects": len(dataset),
+            "traces": TRACES,
+            "zoom_scales": list(ZOOM_SCALES),
+            "region_fraction": REGION_FRACTION,
+            "k": K,
+            "seed": SEED,
+        },
+        "cold": cold,
+        "warm": warm,
+        "sim_eval_savings": savings,
+        "min_savings": MIN_SAVINGS,
+        "bit_identical": True,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_session_cache.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    report_table(
+        "session_cache",
+        ["variant", "p50 (ms)", "p95 (ms)", "sim evals", "hit rate"],
+        [
+            [
+                name,
+                f"{s['p50_latency_ms']:.1f}",
+                f"{s['p95_latency_ms']:.1f}",
+                f"{s['sim_pairs_evaluated']:,}",
+                f"{s['cache_hit_rate']:.1%}",
+            ]
+            for name, s in (("cold", cold), ("warm", warm))
+        ],
+        title=(
+            "Session cache: cold vs warm navigation steps "
+            f"(savings {savings:+.1%}, gate {MIN_SAVINGS:.0%})"
+        ),
+    )
+    assert savings >= MIN_SAVINGS, (
+        f"warm start saved only {savings:.1%} of similarity evaluations "
+        f"(gate {MIN_SAVINGS:.0%}); see {out}"
+    )

@@ -1,10 +1,21 @@
 """Pytest configuration for the benchmark suite.
 
-Makes the sibling ``common`` module importable when pytest is invoked
-from the repository root (``pytest benchmarks/ --benchmark-only``).
+Resolves every path from this file's location, not the process CWD,
+so the suite runs identically from the repository root
+(``pytest benchmarks/ --benchmark-only``), from inside ``benchmarks/``,
+or from anywhere else:
+
+* the sibling ``common`` module becomes importable, and
+* ``src/`` is put on ``sys.path`` so ``repro`` imports without an
+  externally exported ``PYTHONPATH``.
 """
 
 import sys
 from pathlib import Path
 
-sys.path.insert(0, str(Path(__file__).parent))
+_HERE = Path(__file__).resolve().parent
+_SRC = _HERE.parent / "src"
+
+for path in (_HERE, _SRC):
+    if path.is_dir() and str(path) not in sys.path:
+        sys.path.insert(0, str(path))

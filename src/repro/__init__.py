@@ -27,6 +27,11 @@ See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 paper-versus-measured record of every table and figure.
 """
 
+from repro.cache import (
+    EquivalenceViolation,
+    SelectionCache,
+    SimilarityCache,
+)
 from repro.core import (
     Aggregation,
     FrequencyPredictor,
@@ -53,6 +58,7 @@ from repro.core import (
     theta_fraction_for_screen,
 )
 from repro.geo import BoundingBox, Point
+from repro.metrics import MetricsRegistry
 from repro.robustness import (
     Budget,
     CircuitBreaker,
@@ -75,12 +81,14 @@ __all__ = [
     "CircuitBreaker",
     "Deadline",
     "DeadlineExceeded",
+    "EquivalenceViolation",
     "FaultInjector",
     "FrequencyPredictor",
     "GeoDataset",
     "InfeasibleSelection",
     "IsosQuery",
     "MapSession",
+    "MetricsRegistry",
     "NavigationPredictor",
     "NavigationStep",
     "Point",
@@ -89,7 +97,9 @@ __all__ = [
     "Prefetcher",
     "RegionQuery",
     "RobustnessError",
+    "SelectionCache",
     "SelectionResult",
+    "SimilarityCache",
     "StreamingSelector",
     "Tier",
     "__version__",

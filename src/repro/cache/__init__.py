@@ -1,0 +1,32 @@
+"""Cross-step caching for the selection hot path.
+
+Two cooperating layers (see ``docs/CACHING.md``):
+
+* :class:`SimilarityCache` — bounded LRU memoization of
+  ``sim``/``sims_to`` over any :class:`~repro.similarity.SimilarityModel`,
+  with subset-gather and merge semantics so overlapping populations
+  reuse each other's evaluations.
+* :class:`SelectionCache` — per-session warm-start material: raw
+  similarity masses harvested from cached rows after every step, fed
+  back as valid upper bounds (Lemma 5.1) when the next viewport is
+  contained in the previous one.
+
+:class:`EquivalenceViolation` is raised by the session's equivalence
+mode when a warm-started selection differs from its cold-start twin —
+which a correct cache must never allow.
+"""
+
+from repro.cache.selection_cache import CapturedSelection, SelectionCache
+from repro.cache.similarity_cache import SimilarityCache
+
+
+class EquivalenceViolation(AssertionError):
+    """A warm-started selection diverged from its cold-start twin."""
+
+
+__all__ = [
+    "CapturedSelection",
+    "EquivalenceViolation",
+    "SelectionCache",
+    "SimilarityCache",
+]

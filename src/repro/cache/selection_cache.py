@@ -1,0 +1,197 @@
+"""Per-session warm-start material for the ISOS greedy.
+
+The expensive part of serving a navigation operation cold is heap
+initialization: one first-iteration gain per candidate, ``O(|O|·|G|)``
+similarity work on the response path.  The session's
+:class:`SelectionCache` removes it for the overlapping-viewport case
+without any dedicated precomputation sweep:
+
+* **capture** — after each step, harvest from the
+  :class:`~repro.cache.SimilarityCache` the raw weighted similarity
+  masses ``raw(v) = Σ_{o∈O_t} ω_o·Sim(o, v)`` of every object of the
+  current population whose row is already cached (they all are, right
+  after a selection: the greedy evaluated them to initialize its
+  heap).  Harvesting is pure numpy over cached rows — zero model
+  evaluations — and runs off the response path.
+* **warm start** — when the next operation's viewport lies *inside*
+  the captured one (zoom-in, or any targeted navigation that stays
+  within the previous region), the new population satisfies
+  ``O_new ⊆ O_t``, so ``raw(v) / |O_new|`` upper-bounds the
+  first-iteration gain of each covered candidate exactly as the
+  Sec. 5.2 prefetch bounds do (Lemma 5.1: monotonicity in the
+  population plus submodularity).  The greedy heap starts from these
+  stale bounds and skips exact initialization; lazy-forward
+  refreshing guarantees the selection is bit-identical to a cold
+  start.  Candidates without a harvested mass get ``NaN`` and are
+  initialized exactly, so partial coverage degrades smoothly.
+
+Fallback to cold start is explicit and recorded in the metrics
+registry (``warm.skipped.<reason>``): no capture yet, the similarity
+cache was invalidated since capture, the new viewport is not
+contained in the captured one (pan/zoom-out — those are served by the
+prefetcher's union bounds instead), the viewport overlap
+``area(new)/area(captured)`` is below ``min_overlap`` (bounds valid
+but too loose to help), or candidate coverage is below
+``min_coverage``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cache.similarity_cache import SimilarityCache
+from repro.geo.bbox import BoundingBox
+from repro.metrics import MetricsRegistry
+
+DEFAULT_MIN_OVERLAP = 0.05
+DEFAULT_MIN_COVERAGE = 0.5
+DEFAULT_MAX_POPULATION = 20_000
+
+
+@dataclass
+class CapturedSelection:
+    """Harvested warm-start material for one committed viewport."""
+
+    region: BoundingBox
+    population: int
+    raw_ids: np.ndarray  # sorted ids with a harvested raw mass
+    raw_sums: np.ndarray  # aligned with raw_ids
+    generation: int  # similarity-cache generation at harvest time
+
+
+class SelectionCache:
+    """Warm-start state carried between the steps of one session.
+
+    Parameters
+    ----------
+    min_overlap:
+        Minimum ``area(new) / area(captured)`` for a warm start; a
+        deep zoom keeps valid but weak bounds, and below this ratio a
+        cold exact initialization is cheaper than refreshing them.
+    min_coverage:
+        Minimum fraction of candidates with a harvested mass; below
+        it the mixed seed degenerates to mostly-exact and the cache
+        steps aside entirely.
+    max_population:
+        Harvest guard: populations larger than this are not captured
+        (the ``O(|O_t|²)`` gather/dot harvest would dominate).
+    """
+
+    def __init__(
+        self,
+        min_overlap: float = DEFAULT_MIN_OVERLAP,
+        min_coverage: float = DEFAULT_MIN_COVERAGE,
+        max_population: int = DEFAULT_MAX_POPULATION,
+        metrics: MetricsRegistry | None = None,
+    ):
+        if not 0.0 <= min_overlap <= 1.0:
+            raise ValueError(f"min_overlap must be in [0, 1], got {min_overlap}")
+        if not 0.0 <= min_coverage <= 1.0:
+            raise ValueError(
+                f"min_coverage must be in [0, 1], got {min_coverage}"
+            )
+        self.min_overlap = min_overlap
+        self.min_coverage = min_coverage
+        self.max_population = max_population
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._captured: CapturedSelection | None = None
+
+    @property
+    def captured(self) -> CapturedSelection | None:
+        """The current warm-start material (``None`` when cold)."""
+        return self._captured
+
+    def invalidate(self) -> None:
+        """Drop the captured material (dataset swap, session reset)."""
+        self._captured = None
+
+    def capture(
+        self,
+        similarity: SimilarityCache,
+        weights: np.ndarray,
+        region: BoundingBox,
+        region_ids: np.ndarray,
+    ) -> None:
+        """Harvest raw masses over ``region_ids`` from cached rows.
+
+        Zero similarity-model evaluations: objects whose row over the
+        population is not fully cached are simply left out (the next
+        warm start initializes them exactly).  Runs off the response
+        path; replaces any previous capture.
+        """
+        region_ids = np.asarray(region_ids, dtype=np.int64)
+        self._captured = None
+        if len(region_ids) == 0 or len(region_ids) > self.max_population:
+            self.metrics.incr("warm.capture_skipped")
+            return
+        w = np.asarray(weights, dtype=np.float64)[region_ids]
+        ids: list[int] = []
+        sums: list[float] = []
+        for v in region_ids:
+            row = similarity.cached_row_over(int(v), region_ids)
+            if row is not None:
+                ids.append(int(v))
+                sums.append(float(np.dot(w, row)))
+        if not ids:
+            self.metrics.incr("warm.capture_skipped")
+            return
+        raw_ids = np.asarray(ids, dtype=np.int64)
+        order = np.argsort(raw_ids, kind="stable")
+        self._captured = CapturedSelection(
+            region=region,
+            population=int(len(region_ids)),
+            raw_ids=raw_ids[order],
+            raw_sums=np.asarray(sums, dtype=np.float64)[order],
+            generation=similarity.generation,
+        )
+        self.metrics.incr("warm.captures")
+        self.metrics.incr("warm.captured_ids", len(ids))
+
+    def bounds_for(
+        self,
+        similarity: SimilarityCache,
+        new_region: BoundingBox,
+        new_ids: np.ndarray,
+        candidate_ids: np.ndarray,
+    ) -> np.ndarray | None:
+        """Upper bounds aligned with ``candidate_ids``, or ``None``.
+
+        ``NaN`` entries mark candidates without a harvested mass; the
+        greedy engine initializes those exactly.  Returns ``None``
+        whenever a warm start is invalid or not worthwhile — the
+        caller serves the operation cold.
+        """
+        c = self._captured
+        if c is None:
+            return self._skip("no_capture")
+        if similarity.generation != c.generation:
+            self._captured = None
+            return self._skip("invalidated")
+        if len(new_ids) == 0 or len(candidate_ids) == 0:
+            return self._skip("empty")
+        if not c.region.contains_box(new_region):
+            # O_new ⊆ O_captured no longer guaranteed: the masses are
+            # not valid bounds (pan / zoom-out are the prefetcher's
+            # job, whose union supersets cover them).
+            return self._skip("not_contained")
+        if c.region.area > 0 and new_region.area / c.region.area < self.min_overlap:
+            return self._skip("low_overlap")
+        candidate_ids = np.asarray(candidate_ids, dtype=np.int64)
+        pos = np.searchsorted(c.raw_ids, candidate_ids)
+        pos_safe = np.minimum(pos, len(c.raw_ids) - 1)
+        found = c.raw_ids[pos_safe] == candidate_ids
+        coverage = float(found.mean())
+        if coverage < self.min_coverage:
+            return self._skip("low_coverage")
+        bounds = np.full(len(candidate_ids), np.nan, dtype=np.float64)
+        bounds[found] = c.raw_sums[pos_safe[found]] / float(len(new_ids))
+        self.metrics.incr("warm.starts")
+        self.metrics.incr("warm.seeded_bounds", int(found.sum()))
+        self.metrics.incr("warm.exact_fallbacks", int((~found).sum()))
+        return bounds
+
+    def _skip(self, reason: str) -> np.ndarray | None:
+        self.metrics.incr(f"warm.skipped.{reason}")
+        return None

@@ -1,0 +1,350 @@
+"""Bounded LRU memoization of similarity evaluations.
+
+The greedy machinery evaluates ``sims_to(v, O)`` rows over and over —
+within one selection (a picked object's row is computed once for its
+gain and again when it is committed) and *across* navigation steps of
+an ISOS session, whose populations overlap heavily by construction
+(zooming/panning consistency, Def. 3.6).  :class:`SimilarityCache`
+wraps any :class:`~repro.similarity.SimilarityModel` and memoizes:
+
+* **rows** — per object id, the union of all id/value pairs evaluated
+  so far, kept sorted by id.  A later request for a subset is a pure
+  numpy gather (zero model evaluations); a partially overlapping
+  request only evaluates the missing ids and merges them in (the
+  cross-step case: a panned viewport re-scores the surviving
+  population for free and pays only for the fresh strip).
+* **scalars** — ``sim(i, j)`` pairs under the symmetric key
+  ``(min(i,j), max(i,j))``.
+
+Capacity is bounded in *cached float entries* (``max_entries``) with
+least-recently-used row eviction; ``max_entries=0`` disables storage
+entirely, leaving a pure pass-through that still counts evaluations —
+the benchmark's "cold" baseline.
+
+Correctness: every value returned is a value the base model produced
+for exactly that ``(i, j)`` pair, so cached and uncached runs see
+bit-identical similarities.  The one deliberate deviation is
+:meth:`weighted_sims_sum`, which always reduces row-by-row (so the
+rows populate the cache) rather than delegating to a possibly
+vectorized base implementation; see ``docs/CACHING.md``.
+
+The cache is **not** thread-safe and must be invalidated when the
+underlying dataset or model changes (:meth:`invalidate`); the
+``generation`` counter lets dependents (the session's
+:class:`~repro.cache.SelectionCache`) detect that their derived state
+is stale.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.metrics import MetricsRegistry
+from repro.similarity.base import SimilarityModel
+
+DEFAULT_MAX_ENTRIES = 4_000_000  # cached floats across rows (~32 MB)
+DEFAULT_MAX_SCALARS = 65_536
+
+
+class SimilarityCache(SimilarityModel):
+    """Memoizing wrapper around a :class:`SimilarityModel`.
+
+    Parameters
+    ----------
+    base:
+        The wrapped model; all values come from it.
+    max_entries:
+        Capacity of the row store in cached floats.  ``0`` disables
+        row caching (pass-through + counting only).  A single row
+        larger than the capacity is served but never stored.
+    max_scalars:
+        Capacity of the ``sim(i, j)`` scalar store in pairs.
+    metrics:
+        Optional shared :class:`~repro.metrics.MetricsRegistry`; a
+        private one is created when omitted.  Counters emitted (all
+        under ``sim.``): ``pairs_evaluated``, ``pairs_saved``,
+        ``row_hits``, ``row_partial_hits``, ``row_misses``,
+        ``scalar_hits``, ``scalar_misses``, ``row_evictions``,
+        ``invalidations``.
+    """
+
+    def __init__(
+        self,
+        base: SimilarityModel,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        max_scalars: int = DEFAULT_MAX_SCALARS,
+        metrics: MetricsRegistry | None = None,
+    ):
+        if max_entries < 0:
+            raise ValueError(f"max_entries must be >= 0, got {max_entries}")
+        if max_scalars < 0:
+            raise ValueError(f"max_scalars must be >= 0, got {max_scalars}")
+        self.base = base
+        self.max_entries = max_entries
+        self.max_scalars = max_scalars
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.generation = 0
+        # id -> (sorted ids, values aligned with them)
+        self._rows: OrderedDict[int, tuple[np.ndarray, np.ndarray]] = (
+            OrderedDict()
+        )
+        self._scalars: OrderedDict[tuple[int, int], float] = OrderedDict()
+        self._entries = 0  # total floats in self._rows
+
+    # ------------------------------------------------------------------
+    # SimilarityModel protocol
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.base)
+
+    def sim(self, i: int, j: int) -> float:
+        i, j = int(i), int(j)
+        key = (i, j) if i <= j else (j, i)
+        cached = self._scalars.get(key)
+        if cached is not None:
+            self._scalars.move_to_end(key)
+            self.metrics.incr("sim.scalar_hits")
+            return cached
+        # A cached row may already hold the pair.
+        from_row = self._scalar_from_rows(i, j)
+        if from_row is not None:
+            self.metrics.incr("sim.scalar_hits")
+            return from_row
+        value = float(self.base.sim(i, j))
+        self.metrics.incr("sim.scalar_misses")
+        self.metrics.incr("sim.pairs_evaluated")
+        if self.max_scalars:
+            self._scalars[key] = value
+            while len(self._scalars) > self.max_scalars:
+                self._scalars.popitem(last=False)
+        return value
+
+    def sims_to(self, i: int, ids: np.ndarray) -> np.ndarray:
+        i = int(i)
+        ids = np.asarray(ids, dtype=np.int64)
+        if len(ids) == 0:
+            return np.zeros(0, dtype=np.float64)
+        row = self._rows.get(i)
+        if row is None:
+            values = np.asarray(
+                self.base.sims_to(i, ids), dtype=np.float64
+            )
+            self.metrics.incr("sim.row_misses")
+            self.metrics.incr("sim.pairs_evaluated", len(ids))
+            self._store_row(i, ids, values)
+            return values
+
+        cached_ids, cached_vals = row
+        pos = np.searchsorted(cached_ids, ids)
+        pos_safe = np.minimum(pos, len(cached_ids) - 1)
+        found = cached_ids[pos_safe] == ids
+        if found.all():
+            self._rows.move_to_end(i)
+            self.metrics.incr("sim.row_hits")
+            self.metrics.incr("sim.pairs_saved", len(ids))
+            return cached_vals[pos_safe]
+
+        missing = ids[~found]
+        miss_vals = np.asarray(
+            self.base.sims_to(i, missing), dtype=np.float64
+        )
+        saved = int(found.sum())
+        self.metrics.incr("sim.row_partial_hits")
+        self.metrics.incr("sim.pairs_evaluated", len(missing))
+        self.metrics.incr("sim.pairs_saved", saved)
+
+        out = np.empty(len(ids), dtype=np.float64)
+        out[found] = cached_vals[pos_safe[found]]
+        out[~found] = miss_vals
+        self._merge_row(i, cached_ids, cached_vals, missing, miss_vals)
+        return out
+
+    def row_kernel(self, ids: np.ndarray):
+        """Population-specialized kernel, cache-first.
+
+        The greedy loop's hot call.  A fully cached row is served as a
+        gather; misses go through the *base model's* specialized kernel
+        (keeping its amortized sub-matrix extraction — the whole point
+        of :meth:`~repro.similarity.SimilarityModel.row_kernel`) and
+        the evaluated row is stored/merged for later steps.  Shipped
+        models produce bit-identical values from their kernel and
+        ``sims_to`` paths, which the equivalence tests rely on.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        base_kernel = self.base.row_kernel(ids)
+        n = len(ids)
+
+        def kernel(obj_id: int) -> np.ndarray:
+            i = int(obj_id)
+            cached = self.cached_row_over(i, ids)
+            if cached is not None:
+                self.metrics.incr("sim.row_hits")
+                self.metrics.incr("sim.pairs_saved", n)
+                return cached
+            values = np.asarray(base_kernel(i), dtype=np.float64)
+            self.metrics.incr("sim.row_misses")
+            self.metrics.incr("sim.pairs_evaluated", n)
+            existing = self._rows.get(i)
+            if existing is None:
+                self._store_row(i, ids, values)
+            else:
+                self._merge_row(i, existing[0], existing[1], ids, values)
+            return values
+
+        return kernel
+
+    def weighted_sims_sum(
+        self,
+        target_ids: np.ndarray,
+        source_ids: np.ndarray,
+        source_weights: np.ndarray,
+    ) -> np.ndarray:
+        """Row-by-row weighted masses, populating the row cache.
+
+        Deliberately does *not* delegate to a vectorized base
+        implementation: reducing per cached/cacheable row keeps every
+        mass bit-identical between cold and warm runs and leaves the
+        rows behind for the selection that follows — this is how the
+        prefetcher and the warm-start capture fill the cache.
+        """
+        target_ids = np.asarray(target_ids, dtype=np.int64)
+        source_ids = np.asarray(source_ids, dtype=np.int64)
+        weights = np.asarray(source_weights, dtype=np.float64)
+        if len(source_ids) != len(weights):
+            raise ValueError("source_ids and source_weights must align")
+        out = np.empty(len(target_ids), dtype=np.float64)
+        for row, t in enumerate(target_ids):
+            out[row] = float(np.dot(weights, self.sims_to(int(t), source_ids)))
+        return out
+
+    # ------------------------------------------------------------------
+    # Cache-specific surface
+    # ------------------------------------------------------------------
+
+    def cached_row_over(self, i: int, ids: np.ndarray) -> np.ndarray | None:
+        """Values of ``sims_to(i, ids)`` if fully cached, else ``None``.
+
+        Never evaluates the base model — this is the peek the
+        warm-start capture uses to harvest for free.
+        """
+        row = self._rows.get(int(i))
+        if row is None:
+            return None
+        cached_ids, cached_vals = row
+        ids = np.asarray(ids, dtype=np.int64)
+        if len(ids) == 0:
+            return np.zeros(0, dtype=np.float64)
+        pos = np.searchsorted(cached_ids, ids)
+        pos_safe = np.minimum(pos, len(cached_ids) - 1)
+        if not np.array_equal(cached_ids[pos_safe], ids):
+            return None
+        self._rows.move_to_end(int(i))
+        return cached_vals[pos_safe]
+
+    def invalidate(self) -> None:
+        """Drop every cached value and bump :attr:`generation`.
+
+        Must be called whenever the wrapped model (or the dataset it
+        was built from) changes; dependents compare generations to
+        notice that derived material is stale.
+        """
+        self._rows.clear()
+        self._scalars.clear()
+        self._entries = 0
+        self.generation += 1
+        self.metrics.incr("sim.invalidations")
+
+    def counters(self) -> dict[str, int]:
+        """Hot counters as plain ints (for ``SelectionResult.stats``)."""
+        m = self.metrics
+        hits = (
+            m.count("sim.row_hits")
+            + m.count("sim.row_partial_hits")
+            + m.count("sim.scalar_hits")
+        )
+        misses = m.count("sim.row_misses") + m.count("sim.scalar_misses")
+        return {
+            "pairs_evaluated": int(m.count("sim.pairs_evaluated")),
+            "pairs_saved": int(m.count("sim.pairs_saved")),
+            "hits": int(hits),
+            "misses": int(misses),
+        }
+
+    @property
+    def entries(self) -> int:
+        """Floats currently held by the row store."""
+        return self._entries
+
+    @property
+    def rows_cached(self) -> int:
+        """Number of object rows currently cached."""
+        return len(self._rows)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _scalar_from_rows(self, i: int, j: int) -> float | None:
+        for a, b in ((i, j), (j, i)):
+            row = self._rows.get(a)
+            if row is None:
+                continue
+            cached_ids, cached_vals = row
+            pos = int(np.searchsorted(cached_ids, b))
+            if pos < len(cached_ids) and int(cached_ids[pos]) == b:
+                return float(cached_vals[pos])
+        return None
+
+    def _store_row(self, i: int, ids: np.ndarray, values: np.ndarray) -> None:
+        if self.max_entries == 0 or len(ids) > self.max_entries:
+            return
+        if len(ids) > 1:
+            diffs = np.diff(ids)
+            if (diffs > 0).all():  # already sorted+unique: the hot case
+                sorted_ids, sorted_vals = ids, values
+            elif (diffs[diffs != 0] > 0).all():  # sorted with duplicates
+                sorted_ids, first = np.unique(ids, return_index=True)
+                sorted_vals = values[first]
+            else:
+                order = np.argsort(ids, kind="stable")
+                sorted_ids = ids[order]
+                if (np.diff(sorted_ids) == 0).any():
+                    sorted_ids, first = np.unique(ids, return_index=True)
+                    sorted_vals = values[first]
+                else:
+                    sorted_vals = values[order]
+        else:
+            sorted_ids, sorted_vals = ids, values
+        self._rows[i] = (sorted_ids, np.array(sorted_vals, dtype=np.float64))
+        self._entries += len(sorted_ids)
+        self._evict()
+
+    def _merge_row(
+        self,
+        i: int,
+        cached_ids: np.ndarray,
+        cached_vals: np.ndarray,
+        new_ids: np.ndarray,
+        new_vals: np.ndarray,
+    ) -> None:
+        if self.max_entries == 0:
+            return
+        all_ids = np.concatenate([cached_ids, new_ids])
+        all_vals = np.concatenate([cached_vals, new_vals])
+        merged_ids, first = np.unique(all_ids, return_index=True)
+        if len(merged_ids) > self.max_entries:
+            return
+        merged_vals = all_vals[first]
+        self._entries += len(merged_ids) - len(cached_ids)
+        self._rows[i] = (merged_ids, merged_vals)
+        self._rows.move_to_end(i)
+        self._evict()
+
+    def _evict(self) -> None:
+        while self._entries > self.max_entries and self._rows:
+            _, (old_ids, _vals) = self._rows.popitem(last=False)
+            self._entries -= len(old_ids)
+            self.metrics.incr("sim.row_evictions")

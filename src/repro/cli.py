@@ -24,7 +24,9 @@ from repro import (
     Deadline,
     FaultInjector,
     MapSession,
+    MetricsRegistry,
     RegionQuery,
+    SimilarityCache,
     greedy_select,
     sass_select,
 )
@@ -98,7 +100,15 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_select(args: argparse.Namespace) -> int:
+    import dataclasses
+
     dataset = load_jsonl(args.corpus)
+    metrics = MetricsRegistry()
+    if args.cache:
+        dataset = dataclasses.replace(
+            dataset,
+            similarity=SimilarityCache(dataset.similarity, metrics=metrics),
+        )
     region = args.region or dataset.frame()
     query = RegionQuery.with_theta_fraction(
         region, k=args.k, theta_fraction=args.theta_fraction
@@ -118,7 +128,8 @@ def _cmd_select(args: argparse.Namespace) -> int:
             dataset.keyword_filter(args.filter) if args.filter else None
         )
         result = greedy_select(
-            dataset, query, candidates=candidates, budget=budget
+            dataset, query, candidates=candidates, budget=budget,
+            metrics=metrics,
         )
     flags = " [degraded]" if result.degraded else ""
     print(
@@ -137,6 +148,8 @@ def _cmd_select(args: argparse.Namespace) -> int:
     if args.svg:
         render_svg(dataset, region, selected=result.selected, path=args.svg)
         print(f"svg written to {args.svg}")
+    if args.metrics:
+        print(metrics.format())
     return 0
 
 
@@ -159,16 +172,24 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             args.deadline_ms / 1000.0 if args.deadline_ms is not None else None
         ),
         fault_injector=injector,
+        similarity_cache=args.cache,
+        warm_start=not args.no_warm_start,
     )
     for step in trace.replay(session):
         flags = " [prefetched]" if step.used_prefetch else ""
+        if step.warm_started:
+            flags += " [warm]"
         if step.degraded:
             flags += f" [degraded:{step.tier}]"
+        if args.cache:
+            flags += f" [cache {step.cache_hits}h/{step.cache_misses}m]"
         print(
             f"{step.operation:8s} {len(step.result):3d} markers  "
             f"score={step.result.score:.4f}  "
             f"{step.elapsed_s * 1000:8.1f} ms{flags}"
         )
+    if args.metrics:
+        print(session.metrics.format())
     return 0
 
 
@@ -206,6 +227,11 @@ def build_parser() -> argparse.ArgumentParser:
     sel.add_argument("--map", action="store_true",
                      help="render an ASCII map of the selection")
     sel.add_argument("--svg", default=None, help="write an SVG map here")
+    sel.add_argument("--cache", action="store_true",
+                     help="read similarities through a memoizing "
+                          "SimilarityCache")
+    sel.add_argument("--metrics", action="store_true",
+                     help="print the counter/timer registry afterwards")
     sel.set_defaults(func=_cmd_select)
 
     exp = sub.add_parser("explore", help="replay an interactive session")
@@ -222,6 +248,14 @@ def build_parser() -> argparse.ArgumentParser:
                      default=None, metavar="POINT[:PROB]",
                      help="arm a fault injection point "
                           f"({', '.join(STANDARD_POINTS)}); repeatable")
+    exp.add_argument("--cache", action="store_true",
+                     help="enable the session similarity cache "
+                          "(and warm starts)")
+    exp.add_argument("--no-warm-start", action="store_true",
+                     help="keep the similarity cache but disable "
+                          "selection warm starts")
+    exp.add_argument("--metrics", action="store_true",
+                     help="print the counter/timer registry afterwards")
     exp.set_defaults(func=_cmd_explore)
     return parser
 

@@ -25,6 +25,7 @@ from repro.core.lazy_heap import LazyForwardHeap
 from repro.core.problem import Aggregation, RegionQuery, SelectionResult
 from repro.core.scoring import MarginalGainState
 from repro.geo.distance import pairwise_min_distance
+from repro.metrics import MetricsRegistry
 from repro.robustness.budget import Budget
 from repro.robustness.errors import InfeasibleSelection
 from repro.robustness.faults import (
@@ -43,6 +44,7 @@ def greedy_select(
     candidates: np.ndarray | None = None,
     budget: Budget | None = None,
     strict: bool = False,
+    metrics: MetricsRegistry | None = None,
 ) -> SelectionResult:
     """Solve an SOS query with the greedy algorithm (Algorithm 1).
 
@@ -69,6 +71,9 @@ def greedy_select(
     strict:
         Raise :class:`~repro.robustness.InfeasibleSelection` instead
         of returning a short selection (see :func:`greedy_core`).
+    metrics:
+        Optional :class:`~repro.metrics.MetricsRegistry` receiving the
+        engine's counters (see :func:`greedy_core`).
     """
     region_ids = dataset.objects_in(query.region)
     if candidates is None:
@@ -89,6 +94,7 @@ def greedy_select(
         init_mode=init_mode,
         budget=budget,
         strict=strict,
+        metrics=metrics,
     )
 
 
@@ -106,6 +112,7 @@ def greedy_core(
     budget: Budget | None = None,
     fault_injector: FaultInjector | None = None,
     strict: bool = False,
+    metrics: MetricsRegistry | None = None,
 ) -> SelectionResult:
     """Shared greedy engine for SOS, ISOS and the prefetch path.
 
@@ -121,11 +128,15 @@ def greedy_core(
         (empty for SOS).  Counts toward ``k``.
     initial_bounds:
         Optional array aligned with ``candidate_ids`` of upper bounds
-        on first-iteration gains (from a :class:`Prefetcher`).  When
-        given, the heap starts from these stale bounds and the exact
-        gain is only computed for objects that reach the top — the
-        Sec. 5.2 optimization.  When omitted, ``init_mode`` governs
-        heap initialization.
+        on first-iteration gains (from a :class:`Prefetcher` or the
+        session's :class:`~repro.cache.SelectionCache`).  When given,
+        the heap starts from these stale bounds and the exact gain is
+        only computed for objects that reach the top — the Sec. 5.2
+        optimization.  ``NaN`` entries mark candidates without a
+        precomputed bound: those are initialized with an exact
+        first-iteration gain, so partially covering bounds degrade
+        smoothly instead of forcing a cold start.  When omitted,
+        ``init_mode`` governs heap initialization.
     init_mode:
         ``"exact"`` (default) computes the initial gain of every
         candidate individually — Algorithm 1 lines 2–3, valid for any
@@ -161,6 +172,13 @@ def greedy_core(
         ``strict=False`` (default) those return the documented partial
         result (``stats["short_selection"] = True`` when fewer than
         ``k`` objects come back).
+    metrics:
+        Optional :class:`~repro.metrics.MetricsRegistry`; when given,
+        the engine's counters (``greedy.gain_evaluations``,
+        ``greedy.kernel_rows``, ``greedy.heap_pops``,
+        ``greedy.heap_pushes``) and its latency
+        (``greedy.elapsed_s``) are recorded there in addition to
+        ``result.stats``.
     """
     started = time.perf_counter()
     region_ids = np.asarray(region_ids, dtype=np.int64)
@@ -169,6 +187,11 @@ def greedy_core(
     _validate_instance(
         dataset, candidate_ids, mandatory_ids, k, theta, strict
     )
+    # When the similarity model is a repro.cache.SimilarityCache (duck
+    # typed to avoid a core -> cache dependency), report its hit/miss
+    # movement across this selection in the result stats.
+    counters_fn = getattr(dataset.similarity, "counters", None)
+    sim_before = counters_fn() if callable(counters_fn) else None
 
     if fault_injector is not None:
         def gain_fn(obj_id: int) -> float:
@@ -203,6 +226,8 @@ def greedy_core(
     for obj in mandatory_ids:
         blocked.update(int(c) for c in conflicts(int(obj)))
 
+    seeded_bounds = 0
+    seeded_exact = 0
     if initial_bounds is not None:
         if len(initial_bounds) != len(candidate_ids):
             raise ValueError(
@@ -212,8 +237,16 @@ def greedy_core(
         for obj, bound in zip(candidate_ids, initial_bounds):
             if budget is not None and not budget.tick():
                 break
-            if int(obj) not in blocked:
+            if int(obj) in blocked:
+                continue
+            if np.isnan(bound):
+                # No precomputed bound for this candidate (partial
+                # warm-start coverage): exact first-iteration gain.
+                heap.push(int(obj), gain_fn(int(obj)), iteration=0)
+                seeded_exact += 1
+            else:
                 heap.push(int(obj), float(bound))  # stale upper bounds
+                seeded_bounds += 1
     elif init_mode == "bulk":
         if budget is not None:
             budget.exhausted()  # one clock read before the big sweep
@@ -281,21 +314,41 @@ def greedy_core(
 
     elapsed = time.perf_counter() - started
     selected_arr = np.asarray(selected, dtype=np.int64)
+    stats = {
+        "gain_evaluations": state.gain_evaluations,
+        "kernel_rows": state.kernel_rows,
+        "heap_pushes": heap.pushes,
+        "heap_pops": heap.pops,
+        "elapsed_s": elapsed,
+        "population": int(len(region_ids)),
+        "candidates": int(len(candidate_set)),
+        "mandatory": int(len(mandatory_ids)),
+        "budget_exhausted": budget_reason,
+        "short_selection": len(selected_arr) < k,
+    }
+    if initial_bounds is not None:
+        stats["seeded_bounds"] = seeded_bounds
+        stats["seeded_exact"] = seeded_exact
+    if sim_before is not None:
+        sim_after = counters_fn()
+        stats["sim_pairs_evaluated"] = (
+            sim_after["pairs_evaluated"] - sim_before["pairs_evaluated"]
+        )
+        stats["cache_hits"] = sim_after["hits"] - sim_before["hits"]
+        stats["cache_misses"] = sim_after["misses"] - sim_before["misses"]
+    if metrics is not None:
+        metrics.incr("greedy.selections")
+        metrics.incr("greedy.gain_evaluations", state.gain_evaluations)
+        metrics.incr("greedy.kernel_rows", state.kernel_rows)
+        metrics.incr("greedy.heap_pushes", heap.pushes)
+        metrics.incr("greedy.heap_pops", heap.pops)
+        metrics.observe("greedy.elapsed_s", elapsed)
     return SelectionResult(
         selected=selected_arr,
         score=state.score,
         region_ids=region_ids,
         degraded=budget_reason is not None,
-        stats={
-            "gain_evaluations": state.gain_evaluations,
-            "heap_pushes": heap.pushes,
-            "elapsed_s": elapsed,
-            "population": int(len(region_ids)),
-            "candidates": int(len(candidate_set)),
-            "mandatory": int(len(mandatory_ids)),
-            "budget_exhausted": budget_reason,
-            "short_selection": len(selected_arr) < k,
-        },
+        stats=stats,
     )
 
 

@@ -34,6 +34,7 @@ class LazyForwardHeap:
         self._version: dict[int, int] = {}
         self._alive: set[int] = set()
         self.pushes = 0
+        self.pops = 0
 
     def __len__(self) -> int:
         return len(self._alive)
@@ -86,19 +87,27 @@ class LazyForwardHeap:
                 continue  # dead or superseded entry
             if tag == iteration:
                 self._alive.discard(obj_id)
+                self.pops += 1
                 return obj_id, -neg_gain
             # Stale: its value is an upper bound (Lemma 4.1).  Refresh it.
             fresh = gain_fn(obj_id)
-            # CELF shortcut: if the fresh gain matches or beats every
-            # other entry's upper bound, it is a true maximum (for any
-            # other object, bound >= fresh-gain), so select it without
-            # reinserting.  Accepting ties here matters: corpora with
-            # duplicated content produce whole groups of identical
-            # gains, and a strict comparison would recompute the entire
-            # group before every pick.
+            # CELF shortcut: a fresh gain strictly above every other
+            # entry's upper bound is a true unique maximum, selectable
+            # without reinserting.  The comparison must be strict: on a
+            # tie the entry goes back with a fresh tag, and because the
+            # heap orders equal gains by object id the smallest-id
+            # member of a tied group is always the one accepted.  That
+            # makes every pick canonical — argmax with min-id
+            # tie-break — independent of the stale values the heap was
+            # seeded with, which is what keeps prefetched and
+            # warm-started selections bit-identical to cold ones.
+            # (Ties cost one extra heap push/pop, not a group
+            # recompute: the reinserted fresh entry re-pops ahead of
+            # its equal-gain peers and is accepted by tag.)
             bound = self._peek_bound()
-            if bound is None or fresh >= bound:
+            if bound is None or fresh > bound:
                 self._alive.discard(obj_id)
+                self.pops += 1
                 return obj_id, fresh
             self.push(obj_id, fresh, iteration)
         return None

@@ -25,6 +25,13 @@ At operation time the bound for candidate ``v`` is ``raw(v) / |On|``
 the new region is fixed).  Monotonicity in the population
 (``On ⊆ P``) and submodularity (gain ≤ first-iteration gain) make the
 bound valid; tests verify dominance directly.
+
+When the dataset's similarity model is a
+:class:`~repro.cache.SimilarityCache` (a session constructed with
+``similarity_cache=True``), the prefetch sweep doubles as a cache
+warmer: ``weighted_sims_sum`` reduces row by row through the cache, so
+every precomputed object leaves its similarity row behind and the next
+operation's gain evaluations become gathers instead of model calls.
 """
 
 from __future__ import annotations

@@ -162,6 +162,10 @@ class MarginalGainState:
         self._best = np.zeros(self._n, dtype=np.float64)
         self._score = 0.0
         self.gain_evaluations = 0
+        # Similarity rows pulled against the population — gains *and*
+        # committed picks.  This is the unit the similarity cache turns
+        # into gathers, so selectors report it next to gain_evaluations.
+        self.kernel_rows = 0
         # Population-specialized row kernel: each gain evaluation is one
         # call against the same id set, so amortized setup pays off.
         self._kernel = dataset.similarity.row_kernel(self.region_ids)
@@ -181,6 +185,7 @@ class MarginalGainState:
         if self._n == 0:
             return 0.0
         self.gain_evaluations += 1
+        self.kernel_rows += 1
         sims = self._kernel(int(obj_id))
         if self.aggregation is Aggregation.MAX:
             improvement = np.maximum(sims - self._best, 0.0)
@@ -192,6 +197,7 @@ class MarginalGainState:
         """Commit ``v`` to the selection; returns the realized gain."""
         if self._n == 0:
             return 0.0
+        self.kernel_rows += 1
         sims = self._kernel(int(obj_id))
         if self.aggregation is Aggregation.MAX:
             improvement = np.maximum(sims - self._best, 0.0)

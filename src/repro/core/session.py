@@ -42,16 +42,19 @@ be threaded through all three failure points to drill the transitions
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.cache import EquivalenceViolation, SelectionCache, SimilarityCache
 from repro.core.dataset import GeoDataset
 from repro.core.prediction import NavigationPredictor
 from repro.core.prefetch import PrefetchData, Prefetcher
 from repro.core.problem import Aggregation, SelectionResult
 from repro.geo.bbox import BoundingBox
+from repro.metrics import MetricsRegistry
 from repro.robustness.breaker import CircuitBreaker
 from repro.robustness.budget import Deadline
 from repro.robustness.errors import (
@@ -101,6 +104,12 @@ class NavigationStep:
     # (lower tier, anytime prefix, or index fallback).
     tier: str = "exact"
     degraded: bool = False
+    # Whether the selection-cache warm start seeded this step's heap,
+    # and the similarity-cache hit/miss movement across the operation
+    # (zeros when the session runs without a similarity cache).
+    warm_started: bool = False
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def visible(self) -> np.ndarray:
@@ -150,6 +159,32 @@ class MapSession:
     breaker:
         Circuit breaker guarding the prefetch pipeline (a default one
         is created; pass your own to tune thresholds or share state).
+    similarity_cache:
+        ``True`` wraps the dataset's similarity model in a
+        :class:`~repro.cache.SimilarityCache` owned by this session
+        (bounded LRU row memoization, see ``docs/CACHING.md``); pass a
+        ready-made :class:`SimilarityCache` instance to share one or
+        tune its capacity.  ``False`` (default) leaves the model
+        untouched.
+    warm_start:
+        Seed each operation's greedy heap from raw similarity masses
+        harvested after the previous step
+        (:class:`~repro.cache.SelectionCache`).  Only effective
+        together with ``similarity_cache``; warm-started selections
+        are bit-identical to cold ones.  Falls back to a cold start
+        whenever the new viewport is not contained in the previous
+        one or overlap/coverage are below threshold.
+    warm_start_min_overlap:
+        Minimum ``area(new)/area(previous)`` for a warm start.
+    equivalence_check:
+        Testing mode: every warm-started (or prefetched) selection is
+        recomputed cold and compared; a mismatch raises
+        :class:`~repro.cache.EquivalenceViolation`.  Doubles the work
+        per step — never enable in production.
+    metrics:
+        Optional shared :class:`~repro.metrics.MetricsRegistry`; a
+        private one is created when omitted.  Exposed as
+        :attr:`metrics`; the CLI prints it under ``--metrics``.
     """
 
     def __init__(
@@ -168,6 +203,11 @@ class MapSession:
         max_iterations: int | None = None,
         fault_injector: FaultInjector | None = None,
         breaker: CircuitBreaker | None = None,
+        similarity_cache: bool | SimilarityCache = False,
+        warm_start: bool = True,
+        warm_start_min_overlap: float = 0.05,
+        equivalence_check: bool = False,
+        metrics: MetricsRegistry | None = None,
     ):
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
@@ -177,6 +217,21 @@ class MapSession:
             raise ValueError("zoom_out_max_scale must exceed 1")
         if deadline_s is not None and deadline_s <= 0:
             raise ValueError(f"deadline_s must be positive, got {deadline_s}")
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # Optionally interpose the similarity cache: the session's
+        # dataset handle is rebuilt around the wrapper so every code
+        # path (greedy, prefetch, scoring) reads through it.
+        self.similarity_cache: SimilarityCache | None = None
+        if similarity_cache is True:
+            self.similarity_cache = SimilarityCache(
+                dataset.similarity, metrics=self.metrics
+            )
+        elif isinstance(similarity_cache, SimilarityCache):
+            self.similarity_cache = similarity_cache
+        if self.similarity_cache is not None:
+            dataset = dataclasses.replace(
+                dataset, similarity=self.similarity_cache
+            )
         self.dataset = dataset
         self.k = k
         self.theta_fraction = theta_fraction
@@ -194,6 +249,15 @@ class MapSession:
         self.max_iterations = max_iterations
         self.fault_injector = fault_injector
         self.breaker = breaker or CircuitBreaker(name="prefetch")
+        self.equivalence_check = equivalence_check
+        # Warm-start material is only harvestable through a similarity
+        # cache (the harvest reads cached rows); without one the
+        # selection cache would never capture anything.
+        self._selection_cache: SelectionCache | None = None
+        if warm_start and self.similarity_cache is not None:
+            self._selection_cache = SelectionCache(
+                min_overlap=warm_start_min_overlap, metrics=self.metrics
+            )
         # Deterministic tier-2 sampling, independent of user RNG state.
         self._ladder_rng = np.random.default_rng(2018)
 
@@ -214,6 +278,7 @@ class MapSession:
         """Open the session on ``region`` with a plain SOS selection."""
         theta = self._theta_for(region)
         region_ids = self._objects_in(region)
+        cache_before = self._cache_counters()
         started = time.perf_counter()
         result = select_with_ladder(
             self.dataset,
@@ -229,6 +294,7 @@ class MapSession:
             init_mode=self.init_mode,
             fault_injector=self.fault_injector,
             rng=self._ladder_rng,
+            metrics=self.metrics,
         )
         elapsed = time.perf_counter() - started
         step = self._commit(
@@ -240,8 +306,48 @@ class MapSession:
             theta=theta,
             elapsed=elapsed,
             used_prefetch=False,
+            population_ids=region_ids,
+            cache_before=cache_before,
         )
         return step
+
+    def swap_dataset(self, dataset: GeoDataset) -> None:
+        """Replace the session's dataset mid-session.
+
+        The paper's exploration model assumes a fixed collection, but a
+        live deployment re-ingests data; anything memoized against the
+        old similarity model is poison after the swap.  This method is
+        the only supported way to change datasets: it invalidates the
+        similarity cache (bumping its generation so captured warm-start
+        material can never be replayed), rebuilds the cache wrapper
+        around the new model, drops the selection cache and every
+        prefetch artifact, and resets the viewport so the next call
+        must be :meth:`start`.
+        """
+        if len(dataset) != len(self.dataset):
+            raise ValueError(
+                "swap_dataset requires a same-size dataset "
+                f"(had {len(self.dataset)}, got {len(dataset)})"
+            )
+        if self.similarity_cache is not None:
+            self.similarity_cache.invalidate()
+            self.similarity_cache = SimilarityCache(
+                dataset.similarity, metrics=self.metrics
+            )
+            dataset = dataclasses.replace(
+                dataset, similarity=self.similarity_cache
+            )
+        self.dataset = dataset
+        if self._selection_cache is not None:
+            self._selection_cache.invalidate()
+        self._prefetcher = Prefetcher(
+            dataset, fault_injector=self.fault_injector
+        )
+        self._prefetch_data = {}
+        self._prefetch_errors = {}
+        self.region = None
+        self.visible = np.empty(0, dtype=np.int64)
+        self.metrics.incr("session.dataset_swaps")
 
     def zoom_in(
         self, scale: float = 0.5, target: BoundingBox | None = None
@@ -354,6 +460,7 @@ class MapSession:
         slower) so a broken index never errors the response path.
         """
         self._index_fallback = False
+        self.metrics.incr("index.queries")
         try:
             if self.fault_injector is not None:
                 self.fault_injector.check(INDEX_QUERY)
@@ -361,8 +468,15 @@ class MapSession:
         except Exception:
             self._index_fallback = True
             self.index_fallbacks += 1
+            self.metrics.incr("index.fallbacks")
             mask = region.contains_many(self.dataset.xs, self.dataset.ys)
             return np.flatnonzero(mask).astype(np.int64)
+
+    def _cache_counters(self) -> dict[str, int] | None:
+        """Snapshot of the similarity cache's counters (or ``None``)."""
+        if self.similarity_cache is None:
+            return None
+        return self.similarity_cache.counters()
 
     def _prefetch_bounds(
         self,
@@ -401,13 +515,24 @@ class MapSession:
         theta = self._theta_for(new_region)
         bounds = None
         used_prefetch = False
+        warm_started = False
         if self.prefetch_enabled:
             try:
                 bounds = self._prefetch_bounds(operation, candidates, new_ids)
                 used_prefetch = True
             except PrefetchUnavailable:
                 bounds = None  # serve cold
+        if (
+            bounds is None
+            and self._selection_cache is not None
+            and self.similarity_cache is not None
+        ):
+            bounds = self._selection_cache.bounds_for(
+                self.similarity_cache, new_region, new_ids, candidates
+            )
+            warm_started = bounds is not None
 
+        cache_before = self._cache_counters()
         started = time.perf_counter()
         result = select_with_ladder(
             self.dataset,
@@ -424,12 +549,61 @@ class MapSession:
             init_mode=self.init_mode,
             fault_injector=self.fault_injector,
             rng=self._ladder_rng,
+            metrics=self.metrics,
         )
         elapsed = time.perf_counter() - started
+        if (used_prefetch or warm_started) and self.equivalence_check:
+            self._assert_equivalent(
+                operation, result, new_ids, candidates, mandatory, theta
+            )
+            result.stats["equivalence_checked"] = True
         return self._commit(
             operation, new_region, result, mandatory, candidates,
             theta, elapsed, used_prefetch,
+            population_ids=new_ids,
+            cache_before=cache_before,
+            warm_started=warm_started,
         )
+
+    def _assert_equivalent(
+        self,
+        operation: str,
+        result: SelectionResult,
+        new_ids: np.ndarray,
+        candidates: np.ndarray,
+        mandatory: np.ndarray,
+        theta: float,
+    ) -> None:
+        """Re-run the selection cold and compare (testing mode).
+
+        Bypasses every seeding source (``initial_bounds=None``) but
+        keeps the same deadline configuration disabled — the cold
+        reference must not itself degrade, or the comparison would be
+        meaningless.  Raises :class:`EquivalenceViolation` on any
+        difference in the selected ids (order included: greedy output
+        order is deterministic).
+        """
+        cold = select_with_ladder(
+            self.dataset,
+            region_ids=new_ids,
+            candidate_ids=candidates,
+            mandatory_ids=mandatory,
+            k=self.k,
+            theta=theta,
+            aggregation=self.aggregation,
+            deadline=None,
+            max_iterations=None,
+            initial_bounds=None,
+            lazy=self.lazy,
+            init_mode=self.init_mode,
+            rng=np.random.default_rng(2018),
+        )
+        if not np.array_equal(result.selected, cold.selected):
+            raise EquivalenceViolation(
+                f"seeded {operation} selection diverged from cold start: "
+                f"seeded={result.selected.tolist()} "
+                f"cold={cold.selected.tolist()}"
+            )
 
     def _commit(
         self,
@@ -441,11 +615,29 @@ class MapSession:
         theta: float,
         elapsed: float,
         used_prefetch: bool,
+        population_ids: np.ndarray | None = None,
+        cache_before: dict[str, int] | None = None,
+        warm_started: bool = False,
     ) -> NavigationStep:
         self.region = region
         self.visible = result.selected
         stats = dict(result.stats)
         stats["index_fallback"] = self._index_fallback
+        # Per-step similarity-cache movement: delta of the cache's
+        # lifetime counters across the selection itself (harvest and
+        # prefetch work below are deliberately excluded — they are off
+        # the response path).
+        cache_hits = 0
+        cache_misses = 0
+        if cache_before is not None and self.similarity_cache is not None:
+            after = self.similarity_cache.counters()
+            cache_hits = after["hits"] - cache_before["hits"]
+            cache_misses = after["misses"] - cache_before["misses"]
+            stats["cache_hits"] = cache_hits
+            stats["cache_misses"] = cache_misses
+            stats["sim_pairs_evaluated"] = (
+                after["pairs_evaluated"] - cache_before["pairs_evaluated"]
+            )
         step = NavigationStep(
             operation=operation,
             region=region,
@@ -458,12 +650,30 @@ class MapSession:
             stats=stats,
             tier=result.stats.get("tier", "exact"),
             degraded=result.degraded or self._index_fallback,
+            warm_started=warm_started,
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
         )
         self.history.append(step)
+        self.metrics.incr(f"session.op.{operation}")
+        self.metrics.observe("session.op_seconds", elapsed)
         if self.predictor is not None:
             self.predictor.observe(operation)
         if self.prefetch_enabled:
             self._precompute_prefetch()
+        # Harvest warm-start material last: it reads rows the selection
+        # (and the prefetch sweep) just cached, off the response path.
+        if (
+            self._selection_cache is not None
+            and self.similarity_cache is not None
+            and population_ids is not None
+        ):
+            self._selection_cache.capture(
+                self.similarity_cache,
+                self.dataset.weights,
+                region,
+                population_ids,
+            )
         return step
 
     def _precompute_prefetch(self) -> None:

@@ -5,7 +5,9 @@ from __future__ import annotations
 import statistics
 import time
 from collections.abc import Callable
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+from repro.metrics import percentile
 
 
 @dataclass(frozen=True)
@@ -18,11 +20,28 @@ class Measurement:
     max_s: float
     repeats: int
     last_result: object
+    samples_s: tuple[float, ...] = field(default=())
 
     @property
     def mean_ms(self) -> float:
         """Mean wall time in milliseconds."""
         return self.mean_s * 1000.0
+
+    def percentile_s(self, q: float) -> float:
+        """``q``-th percentile (0–100) of the raw samples, in seconds."""
+        if not self.samples_s:
+            raise ValueError("no raw samples were recorded")
+        return percentile(list(self.samples_s), q)
+
+    @property
+    def p50_ms(self) -> float:
+        """Median wall time in milliseconds."""
+        return self.percentile_s(50.0) * 1000.0
+
+    @property
+    def p95_ms(self) -> float:
+        """95th-percentile wall time in milliseconds."""
+        return self.percentile_s(95.0) * 1000.0
 
 
 def measure(
@@ -46,4 +65,5 @@ def measure(
         max_s=max(times),
         repeats=repeats,
         last_result=result,
+        samples_s=tuple(times),
     )

@@ -1,0 +1,9 @@
+"""Instrumentation layer: counters, timers, percentile summaries.
+
+See :mod:`repro.metrics.registry` for the design; ``docs/CACHING.md``
+documents the counter schema emitted by the cache and session layers.
+"""
+
+from repro.metrics.registry import MetricsRegistry, percentile
+
+__all__ = ["MetricsRegistry", "percentile"]

@@ -1,0 +1,160 @@
+"""A lightweight counter/timer registry for observability.
+
+The selection hot paths (greedy engine, similarity cache, map session)
+report *why* an operation was fast or slow through a
+:class:`MetricsRegistry`: monotonically increasing counters
+(similarity evaluations, index queries, cache hits/misses, heap pops)
+and latency observations with percentile summaries (p50/p95).
+
+The registry is deliberately dependency-free and cheap: a counter
+increment is one dict update, an observation one list append.  Code
+that *may* be handed a registry follows the convention
+
+    if metrics is not None:
+        metrics.incr("greedy.heap_pops")
+
+so the un-instrumented path pays a single ``None`` check.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """Linear-interpolation percentile of ``samples`` (``q`` in [0, 100]).
+
+    Matches ``numpy.percentile``'s default method without requiring an
+    array round-trip for the tiny sample lists the registry holds.
+    """
+    if not samples:
+        raise ValueError("cannot take a percentile of no samples")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    frac = rank - low
+    return float(ordered[low] * (1.0 - frac) + ordered[high] * frac)
+
+
+class MetricsRegistry:
+    """Named counters and latency series.
+
+    Counters are floats (almost always used as integers); latency
+    observations are kept raw so snapshots can report percentiles.
+    Names are dotted paths by convention (``sim.row_hits``,
+    ``session.op_seconds``) — the registry itself imposes no schema.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, float] = {}
+        self._observations: dict[str, list[float]] = {}
+
+    # ------------------------------------------------------------------
+    # Counters
+    # ------------------------------------------------------------------
+
+    def incr(self, name: str, amount: float = 1.0) -> None:
+        """Add ``amount`` to counter ``name`` (creating it at 0)."""
+        self._counters[name] = self._counters.get(name, 0.0) + amount
+
+    def count(self, name: str) -> float:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        return self._counters.get(name, 0.0)
+
+    # ------------------------------------------------------------------
+    # Timers / observations
+    # ------------------------------------------------------------------
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation (typically seconds) under ``name``."""
+        self._observations.setdefault(name, []).append(float(value))
+
+    @contextmanager
+    def time(self, name: str) -> Iterator[None]:
+        """Context manager observing the wall-clock time of its body."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, time.perf_counter() - started)
+
+    def observations(self, name: str) -> list[float]:
+        """Raw observations recorded under ``name`` (copy)."""
+        return list(self._observations.get(name, []))
+
+    def summary(self, name: str) -> dict[str, float]:
+        """count/mean/p50/p95/max summary of an observation series."""
+        samples = self._observations.get(name)
+        if not samples:
+            return {"count": 0}
+        return {
+            "count": len(samples),
+            "mean": sum(samples) / len(samples),
+            "p50": percentile(samples, 50.0),
+            "p95": percentile(samples, 95.0),
+            "max": max(samples),
+        }
+
+    # ------------------------------------------------------------------
+    # Registry-level operations
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, float]:
+        """Copy of all counters (observations summarized separately)."""
+        return dict(self._counters)
+
+    def delta_since(self, before: dict[str, float]) -> dict[str, float]:
+        """Counter increments since a prior :meth:`snapshot`.
+
+        Counters absent from ``before`` count from zero; counters that
+        did not move are omitted.
+        """
+        out: dict[str, float] = {}
+        for name, value in self._counters.items():
+            moved = value - before.get(name, 0.0)
+            if moved:
+                out[name] = moved
+        return out
+
+    def reset(self) -> None:
+        """Drop all counters and observations."""
+        self._counters.clear()
+        self._observations.clear()
+
+    def format(self) -> str:
+        """Human-readable dump — the CLI's ``--metrics`` output."""
+        lines: list[str] = []
+        if self._counters:
+            lines.append("counters:")
+            width = max(len(name) for name in self._counters)
+            for name in sorted(self._counters):
+                value = self._counters[name]
+                text = f"{value:g}" if value != int(value) else f"{int(value)}"
+                lines.append(f"  {name:<{width}}  {text}")
+        if self._observations:
+            lines.append("timers:")
+            for name in sorted(self._observations):
+                s = self.summary(name)
+                lines.append(
+                    f"  {name}  n={s['count']}  "
+                    f"mean={s['mean'] * 1000:.2f}ms  "
+                    f"p50={s['p50'] * 1000:.2f}ms  "
+                    f"p95={s['p95'] * 1000:.2f}ms  "
+                    f"max={s['max'] * 1000:.2f}ms"
+                )
+        if not lines:
+            return "(no metrics recorded)"
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"timers={len(self._observations)})"
+        )

@@ -38,6 +38,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.core.problem import Aggregation, SelectionResult
+from repro.metrics import MetricsRegistry
 from repro.robustness.budget import Budget, Deadline
 from repro.robustness.errors import InfeasibleSelection
 from repro.robustness.faults import FaultInjector
@@ -72,12 +73,16 @@ def select_with_ladder(
     rng: np.random.Generator | None = None,
     epsilon: float = 0.05,
     delta: float = 0.1,
+    metrics: MetricsRegistry | None = None,
 ) -> SelectionResult:
     """Serve one selection through the degradation ladder.
 
     Arguments mirror :func:`~repro.core.greedy.greedy_core`;
     ``deadline``/``max_iterations`` bound each tier attempt,
-    ``epsilon``/``delta``/``rng`` parameterize the tier-2 sample.  The
+    ``epsilon``/``delta``/``rng`` parameterize the tier-2 sample, and
+    ``metrics`` threads an optional
+    :class:`~repro.metrics.MetricsRegistry` into the greedy engine
+    (plus a ``ladder.tier.<tier>`` counter per served response).  The
     returned result always records ``stats["tier"]`` (the serving
     tier) and ``stats["ladder_attempts"]`` (``(tier, reason)`` pairs
     for every tier that was tried and abandoned), and is marked
@@ -116,6 +121,7 @@ def select_with_ladder(
             init_mode=init_mode,
             budget=budget,
             fault_injector=fault_injector,
+            metrics=metrics,
         )
     except InfeasibleSelection:
         raise
@@ -123,7 +129,7 @@ def select_with_ladder(
         attempts.append((Tier.EXACT.value, _describe(exc)))
     else:
         if not (result.degraded and result.stats.get("short_selection")):
-            return _finalize(result, Tier.EXACT, attempts)
+            return _finalize(result, Tier.EXACT, attempts, metrics)
         attempts.append(
             (Tier.EXACT.value, result.stats.get("budget_exhausted") or "short")
         )
@@ -147,6 +153,7 @@ def select_with_ladder(
                 aggregation=aggregation,
                 budget=budget,
                 fault_injector=fault_injector,
+                metrics=metrics,
             )
         except InfeasibleSelection:
             raise
@@ -155,7 +162,7 @@ def select_with_ladder(
         else:
             if not (result.degraded and result.stats.get("short_selection")):
                 result.stats["sample_size"] = int(len(sample_ids))
-                return _finalize(result, Tier.SAMPLED, attempts)
+                return _finalize(result, Tier.SAMPLED, attempts, metrics)
             attempts.append(
                 (
                     Tier.SAMPLED.value,
@@ -167,7 +174,7 @@ def select_with_ladder(
     result = _topweight_fill(
         dataset, region_ids, candidate_ids, mandatory_ids, k, theta
     )
-    return _finalize(result, Tier.TOPWEIGHT, attempts)
+    return _finalize(result, Tier.TOPWEIGHT, attempts, metrics)
 
 
 def _fresh_budget(
@@ -183,12 +190,17 @@ def _describe(exc: Exception) -> str:
 
 
 def _finalize(
-    result: SelectionResult, tier: Tier, attempts: list[tuple[str, str]]
+    result: SelectionResult,
+    tier: Tier,
+    attempts: list[tuple[str, str]],
+    metrics: MetricsRegistry | None = None,
 ) -> SelectionResult:
     result.stats["tier"] = tier.value
     result.stats["ladder_attempts"] = attempts
     if tier is not Tier.EXACT:
         result.degraded = True
+    if metrics is not None:
+        metrics.incr(f"ladder.tier.{tier.value}")
     return result
 
 

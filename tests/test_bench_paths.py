@@ -1,0 +1,65 @@
+"""The benchmark suite must be runnable from the repository root.
+
+Regression coverage for the path fragility fixed in
+``benchmarks/conftest.py``: the suite used to rely on the process CWD
+(and an externally exported ``PYTHONPATH``) to find both the sibling
+``common`` module and ``src/``.  These tests collect the benchmark
+modules in a subprocess with a *clean* environment — no ``PYTHONPATH``
+— from the repo root, which is exactly how CI invokes them.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+BENCH_MODULES = [
+    "bench_robustness_overhead.py",
+    "bench_session_cache.py",
+]
+
+
+def _collect(path: str, cwd: Path) -> subprocess.CompletedProcess:
+    env = {k: v for k, v in os.environ.items() if k != "PYTHONPATH"}
+    return subprocess.run(
+        [sys.executable, "-m", "pytest", path, "--collect-only", "-q",
+         "-p", "no:cacheprovider"],
+        cwd=cwd,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+@pytest.mark.parametrize("module", BENCH_MODULES)
+def test_bench_collects_from_repo_root(module):
+    proc = _collect(f"benchmarks/{module}", REPO_ROOT)
+    assert proc.returncode == 0, (
+        f"collection from repo root failed:\n{proc.stdout}\n{proc.stderr}"
+    )
+
+
+def test_bench_collects_from_benchmarks_dir():
+    # The historical invocation (CI used `working-directory: benchmarks`)
+    # must keep working too.
+    proc = _collect("bench_robustness_overhead.py", REPO_ROOT / "benchmarks")
+    assert proc.returncode == 0, (
+        f"collection from benchmarks/ failed:\n{proc.stdout}\n{proc.stderr}"
+    )
+
+
+def test_results_dir_is_file_anchored():
+    # Reports must land in benchmarks/results/ no matter the CWD.
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+    try:
+        import common
+        assert common.RESULTS_DIR == REPO_ROOT / "benchmarks" / "results"
+    finally:
+        sys.path.remove(str(REPO_ROOT / "benchmarks"))

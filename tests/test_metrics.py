@@ -1,0 +1,116 @@
+"""Tests for the repro.metrics counter/timer registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics import MetricsRegistry, percentile
+
+
+class TestPercentile:
+    def test_matches_numpy_default_method(self):
+        rng = np.random.default_rng(5)
+        samples = rng.random(37).tolist()
+        for q in (0.0, 12.5, 50.0, 90.0, 95.0, 100.0):
+            assert percentile(samples, q) == pytest.approx(
+                float(np.percentile(samples, q))
+            )
+
+    def test_single_sample(self):
+        assert percentile([3.5], 95.0) == 3.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50.0)
+
+    def test_bad_q_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1.0)
+
+
+class TestCounters:
+    def test_incr_and_count(self):
+        m = MetricsRegistry()
+        assert m.count("x") == 0.0
+        m.incr("x")
+        m.incr("x", 4)
+        assert m.count("x") == 5.0
+
+    def test_snapshot_and_delta(self):
+        m = MetricsRegistry()
+        m.incr("a", 2)
+        before = m.snapshot()
+        m.incr("a", 3)
+        m.incr("b")
+        m.incr("c", 0)  # created but unmoved: omitted from the delta
+        delta = m.delta_since(before)
+        assert delta == {"a": 3.0, "b": 1.0}
+
+    def test_snapshot_is_a_copy(self):
+        m = MetricsRegistry()
+        m.incr("a")
+        snap = m.snapshot()
+        m.incr("a")
+        assert snap["a"] == 1.0
+
+    def test_reset(self):
+        m = MetricsRegistry()
+        m.incr("a")
+        m.observe("t", 0.5)
+        m.reset()
+        assert m.count("a") == 0.0
+        assert m.observations("t") == []
+
+
+class TestObservations:
+    def test_observe_and_summary(self):
+        m = MetricsRegistry()
+        for v in (0.1, 0.2, 0.3, 0.4):
+            m.observe("lat", v)
+        s = m.summary("lat")
+        assert s["count"] == 4
+        assert s["mean"] == pytest.approx(0.25)
+        assert s["p50"] == pytest.approx(0.25)
+        assert s["max"] == pytest.approx(0.4)
+
+    def test_empty_summary(self):
+        assert MetricsRegistry().summary("nothing") == {"count": 0}
+
+    def test_time_context_manager(self):
+        m = MetricsRegistry()
+        with m.time("block"):
+            pass
+        obs = m.observations("block")
+        assert len(obs) == 1
+        assert obs[0] >= 0.0
+
+    def test_time_records_on_exception(self):
+        m = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with m.time("block"):
+                raise RuntimeError("boom")
+        assert len(m.observations("block")) == 1
+
+    def test_observations_returns_copy(self):
+        m = MetricsRegistry()
+        m.observe("t", 1.0)
+        m.observations("t").append(99.0)
+        assert m.observations("t") == [1.0]
+
+
+class TestFormat:
+    def test_empty(self):
+        assert MetricsRegistry().format() == "(no metrics recorded)"
+
+    def test_counters_and_timers_rendered(self):
+        m = MetricsRegistry()
+        m.incr("sim.row_hits", 12)
+        m.observe("session.op_seconds", 0.05)
+        text = m.format()
+        assert "sim.row_hits" in text
+        assert "12" in text
+        assert "session.op_seconds" in text
+        assert "p95=" in text

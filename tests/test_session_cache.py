@@ -1,0 +1,229 @@
+"""Tests for the session-level caching layer.
+
+Covers the warm-start selection cache (bit-identical to cold starts,
+real similarity-evaluation savings), the per-step cache counters on
+:class:`NavigationStep`, and invalidation on dataset swap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import GeoDataset, MapSession, MetricsRegistry, SimilarityCache
+from repro.geo import BoundingBox
+from repro.similarity import MatrixSimilarity
+
+
+def quarter(frame: BoundingBox) -> BoundingBox:
+    """The lower-left quarter of ``frame`` — a roomy starting viewport."""
+    return BoundingBox(
+        frame.minx,
+        frame.miny,
+        frame.minx + frame.width * 0.5,
+        frame.miny + frame.height * 0.5,
+    )
+
+
+def zoom_in_trace(session: MapSession, region: BoundingBox):
+    steps = [session.start(region)]
+    for scale in (0.8, 0.75, 0.8):
+        steps.append(session.zoom_in(scale))
+    return steps
+
+
+class TestWarmStartEquivalence:
+    def test_warm_selections_bit_identical_to_cold(self, text_dataset):
+        region = quarter(text_dataset.frame())
+        cold = MapSession(text_dataset, k=15, similarity_cache=False)
+        warm = MapSession(
+            text_dataset, k=15, similarity_cache=True, warm_start=True
+        )
+        for c, w in zip(zoom_in_trace(cold, region), zoom_in_trace(warm, region)):
+            np.testing.assert_array_equal(c.result.selected, w.result.selected)
+            assert c.result.score == w.result.score  # bitwise, not approx
+
+    def test_warm_start_actually_engages_and_saves(self, text_dataset):
+        region = quarter(text_dataset.frame())
+        # Count-only cache: the cold baseline's evaluation counter.
+        counting = SimilarityCache(text_dataset.similarity, max_entries=0)
+        cold = MapSession(
+            text_dataset, k=15, similarity_cache=counting, warm_start=False
+        )
+        warm = MapSession(text_dataset, k=15, similarity_cache=True)
+        cold_steps = zoom_in_trace(cold, region)
+        warm_steps = zoom_in_trace(warm, region)
+
+        assert not any(s.warm_started for s in cold_steps)
+        assert all(s.warm_started for s in warm_steps[1:])
+        cold_pairs = sum(
+            s.stats["sim_pairs_evaluated"] for s in cold_steps[1:]
+        )
+        warm_pairs = sum(
+            s.stats["sim_pairs_evaluated"] for s in warm_steps[1:]
+        )
+        assert cold_pairs > 0
+        # The navigation steps themselves should be (nearly) free: the
+        # CI benchmark gates at 30%, the unit test at well above that.
+        assert warm_pairs < cold_pairs * 0.5
+
+    def test_equivalence_check_mode_passes_and_marks_stats(self, text_dataset):
+        region = quarter(text_dataset.frame())
+        session = MapSession(
+            text_dataset, k=12, similarity_cache=True, equivalence_check=True
+        )
+        session.start(region)
+        step = session.zoom_in(0.8)
+        assert step.warm_started
+        assert step.stats["equivalence_checked"] is True
+
+    def test_warm_start_skipped_below_overlap_threshold(self, text_dataset):
+        region = quarter(text_dataset.frame())
+        session = MapSession(
+            text_dataset, k=12, similarity_cache=True,
+            warm_start_min_overlap=0.5,
+        )
+        session.start(region)
+        step = session.zoom_in(0.6)  # area ratio 0.36 < 0.5
+        assert not step.warm_started
+        assert session.metrics.count("warm.skipped.low_overlap") == 1
+
+    def test_pan_is_not_warm_started(self, text_dataset):
+        # A panned viewport is not contained in the previous one, so
+        # the captured masses are not valid bounds (Lemma 5.1 needs
+        # population containment) — the session must serve it cold.
+        region = quarter(text_dataset.frame())
+        session = MapSession(text_dataset, k=12, similarity_cache=True)
+        session.start(region)
+        step = session.pan(dx=region.width * 0.3)
+        assert not step.warm_started
+        assert session.metrics.count("warm.skipped.not_contained") == 1
+
+    def test_warm_start_requires_similarity_cache(self, text_dataset):
+        region = quarter(text_dataset.frame())
+        session = MapSession(text_dataset, k=12, warm_start=True)
+        session.start(region)
+        step = session.zoom_in(0.8)
+        assert not step.warm_started  # no cache => no selection cache
+
+
+class TestStepCounters:
+    def test_steps_record_cache_movement(self, text_dataset):
+        region = quarter(text_dataset.frame())
+        session = MapSession(text_dataset, k=12, similarity_cache=True)
+        for step in zoom_in_trace(session, region):
+            assert step.cache_hits >= 0
+            assert step.cache_misses >= 0
+            assert "cache_hits" in step.stats
+            assert "sim_pairs_evaluated" in step.stats
+            assert step.tier == "exact"
+        first, rest = session.history[0], session.history[1:]
+        assert first.cache_misses > 0  # cold fill
+        assert any(s.cache_hits > 0 for s in rest)
+
+    def test_counters_zero_without_cache(self, text_dataset):
+        region = quarter(text_dataset.frame())
+        session = MapSession(text_dataset, k=12)
+        step = session.start(region)
+        assert step.cache_hits == 0
+        assert step.cache_misses == 0
+        assert "cache_hits" not in step.stats
+
+    def test_session_metrics_registry_populated(self, text_dataset):
+        region = quarter(text_dataset.frame())
+        metrics = MetricsRegistry()
+        session = MapSession(
+            text_dataset, k=12, similarity_cache=True, metrics=metrics
+        )
+        zoom_in_trace(session, region)
+        assert metrics.count("index.queries") >= 4
+        assert metrics.count("session.op.initial") == 1
+        assert metrics.count("session.op.zoom_in") == 3
+        assert metrics.count("ladder.tier.exact") == 4
+        assert metrics.count("warm.captures") >= 1
+        assert metrics.summary("session.op_seconds")["count"] == 4
+
+
+def _matrix_pair(n: int = 60):
+    """Two same-size datasets, same coordinates, different similarities."""
+    gen = np.random.default_rng(21)
+    xs, ys = gen.random(n), gen.random(n)
+    ds_a = GeoDataset.build(
+        xs, ys, similarity=MatrixSimilarity.random(n, np.random.default_rng(1))
+    )
+    ds_b = GeoDataset.build(
+        xs, ys, similarity=MatrixSimilarity.random(n, np.random.default_rng(2))
+    )
+    return ds_a, ds_b
+
+
+class TestDatasetSwap:
+    def test_swap_invalidates_and_matches_fresh_session(self):
+        ds_a, ds_b = _matrix_pair()
+        region = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        session = MapSession(ds_a, k=8, similarity_cache=True)
+        session.start(region)
+
+        session.swap_dataset(ds_b)
+        swapped = session.start(region)
+
+        fresh = MapSession(ds_b, k=8, similarity_cache=True).start(region)
+        np.testing.assert_array_equal(
+            swapped.result.selected, fresh.result.selected
+        )
+        assert swapped.result.score == fresh.result.score
+
+    def test_swap_prevents_stale_hits(self):
+        ds_a, ds_b = _matrix_pair()
+        region = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        session = MapSession(ds_a, k=8, similarity_cache=True)
+        session.start(region)
+        session.swap_dataset(ds_b)
+        # Everything must be recomputed: the post-swap selection pays
+        # full evaluation cost instead of serving ds_a's rows.
+        step = session.start(region)
+        assert step.stats["sim_pairs_evaluated"] > 0
+        assert not step.warm_started
+        assert session.metrics.count("sim.invalidations") == 1
+        assert session.metrics.count("session.dataset_swaps") == 1
+
+    def test_swap_resets_viewport(self):
+        ds_a, ds_b = _matrix_pair()
+        region = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        session = MapSession(ds_a, k=8, similarity_cache=True)
+        session.start(region)
+        session.swap_dataset(ds_b)
+        assert session.region is None
+        assert len(session.visible) == 0
+
+    def test_swap_rejects_size_mismatch(self):
+        ds_a, _ = _matrix_pair()
+        gen = np.random.default_rng(9)
+        smaller = GeoDataset.build(gen.random(10), gen.random(10))
+        session = MapSession(ds_a, k=8, similarity_cache=True)
+        with pytest.raises(ValueError, match="same-size"):
+            session.swap_dataset(smaller)
+
+    def test_swap_without_cache_still_swaps(self):
+        ds_a, ds_b = _matrix_pair()
+        region = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        session = MapSession(ds_a, k=8)
+        session.start(region)
+        session.swap_dataset(ds_b)
+        fresh = MapSession(ds_b, k=8).start(region)
+        np.testing.assert_array_equal(
+            session.start(region).result.selected, fresh.result.selected
+        )
+
+
+@pytest.mark.slow
+class TestPrefetchInterplay:
+    def test_prefetch_and_cache_stay_bit_identical(self, text_dataset):
+        region = quarter(text_dataset.frame())
+        plain = MapSession(text_dataset, k=12)
+        cached = MapSession(
+            text_dataset, k=12, prefetch=True, similarity_cache=True,
+            equivalence_check=True,
+        )
+        for p, c in zip(zoom_in_trace(plain, region), zoom_in_trace(cached, region)):
+            np.testing.assert_array_equal(p.result.selected, c.result.selected)

@@ -1,0 +1,237 @@
+"""Tests for the memoizing SimilarityCache wrapper.
+
+The load-bearing property is *transparency*: under any interleaving of
+``sim`` / ``sims_to`` / ``weighted_sims_sum`` calls, the cache returns
+exactly the values the base model would — bit-identical, not just
+close — while never re-evaluating a pair it already holds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import SimilarityCache
+from repro.metrics import MetricsRegistry
+from repro.similarity import MatrixSimilarity
+
+N = 25
+
+
+def make_base(seed: int = 3) -> MatrixSimilarity:
+    return MatrixSimilarity.random(N, np.random.default_rng(seed))
+
+
+class CountingSimilarity(MatrixSimilarity):
+    """MatrixSimilarity that counts every pair the base evaluates."""
+
+    def __init__(self, matrix: np.ndarray):
+        super().__init__(matrix)
+        self.pair_calls = 0
+
+    def sim(self, i: int, j: int) -> float:
+        self.pair_calls += 1
+        return super().sim(i, j)
+
+    def sims_to(self, i: int, ids: np.ndarray) -> np.ndarray:
+        self.pair_calls += len(np.asarray(ids))
+        return super().sims_to(i, ids)
+
+
+def make_counting(seed: int = 3) -> CountingSimilarity:
+    return CountingSimilarity(make_base(seed).matrix)
+
+
+# A random interleaving of cache operations: each entry is either a
+# scalar lookup (i, j) or a row request (i, list-of-ids, may repeat).
+_ids = st.integers(min_value=0, max_value=N - 1)
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("sim"), _ids, _ids),
+        st.tuples(
+            st.just("sims_to"), _ids, st.lists(_ids, min_size=1, max_size=N)
+        ),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=_ops)
+def test_cached_equals_uncached_under_interleavings(ops):
+    base = make_base()
+    cache = SimilarityCache(make_base(), max_entries=200)  # tiny: evicts
+    for op in ops:
+        if op[0] == "sim":
+            _, i, j = op
+            assert cache.sim(i, j) == base.sim(i, j)
+        else:
+            _, i, ids = op
+            ids = np.asarray(ids, dtype=np.int64)
+            np.testing.assert_array_equal(
+                cache.sims_to(i, ids), base.sims_to(i, ids)
+            )
+
+
+@settings(max_examples=30, deadline=None)
+@given(ops=_ops, seed=st.integers(min_value=0, max_value=10))
+def test_weighted_sims_sum_bit_identical(ops, seed):
+    # The row-by-row reduction must be bit-identical between a fresh
+    # cache and one pre-warmed by an arbitrary interleaving.
+    rng = np.random.default_rng(seed)
+    targets = np.arange(N, dtype=np.int64)
+    sources = rng.choice(N, size=10, replace=False).astype(np.int64)
+    weights = rng.random(10)
+
+    warmed = SimilarityCache(make_base())
+    for op in ops:
+        if op[0] == "sim":
+            warmed.sim(op[1], op[2])
+        else:
+            warmed.sims_to(op[1], np.asarray(op[2], dtype=np.int64))
+    cold = SimilarityCache(make_base())
+    np.testing.assert_array_equal(
+        warmed.weighted_sims_sum(targets, sources, weights),
+        cold.weighted_sims_sum(targets, sources, weights),
+    )
+
+
+class TestRowCache:
+    def test_subset_request_is_free(self):
+        base = make_counting()
+        cache = SimilarityCache(base)
+        all_ids = np.arange(N, dtype=np.int64)
+        cache.sims_to(0, all_ids)
+        evaluated = base.pair_calls
+        sub = np.array([3, 7, 11], dtype=np.int64)
+        np.testing.assert_array_equal(
+            cache.sims_to(0, sub), base.matrix[0, sub]
+        )
+        assert base.pair_calls == evaluated  # gather, zero evals
+
+    def test_partial_overlap_evaluates_only_missing(self):
+        base = make_counting()
+        cache = SimilarityCache(base)
+        cache.sims_to(0, np.array([1, 2, 3], dtype=np.int64))
+        before = base.pair_calls
+        cache.sims_to(0, np.array([2, 3, 4, 5], dtype=np.int64))
+        assert base.pair_calls == before + 2  # only 4 and 5
+
+    def test_merged_row_serves_union(self):
+        cache = SimilarityCache(make_counting())
+        cache.sims_to(0, np.array([1, 2], dtype=np.int64))
+        cache.sims_to(0, np.array([4, 5], dtype=np.int64))
+        union = np.array([1, 2, 4, 5], dtype=np.int64)
+        assert cache.cached_row_over(0, union) is not None
+
+    def test_duplicate_ids_in_request(self):
+        base = make_base()
+        cache = SimilarityCache(make_base())
+        ids = np.array([4, 4, 2, 4], dtype=np.int64)
+        np.testing.assert_array_equal(
+            cache.sims_to(1, ids), base.sims_to(1, ids)
+        )
+        np.testing.assert_array_equal(
+            cache.sims_to(1, ids), base.sims_to(1, ids)
+        )
+
+    def test_scalar_served_from_cached_row(self):
+        base = make_counting()
+        cache = SimilarityCache(base)
+        cache.sims_to(0, np.array([5], dtype=np.int64))
+        before = base.pair_calls
+        assert cache.sim(0, 5) == base.matrix[0, 5]
+        assert cache.sim(5, 0) == base.matrix[0, 5]  # symmetric key
+        assert base.pair_calls == before
+
+
+class TestCapacity:
+    def test_count_only_mode_never_stores(self):
+        cache = SimilarityCache(make_counting(), max_entries=0)
+        all_ids = np.arange(N, dtype=np.int64)
+        cache.sims_to(0, all_ids)
+        cache.sims_to(0, all_ids)
+        assert cache.rows_cached == 0
+        assert cache.counters()["pairs_evaluated"] == 2 * N
+        assert cache.counters()["pairs_saved"] == 0
+
+    def test_lru_eviction_bounds_entries(self):
+        cache = SimilarityCache(make_base(), max_entries=2 * N)
+        all_ids = np.arange(N, dtype=np.int64)
+        for i in range(6):
+            cache.sims_to(i, all_ids)
+        assert cache.entries <= 2 * N
+        assert cache.rows_cached <= 2
+        assert cache.metrics.count("sim.row_evictions") >= 4
+
+    def test_eviction_keeps_values_correct(self):
+        base = make_base()
+        cache = SimilarityCache(make_base(), max_entries=N)
+        all_ids = np.arange(N, dtype=np.int64)
+        for i in range(5):
+            np.testing.assert_array_equal(
+                cache.sims_to(i, all_ids), base.sims_to(i, all_ids)
+            )
+        # Re-request an evicted row: recomputed, still identical.
+        np.testing.assert_array_equal(
+            cache.sims_to(0, all_ids), base.sims_to(0, all_ids)
+        )
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            SimilarityCache(make_base(), max_entries=-1)
+        with pytest.raises(ValueError):
+            SimilarityCache(make_base(), max_scalars=-1)
+
+
+class TestInvalidation:
+    def test_invalidate_clears_and_bumps_generation(self):
+        cache = SimilarityCache(make_counting())
+        cache.sims_to(0, np.arange(N, dtype=np.int64))
+        gen = cache.generation
+        cache.invalidate()
+        assert cache.rows_cached == 0
+        assert cache.entries == 0
+        assert cache.generation == gen + 1
+        assert cache.cached_row_over(0, np.array([1], dtype=np.int64)) is None
+
+    def test_values_refetched_after_invalidate(self):
+        base = make_counting()
+        cache = SimilarityCache(base)
+        ids = np.arange(N, dtype=np.int64)
+        cache.sims_to(0, ids)
+        cache.invalidate()
+        before = base.pair_calls
+        cache.sims_to(0, ids)
+        assert base.pair_calls == before + N
+
+
+class TestCounters:
+    def test_counters_roll_up(self):
+        cache = SimilarityCache(make_base())
+        ids = np.arange(10, dtype=np.int64)
+        cache.sims_to(0, ids)   # miss
+        cache.sims_to(0, ids)   # hit
+        cache.sim(1, 2)         # scalar miss
+        cache.sim(1, 2)         # scalar hit
+        c = cache.counters()
+        assert c["pairs_evaluated"] == 11
+        assert c["pairs_saved"] == 10
+        assert c["hits"] == 2
+        assert c["misses"] == 2
+
+    def test_shared_registry(self):
+        m = MetricsRegistry()
+        cache = SimilarityCache(make_base(), metrics=m)
+        cache.sims_to(0, np.arange(4, dtype=np.int64))
+        assert m.count("sim.row_misses") == 1
+        assert m.count("sim.pairs_evaluated") == 4
+
+    def test_cached_row_over_never_evaluates(self):
+        base = make_counting()
+        cache = SimilarityCache(base)
+        assert cache.cached_row_over(0, np.array([1], dtype=np.int64)) is None
+        assert base.pair_calls == 0
