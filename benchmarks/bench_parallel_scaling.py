@@ -1,0 +1,170 @@
+"""Parallel/batched heap-initialization scaling gate.
+
+Runs one fixed-seed heap-init-dominated selection (large population,
+small ``k``, TF-IDF cosine similarity — the sparse kernel whose
+per-invocation overhead batching amortizes) through the execution
+engine at several configurations:
+
+* **sequential** — ``workers=0, batch_size=1``: the scalar
+  one-candidate-per-kernel-call engine (the pre-batching baseline);
+* **batched** — ``workers=0``, default batch size: Layer-1 batching
+  only;
+* **workers=N** — a thread-backed :class:`~repro.parallel.WorkerPool`
+  sharding the candidate blocks (Layer 2).
+
+Asserts three things and writes
+``benchmarks/results/BENCH_parallel.json`` for the CI artifact:
+
+1. every configuration returns a selection bit-identical to the
+   sequential engine (ids and score);
+2. heap initialization at 4 workers is at least ``MIN_INIT_SPEEDUP``
+   times faster than the sequential baseline;
+3. batching cuts kernel invocations by at least
+   ``MIN_CALL_REDUCTION`` times.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import time
+
+import pytest
+
+from common import RESULTS_DIR, report_table
+from repro import RegionQuery, WorkerPool, greedy_select
+from repro.datasets import uk_tweets
+
+pytestmark = pytest.mark.bench
+
+MIN_INIT_SPEEDUP = 2.0
+MIN_CALL_REDUCTION = 3.0
+N_OBJECTS = 15_000
+K = 12
+THETA_FRACTION = 0.003
+REPEATS = 3
+CONFIGS = (
+    # (label, workers, batch_size)
+    ("sequential", 0, 1),
+    ("batched", 0, None),
+    ("workers=1", 1, None),
+    ("workers=2", 2, None),
+    ("workers=4", 4, None),
+)
+
+
+def _run_config(dataset, query, workers: int, batch_size: int | None):
+    """Best-of-REPEATS run of one engine configuration."""
+    best = None
+    for _ in range(REPEATS):
+        pool = None
+        if workers:
+            pool = WorkerPool(
+                workers, backend="thread", similarity=dataset.similarity
+            )
+        try:
+            started = time.perf_counter()
+            result = greedy_select(
+                dataset, query, batch_size=batch_size, pool=pool
+            )
+            elapsed = time.perf_counter() - started
+        finally:
+            if pool is not None:
+                pool.close()
+        if best is None or result.stats["init_seconds"] < best[1]:
+            best = (result, result.stats["init_seconds"], elapsed)
+    result, init_seconds, elapsed = best
+    return {
+        "selected": result.selected.tolist(),
+        "score": result.score,
+        "init_seconds": init_seconds,
+        "elapsed_s": elapsed,
+        "kernel_calls": int(result.stats["kernel_calls"]),
+        "kernel_rows": int(result.stats["kernel_rows"]),
+        "gain_evaluations": int(result.stats["gain_evaluations"]),
+    }
+
+
+@functools.lru_cache(maxsize=None)
+def _dataset():
+    """UK-tweet analogue with texts, sized so init dominates at k=12."""
+    return uk_tweets(n=N_OBJECTS)
+
+
+def test_parallel_scaling_gate():
+    dataset = _dataset()
+    query = RegionQuery.with_theta_fraction(
+        dataset.frame(), k=K, theta_fraction=THETA_FRACTION
+    )
+
+    runs = {
+        label: _run_config(dataset, query, workers, batch_size)
+        for label, workers, batch_size in CONFIGS
+    }
+
+    sequential = runs["sequential"]
+    for label, run in runs.items():
+        assert run["selected"] == sequential["selected"], (
+            f"{label} selection diverged from the sequential engine"
+        )
+        assert run["score"] == sequential["score"], (
+            f"{label} score bits diverged from the sequential engine"
+        )
+        assert run["gain_evaluations"] == sequential["gain_evaluations"]
+
+    init_speedup = runs["workers=4"]["init_seconds"] and (
+        sequential["init_seconds"] / runs["workers=4"]["init_seconds"]
+    )
+    call_reduction = sequential["kernel_calls"] / runs["batched"]["kernel_calls"]
+
+    payload = {
+        "workload": {
+            "dataset": "uk_tweets",
+            "objects": N_OBJECTS,
+            "k": K,
+            "theta_fraction": THETA_FRACTION,
+            "repeats": REPEATS,
+        },
+        "configs": {
+            label: {k: v for k, v in run.items() if k != "selected"}
+            for label, run in runs.items()
+        },
+        "init_speedup_4workers": init_speedup,
+        "kernel_call_reduction": call_reduction,
+        "min_init_speedup": MIN_INIT_SPEEDUP,
+        "min_call_reduction": MIN_CALL_REDUCTION,
+        "bit_identical": True,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_parallel.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    report_table(
+        "parallel_scaling",
+        ["config", "init (ms)", "total (ms)", "kernel calls", "speedup"],
+        [
+            [
+                label,
+                f"{run['init_seconds'] * 1000:.1f}",
+                f"{run['elapsed_s'] * 1000:.1f}",
+                f"{run['kernel_calls']:,}",
+                f"{sequential['init_seconds'] / run['init_seconds']:.2f}x",
+            ]
+            for label, run in runs.items()
+        ],
+        title=(
+            "Parallel scaling: heap init over "
+            f"{N_OBJECTS:,} candidates, k={K} "
+            f"(4-worker init speedup {init_speedup:.2f}x, "
+            f"gate {MIN_INIT_SPEEDUP:.0f}x; kernel-call reduction "
+            f"{call_reduction:.1f}x, gate {MIN_CALL_REDUCTION:.0f}x)"
+        ),
+    )
+    assert init_speedup >= MIN_INIT_SPEEDUP, (
+        f"4-worker heap init only {init_speedup:.2f}x faster than the "
+        f"sequential engine (gate {MIN_INIT_SPEEDUP:.0f}x); see {out}"
+    )
+    assert call_reduction >= MIN_CALL_REDUCTION, (
+        f"batching cut kernel invocations only {call_reduction:.1f}x "
+        f"(gate {MIN_CALL_REDUCTION:.0f}x); see {out}"
+    )

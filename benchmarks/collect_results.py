@@ -51,6 +51,7 @@ ORDER = [
     "ablation_bulk_init",
     "ablation_tiles",
     "ablation_predicted_prefetch",
+    "parallel_scaling",
 ]
 
 

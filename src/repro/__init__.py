@@ -59,6 +59,12 @@ from repro.core import (
 )
 from repro.geo import BoundingBox, Point
 from repro.metrics import MetricsRegistry
+from repro.parallel import (
+    DEFAULT_BATCH_SIZE,
+    WorkerPool,
+    resolve_backend,
+    resolve_workers,
+)
 from repro.robustness import (
     Budget,
     CircuitBreaker,
@@ -79,6 +85,7 @@ __all__ = [
     "BoundingBox",
     "Budget",
     "CircuitBreaker",
+    "DEFAULT_BATCH_SIZE",
     "Deadline",
     "DeadlineExceeded",
     "EquivalenceViolation",
@@ -102,6 +109,7 @@ __all__ = [
     "SimilarityCache",
     "StreamingSelector",
     "Tier",
+    "WorkerPool",
     "__version__",
     "assign_representatives",
     "exact_select",
@@ -110,6 +118,8 @@ __all__ = [
     "isos_select",
     "representative_score",
     "represented_objects",
+    "resolve_backend",
+    "resolve_workers",
     "sass_select",
     "select_with_ladder",
     "serfling_sample_size",

@@ -70,6 +70,15 @@ class SimilarityCache(SimilarityModel):
         ``invalidations``.
     """
 
+    #: LRU bookkeeping mutates on every read; the worker pool degrades
+    #: to serial block execution for this model (batching still holds).
+    thread_safe = False
+
+    @property
+    def batch_friendly(self) -> bool:
+        """Follow the wrapped model's batching preference."""
+        return self.base.batch_friendly
+
     def __init__(
         self,
         base: SimilarityModel,
@@ -193,6 +202,56 @@ class SimilarityCache(SimilarityModel):
             else:
                 self._merge_row(i, existing[0], existing[1], ids, values)
             return values
+
+        return kernel
+
+    def rows_kernel(self, ids: np.ndarray):
+        """Block kernel: gather cached rows, batch-evaluate the misses.
+
+        Each block splits into rows the cache can serve as pure gathers
+        and rows it cannot; the misses go through the *base model's*
+        block kernel in a single call (one kernel invocation per block
+        regardless of hit pattern) and are stored/merged afterwards.
+        Values are identical to the scalar cache path because both
+        serve exactly the cached values or exactly the base kernel's
+        rows.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        base_rows = self.base.rows_kernel(ids)
+        n = len(ids)
+
+        def kernel(obj_ids: np.ndarray) -> np.ndarray:
+            obj_ids = np.asarray(obj_ids, dtype=np.int64)
+            out = np.empty((len(obj_ids), n), dtype=np.float64)
+            miss_rows: list[int] = []
+            for b, obj in enumerate(obj_ids):
+                cached = self.cached_row_over(int(obj), ids)
+                if cached is not None:
+                    self.metrics.incr("sim.row_hits")
+                    self.metrics.incr("sim.pairs_saved", n)
+                    out[b] = cached
+                else:
+                    miss_rows.append(b)
+            if miss_rows:
+                missing = obj_ids[miss_rows]
+                values = np.asarray(
+                    base_rows(missing), dtype=np.float64
+                )
+                self.metrics.incr("sim.row_misses", len(miss_rows))
+                self.metrics.incr(
+                    "sim.pairs_evaluated", n * len(miss_rows)
+                )
+                for row, b in enumerate(miss_rows):
+                    i = int(obj_ids[b])
+                    out[b] = values[row]
+                    existing = self._rows.get(i)
+                    if existing is None:
+                        self._store_row(i, ids, values[row])
+                    else:
+                        self._merge_row(
+                            i, existing[0], existing[1], ids, values[row]
+                        )
+            return out
 
         return kernel
 

@@ -30,6 +30,7 @@ from repro import (
     greedy_select,
     sass_select,
 )
+from repro.parallel import WorkerPool
 from repro.robustness.faults import STANDARD_POINTS
 from repro.datasets import (
     load_jsonl,
@@ -78,6 +79,33 @@ def _parse_deadline_ms(text: str) -> float:
     return value
 
 
+def _parse_workers(text: str) -> "int | str":
+    """Parse ``--workers``: a non-negative integer or ``auto``."""
+    if text == "auto":
+        return text
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"workers must be an integer or 'auto', got {text!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError("workers must be >= 0")
+    return value
+
+
+def _parse_batch_size(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad batch size {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError("batch size must be >= 1")
+    return value
+
+
 def _parse_region(text: str) -> BoundingBox:
     parts = text.split(",")
     if len(parts) != 4:
@@ -118,19 +146,28 @@ def _cmd_select(args: argparse.Namespace) -> int:
         if args.deadline_ms is not None
         else None
     )
-    if args.sample:
-        result = sass_select(
-            dataset, query, rng=np.random.default_rng(args.seed),
-            budget=budget,
+    pool = None
+    if args.workers:
+        pool = WorkerPool(
+            args.workers, similarity=dataset.similarity, metrics=metrics
         )
-    else:
-        candidates = (
-            dataset.keyword_filter(args.filter) if args.filter else None
-        )
-        result = greedy_select(
-            dataset, query, candidates=candidates, budget=budget,
-            metrics=metrics,
-        )
+    try:
+        if args.sample:
+            result = sass_select(
+                dataset, query, rng=np.random.default_rng(args.seed),
+                budget=budget, batch_size=args.batch_size, pool=pool,
+            )
+        else:
+            candidates = (
+                dataset.keyword_filter(args.filter) if args.filter else None
+            )
+            result = greedy_select(
+                dataset, query, candidates=candidates, budget=budget,
+                metrics=metrics, batch_size=args.batch_size, pool=pool,
+            )
+    finally:
+        if pool is not None:
+            pool.close()
     flags = " [degraded]" if result.degraded else ""
     print(
         f"selected {len(result)} of {len(result.region_ids)} objects, "
@@ -174,6 +211,8 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         fault_injector=injector,
         similarity_cache=args.cache,
         warm_start=not args.no_warm_start,
+        workers=args.workers,
+        batch_size=args.batch_size,
     )
     for step in trace.replay(session):
         flags = " [prefetched]" if step.used_prefetch else ""
@@ -188,6 +227,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             f"score={step.result.score:.4f}  "
             f"{step.elapsed_s * 1000:8.1f} ms{flags}"
         )
+    session.close()
     if args.metrics:
         print(session.metrics.format())
     return 0
@@ -230,6 +270,13 @@ def build_parser() -> argparse.ArgumentParser:
     sel.add_argument("--cache", action="store_true",
                      help="read similarities through a memoizing "
                           "SimilarityCache")
+    sel.add_argument("--workers", type=_parse_workers, default=0,
+                     help="worker pool size for heap initialization "
+                          "(integer or 'auto'; selections are "
+                          "bit-identical at any count)")
+    sel.add_argument("--batch-size", type=_parse_batch_size, default=None,
+                     help="candidate block size for batched gain "
+                          "evaluation (default 256, 1 = scalar)")
     sel.add_argument("--metrics", action="store_true",
                      help="print the counter/timer registry afterwards")
     sel.set_defaults(func=_cmd_select)
@@ -254,6 +301,12 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--no-warm-start", action="store_true",
                      help="keep the similarity cache but disable "
                           "selection warm starts")
+    exp.add_argument("--workers", type=_parse_workers, default=0,
+                     help="worker pool size for selections and "
+                          "prefetch precompute (integer or 'auto')")
+    exp.add_argument("--batch-size", type=_parse_batch_size, default=None,
+                     help="candidate block size for batched gain "
+                          "evaluation (default 256, 1 = scalar)")
     exp.add_argument("--metrics", action="store_true",
                      help="print the counter/timer registry afterwards")
     exp.set_defaults(func=_cmd_explore)

@@ -26,6 +26,7 @@ from repro.core.problem import Aggregation, RegionQuery, SelectionResult
 from repro.core.scoring import MarginalGainState
 from repro.geo.distance import pairwise_min_distance
 from repro.metrics import MetricsRegistry
+from repro.parallel.config import effective_batch_size, iter_blocks
 from repro.robustness.budget import Budget
 from repro.robustness.errors import InfeasibleSelection
 from repro.robustness.faults import (
@@ -45,6 +46,8 @@ def greedy_select(
     budget: Budget | None = None,
     strict: bool = False,
     metrics: MetricsRegistry | None = None,
+    batch_size: int | None = None,
+    pool=None,
 ) -> SelectionResult:
     """Solve an SOS query with the greedy algorithm (Algorithm 1).
 
@@ -74,6 +77,12 @@ def greedy_select(
     metrics:
         Optional :class:`~repro.metrics.MetricsRegistry` receiving the
         engine's counters (see :func:`greedy_core`).
+    batch_size:
+        Candidates per kernel invocation during exact heap
+        initialization (see :func:`greedy_core`).
+    pool:
+        Optional :class:`~repro.parallel.WorkerPool` sharding the init
+        sweep (see :func:`greedy_core`).
     """
     region_ids = dataset.objects_in(query.region)
     if candidates is None:
@@ -95,6 +104,8 @@ def greedy_select(
         budget=budget,
         strict=strict,
         metrics=metrics,
+        batch_size=batch_size,
+        pool=pool,
     )
 
 
@@ -113,6 +124,8 @@ def greedy_core(
     fault_injector: FaultInjector | None = None,
     strict: bool = False,
     metrics: MetricsRegistry | None = None,
+    batch_size: int | None = None,
+    pool=None,
 ) -> SelectionResult:
     """Shared greedy engine for SOS, ISOS and the prefetch path.
 
@@ -179,6 +192,22 @@ def greedy_core(
         ``greedy.heap_pushes``) and its latency
         (``greedy.elapsed_s``) are recorded there in addition to
         ``result.stats``.
+    batch_size:
+        Candidates evaluated per similarity-kernel invocation during
+        exact heap initialization.  ``None`` uses
+        :data:`~repro.parallel.DEFAULT_BATCH_SIZE` for models that
+        declare themselves ``batch_friendly`` (and whenever a pool
+        needs blocks to shard) and the scalar engine otherwise; ``1``
+        always recovers the original one-row-per-call engine (the
+        benchmark baseline).
+        Gains are bit-identical at any batch size — the block kernels
+        reproduce the scalar kernels' floats exactly — so selections
+        never depend on this knob.
+    pool:
+        Optional :class:`~repro.parallel.WorkerPool` that shards the
+        batched init sweep across workers.  The pool merges block
+        results by block offset, so selections are also independent of
+        worker count and backend.
     """
     started = time.perf_counter()
     region_ids = np.asarray(region_ids, dtype=np.int64)
@@ -221,11 +250,22 @@ def greedy_core(
         selected.append(int(obj))
 
     candidate_set = set(int(i) for i in candidate_ids)
-    # Mandatory picks suppress conflicting candidates up front.
+    # Mandatory picks suppress conflicting candidates up front — one
+    # batched radius sweep instead of one index query per seed.  The
+    # fault point is still traversed per seed so injection schedules
+    # match the scalar engine's.
     blocked: set[int] = set()
-    for obj in mandatory_ids:
-        blocked.update(int(c) for c in conflicts(int(obj)))
+    if len(mandatory_ids):
+        if fault_injector is not None:
+            for _obj in mandatory_ids:
+                fault_injector.check(INDEX_QUERY)
+        blocked.update(
+            int(c)
+            for c in dataset.conflicts_with_many(mandatory_ids, theta)
+        )
 
+    init_started = time.perf_counter()
+    batch_size = effective_batch_size(batch_size, dataset.similarity, pool)
     seeded_bounds = 0
     seeded_exact = 0
     if initial_bounds is not None:
@@ -277,17 +317,48 @@ def greedy_core(
             else:
                 heap.push(int(obj), float(mass))
     elif init_mode == "exact":
-        for obj in candidate_ids:
-            # Each exact init gain costs O(|O|); the budget tick keeps
-            # a blown deadline from blocking behind the full O(n·|G|)
-            # sweep (the anytime property's hard case).
-            if budget is not None and not budget.tick():
-                break
-            if int(obj) not in blocked:
-                # Iteration tag 0 == first |S|-after-D state: exact.
-                heap.push(int(obj), gain_fn(int(obj)), iteration=0)
+        if batch_size <= 1 and pool is None:
+            for obj in candidate_ids:
+                # Each exact init gain costs O(|O|); the budget tick
+                # keeps a blown deadline from blocking behind the full
+                # O(n·|G|) sweep (the anytime property's hard case).
+                if budget is not None and not budget.tick():
+                    break
+                if int(obj) not in blocked:
+                    # Iteration tag 0 == first |S|-after-D state: exact.
+                    heap.push(int(obj), gain_fn(int(obj)), iteration=0)
+        else:
+            # Batched init: assemble the evaluable candidates with the
+            # exact tick / blocked / fault sequence of the scalar loop
+            # (so budget cutoffs and injected faults land identically),
+            # then evaluate whole blocks — one kernel invocation per
+            # block, optionally sharded across the pool.
+            evaluable: list[int] = []
+            for obj in candidate_ids:
+                if budget is not None and not budget.tick():
+                    break
+                o = int(obj)
+                if o in blocked:
+                    continue
+                if fault_injector is not None:
+                    fault_injector.check(SIMILARITY_EVAL)
+                evaluable.append(o)
+            eval_ids = np.asarray(evaluable, dtype=np.int64)
+            blocks = [blk for _off, blk in iter_blocks(eval_ids, batch_size)]
+            if pool is not None:
+                gains_per_block = pool.gain_sweep(state, blocks)
+            else:
+                gains_per_block = [state.batch_gains(blk) for blk in blocks]
+            # Push in candidate order — with equal gains the heap's
+            # min-id CELF tie-break makes order irrelevant, but keeping
+            # it matches the scalar engine's push sequence exactly.
+            for blk, gains in zip(blocks, gains_per_block):
+                for o, g in zip(blk.tolist(), gains.tolist()):
+                    heap.push(o, float(g), iteration=0)
     else:
         raise ValueError(f"init_mode must be 'exact' or 'bulk', got {init_mode!r}")
+
+    init_elapsed = time.perf_counter() - init_started
 
     iteration = 0
     budget_reason: str | None = None
@@ -317,9 +388,12 @@ def greedy_core(
     stats = {
         "gain_evaluations": state.gain_evaluations,
         "kernel_rows": state.kernel_rows,
+        "kernel_calls": state.kernel_calls,
         "heap_pushes": heap.pushes,
         "heap_pops": heap.pops,
         "elapsed_s": elapsed,
+        "init_seconds": init_elapsed,
+        "batch_size": batch_size,
         "population": int(len(region_ids)),
         "candidates": int(len(candidate_set)),
         "mandatory": int(len(mandatory_ids)),
@@ -336,13 +410,18 @@ def greedy_core(
         )
         stats["cache_hits"] = sim_after["hits"] - sim_before["hits"]
         stats["cache_misses"] = sim_after["misses"] - sim_before["misses"]
+    if pool is not None:
+        stats["pool_workers"] = pool.workers
+        stats["pool_backend"] = pool.backend
     if metrics is not None:
         metrics.incr("greedy.selections")
         metrics.incr("greedy.gain_evaluations", state.gain_evaluations)
         metrics.incr("greedy.kernel_rows", state.kernel_rows)
+        metrics.incr("greedy.kernel_calls", state.kernel_calls)
         metrics.incr("greedy.heap_pushes", heap.pushes)
         metrics.incr("greedy.heap_pops", heap.pops)
         metrics.observe("greedy.elapsed_s", elapsed)
+        metrics.observe("greedy.init_seconds", init_elapsed)
     return SelectionResult(
         selected=selected_arr,
         score=state.score,

@@ -96,6 +96,8 @@ def sass_select(
     evaluate_full_score: bool = False,
     budget: Budget | None = None,
     fault_injector: FaultInjector | None = None,
+    batch_size: int | None = None,
+    pool=None,
 ) -> SelectionResult:
     """Algorithm 2: sample the region, run the greedy on the sample.
 
@@ -114,6 +116,11 @@ def sass_select(
     budget, fault_injector:
         Passed through to the underlying greedy: the sampled selection
         is anytime too, and traverses the same fault points.
+    batch_size, pool:
+        Passed through to the underlying greedy: the sample's heap
+        initialization evaluates candidate blocks through the batched
+        kernels and, with a :class:`~repro.parallel.WorkerPool`,
+        shards them across workers.
 
     The result's ``score``/``region_ids`` refer to the sample (that is
     what the algorithm optimizes); ``stats['sample_size']`` and
@@ -144,6 +151,8 @@ def sass_select(
         aggregation=aggregation,
         budget=budget,
         fault_injector=fault_injector,
+        batch_size=batch_size,
+        pool=pool,
     )
     elapsed = time.perf_counter() - started
 

@@ -129,6 +129,34 @@ def represented_objects(
     return mine[mine != int(marker)]
 
 
+def weighted_gain_rows(
+    sims: np.ndarray,
+    best: np.ndarray,
+    weights: np.ndarray,
+    aggregation: Aggregation,
+) -> np.ndarray:
+    """Marginal gains for a block of similarity rows.
+
+    The batched twin of the reduction inside
+    :meth:`MarginalGainState.gain`, shared with the process workers.
+    Deliberately reduces row by row with the same 1-D ``np.dot`` — a
+    single matrix-vector product could change BLAS accumulation order
+    and break the bit-identity the CELF tie-break depends on.
+    """
+    n_rows, n = sims.shape
+    out = np.empty(n_rows, dtype=np.float64)
+    if n == 0:
+        out.fill(0.0)
+        return out
+    for b in range(n_rows):
+        if aggregation is Aggregation.MAX:
+            improvement = np.maximum(sims[b] - best, 0.0)
+        else:  # SUM: modular — the contribution is the full row.
+            improvement = sims[b]
+        out[b] = float(np.dot(weights, improvement) / n)
+    return out
+
+
 class MarginalGainState:
     """Incremental ``Sim(O, ·)`` state for the greedy loop.
 
@@ -166,9 +194,17 @@ class MarginalGainState:
         # committed picks.  This is the unit the similarity cache turns
         # into gathers, so selectors report it next to gain_evaluations.
         self.kernel_rows = 0
+        # Kernel *invocations* — each scalar call is one, each batched
+        # block is one.  The batching win (rows amortized per call) is
+        # kernel_rows / kernel_calls.
+        self.kernel_calls = 0
         # Population-specialized row kernel: each gain evaluation is one
         # call against the same id set, so amortized setup pays off.
         self._kernel = dataset.similarity.row_kernel(self.region_ids)
+        self._rows_kernel = None  # block kernel, built on first use
+        # SUM is modular: an object's gain never changes as S grows, so
+        # it is computed once and memoized (repeated heap pops are O(1)).
+        self._sum_gains: dict[int, float] = {}
 
     @property
     def score(self) -> float:
@@ -184,26 +220,97 @@ class MarginalGainState:
         """Marginal gain ``Sim(O, S ∪ {v}) − Sim(O, S)`` for ``v``."""
         if self._n == 0:
             return 0.0
+        obj = int(obj_id)
         self.gain_evaluations += 1
+        if self.aggregation is Aggregation.SUM:
+            cached = self._sum_gains.get(obj)
+            if cached is not None:
+                return cached
         self.kernel_rows += 1
-        sims = self._kernel(int(obj_id))
+        self.kernel_calls += 1
+        sims = self._kernel(obj)
         if self.aggregation is Aggregation.MAX:
             improvement = np.maximum(sims - self._best, 0.0)
         else:  # SUM: modular — the contribution is the full row.
             improvement = sims
-        return float(np.dot(self.weights, improvement) / self._n)
+        value = float(np.dot(self.weights, improvement) / self._n)
+        if self.aggregation is Aggregation.SUM:
+            self._sum_gains[obj] = value
+        return value
+
+    def batch_kernel(self):
+        """The population-specialized block kernel (built lazily).
+
+        Callers that dispatch :meth:`batch_gains` across threads should
+        touch this once first so the lazy build is not raced.
+        """
+        if self._rows_kernel is None:
+            self._rows_kernel = self.dataset.similarity.rows_kernel(
+                self.region_ids
+            )
+        return self._rows_kernel
+
+    def batch_gains(self, obj_ids: np.ndarray, count: bool = True) -> np.ndarray:
+        """Marginal gains for a whole candidate block (one kernel call).
+
+        Bit-identical to calling :meth:`gain` per object — the block
+        kernel reproduces the scalar kernel's rows and
+        :func:`weighted_gain_rows` reproduces its reduction.  With
+        ``count=False`` the counters are left untouched (a worker pool
+        aggregates them once per sweep so concurrent tasks never race
+        on them).
+        """
+        obj_ids = np.asarray(obj_ids, dtype=np.int64)
+        if len(obj_ids) == 0:
+            return np.zeros(0, dtype=np.float64)
+        if self._n == 0:
+            gains = np.zeros(len(obj_ids), dtype=np.float64)
+        else:
+            sims = self.batch_kernel()(obj_ids)
+            gains = weighted_gain_rows(
+                sims, self._best, self.weights, self.aggregation
+            )
+            if self.aggregation is Aggregation.SUM:
+                for obj, value in zip(obj_ids.tolist(), gains.tolist()):
+                    self._sum_gains[obj] = value
+        if count:
+            self.note_batches(rows=len(obj_ids), calls=1)
+        return gains
+
+    def note_batches(self, rows: int, calls: int) -> None:
+        """Record counter movement for ``rows`` gains over ``calls`` kernels."""
+        self.gain_evaluations += rows
+        self.kernel_rows += rows
+        self.kernel_calls += calls
+
+    def best_view(self) -> np.ndarray:
+        """The internal ``best[o] = Sim(o, S)`` vector (not a copy).
+
+        Exported to shared memory for process-parallel sweeps; callers
+        must not mutate it or hold it across :meth:`add` calls.
+        """
+        return self._best
 
     def add(self, obj_id: int) -> float:
         """Commit ``v`` to the selection; returns the realized gain."""
         if self._n == 0:
             return 0.0
+        obj = int(obj_id)
+        if self.aggregation is Aggregation.SUM:
+            gained = self._sum_gains.get(obj)
+            if gained is None:
+                self.kernel_rows += 1
+                self.kernel_calls += 1
+                sims = self._kernel(obj)
+                gained = float(np.dot(self.weights, sims) / self._n)
+                self._sum_gains[obj] = gained
+            self._score += gained
+            return gained
         self.kernel_rows += 1
-        sims = self._kernel(int(obj_id))
-        if self.aggregation is Aggregation.MAX:
-            improvement = np.maximum(sims - self._best, 0.0)
-            np.maximum(self._best, sims, out=self._best)
-        else:
-            improvement = sims
+        self.kernel_calls += 1
+        sims = self._kernel(obj)
+        improvement = np.maximum(sims - self._best, 0.0)
+        np.maximum(self._best, sims, out=self._best)
         gained = float(np.dot(self.weights, improvement) / self._n)
         self._score += gained
         return gained

@@ -55,6 +55,7 @@ from repro.core.prefetch import PrefetchData, Prefetcher
 from repro.core.problem import Aggregation, SelectionResult
 from repro.geo.bbox import BoundingBox
 from repro.metrics import MetricsRegistry
+from repro.parallel import WorkerPool, resolve_workers
 from repro.robustness.breaker import CircuitBreaker
 from repro.robustness.budget import Deadline
 from repro.robustness.errors import (
@@ -185,6 +186,22 @@ class MapSession:
         Optional shared :class:`~repro.metrics.MetricsRegistry`; a
         private one is created when omitted.  Exposed as
         :attr:`metrics`; the CLI prints it under ``--metrics``.
+    workers:
+        Worker count for the session's :class:`~repro.parallel.WorkerPool`
+        (``0``/``None`` = no pool, ``"auto"`` = host CPU count).  The
+        pool shards heap-initialization gain sweeps across candidate
+        blocks and precomputes the prefetcher's bounds for all
+        navigation kinds concurrently.  Selections stay bit-identical
+        to the sequential engine at any worker count.  With a
+        ``similarity_cache`` the pool degrades to serial block
+        execution (the cache's LRU is not thread-safe) but batching
+        still applies.
+    batch_size:
+        Candidate block size for batched gain evaluation during heap
+        initialization (default 256; ``1`` recovers the scalar loop).
+    parallel_backend:
+        ``"auto"`` / ``"serial"`` / ``"thread"`` / ``"process"`` — see
+        :func:`~repro.parallel.resolve_backend`.
     """
 
     def __init__(
@@ -208,6 +225,9 @@ class MapSession:
         warm_start_min_overlap: float = 0.05,
         equivalence_check: bool = False,
         metrics: MetricsRegistry | None = None,
+        workers: int | str | None = None,
+        batch_size: int | None = None,
+        parallel_backend: str = "auto",
     ):
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
@@ -260,6 +280,20 @@ class MapSession:
             )
         # Deterministic tier-2 sampling, independent of user RNG state.
         self._ladder_rng = np.random.default_rng(2018)
+        # Optional worker pool: built over the *effective* similarity
+        # model (the cache wrapper when one is interposed) so backend
+        # resolution sees its thread-safety.  batch_size is forwarded
+        # to the greedy whether or not a pool exists.
+        self.batch_size = batch_size
+        self.parallel_backend = parallel_backend
+        self._pool: WorkerPool | None = None
+        if resolve_workers(workers) > 0:
+            self._pool = WorkerPool(
+                workers,
+                parallel_backend,
+                similarity=dataset.similarity,
+                metrics=self.metrics,
+            )
 
         self._prefetcher = Prefetcher(dataset, fault_injector=fault_injector)
         self._prefetch_data: dict[str, PrefetchData] = {}
@@ -273,6 +307,23 @@ class MapSession:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the session's worker pool (idempotent).
+
+        Only needed when the session was built with ``workers``; a
+        pool-less session has nothing to release.  The session remains
+        usable afterwards — selections simply run sequentially.
+        """
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "MapSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def start(self, region: BoundingBox) -> NavigationStep:
         """Open the session on ``region`` with a plain SOS selection."""
@@ -295,6 +346,8 @@ class MapSession:
             fault_injector=self.fault_injector,
             rng=self._ladder_rng,
             metrics=self.metrics,
+            batch_size=self.batch_size,
+            pool=self._pool,
         )
         elapsed = time.perf_counter() - started
         step = self._commit(
@@ -338,6 +391,17 @@ class MapSession:
                 dataset, similarity=self.similarity_cache
             )
         self.dataset = dataset
+        # The pool is bound to the old similarity model (process
+        # workers hold its feature arrays); rebuild it over the new one.
+        if self._pool is not None:
+            workers = self._pool.workers
+            self._pool.close()
+            self._pool = WorkerPool(
+                workers,
+                self.parallel_backend,
+                similarity=dataset.similarity,
+                metrics=self.metrics,
+            )
         if self._selection_cache is not None:
             self._selection_cache.invalidate()
         self._prefetcher = Prefetcher(
@@ -550,6 +614,8 @@ class MapSession:
             fault_injector=self.fault_injector,
             rng=self._ladder_rng,
             metrics=self.metrics,
+            batch_size=self.batch_size,
+            pool=self._pool,
         )
         elapsed = time.perf_counter() - started
         if (used_prefetch or warm_started) and self.equivalence_check:
@@ -579,7 +645,10 @@ class MapSession:
         Bypasses every seeding source (``initial_bounds=None``) but
         keeps the same deadline configuration disabled — the cold
         reference must not itself degrade, or the comparison would be
-        meaningless.  Raises :class:`EquivalenceViolation` on any
+        meaningless.  The rerun also omits the worker pool and batch
+        size, so for a parallel session this doubles as a live check of
+        the batched-equals-sequential contract.  Raises
+        :class:`EquivalenceViolation` on any
         difference in the selected ids (order included: greedy output
         order is deterministic).
         """
@@ -709,11 +778,34 @@ class MapSession:
         }
         data: dict[str, PrefetchData] = {}
         errors: dict[str, str] = {}
-        for kind in kinds:
-            try:
-                data[kind] = self.breaker.call(builders[kind])
-            except Exception as exc:
-                errors[kind] = exc.__class__.__name__
+        if self._pool is not None and self._pool.concurrent and len(kinds) > 1:
+            # Fan the independent kinds across the pool.  Breaker
+            # admission is decided up front (one check per kind, in
+            # kind order) and outcomes are recorded serially from the
+            # ordered results, so breaker state stays deterministic.
+            admitted = []
+            for kind in kinds:
+                if self.breaker.allows():
+                    admitted.append(kind)
+                else:
+                    self.breaker.rejections += 1
+                    errors[kind] = "CircuitOpen"
+            outcomes = self._pool.run_all(
+                [builders[kind] for kind in admitted]
+            )
+            for kind, (result, exc) in zip(admitted, outcomes):
+                if exc is None:
+                    self.breaker.record_success()
+                    data[kind] = result
+                else:
+                    self.breaker.record_failure()
+                    errors[kind] = exc.__class__.__name__
+        else:
+            for kind in kinds:
+                try:
+                    data[kind] = self.breaker.call(builders[kind])
+                except Exception as exc:
+                    errors[kind] = exc.__class__.__name__
         self._prefetch_data = data
         self._prefetch_errors = errors
 

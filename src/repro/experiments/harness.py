@@ -99,33 +99,62 @@ def compare_methods(
     queries: Sequence[RegionQuery],
     methods: Sequence[str],
     seed: int = 7,
+    workers: int | str | None = None,
 ) -> list[MethodResult]:
     """Run each method over every query; aggregate runtime and score.
 
     Runtime is the selector's own ``stats['elapsed_s']`` (excludes
     query generation and region fetching, matching the paper's "we
     report the runtime after the object fetching is finished").
+
+    ``workers`` fans the per-query runs of each method across a
+    :class:`~repro.parallel.WorkerPool` (thread-backed).  Selections
+    and scores are unaffected — each run keeps its own seeded RNG — but
+    concurrent runs contend for cores, so per-run *timings* skew high;
+    use it to grind out score comparisons quickly, not for the
+    runtime panels.
     """
+    from repro.parallel import WorkerPool, resolve_workers
+
     catalog = selector_catalog()
+    pool: "WorkerPool | None" = None
+    if resolve_workers(workers) > 0:
+        pool = WorkerPool(workers, backend="thread")
     results: list[MethodResult] = []
-    for name in methods:
-        selector = catalog[name]
-        times: list[float] = []
-        scores: list[float] = []
-        for q_index, query in enumerate(queries):
-            rng = np.random.default_rng(seed + q_index)
-            outcome = selector(dataset, query, rng=rng)
-            times.append(float(outcome.stats.get("elapsed_s", 0.0)))
+    try:
+        for name in methods:
+            selector = catalog[name]
+
+            def run_one(
+                q_index: int, selector: Selector = selector
+            ) -> SelectionResult:
+                rng = np.random.default_rng(seed + q_index)
+                return selector(dataset, queries[q_index], rng=rng)
+
+            if pool is not None:
+                outcomes = pool.map_ordered(run_one, range(len(queries)))
+            else:
+                outcomes = [run_one(i) for i in range(len(queries))]
+            times = [float(o.stats.get("elapsed_s", 0.0)) for o in outcomes]
             # SaSS records its full-population score separately.
-            scores.append(float(outcome.stats.get("full_score", outcome.score)))
-        results.append(
-            MethodResult(
-                method=name,
-                mean_runtime_s=statistics.fmean(times),
-                stdev_runtime_s=statistics.stdev(times) if len(times) > 1 else 0.0,
-                mean_score=statistics.fmean(scores),
-                stdev_score=statistics.stdev(scores) if len(scores) > 1 else 0.0,
-                runs=len(queries),
+            scores = [
+                float(o.stats.get("full_score", o.score)) for o in outcomes
+            ]
+            results.append(
+                MethodResult(
+                    method=name,
+                    mean_runtime_s=statistics.fmean(times),
+                    stdev_runtime_s=(
+                        statistics.stdev(times) if len(times) > 1 else 0.0
+                    ),
+                    mean_score=statistics.fmean(scores),
+                    stdev_score=(
+                        statistics.stdev(scores) if len(scores) > 1 else 0.0
+                    ),
+                    runs=len(queries),
+                )
             )
-        )
+    finally:
+        if pool is not None:
+            pool.close()
     return results

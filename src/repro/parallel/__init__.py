@@ -1,0 +1,43 @@
+"""Shared-memory parallel execution engine for the selection stack.
+
+The greedy engine's dominant cost is first-iteration gain computation —
+an embarrassingly parallel sweep over candidate blocks — and the ISOS
+prefetcher precomputes bounds for three independent navigation kinds.
+This package supplies the machinery both use:
+
+* :class:`WorkerPool` — a backend-agnostic worker pool (``serial`` /
+  ``thread`` / ``process``) with ordered block mapping.  The process
+  backend ships the dataset's coordinate/weight/feature arrays through
+  ``multiprocessing.shared_memory`` (zero-copy views in every worker)
+  and rebuilds the similarity model from its
+  :meth:`~repro.similarity.SimilarityModel.process_spec`.
+* :func:`resolve_workers` / :func:`resolve_backend` — ``"auto"``
+  resolution against the host CPU count and the model's capabilities.
+* :func:`iter_blocks` — deterministic candidate sharding.
+* :class:`SharedArrayPack` — the shared-memory export/attach helpers.
+
+Determinism contract: every parallel path in the library computes the
+exact same floating-point values as its sequential twin (same kernels,
+same per-row reductions) and merges block results by *block offset*,
+never by completion order — selections are bit-identical at any worker
+count.  ``docs/PERFORMANCE.md`` spells out the guarantees.
+"""
+
+from repro.parallel.config import (
+    DEFAULT_BATCH_SIZE,
+    iter_blocks,
+    resolve_backend,
+    resolve_workers,
+)
+from repro.parallel.pool import WorkerPool
+from repro.parallel.sharedmem import SharedArrayHandle, SharedArrayPack
+
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "SharedArrayHandle",
+    "SharedArrayPack",
+    "WorkerPool",
+    "iter_blocks",
+    "resolve_backend",
+    "resolve_workers",
+]

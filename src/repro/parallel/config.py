@@ -1,0 +1,133 @@
+"""Worker/batch resolution and candidate sharding.
+
+Two knobs govern the execution engine, both wired through the CLI and
+:class:`~repro.core.session.MapSession`:
+
+* ``batch_size`` — how many candidates one kernel invocation evaluates
+  (the Layer-1 batching of ``docs/PERFORMANCE.md``).  ``1`` recovers
+  the scalar one-row-at-a-time engine; ``None`` means
+  :data:`DEFAULT_BATCH_SIZE`.
+* ``workers`` — how many pool workers shard the candidate blocks
+  (Layer 2).  ``0`` runs in-process with no pool; ``"auto"`` asks the
+  host.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterator
+
+import numpy as np
+
+# Large enough to amortize per-call Python overhead into one kernel
+# invocation, small enough that a (batch, population) block matrix
+# stays cache/memory friendly for the populations the paper's
+# workloads produce (a 256 x 50k float64 block is ~100 MB at the
+# extreme end; typical regions are far smaller).
+DEFAULT_BATCH_SIZE = 256
+
+BACKENDS = ("serial", "thread", "process")
+
+
+def resolve_workers(workers: int | str | None) -> int:
+    """Resolve a worker-count spec to a concrete count.
+
+    ``None`` and ``0`` mean no pool (serial execution); ``"auto"``
+    resolves to the host CPU count; a positive int passes through.
+    """
+    if workers is None:
+        return 0
+    if isinstance(workers, str):
+        if workers != "auto":
+            raise ValueError(
+                f"workers must be an int or 'auto', got {workers!r}"
+            )
+        return os.cpu_count() or 1
+    workers = int(workers)
+    if workers < 0:
+        raise ValueError(f"workers must be non-negative, got {workers}")
+    return workers
+
+
+def resolve_batch_size(batch_size: int | None) -> int:
+    """Resolve a batch-size spec (``None`` -> :data:`DEFAULT_BATCH_SIZE`)."""
+    if batch_size is None:
+        return DEFAULT_BATCH_SIZE
+    batch_size = int(batch_size)
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    return batch_size
+
+
+def effective_batch_size(
+    batch_size: int | None, similarity=None, pool=None
+) -> int:
+    """The batch size the greedy engine should actually use.
+
+    An explicit ``batch_size`` is always honored.  When unset, models
+    that declare themselves not :attr:`SimilarityModel.batch_friendly`
+    (dense coordinate kernels whose scalar closures are already fully
+    vectorized) keep the scalar engine — unless a pool is present,
+    which needs blocks to shard.  Selections are bit-identical at any
+    batch size; this is purely a speed default.
+    """
+    if batch_size is not None:
+        return resolve_batch_size(batch_size)
+    if pool is None and not getattr(similarity, "batch_friendly", True):
+        return 1
+    return DEFAULT_BATCH_SIZE
+
+
+def resolve_backend(
+    backend: str, workers: int, similarity=None
+) -> str:
+    """Resolve an ``"auto"`` backend against workers and model support.
+
+    * 0 workers -> ``serial`` always.
+    * ``process`` needs a model that can be rebuilt inside a worker
+      from shared memory (:meth:`SimilarityModel.process_spec`); models
+      that cannot fall back to ``thread``.
+    * models that are not thread-safe (the memoizing
+      :class:`~repro.cache.SimilarityCache`) fall back to ``serial``
+      block execution — batching still applies, sharding does not.
+    """
+    if backend not in BACKENDS + ("auto",):
+        raise ValueError(
+            f"backend must be one of {BACKENDS + ('auto',)}, got {backend!r}"
+        )
+    if workers == 0:
+        return "serial"
+    thread_safe = getattr(similarity, "thread_safe", True)
+    has_spec = (
+        similarity is not None
+        and getattr(similarity, "process_spec", lambda: None)() is not None
+    )
+    if backend == "process":
+        if has_spec:
+            return "process"
+        return "thread" if thread_safe else "serial"
+    if backend == "thread":
+        return "thread" if thread_safe else "serial"
+    if backend == "serial":
+        return "serial"
+    # auto: prefer processes only when the host has real parallelism
+    # and the model supports shared-memory reconstruction; threads are
+    # the cheap default (numpy kernels release the GIL).
+    if has_spec and (os.cpu_count() or 1) > 1 and workers > 1:
+        return "process"
+    return "thread" if thread_safe else "serial"
+
+
+def iter_blocks(
+    ids: np.ndarray, batch_size: int
+) -> Iterator[tuple[int, np.ndarray]]:
+    """Yield ``(offset, block)`` slices of ``ids`` in order.
+
+    The offset is the block's position in the original array — the
+    merge key that keeps parallel sweeps deterministic regardless of
+    completion order.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    for start in range(0, len(ids), batch_size):
+        yield start, ids[start:start + batch_size]

@@ -1,0 +1,81 @@
+"""Rebuilding similarity models inside process workers.
+
+The process backend cannot pickle a similarity model per task — the
+coordinate arrays or TF-IDF matrix would travel with it.  Instead the
+parent asks the model for its :meth:`~repro.similarity.SimilarityModel.
+process_spec` — ``(kind, params, arrays)`` — exports the arrays to
+shared memory once, and every worker calls :func:`build_model` over the
+attached zero-copy views.  The rebuilt model runs the exact same
+kernels as the parent's (same classes, same arrays), which is what
+keeps process-parallel sweeps bit-identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def model_spec(model):
+    """``model.process_spec()`` with a ``None``-model guard."""
+    if model is None:
+        return None
+    spec_fn = getattr(model, "process_spec", None)
+    return spec_fn() if callable(spec_fn) else None
+
+
+def _csr_from_arrays(params: dict, arrays: dict):
+    from scipy import sparse
+
+    return sparse.csr_matrix(
+        (arrays["data"], arrays["indices"], arrays["indptr"]),
+        shape=tuple(params["shape"]),
+        copy=False,
+    )
+
+
+def build_model(kind: str, params: dict, arrays: dict[str, np.ndarray]):
+    """Reconstruct a similarity model from its process spec."""
+    if kind == "euclidean":
+        from repro.similarity.spatial import EuclideanSimilarity
+
+        return EuclideanSimilarity(
+            arrays["xs"], arrays["ys"], d_max=params["d_max"]
+        )
+    if kind == "gaussian":
+        from repro.similarity.spatial import GaussianSpatialSimilarity
+
+        return GaussianSpatialSimilarity(
+            arrays["xs"], arrays["ys"], sigma=params["sigma"]
+        )
+    if kind == "matrix":
+        from repro.similarity.base import MatrixSimilarity
+
+        # The parent already validated the matrix at construction.
+        return MatrixSimilarity(arrays["matrix"], validate=False)
+    if kind == "cosine_text":
+        from repro.similarity.text import CosineTextSimilarity
+
+        return CosineTextSimilarity(_csr_from_arrays(params, arrays))
+    if kind == "jaccard":
+        from repro.similarity.text import JaccardSimilarity
+
+        return JaccardSimilarity._from_parts(
+            _csr_from_arrays(params, arrays), arrays["sizes"]
+        )
+    if kind == "minhash":
+        from repro.similarity.minhash import MinHashSimilarity
+
+        return MinHashSimilarity.from_signatures(arrays["signatures"])
+    if kind == "combined":
+        from repro.similarity.combined import CombinedSimilarity
+
+        models = []
+        for idx, child in enumerate(params["children"]):
+            child_arrays = {
+                key: arrays[f"{idx}:{key}"] for key in child["keys"]
+            }
+            models.append(
+                build_model(child["kind"], child["params"], child_arrays)
+            )
+        return CombinedSimilarity(models, params["weights"])
+    raise ValueError(f"unknown similarity process spec kind {kind!r}")

@@ -1,0 +1,320 @@
+"""The worker pool: serial / thread / process execution of block tasks.
+
+One :class:`WorkerPool` serves three call shapes:
+
+* :meth:`gain_sweep` — the hot path: evaluate marginal-gain blocks for
+  a :class:`~repro.core.scoring.MarginalGainState`, sharded across
+  workers, results merged **by block offset** so the sweep is
+  bit-identical to a serial loop at any worker count.
+* :meth:`run_all` — fan out independent thunks (the prefetcher's three
+  navigation kinds, the benchmark harness's query grid) and collect
+  ``(result, exception)`` pairs in submission order.
+* :meth:`map_ordered` — generic ordered map for anything else.
+
+Backends
+--------
+``serial``
+    Everything runs inline.  This is also the automatic fallback when
+    the similarity model is not thread-safe (the memoizing
+    :class:`~repro.cache.SimilarityCache` mutates an LRU on reads).
+``thread``
+    A ``ThreadPoolExecutor``; arrays are shared by reference and the
+    numpy kernels release the GIL, so block sweeps overlap on real
+    cores.
+``process``
+    A ``ProcessPoolExecutor``.  The similarity model's feature arrays
+    (coordinates, similarity matrices) are exported once per pool into
+    ``multiprocessing.shared_memory`` and each worker rebuilds the
+    model over zero-copy views (:mod:`repro.parallel.modelspec`).
+    Per-sweep state (population ids, weights, the ``best`` vector) is
+    shared the same way, so a task pickles only its small candidate
+    block.
+
+The pool never reorders results and never mutates shared state from a
+worker; counters are applied by the caller after the sweep so metric
+totals are deterministic too.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any
+
+import numpy as np
+
+from repro.parallel.config import resolve_backend, resolve_workers
+from repro.parallel.sharedmem import (
+    SharedArrayHandle,
+    SharedArrayPack,
+    attach_array,
+    release_attachments,
+)
+
+# ----------------------------------------------------------------------
+# Process-worker globals (set by the pool initializer / sweep tasks)
+# ----------------------------------------------------------------------
+
+_WORKER_MODEL = None  # similarity model rebuilt from shared memory
+_WORKER_KERNELS: dict[str, Any] = {}  # region segment name -> rows_kernel
+_MODEL_SEGMENTS: set[str] = set()  # segments the model holds views over
+
+
+def _init_process_worker(kind: str, params: dict, handles: dict) -> None:
+    """Pool initializer: rebuild the similarity model over shared views."""
+    global _WORKER_MODEL
+    from repro.parallel.modelspec import build_model
+
+    arrays = {key: attach_array(handle) for key, handle in handles.items()}
+    _WORKER_MODEL = build_model(kind, params, arrays)
+    _WORKER_KERNELS.clear()
+    _MODEL_SEGMENTS.clear()
+    _MODEL_SEGMENTS.update(handle.name for handle in handles.values())
+
+
+def _process_gain_block(
+    region_handle: SharedArrayHandle,
+    weights_handle: SharedArrayHandle,
+    best_handle: SharedArrayHandle,
+    aggregation,
+    block: np.ndarray,
+) -> np.ndarray:
+    """Evaluate one candidate block inside a process worker.
+
+    Uses the same :func:`~repro.core.scoring.weighted_gain_rows`
+    reduction as the in-process engine, over the same shared arrays —
+    the values are bit-identical to a serial sweep.
+    """
+    from repro.core.scoring import weighted_gain_rows
+
+    if _WORKER_MODEL is None:  # pragma: no cover - defensive
+        raise RuntimeError("process worker initialized without a model")
+    kernel = _WORKER_KERNELS.get(region_handle.name)
+    if kernel is None:
+        # New sweep: drop the old kernel closure first (it holds views
+        # over the previous sweep's segments), then the stale mappings
+        # themselves — never the model's own segments, which stay
+        # mapped for the pool's lifetime.
+        _WORKER_KERNELS.clear()
+        region_ids = attach_array(region_handle)
+        release_attachments(
+            keep=_MODEL_SEGMENTS
+            | {region_handle.name, weights_handle.name, best_handle.name}
+        )
+        kernel = _WORKER_MODEL.rows_kernel(region_ids)
+        _WORKER_KERNELS[region_handle.name] = kernel
+    weights = attach_array(weights_handle)
+    best = attach_array(best_handle)
+    sims = kernel(block)
+    return weighted_gain_rows(sims, best, weights, aggregation)
+
+
+class WorkerPool:
+    """Deterministic block-parallel executor for the selection stack.
+
+    Parameters
+    ----------
+    workers:
+        Worker count, ``0``/``None`` for serial, ``"auto"`` for the
+        host CPU count.
+    backend:
+        ``"serial"`` / ``"thread"`` / ``"process"`` / ``"auto"``; see
+        :func:`~repro.parallel.resolve_backend` for the fallback rules.
+    similarity:
+        The similarity model the pool will evaluate through — needed
+        to decide thread-safety and process-backend support, and to
+        export feature arrays for process workers.
+    metrics:
+        Optional :class:`~repro.metrics.MetricsRegistry`; the pool
+        counts ``parallel.sweeps`` / ``parallel.blocks`` /
+        ``parallel.tasks`` / ``parallel.fanouts``.
+    """
+
+    def __init__(
+        self,
+        workers: int | str | None = "auto",
+        backend: str = "auto",
+        similarity=None,
+        metrics=None,
+    ):
+        self.workers = resolve_workers(workers)
+        self.backend = resolve_backend(backend, self.workers, similarity)
+        self.similarity = similarity
+        self.metrics = metrics
+        self._threads: ThreadPoolExecutor | None = None
+        self._processes: ProcessPoolExecutor | None = None
+        self._model_pack: SharedArrayPack | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def concurrent(self) -> bool:
+        """Whether the pool actually runs anything off-thread."""
+        return self.backend != "serial" and self.workers > 0
+
+    def close(self) -> None:
+        """Shut down executors and release shared segments (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._threads is not None:
+            self._threads.shutdown(wait=True)
+            self._threads = None
+        if self._processes is not None:
+            self._processes.shutdown(wait=True)
+            self._processes = None
+        if self._model_pack is not None:
+            self._model_pack.close()
+            self._model_pack = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort safety net
+        try:
+            self.close()
+        except Exception:  # pragma: no cover
+            pass
+
+    def _incr(self, name: str, amount: float = 1.0) -> None:
+        if self.metrics is not None:
+            self.metrics.incr(name, amount)
+
+    def _thread_executor(self) -> ThreadPoolExecutor:
+        if self._threads is None:
+            self._threads = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-pool"
+            )
+        return self._threads
+
+    def _process_executor(self) -> ProcessPoolExecutor:
+        if self._processes is None:
+            from repro.parallel.modelspec import model_spec
+
+            spec = model_spec(self.similarity)
+            if spec is None:
+                raise RuntimeError(
+                    "process backend requires a similarity model with a "
+                    "process_spec()"
+                )
+            kind, params, arrays = spec
+            self._model_pack = SharedArrayPack(arrays)
+            self._processes = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_process_worker,
+                initargs=(kind, params, self._model_pack.handles),
+            )
+        return self._processes
+
+    # ------------------------------------------------------------------
+    # Execution surface
+    # ------------------------------------------------------------------
+
+    def gain_sweep(
+        self, state, blocks: Sequence[np.ndarray]
+    ) -> list[np.ndarray]:
+        """Evaluate marginal-gain blocks; results aligned with ``blocks``.
+
+        ``state`` is a :class:`~repro.core.scoring.MarginalGainState`.
+        Counter bookkeeping (gain evaluations, kernel rows/calls) is
+        applied here, once, after all blocks complete — identical
+        totals at any worker count.
+        """
+        blocks = [np.asarray(b, dtype=np.int64) for b in blocks]
+        self._incr("parallel.sweeps")
+        self._incr("parallel.blocks", len(blocks))
+        if not blocks:
+            return []
+        if self.backend == "process" and len(blocks) > 1:
+            results = self._gain_sweep_processes(state, blocks)
+        elif self.backend == "thread" and len(blocks) > 1:
+            state.batch_kernel()  # build once, outside the thread race
+            executor = self._thread_executor()
+            self._incr("parallel.tasks", len(blocks))
+            results = list(
+                executor.map(
+                    lambda block: state.batch_gains(block, count=False),
+                    blocks,
+                )
+            )
+        else:
+            results = [
+                state.batch_gains(block, count=False) for block in blocks
+            ]
+        state.note_batches(
+            rows=sum(len(b) for b in blocks), calls=len(blocks)
+        )
+        return results
+
+    def _gain_sweep_processes(
+        self, state, blocks: list[np.ndarray]
+    ) -> list[np.ndarray]:
+        executor = self._process_executor()
+        with SharedArrayPack(
+            {
+                "region_ids": state.region_ids,
+                "weights": state.weights,
+                "best": state.best_view(),
+            }
+        ) as sweep_pack:
+            handles = sweep_pack.handles
+            self._incr("parallel.tasks", len(blocks))
+            futures = [
+                executor.submit(
+                    _process_gain_block,
+                    handles["region_ids"],
+                    handles["weights"],
+                    handles["best"],
+                    state.aggregation,
+                    block,
+                )
+                for block in blocks
+            ]
+            # Collect in submission order — the deterministic merge.
+            return [future.result() for future in futures]
+
+    def run_all(
+        self, thunks: Sequence[Callable[[], Any]]
+    ) -> list[tuple[Any, Exception | None]]:
+        """Run thunks (concurrently when possible); ordered outcomes.
+
+        Returns one ``(result, exception)`` pair per thunk: exactly one
+        of the two is ``None``.  Used for the prefetcher's independent
+        navigation kinds and the benchmark harness fan-out; thunks must
+        not share mutable state unless they synchronize it themselves.
+        """
+        self._incr("parallel.fanouts")
+        if not self.concurrent or len(thunks) <= 1:
+            outcomes: list[tuple[Any, Exception | None]] = []
+            for thunk in thunks:
+                try:
+                    outcomes.append((thunk(), None))
+                except Exception as exc:
+                    outcomes.append((None, exc))
+            return outcomes
+        executor = self._thread_executor()
+        self._incr("parallel.tasks", len(thunks))
+        futures: list[Future] = [executor.submit(thunk) for thunk in thunks]
+        outcomes = []
+        for future in futures:
+            try:
+                outcomes.append((future.result(), None))
+            except Exception as exc:
+                outcomes.append((None, exc))
+        return outcomes
+
+    def map_ordered(
+        self, fn: Callable[[Any], Any], items: Sequence[Any]
+    ) -> list[Any]:
+        """Ordered map of ``fn`` over ``items`` (threads when possible)."""
+        if not self.concurrent or len(items) <= 1:
+            return [fn(item) for item in items]
+        executor = self._thread_executor()
+        self._incr("parallel.tasks", len(items))
+        return list(executor.map(fn, items))

@@ -1,0 +1,136 @@
+"""Zero-copy array sharing through ``multiprocessing.shared_memory``.
+
+The process backend must not pickle the dataset's coordinate, weight,
+or feature arrays into every task — a 600k-object sweep would ship
+megabytes per block.  Instead the parent exports each array once into a
+named shared-memory segment (:class:`SharedArrayPack`); tasks carry
+only the tiny :class:`SharedArrayHandle` descriptors, and workers map
+the segments read-only and cache the attachment for the sweep's
+lifetime.
+
+Ownership protocol: the parent that creates a pack must
+:meth:`~SharedArrayPack.close` it (which unlinks the segments) once no
+further tasks will reference it.  Workers attach with
+:func:`attach_array`; attached mappings stay valid after the parent
+unlinks (POSIX semantics), and the attach helper deregisters the
+segment from the worker's resource tracker so the tracker does not try
+to unlink it a second time at worker exit (CPython registers on attach
+as well as on create — bpo-39959).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SharedArrayHandle:
+    """Picklable descriptor of one shared array (name + layout)."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(
+            self.dtype
+        ).itemsize
+
+
+class SharedArrayPack:
+    """Parent-side bundle of arrays exported to shared memory.
+
+    ``pack = SharedArrayPack({"xs": xs, "ys": ys})`` copies each array
+    into its own segment; :attr:`handles` maps the same keys to
+    picklable :class:`SharedArrayHandle` descriptors for the workers.
+    """
+
+    def __init__(self, arrays: dict[str, np.ndarray]):
+        self._segments: list[shared_memory.SharedMemory] = []
+        self.handles: dict[str, SharedArrayHandle] = {}
+        try:
+            for key, array in arrays.items():
+                array = np.ascontiguousarray(array)
+                nbytes = max(1, array.nbytes)  # zero-size segments are invalid
+                segment = shared_memory.SharedMemory(create=True, size=nbytes)
+                self._segments.append(segment)
+                view = np.ndarray(
+                    array.shape, dtype=array.dtype, buffer=segment.buf
+                )
+                view[...] = array
+                self.handles[key] = SharedArrayHandle(
+                    name=segment.name,
+                    shape=tuple(array.shape),
+                    dtype=array.dtype.str,
+                )
+        except Exception:
+            self.close()
+            raise
+
+    def close(self) -> None:
+        """Unmap and unlink every segment (idempotent)."""
+        for segment in self._segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except FileNotFoundError:  # already unlinked
+                pass
+        self._segments = []
+
+    def __enter__(self) -> "SharedArrayPack":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort safety net
+        self.close()
+
+
+# Worker-side attachment cache: segment name -> (SharedMemory, ndarray).
+# Keeping the SharedMemory object referenced keeps the mapping alive.
+_ATTACHED: dict[str, tuple[shared_memory.SharedMemory, np.ndarray]] = {}
+
+
+def attach_array(handle: SharedArrayHandle) -> np.ndarray:
+    """Worker-side view of a shared array (cached per segment name)."""
+    cached = _ATTACHED.get(handle.name)
+    if cached is not None:
+        return cached[1]
+    # CPython's resource tracker registers attachments too (bpo-39959);
+    # under fork the tracker process is shared with the parent, so an
+    # attach-then-unregister would cancel the *parent's* registration.
+    # Suppress the registration instead: the parent owns the segment
+    # and its tracker entry, the worker only borrows the mapping.
+    orig_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        segment = shared_memory.SharedMemory(name=handle.name)
+    finally:
+        resource_tracker.register = orig_register
+    view = np.ndarray(
+        handle.shape, dtype=np.dtype(handle.dtype), buffer=segment.buf
+    )
+    _ATTACHED[handle.name] = (segment, view)
+    return view
+
+
+def release_attachments(keep: set[str] | None = None) -> None:
+    """Drop worker-side attachments not named in ``keep``.
+
+    Called when a new sweep context arrives so a long-lived worker does
+    not accumulate mappings for every sweep it ever served.
+    """
+    keep = keep or set()
+    for name in list(_ATTACHED):
+        if name in keep:
+            continue
+        segment, _view = _ATTACHED.pop(name)
+        try:
+            segment.close()
+        except Exception:  # pragma: no cover - best effort
+            pass

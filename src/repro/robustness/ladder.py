@@ -74,6 +74,8 @@ def select_with_ladder(
     epsilon: float = 0.05,
     delta: float = 0.1,
     metrics: MetricsRegistry | None = None,
+    batch_size: int | None = None,
+    pool=None,
 ) -> SelectionResult:
     """Serve one selection through the degradation ladder.
 
@@ -122,6 +124,8 @@ def select_with_ladder(
             budget=budget,
             fault_injector=fault_injector,
             metrics=metrics,
+            batch_size=batch_size,
+            pool=pool,
         )
     except InfeasibleSelection:
         raise
@@ -154,6 +158,8 @@ def select_with_ladder(
                 budget=budget,
                 fault_injector=fault_injector,
                 metrics=metrics,
+                batch_size=batch_size,
+                pool=pool,
             )
         except InfeasibleSelection:
             raise

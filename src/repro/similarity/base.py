@@ -23,6 +23,23 @@ class SimilarityModel(ABC):
     algorithms is built on those two calls.
     """
 
+    #: Whether concurrent calls into the model's kernels are safe.
+    #: Pure-function models are; stateful wrappers (the memoizing
+    #: :class:`~repro.cache.SimilarityCache`) override this to False
+    #: and the worker pool degrades to serial block execution.
+    thread_safe = True
+
+    #: Whether block evaluation beats per-row evaluation for this
+    #: model.  Kernels with real per-invocation overhead (scipy sparse
+    #: matmuls, Python-level set logic) gain several-fold from
+    #: batching; dense coordinate kernels whose scalar closures are
+    #: already one fully-vectorized cache-resident expression lose to
+    #: the (batch, population) block temporaries and override this to
+    #: False.  Only consulted when the caller leaves ``batch_size``
+    #: unset — an explicit batch size is always honored (results are
+    #: bit-identical either way; this is purely a speed default).
+    batch_friendly = True
+
     @abstractmethod
     def __len__(self) -> int:
         """Number of objects the model is defined over."""
@@ -55,6 +72,44 @@ class SimilarityModel(ABC):
             return self.sims_to(int(obj_id), ids)
 
         return kernel
+
+    def rows_kernel(self, ids: np.ndarray):
+        """A batched ``f(ids_block) -> (len(block), len(ids))`` closure.
+
+        The block counterpart of :meth:`row_kernel`: one invocation
+        evaluates a whole block of objects against the population, so
+        heap initialization pays one kernel call per block instead of
+        one per candidate.  Implementations must return rows that are
+        **bit-identical** to the scalar kernel's — the greedy engine's
+        determinism contract (CELF min-id tie-breaking) depends on it.
+        The default stacks scalar kernel rows, which is trivially
+        identical; vectorized overrides must preserve the elementwise
+        operation order of their scalar twin.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        row = self.row_kernel(ids)
+
+        def kernel(obj_ids: np.ndarray) -> np.ndarray:
+            obj_ids = np.asarray(obj_ids, dtype=np.int64)
+            out = np.empty((len(obj_ids), len(ids)), dtype=np.float64)
+            for b, obj in enumerate(obj_ids):
+                out[b] = row(int(obj))
+            return out
+
+        return kernel
+
+    def process_spec(self):
+        """Shared-memory reconstruction recipe, or ``None``.
+
+        Models that can be rebuilt inside a worker process from plain
+        numpy arrays return ``(kind, params, arrays)`` — ``kind`` a
+        registry key for :func:`repro.parallel.modelspec.build_model`,
+        ``params`` a small picklable dict, ``arrays`` named ndarrays
+        the parent exports to ``multiprocessing.shared_memory``.
+        ``None`` (the default) means the process backend is
+        unavailable for this model and the pool falls back to threads.
+        """
+        return None
 
     def weighted_sims_sum(
         self,
@@ -133,6 +188,20 @@ class MatrixSimilarity(SimilarityModel):
 
     def sims_to(self, i: int, ids: np.ndarray) -> np.ndarray:
         return self._matrix[i, np.asarray(ids, dtype=np.int64)]
+
+    def rows_kernel(self, ids: np.ndarray):
+        ids = np.asarray(ids, dtype=np.int64)
+
+        def kernel(obj_ids: np.ndarray) -> np.ndarray:
+            obj_ids = np.asarray(obj_ids, dtype=np.int64)
+            # Pure gather — the same stored values the scalar kernel
+            # reads, so bit-identity is structural.
+            return self._matrix[obj_ids[:, None], ids[None, :]]
+
+        return kernel
+
+    def process_spec(self):
+        return ("matrix", {}, {"matrix": self._matrix})
 
     def weighted_sims_sum(
         self,

@@ -45,6 +45,17 @@ class CombinedSimilarity(SimilarityModel):
     def __len__(self) -> int:
         return len(self.models[0])
 
+    @property
+    def batch_friendly(self) -> bool:
+        """Batch by default when any component gains from it.
+
+        A combined model pays every component's per-call overhead on
+        each scalar evaluation, so one batch-friendly component (e.g.
+        a sparse text kernel) makes blocks worthwhile for the whole
+        mix.
+        """
+        return any(m.batch_friendly for m in self.models)
+
     def sim(self, i: int, j: int) -> float:
         return float(
             sum(w * m.sim(i, j) for w, m in zip(self.weights, self.models))
@@ -68,6 +79,39 @@ class CombinedSimilarity(SimilarityModel):
             return out
 
         return kernel
+
+    def rows_kernel(self, ids: np.ndarray):
+        # Same multiply/accumulate order as row_kernel, over component
+        # blocks that are themselves bit-identical to their scalar
+        # kernels — so combined rows are too.
+        kernels = [m.rows_kernel(ids) for m in self.models]
+        weights = self.weights
+
+        def kernel(obj_ids: np.ndarray) -> np.ndarray:
+            out = weights[0] * kernels[0](obj_ids)
+            for w, k in zip(weights[1:], kernels[1:]):
+                out += w * k(obj_ids)
+            return out
+
+        return kernel
+
+    def process_spec(self):
+        children = []
+        arrays: dict[str, np.ndarray] = {}
+        for idx, model in enumerate(self.models):
+            spec = model.process_spec()
+            if spec is None:
+                return None  # every component must be reconstructible
+            kind, params, child_arrays = spec
+            keys = sorted(child_arrays)
+            children.append({"kind": kind, "params": params, "keys": keys})
+            for key in keys:
+                arrays[f"{idx}:{key}"] = child_arrays[key]
+        return (
+            "combined",
+            {"weights": list(self.weights), "children": children},
+            arrays,
+        )
 
     def weighted_sims_sum(
         self,

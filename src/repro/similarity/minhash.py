@@ -123,6 +123,40 @@ class MinHashSimilarity(SimilarityModel):
         sims[ids == i] = 1.0
         return sims
 
+    def rows_kernel(self, ids: np.ndarray):
+        """Block kernel over a pre-gathered signature sub-matrix.
+
+        Iterates the block row by row (a full ``block x ids x hashes``
+        boolean tensor would be hundreds of MB for real regions) but
+        amortizes the population gather — the expensive part of
+        ``sims_to`` — across the whole block.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        sigs_sub = self._signatures[ids]
+
+        def kernel(obj_ids: np.ndarray) -> np.ndarray:
+            obj_ids = np.asarray(obj_ids, dtype=np.int64)
+            out = np.empty((len(obj_ids), len(ids)), dtype=np.float64)
+            for b, obj in enumerate(obj_ids):
+                matches = sigs_sub == self._signatures[obj][None, :]
+                sims = matches.mean(axis=1)
+                sims[ids == obj] = 1.0
+                out[b] = sims
+            return out
+
+        return kernel
+
+    @classmethod
+    def from_signatures(cls, signatures: np.ndarray) -> "MinHashSimilarity":
+        """Wrap an existing signature matrix (the process-worker path)."""
+        model = cls.__new__(cls)
+        model._signatures = np.asarray(signatures, dtype=np.uint64)
+        model._n = len(model._signatures)
+        return model
+
+    def process_spec(self):
+        return ("minhash", {}, {"signatures": self._signatures})
+
     @property
     def signatures(self) -> np.ndarray:
         """The signature matrix (read-only use expected)."""

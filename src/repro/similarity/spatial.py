@@ -29,6 +29,11 @@ class EuclideanSimilarity(SimilarityModel):
     points have similarity 1.
     """
 
+    # The scalar row closure is already one vectorized hypot over
+    # cache-resident coordinate gathers; (batch, n) block temporaries
+    # only add memory traffic, so default batching stays off.
+    batch_friendly = False
+
     def __init__(self, xs: np.ndarray, ys: np.ndarray, d_max: float | None = None):
         self.xs = np.asarray(xs, dtype=np.float64)
         self.ys = np.asarray(ys, dtype=np.float64)
@@ -72,9 +77,34 @@ class EuclideanSimilarity(SimilarityModel):
 
         return kernel
 
+    def rows_kernel(self, ids: np.ndarray):
+        ids = np.asarray(ids, dtype=np.int64)
+        xs_sub = self.xs[ids]
+        ys_sub = self.ys[ids]
+
+        def kernel(obj_ids: np.ndarray) -> np.ndarray:
+            obj_ids = np.asarray(obj_ids, dtype=np.int64)
+            # Broadcast form of the scalar kernel: hypot / subtract /
+            # divide are elementwise, so every row is bit-identical to
+            # euclidean_many against the same coordinates.
+            dists = np.hypot(
+                xs_sub[None, :] - self.xs[obj_ids][:, None],
+                ys_sub[None, :] - self.ys[obj_ids][:, None],
+            )
+            return np.maximum(0.0, 1.0 - dists / self.d_max)
+
+        return kernel
+
+    def process_spec(self):
+        return ("euclidean", {"d_max": self.d_max}, {"xs": self.xs, "ys": self.ys})
+
 
 class GaussianSpatialSimilarity(SimilarityModel):
     """``sim(i, j) = exp(-dist(i, j)^2 / (2 sigma^2))``."""
+
+    # Same trade-off as EuclideanSimilarity: the scalar closure is one
+    # vectorized expression, so block batching only buys memory traffic.
+    batch_friendly = False
 
     def __init__(self, xs: np.ndarray, ys: np.ndarray, sigma: float):
         self.xs = np.asarray(xs, dtype=np.float64)
@@ -111,3 +141,19 @@ class GaussianSpatialSimilarity(SimilarityModel):
             return np.exp(-(dx * dx + dy * dy) * self._inv_two_sigma_sq)
 
         return kernel
+
+    def rows_kernel(self, ids: np.ndarray):
+        ids = np.asarray(ids, dtype=np.int64)
+        xs_sub = self.xs[ids]
+        ys_sub = self.ys[ids]
+
+        def kernel(obj_ids: np.ndarray) -> np.ndarray:
+            obj_ids = np.asarray(obj_ids, dtype=np.int64)
+            dx = xs_sub[None, :] - self.xs[obj_ids][:, None]
+            dy = ys_sub[None, :] - self.ys[obj_ids][:, None]
+            return np.exp(-(dx * dx + dy * dy) * self._inv_two_sigma_sq)
+
+        return kernel
+
+    def process_spec(self):
+        return ("gaussian", {"sigma": self.sigma}, {"xs": self.xs, "ys": self.ys})

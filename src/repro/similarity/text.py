@@ -224,6 +224,39 @@ class CosineTextSimilarity(SimilarityModel):
 
         return kernel
 
+    def rows_kernel(self, ids: np.ndarray):
+        """Block kernel: one sparse matmul per candidate block.
+
+        CSR matmul computes each output row from that input row alone,
+        so the block product's rows are bit-identical to the scalar
+        kernel's ``row @ sub_t`` results.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        sub_t = self._matrix[ids].T.tocsr()
+
+        def kernel(obj_ids: np.ndarray) -> np.ndarray:
+            obj_ids = np.asarray(obj_ids, dtype=np.int64)
+            sims = np.asarray(
+                (self._matrix[obj_ids] @ sub_t).todense(), dtype=np.float64
+            )
+            np.clip(sims, 0.0, 1.0, out=sims)
+            sims[obj_ids[:, None] == ids[None, :]] = 1.0
+            return sims
+
+        return kernel
+
+    def process_spec(self):
+        matrix = self._matrix
+        return (
+            "cosine_text",
+            {"shape": tuple(matrix.shape)},
+            {
+                "data": matrix.data,
+                "indices": matrix.indices,
+                "indptr": matrix.indptr,
+            },
+        )
+
     def weighted_sims_sum(
         self,
         target_ids: np.ndarray,
@@ -310,3 +343,48 @@ class JaccardSimilarity(SimilarityModel):
         sims = np.divide(inter, union, out=np.zeros_like(inter), where=union > 0)
         sims[ids == i] = 1.0
         return sims
+
+    def rows_kernel(self, ids: np.ndarray):
+        # Intersections are sums of exact 1.0s, so the block product is
+        # bit-identical to per-row products regardless of accumulation
+        # order; union/divide mirror sims_to elementwise.
+        ids = np.asarray(ids, dtype=np.int64)
+        sub_t = self._matrix[ids].T.tocsr()
+        sizes_sub = self._sizes[ids]
+
+        def kernel(obj_ids: np.ndarray) -> np.ndarray:
+            obj_ids = np.asarray(obj_ids, dtype=np.int64)
+            inter = np.asarray(
+                (self._matrix[obj_ids] @ sub_t).todense(), dtype=np.float64
+            )
+            union = sizes_sub[None, :] + self._sizes[obj_ids][:, None] - inter
+            sims = np.divide(
+                inter, union, out=np.zeros_like(inter), where=union > 0
+            )
+            sims[obj_ids[:, None] == ids[None, :]] = 1.0
+            return sims
+
+        return kernel
+
+    @classmethod
+    def _from_parts(
+        cls, matrix: sparse.csr_matrix, sizes: np.ndarray
+    ) -> "JaccardSimilarity":
+        """Rebuild from stored parts (the process-worker path)."""
+        model = cls.__new__(cls)
+        model._matrix = matrix
+        model._sizes = np.asarray(sizes, dtype=np.float64)
+        return model
+
+    def process_spec(self):
+        matrix = self._matrix
+        return (
+            "jaccard",
+            {"shape": tuple(matrix.shape)},
+            {
+                "data": matrix.data,
+                "indices": matrix.indices,
+                "indptr": matrix.indptr,
+                "sizes": self._sizes,
+            },
+        )

@@ -1,0 +1,479 @@
+"""Batched and parallel execution is bit-identical to the serial engine.
+
+The determinism contract of ``repro.parallel``: for any batch size and
+any worker count, the greedy returns the same selection, the same
+score bits, and the same counter totals as the scalar sequential
+engine.  These tests drive the contract across every similarity model,
+the memoizing cache, both aggregations, and all three pool backends.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro import GeoDataset, RegionQuery, WorkerPool, greedy_select
+from repro.cache import SimilarityCache
+from repro.core.problem import Aggregation
+from repro.core.scoring import MarginalGainState
+from repro.core.session import MapSession
+from repro.geo import BoundingBox
+from repro.parallel import (
+    DEFAULT_BATCH_SIZE,
+    SharedArrayPack,
+    iter_blocks,
+    resolve_backend,
+    resolve_workers,
+)
+from repro.parallel.config import effective_batch_size, resolve_batch_size
+from repro.parallel.modelspec import build_model, model_spec
+from repro.parallel.sharedmem import attach_array, release_attachments
+from repro.similarity import (
+    CombinedSimilarity,
+    CosineTextSimilarity,
+    EuclideanSimilarity,
+    GaussianSpatialSimilarity,
+    JaccardSimilarity,
+    MatrixSimilarity,
+    MinHashSimilarity,
+)
+
+
+def _make_dataset(seed: int, n: int = 400, similarity=None) -> GeoDataset:
+    gen = np.random.default_rng(seed)
+    return GeoDataset.build(
+        gen.random(n), gen.random(n), weights=gen.random(n),
+        similarity=similarity,
+    )
+
+
+def _query(k: int = 10) -> RegionQuery:
+    region = BoundingBox(0.1, 0.1, 0.9, 0.9)
+    return RegionQuery.with_theta_fraction(region, k=k, theta_fraction=0.01)
+
+
+# ----------------------------------------------------------------------
+# Config resolution
+# ----------------------------------------------------------------------
+
+
+class TestConfig:
+    def test_resolve_workers(self):
+        assert resolve_workers(None) == 0
+        assert resolve_workers(0) == 0
+        assert resolve_workers(3) == 3
+        assert resolve_workers("auto") >= 1
+        with pytest.raises(ValueError):
+            resolve_workers(-1)
+        with pytest.raises(ValueError):
+            resolve_workers("many")
+
+    def test_resolve_batch_size(self):
+        assert resolve_batch_size(None) == DEFAULT_BATCH_SIZE
+        assert resolve_batch_size(7) == 7
+        with pytest.raises(ValueError):
+            resolve_batch_size(0)
+
+    def test_resolve_backend_serial_when_no_workers(self):
+        assert resolve_backend("auto", 0) == "serial"
+        assert resolve_backend("process", 0) == "serial"
+
+    def test_resolve_backend_cache_degrades_to_serial(self):
+        cache = SimilarityCache(EuclideanSimilarity([0.0], [0.0]))
+        assert resolve_backend("thread", 4, cache) == "serial"
+        assert resolve_backend("auto", 4, cache) == "serial"
+
+    def test_resolve_backend_process_needs_spec(self):
+        class NoSpec:
+            thread_safe = True
+
+        assert resolve_backend("process", 4, NoSpec()) == "thread"
+        model = EuclideanSimilarity([0.0], [0.0])
+        assert resolve_backend("process", 4, model) == "process"
+
+    def test_resolve_backend_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            resolve_backend("gpu", 4)
+
+    def test_effective_batch_size_follows_batch_friendly(self):
+        gen = np.random.default_rng(0)
+        spatial = EuclideanSimilarity(gen.random(10), gen.random(10))
+        matrix = MatrixSimilarity.random(10, gen)
+        # Spatial kernels are scalar-optimal: default stays 1.
+        assert not spatial.batch_friendly
+        assert effective_batch_size(None, spatial) == 1
+        # ...unless explicitly asked, or a pool needs blocks to shard.
+        assert effective_batch_size(64, spatial) == 64
+        assert (
+            effective_batch_size(None, spatial, pool=object())
+            == DEFAULT_BATCH_SIZE
+        )
+        assert matrix.batch_friendly
+        assert effective_batch_size(None, matrix) == DEFAULT_BATCH_SIZE
+        # The cache and combined models follow their components.
+        assert not SimilarityCache(spatial).batch_friendly
+        assert CombinedSimilarity(
+            [spatial, matrix], [0.5, 0.5]
+        ).batch_friendly
+        assert not CombinedSimilarity(
+            [spatial, GaussianSpatialSimilarity(
+                gen.random(10), gen.random(10), sigma=0.1
+            )],
+            [0.5, 0.5],
+        ).batch_friendly
+
+    def test_iter_blocks_covers_in_order(self):
+        ids = np.arange(10, dtype=np.int64)
+        chunks = list(iter_blocks(ids, 4))
+        assert [off for off, _ in chunks] == [0, 4, 8]
+        assert np.array_equal(np.concatenate([b for _, b in chunks]), ids)
+        with pytest.raises(ValueError):
+            list(iter_blocks(ids, 0))
+
+
+# ----------------------------------------------------------------------
+# Shared-memory round trip
+# ----------------------------------------------------------------------
+
+
+class TestSharedMemory:
+    def test_pack_attach_roundtrip(self):
+        arrays = {
+            "a": np.arange(12, dtype=np.float64).reshape(3, 4),
+            "b": np.array([1, 2, 3], dtype=np.int64),
+            "empty": np.empty(0, dtype=np.float64),
+        }
+        with SharedArrayPack(arrays) as pack:
+            try:
+                for key, original in arrays.items():
+                    view = attach_array(pack.handles[key])
+                    assert view.shape == original.shape
+                    assert view.dtype == original.dtype
+                    assert np.array_equal(view, original)
+                # Attachments are cached per segment.
+                first = attach_array(pack.handles["a"])
+                assert attach_array(pack.handles["a"]) is first
+            finally:
+                release_attachments()
+
+    def test_release_keeps_named_segments(self):
+        with SharedArrayPack({"x": np.ones(4)}) as pack:
+            try:
+                handle = pack.handles["x"]
+                attach_array(handle)
+                release_attachments(keep={handle.name})
+                # Still attached: the cached view survives.
+                assert np.array_equal(attach_array(handle), np.ones(4))
+            finally:
+                release_attachments()
+
+    def test_close_is_idempotent(self):
+        pack = SharedArrayPack({"x": np.ones(2)})
+        pack.close()
+        pack.close()
+
+
+# ----------------------------------------------------------------------
+# Block kernels match scalar kernels, model by model
+# ----------------------------------------------------------------------
+
+
+def _models():
+    gen = np.random.default_rng(42)
+    n = 60
+    xs, ys = gen.random(n), gen.random(n)
+    texts = sparse.random(
+        n, 30, density=0.3, random_state=7, format="csr", dtype=np.float64
+    )
+    sets = [
+        set(gen.integers(0, 40, size=gen.integers(1, 10)).tolist())
+        for _ in range(n)
+    ]
+    return {
+        "euclidean": EuclideanSimilarity(xs, ys),
+        "gaussian": GaussianSpatialSimilarity(xs, ys, sigma=0.2),
+        "matrix": MatrixSimilarity.random(n, gen),
+        "cosine": CosineTextSimilarity(texts),
+        "jaccard": JaccardSimilarity(sets),
+        "minhash": MinHashSimilarity(sets, num_hashes=32, seed=5),
+        "combined": CombinedSimilarity(
+            [EuclideanSimilarity(xs, ys),
+             GaussianSpatialSimilarity(xs, ys, sigma=0.2)],
+            [0.3, 0.7],
+        ),
+    }
+
+
+@pytest.mark.parametrize("name", sorted(_models()))
+def test_rows_kernel_bit_identical_to_scalar(name):
+    model = _models()[name]
+    gen = np.random.default_rng(0)
+    ids = np.sort(gen.choice(len(model), size=25, replace=False))
+    block = np.sort(gen.choice(len(model), size=9, replace=False))
+    row = model.row_kernel(ids)
+    rows = model.rows_kernel(ids)
+    got = np.asarray(rows(block))
+    assert got.shape == (len(block), len(ids))
+    for b, obj in enumerate(block):
+        expected = row(int(obj))
+        assert np.array_equal(got[b], expected), (
+            f"{name} block row {b} (object {obj}) diverges from scalar"
+        )
+
+
+@pytest.mark.parametrize("name", sorted(_models()))
+def test_process_spec_rebuild_matches(name):
+    """A model rebuilt from its process_spec evaluates identically."""
+    model = _models()[name]
+    spec = model_spec(model)
+    assert spec is not None, f"{name} should support the process backend"
+    kind, params, arrays = spec
+    rebuilt = build_model(
+        kind, params, {k: np.asarray(v) for k, v in arrays.items()}
+    )
+    gen = np.random.default_rng(1)
+    ids = np.sort(gen.choice(len(model), size=20, replace=False))
+    block = np.sort(gen.choice(len(model), size=7, replace=False))
+    assert np.array_equal(
+        np.asarray(rebuilt.rows_kernel(ids)(block)),
+        np.asarray(model.rows_kernel(ids)(block)),
+    )
+
+
+def test_cache_rows_kernel_serves_hits_and_fills_misses():
+    model = EuclideanSimilarity(*np.random.default_rng(8).random((2, 50)))
+    cache = SimilarityCache(model)
+    ids = np.arange(50, dtype=np.int64)
+    rows = cache.rows_kernel(ids)
+    block = np.array([3, 7, 11], dtype=np.int64)
+    first = rows(block)
+    assert cache.counters()["misses"] == 3
+    again = rows(block)
+    assert cache.counters()["hits"] == 3
+    assert np.array_equal(first, again)
+    reference = model.rows_kernel(ids)(block)
+    assert np.array_equal(first, reference)
+
+
+# ----------------------------------------------------------------------
+# Gain state: batching and the SUM memo
+# ----------------------------------------------------------------------
+
+
+class TestGainState:
+    def test_batch_gains_match_scalar(self):
+        dataset = _make_dataset(1)
+        ids = np.arange(len(dataset), dtype=np.int64)
+        for agg in (Aggregation.MAX, Aggregation.SUM):
+            scalar = MarginalGainState(dataset, ids, agg)
+            batched = MarginalGainState(dataset, ids, agg)
+            block = np.arange(0, 64, dtype=np.int64)
+            expected = np.array([scalar.gain(int(o)) for o in block])
+            got = batched.batch_gains(block)
+            assert np.array_equal(got, expected)
+            assert batched.gain_evaluations == scalar.gain_evaluations
+            assert batched.kernel_rows == scalar.kernel_rows
+            assert batched.kernel_calls == 1
+
+    def test_sum_gains_memoized(self):
+        dataset = _make_dataset(2, n=100)
+        ids = np.arange(100, dtype=np.int64)
+        state = MarginalGainState(dataset, ids, Aggregation.SUM)
+        first = state.gain(5)
+        rows_after_first = state.kernel_rows
+        assert state.gain(5) == first  # repeated pop: memo hit
+        assert state.kernel_rows == rows_after_first
+        assert state.gain_evaluations == 2
+        # batch_gains populates the memo too.
+        state.batch_gains(np.array([8, 9], dtype=np.int64))
+        rows_after_batch = state.kernel_rows
+        state.gain(8)
+        assert state.kernel_rows == rows_after_batch
+
+    def test_max_gains_not_memoized(self):
+        dataset = _make_dataset(3, n=100)
+        ids = np.arange(100, dtype=np.int64)
+        state = MarginalGainState(dataset, ids, Aggregation.MAX)
+        state.gain(5)
+        state.gain(5)
+        assert state.kernel_rows == 2
+
+
+# ----------------------------------------------------------------------
+# Batched conflict suppression
+# ----------------------------------------------------------------------
+
+
+class TestConflictsWithMany:
+    def test_matches_per_object_union(self):
+        dataset = _make_dataset(4, n=300)
+        gen = np.random.default_rng(9)
+        sources = np.sort(gen.choice(300, size=12, replace=False))
+        for theta in (0.0, 0.02, 0.1):
+            batched = dataset.conflicts_with_many(sources, theta)
+            union = np.unique(
+                np.concatenate(
+                    [dataset.conflicts_with(int(s), theta) for s in sources]
+                )
+            ) if theta > 0.0 else np.empty(0, dtype=np.int64)
+            assert np.array_equal(batched, union)
+
+    def test_empty_sources(self):
+        dataset = _make_dataset(5, n=50)
+        out = dataset.conflicts_with_many(np.empty(0, dtype=np.int64), 0.1)
+        assert len(out) == 0
+
+
+# ----------------------------------------------------------------------
+# The property: selections are bit-identical across the whole grid
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [11, 12, 13])
+@pytest.mark.parametrize("aggregation", [Aggregation.MAX, Aggregation.SUM])
+def test_selection_identical_across_workers_and_batches(seed, aggregation):
+    dataset = _make_dataset(seed)
+    query = _query()
+    reference = greedy_select(
+        dataset, query, aggregation=aggregation, batch_size=1
+    )
+    for workers, batch_size, use_cache in [
+        (0, 7, False),
+        (0, None, True),
+        (1, 32, False),
+        (4, 16, False),
+        (4, 32, True),
+    ]:
+        ds = dataset
+        if use_cache:
+            ds = dataclasses.replace(
+                dataset, similarity=SimilarityCache(dataset.similarity)
+            )
+        pool = None
+        if workers:
+            pool = WorkerPool(
+                workers, backend="thread", similarity=ds.similarity
+            )
+        try:
+            result = greedy_select(
+                ds, query, aggregation=aggregation,
+                batch_size=batch_size, pool=pool,
+            )
+        finally:
+            if pool is not None:
+                pool.close()
+        label = f"workers={workers} batch={batch_size} cache={use_cache}"
+        assert np.array_equal(result.selected, reference.selected), label
+        assert result.score == reference.score, label
+        assert (
+            result.stats["gain_evaluations"]
+            == reference.stats["gain_evaluations"]
+        ), label
+
+
+def test_selection_identical_with_process_backend():
+    dataset = _make_dataset(21, n=250)
+    query = _query(k=6)
+    reference = greedy_select(dataset, query, batch_size=1)
+    with WorkerPool(
+        2, backend="process", similarity=dataset.similarity
+    ) as pool:
+        assert pool.backend == "process"
+        result = greedy_select(dataset, query, batch_size=32, pool=pool)
+        # Same pool again: workers reuse their cached model.
+        repeat = greedy_select(dataset, query, batch_size=32, pool=pool)
+    assert np.array_equal(result.selected, reference.selected)
+    assert result.score == reference.score
+    assert np.array_equal(repeat.selected, reference.selected)
+
+
+def test_stats_record_pool_and_batching():
+    dataset = _make_dataset(31)
+    query = _query()
+    with WorkerPool(
+        2, backend="thread", similarity=dataset.similarity
+    ) as pool:
+        result = greedy_select(dataset, query, batch_size=16, pool=pool)
+    assert result.stats["batch_size"] == 16
+    assert result.stats["pool_workers"] == 2
+    assert result.stats["pool_backend"] == "thread"
+    assert result.stats["kernel_calls"] < result.stats["gain_evaluations"]
+    scalar = greedy_select(dataset, query, batch_size=1)
+    assert scalar.stats["kernel_calls"] == scalar.stats["kernel_rows"]
+
+
+# ----------------------------------------------------------------------
+# Pool fan-out surface
+# ----------------------------------------------------------------------
+
+
+class TestWorkerPool:
+    def test_run_all_ordered_with_errors(self):
+        def boom():
+            raise RuntimeError("nope")
+
+        with WorkerPool(2, backend="thread") as pool:
+            outcomes = pool.run_all([lambda: 1, boom, lambda: 3])
+        assert outcomes[0] == (1, None)
+        assert outcomes[1][0] is None
+        assert isinstance(outcomes[1][1], RuntimeError)
+        assert outcomes[2] == (3, None)
+
+    def test_run_all_serial_fallback(self):
+        with WorkerPool(0) as pool:
+            assert not pool.concurrent
+            outcomes = pool.run_all([lambda: "a", lambda: "b"])
+        assert [r for r, _ in outcomes] == ["a", "b"]
+
+    def test_map_ordered(self):
+        with WorkerPool(3, backend="thread") as pool:
+            assert pool.map_ordered(lambda v: v * v, range(10)) == [
+                v * v for v in range(10)
+            ]
+
+    def test_close_idempotent_and_usable_serial(self):
+        pool = WorkerPool(2, backend="thread")
+        pool.close()
+        pool.close()
+
+
+# ----------------------------------------------------------------------
+# Session-level equivalence
+# ----------------------------------------------------------------------
+
+
+def test_session_parallel_trace_identical():
+    dataset = _make_dataset(41, n=800)
+    region = BoundingBox(0.1, 0.1, 0.8, 0.8)
+
+    def run(**kwargs):
+        with MapSession(dataset, k=12, prefetch=True, **kwargs) as session:
+            steps = [session.start(region)]
+            steps.append(session.zoom_in(0.6))
+            steps.append(session.pan(0.05, 0.0))
+            steps.append(session.zoom_out(1.5))
+        return (
+            [s.result.selected.tolist() for s in steps],
+            [s.result.score for s in steps],
+        )
+
+    base = run()
+    parallel = run(workers=4, batch_size=32)
+    assert parallel == base
+    cached = run(
+        workers=4, batch_size=32,
+        similarity_cache=True, equivalence_check=True,
+    )
+    assert cached == base
+
+
+def test_session_concurrent_prefetch_populates_all_kinds():
+    dataset = _make_dataset(43, n=500)
+    with MapSession(dataset, k=8, prefetch=True, workers=2) as session:
+        session.start(BoundingBox(0.2, 0.2, 0.7, 0.7))
+        assert set(session._prefetch_data) == {"zoom_in", "zoom_out", "pan"}
+        assert session.prefetch_errors == {}
+        assert session.metrics.count("parallel.fanouts") >= 1
