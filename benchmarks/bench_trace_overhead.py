@@ -1,0 +1,200 @@
+"""Tracing overhead gate on the interactive hot path.
+
+The tracer ships compiled into the selection hot path; this benchmark
+holds it to its contract on a fixed-seed explore workload:
+
+* **no-op budget** — the default :data:`NULL_TRACER` must cost <= 2%
+  of a navigation step.  The no-op's per-callsite cost is measured
+  directly (a tight loop over ``span()``/``record()``/``event()``) and
+  multiplied by the *actual* span-site count of a traced step, so the
+  gate holds regardless of how the workload is parallelized.
+* **active budget** — a recording :class:`Tracer` must stay within 8%
+  of the default-tracer wall time over the whole workload.
+* **bit-identity** — traced selections equal untraced ones, step by
+  step.
+
+Writes ``benchmarks/results/BENCH_trace.json`` for the CI artifact,
+plus a sample Chrome-trace export validated by the schema gate.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+
+import numpy as np
+import pytest
+
+from common import RESULTS_DIR, report_table, uk
+from repro import MapSession, Tracer
+from repro.trace import NULL_TRACER, validate_chrome_trace_file
+from repro.trace.export import write_chrome_trace
+
+pytestmark = pytest.mark.bench
+
+ROUNDS = 7
+WARMUP = 2
+NULL_OVERHEAD_LIMIT = 0.02
+ACTIVE_OVERHEAD_LIMIT = 0.08
+K = 100
+SEED = 2018
+REGION_FRACTION = 0.02
+PAN_STEPS = ((0.004, 0.0), (0.0, 0.004), (-0.004, 0.002))
+ZOOM_SCALES = (0.8, 0.85)
+
+
+def _start_region(dataset):
+    from repro.datasets import random_region_queries
+
+    (query,) = random_region_queries(
+        dataset, 1,
+        region_fraction=REGION_FRACTION,
+        k=K,
+        rng=np.random.default_rng(SEED),
+        min_population=1000,
+    )
+    return query.region
+
+
+def _replay(dataset, region, tracer=None):
+    session = MapSession(dataset, k=K, prefetch=True, tracer=tracer)
+    steps = [session.start(region)]
+    for scale in ZOOM_SCALES:
+        steps.append(session.zoom_in(scale))
+    for dx, dy in PAN_STEPS:
+        steps.append(session.pan(dx, dy))
+    session.close()
+    return steps
+
+
+def _best_time(fn, rounds=ROUNDS, warmup=WARMUP):
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - started)
+    return min(samples), statistics.median(samples)
+
+
+def _null_callsite_cost_s(iterations: int = 200_000) -> float:
+    """Seconds per no-op span callsite (enter + exit + annotate)."""
+    tracer = NULL_TRACER
+    for _ in range(1000):  # warm the bytecode path
+        with tracer.span("warm") as span:
+            span.annotate(x=1)
+    started = time.perf_counter()
+    for _ in range(iterations):
+        with tracer.span("site", arg=1) as span:
+            span.annotate(x=1)
+    return (time.perf_counter() - started) / iterations
+
+
+def test_trace_overhead():
+    dataset = uk()
+    region = _start_region(dataset)
+
+    # --- bit-identity: traced == untraced, step by step -------------
+    plain_steps = _replay(dataset, region)
+    traced_steps = _replay(dataset, region, tracer=Tracer())
+    assert len(plain_steps) == len(traced_steps)
+    for p, t in zip(plain_steps, traced_steps):
+        assert p.result.selected.tolist() == t.result.selected.tolist(), (
+            f"traced {t.operation} selection diverged"
+        )
+        assert p.result.score == t.result.score
+
+    # --- no-op budget: primitive cost x measured span sites ---------
+    sites_per_step = statistics.fmean(
+        sum(1 for _ in step.span.walk()) for step in traced_steps
+    )
+    step_seconds = statistics.fmean(s.elapsed_s for s in plain_steps)
+    null_cost = _null_callsite_cost_s()
+    null_fraction = (null_cost * sites_per_step) / step_seconds
+
+    # --- active budget: recording tracer vs default -----------------
+    default_best, default_median = _best_time(
+        lambda: _replay(dataset, region)
+    )
+
+    def traced_run():
+        _replay(dataset, region, tracer=Tracer())
+
+    active_best, active_median = _best_time(traced_run)
+    active_overhead = active_best / default_best - 1.0
+
+    # --- sample export, validated by the schema gate ----------------
+    tracer = Tracer()
+    _replay(dataset, region, tracer=tracer)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    sample = RESULTS_DIR / "trace_sample.json"
+    write_chrome_trace(tracer, sample)
+    stats = validate_chrome_trace_file(sample)
+
+    payload = {
+        "workload": {
+            "dataset": "uk",
+            "objects": len(dataset),
+            "k": K,
+            "seed": SEED,
+            "steps": len(plain_steps),
+            "region_fraction": REGION_FRACTION,
+        },
+        "null_tracer": {
+            "cost_per_site_ns": null_cost * 1e9,
+            "span_sites_per_step": sites_per_step,
+            "fraction_of_step": null_fraction,
+            "limit": NULL_OVERHEAD_LIMIT,
+        },
+        "active_tracer": {
+            "default_best_s": default_best,
+            "default_median_s": default_median,
+            "traced_best_s": active_best,
+            "traced_median_s": active_median,
+            "overhead": active_overhead,
+            "limit": ACTIVE_OVERHEAD_LIMIT,
+        },
+        "sample_trace": {"path": sample.name, **stats},
+        "bit_identical": True,
+    }
+    out = RESULTS_DIR / "BENCH_trace.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    report_table(
+        "trace_overhead",
+        ["measure", "value", "limit"],
+        [
+            [
+                "null span cost",
+                f"{null_cost * 1e9:.0f} ns/site",
+                "",
+            ],
+            [
+                "null fraction of step",
+                f"{null_fraction:.3%}",
+                f"{NULL_OVERHEAD_LIMIT:.0%}",
+            ],
+            [
+                "active overhead",
+                f"{active_overhead:+.2%}",
+                f"{ACTIVE_OVERHEAD_LIMIT:.0%}",
+            ],
+            [
+                "spans per step",
+                f"{sites_per_step:.1f}",
+                "",
+            ],
+        ],
+        title="Tracer overhead on the explore hot path",
+    )
+
+    assert null_fraction < NULL_OVERHEAD_LIMIT, (
+        f"no-op tracer costs {null_fraction:.2%} of a navigation step "
+        f"(limit {NULL_OVERHEAD_LIMIT:.0%}); see {out}"
+    )
+    assert active_overhead < ACTIVE_OVERHEAD_LIMIT, (
+        f"active tracer adds {active_overhead:.2%} wall time "
+        f"(limit {ACTIVE_OVERHEAD_LIMIT:.0%}); see {out}"
+    )

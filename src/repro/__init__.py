@@ -77,6 +77,15 @@ from repro.robustness import (
     Tier,
     select_with_ladder,
 )
+from repro.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    chrome_trace,
+    format_span_tree,
+    write_chrome_trace,
+)
 
 __version__ = "1.0.0"
 
@@ -96,8 +105,10 @@ __all__ = [
     "IsosQuery",
     "MapSession",
     "MetricsRegistry",
+    "NULL_TRACER",
     "NavigationPredictor",
     "NavigationStep",
+    "NullTracer",
     "Point",
     "PrefetchData",
     "PrefetchUnavailable",
@@ -107,12 +118,16 @@ __all__ = [
     "SelectionCache",
     "SelectionResult",
     "SimilarityCache",
+    "Span",
     "StreamingSelector",
     "Tier",
+    "Tracer",
     "WorkerPool",
     "__version__",
     "assign_representatives",
+    "chrome_trace",
     "exact_select",
+    "format_span_tree",
     "greedy_select",
     "hoeffding_sample_size",
     "isos_select",
@@ -125,4 +140,5 @@ __all__ = [
     "serfling_sample_size",
     "similarity_to_set",
     "theta_fraction_for_screen",
+    "write_chrome_trace",
 ]

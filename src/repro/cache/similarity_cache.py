@@ -43,6 +43,7 @@ import numpy as np
 
 from repro.metrics import MetricsRegistry
 from repro.similarity.base import SimilarityModel
+from repro.trace.tracer import NULL_TRACER
 
 DEFAULT_MAX_ENTRIES = 4_000_000  # cached floats across rows (~32 MB)
 DEFAULT_MAX_SCALARS = 65_536
@@ -68,6 +69,11 @@ class SimilarityCache(SimilarityModel):
         ``row_hits``, ``row_partial_hits``, ``row_misses``,
         ``scalar_hits``, ``scalar_misses``, ``row_evictions``,
         ``invalidations``.
+    tracer:
+        Optional :class:`~repro.trace.Tracer`; block-kernel misses
+        that fall through to the base model are wrapped in a
+        ``cache.fill`` span (per block, not per row, so the trace
+        stays bounded).
     """
 
     #: LRU bookkeeping mutates on every read; the worker pool degrades
@@ -85,6 +91,7 @@ class SimilarityCache(SimilarityModel):
         max_entries: int = DEFAULT_MAX_ENTRIES,
         max_scalars: int = DEFAULT_MAX_SCALARS,
         metrics: MetricsRegistry | None = None,
+        tracer=None,
     ):
         if max_entries < 0:
             raise ValueError(f"max_entries must be >= 0, got {max_entries}")
@@ -94,6 +101,7 @@ class SimilarityCache(SimilarityModel):
         self.max_entries = max_entries
         self.max_scalars = max_scalars
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.generation = 0
         # id -> (sorted ids, values aligned with them)
         self._rows: OrderedDict[int, tuple[np.ndarray, np.ndarray]] = (
@@ -234,9 +242,12 @@ class SimilarityCache(SimilarityModel):
                     miss_rows.append(b)
             if miss_rows:
                 missing = obj_ids[miss_rows]
-                values = np.asarray(
-                    base_rows(missing), dtype=np.float64
-                )
+                with self.tracer.span(
+                    "cache.fill", rows=len(miss_rows), width=n
+                ):
+                    values = np.asarray(
+                        base_rows(missing), dtype=np.float64
+                    )
                 self.metrics.incr("sim.row_misses", len(miss_rows))
                 self.metrics.incr(
                     "sim.pairs_evaluated", n * len(miss_rows)

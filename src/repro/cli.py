@@ -32,6 +32,7 @@ from repro import (
 )
 from repro.parallel import WorkerPool
 from repro.robustness.faults import STANDARD_POINTS
+from repro.trace import Tracer, format_span_tree, write_chrome_trace
 from repro.datasets import (
     load_jsonl,
     random_navigation_trace,
@@ -201,6 +202,10 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         injector = FaultInjector(seed=args.seed)
         for point, probability in args.fault:
             injector.arm(point, probability=probability)
+    metrics = MetricsRegistry()
+    tracer = None
+    if args.trace or args.trace_summary:
+        tracer = Tracer(metrics=metrics)
     session = MapSession(
         dataset,
         k=args.k,
@@ -211,8 +216,10 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         fault_injector=injector,
         similarity_cache=args.cache,
         warm_start=not args.no_warm_start,
+        metrics=metrics,
         workers=args.workers,
         batch_size=args.batch_size,
+        tracer=tracer,
     )
     for step in trace.replay(session):
         flags = " [prefetched]" if step.used_prefetch else ""
@@ -227,7 +234,14 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             f"score={step.result.score:.4f}  "
             f"{step.elapsed_s * 1000:8.1f} ms{flags}"
         )
+        if args.trace_summary and step.span is not None:
+            print(format_span_tree(step.span))
     session.close()
+    if args.trace:
+        write_chrome_trace(tracer, args.trace)
+        spans = sum(1 for root in tracer.roots for _ in root.walk())
+        print(f"trace: {spans} spans over {len(tracer.roots)} trees "
+              f"written to {args.trace}")
     if args.metrics:
         print(session.metrics.format())
     return 0
@@ -307,6 +321,12 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--batch-size", type=_parse_batch_size, default=None,
                      help="candidate block size for batched gain "
                           "evaluation (default 256, 1 = scalar)")
+    exp.add_argument("--trace", default=None, metavar="PATH",
+                     help="record a hierarchical span trace and write "
+                          "it here as Chrome-trace JSON (open in "
+                          "chrome://tracing or Perfetto)")
+    exp.add_argument("--trace-summary", action="store_true",
+                     help="print an ASCII span tree under every step")
     exp.add_argument("--metrics", action="store_true",
                      help="print the counter/timer registry afterwards")
     exp.set_defaults(func=_cmd_explore)

@@ -34,6 +34,7 @@ from repro.robustness.faults import (
     SIMILARITY_EVAL,
     FaultInjector,
 )
+from repro.trace.tracer import NULL_TRACER
 
 
 def greedy_select(
@@ -48,6 +49,7 @@ def greedy_select(
     metrics: MetricsRegistry | None = None,
     batch_size: int | None = None,
     pool=None,
+    tracer=None,
 ) -> SelectionResult:
     """Solve an SOS query with the greedy algorithm (Algorithm 1).
 
@@ -106,6 +108,7 @@ def greedy_select(
         metrics=metrics,
         batch_size=batch_size,
         pool=pool,
+        tracer=tracer,
     )
 
 
@@ -126,6 +129,7 @@ def greedy_core(
     metrics: MetricsRegistry | None = None,
     batch_size: int | None = None,
     pool=None,
+    tracer=None,
 ) -> SelectionResult:
     """Shared greedy engine for SOS, ISOS and the prefetch path.
 
@@ -208,7 +212,14 @@ def greedy_core(
         batched init sweep across workers.  The pool merges block
         results by block offset, so selections are also independent of
         worker count and backend.
+    tracer:
+        Optional :class:`~repro.trace.Tracer`; the engine records a
+        ``greedy.init`` span around heap initialization and a
+        ``greedy.loop`` span around the lazy-forward iterations, each
+        annotated with the engine's counters.  Tracing never perturbs
+        the selection — traced and untraced runs are bit-identical.
     """
+    tracer = tracer if tracer is not None else NULL_TRACER
     started = time.perf_counter()
     region_ids = np.asarray(region_ids, dtype=np.int64)
     candidate_ids = np.asarray(candidate_ids, dtype=np.int64)
@@ -358,7 +369,16 @@ def greedy_core(
     else:
         raise ValueError(f"init_mode must be 'exact' or 'bulk', got {init_mode!r}")
 
-    init_elapsed = time.perf_counter() - init_started
+    init_ended = time.perf_counter()
+    init_elapsed = init_ended - init_started
+    tracer.record(
+        "greedy.init",
+        init_started,
+        init_ended,
+        mode="bounds" if initial_bounds is not None else init_mode,
+        candidates=int(len(candidate_ids)),
+        heap_pushes=int(heap.pushes),
+    )
 
     iteration = 0
     budget_reason: str | None = None
@@ -384,6 +404,15 @@ def greedy_core(
         budget_reason = budget.exhausted_reason
 
     elapsed = time.perf_counter() - started
+    tracer.record(
+        "greedy.loop",
+        init_ended,
+        started + elapsed,
+        iterations=iteration,
+        heap_pops=int(heap.pops),
+        gain_evaluations=int(state.gain_evaluations),
+        budget_exhausted=budget_reason,
+    )
     selected_arr = np.asarray(selected, dtype=np.int64)
     stats = {
         "gain_evaluations": state.gain_evaluations,

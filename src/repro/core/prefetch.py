@@ -44,7 +44,9 @@ import numpy as np
 from repro.core.dataset import GeoDataset
 from repro.geo.bbox import BoundingBox
 from repro.geo.point import Point
+from repro.robustness.errors import PrefetchUnavailable
 from repro.robustness.faults import PREFETCH_COMPUTE, FaultInjector
+from repro.trace.tracer import NULL_TRACER
 
 
 @dataclass
@@ -70,8 +72,16 @@ class PrefetchData:
         self._pos = {int(i): row for row, i in enumerate(self.ids)}
 
     def covers(self, candidate_ids: np.ndarray) -> bool:
-        """Whether every candidate has a precomputed bound."""
-        return all(int(i) in self._pos for i in candidate_ids)
+        """Whether every candidate has a precomputed bound.
+
+        One vectorized membership sweep (``np.isin``) — this runs on
+        the response path for every prefetch-served operation, so the
+        per-id Python loop it replaces was pure overhead.
+        """
+        candidate_ids = np.asarray(candidate_ids, dtype=np.int64)
+        if len(candidate_ids) == 0:
+            return True
+        return bool(np.isin(candidate_ids, self.ids).all())
 
     def is_stale(self, current_region: BoundingBox) -> bool:
         """Whether the bounds were computed from a different viewport.
@@ -90,14 +100,26 @@ class PrefetchData:
 
         ``population_size`` is ``|On|``, the number of objects in the
         realized new region (the score's normalizer).
+
+        Raises :class:`~repro.robustness.PrefetchUnavailable` when a
+        candidate has no precomputed bound (a coverage race, e.g.
+        after a dataset swap) so the session's documented cold-serve
+        fallback engages instead of a bare ``KeyError`` escaping the
+        response path.
         """
         if population_size <= 0:
             raise ValueError("population_size must be positive")
-        rows = np.fromiter(
-            (self._pos[int(i)] for i in candidate_ids),
-            dtype=np.int64,
-            count=len(candidate_ids),
-        )
+        try:
+            rows = np.fromiter(
+                (self._pos[int(i)] for i in candidate_ids),
+                dtype=np.int64,
+                count=len(candidate_ids),
+            )
+        except KeyError as exc:
+            raise PrefetchUnavailable(
+                f"prefetch data ({self.kind!r}) has no bound for "
+                f"candidate {exc.args[0]!r}"
+            ) from None
         return self.raw_sums[rows] / float(population_size)
 
 
@@ -109,15 +131,21 @@ class Prefetcher:
     fault-injection harness uses to prove prefetch failures stay off
     the response path (:class:`~repro.core.session.MapSession` wraps
     these calls in a circuit breaker and serves operations cold).
+
+    ``tracer``, when given, wraps every sweep in a
+    ``prefetch.<kind>`` span annotated with the covered object count
+    (see ``docs/OBSERVABILITY.md``).
     """
 
     def __init__(
         self,
         dataset: GeoDataset,
         fault_injector: FaultInjector | None = None,
+        tracer=None,
     ):
         self.dataset = dataset
         self.fault_injector = fault_injector
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def _check(self) -> None:
         if self.fault_injector is not None:
@@ -133,10 +161,12 @@ class Prefetcher:
         Any zoomed-in viewport lies inside the current one, so the
         superset population is simply the current region's objects.
         """
-        self._check()
-        started = time.perf_counter()
-        ids = self.dataset.objects_in(region)
-        raw = self._raw_sums(ids)
+        with self.tracer.span("prefetch.zoom_in") as span:
+            self._check()
+            started = time.perf_counter()
+            ids = self.dataset.objects_in(region)
+            raw = self._raw_sums(ids)
+            span.annotate(objects=len(ids))
         return PrefetchData(
             kind="zoom_in",
             source_region=region,
@@ -153,11 +183,13 @@ class Prefetcher:
         Zoom-out keeps the center, so the union of possible viewports
         is the largest one; objects beyond ``max_scale`` cannot appear.
         """
-        self._check()
-        started = time.perf_counter()
-        area = region.zoom_out_union(max_scale)
-        ids = self.dataset.objects_in(area)
-        raw = self._raw_sums(ids)
+        with self.tracer.span("prefetch.zoom_out") as span:
+            self._check()
+            started = time.perf_counter()
+            area = region.zoom_out_union(max_scale)
+            ids = self.dataset.objects_in(area)
+            raw = self._raw_sums(ids)
+            span.annotate(objects=len(ids))
         return PrefetchData(
             kind="zoom_out",
             source_region=region,
@@ -179,10 +211,17 @@ class Prefetcher:
         centered on ``v`` — slower to precompute, tighter at query
         time.
         """
+        with self.tracer.span("prefetch.pan", tight=tight) as span:
+            return self._prefetch_pan(region, tight, span)
+
+    def _prefetch_pan(
+        self, region: BoundingBox, tight: bool, span
+    ) -> PrefetchData:
         self._check()
         started = time.perf_counter()
         area = region.pan_union()
         ids = self.dataset.objects_in(area)
+        span.annotate(objects=len(ids))
         if not tight:
             raw = self._raw_sums(ids)
         else:

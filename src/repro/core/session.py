@@ -65,6 +65,7 @@ from repro.robustness.errors import (
 )
 from repro.robustness.faults import INDEX_QUERY, FaultInjector
 from repro.robustness.ladder import select_with_ladder
+from repro.trace.tracer import NULL_TRACER, Span
 
 DEFAULT_THETA_FRACTION = 0.003
 
@@ -111,6 +112,9 @@ class NavigationStep:
     warm_started: bool = False
     cache_hits: int = 0
     cache_misses: int = 0
+    # Root trace span covering this step's timed selection (None when
+    # the session runs with the default no-op tracer).
+    span: Span | None = None
 
     @property
     def visible(self) -> np.ndarray:
@@ -228,6 +232,7 @@ class MapSession:
         workers: int | str | None = None,
         batch_size: int | None = None,
         parallel_backend: str = "auto",
+        tracer=None,
     ):
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
@@ -238,13 +243,17 @@ class MapSession:
         if deadline_s is not None and deadline_s <= 0:
             raise ValueError(f"deadline_s must be positive, got {deadline_s}")
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # The tracer threads through every downstream component (pool,
+        # prefetcher, ladder, greedy) so one navigation yields one span
+        # tree; the shared no-op default keeps the hot path unchanged.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         # Optionally interpose the similarity cache: the session's
         # dataset handle is rebuilt around the wrapper so every code
         # path (greedy, prefetch, scoring) reads through it.
         self.similarity_cache: SimilarityCache | None = None
         if similarity_cache is True:
             self.similarity_cache = SimilarityCache(
-                dataset.similarity, metrics=self.metrics
+                dataset.similarity, metrics=self.metrics, tracer=self.tracer
             )
         elif isinstance(similarity_cache, SimilarityCache):
             self.similarity_cache = similarity_cache
@@ -293,9 +302,12 @@ class MapSession:
                 parallel_backend,
                 similarity=dataset.similarity,
                 metrics=self.metrics,
+                tracer=self.tracer,
             )
 
-        self._prefetcher = Prefetcher(dataset, fault_injector=fault_injector)
+        self._prefetcher = Prefetcher(
+            dataset, fault_injector=fault_injector, tracer=self.tracer
+        )
         self._prefetch_data: dict[str, PrefetchData] = {}
         self._prefetch_errors: dict[str, str] = {}
         self._index_fallback = False
@@ -331,24 +343,34 @@ class MapSession:
         region_ids = self._objects_in(region)
         cache_before = self._cache_counters()
         started = time.perf_counter()
-        result = select_with_ladder(
-            self.dataset,
-            region_ids=region_ids,
-            candidate_ids=region_ids,
-            mandatory_ids=np.empty(0, dtype=np.int64),
+        # The root span covers exactly the timed selection region, so
+        # its duration matches elapsed_s and child spans account for
+        # the response-path latency the paper reports.
+        with self.tracer.span(
+            "session.initial",
+            population=int(len(region_ids)),
             k=self.k,
-            theta=theta,
-            aggregation=self.aggregation,
-            deadline=self._new_deadline(),
-            max_iterations=self.max_iterations,
-            lazy=self.lazy,
-            init_mode=self.init_mode,
-            fault_injector=self.fault_injector,
-            rng=self._ladder_rng,
-            metrics=self.metrics,
-            batch_size=self.batch_size,
-            pool=self._pool,
-        )
+        ) as span:
+            result = select_with_ladder(
+                self.dataset,
+                region_ids=region_ids,
+                candidate_ids=region_ids,
+                mandatory_ids=np.empty(0, dtype=np.int64),
+                k=self.k,
+                theta=theta,
+                aggregation=self.aggregation,
+                deadline=self._new_deadline(),
+                max_iterations=self.max_iterations,
+                lazy=self.lazy,
+                init_mode=self.init_mode,
+                fault_injector=self.fault_injector,
+                rng=self._ladder_rng,
+                metrics=self.metrics,
+                batch_size=self.batch_size,
+                pool=self._pool,
+                tracer=self.tracer,
+            )
+            span.annotate(tier=result.stats.get("tier", "exact"))
         elapsed = time.perf_counter() - started
         step = self._commit(
             operation="initial",
@@ -361,6 +383,7 @@ class MapSession:
             used_prefetch=False,
             population_ids=region_ids,
             cache_before=cache_before,
+            span=span if self.tracer.enabled else None,
         )
         return step
 
@@ -385,7 +408,7 @@ class MapSession:
         if self.similarity_cache is not None:
             self.similarity_cache.invalidate()
             self.similarity_cache = SimilarityCache(
-                dataset.similarity, metrics=self.metrics
+                dataset.similarity, metrics=self.metrics, tracer=self.tracer
             )
             dataset = dataclasses.replace(
                 dataset, similarity=self.similarity_cache
@@ -401,11 +424,12 @@ class MapSession:
                 self.parallel_backend,
                 similarity=dataset.similarity,
                 metrics=self.metrics,
+                tracer=self.tracer,
             )
         if self._selection_cache is not None:
             self._selection_cache.invalidate()
         self._prefetcher = Prefetcher(
-            dataset, fault_injector=self.fault_injector
+            dataset, fault_injector=self.fault_injector, tracer=self.tracer
         )
         self._prefetch_data = {}
         self._prefetch_errors = {}
@@ -598,25 +622,35 @@ class MapSession:
 
         cache_before = self._cache_counters()
         started = time.perf_counter()
-        result = select_with_ladder(
-            self.dataset,
-            region_ids=new_ids,
-            candidate_ids=candidates,
-            mandatory_ids=mandatory,
-            k=self.k,
-            theta=theta,
-            aggregation=self.aggregation,
-            deadline=self._new_deadline(),
-            max_iterations=self.max_iterations,
-            initial_bounds=bounds,
-            lazy=self.lazy,
-            init_mode=self.init_mode,
-            fault_injector=self.fault_injector,
-            rng=self._ladder_rng,
-            metrics=self.metrics,
-            batch_size=self.batch_size,
-            pool=self._pool,
-        )
+        with self.tracer.span(
+            f"session.{operation}",
+            population=int(len(new_ids)),
+            candidates=int(len(candidates)),
+            mandatory=int(len(mandatory)),
+            used_prefetch=used_prefetch,
+            warm_started=warm_started,
+        ) as span:
+            result = select_with_ladder(
+                self.dataset,
+                region_ids=new_ids,
+                candidate_ids=candidates,
+                mandatory_ids=mandatory,
+                k=self.k,
+                theta=theta,
+                aggregation=self.aggregation,
+                deadline=self._new_deadline(),
+                max_iterations=self.max_iterations,
+                initial_bounds=bounds,
+                lazy=self.lazy,
+                init_mode=self.init_mode,
+                fault_injector=self.fault_injector,
+                rng=self._ladder_rng,
+                metrics=self.metrics,
+                batch_size=self.batch_size,
+                pool=self._pool,
+                tracer=self.tracer,
+            )
+            span.annotate(tier=result.stats.get("tier", "exact"))
         elapsed = time.perf_counter() - started
         if (used_prefetch or warm_started) and self.equivalence_check:
             self._assert_equivalent(
@@ -629,6 +663,7 @@ class MapSession:
             population_ids=new_ids,
             cache_before=cache_before,
             warm_started=warm_started,
+            span=span if self.tracer.enabled else None,
         )
 
     def _assert_equivalent(
@@ -687,6 +722,7 @@ class MapSession:
         population_ids: np.ndarray | None = None,
         cache_before: dict[str, int] | None = None,
         warm_started: bool = False,
+        span: Span | None = None,
     ) -> NavigationStep:
         self.region = region
         self.visible = result.selected
@@ -722,14 +758,24 @@ class MapSession:
             warm_started=warm_started,
             cache_hits=cache_hits,
             cache_misses=cache_misses,
+            span=span,
         )
         self.history.append(step)
         self.metrics.incr(f"session.op.{operation}")
         self.metrics.observe("session.op_seconds", elapsed)
         if self.predictor is not None:
             self.predictor.observe(operation)
+        # Prefetch and warm-capture run off the response path, so they
+        # get their own root spans rather than inflating the step's.
         if self.prefetch_enabled:
-            self._precompute_prefetch()
+            with self.tracer.span(
+                "session.prefetch", operation=operation
+            ) as prefetch_span:
+                self._precompute_prefetch()
+                prefetch_span.annotate(
+                    kinds=sorted(self._prefetch_data),
+                    errors=dict(self._prefetch_errors),
+                )
         # Harvest warm-start material last: it reads rows the selection
         # (and the prefetch sweep) just cached, off the response path.
         if (
@@ -737,12 +783,15 @@ class MapSession:
             and self.similarity_cache is not None
             and population_ids is not None
         ):
-            self._selection_cache.capture(
-                self.similarity_cache,
-                self.dataset.weights,
-                region,
-                population_ids,
-            )
+            with self.tracer.span(
+                "session.warm_capture", operation=operation
+            ):
+                self._selection_cache.capture(
+                    self.similarity_cache,
+                    self.dataset.weights,
+                    region,
+                    population_ids,
+                )
         return step
 
     def _precompute_prefetch(self) -> None:
@@ -780,16 +829,20 @@ class MapSession:
         errors: dict[str, str] = {}
         if self._pool is not None and self._pool.concurrent and len(kinds) > 1:
             # Fan the independent kinds across the pool.  Breaker
-            # admission is decided up front (one check per kind, in
-            # kind order) and outcomes are recorded serially from the
-            # ordered results, so breaker state stays deterministic.
+            # admission is decided up front via try_acquire (atomic:
+            # it reserves the half-open probe ticket, so concurrent
+            # refreshes can never race two probes through) and
+            # outcomes are recorded serially from the ordered results,
+            # so breaker state stays deterministic.
             admitted = []
             for kind in kinds:
-                if self.breaker.allows():
+                if self.breaker.try_acquire():
                     admitted.append(kind)
                 else:
-                    self.breaker.rejections += 1
                     errors[kind] = "CircuitOpen"
+                    self.tracer.event(
+                        "breaker.reject", kind=kind, state=self.breaker.state
+                    )
             outcomes = self._pool.run_all(
                 [builders[kind] for kind in admitted]
             )
@@ -798,16 +851,38 @@ class MapSession:
                     self.breaker.record_success()
                     data[kind] = result
                 else:
-                    self.breaker.record_failure()
+                    self._record_breaker_failure(kind)
                     errors[kind] = exc.__class__.__name__
         else:
             for kind in kinds:
+                if not self.breaker.try_acquire():
+                    errors[kind] = "CircuitOpen"
+                    self.tracer.event(
+                        "breaker.reject", kind=kind, state=self.breaker.state
+                    )
+                    continue
                 try:
-                    data[kind] = self.breaker.call(builders[kind])
+                    data[kind] = builders[kind]()
                 except Exception as exc:
+                    self._record_breaker_failure(kind)
                     errors[kind] = exc.__class__.__name__
+                else:
+                    self.breaker.record_success()
         self._prefetch_data = data
         self._prefetch_errors = errors
+
+    def _record_breaker_failure(self, kind: str) -> None:
+        """Record a prefetch failure, tracing a trip if it opened."""
+        before = self.breaker.state
+        self.breaker.record_failure()
+        after = self.breaker.state
+        if after == "open" and before != "open":
+            self.tracer.event(
+                "breaker.trip",
+                kind=kind,
+                failures=self.breaker.failures,
+                from_state=before,
+            )
 
     @property
     def prefetch_elapsed(self) -> dict[str, float]:

@@ -100,6 +100,7 @@ def compare_methods(
     methods: Sequence[str],
     seed: int = 7,
     workers: int | str | None = None,
+    tracer=None,
 ) -> list[MethodResult]:
     """Run each method over every query; aggregate runtime and score.
 
@@ -113,9 +114,15 @@ def compare_methods(
     concurrent runs contend for cores, so per-run *timings* skew high;
     use it to grind out score comparisons quickly, not for the
     runtime panels.
+
+    ``tracer``, when given, wraps every run in a
+    ``harness.<method>`` root span (annotated with the query index),
+    so one comparison produces a per-method span-tree profile.
     """
     from repro.parallel import WorkerPool, resolve_workers
+    from repro.trace.tracer import NULL_TRACER
 
+    tracer = tracer if tracer is not None else NULL_TRACER
     catalog = selector_catalog()
     pool: "WorkerPool | None" = None
     if resolve_workers(workers) > 0:
@@ -126,10 +133,13 @@ def compare_methods(
             selector = catalog[name]
 
             def run_one(
-                q_index: int, selector: Selector = selector
+                q_index: int,
+                selector: Selector = selector,
+                name: str = name,
             ) -> SelectionResult:
                 rng = np.random.default_rng(seed + q_index)
-                return selector(dataset, queries[q_index], rng=rng)
+                with tracer.span(f"harness.{name}", query=q_index):
+                    return selector(dataset, queries[q_index], rng=rng)
 
             if pool is not None:
                 outcomes = pool.map_ordered(run_one, range(len(queries)))

@@ -85,16 +85,22 @@ class GridIndex(SpatialIndex):
         chunks: list[np.ndarray] = []
         for row in range(r0, r1 + 1):
             base = row * self.cells
-            # Rows/cols strictly interior to the query need no refinement;
-            # boundary cells do.  Interior test: the whole cell box lies
-            # inside the query box.
-            inner_row = self._row_interior(row, box)
+            # Rows/cols strictly interior to the query need no
+            # refinement; boundary cells do.  Interior is decided with
+            # the same binning arithmetic that assigned the points:
+            # binning is monotone in the coordinate, so a point whose
+            # bin lies strictly between the bins of the box edges must
+            # itself lie strictly between the edges.  (Recomputing cell
+            # geometry as 1/inv would round-trip through floats and can
+            # classify a boundary-aligned cell interior while a point
+            # of it sits just outside the box.)
+            inner_row = r0 < row < r1
             for col in range(c0, c1 + 1):
                 cell = base + col
                 ids = self._cell_points(cell)
                 if len(ids) == 0:
                     continue
-                if inner_row and self._col_interior(col, box):
+                if inner_row and c0 < col < c1:
                     chunks.append(ids)
                 else:
                     mask = box.contains_many(self.xs[ids], self.ys[ids])
@@ -105,19 +111,3 @@ class GridIndex(SpatialIndex):
         result = np.concatenate(chunks)
         result.sort()
         return result
-
-    def _row_interior(self, row: int, box: BoundingBox) -> bool:
-        if self._inv_ch == 0.0:
-            return False  # degenerate axis: always refine
-        cell_h = 1.0 / self._inv_ch
-        lo = self._y0 + row * cell_h
-        hi = lo + cell_h
-        return box.miny <= lo and hi <= box.maxy
-
-    def _col_interior(self, col: int, box: BoundingBox) -> bool:
-        if self._inv_cw == 0.0:
-            return False  # degenerate axis: always refine
-        cell_w = 1.0 / self._inv_cw
-        lo = self._x0 + col * cell_w
-        hi = lo + cell_w
-        return box.minx <= lo and hi <= box.maxx

@@ -18,6 +18,7 @@ so the un-instrumented path pays a single ``None`` check.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from typing import Iterator
@@ -50,9 +51,16 @@ class MetricsRegistry:
     observations are kept raw so snapshots can report percentiles.
     Names are dotted paths by convention (``sim.row_hits``,
     ``session.op_seconds``) — the registry itself imposes no schema.
+
+    The registry is thread-safe: one registry is shared between the
+    session's response path, the :class:`~repro.parallel.WorkerPool`'s
+    thread backend, and traced spans finishing on worker threads, so
+    the read-modify-write counter update and the observation append
+    are serialized under a lock.
     """
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self._counters: dict[str, float] = {}
         self._observations: dict[str, list[float]] = {}
 
@@ -62,11 +70,13 @@ class MetricsRegistry:
 
     def incr(self, name: str, amount: float = 1.0) -> None:
         """Add ``amount`` to counter ``name`` (creating it at 0)."""
-        self._counters[name] = self._counters.get(name, 0.0) + amount
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + amount
 
     def count(self, name: str) -> float:
         """Current value of counter ``name`` (0 if never incremented)."""
-        return self._counters.get(name, 0.0)
+        with self._lock:
+            return self._counters.get(name, 0.0)
 
     # ------------------------------------------------------------------
     # Timers / observations
@@ -74,7 +84,8 @@ class MetricsRegistry:
 
     def observe(self, name: str, value: float) -> None:
         """Record one observation (typically seconds) under ``name``."""
-        self._observations.setdefault(name, []).append(float(value))
+        with self._lock:
+            self._observations.setdefault(name, []).append(float(value))
 
     @contextmanager
     def time(self, name: str) -> Iterator[None]:
@@ -87,11 +98,12 @@ class MetricsRegistry:
 
     def observations(self, name: str) -> list[float]:
         """Raw observations recorded under ``name`` (copy)."""
-        return list(self._observations.get(name, []))
+        with self._lock:
+            return list(self._observations.get(name, []))
 
     def summary(self, name: str) -> dict[str, float]:
         """count/mean/p50/p95/max summary of an observation series."""
-        samples = self._observations.get(name)
+        samples = self.observations(name)
         if not samples:
             return {"count": 0}
         return {
@@ -108,7 +120,8 @@ class MetricsRegistry:
 
     def snapshot(self) -> dict[str, float]:
         """Copy of all counters (observations summarized separately)."""
-        return dict(self._counters)
+        with self._lock:
+            return dict(self._counters)
 
     def delta_since(self, before: dict[str, float]) -> dict[str, float]:
         """Counter increments since a prior :meth:`snapshot`.
@@ -117,7 +130,7 @@ class MetricsRegistry:
         did not move are omitted.
         """
         out: dict[str, float] = {}
-        for name, value in self._counters.items():
+        for name, value in self.snapshot().items():
             moved = value - before.get(name, 0.0)
             if moved:
                 out[name] = moved
@@ -125,22 +138,26 @@ class MetricsRegistry:
 
     def reset(self) -> None:
         """Drop all counters and observations."""
-        self._counters.clear()
-        self._observations.clear()
+        with self._lock:
+            self._counters.clear()
+            self._observations.clear()
 
     def format(self) -> str:
         """Human-readable dump — the CLI's ``--metrics`` output."""
+        counters = self.snapshot()
+        with self._lock:
+            timer_names = sorted(self._observations)
         lines: list[str] = []
-        if self._counters:
+        if counters:
             lines.append("counters:")
-            width = max(len(name) for name in self._counters)
-            for name in sorted(self._counters):
-                value = self._counters[name]
+            width = max(len(name) for name in counters)
+            for name in sorted(counters):
+                value = counters[name]
                 text = f"{value:g}" if value != int(value) else f"{int(value)}"
                 lines.append(f"  {name:<{width}}  {text}")
-        if self._observations:
+        if timer_names:
             lines.append("timers:")
-            for name in sorted(self._observations):
+            for name in timer_names:
                 s = self.summary(name)
                 lines.append(
                     f"  {name}  n={s['count']}  "

@@ -50,6 +50,7 @@ from repro.parallel.sharedmem import (
     attach_array,
     release_attachments,
 )
+from repro.trace.tracer import NULL_TRACER
 
 # ----------------------------------------------------------------------
 # Process-worker globals (set by the pool initializer / sweep tasks)
@@ -128,6 +129,12 @@ class WorkerPool:
         Optional :class:`~repro.metrics.MetricsRegistry`; the pool
         counts ``parallel.sweeps`` / ``parallel.blocks`` /
         ``parallel.tasks`` / ``parallel.fanouts``.
+    tracer:
+        Optional :class:`~repro.trace.Tracer`.  Gain sweeps get a
+        ``parallel.gain_sweep`` span; :meth:`run_all` wraps every
+        dispatched thunk in a ``parallel.task`` span parented to the
+        *submitting* context's span, so work running on pool threads
+        stays attached to the navigation that spawned it.
     """
 
     def __init__(
@@ -136,11 +143,13 @@ class WorkerPool:
         backend: str = "auto",
         similarity=None,
         metrics=None,
+        tracer=None,
     ):
         self.workers = resolve_workers(workers)
         self.backend = resolve_backend(backend, self.workers, similarity)
         self.similarity = similarity
         self.metrics = metrics
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._threads: ThreadPoolExecutor | None = None
         self._processes: ProcessPoolExecutor | None = None
         self._model_pack: SharedArrayPack | None = None
@@ -231,22 +240,25 @@ class WorkerPool:
         self._incr("parallel.blocks", len(blocks))
         if not blocks:
             return []
-        if self.backend == "process" and len(blocks) > 1:
-            results = self._gain_sweep_processes(state, blocks)
-        elif self.backend == "thread" and len(blocks) > 1:
-            state.batch_kernel()  # build once, outside the thread race
-            executor = self._thread_executor()
-            self._incr("parallel.tasks", len(blocks))
-            results = list(
-                executor.map(
-                    lambda block: state.batch_gains(block, count=False),
-                    blocks,
+        with self.tracer.span(
+            "parallel.gain_sweep", blocks=len(blocks), backend=self.backend
+        ):
+            if self.backend == "process" and len(blocks) > 1:
+                results = self._gain_sweep_processes(state, blocks)
+            elif self.backend == "thread" and len(blocks) > 1:
+                state.batch_kernel()  # build once, outside the thread race
+                executor = self._thread_executor()
+                self._incr("parallel.tasks", len(blocks))
+                results = list(
+                    executor.map(
+                        lambda block: state.batch_gains(block, count=False),
+                        blocks,
+                    )
                 )
-            )
-        else:
-            results = [
-                state.batch_gains(block, count=False) for block in blocks
-            ]
+            else:
+                results = [
+                    state.batch_gains(block, count=False) for block in blocks
+                ]
         state.note_batches(
             rows=sum(len(b) for b in blocks), calls=len(blocks)
         )
@@ -300,7 +312,23 @@ class WorkerPool:
             return outcomes
         executor = self._thread_executor()
         self._incr("parallel.tasks", len(thunks))
-        futures: list[Future] = [executor.submit(thunk) for thunk in thunks]
+        # Pool threads do not inherit the submitting context, so each
+        # task carries the submitter's current span as explicit parent
+        # — worker spans stay attached to the right navigation tree.
+        parent = self.tracer.current()
+
+        def traced(thunk: Callable[[], Any], index: int):
+            def run():
+                with self.tracer.span(
+                    "parallel.task", parent=parent, index=index
+                ):
+                    return thunk()
+            return run
+
+        futures: list[Future] = [
+            executor.submit(traced(thunk, i))
+            for i, thunk in enumerate(thunks)
+        ]
         outcomes = []
         for future in futures:
             try:

@@ -9,8 +9,16 @@ the standard three-state automaton:
 * **closed** — calls pass through; consecutive failures are counted;
 * **open** — after ``failure_threshold`` consecutive failures, calls
   are refused (:class:`CircuitOpen`) for ``reset_after_s`` seconds;
-* **half-open** — after the cool-down one probe call is let through;
-  success closes the breaker, failure re-opens it.
+* **half-open** — after the cool-down exactly **one** probe call is
+  let through; success closes the breaker, failure re-opens it.
+  Concurrent callers that arrive while the probe is in flight are
+  rejected with :class:`CircuitOpen` until the probe resolves.
+
+The breaker is thread-safe: :class:`~repro.core.session.MapSession`
+fans prefetch kinds out concurrently through one shared breaker, so
+state transitions and counters are serialized under a lock, and the
+half-open probe is guarded by a single-admission ticket
+(:meth:`try_acquire`) rather than a racy state read.
 
 The clock is injectable so tests can drive state transitions without
 sleeping; it defaults to the monotonic ``time.perf_counter``.
@@ -18,6 +26,7 @@ sleeping; it defaults to the monotonic ``time.perf_counter``.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections.abc import Callable
 from typing import TypeVar
@@ -32,7 +41,7 @@ HALF_OPEN = "half_open"
 
 
 class CircuitBreaker:
-    """Consecutive-failure circuit breaker with a cool-down probe."""
+    """Consecutive-failure circuit breaker with a single cool-down probe."""
 
     def __init__(
         self,
@@ -53,53 +62,100 @@ class CircuitBreaker:
         self.reset_after_s = reset_after_s
         self.name = name
         self._clock = clock
+        self._lock = threading.Lock()
         self._state = CLOSED
         self._consecutive_failures = 0
         self._opened_at = 0.0
+        self._probe_in_flight = False
         self.failures = 0  # lifetime counters, for observability
         self.successes = 0
         self.rejections = 0
 
-    @property
-    def state(self) -> str:
-        """Current state, advancing ``open → half_open`` on cool-down."""
+    def _advance_locked(self) -> None:
+        """Advance ``open → half_open`` on cool-down (lock held)."""
         if (
             self._state == OPEN
             and self._clock() - self._opened_at >= self.reset_after_s
         ):
             self._state = HALF_OPEN
-        return self._state
+            self._probe_in_flight = False
+
+    @property
+    def state(self) -> str:
+        """Current state, advancing ``open → half_open`` on cool-down."""
+        with self._lock:
+            self._advance_locked()
+            return self._state
 
     def allows(self) -> bool:
-        """Whether a call would currently be admitted."""
-        return self.state != OPEN
+        """Whether a call would currently be admitted.
+
+        Read-only peek: it does **not** reserve the half-open probe
+        ticket, so between this returning ``True`` and the actual call
+        another thread may take the probe.  Callers that intend to
+        call must use :meth:`try_acquire` (or :meth:`call`, which
+        does) for an atomic admission decision.
+        """
+        with self._lock:
+            self._advance_locked()
+            if self._state == OPEN:
+                return False
+            if self._state == HALF_OPEN and self._probe_in_flight:
+                return False
+            return True
+
+    def try_acquire(self) -> bool:
+        """Atomically decide admission, reserving the half-open probe.
+
+        Returns ``True`` when the caller may proceed (and, in
+        half-open, holds *the* probe ticket — every other caller is
+        refused until the probe resolves via :meth:`record_success` or
+        :meth:`record_failure`).  Returns ``False`` after counting a
+        rejection otherwise.  Admitted callers **must** report their
+        outcome through exactly one ``record_*`` call.
+        """
+        with self._lock:
+            self._advance_locked()
+            if self._state == OPEN:
+                self.rejections += 1
+                return False
+            if self._state == HALF_OPEN:
+                if self._probe_in_flight:
+                    self.rejections += 1
+                    return False
+                self._probe_in_flight = True
+            return True
 
     def record_success(self) -> None:
         """Note a successful call (closes a half-open breaker)."""
-        self.successes += 1
-        self._consecutive_failures = 0
-        self._state = CLOSED
+        with self._lock:
+            self.successes += 1
+            self._consecutive_failures = 0
+            self._state = CLOSED
+            self._probe_in_flight = False
 
     def record_failure(self) -> None:
         """Note a failed call (may trip the breaker open)."""
-        self.failures += 1
-        self._consecutive_failures += 1
-        if (
-            self._state == HALF_OPEN
-            or self._consecutive_failures >= self.failure_threshold
-        ):
-            self._state = OPEN
-            self._opened_at = self._clock()
+        with self._lock:
+            self.failures += 1
+            self._consecutive_failures += 1
+            if (
+                self._state == HALF_OPEN
+                or self._consecutive_failures >= self.failure_threshold
+            ):
+                self._state = OPEN
+                self._opened_at = self._clock()
+            self._probe_in_flight = False
 
     def call(self, fn: Callable[[], T]) -> T:
         """Run ``fn`` through the breaker.
 
-        Raises :class:`CircuitOpen` without calling ``fn`` while open;
-        otherwise records the outcome and propagates ``fn``'s result or
+        Raises :class:`CircuitOpen` without calling ``fn`` while open
+        (or while another caller holds the half-open probe); otherwise
+        records the outcome and propagates ``fn``'s result or
         exception.
         """
-        if not self.allows():
-            self.rejections += 1
+        if not self.try_acquire():
             raise CircuitOpen(
                 f"{self.name} is open "
                 f"({self._consecutive_failures} consecutive failures)"

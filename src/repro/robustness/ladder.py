@@ -42,6 +42,7 @@ from repro.metrics import MetricsRegistry
 from repro.robustness.budget import Budget, Deadline
 from repro.robustness.errors import InfeasibleSelection
 from repro.robustness.faults import FaultInjector
+from repro.trace.tracer import NULL_TRACER
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.dataset import GeoDataset
@@ -76,6 +77,7 @@ def select_with_ladder(
     metrics: MetricsRegistry | None = None,
     batch_size: int | None = None,
     pool=None,
+    tracer=None,
 ) -> SelectionResult:
     """Serve one selection through the degradation ladder.
 
@@ -89,7 +91,13 @@ def select_with_ladder(
     tier) and ``stats["ladder_attempts"]`` (``(tier, reason)`` pairs
     for every tier that was tried and abandoned), and is marked
     ``degraded`` unless tier 1 completed in full.
+
+    ``tracer``, when given, wraps each tier attempt in a
+    ``ladder.<tier>`` span and emits a ``ladder.degrade`` span event
+    (carrying the tier and reason) on every descent, so degradations
+    are visible in the exported trace timeline.
     """
+    tracer = tracer if tracer is not None else NULL_TRACER
     # Imported here, not at module top: greedy/sampling themselves
     # import the robustness primitives, and this package's __init__
     # pulls in the ladder — a module-level import would be circular.
@@ -110,23 +118,25 @@ def select_with_ladder(
     # Tier 1 — anytime exact greedy.
     budget = _fresh_budget(deadline, max_iterations)
     try:
-        result = greedy_core(
-            dataset,
-            region_ids=region_ids,
-            candidate_ids=candidate_ids,
-            mandatory_ids=mandatory_ids,
-            k=k,
-            theta=theta,
-            aggregation=aggregation,
-            initial_bounds=initial_bounds,
-            lazy=lazy,
-            init_mode=init_mode,
-            budget=budget,
-            fault_injector=fault_injector,
-            metrics=metrics,
-            batch_size=batch_size,
-            pool=pool,
-        )
+        with tracer.span("ladder.exact"):
+            result = greedy_core(
+                dataset,
+                region_ids=region_ids,
+                candidate_ids=candidate_ids,
+                mandatory_ids=mandatory_ids,
+                k=k,
+                theta=theta,
+                aggregation=aggregation,
+                initial_bounds=initial_bounds,
+                lazy=lazy,
+                init_mode=init_mode,
+                budget=budget,
+                fault_injector=fault_injector,
+                metrics=metrics,
+                batch_size=batch_size,
+                pool=pool,
+                tracer=tracer,
+            )
     except InfeasibleSelection:
         raise
     except Exception as exc:
@@ -137,6 +147,9 @@ def select_with_ladder(
         attempts.append(
             (Tier.EXACT.value, result.stats.get("budget_exhausted") or "short")
         )
+    tracer.event(
+        "ladder.degrade", tier=attempts[-1][0], reason=attempts[-1][1]
+    )
 
     # Tier 2 — SaSS-sampled greedy, if there is any time left to spend.
     if deadline is not None and deadline.expired():
@@ -146,21 +159,23 @@ def select_with_ladder(
         sample_ids = draw_sample(region_ids, epsilon, delta, rng)
         budget = _fresh_budget(deadline, max_iterations)
         try:
-            result = greedy_core(
-                dataset,
-                region_ids=sample_ids,
-                # Picks must still come from G; score is over the sample.
-                candidate_ids=np.intersect1d(sample_ids, candidate_ids),
-                mandatory_ids=mandatory_ids,
-                k=k,
-                theta=theta,
-                aggregation=aggregation,
-                budget=budget,
-                fault_injector=fault_injector,
-                metrics=metrics,
-                batch_size=batch_size,
-                pool=pool,
-            )
+            with tracer.span("ladder.sampled", sample=int(len(sample_ids))):
+                result = greedy_core(
+                    dataset,
+                    region_ids=sample_ids,
+                    # Picks must still come from G; score is over the sample.
+                    candidate_ids=np.intersect1d(sample_ids, candidate_ids),
+                    mandatory_ids=mandatory_ids,
+                    k=k,
+                    theta=theta,
+                    aggregation=aggregation,
+                    budget=budget,
+                    fault_injector=fault_injector,
+                    metrics=metrics,
+                    batch_size=batch_size,
+                    pool=pool,
+                    tracer=tracer,
+                )
         except InfeasibleSelection:
             raise
         except Exception as exc:
@@ -175,11 +190,15 @@ def select_with_ladder(
                     result.stats.get("budget_exhausted") or "short",
                 )
             )
+    tracer.event(
+        "ladder.degrade", tier=attempts[-1][0], reason=attempts[-1][1]
+    )
 
     # Tier 3 — top-weight fill.  Unconditional and unbreakable.
-    result = _topweight_fill(
-        dataset, region_ids, candidate_ids, mandatory_ids, k, theta
-    )
+    with tracer.span("ladder.topweight"):
+        result = _topweight_fill(
+            dataset, region_ids, candidate_ids, mandatory_ids, k, theta
+        )
     return _finalize(result, Tier.TOPWEIGHT, attempts, metrics)
 
 

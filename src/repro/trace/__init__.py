@@ -1,0 +1,43 @@
+"""End-to-end tracing and profiling (``docs/OBSERVABILITY.md``).
+
+* :class:`Tracer` / :class:`Span` — hierarchical span trees with a
+  context-manager API, thread-aware context propagation, and an
+  injectable clock.
+* :data:`NULL_TRACER` / :class:`NullTracer` — the no-op default left
+  compiled into the hot path (overhead gated in CI).
+* :func:`chrome_trace` / :func:`write_chrome_trace` — Chrome-trace
+  JSON export for ``chrome://tracing`` / Perfetto.
+* :func:`format_span_tree` — ASCII per-step summary.
+* :func:`validate_chrome_trace` — the minimal schema check the CI
+  artifact gate runs.
+"""
+
+from repro.trace.export import (
+    chrome_trace,
+    format_span_tree,
+    write_chrome_trace,
+)
+from repro.trace.schema import (
+    validate_chrome_trace,
+    validate_chrome_trace_file,
+)
+from repro.trace.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanEvent,
+    Tracer,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "chrome_trace",
+    "format_span_tree",
+    "validate_chrome_trace",
+    "validate_chrome_trace_file",
+    "write_chrome_trace",
+]

@@ -1,0 +1,151 @@
+"""Trace exporters: Chrome trace format JSON and ASCII summaries.
+
+The JSON exporter emits the `Trace Event Format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_
+consumed by ``chrome://tracing`` and `Perfetto <https://ui.perfetto.dev>`_:
+one complete (``"ph": "X"``) event per span with microsecond
+timestamps, plus instant (``"ph": "i"``) events for span events
+(breaker trips, ladder descents, cache fills).  Load the file in
+either viewer to see every navigation's latency attribution on a
+per-thread timeline.
+
+The ASCII exporter renders one span tree as an indented table — the
+``repro explore --trace-summary`` per-step output.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.trace.tracer import Span, Tracer
+
+__all__ = [
+    "chrome_trace",
+    "format_span_tree",
+    "write_chrome_trace",
+]
+
+_US = 1e6  # seconds -> microseconds
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce span args to JSON-safe scalars (numpy included)."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    item = getattr(value, "item", None)  # numpy scalars
+    if callable(item):
+        try:
+            return item()
+        except Exception:  # pragma: no cover - exotic array types
+            pass
+    return repr(value)
+
+
+def _span_events(
+    span: Span, origin: float, pid: int, tids: dict[int, int]
+) -> list[dict]:
+    tid = tids.setdefault(span.tid, len(tids))
+    out: list[dict] = [
+        {
+            "name": span.name,
+            "cat": span.name.split(".", 1)[0],
+            "ph": "X",
+            "ts": (span.start - origin) * _US,
+            "dur": span.duration_s * _US,
+            "pid": pid,
+            "tid": tid,
+            "args": {k: _jsonable(v) for k, v in span.args.items()},
+        }
+    ]
+    for event in span.events:
+        out.append(
+            {
+                "name": event.name,
+                "cat": event.name.split(".", 1)[0],
+                "ph": "i",
+                "s": "t",  # thread-scoped instant
+                "ts": (event.ts - origin) * _US,
+                "pid": pid,
+                "tid": tid,
+                "args": {k: _jsonable(v) for k, v in event.args.items()},
+            }
+        )
+    for child in span.children:
+        out.extend(_span_events(child, origin, pid, tids))
+    return out
+
+
+def chrome_trace(tracer: Tracer, pid: int = 1) -> dict:
+    """Chrome-trace-format document for everything the tracer holds.
+
+    Timestamps are rebased to the earliest root span so the timeline
+    starts near zero regardless of the process clock's epoch.
+    """
+    roots = tracer.roots
+    origin = min((s.start for s in roots), default=0.0)
+    tids: dict[int, int] = {}
+    events: list[dict] = []
+    for root in roots:
+        events.extend(_span_events(root, origin, pid, tids))
+    # Name the synthetic threads so the viewer's lanes are readable.
+    for raw, tid in tids.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": f"thread-{tid} (ident {raw})"},
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": "repro.trace",
+            "spans": sum(1 for r in roots for _ in r.walk()),
+            "dropped_roots": tracer.dropped,
+        },
+    }
+
+
+def write_chrome_trace(tracer: Tracer, path: str, pid: int = 1) -> None:
+    """Serialize :func:`chrome_trace` to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(chrome_trace(tracer, pid=pid), fh, indent=1)
+
+
+def format_span_tree(
+    span: Span, min_fraction: float = 0.0, _depth: int = 0
+) -> str:
+    """ASCII rendering of one span tree with per-node attribution.
+
+    Each line shows the span's duration and its share of the root;
+    subtrees below ``min_fraction`` of the root are elided.  Span
+    events are listed inline (they carry no duration).
+    """
+    root_s = span.duration_s if _depth == 0 else None
+
+    def render(node: Span, depth: int, root_duration: float) -> list[str]:
+        share = (
+            node.duration_s / root_duration if root_duration > 0 else 1.0
+        )
+        if depth > 0 and share < min_fraction:
+            return []
+        pad = "  " * depth
+        extra = ""
+        if node.args:
+            parts = ", ".join(f"{k}={v}" for k, v in node.args.items())
+            extra = f"  [{parts}]"
+        lines = [
+            f"{pad}{node.name:<28s} {node.duration_s * 1000:9.3f} ms"
+            f"  {share:6.1%}{extra}"
+        ]
+        for event in node.events:
+            lines.append(f"{pad}  ! {event.name} {event.args or ''}".rstrip())
+        for child in node.children:
+            lines.extend(render(child, depth + 1, root_duration))
+        return lines
+
+    return "\n".join(render(span, 0, root_s if root_s else span.duration_s))

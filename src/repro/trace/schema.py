@@ -1,0 +1,102 @@
+"""Minimal schema validation for exported Chrome-trace JSON.
+
+The CI bench workflow uploads a sample trace as an artifact; this
+module is the gate that proves the artifact is actually loadable by
+``chrome://tracing`` / Perfetto before it ships.  Dependency-free by
+design (no jsonschema in the container): the checks are the structural
+invariants the viewers rely on.
+
+Run as a module::
+
+    python -m repro.trace.schema out.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+__all__ = ["validate_chrome_trace", "validate_chrome_trace_file"]
+
+_REQUIRED_BY_PHASE = {
+    "X": ("name", "ts", "dur", "pid", "tid"),
+    "i": ("name", "ts", "pid", "tid"),
+    "M": ("name", "pid"),
+}
+
+
+def validate_chrome_trace(document: dict) -> dict:
+    """Validate a Chrome-trace document; returns summary statistics.
+
+    Raises :class:`ValueError` naming the first violated invariant.
+    """
+    if not isinstance(document, dict):
+        raise ValueError("trace document must be a JSON object")
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be a list")
+    if not events:
+        raise ValueError("traceEvents is empty")
+    counts = {"X": 0, "i": 0, "M": 0}
+    for pos, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event #{pos} is not an object")
+        phase = event.get("ph")
+        if phase not in _REQUIRED_BY_PHASE:
+            raise ValueError(
+                f"event #{pos} has unsupported phase {phase!r}"
+            )
+        for key in _REQUIRED_BY_PHASE[phase]:
+            if key not in event:
+                raise ValueError(
+                    f"event #{pos} (ph={phase}) is missing {key!r}"
+                )
+        if phase in ("X", "i"):
+            ts = event["ts"]
+            if not isinstance(ts, (int, float)) or ts < 0:
+                raise ValueError(
+                    f"event #{pos} has non-monotonic ts {ts!r}"
+                )
+        if phase == "X":
+            dur = event["dur"]
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(
+                    f"event #{pos} has invalid dur {dur!r}"
+                )
+        counts[phase] += 1
+    if counts["X"] == 0:
+        raise ValueError("trace holds no complete ('X') span events")
+    return {
+        "events": len(events),
+        "spans": counts["X"],
+        "instants": counts["i"],
+        "metadata": counts["M"],
+    }
+
+
+def validate_chrome_trace_file(path: str) -> dict:
+    """Load ``path`` and validate it; returns summary statistics."""
+    with open(path, encoding="utf-8") as fh:
+        document = json.load(fh)
+    return validate_chrome_trace(document)
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: python -m repro.trace.schema TRACE.json")
+        return 2
+    try:
+        stats = validate_chrome_trace_file(argv[0])
+    except (ValueError, OSError, json.JSONDecodeError) as exc:
+        print(f"INVALID: {exc}")
+        return 1
+    print(
+        f"OK: {stats['events']} events "
+        f"({stats['spans']} spans, {stats['instants']} instants)"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    sys.exit(main())

@@ -1,0 +1,327 @@
+"""Hierarchical span tracing for the selection hot path.
+
+A :class:`Span` is one timed region of work (a navigation operation, a
+greedy heap initialization, one prefetch kind); spans nest, so every
+navigation yields a *tree* attributing its latency to index /
+similarity / heap / prefetch / cache work.  A :class:`Tracer` owns the
+finished trees and the context-propagation machinery:
+
+* **context-manager API** — ``with tracer.span("greedy.init"): ...``;
+  the span under construction is tracked in a :mod:`contextvars`
+  variable, so nested ``span()`` calls attach as children without any
+  explicit threading of parents.
+* **thread-aware** — each thread (and each
+  ``ThreadPoolExecutor`` task) sees its own current-span context.
+  Work dispatched to a worker thread passes the submitting context's
+  span explicitly (``tracer.span(name, parent=...)``), which is how
+  the :class:`~repro.parallel.WorkerPool` and the prefetch fan-out
+  keep worker spans attached to the navigation that spawned them.
+* **injectable clock** — like :mod:`repro.robustness`, the clock is a
+  constructor parameter defaulting to the monotonic
+  ``time.perf_counter`` so tests drive time explicitly.
+* **metrics integration** — every finished span feeds
+  ``trace.<name>`` in an optional
+  :class:`~repro.metrics.MetricsRegistry`, so span latencies appear in
+  the registry's p50/p95 timer summaries alongside the existing
+  counters.
+
+The default tracer everywhere is :data:`NULL_TRACER`, a shared
+:class:`NullTracer` whose ``span()`` is a reusable no-op context
+manager — cheap enough to leave compiled into the hot path
+(``benchmarks/bench_trace_overhead.py`` gates the cost in CI).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import threading
+import time
+from collections.abc import Callable, Iterator
+from typing import Any
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "SpanEvent",
+    "Tracer",
+]
+
+
+class SpanEvent:
+    """A point-in-time annotation inside a span (breaker trip, ladder
+    descent, cache fill...)."""
+
+    __slots__ = ("name", "ts", "args")
+
+    def __init__(self, name: str, ts: float, args: dict[str, Any]):
+        self.name = name
+        self.ts = ts
+        self.args = args
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SpanEvent({self.name!r}, ts={self.ts:.6f})"
+
+
+class Span:
+    """One timed region of work; nodes of the trace tree."""
+
+    __slots__ = (
+        "name", "start", "end", "tid", "args", "children", "events"
+    )
+
+    def __init__(self, name: str, start: float, tid: int, args: dict):
+        self.name = name
+        self.start = start
+        self.end = start  # finalized by the tracer on context exit
+        self.tid = tid
+        self.args = args
+        self.children: list[Span] = []
+        self.events: list[SpanEvent] = []
+
+    @property
+    def duration_s(self) -> float:
+        """Seconds between entry and exit (0 while still open)."""
+        return max(0.0, self.end - self.start)
+
+    def annotate(self, **args: Any) -> "Span":
+        """Attach key/value arguments to the span (chains)."""
+        self.args.update(args)
+        return self
+
+    def walk(self) -> Iterator["Span"]:
+        """Depth-first iteration over this span and its descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def child_seconds(self) -> float:
+        """Total duration of direct children (attribution check)."""
+        return sum(c.duration_s for c in self.children)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, {self.duration_s * 1000:.3f}ms, "
+            f"children={len(self.children)})"
+        )
+
+
+class _SpanContext:
+    """Reusable context manager entering/exiting one span."""
+
+    __slots__ = ("_tracer", "_span", "_token")
+
+    def __init__(self, tracer: "Tracer", span: Span, parent: Span | None):
+        self._tracer = tracer
+        self._span = span
+        # Parent resolution happened in Tracer.span(); the token is set
+        # on __enter__ so the contextvar only mutates inside the block.
+        self._token: contextvars.Token | None = None
+
+    def __enter__(self) -> Span:
+        self._token = self._tracer._current.set(self._span)
+        return self._span
+
+    def __exit__(self, *exc_info) -> None:
+        span = self._span
+        span.end = self._tracer._clock()
+        if self._token is not None:
+            self._tracer._current.reset(self._token)
+        self._tracer._finish(span)
+
+
+class _NullSpan(Span):
+    """Inert span handed out by :class:`NullTracer` (all no-ops)."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__("null", 0.0, 0, {})
+
+    def annotate(self, **args: Any) -> "Span":
+        return self
+
+
+class _NullSpanContext:
+    """Shared no-op context manager — the hot-path default."""
+
+    __slots__ = ("_span",)
+
+    def __init__(self, span: _NullSpan):
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+class NullTracer:
+    """Do-nothing tracer with the full :class:`Tracer` surface.
+
+    Safe to share: it keeps no state, and its ``span()`` returns one
+    preallocated context manager (no allocation per call).
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self._null_cm = _NullSpanContext(_NullSpan())
+
+    def span(self, name: str, parent: Span | None = None, **args):
+        return self._null_cm
+
+    def record(
+        self, name: str, start: float, end: float, parent=None, **args
+    ) -> Span:
+        return self._null_cm._span
+
+    def event(self, name: str, **args: Any) -> None:
+        return None
+
+    def current(self) -> Span | None:
+        return None
+
+    @property
+    def roots(self) -> list[Span]:
+        return []
+
+    def clear(self) -> None:
+        return None
+
+
+#: The shared default tracer.  ``tracer or NULL_TRACER`` is the
+#: convention at every instrumented call site.
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Collects span trees from instrumented code.
+
+    Parameters
+    ----------
+    clock:
+        Monotonic time source (injectable for tests).
+    metrics:
+        Optional :class:`~repro.metrics.MetricsRegistry`; every
+        finished span is observed as ``trace.<name>`` so span
+        latencies feed the registry's p50/p95 summaries.
+    max_spans:
+        Safety cap on retained spans across all trees.  Once reached,
+        new *root* spans are dropped (counted in :attr:`dropped`) so a
+        long-running traced session cannot grow without bound; spans
+        nested under an already-admitted root are always kept.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.perf_counter,
+        metrics=None,
+        max_spans: int = 1_000_000,
+    ):
+        if max_spans < 1:
+            raise ValueError(f"max_spans must be >= 1, got {max_spans}")
+        self._clock = clock
+        self.metrics = metrics
+        self.max_spans = max_spans
+        self.dropped = 0
+        self._spans_seen = 0
+        self._roots: list[Span] = []
+        self._lock = threading.Lock()
+        self._current: contextvars.ContextVar[Span | None] = (
+            contextvars.ContextVar("repro_trace_current", default=None)
+        )
+
+    # ------------------------------------------------------------------
+    # Recording surface
+    # ------------------------------------------------------------------
+
+    def span(self, name: str, parent: Span | None = None, **args):
+        """Open a span; use as ``with tracer.span("name") as sp:``.
+
+        ``parent`` overrides context-derived nesting — required when
+        the span runs on a worker thread whose context does not
+        inherit the submitting thread's current span.
+        """
+        if parent is None:
+            parent = self._current.get()
+        span = Span(name, self._clock(), threading.get_ident(), args)
+        with self._lock:
+            if parent is not None:
+                # Attaching eagerly (not on exit) keeps concurrent
+                # children from racing on discovery of their parent,
+                # and partial trees visible if a span never exits.
+                self._spans_seen += 1
+                parent.children.append(span)
+            elif self._spans_seen < self.max_spans:
+                self._spans_seen += 1
+                self._roots.append(span)
+            else:
+                self.dropped += 1
+        return _SpanContext(self, span, parent)
+
+    def record(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        parent: Span | None = None,
+        **args: Any,
+    ) -> Span:
+        """Attach an already-measured region as a completed span.
+
+        For code that has timed itself (``greedy_core``'s init sweep
+        keeps ``init_seconds`` for its stats either way): the span is
+        built retroactively from the caller's clock readings and slots
+        into the current context's tree like any other child.
+        """
+        span = Span(name, start, threading.get_ident(), args)
+        span.end = end
+        if parent is None:
+            parent = self._current.get()
+        with self._lock:
+            if parent is not None:
+                self._spans_seen += 1
+                parent.children.append(span)
+            elif self._spans_seen < self.max_spans:
+                self._spans_seen += 1
+                self._roots.append(span)
+            else:
+                self.dropped += 1
+        self._finish(span)
+        return span
+
+    def event(self, name: str, **args: Any) -> None:
+        """Record an instant event on the current span (else dropped)."""
+        span = self._current.get()
+        if span is None:
+            return
+        span.events.append(SpanEvent(name, self._clock(), dict(args)))
+
+    def current(self) -> Span | None:
+        """The span currently open in this thread/context, if any."""
+        return self._current.get()
+
+    def _finish(self, span: Span) -> None:
+        if self.metrics is not None:
+            self.metrics.observe(f"trace.{span.name}", span.duration_s)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def roots(self) -> list[Span]:
+        """Top-level spans recorded so far (insertion order)."""
+        with self._lock:
+            return list(self._roots)
+
+    def clear(self) -> None:
+        """Drop all recorded spans (keeps configuration)."""
+        with self._lock:
+            self._roots.clear()
+            self._spans_seen = 0
+            self.dropped = 0

@@ -22,6 +22,7 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 BENCH_MODULES = [
     "bench_robustness_overhead.py",
     "bench_session_cache.py",
+    "bench_trace_overhead.py",
 ]
 
 

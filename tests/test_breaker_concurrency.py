@@ -1,0 +1,237 @@
+"""Thread-safety of the prefetch circuit breaker.
+
+The regression these tests pin down: the half-open state used to admit
+every caller that read ``state == half_open`` before any of them
+resolved, so a concurrent fan-out could race *several* probes through
+a breaker that promises exactly one.  ``try_acquire`` makes admission
+atomic — one probe ticket, everyone else rejected until it resolves.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.robustness import CircuitBreaker, CircuitOpen
+
+THREADS = 16
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def _tripped_breaker(clock) -> CircuitBreaker:
+    breaker = CircuitBreaker(
+        failure_threshold=3, reset_after_s=10.0, clock=clock
+    )
+    for _ in range(3):
+        assert breaker.try_acquire()
+        breaker.record_failure()
+    assert breaker.state == "open"
+    return breaker
+
+
+class TestSingleProbe:
+    def test_half_open_admits_exactly_one_probe(self):
+        """16 barrier-synchronized threads hit a half-open breaker;
+        exactly one may probe, the rest are rejected."""
+        clock = FakeClock()
+        breaker = _tripped_breaker(clock)
+        clock.advance(10.0)  # cool-down elapsed -> half-open
+
+        barrier = threading.Barrier(THREADS)
+        admitted = []
+        lock = threading.Lock()
+
+        def contend(i):
+            barrier.wait()
+            ok = breaker.try_acquire()
+            if ok:
+                with lock:
+                    admitted.append(i)
+            return ok
+
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            outcomes = list(pool.map(contend, range(THREADS)))
+
+        assert len(admitted) == 1
+        assert sum(outcomes) == 1
+        assert breaker.rejections == THREADS - 1
+        # The probe is still unresolved: nobody else gets in.
+        assert not breaker.allows()
+        assert not breaker.try_acquire()
+
+    def test_probe_success_closes_for_everyone(self):
+        clock = FakeClock()
+        breaker = _tripped_breaker(clock)
+        clock.advance(10.0)
+        assert breaker.try_acquire()  # the probe
+        breaker.record_success()
+        assert breaker.state == "closed"
+        # Closed state admits concurrent callers freely again.
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            outcomes = list(
+                pool.map(lambda _: breaker.try_acquire(), range(THREADS))
+            )
+        assert all(outcomes)
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self):
+        clock = FakeClock()
+        breaker = _tripped_breaker(clock)
+        clock.advance(10.0)
+        assert breaker.try_acquire()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.try_acquire()
+        # A fresh cool-down grants a fresh (single) probe.
+        clock.advance(10.0)
+        assert breaker.try_acquire()
+        assert not breaker.try_acquire()
+
+    def test_repeated_fanouts_never_duplicate_probes(self):
+        """Many rounds of concurrent contention; every round, at most
+        one admission while half-open."""
+        clock = FakeClock()
+        breaker = _tripped_breaker(clock)
+        for _ in range(20):
+            clock.advance(10.0)  # -> half-open
+            barrier = threading.Barrier(THREADS)
+
+            def contend(_):
+                barrier.wait()
+                return breaker.try_acquire()
+
+            with ThreadPoolExecutor(max_workers=THREADS) as pool:
+                outcomes = list(pool.map(contend, range(THREADS)))
+            assert sum(outcomes) == 1
+            breaker.record_failure()  # probe fails -> open again
+
+    def test_concurrent_calls_trip_exactly_once(self):
+        """Parallel failing calls: the trip happens at the threshold
+        and the open breaker rejects the stragglers."""
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=5, reset_after_s=60.0, clock=clock
+        )
+        barrier = threading.Barrier(THREADS)
+
+        def failing_call(_):
+            barrier.wait()
+            try:
+                breaker.call(self._boom)
+                return "success"
+            except CircuitOpen:
+                return "rejected"
+            except RuntimeError:
+                return "failed"
+
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            outcomes = list(pool.map(failing_call, range(THREADS)))
+
+        assert breaker.state == "open"
+        assert outcomes.count("success") == 0
+        # Every admitted call recorded exactly one failure; admitted +
+        # rejected must account for every thread.
+        assert breaker.failures + breaker.rejections == THREADS
+        assert breaker.failures >= breaker.failure_threshold
+        assert outcomes.count("failed") == breaker.failures
+        assert outcomes.count("rejected") == breaker.rejections
+
+    @staticmethod
+    def _boom():
+        raise RuntimeError("injected")
+
+
+class TestCounterIntegrity:
+    def test_concurrent_successes_count_exactly(self):
+        breaker = CircuitBreaker(failure_threshold=3, clock=FakeClock())
+        rounds = 200
+
+        def work(_):
+            if breaker.try_acquire():
+                breaker.record_success()
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(work, range(rounds)))
+        assert breaker.successes == rounds
+        assert breaker.state == "closed"
+
+    def test_mixed_outcomes_keep_lifetime_totals(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=10_000, clock=clock  # never trips
+        )
+        n = 400
+
+        def work(i):
+            assert breaker.try_acquire()
+            if i % 3 == 0:
+                breaker.record_failure()
+            else:
+                breaker.record_success()
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(work, range(n)))
+        assert breaker.failures + breaker.successes == n
+        assert breaker.failures == len([i for i in range(n) if i % 3 == 0])
+
+    def test_allows_is_a_pure_peek(self):
+        clock = FakeClock()
+        breaker = _tripped_breaker(clock)
+        clock.advance(10.0)
+        # Peeking never takes the probe ticket.
+        for _ in range(5):
+            assert breaker.allows()
+        assert breaker.try_acquire()
+        assert not breaker.allows()
+
+
+class TestSessionFanout:
+    def test_session_prefetch_breaker_survives_concurrent_refresh(self):
+        """A prefetch-enabled parallel session drives its breaker
+        through a full trip/recover cycle without double probes."""
+        import numpy as np
+
+        from repro import FaultInjector, MapSession
+        from repro.geo import BoundingBox
+        from repro.robustness.faults import PREFETCH_COMPUTE
+
+        gen = np.random.default_rng(3)
+        from repro import GeoDataset
+
+        dataset = GeoDataset.build(gen.random(300), gen.random(300))
+        injector = FaultInjector().arm(PREFETCH_COMPUTE, max_fires=6)
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=3, reset_after_s=0.0, clock=clock
+        )
+        session = MapSession(
+            dataset,
+            k=6,
+            prefetch=True,
+            fault_injector=injector,
+            breaker=breaker,
+            workers=4,
+            parallel_backend="thread",
+        )
+        try:
+            session.start(BoundingBox(0.1, 0.1, 0.9, 0.9))
+            for _ in range(4):
+                session.pan(0.02, 0.0)
+        finally:
+            session.close()
+        # All outcomes accounted for; counters are exact despite the
+        # concurrent fan-out.
+        assert breaker.failures == 6
+        assert breaker.successes > 0
+        # With reset_after_s=0 the breaker recovers; the last refresh
+        # must have produced usable prefetch material again.
+        assert session.prefetch_errors == {} or breaker.state != "open"

@@ -42,6 +42,84 @@ class TestGridIndex:
         assert large.cells > small.cells
 
 
+class TestGridInteriorClassification:
+    """The interior-cell shortcut vs. brute force on adversarial input.
+
+    The regression: interior cells used to be decided by recomputing
+    the cell geometry as ``1.0 / inv_cell_width`` and comparing floats,
+    which can drift from the binning arithmetic that actually assigned
+    the points — a cell whose edge coincides with the query edge could
+    be taken wholesale while one of its points sits just outside the
+    box.  Interior is now derived from the same binning (strictly
+    between the edge bins), which is conservative and provably exact.
+    """
+
+    def _assert_matches_brute_force(self, xs, ys, box, cells):
+        grid = GridIndex(xs, ys, cells=cells)
+        got = sorted(grid.query_region(box).tolist())
+        mask = box.contains_many(xs, ys)
+        want = sorted(np.flatnonzero(mask).tolist())
+        assert got == want
+
+    def test_boundary_aligned_points_and_boxes(self):
+        """Points and query edges sitting exactly on cell boundaries."""
+        for cells in (1, 2, 4, 8, 16):
+            # Lattice of points on the cell corners of a [0,1] frame.
+            edges = np.linspace(0.0, 1.0, cells + 1)
+            gx, gy = np.meshgrid(edges, edges)
+            xs, ys = gx.ravel(), gy.ravel()
+            for lo, hi in [(0.0, 1.0), (edges[0], edges[-1])] + (
+                [(edges[1], edges[-2])] if cells >= 3 else []
+            ):
+                self._assert_matches_brute_force(
+                    xs, ys, BoundingBox(lo, lo, hi, hi), cells
+                )
+
+    def test_box_edges_on_irrational_cell_widths(self):
+        """Frames whose cell width has no exact float representation."""
+        gen = np.random.default_rng(5)
+        n = 400
+        xs = gen.random(n) * (1.0 / 3.0)
+        ys = gen.random(n) * (1.0 / 7.0)
+        for cells in (3, 7, 13):
+            grid = GridIndex(xs, ys, cells=cells)
+            # Query edges on the *derived* cell boundaries, where the
+            # old 1/inv round-trip could disagree with binning.
+            inv_w = grid._inv_cw
+            inv_h = grid._inv_ch
+            for c in range(1, cells):
+                box = BoundingBox(
+                    grid._frame.minx + c / inv_w,
+                    grid._frame.miny + c / inv_h,
+                    grid._frame.minx + (c + 1.0) / inv_w,
+                    grid._frame.miny + (c + 2.0) / inv_h,
+                )
+                self._assert_matches_brute_force(xs, ys, box, cells)
+
+    def test_property_random_points_random_boxes(self):
+        """Randomized sweep: grid == brute force for every box."""
+        gen = np.random.default_rng(11)
+        n = 500
+        # Half random, half snapped onto a coarse lattice so many
+        # points share exact boundary coordinates.
+        xs = np.concatenate(
+            [gen.random(n // 2), np.round(gen.random(n // 2) * 8) / 8]
+        )
+        ys = np.concatenate(
+            [gen.random(n // 2), np.round(gen.random(n // 2) * 8) / 8]
+        )
+        for trial in range(60):
+            cells = int(gen.integers(1, 20))
+            corners = gen.random(4)
+            if trial % 3 == 0:  # snap box corners onto the lattice too
+                corners = np.round(corners * 8) / 8
+            x0, x1 = sorted(corners[:2])
+            y0, y1 = sorted(corners[2:])
+            self._assert_matches_brute_force(
+                xs, ys, BoundingBox(x0, y0, x1, y1), cells
+            )
+
+
 class TestKDTreeIndex:
     def test_leaf_size_validation(self):
         with pytest.raises(ValueError):

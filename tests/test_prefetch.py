@@ -190,3 +190,61 @@ class TestPrefetchDataValidation:
         )
         with pytest.raises(ValueError):
             data.bounds_for(np.array([1]), 0)
+
+    def test_bounds_for_unknown_candidate_raises_typed_error(self):
+        from repro import PrefetchData, PrefetchUnavailable
+
+        data = PrefetchData(
+            kind="pan", source_region=BoundingBox.unit(),
+            ids=np.array([1, 2]), raw_sums=np.array([0.5, 0.25]),
+            elapsed_s=0.0,
+        )
+        with pytest.raises(PrefetchUnavailable, match="no bound"):
+            data.bounds_for(np.array([1, 99]), 4)
+        # Not a bare KeyError: the session's cold-serve fallback
+        # catches PrefetchUnavailable, nothing else.
+        try:
+            data.bounds_for(np.array([99]), 4)
+        except PrefetchUnavailable:
+            pass
+        else:  # pragma: no cover - regression guard
+            pytest.fail("expected PrefetchUnavailable")
+
+    def test_covers_is_vectorized_and_exact(self):
+        from repro import PrefetchData
+
+        data = PrefetchData(
+            kind="pan", source_region=BoundingBox.unit(),
+            ids=np.array([3, 5, 9]), raw_sums=np.zeros(3),
+            elapsed_s=0.0,
+        )
+        assert data.covers(np.array([3, 9]))
+        assert data.covers(np.array([], dtype=np.int64))
+        assert not data.covers(np.array([3, 4]))
+        assert not data.covers(np.array([10]))
+
+
+class TestSessionColdFallback:
+    def test_uncovered_candidates_serve_cold(self, ds):
+        """Prefetch material that stops covering the candidates (here:
+        forcibly truncated, as after a coverage race) must not error
+        the response path — the step serves cold, bit-identically."""
+        from repro import MapSession
+
+        region = dense_region(ds, side=0.3)
+
+        reference = MapSession(ds, k=6, prefetch=False)
+        reference.start(region)
+        expected = reference.pan(0.15, 0.05)
+        assert len(expected.candidates) > 0  # the fallback must matter
+
+        session = MapSession(ds, k=6, prefetch=True)
+        session.start(region)
+        # Sabotage every prefetch kind: keep only one bound so
+        # covers() fails (or bounds_for would raise PrefetchUnavailable).
+        for data in session._prefetch_data.values():
+            data.ids = data.ids[:1]
+            data.raw_sums = data.raw_sums[:1]
+        step = session.pan(0.15, 0.05)
+        assert not step.used_prefetch
+        assert np.array_equal(step.result.selected, expected.result.selected)

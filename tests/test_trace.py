@@ -1,0 +1,379 @@
+"""The span tracer: tree construction, export, session integration."""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro import MapSession, MetricsRegistry
+from repro.geo import BoundingBox
+from repro.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    chrome_trace,
+    format_span_tree,
+    validate_chrome_trace,
+    validate_chrome_trace_file,
+    write_chrome_trace,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestTracerCore:
+    def test_nested_spans_form_a_tree(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("outer") as outer:
+            clock.advance(1.0)
+            with tracer.span("inner") as inner:
+                clock.advance(0.5)
+            clock.advance(0.25)
+        assert tracer.roots == [outer]
+        assert outer.children == [inner]
+        assert inner.children == []
+        assert outer.duration_s == pytest.approx(1.75)
+        assert inner.duration_s == pytest.approx(0.5)
+
+    def test_sibling_spans_attach_in_order(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("root"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        (root,) = tracer.roots
+        assert [c.name for c in root.children] == ["a", "b"]
+
+    def test_current_tracks_the_open_span(self):
+        tracer = Tracer(clock=FakeClock())
+        assert tracer.current() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current() is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current() is inner
+            assert tracer.current() is outer
+        assert tracer.current() is None
+
+    def test_explicit_parent_overrides_context(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("a") as a:
+            pass
+        with tracer.span("b"):
+            with tracer.span("child", parent=a) as child:
+                pass
+        assert child in a.children
+        assert [r.name for r in tracer.roots] == ["a", "b"]
+
+    def test_parent_crosses_threads(self):
+        """Worker-thread spans attach under an explicit parent even
+        though the worker's context never saw the submitting span."""
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            def work():
+                # Fresh thread: no inherited context.
+                assert tracer.current() is None
+                with tracer.span("task", parent=root):
+                    pass
+            t = threading.Thread(target=work)
+            t.start()
+            t.join()
+        assert [c.name for c in root.children] == ["task"]
+
+    def test_record_attaches_retroactive_span(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("root") as root:
+            span = tracer.record("measured", 1.0, 3.5, items=4)
+        assert span in root.children
+        assert span.duration_s == pytest.approx(2.5)
+        assert span.args["items"] == 4
+
+    def test_event_lands_on_current_span(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("root") as root:
+            clock.advance(0.5)
+            tracer.event("breaker.trip", failures=3)
+        (event,) = root.events
+        assert event.name == "breaker.trip"
+        assert event.ts == pytest.approx(0.5)
+        assert event.args == {"failures": 3}
+        # Outside any span the event is dropped, not an error.
+        tracer.event("orphan")
+
+    def test_annotate_chains_and_merges(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("s", a=1) as span:
+            span.annotate(b=2).annotate(a=3)
+        assert span.args == {"a": 3, "b": 2}
+
+    def test_walk_and_child_seconds(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("root") as root:
+            with tracer.span("a"):
+                clock.advance(1.0)
+            with tracer.span("b"):
+                clock.advance(2.0)
+                with tracer.span("c"):
+                    clock.advance(1.0)
+        assert [s.name for s in root.walk()] == ["root", "a", "b", "c"]
+        assert root.child_seconds() == pytest.approx(4.0)
+
+    def test_max_spans_drops_new_roots_not_children(self):
+        tracer = Tracer(clock=FakeClock(), max_spans=2)
+        with tracer.span("kept"):
+            with tracer.span("child"):  # children always admitted
+                pass
+        with tracer.span("dropped"):
+            pass
+        assert [r.name for r in tracer.roots] == ["kept"]
+        assert tracer.dropped == 1
+        tracer.clear()
+        assert tracer.roots == []
+        assert tracer.dropped == 0
+        with tracer.span("fresh"):
+            pass
+        assert [r.name for r in tracer.roots] == ["fresh"]
+
+    def test_max_spans_validation(self):
+        with pytest.raises(ValueError):
+            Tracer(max_spans=0)
+
+    def test_metrics_integration(self):
+        clock = FakeClock()
+        metrics = MetricsRegistry()
+        tracer = Tracer(clock=clock, metrics=metrics)
+        for dt in (0.1, 0.3):
+            with tracer.span("op"):
+                clock.advance(dt)
+        summary = metrics.summary("trace.op")
+        assert summary["count"] == 2
+        assert summary["max"] == pytest.approx(0.3)
+
+    def test_concurrent_root_spans_from_many_threads(self):
+        tracer = Tracer()
+        n = 8
+        barrier = threading.Barrier(n)
+
+        def work(i):
+            barrier.wait()
+            for _ in range(50):
+                with tracer.span(f"thread-{i}"):
+                    pass
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(tracer.roots) == n * 50
+
+
+class TestNullTracer:
+    def test_full_surface_is_inert(self):
+        tracer = NullTracer()
+        assert not tracer.enabled
+        with tracer.span("anything", key=1) as span:
+            span.annotate(more=2)
+            tracer.event("event")
+        assert tracer.record("x", 0.0, 1.0).duration_s == 0.0
+        assert tracer.current() is None
+        assert tracer.roots == []
+        tracer.clear()
+
+    def test_shared_instance(self):
+        assert isinstance(NULL_TRACER, NullTracer)
+        # span() allocates nothing per call — same reusable object.
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
+
+
+class TestChromeExport:
+    def _sample_tracer(self):
+        clock = FakeClock()
+        clock.now = 100.0  # non-zero epoch: exports must rebase
+        tracer = Tracer(clock=clock)
+        with tracer.span("root", op="pan"):
+            clock.advance(0.001)
+            with tracer.span("child"):
+                clock.advance(0.002)
+            tracer.event("mark", detail="x")
+            clock.advance(0.001)
+        return tracer
+
+    def test_chrome_trace_structure(self):
+        doc = chrome_trace(self._sample_tracer())
+        stats = validate_chrome_trace(doc)
+        assert stats["spans"] == 2
+        assert stats["instants"] == 1
+        by_name = {e["name"]: e for e in doc["traceEvents"]
+                   if e["ph"] == "X"}
+        root, child = by_name["root"], by_name["child"]
+        # Rebased to the earliest root, in microseconds.
+        assert root["ts"] == 0
+        assert root["dur"] == pytest.approx(4000, abs=1)
+        assert child["ts"] == pytest.approx(1000, abs=1)
+        assert child["dur"] == pytest.approx(2000, abs=1)
+        assert root["args"]["op"] == "pan"
+
+    def test_numpy_args_are_json_safe(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span(
+            "s", count=np.int64(3), frac=np.float64(0.5),
+            ids=np.arange(2),
+        ):
+            clock.advance(0.001)
+        json.dumps(chrome_trace(tracer))  # must not raise
+
+    def test_write_and_validate_file(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(self._sample_tracer(), path)
+        stats = validate_chrome_trace_file(path)
+        assert stats["spans"] == 2
+
+    def test_validation_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": []})
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": [{"ph": "X"}]})
+        with pytest.raises(ValueError):
+            validate_chrome_trace([1, 2, 3])
+
+    def test_format_span_tree(self):
+        (root,) = self._sample_tracer().roots
+        text = format_span_tree(root)
+        assert "root" in text and "child" in text
+        assert "100.0%" in text
+        assert "! mark" in text
+
+
+def _session(dataset, tracer=None, **kwargs):
+    return MapSession(dataset, k=8, tracer=tracer, **kwargs)
+
+
+def _drive(session):
+    steps = [session.start(BoundingBox(0.1, 0.1, 0.7, 0.7))]
+    steps.append(session.zoom_in(0.5))
+    steps.append(session.pan(0.05, 0.0))
+    steps.append(session.zoom_out(2.0))
+    return steps
+
+
+class TestSessionIntegration:
+    def test_traced_selections_are_bit_identical(self, uniform_dataset):
+        plain = _drive(_session(uniform_dataset, prefetch=True))
+        traced = _drive(
+            _session(uniform_dataset, prefetch=True, tracer=Tracer())
+        )
+        for a, b in zip(plain, traced):
+            assert np.array_equal(a.result.selected, b.result.selected)
+            assert a.result.score == b.result.score
+
+    def test_every_step_yields_a_span_tree(self, uniform_dataset):
+        tracer = Tracer()
+        steps = _drive(_session(uniform_dataset, tracer=tracer))
+        for step in steps:
+            assert step.span is not None
+            assert step.span.name == f"session.{step.operation}" or (
+                step.operation == "initial"
+                and step.span.name == "session.initial"
+            )
+            names = [s.name for s in step.span.walk()]
+            assert "ladder.exact" in names
+            assert "greedy.init" in names
+            assert "greedy.loop" in names
+        # Untraced sessions leave the field empty.
+        for step in _drive(_session(uniform_dataset)):
+            assert step.span is None
+
+    def test_span_duration_matches_elapsed(self, uniform_dataset):
+        tracer = Tracer()
+        steps = _drive(_session(uniform_dataset, tracer=tracer))
+        for step in steps:
+            # The root span wraps exactly the timed region.
+            assert step.span.duration_s <= step.elapsed_s
+            assert step.span.duration_s >= 0.5 * step.elapsed_s
+
+    def test_attribution_covers_most_of_the_root(self, uniform_dataset):
+        """Direct children of each step's root span account for >=90%
+        of the measured wall time (the acceptance bar)."""
+        tracer = Tracer()
+        steps = _drive(_session(uniform_dataset, tracer=tracer))
+        total = sum(s.span.duration_s for s in steps)
+        attributed = sum(s.span.child_seconds() for s in steps)
+        assert total > 0
+        assert attributed >= 0.9 * total
+
+    def test_prefetch_and_capture_spans_off_response_path(
+        self, uniform_dataset
+    ):
+        tracer = Tracer()
+        session = _session(
+            uniform_dataset, prefetch=True, similarity_cache=True,
+            tracer=tracer,
+        )
+        _drive(session)
+        names = [r.name for r in tracer.roots]
+        assert "session.prefetch" in names
+        assert "session.warm_capture" in names
+        prefetch = next(
+            r for r in tracer.roots if r.name == "session.prefetch"
+        )
+        child_names = {c.name for c in prefetch.children}
+        assert {"prefetch.zoom_in", "prefetch.zoom_out", "prefetch.pan"} & (
+            child_names | {g.name for c in prefetch.children
+                           for g in c.walk()}
+        )
+
+    def test_pool_tasks_attach_to_submitting_span(self, uniform_dataset):
+        tracer = Tracer()
+        session = _session(
+            uniform_dataset, prefetch=True, workers=2,
+            parallel_backend="thread", tracer=tracer,
+        )
+        try:
+            _drive(session)
+        finally:
+            session.close()
+        prefetch_roots = [
+            r for r in tracer.roots if r.name == "session.prefetch"
+        ]
+        assert prefetch_roots
+        tasks = [
+            s for r in prefetch_roots for s in r.walk()
+            if s.name == "parallel.task"
+        ]
+        assert tasks  # fan-out spans nested under the prefetch root
+
+    def test_cli_trace_export_validates(self, uniform_dataset, tmp_path):
+        tracer = Tracer()
+        _drive(_session(uniform_dataset, prefetch=True, tracer=tracer))
+        path = tmp_path / "session.json"
+        write_chrome_trace(tracer, path)
+        stats = validate_chrome_trace_file(path)
+        assert stats["spans"] >= 4
+
+    def test_ladder_degrade_event_recorded(self, uniform_dataset):
+        tracer = Tracer()
+        session = MapSession(
+            uniform_dataset, k=8, max_iterations=1, tracer=tracer
+        )
+        step = session.start(BoundingBox(0.0, 0.0, 1.0, 1.0))
+        assert step.degraded
+        events = [
+            e.name for s in step.span.walk() for e in s.events
+        ] + [e.name for e in step.span.events]
+        assert "ladder.degrade" in events
