@@ -1,0 +1,44 @@
+"""repro-lint: project-specific static analysis.
+
+An AST-based checker turning the repo's runtime-tested invariants into
+statically enforced ones (see ``docs/STATIC_ANALYSIS.md``):
+
+========  =======================  ==========================================
+Rule      Name                     Invariant
+========  =======================  ==========================================
+RL001     lock-discipline          no mixed locked/unlocked attribute
+                                   mutation in Lock-owning classes
+RL002     determinism              no wall-clock or unseeded/global RNG in
+                                   the selection packages
+RL003     span-hygiene             ``tracer.span`` results context-managed
+RL004     metric-span-naming       literal names dotted lowercase
+RL005     exception-policy         broad handlers re-raise/record/justify
+RL006     public-api-annotations   full annotations in core/similarity
+========  =======================  ==========================================
+
+Run with ``python -m repro.analysis check src tests``.
+"""
+
+from repro.analysis.baseline import (
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.engine import check_paths, check_source
+from repro.analysis.findings import Finding, format_json, format_text
+from repro.analysis.registry import Rule, all_rules, register, resolve_rules
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "all_rules",
+    "apply_baseline",
+    "check_paths",
+    "check_source",
+    "format_json",
+    "format_text",
+    "load_baseline",
+    "register",
+    "resolve_rules",
+    "write_baseline",
+]

@@ -1,0 +1,76 @@
+"""Baseline machinery: grandfathering pre-existing findings.
+
+A baseline file records the findings that existed when the analyzer
+was adopted so CI can gate *new* violations without demanding the whole
+debt be paid first.  Entries are keyed by ``(rule, path, line text)``
+with a count — see :meth:`~repro.analysis.findings.Finding.key` for why
+line text beats line numbers — so edits elsewhere in a file do not
+invalidate the baseline, while touching a baselined line (its text
+changes) surfaces the finding again, which is exactly when the debt
+should be paid.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE = ".repro-lint-baseline.json"
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but cannot be used."""
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> None:
+    """Persist ``findings`` as the new accepted debt."""
+    counts = Counter(f.key() for f in findings)
+    entries = [
+        {"rule": rule, "path": fpath, "text": text, "count": count}
+        for (rule, fpath, text), count in sorted(counts.items())
+    ]
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def load_baseline(path: Path) -> Counter:
+    """Load accepted-debt counts keyed like :meth:`Finding.key`."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"unreadable baseline {path}: {exc}") from exc
+    if payload.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline {path} has version {payload.get('version')!r}, "
+            f"expected {BASELINE_VERSION}"
+        )
+    counts: Counter = Counter()
+    for entry in payload.get("entries", []):
+        key = (entry["rule"], entry["path"], entry["text"])
+        counts[key] += int(entry.get("count", 1))
+    return counts
+
+
+def apply_baseline(
+    findings: list[Finding], accepted: Counter
+) -> tuple[list[Finding], int]:
+    """Split findings into (new, baselined-away count).
+
+    For each baseline key the first ``count`` occurrences are
+    grandfathered; anything beyond that is new debt and is reported.
+    """
+    remaining = Counter(accepted)
+    new: list[Finding] = []
+    matched = 0
+    for finding in findings:
+        key = finding.key()
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            matched += 1
+        else:
+            new.append(finding)
+    return new, matched

@@ -1,0 +1,134 @@
+"""``python -m repro.analysis`` — the repro-lint command line.
+
+Usage::
+
+    python -m repro.analysis check src tests
+    python -m repro.analysis check src --select RL001,RL002 --format json
+    python -m repro.analysis check src tests --write-baseline
+    python -m repro.analysis rules
+
+Exit codes: ``0`` clean (or fully baseline-gated), ``1`` findings,
+``2`` usage errors (unknown rule id, unreadable baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE,
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.engine import check_paths
+from repro.analysis.findings import format_json, format_text
+from repro.analysis.registry import all_rules
+
+
+def _rule_list(value: str) -> list[str]:
+    return [item.strip() for item in value.split(",") if item.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "repro-lint: project-specific static analysis enforcing "
+            "lock discipline, determinism, span hygiene, naming, "
+            "exception policy, and public-API annotations."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="analyze files/directories")
+    check.add_argument(
+        "paths", nargs="+", type=Path, help="files or directories to scan"
+    )
+    check.add_argument(
+        "--select", type=_rule_list, default=None, metavar="RLxxx[,RLyyy]",
+        help="run only these rules",
+    )
+    check.add_argument(
+        "--ignore", type=_rule_list, default=None, metavar="RLxxx[,RLyyy]",
+        help="skip these rules",
+    )
+    check.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    check.add_argument(
+        "--baseline", type=Path, default=None, metavar="PATH",
+        help=f"baseline file (default: {DEFAULT_BASELINE} when present)",
+    )
+    check.add_argument(
+        "--no-baseline", action="store_true",
+        help="report every finding, ignoring any baseline file",
+    )
+    check.add_argument(
+        "--write-baseline", action="store_true",
+        help="accept current findings as debt and write the baseline",
+    )
+
+    sub.add_parser("rules", help="list registered rules")
+    return parser
+
+
+def _cmd_rules() -> int:
+    for rule_id, rule in sorted(all_rules().items()):
+        print(f"{rule_id}  {rule.name:<26} {rule.description}")
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    try:
+        findings = check_paths(
+            args.paths, select=args.select, ignore=args.ignore
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = args.baseline or Path(DEFAULT_BASELINE)
+    if args.write_baseline:
+        write_baseline(baseline_path, findings)
+        print(
+            f"wrote {baseline_path} with {len(findings)} accepted "
+            f"finding(s)"
+        )
+        return 0
+
+    matched = 0
+    if not args.no_baseline and baseline_path.exists():
+        try:
+            accepted = load_baseline(baseline_path)
+        except BaselineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        findings, matched = apply_baseline(findings, accepted)
+
+    if args.format == "json":
+        print(format_json(findings))
+    elif findings:
+        print(format_text(findings))
+
+    if args.format == "text":
+        summary = f"{len(findings)} finding(s)"
+        if matched:
+            summary += f" ({matched} baselined)"
+        print(summary, file=sys.stderr)
+    return 1 if findings else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "rules":
+        return _cmd_rules()
+    return _cmd_check(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,169 @@
+"""File walking and rule execution for ``repro.analysis``.
+
+The engine parses each ``.py`` file once, hands the shared
+:class:`FileContext` (source, AST, dotted module name, suppression
+index) to every selected rule, then post-processes raw findings:
+
+1. justified inline suppressions drop their findings;
+2. malformed suppressions become ``RL000`` meta-findings;
+3. the baseline (if any) grandfathers pre-existing debt.
+
+Rules never read files or apply suppressions themselves, which keeps
+them small enough to test against string fixtures via
+:func:`check_source`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import META_RULE, Rule, resolve_rules
+from repro.analysis.suppressions import SuppressionIndex, parse_suppressions
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to know about one parsed file."""
+
+    path: Path
+    rel: str
+    module: str | None
+    source: str
+    tree: ast.Module
+    lines: list[str]
+    suppressions: SuppressionIndex
+
+    def in_module(self, *prefixes: str) -> bool:
+        """Whether this file's dotted module sits under any prefix."""
+        if self.module is None:
+            return False
+        return any(
+            self.module == p or self.module.startswith(p + ".")
+            for p in prefixes
+        )
+
+
+def module_name_for(rel: str) -> str | None:
+    """Dotted module for a repo-relative path (``None`` outside src).
+
+    ``src/repro/core/greedy.py`` → ``repro.core.greedy``;
+    ``tests/test_x.py`` and other non-``src`` files map to ``None`` so
+    module-scoped rules skip them.
+    """
+    parts = Path(rel).parts
+    if "src" not in parts:
+        return None
+    idx = parts.index("src")
+    dotted = list(parts[idx + 1 :])
+    if not dotted or not dotted[-1].endswith(".py"):
+        return None
+    dotted[-1] = dotted[-1][: -len(".py")]
+    if dotted[-1] == "__init__":
+        dotted.pop()
+    return ".".join(dotted) if dotted else None
+
+
+def build_context(path: Path, root: Path | None = None) -> FileContext | None:
+    """Parse one file; ``None`` with no context if it cannot be read."""
+    root = root or Path.cwd()
+    try:
+        rel = path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        rel = path.as_posix()
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    return FileContext(
+        path=path,
+        rel=rel,
+        module=module_name_for(rel),
+        source=source,
+        tree=tree,
+        lines=source.splitlines(),
+        suppressions=parse_suppressions(source),
+    )
+
+
+def iter_python_files(paths: list[Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    seen: dict[Path, None] = {}
+    for path in paths:
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                seen.setdefault(sub, None)
+        elif path.suffix == ".py":
+            seen.setdefault(path, None)
+    return list(seen)
+
+
+def _meta_finding(rel: str, line: int, message: str, text: str) -> Finding:
+    return Finding(
+        rule=META_RULE, path=rel, line=line, col=1,
+        message=message, line_text=text,
+    )
+
+
+def check_context(ctx: FileContext, rules: list[Rule]) -> list[Finding]:
+    """Run ``rules`` over one parsed file, applying suppressions."""
+    findings: list[Finding] = []
+    for line, message in ctx.suppressions.malformed:
+        text = ctx.lines[line - 1].strip() if line <= len(ctx.lines) else ""
+        findings.append(_meta_finding(ctx.rel, line, message, text))
+    for rule in rules:
+        if not rule.applies_to(ctx):
+            continue
+        for finding in rule.check(ctx):
+            if ctx.suppressions.covers(finding.line, finding.rule):
+                continue
+            findings.append(finding)
+    return findings
+
+
+def check_source(
+    source: str,
+    rules: list[Rule] | None = None,
+    rel: str = "src/repro/core/_fixture.py",
+) -> list[Finding]:
+    """Analyze a source string — the unit-test entry point.
+
+    ``rel`` controls the synthetic path (and therefore the module
+    scoping rules see); the default plants fixtures inside
+    ``repro.core`` where every rule is active.
+    """
+    ctx = FileContext(
+        path=Path(rel),
+        rel=rel,
+        module=module_name_for(rel),
+        source=source,
+        tree=ast.parse(source),
+        lines=source.splitlines(),
+        suppressions=parse_suppressions(source),
+    )
+    return check_context(ctx, rules if rules is not None else resolve_rules())
+
+
+def check_paths(
+    paths: list[Path],
+    select: list[str] | None = None,
+    ignore: list[str] | None = None,
+    root: Path | None = None,
+) -> list[Finding]:
+    """Analyze files/directories; parse failures become RL000."""
+    rules = resolve_rules(select, ignore)
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        try:
+            ctx = build_context(path, root=root)
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            rel = path.as_posix()
+            line = getattr(exc, "lineno", None) or 1
+            findings.append(
+                _meta_finding(rel, line, f"cannot parse file: {exc}", "")
+            )
+            continue
+        if ctx is not None:
+            findings.extend(check_context(ctx, rules))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings

@@ -1,0 +1,57 @@
+"""Finding record and output formatting for ``repro.analysis``.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+:meth:`Finding.key` deliberately ignores the line *number* and keys on
+the line *text* instead: baselines must survive unrelated edits above a
+finding, and the (rule, path, normalized line text) triple is stable
+under such drift the same way flake8/ruff baseline tools match.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    #: Stripped source text of the offending line (baseline matching).
+    line_text: str = field(default="", compare=False)
+
+    def key(self) -> tuple[str, str, str]:
+        """Baseline identity: stable under line-number drift."""
+        return (self.rule, self.path, self.line_text)
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+
+def format_text(findings: list[Finding]) -> str:
+    """One ``path:line:col: RLxxx message`` line per finding."""
+    lines = [
+        f"{f.location()}: {f.rule} {f.message}"
+        for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+    ]
+    return "\n".join(lines)
+
+
+def format_json(findings: list[Finding]) -> str:
+    """JSON array of finding objects (machine-readable output)."""
+    payload = [
+        {
+            "rule": f.rule,
+            "path": f.path,
+            "line": f.line,
+            "col": f.col,
+            "message": f.message,
+        }
+        for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+    ]
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,100 @@
+"""Rule registry for ``repro.analysis``.
+
+Rules self-register via the :func:`register` decorator at import time
+(:mod:`repro.analysis.rules` imports every rule module for the side
+effect).  The CLI's ``--select`` / ``--ignore`` resolve against this
+registry, so an unknown rule id is a usage error rather than a silent
+no-op.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import TYPE_CHECKING, Type
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.engine import FileContext
+    from repro.analysis.findings import Finding
+
+#: Reserved id for analyzer meta-findings (unparsable file, malformed
+#: suppression comment).  Not a registered rule: it cannot be selected,
+#: ignored, suppressed, or baselined away.
+META_RULE = "RL000"
+
+
+class Rule:
+    """Base class for one static-analysis rule.
+
+    Subclasses set :attr:`id` (``RLxxx``), :attr:`name` (short slug)
+    and :attr:`description`, and implement :meth:`check`.  Scoping —
+    which files a rule even looks at — lives in :meth:`applies_to` so
+    the engine can report per-rule coverage honestly.
+    """
+
+    id: str = ""
+    name: str = ""
+    description: str = ""
+
+    def applies_to(self, ctx: "FileContext") -> bool:
+        """Whether this rule inspects ``ctx`` at all (default: yes)."""
+        return True
+
+    def check(self, ctx: "FileContext") -> Iterator["Finding"]:
+        """Yield findings for one parsed file."""
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: "FileContext", line: int, col: int, message: str
+    ) -> "Finding":
+        """Build a :class:`Finding` carrying the offending line text."""
+        from repro.analysis.findings import Finding
+
+        text = ""
+        if 1 <= line <= len(ctx.lines):
+            text = ctx.lines[line - 1].strip()
+        return Finding(
+            rule=self.id,
+            path=ctx.rel,
+            line=line,
+            col=col,
+            message=message,
+            line_text=text,
+        )
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding one rule instance to the registry."""
+    if not cls.id or not cls.id.startswith("RL"):
+        raise ValueError(f"rule id must look like RLxxx, got {cls.id!r}")
+    if cls.id == META_RULE:
+        raise ValueError(f"{META_RULE} is reserved for analyzer meta-findings")
+    if cls.id in _RULES:
+        raise ValueError(f"duplicate rule id {cls.id}")
+    _RULES[cls.id] = cls()
+    return cls
+
+
+def all_rules() -> dict[str, Rule]:
+    """Registered rules by id (import-ordered copy)."""
+    from repro.analysis import rules  # noqa: F401  (registration side effect)
+
+    return dict(_RULES)
+
+
+def resolve_rules(
+    select: list[str] | None = None, ignore: list[str] | None = None
+) -> list[Rule]:
+    """Rules to run after ``--select`` / ``--ignore`` filtering.
+
+    Raises ``ValueError`` on unknown ids so typos fail loudly.
+    """
+    rules = all_rules()
+    for rid in (select or []) + (ignore or []):
+        if rid not in rules:
+            known = ", ".join(sorted(rules))
+            raise ValueError(f"unknown rule id {rid!r} (known: {known})")
+    chosen = list(select) if select else sorted(rules)
+    return [rules[rid] for rid in chosen if rid not in set(ignore or [])]

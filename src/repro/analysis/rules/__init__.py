@@ -1,0 +1,15 @@
+"""Rule modules for ``repro.analysis``.
+
+Importing this package registers every rule with
+:mod:`repro.analysis.registry` — the imports below exist for that side
+effect.
+"""
+
+from repro.analysis.rules import (  # noqa: F401  (registration side effect)
+    annotations,
+    determinism,
+    exceptions,
+    locks,
+    naming,
+    spans,
+)

@@ -1,0 +1,69 @@
+"""Small shared AST helpers for the rule modules."""
+
+from __future__ import annotations
+
+import ast
+
+BROAD_EXCEPTIONS = {"Exception", "BaseException"}
+
+
+def receiver_text(call: ast.Call) -> str:
+    """Lower-cased source of a call's receiver (``''`` for plain names).
+
+    ``self.tracer.span(...)`` → ``"self.tracer"``; used for the cheap
+    "does this look like a tracer/metrics object" heuristics.
+    """
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        try:
+            return ast.unparse(func.value).lower()
+        except (ValueError, AttributeError):  # pragma: no cover
+            return ""  # malformed synthetic AST
+    return ""
+
+
+def attr_name(call: ast.Call) -> str | None:
+    """The attribute being called (``span`` in ``x.y.span(...)``)."""
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    return None
+
+
+def first_str_arg(call: ast.Call) -> str | None:
+    """First positional argument when it is a string literal."""
+    if call.args and isinstance(call.args[0], ast.Constant):
+        value = call.args[0].value
+        if isinstance(value, str):
+            return value
+    return None
+
+
+def self_attr_root(node: ast.AST) -> str | None:
+    """Root ``self`` attribute of an expression chain, if any.
+
+    ``self._counters[name]`` → ``_counters``; ``self.a.b`` → ``a``;
+    anything not rooted at ``self`` → ``None``.
+    """
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr
+        node = node.value
+    return None
+
+
+def is_broad_handler(handler: ast.ExceptHandler) -> bool:
+    """Whether a handler catches ``Exception``/``BaseException``/bare."""
+    def broad(expr: ast.expr | None) -> bool:
+        if expr is None:
+            return True
+        if isinstance(expr, ast.Name):
+            return expr.id in BROAD_EXCEPTIONS
+        if isinstance(expr, ast.Tuple):
+            return any(broad(el) for el in expr.elts)
+        return False
+
+    return broad(handler.type)

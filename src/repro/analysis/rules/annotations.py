@@ -1,0 +1,95 @@
+"""RL006 — public-API type annotations in the algorithm packages.
+
+``repro.core`` and ``repro.similarity`` are the surface other layers
+(and downstream users reproducing the paper's tables) program against;
+their public callables must be fully annotated so mypy actually checks
+call sites instead of inferring ``Any``.  Public means: module-level
+functions and methods of public classes whose name does not start with
+``_`` — plus ``__init__``/``__call__``, whose signatures *are* the
+class's public API.  Other dunders and private helpers are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from repro.analysis.registry import Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.engine import FileContext
+    from repro.analysis.findings import Finding
+
+SCOPED_PACKAGES = ("repro.core", "repro.similarity")
+PUBLIC_DUNDERS = {"__init__", "__call__"}
+
+
+def _is_public(name: str) -> bool:
+    if name in PUBLIC_DUNDERS:
+        return True
+    return not name.startswith("_")
+
+
+def _missing_annotations(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef, is_method: bool
+) -> list[str]:
+    missing: list[str] = []
+    args = fn.args
+    positional = args.posonlyargs + args.args
+    for index, arg in enumerate(positional):
+        if is_method and index == 0 and arg.arg in ("self", "cls"):
+            continue
+        if arg.annotation is None:
+            missing.append(arg.arg)
+    for arg in args.kwonlyargs:
+        if arg.annotation is None:
+            missing.append(arg.arg)
+    if args.vararg is not None and args.vararg.annotation is None:
+        missing.append("*" + args.vararg.arg)
+    if args.kwarg is not None and args.kwarg.annotation is None:
+        missing.append("**" + args.kwarg.arg)
+    if fn.returns is None:
+        missing.append("return")
+    return missing
+
+
+@register
+class PublicApiAnnotationsRule(Rule):
+    id = "RL006"
+    name = "public-api-annotations"
+    description = (
+        "Public functions/methods in repro.core and repro.similarity "
+        "must annotate every parameter and the return type."
+    )
+
+    def applies_to(self, ctx: "FileContext") -> bool:
+        return ctx.in_module(*SCOPED_PACKAGES)
+
+    def check(self, ctx: "FileContext") -> Iterator["Finding"]:
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_fn(ctx, stmt, is_method=False)
+            elif isinstance(stmt, ast.ClassDef) and _is_public(stmt.name):
+                for sub in stmt.body:
+                    if isinstance(
+                        sub, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        yield from self._check_fn(ctx, sub, is_method=True)
+
+    def _check_fn(
+        self,
+        ctx: "FileContext",
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        is_method: bool,
+    ) -> Iterator["Finding"]:
+        if not _is_public(fn.name):
+            return
+        missing = _missing_annotations(fn, is_method)
+        if not missing:
+            return
+        yield self.finding(
+            ctx, fn.lineno, fn.col_offset + 1,
+            f"public callable '{fn.name}' is missing annotations for: "
+            f"{', '.join(missing)}",
+        )

@@ -1,0 +1,156 @@
+"""RL002 — determinism of the selection-critical packages.
+
+The paper's evaluation (and this repo's parallel-equivalence suite)
+relies on ``Sim(O, S)`` objective values being bit-identical across
+runs and worker counts.  Inside the packages that compute selections —
+``repro.core``, ``repro.similarity``, ``repro.index``,
+``repro.baselines`` — wall-clock reads and unseeded randomness are the
+two ways nondeterminism leaks in, so both are flagged:
+
+* ``time.time`` / ``time.perf_counter`` / ``time.monotonic`` /
+  ``datetime.now`` reads (timing belongs in the allowlisted timing
+  modules, or behind a justified suppression when it only feeds
+  reporting fields like ``elapsed_s``);
+* the legacy global ``np.random.*`` API and stdlib ``random.*`` (both
+  share hidden global state);
+* ``np.random.default_rng()`` with no seed argument.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from repro.analysis.registry import Rule, register
+from repro.analysis.rules._ast_util import receiver_text
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.engine import FileContext
+    from repro.analysis.findings import Finding
+
+SCOPED_PACKAGES = (
+    "repro.core", "repro.similarity", "repro.index", "repro.baselines",
+)
+
+#: Modules exempt from the clock checks: they exist to measure time.
+TIMING_ALLOWLIST = {
+    "repro.experiments.timing",
+    "repro.robustness.budget",
+    "repro.metrics.registry",
+    "repro.trace.tracer",
+}
+
+CLOCK_ATTRS = {
+    "time", "time_ns", "monotonic", "monotonic_ns",
+    "perf_counter", "perf_counter_ns", "process_time", "process_time_ns",
+}
+DATETIME_ATTRS = {"now", "utcnow", "today"}
+#: ``np.random`` members that are *not* the legacy global-state API.
+NP_RANDOM_OK = {"default_rng", "Generator", "SeedSequence", "PCG64", "BitGenerator"}
+
+
+def _np_random_member(call: ast.Call) -> str | None:
+    """``np.random.<member>`` / ``numpy.random.<member>`` call name."""
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    value = func.value
+    if (
+        isinstance(value, ast.Attribute)
+        and value.attr == "random"
+        and isinstance(value.value, ast.Name)
+        and value.value.id in ("np", "numpy")
+    ):
+        return func.attr
+    return None
+
+
+@register
+class DeterminismRule(Rule):
+    id = "RL002"
+    name = "determinism"
+    description = (
+        "No wall-clock reads or unseeded/global randomness inside the "
+        "deterministic selection packages."
+    )
+
+    def applies_to(self, ctx: "FileContext") -> bool:
+        if ctx.module in TIMING_ALLOWLIST:
+            return False
+        return ctx.in_module(*SCOPED_PACKAGES)
+
+    def check(self, ctx: "FileContext") -> Iterator["Finding"]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            finding = self._check_call(ctx, node)
+            if finding is not None:
+                yield finding
+
+    def _check_call(
+        self, ctx: "FileContext", call: ast.Call
+    ) -> "Finding | None":
+        func = call.func
+        line, col = call.lineno, call.col_offset + 1
+
+        member = _np_random_member(call)
+        if member is not None:
+            if member == "default_rng" and not (call.args or call.keywords):
+                return self.finding(
+                    ctx, line, col,
+                    "np.random.default_rng() without a seed is "
+                    "nondeterministic; thread an explicit seed or "
+                    "Generator through the caller",
+                )
+            if member not in NP_RANDOM_OK:
+                return self.finding(
+                    ctx, line, col,
+                    f"legacy global-state RNG np.random.{member} is "
+                    f"forbidden here; use a seeded "
+                    f"np.random.default_rng Generator",
+                )
+            return None
+
+        if isinstance(func, ast.Name):
+            if func.id == "default_rng" and not (call.args or call.keywords):
+                return self.finding(
+                    ctx, line, col,
+                    "default_rng() without a seed is nondeterministic; "
+                    "thread an explicit seed or Generator through",
+                )
+            if func.id in ("perf_counter", "monotonic"):
+                return self.finding(
+                    ctx, line, col,
+                    f"clock read {func.id}() in a deterministic "
+                    f"package; move timing to an allowlisted timing "
+                    f"module or justify a suppression",
+                )
+            return None
+
+        if not isinstance(func, ast.Attribute):
+            return None
+        recv = receiver_text(call)
+
+        if recv == "time" and func.attr in CLOCK_ATTRS:
+            return self.finding(
+                ctx, line, col,
+                f"clock read time.{func.attr}() in a deterministic "
+                f"package; move timing to an allowlisted timing module "
+                f"or justify a suppression",
+            )
+        if func.attr in DATETIME_ATTRS and (
+            "datetime" in recv or recv == "date"
+        ):
+            return self.finding(
+                ctx, line, col,
+                f"wall-clock read {recv}.{func.attr}() in a "
+                f"deterministic package",
+            )
+        if recv == "random":
+            return self.finding(
+                ctx, line, col,
+                f"stdlib random.{func.attr} uses hidden global state; "
+                f"use a seeded np.random.default_rng Generator",
+            )
+        return None

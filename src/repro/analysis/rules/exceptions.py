@@ -1,0 +1,82 @@
+"""RL005 — broad exception handler policy.
+
+``except Exception`` (or bare ``except``) is how the response path
+survives a broken index or a failing prefetch builder — but a broad
+handler that silently swallows is also how real bugs disappear.  The
+policy, matching the repo's existing degradation sites: every broad
+handler must do at least one of
+
+* **re-raise** (``raise`` somewhere in the handler body),
+* **record** the event — call something named ``record*`` (e.g.
+  ``breaker.record_failure``) or a metrics ``incr``/``observe``,
+* carry a justified ``# repro-lint: disable=RL005 -- ...`` suppression
+  on the ``except`` line for the genuinely best-effort cases
+  (``__del__`` cleanup, JSON coercion fallbacks).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from repro.analysis.registry import Rule, register
+from repro.analysis.rules._ast_util import is_broad_handler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.engine import FileContext
+    from repro.analysis.findings import Finding
+
+RECORDING_ATTRS = {"incr", "observe"}
+
+
+def _records_outcome(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler re-raises or records a metric/event."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = None
+            if isinstance(func, ast.Attribute):
+                name = func.attr
+            elif isinstance(func, ast.Name):
+                name = func.id
+            if name is None:
+                continue
+            bare = name.lstrip("_")
+            if bare in RECORDING_ATTRS or bare.startswith("record"):
+                return True
+    return False
+
+
+@register
+class ExceptionPolicyRule(Rule):
+    id = "RL005"
+    name = "exception-policy"
+    description = (
+        "Broad 'except Exception' handlers must re-raise, record a "
+        "metric, or carry a justified RL005 suppression."
+    )
+
+    def applies_to(self, ctx: "FileContext") -> bool:
+        # Tests legitimately catch broadly around assertions.
+        return ctx.in_module("repro")
+
+    def check(self, ctx: "FileContext") -> Iterator["Finding"]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not is_broad_handler(node):
+                continue
+            if _records_outcome(node):
+                continue
+            caught = "bare except" if node.type is None else (
+                f"except {ast.unparse(node.type)}"
+            )
+            yield self.finding(
+                ctx, node.lineno, node.col_offset + 1,
+                f"broad handler ({caught}) neither re-raises nor "
+                f"records the failure; narrow the type, record a "
+                f"metric, or add a justified RL005 suppression",
+            )

@@ -1,0 +1,177 @@
+"""RL001 — lock discipline for lock-owning classes.
+
+A class that creates a ``threading.Lock``/``RLock`` on ``self`` (the
+:class:`~repro.robustness.breaker.CircuitBreaker`,
+:class:`~repro.metrics.MetricsRegistry`,
+:class:`~repro.trace.tracer.Tracer` pattern) is declaring its instance
+state shared between threads.  Every attribute such a class mutates
+both *under* ``with self._lock`` and *outside* it is a data race by
+construction — exactly the pre-PR-4 breaker bug where ``state`` reads
+advanced the automaton unlocked while ``record_failure`` mutated it
+locked.
+
+Conventions the rule understands:
+
+* ``__init__`` mutations are exempt (no sharing before construction
+  completes);
+* methods named ``*_locked`` are helpers documented as called with the
+  lock held, so their mutations count as locked;
+* the lock attributes themselves are not tracked.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.analysis.registry import Rule, register
+from repro.analysis.rules._ast_util import self_attr_root
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.engine import FileContext
+    from repro.analysis.findings import Finding
+
+#: Method calls that mutate their receiver in place.
+MUTATORS = {
+    "append", "appendleft", "add", "clear", "discard", "extend",
+    "insert", "pop", "popitem", "remove", "setdefault", "update",
+}
+
+LOCK_FACTORIES = {"Lock", "RLock"}
+
+
+@dataclass
+class _MutationSites:
+    locked: list[tuple[int, str]] = field(default_factory=list)
+    unlocked: list[tuple[int, str]] = field(default_factory=list)
+
+
+def _lock_attrs(cls: ast.ClassDef) -> set[str]:
+    """Attributes assigned a ``threading.Lock()``/``RLock()``."""
+    locks: set[str] = set()
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        if not isinstance(value, ast.Call):
+            continue
+        func = value.func
+        name = None
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+        elif isinstance(func, ast.Name):
+            name = func.id
+        if name not in LOCK_FACTORIES:
+            continue
+        for target in node.targets:
+            attr = self_attr_root(target)
+            if attr is not None:
+                locks.add(attr)
+    return locks
+
+
+def _is_lock_item(item: ast.withitem, locks: set[str]) -> bool:
+    expr = item.context_expr
+    if isinstance(expr, ast.Call):  # with self._lock.acquire_timeout(...)
+        expr = expr.func
+    attr = self_attr_root(expr)
+    return attr in locks
+
+
+class _MethodScanner(ast.NodeVisitor):
+    """Collect per-attribute mutation sites with lock-held state."""
+
+    def __init__(self, locks: set[str], method: str, held: bool):
+        self.locks = locks
+        self.method = method
+        self.held = held
+        self.sites: dict[str, _MutationSites] = {}
+
+    def _record(self, attr: str | None, line: int) -> None:
+        if attr is None or attr in self.locks:
+            return
+        bucket = self.sites.setdefault(attr, _MutationSites())
+        target = bucket.locked if self.held else bucket.unlocked
+        target.append((line, self.method))
+
+    def visit_With(self, node: ast.With) -> None:
+        if any(_is_lock_item(item, self.locks) for item in node.items):
+            prev, self.held = self.held, True
+            for stmt in node.body:
+                self.visit(stmt)
+            self.held = prev
+        else:
+            self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._record(self_attr_root(target), node.lineno)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record(self_attr_root(node.target), node.lineno)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._record(self_attr_root(node.target), node.lineno)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in MUTATORS:
+            self._record(self_attr_root(func.value), node.lineno)
+        self.generic_visit(node)
+
+
+@register
+class LockDisciplineRule(Rule):
+    id = "RL001"
+    name = "lock-discipline"
+    description = (
+        "Attributes of a Lock-owning class must not be mutated both "
+        "under and outside 'with self._lock'."
+    )
+
+    def check(self, ctx: "FileContext") -> Iterator["Finding"]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(ctx, node)
+
+    def _check_class(
+        self, ctx: "FileContext", cls: ast.ClassDef
+    ) -> Iterator["Finding"]:
+        locks = _lock_attrs(cls)
+        if not locks:
+            return
+        lock_name = sorted(locks)[0]
+        merged: dict[str, _MutationSites] = {}
+        for stmt in cls.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if stmt.name in ("__init__", "__new__"):
+                continue
+            scanner = _MethodScanner(
+                locks, stmt.name, held=stmt.name.endswith("_locked")
+            )
+            for inner in stmt.body:
+                scanner.visit(inner)
+            for attr, sites in scanner.sites.items():
+                bucket = merged.setdefault(attr, _MutationSites())
+                bucket.locked.extend(sites.locked)
+                bucket.unlocked.extend(sites.unlocked)
+        for attr, sites in sorted(merged.items()):
+            if not (sites.locked and sites.unlocked):
+                continue
+            locked_line = sites.locked[0][0]
+            for line, method in sites.unlocked:
+                yield self.finding(
+                    ctx, line, 1,
+                    f"attribute '{attr}' of lock-owning class "
+                    f"'{cls.name}' is mutated in '{method}' without "
+                    f"'with self.{lock_name}' but under the lock "
+                    f"elsewhere (e.g. line {locked_line}); hold the "
+                    f"lock or rename the helper '*_locked'",
+                )

@@ -1,0 +1,76 @@
+"""RL004 — metric and span naming convention.
+
+Counters, timers, spans, and span events share one namespace surfaced
+in ``--metrics`` output, Chrome-trace exports, and the benchmark
+regression JSONs.  Names must be dotted lowercase
+(``subsystem.measure``, e.g. ``sim.row_hits``, ``session.prefetch``)
+so dashboards group by prefix and renames stay greppable.  Only string
+*literals* are checked; dynamically built names (``f"session.{op}"``)
+are the caller's responsibility.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from repro.analysis.registry import Rule, register
+from repro.analysis.rules._ast_util import (
+    attr_name,
+    first_str_arg,
+    receiver_text,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.engine import FileContext
+    from repro.analysis.findings import Finding
+
+NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
+
+#: Always name-checked, whatever the receiver looks like.
+ALWAYS_CHECKED = {"incr", "observe", "event", "_incr"}
+
+
+def _named_call(call: ast.Call) -> bool:
+    attr = attr_name(call)
+    if attr is None:
+        return False
+    if attr in ALWAYS_CHECKED:
+        return True
+    recv = receiver_text(call)
+    if attr == "span":
+        return "tracer" in recv
+    if attr in ("time", "count", "summary", "observations"):
+        return "metrics" in recv or "registry" in recv
+    return False
+
+
+@register
+class NamingConventionRule(Rule):
+    id = "RL004"
+    name = "metric-span-naming"
+    description = (
+        "Literal metric/span/event names must be dotted lowercase "
+        "(^[a-z][a-z0-9_]*(\\.[a-z0-9_]+)+$)."
+    )
+
+    def applies_to(self, ctx: "FileContext") -> bool:
+        # Library code only: tests may exercise the registry with
+        # throwaway names.
+        return ctx.in_module("repro")
+
+    def check(self, ctx: "FileContext") -> Iterator["Finding"]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or not _named_call(node):
+                continue
+            name = first_str_arg(node)
+            if name is None or NAME_RE.match(name):
+                continue
+            yield self.finding(
+                ctx, node.lineno, node.col_offset + 1,
+                f"metric/span name {name!r} violates the dotted-"
+                f"lowercase convention 'subsystem.measure' "
+                f"({NAME_RE.pattern})",
+            )

@@ -1,0 +1,63 @@
+"""RL003 — span hygiene.
+
+``tracer.span(...)`` returns a context manager whose ``__exit__``
+finalizes the span's end timestamp and feeds the metrics registry.  A
+span call whose result is dropped (bare expression statement) or parked
+in a variable never closes: the trace tree holds a zero-duration span
+forever and, worse, nested spans attach to a parent that never exits.
+Every span call must therefore be the context expression of a ``with``
+statement (or be handed to ``ExitStack.enter_context``).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from repro.analysis.registry import Rule, register
+from repro.analysis.rules._ast_util import attr_name, receiver_text
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.engine import FileContext
+    from repro.analysis.findings import Finding
+
+
+def _is_span_call(call: ast.Call) -> bool:
+    return attr_name(call) == "span" and "tracer" in receiver_text(call)
+
+
+@register
+class SpanHygieneRule(Rule):
+    id = "RL003"
+    name = "span-hygiene"
+    description = (
+        "tracer.span(...) results must be context-managed "
+        "('with tracer.span(...)'), never dropped or parked."
+    )
+
+    def check(self, ctx: "FileContext") -> Iterator["Finding"]:
+        managed: set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if isinstance(item.context_expr, ast.Call):
+                        managed.add(id(item.context_expr))
+            elif isinstance(node, ast.Call):
+                # ExitStack.enter_context(tracer.span(...)) manages too.
+                if attr_name(node) == "enter_context":
+                    for arg in node.args:
+                        if isinstance(arg, ast.Call):
+                            managed.add(id(arg))
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and _is_span_call(node)
+                and id(node) not in managed
+            ):
+                yield self.finding(
+                    ctx, node.lineno, node.col_offset + 1,
+                    "tracer.span(...) result is not context-managed; "
+                    "the span never finishes (use 'with tracer.span"
+                    "(...)' or ExitStack.enter_context)",
+                )

@@ -1,0 +1,106 @@
+"""Inline suppression comments for ``repro.analysis``.
+
+The accepted form is::
+
+    risky_line()  # repro-lint: disable=RL002 -- why this is exempt
+
+* one or more comma-separated rule ids after ``disable=``;
+* a ``--``-separated **justification is required** — a suppression
+  without one does not suppress anything and is itself reported as an
+  :data:`~repro.analysis.registry.META_RULE` finding, so exemptions
+  cannot silently accrete without recorded rationale;
+* a comment on its own line applies to the next source line, so long
+  signatures and ``with`` headers can carry their exemption above.
+
+Suppressions are parsed from the token stream (never from string
+literals), which keeps fixture snippets and docs that *mention* the
+marker from being treated as live exemptions.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+MARKER = "repro-lint:"
+
+_DIRECTIVE = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<ids>[A-Za-z0-9, ]+?)"
+    r"(?:\s+--\s*(?P<why>.*))?\s*$"
+)
+
+
+@dataclass
+class Suppression:
+    """One parsed ``disable=`` comment."""
+
+    line: int
+    rules: set[str]
+    justification: str
+    #: Source line the suppression covers (the comment's own line, or
+    #: the following line for standalone comments).
+    applies_to: int = 0
+
+    @property
+    def justified(self) -> bool:
+        return bool(self.justification.strip())
+
+
+@dataclass
+class SuppressionIndex:
+    """Suppressions of one file, keyed by the line they cover."""
+
+    by_line: dict[int, list[Suppression]] = field(default_factory=dict)
+    malformed: list[tuple[int, str]] = field(default_factory=list)
+
+    def covers(self, line: int, rule: str) -> bool:
+        """Whether a justified suppression exempts ``rule`` at ``line``."""
+        for sup in self.by_line.get(line, []):
+            if sup.justified and rule in sup.rules:
+                return True
+        return False
+
+
+def parse_suppressions(source: str) -> SuppressionIndex:
+    """Extract every ``repro-lint: disable=`` comment from ``source``."""
+    index = SuppressionIndex()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return index  # the engine reports the parse failure separately
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT or MARKER not in tok.string:
+            continue
+        line = tok.start[0]
+        match = _DIRECTIVE.match(tok.string.strip())
+        if match is None:
+            index.malformed.append(
+                (line, "malformed repro-lint comment (expected "
+                       "'# repro-lint: disable=RLxxx -- justification')")
+            )
+            continue
+        rules = {
+            rid.strip() for rid in match.group("ids").split(",") if rid.strip()
+        }
+        why = (match.group("why") or "").strip()
+        sup = Suppression(line=line, rules=rules, justification=why)
+        if not rules:
+            index.malformed.append(
+                (line, "repro-lint suppression names no rule ids")
+            )
+            continue
+        if not sup.justified:
+            index.malformed.append(
+                (line, "repro-lint suppression is missing its "
+                       "'-- justification' text; it is not honored")
+            )
+            continue
+        # A standalone comment (nothing but whitespace before the '#'
+        # on its line) shields the next line; trailing comments shield
+        # their own.
+        standalone = tok.line[: tok.start[1]].strip() == ""
+        sup.applies_to = line + 1 if standalone else line
+        index.by_line.setdefault(sup.applies_to, []).append(sup)
+    return index

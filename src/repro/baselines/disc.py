@@ -65,9 +65,12 @@ def disc_select(
     the closest-sized cover seen is returned.  Output size is not
     exactly ``k`` by design — DisC has no cardinality parameter.
     """
-    rng = rng or np.random.default_rng()
+    # Seeded default: an omitted rng must still give run-to-run
+    # reproducible selections (the paper's evaluation contract).
+    rng = rng or np.random.default_rng(0)
     region_ids = dataset.objects_in(query.region)
     # Timed after the region fetch (paper Sec. 7.1 convention).
+    # repro-lint: disable=RL002 -- reporting-only duration measurement (elapsed_s/op timing); never influences which objects are selected
     started = time.perf_counter()
 
     best: list[int] = []
@@ -95,6 +98,7 @@ def disc_select(
         score=score,
         region_ids=region_ids,
         stats={
+            # repro-lint: disable=RL002 -- reporting-only duration measurement (elapsed_s/op timing); never influences which objects are selected
             "elapsed_s": time.perf_counter() - started,
             "population": int(len(region_ids)),
             "radius_gap": int(abs(len(best) - query.k)),

@@ -52,9 +52,12 @@ def _diversity_greedy(
     aggregation: Aggregation,
     objective: str,
 ) -> SelectionResult:
-    rng = rng or np.random.default_rng()
+    # Seeded default: an omitted rng must still give run-to-run
+    # reproducible selections (the paper's evaluation contract).
+    rng = rng or np.random.default_rng(0)
     region_ids = dataset.objects_in(query.region)
     # Timed after the region fetch (paper Sec. 7.1 convention).
+    # repro-lint: disable=RL002 -- reporting-only duration measurement (elapsed_s/op timing); never influences which objects are selected
     started = time.perf_counter()
     n = len(region_ids)
 
@@ -104,6 +107,7 @@ def _diversity_greedy(
         score=score,
         region_ids=region_ids,
         stats={
+            # repro-lint: disable=RL002 -- reporting-only duration measurement (elapsed_s/op timing); never influences which objects are selected
             "elapsed_s": time.perf_counter() - started,
             "population": int(n),
             "objective": objective,

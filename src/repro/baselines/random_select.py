@@ -30,10 +30,13 @@ def random_select(
     ``k`` objects are selected or the permutation is exhausted (the
     region may admit fewer than ``k`` visible objects).
     """
-    rng = rng or np.random.default_rng()
+    # Seeded default: an omitted rng must still give run-to-run
+    # reproducible selections (the paper's evaluation contract).
+    rng = rng or np.random.default_rng(0)
     region_ids = dataset.objects_in(query.region)
     # Timed after the region fetch, matching the paper's "we report the
     # runtime after the object fetching is finished" (Sec. 7.1).
+    # repro-lint: disable=RL002 -- reporting-only duration measurement (elapsed_s/op timing); never influences which objects are selected
     started = time.perf_counter()
 
     selected: list[int] = []
@@ -63,6 +66,7 @@ def random_select(
         score=score,
         region_ids=region_ids,
         stats={
+            # repro-lint: disable=RL002 -- reporting-only duration measurement (elapsed_s/op timing); never influences which objects are selected
             "elapsed_s": time.perf_counter() - started,
             "population": int(len(region_ids)),
         },

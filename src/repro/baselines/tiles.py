@@ -100,6 +100,7 @@ class TilePyramid:
         return BoundingBox(minx, miny, minx + width, miny + height)
 
     def _build(self) -> None:
+        # repro-lint: disable=RL002 -- reporting-only duration measurement (elapsed_s/op timing); never influences which objects are selected
         started = time.perf_counter()
         empty = np.empty(0, dtype=np.int64)
         for level in range(self.max_level + 1):
@@ -129,6 +130,7 @@ class TilePyramid:
                         aggregation=self.aggregation,
                     )
                     self._tiles[key] = result.selected
+        # repro-lint: disable=RL002 -- reporting-only duration measurement (elapsed_s/op timing); never influences which objects are selected
         self.build_elapsed_s = time.perf_counter() - started
 
     # ------------------------------------------------------------------
@@ -176,6 +178,7 @@ class TilePyramid:
         tile-serving map does; all the weaknesses measured by the
         ablation are inherent, not implementation shortcuts.
         """
+        # repro-lint: disable=RL002 -- reporting-only duration measurement (elapsed_s/op timing); never influences which objects are selected
         started = time.perf_counter()
         level = self.level_for(query.region)
         picked: list[int] = []
@@ -201,6 +204,7 @@ class TilePyramid:
             score=score,
             region_ids=region_ids,
             stats={
+                # repro-lint: disable=RL002 -- reporting-only duration measurement (elapsed_s/op timing); never influences which objects are selected
                 "elapsed_s": time.perf_counter() - started,
                 "population": int(len(region_ids)),
                 "level": level,

@@ -33,6 +33,7 @@ def topweight_select(
     """
     region_ids = dataset.objects_in(query.region)
     # Timed after the region fetch (paper Sec. 7.1 convention).
+    # repro-lint: disable=RL002 -- reporting-only duration measurement (elapsed_s/op timing); never influences which objects are selected
     started = time.perf_counter()
 
     selected: list[int] = []
@@ -65,6 +66,7 @@ def topweight_select(
         score=score,
         region_ids=region_ids,
         stats={
+            # repro-lint: disable=RL002 -- reporting-only duration measurement (elapsed_s/op timing); never influences which objects are selected
             "elapsed_s": time.perf_counter() - started,
             "population": int(len(region_ids)),
         },

@@ -36,6 +36,7 @@ def exact_select(
     ``max_population`` — the runtime is exponential and the guard
     protects callers from accidental blowups.
     """
+    # repro-lint: disable=RL002 -- reporting-only duration measurement (elapsed_s/op timing); never influences which objects are selected
     started = time.perf_counter()
     region_ids = dataset.objects_in(query.region)
     n = len(region_ids)
@@ -75,6 +76,7 @@ def exact_select(
                 chosen.pop()
 
     search(0, [])
+    # repro-lint: disable=RL002 -- reporting-only duration measurement (elapsed_s/op timing); never influences which objects are selected
     elapsed = time.perf_counter() - started
     selected = region_ids[np.asarray(best_sel, dtype=np.int64)]
     return SelectionResult(

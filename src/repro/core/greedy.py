@@ -17,6 +17,7 @@ instead of exact gains.
 from __future__ import annotations
 
 import time
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -34,7 +35,10 @@ from repro.robustness.faults import (
     SIMILARITY_EVAL,
     FaultInjector,
 )
-from repro.trace.tracer import NULL_TRACER
+from repro.trace.tracer import NULL_TRACER, TracerLike
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.parallel.pool import WorkerPool
 
 
 def greedy_select(
@@ -48,8 +52,8 @@ def greedy_select(
     strict: bool = False,
     metrics: MetricsRegistry | None = None,
     batch_size: int | None = None,
-    pool=None,
-    tracer=None,
+    pool: WorkerPool | None = None,
+    tracer: TracerLike | None = None,
 ) -> SelectionResult:
     """Solve an SOS query with the greedy algorithm (Algorithm 1).
 
@@ -128,8 +132,8 @@ def greedy_core(
     strict: bool = False,
     metrics: MetricsRegistry | None = None,
     batch_size: int | None = None,
-    pool=None,
-    tracer=None,
+    pool: WorkerPool | None = None,
+    tracer: TracerLike | None = None,
 ) -> SelectionResult:
     """Shared greedy engine for SOS, ISOS and the prefetch path.
 
@@ -220,6 +224,7 @@ def greedy_core(
         the selection — traced and untraced runs are bit-identical.
     """
     tracer = tracer if tracer is not None else NULL_TRACER
+    # repro-lint: disable=RL002 -- reporting-only duration measurement (elapsed_s/op timing); never influences which objects are selected
     started = time.perf_counter()
     region_ids = np.asarray(region_ids, dtype=np.int64)
     candidate_ids = np.asarray(candidate_ids, dtype=np.int64)
@@ -275,6 +280,7 @@ def greedy_core(
             for c in dataset.conflicts_with_many(mandatory_ids, theta)
         )
 
+    # repro-lint: disable=RL002 -- reporting-only duration measurement (elapsed_s/op timing); never influences which objects are selected
     init_started = time.perf_counter()
     batch_size = effective_batch_size(batch_size, dataset.similarity, pool)
     seeded_bounds = 0
@@ -369,6 +375,7 @@ def greedy_core(
     else:
         raise ValueError(f"init_mode must be 'exact' or 'bulk', got {init_mode!r}")
 
+    # repro-lint: disable=RL002 -- reporting-only duration measurement (elapsed_s/op timing); never influences which objects are selected
     init_ended = time.perf_counter()
     init_elapsed = init_ended - init_started
     tracer.record(
@@ -403,6 +410,7 @@ def greedy_core(
         # the loop check above; surface it all the same.
         budget_reason = budget.exhausted_reason
 
+    # repro-lint: disable=RL002 -- reporting-only duration measurement (elapsed_s/op timing); never influences which objects are selected
     elapsed = time.perf_counter() - started
     tracer.record(
         "greedy.loop",

@@ -15,7 +15,7 @@ top is fresh, exactly as lines 5–10 of Algorithm 1.  Deactivation
 from __future__ import annotations
 
 import heapq
-from collections.abc import Callable
+from collections.abc import Callable, Iterable
 
 _STALE = -1
 
@@ -58,7 +58,7 @@ class LazyForwardHeap:
         """Remove ``obj_id`` from consideration (lazy deletion)."""
         self._alive.discard(obj_id)
 
-    def deactivate_many(self, obj_ids) -> None:
+    def deactivate_many(self, obj_ids: Iterable[int]) -> None:
         """Remove several ids at once."""
         self._alive.difference_update(int(i) for i in obj_ids)
 

@@ -48,7 +48,7 @@ class FrequencyPredictor(NavigationPredictor):
     the session's default behaviour).
     """
 
-    def __init__(self, top: int = 2, smoothing: float = 1.0):
+    def __init__(self, top: int = 2, smoothing: float = 1.0) -> None:
         if not 1 <= top <= len(OPERATIONS):
             raise ValueError(f"top must be in [1, {len(OPERATIONS)}]")
         if smoothing <= 0:

@@ -46,7 +46,7 @@ from repro.geo.bbox import BoundingBox
 from repro.geo.point import Point
 from repro.robustness.errors import PrefetchUnavailable
 from repro.robustness.faults import PREFETCH_COMPUTE, FaultInjector
-from repro.trace.tracer import NULL_TRACER
+from repro.trace.tracer import NULL_TRACER, TracerLike
 
 
 @dataclass
@@ -141,8 +141,8 @@ class Prefetcher:
         self,
         dataset: GeoDataset,
         fault_injector: FaultInjector | None = None,
-        tracer=None,
-    ):
+        tracer: TracerLike | None = None,
+    ) -> None:
         self.dataset = dataset
         self.fault_injector = fault_injector
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -163,6 +163,7 @@ class Prefetcher:
         """
         with self.tracer.span("prefetch.zoom_in") as span:
             self._check()
+            # repro-lint: disable=RL002 -- reporting-only duration measurement (elapsed_s/op timing); never influences which objects are selected
             started = time.perf_counter()
             ids = self.dataset.objects_in(region)
             raw = self._raw_sums(ids)
@@ -172,6 +173,7 @@ class Prefetcher:
             source_region=region,
             ids=ids,
             raw_sums=raw,
+            # repro-lint: disable=RL002 -- reporting-only duration measurement (elapsed_s/op timing); never influences which objects are selected
             elapsed_s=time.perf_counter() - started,
         )
 
@@ -185,6 +187,7 @@ class Prefetcher:
         """
         with self.tracer.span("prefetch.zoom_out") as span:
             self._check()
+            # repro-lint: disable=RL002 -- reporting-only duration measurement (elapsed_s/op timing); never influences which objects are selected
             started = time.perf_counter()
             area = region.zoom_out_union(max_scale)
             ids = self.dataset.objects_in(area)
@@ -195,6 +198,7 @@ class Prefetcher:
             source_region=region,
             ids=ids,
             raw_sums=raw,
+            # repro-lint: disable=RL002 -- reporting-only duration measurement (elapsed_s/op timing); never influences which objects are selected
             elapsed_s=time.perf_counter() - started,
         )
 
@@ -218,6 +222,7 @@ class Prefetcher:
         self, region: BoundingBox, tight: bool, span
     ) -> PrefetchData:
         self._check()
+        # repro-lint: disable=RL002 -- reporting-only duration measurement (elapsed_s/op timing); never influences which objects are selected
         started = time.perf_counter()
         area = region.pan_union()
         ids = self.dataset.objects_in(area)
@@ -250,5 +255,6 @@ class Prefetcher:
             source_region=region,
             ids=ids,
             raw_sums=raw,
+            # repro-lint: disable=RL002 -- reporting-only duration measurement (elapsed_s/op timing); never influences which objects are selected
             elapsed_s=time.perf_counter() - started,
         )

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.core.dataset import GeoDataset
 from repro.core.problem import Aggregation
+from repro.similarity.base import RowsKernel
 
 
 def similarity_to_set(
@@ -176,7 +177,7 @@ class MarginalGainState:
         dataset: GeoDataset,
         region_ids: np.ndarray,
         aggregation: Aggregation = Aggregation.MAX,
-    ):
+    ) -> None:
         if aggregation is Aggregation.AVG:
             raise ValueError(
                 "AVG aggregation is evaluation-only; greedy requires a "
@@ -238,7 +239,7 @@ class MarginalGainState:
             self._sum_gains[obj] = value
         return value
 
-    def batch_kernel(self):
+    def batch_kernel(self) -> RowsKernel:
         """The population-specialized block kernel (built lazily).
 
         Callers that dispatch :meth:`batch_gains` across threads should

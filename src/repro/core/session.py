@@ -65,7 +65,7 @@ from repro.robustness.errors import (
 )
 from repro.robustness.faults import INDEX_QUERY, FaultInjector
 from repro.robustness.ladder import select_with_ladder
-from repro.trace.tracer import NULL_TRACER, Span
+from repro.trace.tracer import NULL_TRACER, Span, TracerLike
 
 DEFAULT_THETA_FRACTION = 0.003
 
@@ -219,7 +219,7 @@ class MapSession:
         tight_pan_bounds: bool = False,
         lazy: bool = True,
         init_mode: str = "exact",
-        predictor: "NavigationPredictor | None" = None,
+        predictor: NavigationPredictor | None = None,
         deadline_s: float | None = None,
         max_iterations: int | None = None,
         fault_injector: FaultInjector | None = None,
@@ -232,8 +232,8 @@ class MapSession:
         workers: int | str | None = None,
         batch_size: int | None = None,
         parallel_backend: str = "auto",
-        tracer=None,
-    ):
+        tracer: TracerLike | None = None,
+    ) -> None:
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
         if theta_fraction < 0:
@@ -342,6 +342,7 @@ class MapSession:
         theta = self._theta_for(region)
         region_ids = self._objects_in(region)
         cache_before = self._cache_counters()
+        # repro-lint: disable=RL002 -- reporting-only duration measurement (elapsed_s/op timing); never influences which objects are selected
         started = time.perf_counter()
         # The root span covers exactly the timed selection region, so
         # its duration matches elapsed_s and child spans account for
@@ -371,6 +372,7 @@ class MapSession:
                 tracer=self.tracer,
             )
             span.annotate(tier=result.stats.get("tier", "exact"))
+        # repro-lint: disable=RL002 -- reporting-only duration measurement (elapsed_s/op timing); never influences which objects are selected
         elapsed = time.perf_counter() - started
         step = self._commit(
             operation="initial",
@@ -621,6 +623,7 @@ class MapSession:
             warm_started = bounds is not None
 
         cache_before = self._cache_counters()
+        # repro-lint: disable=RL002 -- reporting-only duration measurement (elapsed_s/op timing); never influences which objects are selected
         started = time.perf_counter()
         with self.tracer.span(
             f"session.{operation}",
@@ -651,6 +654,7 @@ class MapSession:
                 tracer=self.tracer,
             )
             span.annotate(tier=result.stats.get("tier", "exact"))
+        # repro-lint: disable=RL002 -- reporting-only duration measurement (elapsed_s/op timing); never influences which objects are selected
         elapsed = time.perf_counter() - started
         if (used_prefetch or warm_started) and self.equivalence_check:
             self._assert_equivalent(

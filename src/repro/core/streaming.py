@@ -64,7 +64,7 @@ class StreamingSelector:
         theta: float,
         swap_margin: float = 0.1,
         aggregation: Aggregation = Aggregation.MAX,
-    ):
+    ) -> None:
         if k <= 0:
             raise ValueError("k must be positive")
         if theta < 0:
@@ -114,7 +114,12 @@ class StreamingSelector:
             self._consider(obj_id)
         return obj_id
 
-    def extend(self, xs, ys, weights=None) -> None:
+    def extend(
+        self,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        weights: np.ndarray | None = None,
+    ) -> None:
         """Ingest a batch (convenience wrapper over :meth:`add`)."""
         weights = weights if weights is not None else np.ones(len(xs))
         for x, y, w in zip(xs, ys, weights):
@@ -248,7 +253,7 @@ class StreamingSelector:
 class _UniversePrefix(SimilarityModel):
     """View of the first ``n`` objects of a larger similarity model."""
 
-    def __init__(self, base: SimilarityModel, n: int):
+    def __init__(self, base: SimilarityModel, n: int) -> None:
         if n > len(base):
             raise ValueError("prefix larger than the base model")
         self._base = base

@@ -188,6 +188,7 @@ class WorkerPool:
     def __del__(self) -> None:  # best-effort safety net
         try:
             self.close()
+        # repro-lint: disable=RL005 -- interpreter-teardown close; no registry is safely reachable here
         except Exception:  # pragma: no cover
             pass
 
@@ -308,6 +309,7 @@ class WorkerPool:
                 try:
                     outcomes.append((thunk(), None))
                 except Exception as exc:
+                    self._incr("parallel.task_failures")
                     outcomes.append((None, exc))
             return outcomes
         executor = self._thread_executor()
@@ -334,6 +336,7 @@ class WorkerPool:
             try:
                 outcomes.append((future.result(), None))
             except Exception as exc:
+                self._incr("parallel.task_failures")
                 outcomes.append((None, exc))
         return outcomes
 

@@ -132,5 +132,6 @@ def release_attachments(keep: set[str] | None = None) -> None:
         segment, _view = _ATTACHED.pop(name)
         try:
             segment.close()
+        # repro-lint: disable=RL005 -- best-effort worker-side unmap; a dead segment is already detached
         except Exception:  # pragma: no cover - best effort
             pass

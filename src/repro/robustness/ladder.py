@@ -140,6 +140,8 @@ def select_with_ladder(
     except InfeasibleSelection:
         raise
     except Exception as exc:
+        if metrics is not None:
+            metrics.incr("ladder.tier_failures")
         attempts.append((Tier.EXACT.value, _describe(exc)))
     else:
         if not (result.degraded and result.stats.get("short_selection")):
@@ -179,6 +181,8 @@ def select_with_ladder(
         except InfeasibleSelection:
             raise
         except Exception as exc:
+            if metrics is not None:
+                metrics.incr("ladder.tier_failures")
             attempts.append((Tier.SAMPLED.value, _describe(exc)))
         else:
             if not (result.degraded and result.stats.get("short_selection")):

@@ -13,7 +13,12 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from repro.similarity.base import SimilarityModel
+from repro.similarity.base import (
+    ProcessSpec,
+    RowKernel,
+    RowsKernel,
+    SimilarityModel,
+)
 
 
 class CombinedSimilarity(SimilarityModel):
@@ -23,7 +28,7 @@ class CombinedSimilarity(SimilarityModel):
         self,
         models: Sequence[SimilarityModel],
         weights: Sequence[float] | None = None,
-    ):
+    ) -> None:
         if not models:
             raise ValueError("need at least one component model")
         sizes = {len(m) for m in models}
@@ -68,7 +73,7 @@ class CombinedSimilarity(SimilarityModel):
             out += w * m.sims_to(i, ids)
         return out
 
-    def row_kernel(self, ids: np.ndarray):
+    def row_kernel(self, ids: np.ndarray) -> RowKernel:
         kernels = [m.row_kernel(ids) for m in self.models]
         weights = self.weights
 
@@ -80,7 +85,7 @@ class CombinedSimilarity(SimilarityModel):
 
         return kernel
 
-    def rows_kernel(self, ids: np.ndarray):
+    def rows_kernel(self, ids: np.ndarray) -> RowsKernel:
         # Same multiply/accumulate order as row_kernel, over component
         # blocks that are themselves bit-identical to their scalar
         # kernels — so combined rows are too.
@@ -95,7 +100,7 @@ class CombinedSimilarity(SimilarityModel):
 
         return kernel
 
-    def process_spec(self):
+    def process_spec(self) -> ProcessSpec | None:
         children = []
         arrays: dict[str, np.ndarray] = {}
         for idx, model in enumerate(self.models):

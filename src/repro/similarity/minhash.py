@@ -27,7 +27,7 @@ from collections.abc import Iterable, Sequence
 
 import numpy as np
 
-from repro.similarity.base import SimilarityModel
+from repro.similarity.base import ProcessSpec, RowsKernel, SimilarityModel
 from repro.similarity.text import Tokenizer
 
 # A Mersenne prime comfortably above any 32-bit token hash.
@@ -92,7 +92,7 @@ class MinHashSimilarity(SimilarityModel):
         keyword_sets: Sequence[Iterable[int]],
         num_hashes: int = 64,
         seed: int = 0,
-    ):
+    ) -> None:
         self._signatures = compute_signatures(keyword_sets, num_hashes, seed)
         self._n = len(keyword_sets)
 
@@ -123,7 +123,7 @@ class MinHashSimilarity(SimilarityModel):
         sims[ids == i] = 1.0
         return sims
 
-    def rows_kernel(self, ids: np.ndarray):
+    def rows_kernel(self, ids: np.ndarray) -> RowsKernel:
         """Block kernel over a pre-gathered signature sub-matrix.
 
         Iterates the block row by row (a full ``block x ids x hashes``
@@ -154,7 +154,7 @@ class MinHashSimilarity(SimilarityModel):
         model._n = len(model._signatures)
         return model
 
-    def process_spec(self):
+    def process_spec(self) -> ProcessSpec | None:
         return ("minhash", {}, {"signatures": self._signatures})
 
     @property

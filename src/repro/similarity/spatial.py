@@ -18,7 +18,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.geo.distance import euclidean_many
-from repro.similarity.base import SimilarityModel
+from repro.similarity.base import (
+    ProcessSpec,
+    RowKernel,
+    RowsKernel,
+    SimilarityModel,
+)
 
 
 class EuclideanSimilarity(SimilarityModel):
@@ -34,7 +39,7 @@ class EuclideanSimilarity(SimilarityModel):
     # only add memory traffic, so default batching stays off.
     batch_friendly = False
 
-    def __init__(self, xs: np.ndarray, ys: np.ndarray, d_max: float | None = None):
+    def __init__(self, xs: np.ndarray, ys: np.ndarray, d_max: float | None = None) -> None:
         self.xs = np.asarray(xs, dtype=np.float64)
         self.ys = np.asarray(ys, dtype=np.float64)
         if self.xs.shape != self.ys.shape or self.xs.ndim != 1:
@@ -64,7 +69,7 @@ class EuclideanSimilarity(SimilarityModel):
         )
         return np.maximum(0.0, 1.0 - dists / self.d_max)
 
-    def row_kernel(self, ids: np.ndarray):
+    def row_kernel(self, ids: np.ndarray) -> RowKernel:
         ids = np.asarray(ids, dtype=np.int64)
         xs_sub = self.xs[ids]
         ys_sub = self.ys[ids]
@@ -77,7 +82,7 @@ class EuclideanSimilarity(SimilarityModel):
 
         return kernel
 
-    def rows_kernel(self, ids: np.ndarray):
+    def rows_kernel(self, ids: np.ndarray) -> RowsKernel:
         ids = np.asarray(ids, dtype=np.int64)
         xs_sub = self.xs[ids]
         ys_sub = self.ys[ids]
@@ -95,7 +100,7 @@ class EuclideanSimilarity(SimilarityModel):
 
         return kernel
 
-    def process_spec(self):
+    def process_spec(self) -> ProcessSpec | None:
         return ("euclidean", {"d_max": self.d_max}, {"xs": self.xs, "ys": self.ys})
 
 
@@ -106,7 +111,7 @@ class GaussianSpatialSimilarity(SimilarityModel):
     # vectorized expression, so block batching only buys memory traffic.
     batch_friendly = False
 
-    def __init__(self, xs: np.ndarray, ys: np.ndarray, sigma: float):
+    def __init__(self, xs: np.ndarray, ys: np.ndarray, sigma: float) -> None:
         self.xs = np.asarray(xs, dtype=np.float64)
         self.ys = np.asarray(ys, dtype=np.float64)
         if self.xs.shape != self.ys.shape or self.xs.ndim != 1:
@@ -130,7 +135,7 @@ class GaussianSpatialSimilarity(SimilarityModel):
         dy = self.ys[ids] - self.ys[i]
         return np.exp(-(dx * dx + dy * dy) * self._inv_two_sigma_sq)
 
-    def row_kernel(self, ids: np.ndarray):
+    def row_kernel(self, ids: np.ndarray) -> RowKernel:
         ids = np.asarray(ids, dtype=np.int64)
         xs_sub = self.xs[ids]
         ys_sub = self.ys[ids]
@@ -142,7 +147,7 @@ class GaussianSpatialSimilarity(SimilarityModel):
 
         return kernel
 
-    def rows_kernel(self, ids: np.ndarray):
+    def rows_kernel(self, ids: np.ndarray) -> RowsKernel:
         ids = np.asarray(ids, dtype=np.int64)
         xs_sub = self.xs[ids]
         ys_sub = self.ys[ids]
@@ -155,5 +160,5 @@ class GaussianSpatialSimilarity(SimilarityModel):
 
         return kernel
 
-    def process_spec(self):
+    def process_spec(self) -> ProcessSpec | None:
         return ("gaussian", {"sigma": self.sigma}, {"xs": self.xs, "ys": self.ys})

@@ -24,7 +24,12 @@ from collections.abc import Iterable, Sequence
 import numpy as np
 from scipy import sparse
 
-from repro.similarity.base import SimilarityModel
+from repro.similarity.base import (
+    ProcessSpec,
+    RowKernel,
+    RowsKernel,
+    SimilarityModel,
+)
 
 _WORD_RE = re.compile(r"[a-z0-9']+")
 
@@ -40,7 +45,7 @@ DEFAULT_STOPWORDS = frozenset(
 class Tokenizer:
     """Lowercasing word tokenizer with stopword removal."""
 
-    def __init__(self, stopwords: frozenset[str] = DEFAULT_STOPWORDS):
+    def __init__(self, stopwords: frozenset[str] = DEFAULT_STOPWORDS) -> None:
         self.stopwords = stopwords
 
     def tokenize(self, text: str) -> list[str]:
@@ -101,7 +106,7 @@ class TfidfVectorizer:
     to a dot product.
     """
 
-    def __init__(self, tokenizer: Tokenizer | None = None, min_df: int = 1):
+    def __init__(self, tokenizer: Tokenizer | None = None, min_df: int = 1) -> None:
         if min_df < 1:
             raise ValueError(f"min_df must be >= 1, got {min_df}")
         self.tokenizer = tokenizer or Tokenizer()
@@ -172,7 +177,7 @@ class CosineTextSimilarity(SimilarityModel):
     its similarity to everything else is 0.
     """
 
-    def __init__(self, matrix: sparse.csr_matrix):
+    def __init__(self, matrix: sparse.csr_matrix) -> None:
         if not sparse.issparse(matrix):
             matrix = sparse.csr_matrix(np.asarray(matrix, dtype=np.float64))
         self._matrix = matrix.tocsr()
@@ -205,7 +210,7 @@ class CosineTextSimilarity(SimilarityModel):
         sims[ids == i] = 1.0
         return sims
 
-    def row_kernel(self, ids: np.ndarray):
+    def row_kernel(self, ids: np.ndarray) -> RowKernel:
         """Row kernel with the population sub-matrix pre-transposed.
 
         Extracting ``M[ids]`` dominates :meth:`sims_to`; caching its
@@ -224,7 +229,7 @@ class CosineTextSimilarity(SimilarityModel):
 
         return kernel
 
-    def rows_kernel(self, ids: np.ndarray):
+    def rows_kernel(self, ids: np.ndarray) -> RowsKernel:
         """Block kernel: one sparse matmul per candidate block.
 
         CSR matmul computes each output row from that input row alone,
@@ -245,7 +250,7 @@ class CosineTextSimilarity(SimilarityModel):
 
         return kernel
 
-    def process_spec(self):
+    def process_spec(self) -> ProcessSpec | None:
         matrix = self._matrix
         return (
             "cosine_text",
@@ -301,7 +306,7 @@ class JaccardSimilarity(SimilarityModel):
     with one sparse product and unions from cached set sizes.
     """
 
-    def __init__(self, keyword_sets: Sequence[Iterable[int]]):
+    def __init__(self, keyword_sets: Sequence[Iterable[int]]) -> None:
         rows: list[int] = []
         cols: list[int] = []
         max_kw = -1
@@ -344,7 +349,7 @@ class JaccardSimilarity(SimilarityModel):
         sims[ids == i] = 1.0
         return sims
 
-    def rows_kernel(self, ids: np.ndarray):
+    def rows_kernel(self, ids: np.ndarray) -> RowsKernel:
         # Intersections are sums of exact 1.0s, so the block product is
         # bit-identical to per-row products regardless of accumulation
         # order; union/divide mirror sims_to elementwise.
@@ -376,7 +381,7 @@ class JaccardSimilarity(SimilarityModel):
         model._sizes = np.asarray(sizes, dtype=np.float64)
         return model
 
-    def process_spec(self):
+    def process_spec(self) -> ProcessSpec | None:
         matrix = self._matrix
         return (
             "jaccard",

@@ -27,6 +27,7 @@ from repro.trace.tracer import (
     Span,
     SpanEvent,
     Tracer,
+    TracerLike,
 )
 
 __all__ = [
@@ -35,6 +36,7 @@ __all__ = [
     "Span",
     "SpanEvent",
     "Tracer",
+    "TracerLike",
     "chrome_trace",
     "format_span_tree",
     "validate_chrome_trace",

@@ -37,6 +37,7 @@ def _jsonable(value: Any) -> Any:
     if callable(item):
         try:
             return item()
+        # repro-lint: disable=RL005 -- JSON coercion falls through to repr(); exporting must never fail a trace dump
         except Exception:  # pragma: no cover - exotic array types
             pass
     return repr(value)

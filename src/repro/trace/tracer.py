@@ -45,6 +45,7 @@ __all__ = [
     "Span",
     "SpanEvent",
     "Tracer",
+    "TracerLike",
 ]
 
 
@@ -325,3 +326,9 @@ class Tracer:
             self._roots.clear()
             self._spans_seen = 0
             self.dropped = 0
+
+
+#: What instrumented call sites accept: a recording tracer or the
+#: shared no-op.  (``NullTracer`` mirrors the surface without
+#: inheriting, so the hot-path no-op stays allocation-free.)
+TracerLike = Tracer | NullTracer

@@ -1,0 +1,165 @@
+"""CLI, baseline round-trip, and repo-gate tests for repro-lint."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.baseline import (
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.cli import main
+from repro.analysis.engine import check_paths
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Private + annotated so the only violation is the RL002 clock read.
+BAD_SOURCE = textwrap.dedent(
+    """
+    import time
+
+    def _score() -> float:
+        return time.perf_counter()
+    """
+)
+
+
+@pytest.fixture
+def bad_tree(tmp_path, monkeypatch):
+    """A scan root containing one RL002 violation, cwd-relative paths."""
+    monkeypatch.chdir(tmp_path)
+    pkg = tmp_path / "src" / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg / "bad.py").write_text(BAD_SOURCE, encoding="utf-8")
+    return tmp_path
+
+
+class TestCheckCommand:
+    def test_findings_exit_1_text(self, bad_tree, capsys):
+        assert main(["check", "src"]) == 1
+        out = capsys.readouterr()
+        assert "RL002" in out.out
+        assert "bad.py" in out.out
+        assert "1 finding(s)" in out.err
+
+    def test_clean_exit_0(self, bad_tree, capsys):
+        (bad_tree / "src" / "repro" / "core" / "bad.py").write_text(
+            "X: int = 1\n", encoding="utf-8"
+        )
+        assert main(["check", "src"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().err
+
+    def test_json_format(self, bad_tree, capsys):
+        assert main(["check", "src", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 1
+        entry = payload[0]
+        assert entry["rule"] == "RL002"
+        assert entry["path"].endswith("bad.py")
+        assert entry["line"] > 0
+
+    def test_select_filters_rules(self, bad_tree):
+        assert main(["check", "src", "--select", "RL002"]) == 1
+        assert main(["check", "src", "--select", "RL001"]) == 0
+
+    def test_ignore_filters_rules(self, bad_tree):
+        assert main(["check", "src", "--ignore", "RL002"]) == 0
+
+    def test_unknown_rule_exit_2(self, bad_tree, capsys):
+        assert main(["check", "src", "--select", "RL999"]) == 2
+        assert "unknown rule id" in capsys.readouterr().err
+
+    def test_rules_subcommand(self, capsys):
+        assert main(["rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
+            assert rule_id in out
+
+
+class TestBaseline:
+    def test_write_then_check_round_trip(self, bad_tree, capsys):
+        assert main(["check", "src", "--write-baseline"]) == 0
+        assert "wrote" in capsys.readouterr().out
+        # The grandfathered finding no longer fails the gate...
+        assert main(["check", "src"]) == 0
+        assert "(1 baselined)" in capsys.readouterr().err
+        # ...but --no-baseline still reports the full debt.
+        assert main(["check", "src", "--no-baseline"]) == 1
+
+    def test_baseline_survives_line_drift(self, bad_tree, capsys):
+        assert main(["check", "src", "--write-baseline"]) == 0
+        bad = bad_tree / "src" / "repro" / "core" / "bad.py"
+        bad.write_text(
+            "# leading comment pushes the violation down\n"
+            + bad.read_text(encoding="utf-8"),
+            encoding="utf-8",
+        )
+        capsys.readouterr()
+        assert main(["check", "src"]) == 0
+
+    def test_new_finding_escapes_baseline(self, bad_tree, capsys):
+        assert main(["check", "src", "--write-baseline"]) == 0
+        extra = bad_tree / "src" / "repro" / "core" / "worse.py"
+        extra.write_text(
+            "import random\n\ndef _j() -> float:\n    return random.random()\n",
+            encoding="utf-8",
+        )
+        capsys.readouterr()
+        assert main(["check", "src"]) == 1
+        out = capsys.readouterr()
+        assert "worse.py" in out.out
+        assert "(1 baselined)" in out.err
+
+    def test_malformed_baseline_exit_2(self, bad_tree, capsys):
+        Path(".repro-lint-baseline.json").write_text("{not json", encoding="utf-8")
+        assert main(["check", "src"]) == 2
+        assert "unreadable baseline" in capsys.readouterr().err
+
+    def test_wrong_version_exit_2(self, bad_tree, capsys):
+        Path(".repro-lint-baseline.json").write_text(
+            json.dumps({"version": 99, "entries": []}), encoding="utf-8"
+        )
+        assert main(["check", "src"]) == 2
+        assert "version" in capsys.readouterr().err
+
+    def test_explicit_baseline_path(self, bad_tree, tmp_path):
+        baseline = tmp_path / "debt.json"
+        assert main(
+            ["check", "src", "--write-baseline", "--baseline", str(baseline)]
+        ) == 0
+        assert baseline.exists()
+        assert main(["check", "src", "--baseline", str(baseline)]) == 0
+
+    def test_api_round_trip(self, bad_tree, tmp_path):
+        findings = check_paths([Path("src")])
+        assert len(findings) == 1
+        baseline = tmp_path / "debt.json"
+        write_baseline(baseline, findings)
+        accepted = load_baseline(baseline)
+        assert sum(accepted.values()) == 1
+        new, matched = apply_baseline(findings, accepted)
+        assert new == [] and matched == 1
+
+    def test_load_rejects_garbage(self, tmp_path):
+        garbage = tmp_path / "debt.json"
+        garbage.write_text("[1, 2", encoding="utf-8")
+        with pytest.raises(BaselineError):
+            load_baseline(garbage)
+
+
+class TestRepoGate:
+    def test_repo_is_clean_under_committed_baseline(self, monkeypatch, capsys):
+        """The acceptance gate: the analyzer passes on the repo itself."""
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["check", "src", "tests"]) == 0
+
+    def test_committed_baseline_is_loadable(self):
+        baseline = REPO_ROOT / ".repro-lint-baseline.json"
+        assert baseline.exists()
+        load_baseline(baseline)

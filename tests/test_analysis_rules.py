@@ -1,0 +1,486 @@
+"""Per-rule fixtures for the repro-lint analyzer.
+
+Every rule gets three snippets: one true positive, one true negative,
+and one honored (justified) suppression.  The RL001 positive is the
+pre-PR-4 :class:`CircuitBreaker` race verbatim in miniature — the
+``state`` property advanced the automaton without the lock while
+``record_failure`` mutated the same attributes under it — proving the
+analyzer would have caught the bug the PR 4 rewrite fixed at runtime.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import check_source, resolve_rules
+from repro.analysis.registry import META_RULE, all_rules
+
+
+def run_rule(rule_id, source, rel="src/repro/core/_fixture.py"):
+    return check_source(
+        textwrap.dedent(source),
+        rules=resolve_rules(select=[rule_id]),
+        rel=rel,
+    )
+
+
+def codes(findings):
+    return [f.rule for f in findings]
+
+
+class TestRegistry:
+    def test_six_rules_registered(self):
+        rules = all_rules()
+        expected = {"RL001", "RL002", "RL003", "RL004", "RL005", "RL006"}
+        assert expected <= set(rules)
+        assert len(rules) >= 6
+
+    def test_unknown_rule_id_rejected(self):
+        with pytest.raises(ValueError, match="unknown rule id"):
+            resolve_rules(select=["RL999"])
+        with pytest.raises(ValueError, match="unknown rule id"):
+            resolve_rules(ignore=["RLXX"])
+
+    def test_ignore_filters(self):
+        chosen = resolve_rules(ignore=["RL003"])
+        assert "RL003" not in [r.id for r in chosen]
+
+
+PRE_PR4_BREAKER_RACE = """
+    import threading
+
+    class CircuitBreaker:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._state = "closed"
+            self._failures = 0
+
+        @property
+        def state(self):
+            if self._state == "open":
+                self._state = "half_open"
+            return self._state
+
+        def record_failure(self):
+            with self._lock:
+                self._failures += 1
+                self._state = "open"
+"""
+
+
+class TestRL001LockDiscipline:
+    def test_positive_pre_pr4_breaker_race(self):
+        findings = run_rule("RL001", PRE_PR4_BREAKER_RACE)
+        assert codes(findings) == ["RL001"]
+        [finding] = findings
+        assert "'_state'" in finding.message
+        assert "CircuitBreaker" in finding.message
+        # The unlocked mutation inside the state property is the site.
+        assert finding.line_text == 'self._state = "half_open"'
+
+    def test_negative_all_mutations_locked(self):
+        findings = run_rule("RL001", """
+            import threading
+
+            class Breaker:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._state = "closed"
+
+                def _advance_locked(self):
+                    self._state = "half_open"
+
+                def record_failure(self):
+                    with self._lock:
+                        self._state = "open"
+                        self._advance_locked()
+        """)
+        assert findings == []
+
+    def test_negative_no_lock_owned(self):
+        findings = run_rule("RL001", """
+            class Plain:
+                def __init__(self):
+                    self._state = "closed"
+
+                def flip(self):
+                    self._state = "open"
+        """)
+        assert findings == []
+
+    def test_positive_container_mutation(self):
+        findings = run_rule("RL001", """
+            import threading
+
+            class Registry:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._counters = {}
+
+                def incr(self, name):
+                    with self._lock:
+                        self._counters[name] = 1
+
+                def reset(self):
+                    self._counters.clear()
+        """)
+        assert codes(findings) == ["RL001"]
+        assert "'_counters'" in findings[0].message
+
+    def test_suppression_honored(self):
+        findings = run_rule("RL001", """
+            import threading
+
+            class Breaker:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._hits = 0
+
+                def locked_touch(self):
+                    with self._lock:
+                        self._hits += 1
+
+                def unlocked_touch(self):
+                    # repro-lint: disable=RL001 -- single-thread setup phase, documented in the class docstring
+                    self._hits += 1
+        """)
+        assert findings == []
+
+
+class TestRL002Determinism:
+    def test_positive_wall_clock(self):
+        findings = run_rule("RL002", """
+            import time
+
+            def score():
+                return time.perf_counter()
+        """)
+        assert codes(findings) == ["RL002"]
+        assert "perf_counter" in findings[0].message
+
+    def test_positive_unseeded_default_rng(self):
+        findings = run_rule("RL002", """
+            import numpy as np
+
+            def pick():
+                rng = np.random.default_rng()
+                return rng.random()
+        """)
+        assert codes(findings) == ["RL002"]
+        assert "seed" in findings[0].message
+
+    def test_positive_legacy_global_rng(self):
+        findings = run_rule("RL002", """
+            import numpy as np
+            import random
+
+            def jitter():
+                return np.random.rand() + random.random()
+        """)
+        assert sorted(codes(findings)) == ["RL002", "RL002"]
+
+    def test_negative_seeded_generator(self):
+        findings = run_rule("RL002", """
+            import numpy as np
+
+            def pick(rng=None):
+                rng = rng or np.random.default_rng(0)
+                return rng.random()
+        """)
+        assert findings == []
+
+    def test_negative_outside_scoped_packages(self):
+        findings = run_rule("RL002", """
+            import time
+
+            def measure():
+                return time.perf_counter()
+        """, rel="src/repro/experiments/_fixture.py")
+        assert findings == []
+
+    def test_suppression_honored(self):
+        findings = run_rule("RL002", """
+            import time
+
+            def run():
+                # repro-lint: disable=RL002 -- reporting-only elapsed time, never affects selection
+                started = time.perf_counter()
+                return started
+        """)
+        assert findings == []
+
+
+class TestRL003SpanHygiene:
+    def test_positive_dropped_span(self):
+        findings = run_rule("RL003", """
+            def step(tracer):
+                tracer.span("session.step")
+                return 1
+        """)
+        assert codes(findings) == ["RL003"]
+
+    def test_positive_parked_span(self):
+        findings = run_rule("RL003", """
+            def step(self):
+                cm = self.tracer.span("greedy.init")
+                return cm
+        """)
+        assert codes(findings) == ["RL003"]
+
+    def test_negative_with_managed(self):
+        findings = run_rule("RL003", """
+            def step(tracer):
+                with tracer.span("session.step") as span:
+                    span.annotate(ok=True)
+        """)
+        assert findings == []
+
+    def test_negative_enter_context(self):
+        findings = run_rule("RL003", """
+            def step(tracer, stack):
+                span = stack.enter_context(tracer.span("session.step"))
+                return span
+        """)
+        assert findings == []
+
+    def test_suppression_honored(self):
+        findings = run_rule("RL003", """
+            def identity_check(tracer):
+                # repro-lint: disable=RL003 -- asserting the no-op tracer reuses one context manager
+                assert tracer.span("a.b") is tracer.span("c.d")
+        """)
+        assert findings == []
+
+
+class TestRL004Naming:
+    def test_positive_bad_metric_name(self):
+        findings = run_rule("RL004", """
+            def work(metrics):
+                metrics.incr("HeapPops")
+        """)
+        assert codes(findings) == ["RL004"]
+        assert "HeapPops" in findings[0].message
+
+    def test_positive_undotted_span_name(self):
+        findings = run_rule("RL004", """
+            def work(self):
+                with self.tracer.span("init"):
+                    pass
+        """)
+        assert codes(findings) == ["RL004"]
+
+    def test_negative_convention_names(self):
+        findings = run_rule("RL004", """
+            def work(self, metrics):
+                metrics.incr("greedy.heap_pops")
+                metrics.observe("session.op_seconds", 0.1)
+                with self.tracer.span("ladder.exact"):
+                    self.tracer.event("breaker.trip", state="open")
+        """)
+        assert findings == []
+
+    def test_negative_dynamic_names_skipped(self):
+        findings = run_rule("RL004", """
+            def work(metrics, name):
+                metrics.incr(f"session.{name}")
+                metrics.incr(name)
+        """)
+        assert findings == []
+
+    def test_negative_out_of_tree_module(self):
+        findings = run_rule(
+            "RL004",
+            "def t(metrics):\n    metrics.incr('x')\n",
+            rel="tests/_fixture.py",
+        )
+        assert findings == []
+
+    def test_suppression_honored(self):
+        findings = run_rule("RL004", """
+            def work(metrics):
+                metrics.incr("legacy_counter")  # repro-lint: disable=RL004 -- grandfathered dashboard key
+        """)
+        assert findings == []
+
+
+class TestRL005ExceptionPolicy:
+    def test_positive_swallowing_handler(self):
+        findings = run_rule("RL005", """
+            def load():
+                try:
+                    return 1
+                except Exception:
+                    return None
+        """)
+        assert codes(findings) == ["RL005"]
+
+    def test_positive_bare_except(self):
+        findings = run_rule("RL005", """
+            def load():
+                try:
+                    return 1
+                except:
+                    pass
+        """)
+        assert codes(findings) == ["RL005"]
+        assert "bare except" in findings[0].message
+
+    def test_negative_reraise(self):
+        findings = run_rule("RL005", """
+            def load(breaker):
+                try:
+                    return 1
+                except Exception:
+                    breaker.cleanup()
+                    raise
+        """)
+        assert findings == []
+
+    def test_negative_records_metric(self):
+        findings = run_rule("RL005", """
+            def load(metrics, breaker):
+                try:
+                    return 1
+                except Exception:
+                    metrics.incr("index.fallbacks")
+                    return None
+
+            def probe(breaker):
+                try:
+                    return 1
+                except Exception:
+                    breaker.record_failure()
+                    return None
+        """)
+        assert findings == []
+
+    def test_negative_narrow_handler(self):
+        findings = run_rule("RL005", """
+            def load():
+                try:
+                    return 1
+                except (ValueError, KeyError):
+                    return None
+        """)
+        assert findings == []
+
+    def test_suppression_honored(self):
+        findings = run_rule("RL005", """
+            def close(segment):
+                try:
+                    segment.close()
+                # repro-lint: disable=RL005 -- best-effort teardown; nothing to record
+                except Exception:
+                    pass
+        """)
+        assert findings == []
+
+
+class TestRL006Annotations:
+    def test_positive_missing_annotations(self):
+        findings = run_rule("RL006", """
+            def select(dataset, k=10):
+                return dataset
+        """)
+        assert codes(findings) == ["RL006"]
+        message = findings[0].message
+        assert "dataset" in message and "k" in message and "return" in message
+
+    def test_positive_init_params(self):
+        findings = run_rule("RL006", """
+            class Session:
+                def __init__(self, dataset, k: int = 10) -> None:
+                    self.dataset = dataset
+        """)
+        assert codes(findings) == ["RL006"]
+        assert "dataset" in findings[0].message
+
+    def test_negative_fully_annotated(self):
+        findings = run_rule("RL006", """
+            import numpy as np
+
+            def select(ids: np.ndarray, k: int = 10) -> np.ndarray:
+                return ids[:k]
+
+            class Session:
+                def __init__(self, k: int = 10) -> None:
+                    self.k = k
+
+                def run(self) -> int:
+                    return self.k
+        """)
+        assert findings == []
+
+    def test_negative_private_and_dunder_exempt(self):
+        findings = run_rule("RL006", """
+            class Session:
+                def _helper(self, x):
+                    return x
+
+                def __repr__(self):
+                    return "Session()"
+
+            def _module_helper(y):
+                return y
+        """)
+        assert findings == []
+
+    def test_negative_out_of_scope_package(self):
+        findings = run_rule(
+            "RL006",
+            "def f(x):\n    return x\n",
+            rel="src/repro/robustness/_fixture.py",
+        )
+        assert findings == []
+
+    def test_suppression_honored(self):
+        findings = run_rule("RL006", """
+            # repro-lint: disable=RL006 -- numpy duck-typed shim kept signature-compatible with scipy
+            def shim(a, b):
+                return a + b
+        """)
+        assert findings == []
+
+
+class TestSuppressionMachinery:
+    def test_unjustified_suppression_is_meta_finding_and_not_honored(self):
+        findings = check_source(
+            textwrap.dedent("""
+                import time
+
+                def run():
+                    started = time.perf_counter()  # repro-lint: disable=RL002
+                    return started
+            """),
+            rules=resolve_rules(select=["RL002"]),
+        )
+        assert sorted(codes(findings)) == [META_RULE, "RL002"]
+
+    def test_malformed_directive_is_meta_finding(self):
+        findings = check_source(
+            "x = 1  # repro-lint: what even is this\n",
+            rules=resolve_rules(select=["RL004"]),
+        )
+        assert codes(findings) == [META_RULE]
+
+    def test_multi_rule_suppression(self):
+        findings = check_source(
+            textwrap.dedent("""
+                import time
+
+                def run(metrics):
+                    # repro-lint: disable=RL002, RL004 -- fixture exercising multi-id suppressions
+                    metrics.observe("BadName", time.perf_counter())
+            """),
+            rules=resolve_rules(select=["RL002", "RL004"]),
+        )
+        assert findings == []
+
+    def test_marker_inside_string_is_inert(self):
+        findings = check_source(
+            'DOC = "# repro-lint: disable=RL002"\n',
+            rules=resolve_rules(),
+        )
+        assert findings == []
