@@ -1,14 +1,16 @@
 """RL001 — lock discipline for lock-owning classes.
 
-A class that creates a ``threading.Lock``/``RLock`` on ``self`` (the
+A class that creates a ``threading.Lock``/``RLock`` — or an
+``asyncio.Lock``, which the service layer uses to serialize per-session
+access across concurrently scheduled coroutines — on ``self`` (the
 :class:`~repro.robustness.breaker.CircuitBreaker`,
 :class:`~repro.metrics.MetricsRegistry`,
 :class:`~repro.trace.tracer.Tracer` pattern) is declaring its instance
-state shared between threads.  Every attribute such a class mutates
-both *under* ``with self._lock`` and *outside* it is a data race by
-construction — exactly the pre-PR-4 breaker bug where ``state`` reads
-advanced the automaton unlocked while ``record_failure`` mutated it
-locked.
+state shared between threads (or tasks).  Every attribute such a class
+mutates both *under* ``with self._lock`` / ``async with self._lock``
+and *outside* it is a data race by construction — exactly the pre-PR-4
+breaker bug where ``state`` reads advanced the automaton unlocked while
+``record_failure`` mutated it locked.
 
 Conventions the rule understands:
 
@@ -16,7 +18,10 @@ Conventions the rule understands:
   completes);
 * methods named ``*_locked`` are helpers documented as called with the
   lock held, so their mutations count as locked;
-* the lock attributes themselves are not tracked.
+* the lock attributes themselves are not tracked;
+* ``async with self._lock`` (``asyncio.Lock``) counts exactly like the
+  synchronous form, and ``async def`` methods are scanned like plain
+  ones.
 """
 
 from __future__ import annotations
@@ -104,6 +109,10 @@ class _MethodScanner(ast.NodeVisitor):
             self.held = prev
         else:
             self.generic_visit(node)
+
+    # ``async with self._lock`` (asyncio.Lock) is the same discipline;
+    # ast.AsyncWith shares ast.With's shape, so the handler is reused.
+    visit_AsyncWith = visit_With
 
     def visit_Assign(self, node: ast.Assign) -> None:
         for target in node.targets:

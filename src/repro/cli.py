@@ -5,16 +5,21 @@ Usage::
     python -m repro generate --preset uk --n 50000 --out corpus.jsonl
     python -m repro select corpus.jsonl --region 0.3,0.3,0.5,0.5 --k 20
     python -m repro explore corpus.jsonl --k 15 --steps 5 --prefetch
+    python -m repro serve corpus.jsonl --port 8080 --k 20
 
 ``select`` prints the chosen objects (and optionally an ASCII map or
 an SVG file); ``explore`` replays a random navigation trace through a
 :class:`~repro.core.session.MapSession` and reports per-operation
-response times — a one-command demo of the ISOS machinery.
+response times — a one-command demo of the ISOS machinery.  ``serve``
+runs the multi-user JSON-over-HTTP selection service
+(:mod:`repro.service`, see ``docs/SERVICE.md``) over one or more
+corpora.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 
 import numpy as np
@@ -31,7 +36,7 @@ from repro import (
     sass_select,
 )
 from repro.parallel import WorkerPool
-from repro.robustness.faults import STANDARD_POINTS
+from repro.robustness.faults import ALL_POINTS, STANDARD_POINTS
 from repro.trace import Tracer, format_span_tree, write_chrome_trace
 from repro.datasets import (
     load_jsonl,
@@ -50,10 +55,10 @@ _PRESETS = {"uk": uk_tweets, "us": us_tweets, "poi": sg_pois}
 def _parse_fault(text: str) -> tuple[str, float]:
     """Parse ``point[:probability]`` fault specs (e.g. ``index.query:0.5``)."""
     point, _, prob = text.partition(":")
-    if point not in STANDARD_POINTS:
+    if point not in ALL_POINTS:
         raise argparse.ArgumentTypeError(
             f"unknown fault point {point!r}; choose from "
-            + ", ".join(STANDARD_POINTS)
+            + ", ".join(ALL_POINTS)
         )
     try:
         probability = float(prob) if prob else 1.0
@@ -247,6 +252,73 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import SelectionService, ServiceHTTPServer
+
+    datasets = {}
+    for spec in args.corpus:
+        name, sep, file = spec.partition("=")
+        if not sep:
+            name, file = f"corpus{len(datasets)}", spec
+        datasets[name] = load_jsonl(file)
+    injector = None
+    if args.fault:
+        injector = FaultInjector(seed=args.seed)
+        for point, probability in args.fault:
+            injector.arm(point, probability=probability)
+    metrics = MetricsRegistry()
+
+    async def run() -> None:
+        # Built inside the running loop so the admission semaphore and
+        # per-session locks bind to the serving event loop.
+        from repro.robustness import CircuitBreaker
+        from repro.service import AdmissionController
+
+        breaker = CircuitBreaker(name="service")
+        service = SelectionService(
+            datasets,
+            default_deadline_ms=args.deadline_ms,
+            admission=AdmissionController(
+                max_concurrency=args.max_concurrency,
+                max_queue_depth=args.max_queue,
+                queue_timeout_s=args.queue_timeout_ms / 1000.0,
+                breaker=breaker,
+                fault_injector=injector,
+                metrics=metrics,
+            ),
+            breaker=breaker,
+            fault_injector=injector,
+            metrics=metrics,
+            session_options={
+                "k": args.k,
+                "prefetch": args.prefetch,
+                "workers": args.workers,
+            },
+            max_sessions=args.max_sessions,
+            session_ttl_s=args.session_ttl if args.session_ttl > 0 else None,
+            seed=args.seed,
+        )
+        async with ServiceHTTPServer(
+            service, host=args.host, port=args.port
+        ) as server:
+            print(
+                f"serving {', '.join(sorted(datasets))} on "
+                f"http://{server.host}:{server.port} "
+                f"(concurrency={args.max_concurrency}, "
+                f"queue={args.max_queue}, "
+                f"deadline={args.deadline_ms:g}ms)"
+            )
+            await asyncio.Event().wait()  # until interrupted
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down")
+    if args.metrics:
+        print(metrics.format())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -330,6 +402,45 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--metrics", action="store_true",
                      help="print the counter/timer registry afterwards")
     exp.set_defaults(func=_cmd_explore)
+
+    srv = sub.add_parser(
+        "serve", help="run the multi-user HTTP selection service"
+    )
+    srv.add_argument("corpus", nargs="+", metavar="[NAME=]CORPUS",
+                     help="JSONL corpus path(s); prefix with NAME= to "
+                          "choose the dataset name clients see")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8080,
+                     help="TCP port (0 = pick a free one)")
+    srv.add_argument("--k", type=int, default=20)
+    srv.add_argument("--prefetch", action="store_true",
+                     help="enable Sec. 5.2 prefetching in every session")
+    srv.add_argument("--seed", type=int, default=2018)
+    srv.add_argument("--deadline-ms", type=_parse_deadline_ms, default=250.0,
+                     help="default per-request deadline budget "
+                          "(queueing + handling; default 250)")
+    srv.add_argument("--max-concurrency", type=int, default=8,
+                     help="requests handled simultaneously")
+    srv.add_argument("--max-queue", type=int, default=64,
+                     help="requests allowed to wait for a slot; beyond "
+                          "this arrivals are shed (429)")
+    srv.add_argument("--queue-timeout-ms", type=_parse_deadline_ms,
+                     default=500.0,
+                     help="longest any request may queue before shedding")
+    srv.add_argument("--max-sessions", type=int, default=256,
+                     help="live session cap")
+    srv.add_argument("--session-ttl", type=float, default=1800.0,
+                     help="idle session lifetime in seconds "
+                          "(0 disables TTL eviction)")
+    srv.add_argument("--workers", type=_parse_workers, default=0,
+                     help="per-session worker pool size")
+    srv.add_argument("--fault", type=_parse_fault, action="append",
+                     default=None, metavar="POINT[:PROB]",
+                     help="arm a fault injection point "
+                          f"({', '.join(ALL_POINTS)}); repeatable")
+    srv.add_argument("--metrics", action="store_true",
+                     help="print the counter/timer registry on shutdown")
+    srv.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -43,6 +43,7 @@ be threaded through all three failure points to drill the transitions
 from __future__ import annotations
 
 import dataclasses
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -295,6 +296,11 @@ class MapSession:
         # to the greedy whether or not a pool exists.
         self.batch_size = batch_size
         self.parallel_backend = parallel_backend
+        # Lifecycle lock: the service layer can reach close() from TTL
+        # eviction, shutdown, and error paths concurrently, so the
+        # closed flag and the pool handoff are serialized.
+        self._lifecycle_lock = threading.Lock()
+        self._closed = False
         self._pool: WorkerPool | None = None
         if resolve_workers(workers) > 0:
             self._pool = WorkerPool(
@@ -321,15 +327,31 @@ class MapSession:
     # ------------------------------------------------------------------
 
     def close(self) -> None:
-        """Shut down the session's worker pool (idempotent).
+        """Shut down the session's worker pool (idempotent, thread-safe).
 
         Only needed when the session was built with ``workers``; a
         pool-less session has nothing to release.  The session remains
         usable afterwards — selections simply run sequentially.
+
+        Safe to call any number of times from any thread: the service
+        lifecycle reaches close from TTL eviction, shutdown, and error
+        paths concurrently, so the pool handoff happens exactly once
+        under the lifecycle lock and every later (or concurrent) call
+        is a no-op.
         """
-        if self._pool is not None:
-            self._pool.close()
-            self._pool = None
+        with self._lifecycle_lock:
+            if self._closed:
+                return
+            self._closed = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (the session stays usable)."""
+        with self._lifecycle_lock:
+            return self._closed
 
     def __enter__(self) -> "MapSession":
         return self
@@ -417,17 +439,21 @@ class MapSession:
             )
         self.dataset = dataset
         # The pool is bound to the old similarity model (process
-        # workers hold its feature arrays); rebuild it over the new one.
-        if self._pool is not None:
-            workers = self._pool.workers
-            self._pool.close()
-            self._pool = WorkerPool(
-                workers,
-                self.parallel_backend,
-                similarity=dataset.similarity,
-                metrics=self.metrics,
-                tracer=self.tracer,
-            )
+        # workers hold its feature arrays); rebuild it over the new
+        # one.  The swap holds the lifecycle lock so a concurrent
+        # close() can never orphan a half-built replacement pool.
+        with self._lifecycle_lock:
+            old_pool = self._pool
+            if old_pool is not None and not self._closed:
+                self._pool = WorkerPool(
+                    old_pool.workers,
+                    self.parallel_backend,
+                    similarity=dataset.similarity,
+                    metrics=self.metrics,
+                    tracer=self.tracer,
+                )
+        if old_pool is not None:
+            old_pool.close()
         if self._selection_cache is not None:
             self._selection_cache.invalidate()
         self._prefetcher = Prefetcher(

@@ -63,6 +63,7 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._counters: dict[str, float] = {}
         self._observations: dict[str, list[float]] = {}
+        self._gauges: dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # Counters
@@ -77,6 +78,36 @@ class MetricsRegistry:
         """Current value of counter ``name`` (0 if never incremented)."""
         with self._lock:
             return self._counters.get(name, 0.0)
+
+    # ------------------------------------------------------------------
+    # Gauges
+    # ------------------------------------------------------------------
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to a point-in-time ``value``.
+
+        Gauges carry instantaneous levels (queue depth, live sessions,
+        in-flight requests) where counters would only ever grow.
+        """
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def adjust_gauge(self, name: str, delta: float) -> float:
+        """Add ``delta`` to gauge ``name`` (creating it at 0); returns it."""
+        with self._lock:
+            value = self._gauges.get(name, 0.0) + delta
+            self._gauges[name] = value
+            return value
+
+    def gauge(self, name: str) -> float:
+        """Current value of gauge ``name`` (0 if never set)."""
+        with self._lock:
+            return self._gauges.get(name, 0.0)
+
+    def gauges(self) -> dict[str, float]:
+        """Copy of all gauges."""
+        with self._lock:
+            return dict(self._gauges)
 
     # ------------------------------------------------------------------
     # Timers / observations
@@ -114,6 +145,12 @@ class MetricsRegistry:
             "max": max(samples),
         }
 
+    def summaries(self) -> dict[str, dict[str, float]]:
+        """:meth:`summary` for every observation series, by name."""
+        with self._lock:
+            names = list(self._observations)
+        return {name: self.summary(name) for name in sorted(names)}
+
     # ------------------------------------------------------------------
     # Registry-level operations
     # ------------------------------------------------------------------
@@ -137,14 +174,16 @@ class MetricsRegistry:
         return out
 
     def reset(self) -> None:
-        """Drop all counters and observations."""
+        """Drop all counters, gauges, and observations."""
         with self._lock:
             self._counters.clear()
             self._observations.clear()
+            self._gauges.clear()
 
     def format(self) -> str:
         """Human-readable dump — the CLI's ``--metrics`` output."""
         counters = self.snapshot()
+        gauges = self.gauges()
         with self._lock:
             timer_names = sorted(self._observations)
         lines: list[str] = []
@@ -153,6 +192,13 @@ class MetricsRegistry:
             width = max(len(name) for name in counters)
             for name in sorted(counters):
                 value = counters[name]
+                text = f"{value:g}" if value != int(value) else f"{int(value)}"
+                lines.append(f"  {name:<{width}}  {text}")
+        if gauges:
+            lines.append("gauges:")
+            width = max(len(name) for name in gauges)
+            for name in sorted(gauges):
+                value = gauges[name]
                 text = f"{value:g}" if value != int(value) else f"{int(value)}"
                 lines.append(f"  {name:<{width}}  {text}")
         if timer_names:

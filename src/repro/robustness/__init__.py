@@ -29,13 +29,22 @@ from repro.robustness.errors import (
     FaultInjected,
     InfeasibleSelection,
     InvalidNavigation,
+    OverloadShed,
     PrefetchUnavailable,
+    RetryBudgetExhausted,
     RobustnessError,
+    ServiceClosed,
+    SessionLimitExceeded,
     SessionNotStarted,
+    UnknownSession,
 )
 from repro.robustness.faults import (
+    ALL_POINTS,
     INDEX_QUERY,
     PREFETCH_COMPUTE,
+    SERVICE_ADMIT,
+    SERVICE_HANDLE,
+    SERVICE_POINTS,
     SIMILARITY_EVAL,
     STANDARD_POINTS,
     FaultInjector,
@@ -44,6 +53,7 @@ from repro.robustness.faults import (
 from repro.robustness.ladder import Tier, select_with_ladder
 
 __all__ = [
+    "ALL_POINTS",
     "Budget",
     "CircuitBreaker",
     "CircuitOpen",
@@ -55,12 +65,20 @@ __all__ = [
     "INDEX_QUERY",
     "InfeasibleSelection",
     "InvalidNavigation",
+    "OverloadShed",
     "PREFETCH_COMPUTE",
     "PrefetchUnavailable",
+    "RetryBudgetExhausted",
     "RobustnessError",
+    "SERVICE_ADMIT",
+    "SERVICE_HANDLE",
+    "SERVICE_POINTS",
     "SIMILARITY_EVAL",
     "STANDARD_POINTS",
+    "ServiceClosed",
+    "SessionLimitExceeded",
     "SessionNotStarted",
     "Tier",
+    "UnknownSession",
     "select_with_ladder",
 ]

@@ -70,3 +70,47 @@ class FaultInjected(RobustnessError, RuntimeError):
     def __init__(self, point: str, message: str | None = None):
         self.point = point
         super().__init__(message or f"injected fault at {point!r}")
+
+
+class OverloadShed(RobustnessError, RuntimeError):
+    """A request was rejected by admission control (load shedding).
+
+    Raised *before* any session state is touched, so a shed request is
+    always safe to retry elsewhere/later.  ``reason`` is machine-
+    routable: ``"queue_full"``, ``"queue_timeout"``, ``"deadline"``,
+    ``"session_limit"``, or ``"closed"``.
+    """
+
+    def __init__(self, reason: str, message: str | None = None):
+        self.reason = reason
+        super().__init__(message or f"request shed ({reason})")
+
+
+class SessionLimitExceeded(OverloadShed):
+    """The service is at its live-session capacity.
+
+    A shed variant rather than a hard error: the caller can retry once
+    TTL eviction has reclaimed capacity.
+    """
+
+    def __init__(self, limit: int):
+        self.limit = limit
+        super().__init__(
+            "session_limit", f"session limit reached ({limit} live sessions)"
+        )
+
+
+class UnknownSession(RobustnessError, KeyError):
+    """No live session has the requested id (never created, or evicted)."""
+
+    def __init__(self, session_id: str):
+        self.session_id = session_id
+        super().__init__(f"unknown session {session_id!r}")
+
+
+class ServiceClosed(RobustnessError, RuntimeError):
+    """The service is shutting down and no longer accepts requests."""
+
+
+class RetryBudgetExhausted(RobustnessError, RuntimeError):
+    """The retry-token budget denied another attempt (retry-storm guard)."""

@@ -7,11 +7,15 @@ instrumented code passes through them.  Production code calls
 :meth:`FaultInjector.check` at each point; with no rule armed the call
 is a dictionary miss, so leaving the hooks wired in costs nothing.
 
-The three standard points mirror the hot path's external dependencies:
+The standard points mirror the hot path's external dependencies:
 
 * ``index.query`` — spatial-index region/radius lookups;
 * ``similarity.eval`` — marginal-gain / similarity kernel evaluations;
-* ``prefetch.compute`` — the Sec. 5.2 background precomputation.
+* ``prefetch.compute`` — the Sec. 5.2 background precomputation;
+* ``service.admit`` — the service's admission decision (before any
+  queueing or session access);
+* ``service.handle`` — per-attempt request handling inside the
+  service's retry loop (after admission, before the session call).
 
 Randomness is owned by the injector (seeded generator), so fault
 schedules are reproducible in tests.
@@ -32,8 +36,25 @@ from repro.robustness.errors import FaultInjected
 INDEX_QUERY = "index.query"
 SIMILARITY_EVAL = "similarity.eval"
 PREFETCH_COMPUTE = "prefetch.compute"
+SERVICE_ADMIT = "service.admit"
+SERVICE_HANDLE = "service.handle"
 
-STANDARD_POINTS = (INDEX_QUERY, SIMILARITY_EVAL, PREFETCH_COMPUTE)
+#: Points traversed by a single :class:`~repro.core.session.MapSession`
+#: (every one of these is exercised by any navigation).
+STANDARD_POINTS = (
+    INDEX_QUERY,
+    SIMILARITY_EVAL,
+    PREFETCH_COMPUTE,
+)
+
+#: Points traversed only by the :mod:`repro.service` request path.
+SERVICE_POINTS = (
+    SERVICE_ADMIT,
+    SERVICE_HANDLE,
+)
+
+#: Every wired injection point (see the table in docs/ROBUSTNESS.md).
+ALL_POINTS = STANDARD_POINTS + SERVICE_POINTS
 
 
 class _DefaultError:

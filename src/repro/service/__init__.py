@@ -1,0 +1,71 @@
+"""Multi-user selection service over :class:`~repro.core.session.MapSession`.
+
+Everything below this package is single-session: one analyst, one
+viewport, one process.  ``repro.service`` is the serving layer the
+ROADMAP's north star asks for — an asyncio front end that multiplexes
+many concurrent users over shared read-only dataset/model/index state,
+with *robust overload behavior* as the defining property:
+
+* :class:`SessionManager` — per-user :class:`MapSession` state with
+  TTL-based eviction and a hard session cap; every session shares the
+  service's immutable datasets (one copy of the coordinate, weight,
+  and feature arrays however many users are live).
+* :class:`AdmissionController` — bounded queue + concurrency limiter +
+  per-request deadline budget.  Overload produces *typed, fast*
+  rejections (:class:`~repro.robustness.OverloadShed`) instead of
+  queue collapse, and a :class:`~repro.robustness.CircuitBreaker`
+  keeps a failing handler path from being hammered.
+* :class:`RetryPolicy` / :class:`RetryBudget` /
+  :func:`run_with_retry` — jittered-backoff retries for transient
+  faults, capped by a token-bucket budget so retries can never
+  amplify an outage.
+* :class:`SelectionService` — ties the three together and exposes the
+  session operations (``start`` / ``zoom_in`` / ``zoom_out`` / ``pan``
+  / ``swap_dataset`` / ``close``) as deadline-scoped requests.
+* :class:`ServiceHTTPServer` — stdlib-asyncio JSON-over-HTTP protocol
+  layer (no third-party runtime dependencies) with health and metrics
+  endpoints.
+
+The service's contract with the selection engine is strict: an
+*admitted* request returns a selection byte-identical to calling the
+same :class:`MapSession` method directly — robustness machinery may
+reject (shed) or degrade (ladder tiers), never silently corrupt.
+``benchmarks/bench_service_load.py`` gates that plus p50/p95 latency
+and shed behavior under 64 concurrent clients; the chaos suite
+(``tests/test_service_chaos.py``) drills the ``service.admit`` /
+``service.handle`` fault points.  See ``docs/SERVICE.md``.
+"""
+
+from repro.service.admission import AdmissionController, is_system_failure
+from repro.service.http import ServiceHTTPServer
+from repro.service.protocol import (
+    parse_request,
+    status_for,
+    status_for_response,
+)
+from repro.service.retry import RetryBudget, RetryPolicy, run_with_retry
+from repro.service.service import (
+    OPERATIONS,
+    SelectionService,
+    ServiceRequest,
+    ServiceResponse,
+)
+from repro.service.sessions import SessionEntry, SessionManager
+
+__all__ = [
+    "AdmissionController",
+    "OPERATIONS",
+    "RetryBudget",
+    "RetryPolicy",
+    "SelectionService",
+    "ServiceHTTPServer",
+    "ServiceRequest",
+    "ServiceResponse",
+    "SessionEntry",
+    "SessionManager",
+    "is_system_failure",
+    "parse_request",
+    "run_with_retry",
+    "status_for",
+    "status_for_response",
+]

@@ -1,0 +1,248 @@
+"""Admission control: bounded queue, concurrency limit, deadline budget.
+
+The admission controller is the service's overload valve.  Every
+request passes through :meth:`AdmissionController.admit` before any
+session state is touched, and the decision has exactly three outcomes:
+
+* **admitted** — a concurrency slot was free (or became free within
+  the request's queueing allowance); the caller proceeds holding the
+  slot and releases it on exit.
+* **shed** — :class:`~repro.robustness.OverloadShed` with a
+  machine-routable reason: the wait queue is at capacity
+  (``queue_full``), the request queued past its allowance
+  (``queue_timeout``), or its deadline budget was already spent
+  (``deadline``).  Shedding is *fast by construction*: ``queue_full``
+  and ``deadline`` rejections never await at all.
+* **rejected by breaker** — :class:`~repro.robustness.CircuitOpen`
+  while the service breaker is open after consecutive handler
+  failures; like a shed, this never touches the queue.
+
+Because a shed/rejected request is refused *before* the session
+dispatch, it can never mutate session state — the overload-invariant
+property tests in ``tests/test_service_overload.py`` pin this down.
+
+The controller also owns the ``service.admit`` fault-injection point
+(the first thing :meth:`admit` traverses) and the breaker bookkeeping:
+the admission ticket records a success or failure on exit depending on
+whether the handler raised a *system* failure (see
+:func:`is_system_failure`), so user errors like an invalid pan can
+never trip the breaker.
+
+Single-event-loop discipline: the counters (``queue_depth`` /
+``active``) are only touched from coroutines on the service's event
+loop, so they need no lock; thread-safe state lives in the breaker and
+the metrics registry.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.metrics import MetricsRegistry
+from repro.robustness.breaker import CircuitBreaker
+from repro.robustness.budget import Deadline
+from repro.robustness.errors import (
+    CircuitOpen,
+    DeadlineExceeded,
+    FaultInjected,
+    OverloadShed,
+    RobustnessError,
+)
+from repro.robustness.faults import SERVICE_ADMIT, FaultInjector
+
+
+def is_system_failure(exc: BaseException) -> bool:
+    """Whether ``exc`` should count against the service breaker.
+
+    Injected faults, deadline blowouts, and unexpected exceptions are
+    system failures; every other :class:`RobustnessError` (invalid
+    navigation, unknown session, shed...) is a routing outcome the
+    breaker must ignore — a storm of malformed requests is not a
+    reason to stop serving well-formed ones.
+    """
+    if isinstance(exc, (FaultInjected, DeadlineExceeded)):
+        return True
+    if isinstance(exc, RobustnessError):
+        return False
+    return isinstance(exc, Exception)
+
+
+class AdmissionController:
+    """Bounded-queue concurrency limiter with deadline-aware shedding.
+
+    Parameters
+    ----------
+    max_concurrency:
+        Requests allowed in the handling section simultaneously.
+    max_queue_depth:
+        Requests allowed to *wait* for a slot; arrivals beyond this are
+        shed immediately (``queue_full``).  ``0`` disables queueing
+        entirely (admit-or-shed).
+    queue_timeout_s:
+        Longest any request may wait for a slot.  The effective wait
+        allowance is ``min(queue_timeout_s, deadline.remaining())``.
+    breaker:
+        Optional :class:`CircuitBreaker` guarding the handler path.
+        Open ⇒ fast :class:`CircuitOpen` rejection; outcomes are
+        recorded by the admission ticket on exit.
+    fault_injector:
+        Optional injector traversing ``service.admit`` first thing.
+    metrics:
+        Optional registry: ``service.admitted`` counter,
+        ``service.queue_seconds`` timer, ``service.queue_depth`` /
+        ``service.active`` gauges.  (Shed counting happens at the
+        service layer, which sees every shed source.)
+    """
+
+    def __init__(
+        self,
+        max_concurrency: int = 8,
+        max_queue_depth: int = 64,
+        queue_timeout_s: float = 0.5,
+        breaker: CircuitBreaker | None = None,
+        fault_injector: FaultInjector | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if max_concurrency < 1:
+            raise ValueError(
+                f"max_concurrency must be >= 1, got {max_concurrency}"
+            )
+        if max_queue_depth < 0:
+            raise ValueError(
+                f"max_queue_depth must be >= 0, got {max_queue_depth}"
+            )
+        if queue_timeout_s < 0:
+            raise ValueError(
+                f"queue_timeout_s must be >= 0, got {queue_timeout_s}"
+            )
+        self.max_concurrency = max_concurrency
+        self.max_queue_depth = max_queue_depth
+        self.queue_timeout_s = queue_timeout_s
+        self.breaker = breaker
+        self.fault_injector = fault_injector
+        self.metrics = metrics
+        self._semaphore = asyncio.Semaphore(max_concurrency)
+        self._waiting = 0
+        self._active = 0
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting for a concurrency slot."""
+        return self._waiting
+
+    @property
+    def active(self) -> int:
+        """Requests currently holding a concurrency slot."""
+        return self._active
+
+    def admit(self, deadline: Deadline | None = None) -> "AdmissionTicket":
+        """An async context manager deciding admission for one request.
+
+        Usage::
+
+            async with controller.admit(deadline) as ticket:
+                ...               # holds a concurrency slot
+            ticket.queue_wait_s   # how long admission queued
+
+        Raises :class:`OverloadShed` / :class:`CircuitOpen` from
+        ``__aenter__`` on rejection (without entering the body).
+        """
+        return AdmissionTicket(self, deadline)
+
+    def _sync_gauges(self) -> None:
+        if self.metrics is not None:
+            self.metrics.set_gauge("service.queue_depth", self._waiting)
+            self.metrics.set_gauge("service.active", self._active)
+
+
+class AdmissionTicket:
+    """One request's admission decision and slot ownership."""
+
+    __slots__ = ("_controller", "_deadline", "_held", "_breaker_ticket",
+                 "queue_wait_s")
+
+    def __init__(
+        self, controller: AdmissionController, deadline: Deadline | None
+    ) -> None:
+        self._controller = controller
+        self._deadline = deadline
+        self._held = False
+        self._breaker_ticket = False
+        self.queue_wait_s = 0.0
+
+    async def __aenter__(self) -> "AdmissionTicket":
+        ctl = self._controller
+        if ctl.fault_injector is not None:
+            ctl.fault_injector.check(SERVICE_ADMIT)
+        breaker = ctl.breaker
+        if breaker is not None and not breaker.allows():
+            # Fast read-only peek: an open breaker rejects before any
+            # queueing.  The authoritative (probe-reserving) acquire
+            # happens after the slot is won.
+            raise CircuitOpen(f"{breaker.name} breaker is open")
+        if self._deadline is not None and self._deadline.expired():
+            self._shed("deadline")
+        sem = ctl._semaphore
+        if not sem.locked():
+            # Free slot: acquire() returns without yielding to the
+            # loop, so this cannot race another coroutine.
+            await sem.acquire()
+        else:
+            if ctl._waiting >= ctl.max_queue_depth:
+                self._shed("queue_full")
+            allowance = ctl.queue_timeout_s
+            if self._deadline is not None:
+                allowance = min(allowance, self._deadline.remaining())
+            if allowance <= 0.0:
+                self._shed("queue_timeout")
+            ctl._waiting += 1
+            ctl._sync_gauges()
+            started = time.perf_counter()
+            try:
+                # asyncio.TimeoutError: distinct from the builtin
+                # until 3.11, an alias after.
+                await asyncio.wait_for(sem.acquire(), allowance)
+            except (TimeoutError, asyncio.TimeoutError):
+                self._shed("queue_timeout")
+            finally:
+                self.queue_wait_s = time.perf_counter() - started
+                ctl._waiting -= 1
+                ctl._sync_gauges()
+        self._held = True
+        ctl._active += 1
+        ctl._sync_gauges()
+        if breaker is not None:
+            if not breaker.try_acquire():
+                # The breaker opened (or another caller holds the
+                # half-open probe) while this request queued.
+                self._release()
+                raise CircuitOpen(f"{breaker.name} breaker is open")
+            self._breaker_ticket = True
+        if ctl.metrics is not None:
+            ctl.metrics.incr("service.admitted")
+            ctl.metrics.observe("service.queue_seconds", self.queue_wait_s)
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> bool:
+        self._release()
+        if self._breaker_ticket:
+            self._breaker_ticket = False
+            breaker = self._controller.breaker
+            assert breaker is not None
+            if exc is not None and is_system_failure(exc):
+                breaker.record_failure()
+            else:
+                breaker.record_success()
+        return False
+
+    def _shed(self, reason: str) -> None:
+        raise OverloadShed(reason)
+
+    def _release(self) -> None:
+        if self._held:
+            self._held = False
+            ctl = self._controller
+            ctl._active -= 1
+            ctl._semaphore.release()
+            ctl._sync_gauges()

@@ -1,0 +1,242 @@
+"""Stdlib-asyncio JSON-over-HTTP front end for the selection service.
+
+A deliberately minimal HTTP/1.1 server — ``asyncio.start_server`` plus
+a hand-rolled request reader — because the repo's no-new-dependencies
+rule rules out aiohttp/uvicorn and the protocol surface is five POST
+routes and two GETs.  What it does take seriously:
+
+* **bounded reads** — request head capped at 16 KiB and bodies at
+  1 MiB, so a misbehaving client cannot balloon memory; oversized or
+  malformed requests get a 400/413 and the connection is dropped.
+* **keep-alive** — connections are reused until the client sends
+  ``Connection: close`` (or HTTP/1.0 without keep-alive), matching the
+  closed-loop clients of the load bench.
+* **backpressure by admission, not by socket** — the server never
+  queues requests itself; every request goes straight to
+  :meth:`SelectionService.handle`, whose admission controller is the
+  single place where overload policy lives.
+* **TTL sweeping** — an optional background task evicts idle sessions
+  so abandoned clients cannot pin the session cap.
+
+Responses are always JSON (``ServiceResponse.payload()`` for session
+routes); the status code comes from
+:func:`repro.service.protocol.status_for_response`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+from repro.service.protocol import parse_request, status_for_response
+from repro.service.service import SelectionService
+
+MAX_HEAD_BYTES = 16 * 1024
+MAX_BODY_BYTES = 1024 * 1024
+
+
+class _BadRequest(Exception):
+    """Protocol-level rejection: (status, message)."""
+
+    def __init__(self, status: int, message: str):
+        self.status = status
+        self.message = message
+        super().__init__(message)
+
+
+class ServiceHTTPServer:
+    """Serve a :class:`SelectionService` over HTTP/1.1.
+
+    Usage::
+
+        async with ServiceHTTPServer(service, port=0) as server:
+            ...  # server.port is the bound port
+
+    or explicitly ``await server.start()`` / ``await server.stop()``.
+    ``sweep_interval_s`` (when positive and the service has a TTL)
+    runs session eviction in the background.
+    """
+
+    def __init__(
+        self,
+        service: SelectionService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        sweep_interval_s: float = 30.0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self.sweep_interval_s = sweep_interval_s
+        self._server: asyncio.base_events.Server | None = None
+        self._sweeper: asyncio.Task[None] | None = None
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self.sweep_interval_s > 0 and self.service.sessions.ttl_s:
+            self._sweeper = asyncio.ensure_future(self._sweep_loop())
+
+    async def stop(self) -> None:
+        """Stop accepting, cancel the sweeper, close the service."""
+        if self._sweeper is not None:
+            self._sweeper.cancel()
+            try:
+                await self._sweeper
+            except asyncio.CancelledError:
+                pass
+            self._sweeper = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.aclose()
+
+    async def __aenter__(self) -> "ServiceHTTPServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.stop()
+
+    async def _sweep_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.sweep_interval_s)
+            await asyncio.to_thread(self.service.sessions.evict_expired)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    parsed = await self._read_request(reader)
+                except _BadRequest as exc:
+                    await self._respond(
+                        writer, exc.status, {"error": exc.message},
+                        keep_alive=False,
+                    )
+                    return
+                if parsed is None:  # client closed between requests
+                    return
+                method, path, headers, body = parsed
+                keep_alive = (
+                    headers.get("connection", "keep-alive").lower()
+                    != "close"
+                )
+                status, payload = await self._route(method, path, body)
+                await self._respond(writer, status, payload, keep_alive)
+                if not keep_alive:
+                    return
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass  # repro-lint: disable=RL005 -- client went away mid-exchange; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass  # repro-lint: disable=RL005 -- already closing; the peer reset first
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, dict[str, str], bytes] | None:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return None  # clean close between keep-alive requests
+            raise _BadRequest(400, "truncated request head") from exc
+        except asyncio.LimitOverrunError as exc:
+            raise _BadRequest(431, "request head too large") from exc
+        if len(head) > MAX_HEAD_BYTES:
+            raise _BadRequest(431, "request head too large")
+        try:
+            request_line, *header_lines = head.decode("latin-1").split("\r\n")
+            method, path, _version = request_line.split(" ", 2)
+        except ValueError as exc:
+            raise _BadRequest(400, "malformed request line") from exc
+        headers: dict[str, str] = {}
+        for line in header_lines:
+            if not line:
+                continue
+            name, sep, value = line.partition(":")
+            if not sep:
+                raise _BadRequest(400, f"malformed header line {line!r}")
+            headers[name.strip().lower()] = value.strip()
+        body = b""
+        if "content-length" in headers:
+            try:
+                length = int(headers["content-length"])
+            except ValueError as exc:
+                raise _BadRequest(400, "malformed Content-Length") from exc
+            if length < 0 or length > MAX_BODY_BYTES:
+                raise _BadRequest(413, "request body too large")
+            if length:
+                try:
+                    body = await reader.readexactly(length)
+                except asyncio.IncompleteReadError as exc:
+                    raise _BadRequest(400, "truncated request body") from exc
+        elif headers.get("transfer-encoding"):
+            raise _BadRequest(
+                501, "chunked transfer encoding is not supported"
+            )
+        return method.upper(), path, headers, body
+
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict[str, Any]]:
+        path = path.split("?", 1)[0]
+        if method == "GET" and path == "/healthz":
+            payload = self.service.health()
+            return (200 if payload["status"] == "ok" else 503), payload
+        if method == "GET" and path == "/metrics":
+            return 200, self.service.metrics_payload()
+        if body:
+            try:
+                decoded = json.loads(body)
+            except json.JSONDecodeError:
+                return 400, {"error": "request body is not valid JSON"}
+            if not isinstance(decoded, dict):
+                return 400, {"error": "request body must be a JSON object"}
+        else:
+            decoded = {}
+        try:
+            request = parse_request(method, path, decoded)
+        except ValueError as exc:
+            status = 404 if "no route" in str(exc) else 400
+            return status, {"error": str(exc)}
+        response = await self.service.handle(request)
+        return status_for_response(response), response.payload()
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict[str, Any],
+        keep_alive: bool,
+    ) -> None:
+        body = json.dumps(payload).encode()
+        reason = {
+            200: "OK", 400: "Bad Request", 404: "Not Found",
+            413: "Payload Too Large", 429: "Too Many Requests",
+            431: "Request Header Fields Too Large", 500: "Internal Server Error",
+            501: "Not Implemented", 503: "Service Unavailable",
+            504: "Gateway Timeout",
+        }.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()

@@ -1,0 +1,138 @@
+"""Wire protocol: JSON shapes, routing, and error → status mapping.
+
+Kept separate from the socket code so the mapping is unit-testable and
+so the status contract is in one place:
+
+========================  ======  =========================================
+exception                 status  meaning to the client
+========================  ======  =========================================
+``OverloadShed``          429     back off (``shed_reason`` says why);
+                                  includes ``SessionLimitExceeded``
+``UnknownSession``        404     session evicted/closed/never existed —
+                                  restart with ``start``
+``CircuitOpen``           503     service breaker open; retry after cooldown
+``ServiceClosed``         503     shutting down
+``RetryBudgetExhausted``  503     transient faults exceeded the retry
+                                  budget — systemic, not per-request
+``FaultInjected``         503     transient fault survived its retries
+``DeadlineExceeded``      504     request outlived its deadline budget
+``InvalidNavigation``     400     geometric precondition violated
+``SessionNotStarted``     400     navigation before ``start``
+``InfeasibleSelection``   400     parameters admit no feasible selection
+``ValueError``            400     malformed request
+``KeyError``              400     missing field
+anything else             500     bug — check the logs
+========================  ======  =========================================
+
+Resource model (JSON over HTTP/1.1)::
+
+    POST   /v1/sessions                  start (body: dataset/region/k/...)
+    POST   /v1/sessions/{id}/{op}        zoom_in | zoom_out | pan | swap_dataset
+    DELETE /v1/sessions/{id}             close
+    GET    /healthz                      liveness + queue/breaker snapshot
+    GET    /metrics                      counters, gauges, timer summaries
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.robustness.errors import (
+    CircuitOpen,
+    DeadlineExceeded,
+    FaultInjected,
+    InfeasibleSelection,
+    InvalidNavigation,
+    OverloadShed,
+    RetryBudgetExhausted,
+    ServiceClosed,
+    SessionNotStarted,
+    UnknownSession,
+)
+from repro.service.service import OPERATIONS, ServiceRequest, ServiceResponse
+
+#: Ordered (subclass-before-superclass) exception → HTTP status mapping.
+#: ``UnknownSession`` precedes ``KeyError`` (it IS a KeyError);
+#: ``OverloadShed`` precedes the 503 family it could be confused with.
+STATUS_MAP: tuple[tuple[type[BaseException], int], ...] = (
+    (OverloadShed, 429),
+    (UnknownSession, 404),
+    (CircuitOpen, 503),
+    (ServiceClosed, 503),
+    (RetryBudgetExhausted, 503),
+    (FaultInjected, 503),
+    (DeadlineExceeded, 504),
+    (InvalidNavigation, 400),
+    (SessionNotStarted, 400),
+    (InfeasibleSelection, 400),
+    (ValueError, 400),
+    (KeyError, 400),
+)
+
+#: ``error_type`` string → status, derived from :data:`STATUS_MAP` so the
+#: HTTP layer can map a :class:`ServiceResponse` (which carries the
+#: exception only by name) without re-raising.
+_STATUS_BY_NAME: dict[str, int] = {
+    exc_type.__name__: status for exc_type, status in STATUS_MAP
+}
+_STATUS_BY_NAME["SessionLimitExceeded"] = 429
+
+
+def status_for(exc: BaseException) -> int:
+    """HTTP status for ``exc`` (500 for anything unmapped)."""
+    for exc_type, status in STATUS_MAP:
+        if isinstance(exc, exc_type):
+            return status
+    return 500
+
+
+def status_for_response(response: ServiceResponse) -> int:
+    """HTTP status for a handled :class:`ServiceResponse`."""
+    if response.ok:
+        return 200
+    if response.error_type is None:
+        return 500
+    return _STATUS_BY_NAME.get(response.error_type, 500)
+
+
+def parse_request(
+    method: str, path: str, body: dict[str, Any] | None
+) -> ServiceRequest:
+    """Map an HTTP ``(method, path, json-body)`` to a service request.
+
+    Raises ``ValueError`` for unroutable paths/methods — the HTTP layer
+    turns that into a 400/404 without touching the service.
+    """
+    body = body or {}
+    parts = [p for p in path.split("/") if p]
+    if parts[:2] == ["v1", "sessions"]:
+        rest = parts[2:]
+        deadline_ms = body.pop("deadline_ms", None)
+        if deadline_ms is not None:
+            deadline_ms = float(deadline_ms)
+        if not rest:
+            if method != "POST":
+                raise ValueError(f"{method} not supported on /v1/sessions")
+            return ServiceRequest(
+                op="start", params=body, deadline_ms=deadline_ms
+            )
+        session_id = rest[0]
+        if len(rest) == 1:
+            if method != "DELETE":
+                raise ValueError(
+                    f"{method} not supported on /v1/sessions/{{id}}"
+                )
+            return ServiceRequest(
+                op="close", session_id=session_id, deadline_ms=deadline_ms
+            )
+        if len(rest) == 2 and method == "POST":
+            op = rest[1]
+            if op not in OPERATIONS or op in ("start", "close"):
+                raise ValueError(f"unknown session operation {op!r}")
+            return ServiceRequest(
+                op=op,
+                session_id=session_id,
+                params=body,
+                deadline_ms=deadline_ms,
+            )
+    raise ValueError(f"no route for {method} {path}")

@@ -1,0 +1,171 @@
+"""Retry policy with jittered backoff and a global retry budget.
+
+Retries are the service's answer to *transient* faults (an injected
+``service.handle`` error, a worker hiccup) — and its second-biggest
+overload hazard after unbounded queueing: a fleet of clients all
+retrying into a degraded backend multiplies load exactly when capacity
+is lowest (a retry storm).  Two mechanisms bound that:
+
+* :class:`RetryPolicy` — capped exponential backoff with full-range
+  jitter, so synchronized clients decorrelate instead of thundering
+  back in lockstep.
+* :class:`RetryBudget` — a token bucket refilled by *successful first
+  attempts* and spent by *retries*.  When more than roughly
+  ``tokens_per_request`` of traffic is retrying, the bucket drains and
+  further retries are refused (:class:`RetryBudgetExhausted`), letting
+  the original error propagate instead of amplifying it.
+
+:func:`run_with_retry` stitches the two together and is deadline-aware:
+it never sleeps past the request's remaining budget, and it re-raises
+the last error rather than waiting out a deadline that cannot be met.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from collections.abc import Awaitable, Callable
+from dataclasses import dataclass
+from typing import Any, TypeVar
+
+import numpy as np
+
+from repro.metrics import MetricsRegistry
+from repro.robustness.budget import Deadline
+from repro.robustness.errors import FaultInjected, RetryBudgetExhausted
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with full jitter.
+
+    The delay before retry *n* (1-based) is drawn uniformly from
+    ``[base * multiplier**(n-1) * (1 - jitter), base * multiplier**(n-1)]``
+    and capped at ``max_delay_s`` — AWS-style "equal-ish jitter" that
+    keeps a floor under the delay (pure full jitter can draw ~0 and
+    hammer the backend) while still decorrelating clients.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.005
+    multiplier: float = 2.0
+    max_delay_s: float = 0.25
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay_for(self, attempt: int, rng: np.random.Generator) -> float:
+        """Backoff before retry ``attempt`` (1 = first retry)."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        ceiling = min(
+            self.base_delay_s * self.multiplier ** (attempt - 1),
+            self.max_delay_s,
+        )
+        floor = ceiling * (1.0 - self.jitter)
+        return float(rng.uniform(floor, ceiling))
+
+
+class RetryBudget:
+    """Token bucket limiting the *fraction* of traffic that may retry.
+
+    Every first attempt deposits ``tokens_per_request`` tokens (capped
+    at ``max_tokens``); every retry withdraws one.  With the default
+    0.1/request deposit, sustained retry volume is capped near 10% of
+    request volume — transient blips retry freely, a down backend does
+    not get hammered.  Thread-safe: the HTTP layer and direct callers
+    may share one budget across event loops and threads.
+    """
+
+    def __init__(
+        self, tokens_per_request: float = 0.1, max_tokens: float = 10.0
+    ) -> None:
+        if tokens_per_request < 0:
+            raise ValueError(
+                f"tokens_per_request must be >= 0, got {tokens_per_request}"
+            )
+        if max_tokens <= 0:
+            raise ValueError(f"max_tokens must be > 0, got {max_tokens}")
+        self.tokens_per_request = tokens_per_request
+        self.max_tokens = max_tokens
+        self._lock = threading.Lock()
+        self._tokens = max_tokens
+
+    @property
+    def tokens(self) -> float:
+        """Tokens currently available for retries."""
+        with self._lock:
+            return self._tokens
+
+    def on_request(self) -> None:
+        """Deposit for one first attempt."""
+        with self._lock:
+            self._tokens = min(
+                self.max_tokens, self._tokens + self.tokens_per_request
+            )
+
+    def try_spend(self) -> bool:
+        """Withdraw one token for a retry; ``False`` when drained."""
+        with self._lock:
+            if self._tokens < 1.0:
+                return False
+            self._tokens -= 1.0
+            return True
+
+
+async def run_with_retry(
+    fn: Callable[[], Awaitable[T]],
+    policy: RetryPolicy,
+    rng: np.random.Generator,
+    retryable: tuple[type[BaseException], ...] = (FaultInjected,),
+    deadline: Deadline | None = None,
+    budget: RetryBudget | None = None,
+    sleep: Callable[[float], Awaitable[Any]] = asyncio.sleep,
+    metrics: MetricsRegistry | None = None,
+) -> tuple[T, int]:
+    """Run ``fn`` with jittered-backoff retries; ``(result, attempts)``.
+
+    Only ``retryable`` exceptions are retried; anything else — and the
+    final retryable failure — propagates.  A retry is attempted only
+    when the ``budget`` (if any) grants a token *and* the ``deadline``
+    (if any) can still cover the backoff delay; otherwise the causing
+    error is re-raised immediately.  ``sleep`` is injectable so tests
+    exercise backoff schedules without wall-clock waits.
+    """
+    if budget is not None:
+        budget.on_request()
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            return await fn(), attempt
+        except retryable as exc:
+            if attempt >= policy.max_attempts:
+                raise
+            if budget is not None and not budget.try_spend():
+                if metrics is not None:
+                    metrics.incr("service.retry_budget_exhausted")
+                raise RetryBudgetExhausted(
+                    f"retry budget drained after {attempt} attempt(s)"
+                ) from exc
+            delay = policy.delay_for(attempt, rng)
+            if deadline is not None and deadline.remaining() <= delay:
+                # The backoff would outlive the request; surface the
+                # real error now rather than a later deadline blowout.
+                raise
+            if metrics is not None:
+                metrics.incr("service.retries")
+            if delay > 0.0:
+                await sleep(delay)

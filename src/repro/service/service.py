@@ -1,0 +1,548 @@
+"""The selection service: sessions + admission + retries, tied together.
+
+:class:`SelectionService` is the transport-independent core — the HTTP
+layer (:mod:`repro.service.http`) and tests both drive it through
+:meth:`SelectionService.handle`, which takes a :class:`ServiceRequest`
+and always returns a :class:`ServiceResponse` (errors are *data*, not
+exceptions, once they cross this boundary).
+
+Request lifecycle::
+
+    handle(request)
+      └─ span "service.request" (request_id, session_id, op)
+         ├─ admission: fault point service.admit → breaker peek →
+         │  deadline check → bounded queue → slot      (shed ⇒ typed
+         │  rejection *before* any session state is touched)
+         ├─ dispatch: per-session asyncio.Lock, then the CPU-bound
+         │  MapSession call runs in a worker thread (asyncio.to_thread
+         │  copies contextvars, so session spans nest under the
+         │  request's root span)
+         │    └─ fault point service.handle (inside the worker thread,
+         │       so injected latency never blocks the event loop),
+         │       wrapped in run_with_retry
+         └─ outcome: breaker success/failure recorded by the admission
+            ticket; metrics service.requests / .shed / .errors /
+            .request_seconds / .tier_seconds.<tier>
+
+Byte-identity contract: for an admitted request the selection payload
+is exactly ``step.visible`` from the underlying
+:class:`~repro.core.session.MapSession` call — the service adds
+envelope fields (ids, latency, attempts) but never reorders, filters,
+or recomputes the selection.  ``benchmarks/bench_service_load.py``
+replays every admitted operation on a direct session and compares
+byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.dataset import GeoDataset
+from repro.core.session import NavigationStep
+from repro.geo.bbox import BoundingBox
+from repro.metrics import MetricsRegistry
+from repro.robustness.breaker import CircuitBreaker
+from repro.robustness.budget import Deadline
+from repro.robustness.errors import (
+    FaultInjected,
+    OverloadShed,
+    ServiceClosed,
+    UnknownSession,
+)
+from repro.robustness.faults import SERVICE_HANDLE, FaultInjector
+from repro.service.admission import AdmissionController
+from repro.service.retry import RetryBudget, RetryPolicy, run_with_retry
+from repro.service.sessions import SessionEntry, SessionManager
+from repro.trace.tracer import NULL_TRACER, TracerLike
+
+#: Operations a request may name.
+OPERATIONS = (
+    "start", "zoom_in", "zoom_out", "pan", "swap_dataset", "close",
+)
+
+#: Session-touching operations (everything but ``start``).
+_SESSION_OPS = frozenset(OPERATIONS) - {"start"}
+
+
+@dataclass(frozen=True)
+class ServiceRequest:
+    """One client request, transport-independent.
+
+    ``params`` carries the operation arguments (``region`` as a
+    ``[minx, miny, maxx, maxy]`` list, ``scale``, ``dx``/``dy``,
+    ``dataset``, per-session option overrides at ``start``...).
+    ``deadline_ms`` overrides the service default budget for this
+    request only.
+    """
+
+    op: str
+    session_id: str | None = None
+    params: Mapping[str, Any] = field(default_factory=dict)
+    deadline_ms: float | None = None
+
+
+@dataclass
+class ServiceResponse:
+    """One request's outcome; :meth:`payload` is the wire shape."""
+
+    ok: bool
+    op: str
+    request_id: str
+    session_id: str | None = None
+    selection: list[int] | None = None
+    score: float | None = None
+    tier: str | None = None
+    degraded: bool | None = None
+    region: list[float] | None = None
+    attempts: int = 1
+    elapsed_ms: float = 0.0
+    error: str | None = None
+    error_type: str | None = None
+    shed_reason: str | None = None
+    detail: Mapping[str, Any] | None = None
+
+    def payload(self) -> dict[str, Any]:
+        """JSON-serializable dict, ``None`` fields dropped."""
+        out: dict[str, Any] = {}
+        for key, value in self.__dict__.items():
+            if value is not None:
+                out[key] = value
+        return out
+
+
+class SelectionService:
+    """Deadline-scoped multi-user facade over :class:`MapSession`.
+
+    Parameters
+    ----------
+    datasets:
+        Named shared datasets (see :class:`SessionManager`).
+    default_deadline_ms:
+        Per-request budget when the request names none.  The budget
+        covers queueing *and* handling; admission sheds requests whose
+        budget is already spent.
+    admission:
+        Admission controller; a default one
+        (``max_concurrency=8, max_queue_depth=64``) is built when
+        omitted, wired to ``breaker``/``fault_injector``/``metrics``.
+    sessions:
+        Session manager; a default one is built over ``datasets``.
+    retry_policy / retry_budget:
+        Backoff schedule and storm-guard for transient handler faults.
+    breaker:
+        Service-level circuit breaker (default: ``name="service"``,
+        standard thresholds).  Pass ``None`` explicitly via a custom
+        ``admission`` controller to disable.
+    fault_injector:
+        Chaos hook; traverses ``service.admit`` and ``service.handle``.
+    seed:
+        Seeds retry jitter (the only service-level randomness).
+    """
+
+    def __init__(
+        self,
+        datasets: Mapping[str, GeoDataset],
+        default_deadline_ms: float = 250.0,
+        admission: AdmissionController | None = None,
+        sessions: SessionManager | None = None,
+        retry_policy: RetryPolicy | None = None,
+        retry_budget: RetryBudget | None = None,
+        breaker: CircuitBreaker | None = None,
+        fault_injector: FaultInjector | None = None,
+        metrics: MetricsRegistry | None = None,
+        tracer: TracerLike | None = None,
+        session_options: Mapping[str, Any] | None = None,
+        max_sessions: int = 256,
+        session_ttl_s: float | None = 1800.0,
+        seed: int = 2018,
+    ) -> None:
+        if default_deadline_ms <= 0:
+            raise ValueError(
+                f"default_deadline_ms must be positive, got {default_deadline_ms}"
+            )
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.fault_injector = fault_injector
+        self.breaker = (
+            breaker if breaker is not None else CircuitBreaker(name="service")
+        )
+        self.default_deadline_ms = default_deadline_ms
+        options = dict(session_options or {})
+        options.setdefault("metrics", self.metrics)
+        options.setdefault("tracer", self.tracer)
+        self.sessions = (
+            sessions
+            if sessions is not None
+            else SessionManager(
+                datasets,
+                max_sessions=max_sessions,
+                ttl_s=session_ttl_s,
+                session_options=options,
+                metrics=self.metrics,
+            )
+        )
+        self.admission = (
+            admission
+            if admission is not None
+            else AdmissionController(
+                breaker=self.breaker,
+                fault_injector=fault_injector,
+                metrics=self.metrics,
+            )
+        )
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
+        )
+        self.retry_budget = (
+            retry_budget if retry_budget is not None else RetryBudget()
+        )
+        self._rng = np.random.default_rng(seed)
+        self._request_ids = itertools.count(1)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+
+    async def handle(self, request: ServiceRequest) -> ServiceResponse:
+        """Process one request; never raises (errors become responses)."""
+        request_id = f"r-{next(self._request_ids):08d}"
+        deadline_ms = (
+            request.deadline_ms
+            if request.deadline_ms is not None
+            else self.default_deadline_ms
+        )
+        started = time.perf_counter()
+        response: ServiceResponse
+        with self.tracer.span(
+            "service.request",
+            request_id=request_id,
+            op=request.op,
+            session_id=request.session_id or "",
+        ) as span:
+            try:
+                if self._closed:
+                    raise ServiceClosed("service is shut down")
+                if request.op not in OPERATIONS:
+                    raise ValueError(
+                        f"unknown operation {request.op!r}; "
+                        f"expected one of {', '.join(OPERATIONS)}"
+                    )
+                if deadline_ms <= 0:
+                    raise ValueError(
+                        f"deadline_ms must be positive, got {deadline_ms}"
+                    )
+                deadline = Deadline.after(deadline_ms / 1000.0)
+                async with self.admission.admit(deadline):
+                    response = await self._dispatch(
+                        request, request_id, deadline
+                    )
+            except OverloadShed as exc:
+                self.metrics.incr("service.shed")
+                self.metrics.incr(f"service.shed.{exc.reason}")
+                self.metrics.observe(
+                    "service.shed_seconds", time.perf_counter() - started
+                )
+                response = self._error_response(
+                    request, request_id, exc, shed_reason=exc.reason
+                )
+            except Exception as exc:
+                self.metrics.incr("service.errors")
+                self.metrics.incr(
+                    f"service.errors.{type(exc).__name__.lower()}"
+                )
+                response = self._error_response(request, request_id, exc)
+            span.annotate(ok=response.ok, error=response.error_type or "")
+        response.elapsed_ms = (time.perf_counter() - started) * 1000.0
+        self.metrics.incr("service.requests")
+        self.metrics.observe(
+            "service.request_seconds", time.perf_counter() - started
+        )
+        return response
+
+    def _error_response(
+        self,
+        request: ServiceRequest,
+        request_id: str,
+        exc: BaseException,
+        shed_reason: str | None = None,
+    ) -> ServiceResponse:
+        return ServiceResponse(
+            ok=False,
+            op=request.op,
+            request_id=request_id,
+            session_id=request.session_id,
+            error=str(exc),
+            error_type=type(exc).__name__,
+            shed_reason=shed_reason,
+        )
+
+    async def _dispatch(
+        self, request: ServiceRequest, request_id: str, deadline: Deadline
+    ) -> ServiceResponse:
+        params = dict(request.params)
+        if request.op == "start":
+            return await self._handle_start(request, request_id, deadline)
+        if request.session_id is None:
+            raise ValueError(f"{request.op} requires a session_id")
+        entry = self.sessions.get(request.session_id)
+        if request.op == "close":
+            self.sessions.remove(request.session_id)
+            return ServiceResponse(
+                ok=True,
+                op=request.op,
+                request_id=request_id,
+                session_id=request.session_id,
+            )
+        if request.op == "swap_dataset":
+            return await self._handle_swap(
+                entry, params, request_id, deadline
+            )
+        step, attempts = await self._run_step(
+            entry, request.op, params, deadline
+        )
+        return self._step_response(entry, request.op, request_id, step, attempts)
+
+    async def _handle_start(
+        self, request: ServiceRequest, request_id: str, deadline: Deadline
+    ) -> ServiceResponse:
+        params = dict(request.params)
+        dataset_name = params.pop("dataset", None)
+        region = self._parse_region(params.pop("region", None))
+        overrides = {
+            key: params.pop(key)
+            for key in ("k", "theta_fraction", "prefetch", "deadline_s")
+            if key in params
+        }
+        self._reject_extras(params)
+        entry = self.sessions.create(dataset_name, overrides)
+        try:
+            if region is None:
+                region = self.sessions.dataset(entry.dataset_name).frame()
+            step, attempts = await self._run_step(
+                entry, "start", {"region": region}, deadline, parsed=True
+            )
+        except BaseException:
+            # Creation succeeded but the first selection did not; a
+            # half-started session would never be reachable again.
+            try:
+                self.sessions.remove(entry.session_id)
+            except UnknownSession:
+                pass
+            raise
+        return self._step_response(entry, "start", request_id, step, attempts)
+
+    async def _handle_swap(
+        self,
+        entry: SessionEntry,
+        params: dict[str, Any],
+        request_id: str,
+        deadline: Deadline,
+    ) -> ServiceResponse:
+        name = params.pop("dataset", None)
+        if name is None:
+            raise ValueError("swap_dataset requires a dataset name")
+        region = self._parse_region(params.pop("region", None))
+        self._reject_extras(params)
+        dataset = self.sessions.dataset(name)
+        step, attempts = await self._run_step(
+            entry,
+            "swap_dataset",
+            {"dataset": dataset, "region": region},
+            deadline,
+            parsed=True,
+        )
+        entry.dataset_name = name
+        return self._step_response(
+            entry, "swap_dataset", request_id, step, attempts
+        )
+
+    async def _run_step(
+        self,
+        entry: SessionEntry,
+        op: str,
+        params: Mapping[str, Any],
+        deadline: Deadline,
+        parsed: bool = False,
+    ) -> tuple[NavigationStep | None, int]:
+        """Run one session operation under the entry lock, with retries."""
+        call = self._build_call(entry, op, params, parsed)
+        injector = self.fault_injector
+
+        def invoke() -> NavigationStep | None:
+            # Runs in a worker thread: the fault check lives here so an
+            # injected latency stalls the worker, not the event loop —
+            # and so a retry traverses the fault point again.
+            if injector is not None:
+                injector.check(SERVICE_HANDLE)
+            deadline.check()
+            return call()
+
+        async with entry.lock:
+            if entry.closed:
+                raise UnknownSession(entry.session_id)
+            with self.tracer.span("service.dispatch", op=op):
+                result, attempts = await run_with_retry(
+                    lambda: asyncio.to_thread(invoke),
+                    policy=self.retry_policy,
+                    rng=self._rng,
+                    retryable=(FaultInjected,),
+                    deadline=deadline,
+                    budget=self.retry_budget,
+                    metrics=self.metrics,
+                )
+            entry.steps += 1
+            self.sessions.touch(entry)
+        return result, attempts
+
+    def _build_call(
+        self,
+        entry: SessionEntry,
+        op: str,
+        params: Mapping[str, Any],
+        parsed: bool,
+    ):
+        """Bind the MapSession method and validated arguments for ``op``."""
+        session = entry.session
+        params = dict(params)
+        if op == "start":
+            region = (
+                params.pop("region")
+                if parsed
+                else self._parse_region(params.pop("region", None))
+            )
+            self._reject_extras(params)
+            if region is None:
+                raise ValueError("start requires a region")
+            return lambda: session.start(region)
+        if op == "swap_dataset":
+            dataset = params.pop("dataset")
+            region = params.pop("region", None)
+            self._reject_extras(params)
+
+            def swap() -> NavigationStep | None:
+                session.swap_dataset(dataset)
+                if region is not None:
+                    return session.start(region)
+                return None
+
+            return swap
+        if op in ("zoom_in", "zoom_out"):
+            scale = params.pop("scale", None)
+            target = self._parse_region(params.pop("target", None))
+            self._reject_extras(params)
+            method = session.zoom_in if op == "zoom_in" else session.zoom_out
+            kwargs: dict[str, Any] = {}
+            if scale is not None:
+                kwargs["scale"] = float(scale)
+            if target is not None:
+                kwargs["target"] = target
+            return lambda: method(**kwargs)
+        if op == "pan":
+            dx = float(params.pop("dx", 0.0))
+            dy = float(params.pop("dy", 0.0))
+            target = self._parse_region(params.pop("target", None))
+            self._reject_extras(params)
+            if target is not None:
+                return lambda: session.pan(target=target)
+            return lambda: session.pan(dx, dy)
+        raise ValueError(f"unknown operation {op!r}")
+
+    def _step_response(
+        self,
+        entry: SessionEntry,
+        op: str,
+        request_id: str,
+        step: NavigationStep | None,
+        attempts: int,
+    ) -> ServiceResponse:
+        response = ServiceResponse(
+            ok=True,
+            op=op,
+            request_id=request_id,
+            session_id=entry.session_id,
+            attempts=attempts,
+        )
+        if step is not None:
+            response.selection = [int(i) for i in step.visible]
+            response.score = float(step.result.score)
+            response.tier = step.tier
+            response.degraded = bool(step.degraded)
+            response.region = [
+                step.region.minx, step.region.miny,
+                step.region.maxx, step.region.maxy,
+            ]
+            self.metrics.observe(
+                f"service.tier_seconds.{step.tier}", step.elapsed_s
+            )
+        return response
+
+    @staticmethod
+    def _parse_region(raw: Any) -> BoundingBox | None:
+        if raw is None or isinstance(raw, BoundingBox):
+            return raw
+        if isinstance(raw, Mapping):
+            try:
+                return BoundingBox(
+                    float(raw["minx"]), float(raw["miny"]),
+                    float(raw["maxx"]), float(raw["maxy"]),
+                )
+            except KeyError as exc:
+                raise ValueError(
+                    f"region mapping is missing key {exc.args[0]!r}"
+                ) from None
+        try:
+            minx, miny, maxx, maxy = (float(v) for v in raw)
+        except (TypeError, ValueError):
+            raise ValueError(
+                "region must be [minx, miny, maxx, maxy] or an object "
+                "with those keys"
+            ) from None
+        return BoundingBox(minx, miny, maxx, maxy)
+
+    @staticmethod
+    def _reject_extras(params: Mapping[str, Any]) -> None:
+        if params:
+            raise ValueError(
+                "unexpected parameters: " + ", ".join(sorted(params))
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection and lifecycle
+    # ------------------------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        """Liveness payload for ``GET /healthz``."""
+        return {
+            "status": "closed" if self._closed else "ok",
+            "sessions": self.sessions.count,
+            "active": self.admission.active,
+            "queue_depth": self.admission.queue_depth,
+            "breaker": self.breaker.state,
+            "datasets": self.sessions.dataset_names,
+        }
+
+    def metrics_payload(self) -> dict[str, Any]:
+        """Observability payload for ``GET /metrics``."""
+        return {
+            "counters": self.metrics.snapshot(),
+            "gauges": self.metrics.gauges(),
+            "timers": self.metrics.summaries(),
+        }
+
+    def close(self) -> None:
+        """Refuse new work and close every session (idempotent)."""
+        self._closed = True
+        self.sessions.close_all()
+
+    async def aclose(self) -> None:
+        """Async variant of :meth:`close` (session closes off-loop)."""
+        self._closed = True
+        await asyncio.to_thread(self.sessions.close_all)

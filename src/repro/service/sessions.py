@@ -1,0 +1,295 @@
+"""Per-user session state with TTL eviction and shared datasets.
+
+A :class:`SessionManager` owns every live :class:`MapSession` behind
+the service.  Its design constraints:
+
+* **shared read-only state** — all sessions over a named dataset hold
+  references to *the same* :class:`~repro.core.dataset.GeoDataset`
+  (coordinates, weights, similarity model, spatial index), so memory
+  scales with datasets, not users.  Sessions are created without a
+  similarity cache by default precisely because the cache wrapper
+  would re-bind mutable per-session state around the shared model.
+* **bounded population** — at most ``max_sessions`` live sessions;
+  beyond that, creation raises
+  :class:`~repro.robustness.SessionLimitExceeded` (a shed: the caller
+  can retry after TTL eviction reclaims capacity).
+* **TTL eviction** — sessions idle past ``ttl_s`` are closed and
+  dropped by :meth:`evict_expired`, which the service calls
+  opportunistically and from a background sweeper.  An entry whose
+  per-session :class:`asyncio.Lock` is held (a request is mid-flight)
+  is never evicted.
+* **close from anywhere** — eviction, shutdown, and request error
+  paths may all reach a session's ``close()`` concurrently;
+  :meth:`MapSession.close` is idempotent and thread-safe for exactly
+  this reason, and the manager's own dict is guarded by a
+  ``threading.Lock`` so ``close_all()`` may be called from any thread.
+
+The per-entry ``asyncio.Lock`` serializes operations *within* one
+session (``MapSession`` is a stateful machine; interleaving two pans
+would corrupt the ISOS mandatory-set derivation) while different
+sessions proceed concurrently.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+import time
+from collections.abc import Callable, Mapping
+from typing import Any
+
+from repro.core.dataset import GeoDataset
+from repro.core.session import MapSession
+from repro.metrics import MetricsRegistry
+from repro.robustness.errors import (
+    ServiceClosed,
+    SessionLimitExceeded,
+    UnknownSession,
+)
+
+#: MapSession constructor keys a request may override at ``start``.
+ALLOWED_SESSION_OVERRIDES = frozenset(
+    {"k", "theta_fraction", "prefetch", "deadline_s"}
+)
+
+
+class SessionEntry:
+    """One live session plus the service's bookkeeping for it.
+
+    Plain attribute container (no mutating methods): every mutation
+    happens under the manager's coordination — ``lock`` for session
+    operations, the manager's dict lock for membership.
+    """
+
+    __slots__ = (
+        "session_id", "session", "dataset_name", "created_at",
+        "last_used", "lock", "closed", "steps",
+    )
+
+    def __init__(
+        self,
+        session_id: str,
+        session: MapSession,
+        dataset_name: str,
+        created_at: float,
+    ) -> None:
+        self.session_id = session_id
+        self.session = session
+        self.dataset_name = dataset_name
+        self.created_at = created_at
+        self.last_used = created_at
+        self.lock = asyncio.Lock()
+        self.closed = False
+        self.steps = 0
+
+
+class SessionManager:
+    """Registry of live sessions over a set of shared datasets.
+
+    Parameters
+    ----------
+    datasets:
+        Named :class:`GeoDataset`\\ s the service exposes.  Held
+        immutably and shared by reference across every session.
+    default_dataset:
+        Name used when a ``start`` request names none (defaults to the
+        first key).
+    max_sessions:
+        Hard cap on live sessions.
+    ttl_s:
+        Idle lifetime; ``None`` disables TTL eviction.
+    clock:
+        Monotonic time source (injectable so tests drive eviction
+        without sleeping).
+    session_options:
+        Baseline :class:`MapSession` keyword arguments applied to
+        every session (``k``, ``prefetch``, ``deadline_s``, ...).
+    metrics:
+        Optional registry: ``service.sessions.*`` counters and the
+        ``service.sessions`` gauge.
+    """
+
+    def __init__(
+        self,
+        datasets: Mapping[str, GeoDataset],
+        default_dataset: str | None = None,
+        max_sessions: int = 256,
+        ttl_s: float | None = 1800.0,
+        clock: Callable[[], float] = time.monotonic,
+        session_options: Mapping[str, Any] | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if not datasets:
+            raise ValueError("at least one dataset is required")
+        if max_sessions < 1:
+            raise ValueError(f"max_sessions must be >= 1, got {max_sessions}")
+        if ttl_s is not None and ttl_s <= 0:
+            raise ValueError(f"ttl_s must be positive, got {ttl_s}")
+        self._datasets = dict(datasets)
+        self.default_dataset = (
+            default_dataset
+            if default_dataset is not None
+            else next(iter(self._datasets))
+        )
+        if self.default_dataset not in self._datasets:
+            raise ValueError(
+                f"default dataset {self.default_dataset!r} not in datasets"
+            )
+        self.max_sessions = max_sessions
+        self.ttl_s = ttl_s
+        self.metrics = metrics
+        self._clock = clock
+        self._session_options = dict(session_options or {})
+        self._lock = threading.Lock()
+        self._sessions: dict[str, SessionEntry] = {}
+        self._ids = itertools.count(1)
+        self._shut_down = False
+
+    # ------------------------------------------------------------------
+    # Datasets
+    # ------------------------------------------------------------------
+
+    @property
+    def dataset_names(self) -> list[str]:
+        """Names of the served datasets (sorted)."""
+        return sorted(self._datasets)
+
+    def dataset(self, name: str) -> GeoDataset:
+        """The shared dataset registered under ``name``."""
+        try:
+            return self._datasets[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown dataset {name!r}; available: "
+                + ", ".join(self.dataset_names)
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def create(
+        self,
+        dataset: str | None = None,
+        overrides: Mapping[str, Any] | None = None,
+    ) -> SessionEntry:
+        """Create a session over ``dataset`` (default: the default one).
+
+        ``overrides`` may carry the whitelisted per-session
+        :class:`MapSession` options (:data:`ALLOWED_SESSION_OVERRIDES`);
+        anything else raises ``ValueError`` — the shared service
+        configuration is not per-user surface.
+        """
+        self.evict_expired()
+        name = dataset if dataset is not None else self.default_dataset
+        data = self.dataset(name)
+        options = dict(self._session_options)
+        if overrides:
+            unknown = set(overrides) - ALLOWED_SESSION_OVERRIDES
+            if unknown:
+                raise ValueError(
+                    "unsupported session options: "
+                    + ", ".join(sorted(unknown))
+                )
+            options.update(overrides)
+        with self._lock:
+            if self._shut_down:
+                raise ServiceClosed("session manager is shut down")
+            if len(self._sessions) >= self.max_sessions:
+                raise SessionLimitExceeded(self.max_sessions)
+            session_id = f"s-{next(self._ids):08d}"
+            entry = SessionEntry(
+                session_id,
+                MapSession(data, **options),
+                name,
+                self._clock(),
+            )
+            self._sessions[session_id] = entry
+        if self.metrics is not None:
+            self.metrics.incr("service.sessions.created")
+        self._sync_gauge()
+        return entry
+
+    def get(self, session_id: str) -> SessionEntry:
+        """The live entry for ``session_id``; touches its idle clock.
+
+        Raises :class:`UnknownSession` for ids that were never created
+        or have been evicted/closed — indistinguishable on purpose (an
+        evicted id must not leak whether it ever existed).
+        """
+        with self._lock:
+            entry = self._sessions.get(session_id)
+        if entry is None or entry.closed:
+            raise UnknownSession(session_id)
+        entry.last_used = self._clock()
+        return entry
+
+    def touch(self, entry: SessionEntry) -> None:
+        """Refresh ``entry``'s idle clock (after a completed step)."""
+        entry.last_used = self._clock()
+
+    def remove(self, session_id: str) -> None:
+        """Close and drop ``session_id`` (explicit client close)."""
+        with self._lock:
+            entry = self._sessions.pop(session_id, None)
+        if entry is None:
+            raise UnknownSession(session_id)
+        entry.closed = True
+        entry.session.close()
+        if self.metrics is not None:
+            self.metrics.incr("service.sessions.closed")
+        self._sync_gauge()
+
+    def evict_expired(self, now: float | None = None) -> list[str]:
+        """Close and drop every session idle past ``ttl_s``.
+
+        Entries whose per-session lock is held (request in flight) are
+        skipped this sweep — their idle clock restarts when the request
+        completes.  Returns the evicted ids.
+        """
+        if self.ttl_s is None:
+            return []
+        cutoff = (self._clock() if now is None else now) - self.ttl_s
+        expired: list[SessionEntry] = []
+        with self._lock:
+            for session_id, entry in list(self._sessions.items()):
+                if entry.lock.locked():
+                    continue
+                if entry.last_used <= cutoff:
+                    del self._sessions[session_id]
+                    expired.append(entry)
+        for entry in expired:
+            entry.closed = True
+            entry.session.close()
+            if self.metrics is not None:
+                self.metrics.incr("service.sessions.evicted")
+        if expired:
+            self._sync_gauge()
+        return [entry.session_id for entry in expired]
+
+    def close_all(self) -> None:
+        """Shut the manager down, closing every session (idempotent).
+
+        Safe from any thread; concurrent eviction or per-request error
+        paths racing into ``session.close()`` are harmless because the
+        session close itself is idempotent and thread-safe.
+        """
+        with self._lock:
+            self._shut_down = True
+            entries = list(self._sessions.values())
+            self._sessions.clear()
+        for entry in entries:
+            entry.closed = True
+            entry.session.close()
+        self._sync_gauge()
+
+    @property
+    def count(self) -> int:
+        """Number of live sessions."""
+        with self._lock:
+            return len(self._sessions)
+
+    def _sync_gauge(self) -> None:
+        if self.metrics is not None:
+            self.metrics.set_gauge("service.sessions", self.count)

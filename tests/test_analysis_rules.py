@@ -148,6 +148,66 @@ class TestRL001LockDiscipline:
         """)
         assert findings == []
 
+    def test_positive_asyncio_lock_unlocked_mutation(self):
+        findings = run_rule("RL001", """
+            import asyncio
+
+            class Manager:
+                def __init__(self):
+                    self._lock = asyncio.Lock()
+                    self._entries = {}
+
+                async def add(self, key):
+                    async with self._lock:
+                        self._entries[key] = 1
+
+                async def drop_all(self):
+                    self._entries.clear()
+        """)
+        assert codes(findings) == ["RL001"]
+        [finding] = findings
+        assert "'_entries'" in finding.message
+        assert finding.line_text == "self._entries.clear()"
+
+    def test_negative_asyncio_lock_all_mutations_locked(self):
+        findings = run_rule("RL001", """
+            import asyncio
+
+            class Manager:
+                def __init__(self):
+                    self._lock = asyncio.Lock()
+                    self._entries = {}
+                    self._closed = False
+
+                async def add(self, key):
+                    async with self._lock:
+                        self._entries[key] = 1
+
+                async def close(self):
+                    async with self._lock:
+                        self._closed = True
+                        self._entries.clear()
+        """)
+        assert findings == []
+
+    def test_negative_async_methods_with_locked_helper(self):
+        findings = run_rule("RL001", """
+            import asyncio
+
+            class Counter:
+                def __init__(self):
+                    self._lock = asyncio.Lock()
+                    self._n = 0
+
+                def _bump_locked(self):
+                    self._n += 1
+
+                async def bump(self):
+                    async with self._lock:
+                        self._bump_locked()
+        """)
+        assert findings == []
+
 
 class TestRL002Determinism:
     def test_positive_wall_clock(self):

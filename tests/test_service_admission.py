@@ -1,0 +1,253 @@
+"""Admission controller: queueing, shedding, breaker wiring."""
+
+import asyncio
+
+import pytest
+
+from repro import CircuitBreaker, FaultInjector, MetricsRegistry
+from repro.robustness import (
+    SERVICE_ADMIT,
+    CircuitOpen,
+    Deadline,
+    DeadlineExceeded,
+    FaultInjected,
+    InvalidNavigation,
+    OverloadShed,
+)
+from repro.service import AdmissionController, is_system_failure
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestIsSystemFailure:
+    def test_faults_and_deadlines_count(self):
+        assert is_system_failure(FaultInjected("x"))
+        assert is_system_failure(DeadlineExceeded("x"))
+        assert is_system_failure(RuntimeError("bug"))
+
+    def test_user_errors_do_not(self):
+        assert not is_system_failure(InvalidNavigation("x"))
+        assert not is_system_failure(OverloadShed("queue_full"))
+        assert not is_system_failure(KeyboardInterrupt())
+
+
+class TestAdmission:
+    def test_admits_when_capacity_free(self):
+        async def go():
+            ctl = AdmissionController(max_concurrency=2)
+            async with ctl.admit() as ticket:
+                assert ctl.active == 1
+                assert ticket.queue_wait_s == 0.0
+            assert ctl.active == 0
+
+        run(go())
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_concurrency=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue_depth=-1)
+        with pytest.raises(ValueError):
+            AdmissionController(queue_timeout_s=-0.1)
+
+    def test_queues_until_slot_frees(self):
+        async def go():
+            ctl = AdmissionController(max_concurrency=1, queue_timeout_s=5.0)
+            release = asyncio.Event()
+            admitted = asyncio.Event()
+
+            async def holder():
+                async with ctl.admit():
+                    admitted.set()
+                    await release.wait()
+
+            async def waiter():
+                await admitted.wait()
+                async with ctl.admit() as ticket:
+                    return ticket.queue_wait_s
+
+            holder_task = asyncio.ensure_future(holder())
+            waiter_task = asyncio.ensure_future(waiter())
+            await admitted.wait()
+            await asyncio.sleep(0.02)
+            assert ctl.queue_depth == 1
+            release.set()
+            waited = await waiter_task
+            await holder_task
+            assert waited > 0.0
+
+        run(go())
+
+    def test_sheds_queue_full(self):
+        async def go():
+            ctl = AdmissionController(max_concurrency=1, max_queue_depth=0)
+            release = asyncio.Event()
+            admitted = asyncio.Event()
+
+            async def holder():
+                async with ctl.admit():
+                    admitted.set()
+                    await release.wait()
+
+            task = asyncio.ensure_future(holder())
+            await admitted.wait()
+            with pytest.raises(OverloadShed) as exc_info:
+                async with ctl.admit():
+                    pass
+            assert exc_info.value.reason == "queue_full"
+            release.set()
+            await task
+
+        run(go())
+
+    def test_sheds_queue_timeout(self):
+        async def go():
+            ctl = AdmissionController(
+                max_concurrency=1, max_queue_depth=4, queue_timeout_s=0.01
+            )
+            release = asyncio.Event()
+            admitted = asyncio.Event()
+
+            async def holder():
+                async with ctl.admit():
+                    admitted.set()
+                    await release.wait()
+
+            task = asyncio.ensure_future(holder())
+            await admitted.wait()
+            with pytest.raises(OverloadShed) as exc_info:
+                async with ctl.admit():
+                    pass
+            assert exc_info.value.reason == "queue_timeout"
+            assert ctl.queue_depth == 0  # waiter cleaned up
+            release.set()
+            await task
+
+        run(go())
+
+    def test_sheds_expired_deadline_without_queueing(self):
+        async def go():
+            ctl = AdmissionController(max_concurrency=1)
+            with pytest.raises(OverloadShed) as exc_info:
+                async with ctl.admit(Deadline(expires_at=0.0)):
+                    pass
+            assert exc_info.value.reason == "deadline"
+
+        run(go())
+
+    def test_deadline_caps_queueing_allowance(self):
+        async def go():
+            ctl = AdmissionController(
+                max_concurrency=1, max_queue_depth=4, queue_timeout_s=30.0
+            )
+            release = asyncio.Event()
+            admitted = asyncio.Event()
+
+            async def holder():
+                async with ctl.admit():
+                    admitted.set()
+                    await release.wait()
+
+            task = asyncio.ensure_future(holder())
+            await admitted.wait()
+            with pytest.raises(OverloadShed) as exc_info:
+                async with ctl.admit(Deadline.after(0.02)):
+                    pass
+            assert exc_info.value.reason == "queue_timeout"
+            release.set()
+            await task
+
+        run(go())
+
+    def test_slot_released_when_body_raises(self):
+        async def go():
+            ctl = AdmissionController(max_concurrency=1)
+            with pytest.raises(RuntimeError):
+                async with ctl.admit():
+                    raise RuntimeError("handler blew up")
+            assert ctl.active == 0
+            async with ctl.admit():  # capacity was not leaked
+                pass
+
+        run(go())
+
+    def test_metrics_and_gauges(self):
+        async def go():
+            metrics = MetricsRegistry()
+            ctl = AdmissionController(max_concurrency=2, metrics=metrics)
+            async with ctl.admit():
+                assert metrics.gauge("service.active") == 1
+            assert metrics.count("service.admitted") == 1
+            assert metrics.gauge("service.active") == 0
+
+        run(go())
+
+
+class TestAdmissionFaults:
+    def test_admit_fault_rejects_before_queueing(self):
+        async def go():
+            injector = FaultInjector(seed=0).arm(SERVICE_ADMIT)
+            ctl = AdmissionController(fault_injector=injector)
+            with pytest.raises(FaultInjected):
+                async with ctl.admit():
+                    pass
+            assert ctl.active == 0
+            assert ctl.queue_depth == 0
+
+        run(go())
+
+
+class TestBreakerWiring:
+    def test_open_breaker_rejects_fast(self):
+        async def go():
+            breaker = CircuitBreaker(failure_threshold=1, name="svc")
+            breaker.record_failure()
+            assert breaker.state == "open"
+            ctl = AdmissionController(breaker=breaker)
+            with pytest.raises(CircuitOpen):
+                async with ctl.admit():
+                    pass
+
+        run(go())
+
+    def test_system_failures_trip_user_errors_do_not(self):
+        async def go():
+            breaker = CircuitBreaker(failure_threshold=2, name="svc")
+            ctl = AdmissionController(breaker=breaker)
+            # User errors: breaker stays closed however many occur.
+            for _ in range(5):
+                with pytest.raises(InvalidNavigation):
+                    async with ctl.admit():
+                        raise InvalidNavigation("bad pan")
+            assert breaker.state == "closed"
+            # System failures: trips after the threshold.
+            for _ in range(2):
+                with pytest.raises(RuntimeError):
+                    async with ctl.admit():
+                        raise RuntimeError("boom")
+            assert breaker.state == "open"
+
+        run(go())
+
+    def test_breaker_recovers_through_half_open(self):
+        async def go():
+            now = [0.0]
+            breaker = CircuitBreaker(
+                failure_threshold=1, reset_after_s=10.0,
+                clock=lambda: now[0], name="svc",
+            )
+            ctl = AdmissionController(breaker=breaker)
+            with pytest.raises(RuntimeError):
+                async with ctl.admit():
+                    raise RuntimeError("boom")
+            with pytest.raises(CircuitOpen):
+                async with ctl.admit():
+                    pass
+            now[0] = 11.0  # cool-down elapses -> half-open probe
+            async with ctl.admit():
+                pass
+            assert breaker.state == "closed"
+
+        run(go())

@@ -1,0 +1,250 @@
+"""HTTP protocol layer: routing, status mapping, wire behavior."""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro import GeoDataset
+from repro.robustness import (
+    CircuitOpen,
+    DeadlineExceeded,
+    FaultInjected,
+    InvalidNavigation,
+    OverloadShed,
+    RetryBudgetExhausted,
+    ServiceClosed,
+    SessionLimitExceeded,
+    UnknownSession,
+)
+from repro.service import (
+    SelectionService,
+    ServiceHTTPServer,
+    parse_request,
+    status_for,
+)
+
+
+def make_dataset(n=600, seed=5):
+    gen = np.random.default_rng(seed)
+    return GeoDataset.build(
+        gen.random(n), gen.random(n), weights=gen.random(n)
+    )
+
+
+def make_service(**kwargs):
+    kwargs.setdefault("session_options", {"k": 6, "workers": 0})
+    kwargs.setdefault("default_deadline_ms", 2000.0)
+    return SelectionService({"a": make_dataset()}, **kwargs)
+
+
+async def raw_exchange(host, port, payload: bytes) -> bytes:
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(payload)
+    await writer.drain()
+    data = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    return data
+
+
+async def request(host, port, method, path, body=None, keep_alive=False):
+    data = json.dumps(body).encode() if body is not None else b""
+    connection = "keep-alive" if keep_alive else "close"
+    head = (
+        f"{method} {path} HTTP/1.1\r\nHost: t\r\n"
+        f"Content-Length: {len(data)}\r\nConnection: {connection}\r\n\r\n"
+    )
+    raw = await raw_exchange(host, port, head.encode() + data)
+    status = int(raw.split(b" ", 2)[1])
+    payload = json.loads(raw.split(b"\r\n\r\n", 1)[1])
+    return status, payload
+
+
+class TestStatusMapping:
+    @pytest.mark.parametrize("exc,status", [
+        (OverloadShed("queue_full"), 429),
+        (SessionLimitExceeded(4), 429),
+        (UnknownSession("s-1"), 404),
+        (CircuitOpen("open"), 503),
+        (ServiceClosed("bye"), 503),
+        (RetryBudgetExhausted("drained"), 503),
+        (FaultInjected("chaos"), 503),
+        (DeadlineExceeded("late"), 504),
+        (InvalidNavigation("bad"), 400),
+        (ValueError("bad"), 400),
+        (KeyError("missing"), 400),
+        (RuntimeError("bug"), 500),
+    ])
+    def test_status_for(self, exc, status):
+        assert status_for(exc) == status
+
+
+class TestRouting:
+    def test_start_route(self):
+        req = parse_request("POST", "/v1/sessions", {"region": [0, 0, 1, 1]})
+        assert req.op == "start"
+        assert req.params == {"region": [0, 0, 1, 1]}
+
+    def test_session_op_route(self):
+        req = parse_request("POST", "/v1/sessions/s-1/pan", {"dx": 0.1})
+        assert (req.op, req.session_id) == ("pan", "s-1")
+
+    def test_close_route(self):
+        req = parse_request("DELETE", "/v1/sessions/s-1", None)
+        assert (req.op, req.session_id) == ("close", "s-1")
+
+    def test_deadline_ms_extracted(self):
+        req = parse_request(
+            "POST", "/v1/sessions/s-1/pan", {"dx": 0.1, "deadline_ms": 50}
+        )
+        assert req.deadline_ms == 50.0
+        assert "deadline_ms" not in req.params
+
+    @pytest.mark.parametrize("method,path", [
+        ("GET", "/v1/sessions"),
+        ("POST", "/v1/sessions/s-1"),
+        ("POST", "/v1/sessions/s-1/start"),
+        ("POST", "/v1/sessions/s-1/bogus"),
+        ("POST", "/elsewhere"),
+    ])
+    def test_unroutable(self, method, path):
+        with pytest.raises(ValueError):
+            parse_request(method, path, {})
+
+
+class TestServer:
+    def test_full_session_lifecycle(self):
+        async def go():
+            service = make_service()
+            async with ServiceHTTPServer(service, port=0) as server:
+                status, health = await request(
+                    server.host, server.port, "GET", "/healthz"
+                )
+                assert status == 200 and health["status"] == "ok"
+
+                status, started = await request(
+                    server.host, server.port, "POST", "/v1/sessions",
+                    {"region": [0.2, 0.2, 0.8, 0.8]},
+                )
+                assert status == 200 and started["ok"]
+                assert len(started["selection"]) > 0
+                sid = started["session_id"]
+
+                status, step = await request(
+                    server.host, server.port, "POST",
+                    f"/v1/sessions/{sid}/zoom_in", {"scale": 0.5},
+                )
+                assert status == 200 and step["ok"]
+
+                status, _ = await request(
+                    server.host, server.port, "DELETE", f"/v1/sessions/{sid}"
+                )
+                assert status == 200
+
+                status, gone = await request(
+                    server.host, server.port, "POST",
+                    f"/v1/sessions/{sid}/pan", {"dx": 0.1},
+                )
+                assert status == 404
+                assert gone["error_type"] == "UnknownSession"
+
+                status, metrics = await request(
+                    server.host, server.port, "GET", "/metrics"
+                )
+                assert status == 200
+                assert metrics["counters"]["service.requests"] >= 4
+                assert "service.request_seconds" in metrics["timers"]
+
+        asyncio.run(go())
+
+    def test_keep_alive_reuses_connection(self):
+        async def go():
+            service = make_service()
+            async with ServiceHTTPServer(service, port=0) as server:
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                for _ in range(3):
+                    writer.write(
+                        b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n"
+                    )
+                    await writer.drain()
+                    head = await reader.readuntil(b"\r\n\r\n")
+                    assert b"200" in head.split(b"\r\n", 1)[0]
+                    length = int(
+                        [
+                            line.split(b":")[1]
+                            for line in head.split(b"\r\n")
+                            if line.lower().startswith(b"content-length")
+                        ][0]
+                    )
+                    await reader.readexactly(length)
+                writer.close()
+                await writer.wait_closed()
+
+        asyncio.run(go())
+
+    def test_malformed_inputs_get_4xx(self):
+        async def go():
+            service = make_service()
+            async with ServiceHTTPServer(service, port=0) as server:
+                raw = await raw_exchange(
+                    server.host, server.port, b"NONSENSE\r\n\r\n"
+                )
+                assert b"400" in raw.split(b"\r\n", 1)[0]
+
+                body = b"{not json"
+                head = (
+                    "POST /v1/sessions HTTP/1.1\r\nHost: t\r\n"
+                    f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n"
+                ).encode()
+                raw = await raw_exchange(server.host, server.port, head + body)
+                assert b"400" in raw.split(b"\r\n", 1)[0]
+
+                head = (
+                    "POST /v1/sessions HTTP/1.1\r\nHost: t\r\n"
+                    "Content-Length: 99999999\r\nConnection: close\r\n\r\n"
+                ).encode()
+                raw = await raw_exchange(server.host, server.port, head)
+                assert b"413" in raw.split(b"\r\n", 1)[0]
+
+                status, _ = await request(
+                    server.host, server.port, "GET", "/no/such/route"
+                )
+                assert status == 404
+
+        asyncio.run(go())
+
+    def test_unknown_dataset_is_400(self):
+        async def go():
+            service = make_service()
+            async with ServiceHTTPServer(service, port=0) as server:
+                status, payload = await request(
+                    server.host, server.port, "POST", "/v1/sessions",
+                    {"dataset": "nope"},
+                )
+                assert status == 400
+                assert "unknown dataset" in payload["error"]
+
+        asyncio.run(go())
+
+    def test_stop_closes_service(self):
+        async def go():
+            service = make_service()
+            server = ServiceHTTPServer(service, port=0)
+            await server.start()
+            status, payload = await request(
+                server.host, server.port, "POST", "/v1/sessions", {}
+            )
+            assert status == 200
+            await server.stop()
+            assert service.sessions.count == 0
+            # A handle() after shutdown is a typed ServiceClosed.
+            from repro.service import ServiceRequest
+
+            response = await service.handle(ServiceRequest(op="start"))
+            assert response.error_type == "ServiceClosed"
+
+        asyncio.run(go())

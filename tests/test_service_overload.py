@@ -1,0 +1,235 @@
+"""Overload invariants: sheds are pure refusals, deadlines are honored.
+
+Two properties pin down the service's overload behavior:
+
+1. **Sheds never mutate** — a request rejected by admission (any
+   reason) must leave session state, selection history, and the
+   selection-visible metrics exactly as they were.  Driven as a
+   property-style sweep: many seeds, random interleavings of admitted
+   and shed traffic, every outcome cross-checked against a direct
+   replay of only the admitted operations.
+2. **Deadline budgets bound latency** — under a 16-client closed-loop
+   storm, no request (admitted or shed) may exceed its deadline budget
+   by more than a grace window that covers one in-flight selection plus
+   scheduling noise.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro import GeoDataset, MapSession
+from repro.geo import BoundingBox
+from repro.service import (
+    AdmissionController,
+    SelectionService,
+    ServiceRequest,
+)
+
+START = BoundingBox(0.25, 0.25, 0.75, 0.75)
+
+
+def make_dataset(n=900, seed=17):
+    gen = np.random.default_rng(seed)
+    return GeoDataset.build(
+        gen.random(n), gen.random(n), weights=gen.random(n)
+    )
+
+
+OPS = ("zoom_in", "zoom_out", "pan")
+
+
+def apply_direct(session, op):
+    if op == "zoom_in":
+        return session.zoom_in(scale=0.5)
+    if op == "zoom_out":
+        return session.zoom_out(scale=2.0)
+    return session.pan(dx=0.03)
+
+
+def nav_count(metrics):
+    """Metrics-visible navigation count (sum of session.op.* counters)."""
+    return sum(
+        value for name, value in metrics.snapshot().items()
+        if name.startswith("session.op.")
+    )
+
+
+def service_request(sid, op):
+    if op == "zoom_in":
+        return ServiceRequest(op="zoom_in", session_id=sid,
+                              params={"scale": 0.5})
+    if op == "zoom_out":
+        return ServiceRequest(op="zoom_out", session_id=sid,
+                              params={"scale": 2.0})
+    return ServiceRequest(op="pan", session_id=sid, params={"dx": 0.03})
+
+
+class TestShedsNeverMutate:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_shed_interleavings_leave_state_untouched(self, seed):
+        """Property sweep: interleave admitted ops with forced sheds.
+
+        A "forced shed" is produced by saturating a max_concurrency=1 /
+        max_queue_depth=0 controller with a slot-holder, so the victim
+        request is refused at admission.  After every shed the session
+        must be byte-identical to a direct session that only ever saw
+        the admitted operations.
+        """
+
+        async def go():
+            dataset = make_dataset()
+            service = SelectionService(
+                {"a": dataset},
+                session_options={"k": 8, "workers": 0},
+                admission=AdmissionController(
+                    max_concurrency=1, max_queue_depth=0
+                ),
+                default_deadline_ms=10_000.0,
+            )
+            started = await service.handle(
+                ServiceRequest(op="start", params={
+                    "region": [START.minx, START.miny, START.maxx, START.maxy]
+                })
+            )
+            assert started.ok
+            sid = started.session_id
+
+            direct = MapSession(dataset, k=8)
+            direct_steps = [direct.start(START)]
+            assert started.selection == [
+                int(i) for i in direct_steps[-1].visible
+            ]
+
+            rng = np.random.default_rng(seed)
+            plan = [
+                (OPS[int(rng.integers(len(OPS)))], bool(rng.integers(2)))
+                for _ in range(12)
+            ]
+            baseline = nav_count(service.metrics)
+
+            for op, shed_it in plan:
+                if shed_it:
+                    release = asyncio.Event()
+                    held = asyncio.Event()
+
+                    async def hold_slot():
+                        async with service.admission.admit():
+                            held.set()
+                            await release.wait()
+
+                    holder = asyncio.ensure_future(hold_slot())
+                    await held.wait()
+                    response = await service.handle(service_request(sid, op))
+                    release.set()
+                    await holder
+                    assert not response.ok
+                    assert response.error_type == "OverloadShed"
+                    assert response.shed_reason == "queue_full"
+                    # Invariant: the shed left no trace in the session.
+                    entry = service.sessions.get(sid)
+                    assert entry.steps == len(direct_steps)
+                    assert len(entry.session.history) == len(direct_steps)
+                    assert (
+                        nav_count(service.metrics) - baseline
+                        == len(direct_steps) - 1
+                    )
+                else:
+                    response = await service.handle(service_request(sid, op))
+                    assert response.ok
+                    direct_steps.append(apply_direct(direct, op))
+                    assert response.selection == [
+                        int(i) for i in direct_steps[-1].visible
+                    ]
+
+            # Final state: the service session replayed exactly the
+            # admitted prefix, nothing more.
+            entry = service.sessions.get(sid)
+            assert [s.operation for s in entry.session.history] == [
+                s.operation for s in direct_steps
+            ]
+            assert [int(i) for i in entry.session.visible] == [
+                int(i) for i in direct.visible
+            ]
+            direct.close()
+            await service.aclose()
+
+        asyncio.run(go())
+
+
+class TestDeadlineBudgets:
+    def test_16_client_storm_honors_deadline_plus_grace(self):
+        """No request may exceed deadline_ms by more than the grace.
+
+        The grace window covers the one selection that may already be
+        in flight when the deadline expires (the service never cancels
+        a running numpy kernel mid-flight) plus event-loop scheduling
+        noise.  Everything queued behind it must shed within budget.
+        """
+
+        async def go():
+            dataset = make_dataset(n=1500)
+            deadline_ms = 250.0
+            # One step on this dataset/k costs a few ms; the grace
+            # covers a worst-case in-flight step plus scheduler noise.
+            grace_ms = 700.0
+            service = SelectionService(
+                {"a": dataset},
+                session_options={"k": 8, "workers": 0},
+                admission=AdmissionController(
+                    max_concurrency=2,
+                    max_queue_depth=8,
+                    queue_timeout_s=0.1,
+                ),
+                default_deadline_ms=deadline_ms,
+            )
+            loop = asyncio.get_running_loop()
+            overruns = []
+            outcomes = {"ok": 0, "shed": 0, "other": 0}
+
+            async def client(client_id):
+                started = await service.handle(
+                    ServiceRequest(op="start", params={
+                        "region": [0.2, 0.2, 0.8, 0.8],
+                    })
+                )
+                sid = started.session_id if started.ok else None
+                rng = np.random.default_rng(client_id)
+                for _ in range(6):
+                    op = OPS[int(rng.integers(len(OPS)))]
+                    before = loop.time()
+                    if sid is None:
+                        response = await service.handle(
+                            ServiceRequest(op="start", params={
+                                "region": [0.2, 0.2, 0.8, 0.8],
+                            })
+                        )
+                        if response.ok:
+                            sid = response.session_id
+                    else:
+                        response = await service.handle(
+                            service_request(sid, op)
+                        )
+                    elapsed_ms = (loop.time() - before) * 1000.0
+                    if elapsed_ms > deadline_ms + grace_ms:
+                        overruns.append(
+                            (client_id, response.op, elapsed_ms)
+                        )
+                    if response.ok:
+                        outcomes["ok"] += 1
+                    elif response.error_type == "OverloadShed":
+                        outcomes["shed"] += 1
+                    else:
+                        outcomes["other"] += 1
+
+            await asyncio.wait_for(
+                asyncio.gather(*(client(i) for i in range(16))), 120.0
+            )
+            assert overruns == [], f"deadline blowouts: {overruns[:5]}"
+            # The storm must actually have exercised both outcomes.
+            assert outcomes["ok"] > 0
+            assert outcomes["shed"] > 0, outcomes
+            await service.aclose()
+
+        asyncio.run(go())

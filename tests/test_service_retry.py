@@ -1,0 +1,205 @@
+"""Retry policy, budget, and run_with_retry semantics."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro import MetricsRegistry
+from repro.robustness import Deadline, FaultInjected, RetryBudgetExhausted
+from repro.service import RetryBudget, RetryPolicy, run_with_retry
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestRetryPolicy:
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=-1.0)
+
+    def test_delay_grows_and_caps(self):
+        policy = RetryPolicy(
+            base_delay_s=0.01, multiplier=2.0, max_delay_s=0.05, jitter=0.0
+        )
+        rng = np.random.default_rng(0)
+        delays = [policy.delay_for(n, rng) for n in (1, 2, 3, 4, 5)]
+        assert delays == [
+            pytest.approx(0.01), pytest.approx(0.02), pytest.approx(0.04),
+            pytest.approx(0.05), pytest.approx(0.05),
+        ]
+
+    def test_jitter_stays_in_band(self):
+        policy = RetryPolicy(base_delay_s=0.1, jitter=0.5, max_delay_s=1.0)
+        rng = np.random.default_rng(7)
+        for _ in range(200):
+            delay = policy.delay_for(1, rng)
+            assert 0.05 <= delay <= 0.1
+
+    def test_rejects_bad_attempt(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().delay_for(0, np.random.default_rng(0))
+
+
+class TestRetryBudget:
+    def test_deposit_and_spend(self):
+        budget = RetryBudget(tokens_per_request=1.0, max_tokens=2.0)
+        assert budget.try_spend()
+        assert budget.try_spend()
+        assert not budget.try_spend()  # drained
+        budget.on_request()
+        assert budget.try_spend()
+
+    def test_deposits_cap_at_max(self):
+        budget = RetryBudget(tokens_per_request=5.0, max_tokens=3.0)
+        for _ in range(10):
+            budget.on_request()
+        assert budget.tokens == 3.0
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            RetryBudget(tokens_per_request=-1.0)
+        with pytest.raises(ValueError):
+            RetryBudget(max_tokens=0.0)
+
+
+class TestRunWithRetry:
+    @staticmethod
+    async def _no_sleep(_delay):
+        return None
+
+    def test_first_try_success(self):
+        async def go():
+            async def fn():
+                return 42
+
+            result, attempts = await run_with_retry(
+                fn, policy=RetryPolicy(), rng=np.random.default_rng(0),
+                sleep=self._no_sleep,
+            )
+            assert (result, attempts) == (42, 1)
+
+        run(go())
+
+    def test_retries_transient_fault(self):
+        async def go():
+            calls = {"n": 0}
+
+            async def fn():
+                calls["n"] += 1
+                if calls["n"] < 3:
+                    raise FaultInjected("transient")
+                return "ok"
+
+            metrics = MetricsRegistry()
+            result, attempts = await run_with_retry(
+                fn, policy=RetryPolicy(max_attempts=3),
+                rng=np.random.default_rng(0), sleep=self._no_sleep,
+                metrics=metrics,
+            )
+            assert (result, attempts) == ("ok", 3)
+            assert metrics.count("service.retries") == 2
+
+        run(go())
+
+    def test_exhausted_attempts_reraise(self):
+        async def go():
+            async def fn():
+                raise FaultInjected("always")
+
+            with pytest.raises(FaultInjected):
+                await run_with_retry(
+                    fn, policy=RetryPolicy(max_attempts=2),
+                    rng=np.random.default_rng(0), sleep=self._no_sleep,
+                )
+
+        run(go())
+
+    def test_non_retryable_propagates_immediately(self):
+        async def go():
+            calls = {"n": 0}
+
+            async def fn():
+                calls["n"] += 1
+                raise ValueError("user error")
+
+            with pytest.raises(ValueError):
+                await run_with_retry(
+                    fn, policy=RetryPolicy(max_attempts=5),
+                    rng=np.random.default_rng(0), sleep=self._no_sleep,
+                )
+            assert calls["n"] == 1
+
+        run(go())
+
+    def test_budget_denial_raises_typed_error(self):
+        async def go():
+            async def fn():
+                raise FaultInjected("transient")
+
+            budget = RetryBudget(tokens_per_request=0.0, max_tokens=1.0)
+            budget.try_spend()  # drain
+            metrics = MetricsRegistry()
+            with pytest.raises(RetryBudgetExhausted):
+                await run_with_retry(
+                    fn, policy=RetryPolicy(max_attempts=3),
+                    rng=np.random.default_rng(0), budget=budget,
+                    sleep=self._no_sleep, metrics=metrics,
+                )
+            assert metrics.count("service.retry_budget_exhausted") == 1
+
+        run(go())
+
+    def test_deadline_too_tight_reraises_cause(self):
+        async def go():
+            async def fn():
+                raise FaultInjected("transient")
+
+            # Backoff delay (>= 2.5ms with default jitter) cannot fit in
+            # an already-expired deadline: the fault must surface, not a
+            # deadline error, and without sleeping.
+            with pytest.raises(FaultInjected):
+                await run_with_retry(
+                    fn, policy=RetryPolicy(max_attempts=3),
+                    rng=np.random.default_rng(0),
+                    deadline=Deadline(expires_at=0.0),
+                    sleep=self._no_sleep,
+                )
+
+        run(go())
+
+    def test_sleeps_follow_policy(self):
+        async def go():
+            slept = []
+
+            async def fake_sleep(delay):
+                slept.append(delay)
+
+            calls = {"n": 0}
+
+            async def fn():
+                calls["n"] += 1
+                if calls["n"] < 4:
+                    raise FaultInjected("transient")
+                return "ok"
+
+            policy = RetryPolicy(
+                max_attempts=4, base_delay_s=0.01, multiplier=2.0,
+                max_delay_s=1.0, jitter=0.0,
+            )
+            await run_with_retry(
+                fn, policy=policy, rng=np.random.default_rng(0),
+                sleep=fake_sleep,
+            )
+            assert slept == [
+                pytest.approx(0.01), pytest.approx(0.02), pytest.approx(0.04)
+            ]
+
+        run(go())

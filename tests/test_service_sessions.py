@@ -1,0 +1,198 @@
+"""SessionManager: sharing, limits, TTL eviction, concurrent close."""
+
+import asyncio
+import threading
+
+import numpy as np
+import pytest
+
+from repro import GeoDataset, MetricsRegistry
+from repro.geo import BoundingBox
+from repro.robustness import (
+    ServiceClosed,
+    SessionLimitExceeded,
+    UnknownSession,
+)
+from repro.service import SessionManager
+
+
+def make_dataset(n=500, seed=3):
+    gen = np.random.default_rng(seed)
+    return GeoDataset.build(
+        gen.random(n), gen.random(n), weights=gen.random(n)
+    )
+
+
+def make_manager(**kwargs):
+    kwargs.setdefault("session_options", {"k": 5})
+    return SessionManager({"a": make_dataset()}, **kwargs)
+
+
+class TestCreateAndGet:
+    def test_create_get_remove(self):
+        manager = make_manager()
+        entry = manager.create()
+        assert entry.session_id == "s-00000001"
+        assert manager.get(entry.session_id) is entry
+        assert manager.count == 1
+        manager.remove(entry.session_id)
+        assert manager.count == 0
+        with pytest.raises(UnknownSession):
+            manager.get(entry.session_id)
+        with pytest.raises(UnknownSession):
+            manager.remove(entry.session_id)
+
+    def test_sessions_share_the_dataset_object(self):
+        manager = make_manager()
+        first = manager.create()
+        second = manager.create()
+        assert first.session is not second.session
+        assert first.session.dataset is second.session.dataset
+
+    def test_unknown_dataset_rejected(self):
+        manager = make_manager()
+        with pytest.raises(ValueError, match="unknown dataset"):
+            manager.create("nope")
+
+    def test_override_whitelist(self):
+        manager = make_manager()
+        entry = manager.create(overrides={"k": 3})
+        assert entry.session.k == 3
+        with pytest.raises(ValueError, match="unsupported session option"):
+            manager.create(overrides={"workers": 4})
+
+    def test_session_limit_is_a_shed(self):
+        manager = make_manager(max_sessions=2)
+        manager.create()
+        manager.create()
+        with pytest.raises(SessionLimitExceeded) as exc_info:
+            manager.create()
+        assert exc_info.value.reason == "session_limit"
+
+
+class TestTTL:
+    def test_eviction_by_fake_clock(self):
+        now = [0.0]
+        manager = make_manager(ttl_s=10.0, clock=lambda: now[0])
+        stale = manager.create()
+        now[0] = 5.0
+        fresh = manager.create()
+        now[0] = 12.0  # stale idle 12s > ttl; fresh idle 7s
+        evicted = manager.evict_expired()
+        assert evicted == [stale.session_id]
+        assert manager.count == 1
+        assert stale.session.closed
+        with pytest.raises(UnknownSession):
+            manager.get(stale.session_id)
+        assert manager.get(fresh.session_id) is fresh
+
+    def test_get_refreshes_idle_clock(self):
+        now = [0.0]
+        manager = make_manager(ttl_s=10.0, clock=lambda: now[0])
+        entry = manager.create()
+        now[0] = 8.0
+        manager.get(entry.session_id)
+        now[0] = 15.0  # idle only 7s since the get
+        assert manager.evict_expired() == []
+
+    def test_in_flight_sessions_survive_eviction(self):
+        async def go():
+            now = [0.0]
+            manager = make_manager(ttl_s=10.0, clock=lambda: now[0])
+            entry = manager.create()
+            now[0] = 100.0
+            async with entry.lock:  # request in flight
+                assert manager.evict_expired() == []
+            assert manager.evict_expired() == [entry.session_id]
+
+        asyncio.run(go())
+
+    def test_create_evicts_first(self):
+        now = [0.0]
+        manager = make_manager(
+            ttl_s=10.0, clock=lambda: now[0], max_sessions=1
+        )
+        manager.create()
+        now[0] = 20.0
+        # The cap is reached, but the stale session is reclaimable.
+        entry = manager.create()
+        assert manager.count == 1
+        assert manager.get(entry.session_id) is entry
+
+    def test_ttl_disabled(self):
+        manager = make_manager(ttl_s=None)
+        manager.create()
+        assert manager.evict_expired() == []
+
+
+class TestShutdown:
+    def test_close_all_closes_everything_and_refuses_new(self):
+        metrics = MetricsRegistry()
+        manager = make_manager(metrics=metrics)
+        entries = [manager.create() for _ in range(3)]
+        manager.close_all()
+        assert manager.count == 0
+        assert all(e.session.closed for e in entries)
+        assert metrics.gauge("service.sessions") == 0
+        with pytest.raises(ServiceClosed):
+            manager.create()
+        manager.close_all()  # idempotent
+
+    def test_concurrent_close_all_and_remove(self):
+        # close_all / remove / evict racing from multiple threads must
+        # neither raise (beyond UnknownSession) nor double-close.
+        manager = make_manager(ttl_s=0.000001, max_sessions=64)
+        entries = [manager.create() for _ in range(16)]
+        barrier = threading.Barrier(4)
+        errors = []
+
+        def closer():
+            barrier.wait()
+            manager.close_all()
+
+        def remover():
+            barrier.wait()
+            for entry in entries:
+                try:
+                    manager.remove(entry.session_id)
+                except UnknownSession:
+                    pass
+                except Exception as exc:  # pragma: no cover - fail loud
+                    errors.append(exc)
+
+        def evictor():
+            barrier.wait()
+            try:
+                manager.evict_expired()
+            except Exception as exc:  # pragma: no cover - fail loud
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=closer),
+            threading.Thread(target=closer),
+            threading.Thread(target=remover),
+            threading.Thread(target=evictor),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert manager.count == 0
+        assert all(e.session.closed for e in entries)
+
+
+class TestValidation:
+    def test_requires_datasets(self):
+        with pytest.raises(ValueError):
+            SessionManager({})
+
+    def test_default_dataset_must_exist(self):
+        with pytest.raises(ValueError):
+            SessionManager({"a": make_dataset()}, default_dataset="b")
+
+    def test_bad_limits(self):
+        with pytest.raises(ValueError):
+            make_manager(max_sessions=0)
+        with pytest.raises(ValueError):
+            make_manager(ttl_s=0.0)

@@ -64,6 +64,41 @@ class TestLifecycle:
             "initial", "zoom_in", "zoom_out",
         ]
 
+    def test_close_is_idempotent(self, text_dataset):
+        session = MapSession(text_dataset, k=5, workers=2)
+        assert not session.closed
+        session.close()
+        assert session.closed
+        session.close()  # double close must be a no-op
+        assert session.closed
+
+    def test_context_manager_plus_explicit_close(self, text_dataset):
+        with MapSession(text_dataset, k=5, workers=2) as session:
+            session.close()  # __exit__ will close again
+        assert session.closed
+
+    def test_concurrent_close_from_many_threads(self, text_dataset):
+        import threading
+
+        session = MapSession(text_dataset, k=5, workers=2)
+        barrier = threading.Barrier(8)
+        errors = []
+
+        def close():
+            barrier.wait()
+            try:
+                session.close()
+            except Exception as exc:  # pragma: no cover - fail loud
+                errors.append(exc)
+
+        threads = [threading.Thread(target=close) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert session.closed
+
 
 class TestZoomInConsistency:
     def test_visible_in_new_region_stay_visible(self, session, text_dataset):
