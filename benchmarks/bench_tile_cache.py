@@ -1,0 +1,230 @@
+"""Tile-cache regression gate: tiled warm steps vs cold direct steps.
+
+Replays a fixed-seed navigation workload over large-population
+viewports through two sessions on the same corpus:
+
+* **cold** — a plain :class:`MapSession` (no prefetch, no caches):
+  every step pays the full exact heap initialization;
+* **tiled** — the same session wired to a precomputed
+  :class:`~repro.tiles.TileStore`: steps seed the greedy heap from
+  composed tile bounds and repair the rest exactly.
+
+Asserts the two produce bit-identical selections on every step and —
+in ``full`` mode, where the corpus has 100k+ objects and viewports
+hold ~20k — that the median *served* tiled step is at least
+``MIN_SPEEDUP``x faster than the cold one.  Full mode runs the cache
+at its production defaults: the ``min_candidates`` heuristic sends
+small steps (pan strips expose only a sliver of candidates) straight
+to the cold path — both sessions then do identical work and there is
+nothing for a cache to win — so the wall-clock gate covers exactly
+the init-dominated steps the tile cache exists for, and the bench
+asserts the serve/skip decision matches the heuristic.  Writes
+``benchmarks/results/BENCH_tiles.json`` for the CI artifact and the
+bench-regression comparison (``collect_results.py --compare``).
+
+``REPRO_BENCH_MODE`` selects the scale: ``smoke`` (default; PR CI)
+uses a 30k corpus with ``min_candidates=0`` (every step forced
+through the tile path, including tiny pan strips — maximum identity
+coverage) and gates only identity + serving: small viewports sit near
+the tiled/cold breakeven, so a smoke wall-clock gate would be noise.
+``full`` (nightly) runs the 120k corpus where the ≥3x regime holds.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from common import RESULTS_DIR, report_table, uk
+from repro import MapSession
+from repro.datasets import random_region_queries, uk_tweets
+from repro.metrics import percentile
+from repro.tiles import TileScheme, TileSelectionCache, build_tile_store
+
+pytestmark = pytest.mark.bench
+
+MODE = os.environ.get("REPRO_BENCH_MODE", "smoke")
+
+K = 100
+SEED = 2018
+#: Median tiled-vs-cold speedup gate over *served* steps (full mode
+#: only: the tiled win is an init-dominated-regime property,
+#: meaningless at smoke scale).
+MIN_SPEEDUP = 3.0
+#: Full mode must actually serve at least this many steps for the
+#: median to mean anything.
+MIN_SERVED = 4
+
+if MODE == "full":
+    TRACES = 2
+    REGION_FRACTION = 0.2
+    MIN_POPULATION = 20_000
+    ZOOMS = [2]  # the serving level for every viewport of this trace
+else:
+    TRACES = 2
+    REGION_FRACTION = 0.3
+    MIN_POPULATION = 3_000
+    ZOOMS = [1, 2]
+
+
+def _dataset():
+    return uk() if MODE == "full" else uk_tweets(30_000)
+
+
+def _start_regions(dataset, count: int):
+    qs = random_region_queries(
+        dataset, count,
+        region_fraction=REGION_FRACTION,
+        k=K,
+        rng=np.random.default_rng(SEED),
+        min_population=MIN_POPULATION,
+    )
+    return [q.region for q in qs]
+
+
+def _replay(dataset, regions, tiles):
+    """Run the fixed trace; returns the list of navigation steps."""
+    steps = []
+    for region in regions:
+        session = MapSession(dataset, k=K, tiles=tiles)
+        steps.append(session.start(region))
+        steps.append(session.zoom_in(0.8))
+        steps.append(session.pan(dx=0.5 * session.region.width))
+        steps.append(session.zoom_in(0.85))
+    return steps
+
+
+def _latency_stats(steps):
+    latencies = [s.elapsed_s for s in steps]
+    return {
+        "steps": len(steps),
+        "p50_ms": percentile(latencies, 50.0) * 1000.0,
+        "p95_ms": percentile(latencies, 95.0) * 1000.0,
+        "total_s": float(sum(latencies)),
+        "gain_evaluations": int(
+            sum(s.stats.get("gain_evaluations", 0) for s in steps)
+        ),
+    }
+
+
+def test_tile_cache_regression():
+    dataset = _dataset()
+    regions = _start_regions(dataset, TRACES)
+
+    import time as _time
+
+    scheme = TileScheme(frame=dataset.frame(), max_zoom=max(ZOOMS))
+    # repro-lint: disable=RL002 -- reporting-only duration measurement (bench build timing); never influences which objects are selected
+    build_started = _time.perf_counter()
+    store = build_tile_store(dataset, scheme=scheme, zooms=ZOOMS)
+    # repro-lint: disable=RL002 -- reporting-only duration measurement (bench build timing); never influences which objects are selected
+    build_seconds = _time.perf_counter() - build_started
+    if MODE == "full":
+        # Production defaults: the min_candidates heuristic routes
+        # small steps (pan strips) cold, exactly as a deployment would.
+        tiles = TileSelectionCache(store)
+    else:
+        # Force every step through the tile path, however tiny — smoke
+        # exists for identity coverage, not wall-clock.
+        tiles = TileSelectionCache(store, min_candidates=0)
+
+    cold_steps = _replay(dataset, regions, tiles=None)
+    tiled_steps = _replay(dataset, regions, tiles=tiles)
+
+    assert len(cold_steps) == len(tiled_steps)
+    rows = []
+    for c, t in zip(cold_steps, tiled_steps):
+        assert c.result.selected.tolist() == t.result.selected.tolist(), (
+            f"tiled {t.operation} selection diverged from cold"
+        )
+        assert c.result.score == t.result.score
+        # The serve/skip decision must match the heuristic exactly:
+        # big steps seed from tiles, small ones run cold on purpose.
+        should_serve = len(t.candidates) >= tiles.min_candidates
+        assert t.tile_seeded == should_serve, (
+            f"{t.operation} step with {len(t.candidates)} candidates: "
+            f"tile_seeded={t.tile_seeded}, expected {should_serve}"
+        )
+        rows.append(
+            {
+                "operation": c.operation,
+                "population": int(len(c.result.region_ids)),
+                "candidates": int(len(c.candidates)),
+                "cold_ms": c.elapsed_s * 1000.0,
+                "tiled_ms": t.elapsed_s * 1000.0,
+                "speedup": c.elapsed_s / t.elapsed_s,
+                "tile_seeded": bool(t.tile_seeded),
+            }
+        )
+
+    served = [r for r in rows if r["tile_seeded"]]
+    median_speedup = percentile(
+        sorted(r["speedup"] for r in served), 50.0
+    )
+    gate = MIN_SPEEDUP if MODE == "full" else None
+    if MODE == "full":
+        assert len(served) >= MIN_SERVED, (
+            f"only {len(served)} served steps; need {MIN_SERVED} for a "
+            "meaningful gated median"
+        )
+
+    payload = {
+        "mode": MODE,
+        "workload": {
+            "dataset": "uk" if MODE == "full" else "uk_tweets(30k)",
+            "objects": len(dataset),
+            "traces": TRACES,
+            "region_fraction": REGION_FRACTION,
+            "min_population": MIN_POPULATION,
+            "k": K,
+            "seed": SEED,
+        },
+        "build": {
+            "seconds": build_seconds,
+            "tiles": len(store),
+            "bytes": store.total_bytes,
+            "zooms": list(ZOOMS),
+        },
+        "steps": rows,
+        "cold": _latency_stats(cold_steps),
+        "tiled": _latency_stats(tiled_steps),
+        "served_steps": len(served),
+        "speedup_median": median_speedup,
+        "min_speedup": gate,
+        "bit_identical": True,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_tiles.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    report_table(
+        "tile_cache",
+        ["step", "population", "candidates", "cold (ms)", "tiled (ms)", "x"],
+        [
+            [
+                r["operation"],
+                f"{r['population']:,}",
+                f"{r['candidates']:,}",
+                f"{r['cold_ms']:.0f}",
+                f"{r['tiled_ms']:.0f}",
+                f"{r['speedup']:.2f}" + ("" if r["tile_seeded"] else " c"),
+            ]
+            for r in rows
+        ],
+        title=(
+            f"Tile cache ({MODE}): cold vs tiled navigation steps "
+            f"('c' = step ran cold by heuristic, ungated; "
+            f"median served speedup {median_speedup:.2f}x"
+            + (f", gate {gate:.1f}x" if gate else ", no wall-clock gate")
+            + f"; build {build_seconds:.1f}s, "
+            f"{store.total_bytes / 1e6:.1f} MB)"
+        ),
+    )
+    if gate is not None:
+        assert median_speedup >= gate, (
+            f"median served tiled speedup {median_speedup:.2f}x below "
+            f"the {gate:.1f}x gate; see {out}"
+        )

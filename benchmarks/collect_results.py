@@ -7,10 +7,28 @@ Run after a full ``pytest benchmarks/ --benchmark-only`` pass:
 
 Replaces everything after the ``<!-- RESULTS -->`` marker with the
 fresh result blocks, in a stable order.
+
+CI bench-regression mode
+------------------------
+
+    python benchmarks/collect_results.py --compare BASELINE_DIR \
+        [--max-regression 0.15] [--current DIR]
+
+Compares the gated metrics of the current ``BENCH_*.json`` files
+against a baseline directory (in CI: the previous main-branch results
+restored from the actions cache).  Direction-aware: a "higher"
+metric regresses when it drops more than ``--max-regression`` below
+the baseline, a "lower" metric when it rises more than that above it,
+and a "true" metric (bit-identity gates) must simply stay truthy.
+A missing baseline file or metric passes with a note — the first run
+on a fresh cache, or a newly added benchmark, must not fail CI.
+Exits 1 if any gated metric regressed.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
@@ -54,8 +72,140 @@ ORDER = [
     "parallel_scaling",
 ]
 
+#: Gated metrics per machine-readable bench file, as
+#: (dotted json path, direction).  "higher" means bigger is better,
+#: "lower" means smaller is better, "true" means the value must stay
+#: truthy (bit-identity gates tolerate no drift at all).
+GATED_METRICS: dict[str, list[tuple[str, str]]] = {
+    "BENCH_parallel.json": [
+        ("init_speedup_4workers", "higher"),
+        ("kernel_call_reduction", "higher"),
+        ("bit_identical", "true"),
+    ],
+    "BENCH_service.json": [
+        ("nominal.p95_ms", "lower"),
+        ("nominal.success_rate", "higher"),
+        ("overload.shed_p95_ms", "lower"),
+        ("nominal.byte_identical", "true"),
+    ],
+    "BENCH_session_cache.json": [
+        ("sim_eval_savings", "higher"),
+        ("warm.p95_latency_ms", "lower"),
+        ("bit_identical", "true"),
+    ],
+    "BENCH_tiles.json": [
+        ("speedup_median", "higher"),
+        ("tiled.p95_ms", "lower"),
+        ("bit_identical", "true"),
+    ],
+}
+
+
+def _lookup(payload: dict, dotted: str):
+    """Resolve ``a.b.c`` in nested dicts; None when any hop is absent."""
+    node = payload
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def compare(
+    current_dir: Path, baseline_dir: Path, max_regression: float
+) -> int:
+    """Print a per-metric verdict table; return the regression count."""
+    regressions = 0
+    compared = 0
+    for name, metrics in sorted(GATED_METRICS.items()):
+        cur_path = current_dir / name
+        base_path = baseline_dir / name
+        if not cur_path.exists():
+            print(f"{name}: not produced by this run — skipped")
+            continue
+        if not base_path.exists():
+            print(f"{name}: no baseline — pass (first run on this cache)")
+            continue
+        cur = json.loads(cur_path.read_text(encoding="utf-8"))
+        base = json.loads(base_path.read_text(encoding="utf-8"))
+        # smoke and full runs measure different workloads; comparing
+        # across modes would gate on noise.
+        if cur.get("mode") != base.get("mode"):
+            print(
+                f"{name}: mode changed "
+                f"({base.get('mode')} -> {cur.get('mode')}) — skipped"
+            )
+            continue
+        for dotted, direction in metrics:
+            cur_val = _lookup(cur, dotted)
+            base_val = _lookup(base, dotted)
+            label = f"{name}:{dotted}"
+            if cur_val is None or base_val is None:
+                print(f"{label}: metric missing — pass with note")
+                continue
+            compared += 1
+            if direction == "true":
+                ok = bool(cur_val)
+                detail = f"current={cur_val}"
+            elif direction == "higher":
+                floor = base_val * (1.0 - max_regression)
+                ok = cur_val >= floor
+                detail = (
+                    f"current={cur_val:.4g} baseline={base_val:.4g} "
+                    f"floor={floor:.4g}"
+                )
+            elif direction == "lower":
+                ceiling = base_val * (1.0 + max_regression)
+                ok = cur_val <= ceiling
+                detail = (
+                    f"current={cur_val:.4g} baseline={base_val:.4g} "
+                    f"ceiling={ceiling:.4g}"
+                )
+            else:  # pragma: no cover - GATED_METRICS is author-controlled
+                raise ValueError(f"unknown direction {direction!r}")
+            verdict = "ok" if ok else "REGRESSION"
+            print(f"{label}: {verdict} ({detail})")
+            if not ok:
+                regressions += 1
+    print(
+        f"compared {compared} gated metrics, "
+        f"{regressions} regression(s)"
+    )
+    return regressions
+
 
 def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--compare",
+        metavar="BASELINE_DIR",
+        help="compare gated BENCH_*.json metrics against this directory "
+        "instead of rewriting EXPERIMENTS.md; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--current",
+        metavar="DIR",
+        default=str(RESULTS),
+        help="directory holding the current BENCH_*.json files "
+        "(default: benchmarks/results)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.15,
+        help="allowed relative drift per gated metric (default 0.15)",
+    )
+    args = parser.parse_args()
+
+    if args.compare is not None:
+        return (
+            1
+            if compare(
+                Path(args.current), Path(args.compare), args.max_regression
+            )
+            else 0
+        )
+
     text = EXPERIMENTS.read_text(encoding="utf-8")
     if MARKER not in text:
         raise SystemExit(f"marker {MARKER!r} missing from {EXPERIMENTS}")

@@ -6,6 +6,8 @@ Usage::
     python -m repro select corpus.jsonl --region 0.3,0.3,0.5,0.5 --k 20
     python -m repro explore corpus.jsonl --k 15 --steps 5 --prefetch
     python -m repro serve corpus.jsonl --port 8080 --k 20
+    python -m repro tiles build corpus.jsonl --out tiles.npz
+    python -m repro tiles info tiles.npz
 
 ``select`` prints the chosen objects (and optionally an ASCII map or
 an SVG file); ``explore`` replays a random navigation trace through a
@@ -211,6 +213,11 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     tracer = None
     if args.trace or args.trace_summary:
         tracer = Tracer(metrics=metrics)
+    tiles = None
+    if args.tiles:
+        from repro.tiles import TileStore
+
+        tiles = TileStore.load(args.tiles)
     session = MapSession(
         dataset,
         k=args.k,
@@ -221,15 +228,27 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         fault_injector=injector,
         similarity_cache=args.cache,
         warm_start=not args.no_warm_start,
+        tiles=tiles,
         metrics=metrics,
         workers=args.workers,
         batch_size=args.batch_size,
         tracer=tracer,
     )
+    if (
+        session.tiles is not None
+        and not session.tiles.compatible_with(session.dataset)
+    ):
+        print(
+            "warning: tile store was built from a different corpus; "
+            "every step will serve cold",
+            file=sys.stderr,
+        )
     for step in trace.replay(session):
         flags = " [prefetched]" if step.used_prefetch else ""
         if step.warm_started:
             flags += " [warm]"
+        if step.tile_seeded:
+            flags += " [tiles]"
         if step.degraded:
             flags += f" [degraded:{step.tier}]"
         if args.cache:
@@ -252,6 +271,75 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_tiles_build(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.tiles import TileScheme, build_tile_store
+
+    dataset = load_jsonl(args.corpus)
+    scheme = TileScheme(frame=dataset.frame(), max_zoom=args.max_zoom)
+    zooms = None
+    if args.zooms:
+        try:
+            zooms = sorted({int(z) for z in args.zooms.split(",")})
+        except ValueError:
+            print(f"bad --zooms {args.zooms!r}", file=sys.stderr)
+            return 2
+    metrics = MetricsRegistry()
+    pool = None
+    if args.workers:
+        pool = WorkerPool(
+            args.workers, similarity=dataset.similarity, metrics=metrics
+        )
+    # repro-lint: disable=RL002 -- reporting-only duration measurement (CLI progress output); never influences which objects are selected
+    started = time.perf_counter()
+    try:
+        store = build_tile_store(
+            dataset,
+            scheme=scheme,
+            zooms=zooms,
+            k=args.k,
+            theta_fraction=args.theta_fraction,
+            byte_budget=args.byte_budget,
+            pool=pool,
+            metrics=metrics,
+        )
+    finally:
+        if pool is not None:
+            pool.close()
+    # repro-lint: disable=RL002 -- reporting-only duration measurement (CLI progress output); never influences which objects are selected
+    elapsed = time.perf_counter() - started
+    store.save(args.out)
+    stats = store.stats()
+    print(
+        f"built {stats['tiles']} tiles over "
+        f"{len(store.meta.zooms_built)} zoom level(s) from "
+        f"{len(dataset):,} objects in {elapsed:.1f}s "
+        f"({stats['bytes'] / 1e6:.1f} MB) -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_tiles_info(args: argparse.Namespace) -> int:
+    from repro.tiles import TileStore
+
+    store = TileStore.load(args.store)
+    stats = store.stats()
+    meta = store.meta
+    print(f"tile store {args.store}")
+    print(f"  objects:        {meta.objects:,}")
+    print(f"  fingerprint:    {meta.fingerprint[:16]}…")
+    print(f"  frame:          {tuple(round(v, 6) for v in meta.frame)}")
+    print(f"  max zoom:       {meta.max_zoom}")
+    print(f"  zooms built:    {meta.zooms_built}")
+    print(f"  per-tile k/θ:   {meta.k} / {meta.theta_fraction}")
+    print(f"  tiles resident: {stats['tiles']} ({stats['bytes'] / 1e6:.1f} MB,"
+          f" budget {stats['byte_budget'] or 'none'})")
+    for zoom, count in stats["tiles_per_zoom"].items():
+        print(f"    zoom {zoom}: {count} tiles")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import SelectionService, ServiceHTTPServer
 
@@ -267,6 +355,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         for point, probability in args.fault:
             injector.arm(point, probability=probability)
     metrics = MetricsRegistry()
+    tiles = None
+    if args.tiles:
+        from repro.tiles import TileSelectionCache, TileStore
+
+        # One shared read-only cache: the store is internally locked,
+        # so every session of the matching corpus serves from it;
+        # sessions on other corpora skip it via the fingerprint check.
+        tiles = TileSelectionCache(TileStore.load(args.tiles), metrics=metrics)
 
     async def run() -> None:
         # Built inside the running loop so the admission semaphore and
@@ -293,6 +389,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 "k": args.k,
                 "prefetch": args.prefetch,
                 "workers": args.workers,
+                "tiles": tiles,
             },
             max_sessions=args.max_sessions,
             session_ttl_s=args.session_ttl if args.session_ttl > 0 else None,
@@ -399,6 +496,9 @@ def build_parser() -> argparse.ArgumentParser:
                           "chrome://tracing or Perfetto)")
     exp.add_argument("--trace-summary", action="store_true",
                      help="print an ASCII span tree under every step")
+    exp.add_argument("--tiles", default=None, metavar="STORE",
+                     help="tile store (.npz from 'tiles build') to seed "
+                          "navigation steps from")
     exp.add_argument("--metrics", action="store_true",
                      help="print the counter/timer registry afterwards")
     exp.set_defaults(func=_cmd_explore)
@@ -440,7 +540,39 @@ def build_parser() -> argparse.ArgumentParser:
                           f"({', '.join(ALL_POINTS)}); repeatable")
     srv.add_argument("--metrics", action="store_true",
                      help="print the counter/timer registry on shutdown")
+    srv.add_argument("--tiles", default=None, metavar="STORE",
+                     help="tile store (.npz from 'tiles build') shared "
+                          "read-only across every session of the "
+                          "matching corpus")
     srv.set_defaults(func=_cmd_serve)
+
+    tiles = sub.add_parser(
+        "tiles", help="precompute / inspect tile-grain selection stores"
+    )
+    tiles_sub = tiles.add_subparsers(dest="tiles_command", required=True)
+    tb = tiles_sub.add_parser(
+        "build", help="offline zoom-pyramid precompute (docs/TILES.md)"
+    )
+    tb.add_argument("corpus", help="JSONL corpus path")
+    tb.add_argument("--out", required=True, help="output .npz store path")
+    tb.add_argument("--max-zoom", type=int, default=4,
+                    help="pyramid depth (level z has 4^z tiles)")
+    tb.add_argument("--zooms", default=None,
+                    help="comma-separated levels to build "
+                         "(default: all of 0..max-zoom)")
+    tb.add_argument("--k", type=int, default=32,
+                    help="per-tile selection size")
+    tb.add_argument("--theta-fraction", type=float, default=0.02,
+                    help="per-tile visibility threshold "
+                         "(fraction of tile side)")
+    tb.add_argument("--byte-budget", type=int, default=None,
+                    help="optional store byte budget (LRU eviction)")
+    tb.add_argument("--workers", type=_parse_workers, default=0,
+                    help="parallel tile builds (0=serial, or 'auto')")
+    tb.set_defaults(func=_cmd_tiles_build)
+    ti = tiles_sub.add_parser("info", help="summarize a tile store")
+    ti.add_argument("store", help=".npz store path")
+    ti.set_defaults(func=_cmd_tiles_info)
     return parser
 
 

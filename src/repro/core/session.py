@@ -66,6 +66,7 @@ from repro.robustness.errors import (
 )
 from repro.robustness.faults import INDEX_QUERY, FaultInjector
 from repro.robustness.ladder import select_with_ladder
+from repro.tiles import TileSelectionCache, TileStore
 from repro.trace.tracer import NULL_TRACER, Span, TracerLike
 
 DEFAULT_THETA_FRACTION = 0.003
@@ -111,6 +112,9 @@ class NavigationStep:
     # and the similarity-cache hit/miss movement across the operation
     # (zeros when the session runs without a similarity cache).
     warm_started: bool = False
+    # Whether precomputed tile bounds seeded this step's heap (the
+    # tile-grain cache; composition cost is inside ``elapsed_s``).
+    tile_seeded: bool = False
     cache_hits: int = 0
     cache_misses: int = 0
     # Root trace span covering this step's timed selection (None when
@@ -182,6 +186,18 @@ class MapSession:
         one or overlap/coverage are below threshold.
     warm_start_min_overlap:
         Minimum ``area(new)/area(previous)`` for a warm start.
+    tiles:
+        Optional tile-grain selection cache (see ``docs/TILES.md``): a
+        :class:`~repro.tiles.TileStore` precomputed offline (``python
+        -m repro tiles build``) or a ready
+        :class:`~repro.tiles.TileSelectionCache` — pass the latter to
+        share one store across concurrent sessions.  Navigation steps
+        whose viewport a zoom level covers seed the greedy heap from
+        the cached Lemma-5.1 tile masses (after prefetch and warm
+        start both miss); composition happens *inside* the timed step.
+        Selections stay bit-identical; the per-serve dataset
+        fingerprint check makes stale tiles unplayable after
+        :meth:`swap_dataset`.
     equivalence_check:
         Testing mode: every warm-started (or prefetched) selection is
         recomputed cold and compared; a mismatch raises
@@ -228,6 +244,7 @@ class MapSession:
         similarity_cache: bool | SimilarityCache = False,
         warm_start: bool = True,
         warm_start_min_overlap: float = 0.05,
+        tiles: TileSelectionCache | TileStore | None = None,
         equivalence_check: bool = False,
         metrics: MetricsRegistry | None = None,
         workers: int | str | None = None,
@@ -287,6 +304,21 @@ class MapSession:
         if warm_start and self.similarity_cache is not None:
             self._selection_cache = SelectionCache(
                 min_overlap=warm_start_min_overlap, metrics=self.metrics
+            )
+        # Tile-grain cache: wrap a bare store in a private serving
+        # cache; a shared TileSelectionCache is used as-is (its store
+        # is internally locked, so concurrent sessions can share it).
+        self.tiles: TileSelectionCache | None = None
+        if isinstance(tiles, TileStore):
+            self.tiles = TileSelectionCache(
+                tiles, metrics=self.metrics, tracer=self.tracer
+            )
+        elif isinstance(tiles, TileSelectionCache):
+            self.tiles = tiles
+        elif tiles is not None:
+            raise TypeError(
+                "tiles must be a TileStore or TileSelectionCache, "
+                f"got {type(tiles).__name__}"
             )
         # Deterministic tier-2 sampling, independent of user RNG state.
         self._ladder_rng = np.random.default_rng(2018)
@@ -374,6 +406,12 @@ class MapSession:
             population=int(len(region_ids)),
             k=self.k,
         ) as span:
+            # The initial viewport has no prefetch or warm-start
+            # material, but tile bounds apply from the very first
+            # selection — composed inside the timed region so the
+            # reported latency includes their (small) serving cost.
+            bounds = self._tile_bounds(region, region_ids, region_ids)
+            tile_seeded = bounds is not None
             result = select_with_ladder(
                 self.dataset,
                 region_ids=region_ids,
@@ -384,6 +422,7 @@ class MapSession:
                 aggregation=self.aggregation,
                 deadline=self._new_deadline(),
                 max_iterations=self.max_iterations,
+                initial_bounds=bounds,
                 lazy=self.lazy,
                 init_mode=self.init_mode,
                 fault_injector=self.fault_injector,
@@ -393,9 +432,18 @@ class MapSession:
                 pool=self._pool,
                 tracer=self.tracer,
             )
-            span.annotate(tier=result.stats.get("tier", "exact"))
+            span.annotate(
+                tier=result.stats.get("tier", "exact"),
+                tile_seeded=tile_seeded,
+            )
         # repro-lint: disable=RL002 -- reporting-only duration measurement (elapsed_s/op timing); never influences which objects are selected
         elapsed = time.perf_counter() - started
+        if tile_seeded and self.equivalence_check:
+            self._assert_equivalent(
+                "initial", result, region_ids, region_ids,
+                np.empty(0, dtype=np.int64), theta,
+            )
+            result.stats["equivalence_checked"] = True
         step = self._commit(
             operation="initial",
             region=region,
@@ -407,6 +455,7 @@ class MapSession:
             used_prefetch=False,
             population_ids=region_ids,
             cache_before=cache_before,
+            tile_seeded=tile_seeded,
             span=span if self.tracer.enabled else None,
         )
         return step
@@ -423,6 +472,12 @@ class MapSession:
         around the new model, drops the selection cache and every
         prefetch artifact, and resets the viewport so the next call
         must be :meth:`start`.
+
+        An attached tile cache needs no explicit drop: every tile
+        serve re-checks the store's dataset fingerprint, so tiles
+        built from the old dataset are unplayable from the moment the
+        swap lands (they keep serving sessions that still hold the
+        original dataset when the store is shared).
         """
         if len(dataset) != len(self.dataset):
             raise ValueError(
@@ -463,6 +518,10 @@ class MapSession:
         self._prefetch_errors = {}
         self.region = None
         self.visible = np.empty(0, dtype=np.int64)
+        if self.tiles is not None and not self.tiles.compatible_with(dataset):
+            # Observability only — the per-serve fingerprint check is
+            # what actually blocks stale-tile replay.
+            self.metrics.incr("tiles.swap_detached")
         self.metrics.incr("session.dataset_swaps")
 
     def zoom_in(
@@ -594,6 +653,28 @@ class MapSession:
             return None
         return self.similarity_cache.counters()
 
+    def _tile_bounds(
+        self,
+        region: BoundingBox,
+        population_ids: np.ndarray,
+        candidate_ids: np.ndarray,
+    ) -> np.ndarray | None:
+        """Tile-cache bounds for this viewport, or ``None`` (serve cold).
+
+        Never raises: the tile store is an accelerator, so any serving
+        failure degrades to a cold start rather than erroring the
+        response path.
+        """
+        if self.tiles is None:
+            return None
+        try:
+            return self.tiles.bounds_for(
+                self.dataset, region, population_ids, candidate_ids
+            )
+        except Exception:
+            self.metrics.incr("tiles.serve_errors")
+            return None
+
     def _prefetch_bounds(
         self,
         operation: str,
@@ -649,6 +730,7 @@ class MapSession:
             warm_started = bounds is not None
 
         cache_before = self._cache_counters()
+        tile_seeded = False
         # repro-lint: disable=RL002 -- reporting-only duration measurement (elapsed_s/op timing); never influences which objects are selected
         started = time.perf_counter()
         with self.tracer.span(
@@ -659,6 +741,15 @@ class MapSession:
             used_prefetch=used_prefetch,
             warm_started=warm_started,
         ) as span:
+            if bounds is None:
+                # Tile-cache fallback, composed inside the timed
+                # region: unlike prefetch/warm-start material (already
+                # paid for off-path after the previous step), tile
+                # composition is work this step actually performs.
+                bounds = self._tile_bounds(new_region, new_ids, candidates)
+                tile_seeded = bounds is not None
+                if tile_seeded:
+                    span.annotate(tile_seeded=True)
             result = select_with_ladder(
                 self.dataset,
                 region_ids=new_ids,
@@ -682,7 +773,9 @@ class MapSession:
             span.annotate(tier=result.stats.get("tier", "exact"))
         # repro-lint: disable=RL002 -- reporting-only duration measurement (elapsed_s/op timing); never influences which objects are selected
         elapsed = time.perf_counter() - started
-        if (used_prefetch or warm_started) and self.equivalence_check:
+        if (
+            used_prefetch or warm_started or tile_seeded
+        ) and self.equivalence_check:
             self._assert_equivalent(
                 operation, result, new_ids, candidates, mandatory, theta
             )
@@ -693,6 +786,7 @@ class MapSession:
             population_ids=new_ids,
             cache_before=cache_before,
             warm_started=warm_started,
+            tile_seeded=tile_seeded,
             span=span if self.tracer.enabled else None,
         )
 
@@ -752,6 +846,7 @@ class MapSession:
         population_ids: np.ndarray | None = None,
         cache_before: dict[str, int] | None = None,
         warm_started: bool = False,
+        tile_seeded: bool = False,
         span: Span | None = None,
     ) -> NavigationStep:
         self.region = region
@@ -786,6 +881,7 @@ class MapSession:
             tier=result.stats.get("tier", "exact"),
             degraded=result.degraded or self._index_fallback,
             warm_started=warm_started,
+            tile_seeded=tile_seeded,
             cache_hits=cache_hits,
             cache_misses=cache_misses,
             span=span,
@@ -806,6 +902,20 @@ class MapSession:
                     kinds=sorted(self._prefetch_data),
                     errors=dict(self._prefetch_errors),
                 )
+        # Adaptive tile refinement runs off the response path too:
+        # build what traffic missed, promote children of hot tiles,
+        # let the byte budget evict cold ones.  Failures degrade to
+        # "no refinement" — never to a broken step.
+        if self.tiles is not None:
+            with self.tracer.span(
+                "session.tiles_refine", operation=operation
+            ) as refine_span:
+                try:
+                    built = self.tiles.refine(self.dataset)
+                except Exception:
+                    self.metrics.incr("tiles.refine_errors")
+                    built = []
+                refine_span.annotate(built=len(built))
         # Harvest warm-start material last: it reads rows the selection
         # (and the prefetch sweep) just cached, off the response path.
         if (

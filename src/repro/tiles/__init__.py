@@ -1,0 +1,53 @@
+"""Zoom-pyramid tile precompute and tile-grain selection serving.
+
+The tentpole of the O(viewport) → O(delta) navigation step: an offline
+pass (:func:`build_tile_store`, ``python -m repro tiles build``)
+materializes per-tile selections and Lemma-5.1 prefetch masses over a
+quadtree pyramid (:class:`TileScheme`), and
+:class:`TileSelectionCache` composes the cached tiles covering a
+viewport into greedy heap bounds — bit-identical to direct computation
+— with GeoBlocks-style adaptive refinement and byte-budget eviction.
+See ``docs/TILES.md``.
+"""
+
+from repro.tiles.build import (
+    DEFAULT_THETA_FRACTION,
+    DEFAULT_TILE_K,
+    bin_ids_per_tile,
+    build_tile,
+    build_tile_store,
+)
+from repro.tiles.cache import (
+    DEFAULT_MIN_CANDIDATES,
+    DEFAULT_MIN_COVERAGE,
+    DEFAULT_REFINE_LIMIT,
+    TileSelectionCache,
+)
+from repro.tiles.scheme import MAX_ZOOM_LIMIT, TileKey, TileScheme
+from repro.tiles.store import (
+    BOUND_SAFETY,
+    StoreMeta,
+    Tile,
+    TileStore,
+    dataset_fingerprint,
+)
+
+__all__ = [
+    "BOUND_SAFETY",
+    "DEFAULT_MIN_CANDIDATES",
+    "DEFAULT_MIN_COVERAGE",
+    "DEFAULT_REFINE_LIMIT",
+    "DEFAULT_THETA_FRACTION",
+    "DEFAULT_TILE_K",
+    "MAX_ZOOM_LIMIT",
+    "StoreMeta",
+    "Tile",
+    "TileKey",
+    "TileScheme",
+    "TileSelectionCache",
+    "TileStore",
+    "bin_ids_per_tile",
+    "build_tile",
+    "build_tile_store",
+    "dataset_fingerprint",
+]

@@ -1,0 +1,221 @@
+"""Offline tile precompute: ``python -m repro tiles build``.
+
+For every tile key this pass materializes the two per-tile artifacts
+:class:`~repro.tiles.TileSelectionCache` serves from:
+
+* **Lemma-5.1 masses** ``raw(v) = Σ_{o ∈ N(T)} ω_o · Sim(o, v)`` for
+  each object ``v`` binned into the tile, decomposed *per source tile*
+  of the 3x3 neighborhood ``N(T)`` — one ``weighted_sims_sum`` kernel
+  sweep per (tile, neighbor) pair, so serving can sum only the
+  neighbors a viewport actually touches (objects on shared tile edges
+  may land in two sources' closed boxes; the double count only raises
+  the bound, never invalidates it);
+* **the tile's own selection** — a greedy run over the tile population
+  (HiFIVE-style offline reduction, kept for previews and
+  ``tiles info``).
+
+Tiles are independent, so the pass fans out over the existing
+:class:`~repro.parallel.WorkerPool` via ``run_all`` — thread workers
+share the dataset arrays by reference, and the pool's backend
+resolution already downgrades to serial when the similarity model is
+not thread-safe.  Build order never affects stored values (each tile
+only reads the immutable dataset).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.dataset import GeoDataset
+from repro.core.greedy import greedy_core
+from repro.metrics import MetricsRegistry
+from repro.parallel.pool import WorkerPool
+from repro.tiles.scheme import TileKey, TileScheme
+from repro.tiles.store import (
+    StoreMeta,
+    Tile,
+    TileStore,
+    dataset_fingerprint,
+)
+from repro.trace.tracer import NULL_TRACER, TracerLike
+
+#: Default per-tile selection size (matches the session default k).
+DEFAULT_TILE_K = 32
+#: Default visibility threshold as a fraction of the tile's short side.
+DEFAULT_THETA_FRACTION = 0.02
+
+
+def bin_ids_per_tile(
+    dataset: GeoDataset, scheme: TileScheme, zoom: int
+) -> dict[TileKey, np.ndarray]:
+    """Ids grouped by the tile they bin into at ``zoom`` (ids sorted).
+
+    One vectorized binning sweep over the whole dataset instead of a
+    region query per tile; every object lands in exactly one group.
+    """
+    if len(dataset) == 0:
+        return {}
+    n = scheme.tiles_per_axis(zoom)
+    cells = scheme.cell_ids(zoom, dataset.xs, dataset.ys)
+    order = np.argsort(cells, kind="stable")
+    sorted_cells = cells[order]
+    boundaries = np.flatnonzero(np.diff(sorted_cells)) + 1
+    groups: dict[TileKey, np.ndarray] = {}
+    for chunk in np.split(order, boundaries):
+        cell = int(cells[chunk[0]])
+        key = TileKey(zoom, cell % n, cell // n)
+        # Stable argsort over the already-ordered id axis keeps each
+        # group sorted, which Tile requires for searchsorted lookups.
+        groups[key] = np.sort(chunk).astype(np.int64)
+    return groups
+
+
+def build_tile(
+    dataset: GeoDataset,
+    scheme: TileScheme,
+    key: TileKey,
+    tile_ids: np.ndarray,
+    k: int = DEFAULT_TILE_K,
+    theta_fraction: float = DEFAULT_THETA_FRACTION,
+) -> Tile:
+    """Materialize one tile: neighborhood masses + the tile selection."""
+    # repro-lint: disable=RL002 -- reporting-only duration measurement (built_elapsed_s); never influences which objects are selected
+    started = time.perf_counter()
+    tile_ids = np.asarray(tile_ids, dtype=np.int64)
+    source_keys = scheme.neighborhood_keys(key)
+    source_masses = np.zeros(
+        (len(source_keys), len(tile_ids)), dtype=np.float64
+    )
+    neighborhood_count = 0
+    if len(tile_ids):
+        for row, source in enumerate(source_keys):
+            source_ids = dataset.objects_in(scheme.tile_box(source))
+            neighborhood_count += int(len(source_ids))
+            if len(source_ids):
+                source_masses[row] = dataset.similarity.weighted_sims_sum(
+                    tile_ids, source_ids, dataset.weights[source_ids]
+                )
+    if len(tile_ids):
+        theta = theta_fraction * min(
+            scheme.tile_width(key.zoom), scheme.tile_height(key.zoom)
+        )
+        result = greedy_core(
+            dataset,
+            region_ids=tile_ids,
+            candidate_ids=tile_ids,
+            mandatory_ids=np.empty(0, dtype=np.int64),
+            k=k,
+            theta=theta,
+            init_mode="bulk",
+        )
+        selection = result.selected
+    else:
+        selection = np.empty(0, dtype=np.int64)
+    # repro-lint: disable=RL002 -- reporting-only duration measurement (built_elapsed_s); never influences which objects are selected
+    elapsed = time.perf_counter() - started
+    return Tile(
+        key=key,
+        box=scheme.tile_box(key),
+        ids=tile_ids,
+        source_keys=np.array(
+            [tuple(source) for source in source_keys], dtype=np.int64
+        ).reshape(len(source_keys), 3),
+        source_masses=source_masses,
+        selection=selection,
+        neighborhood_count=neighborhood_count,
+        built_elapsed_s=elapsed,
+    )
+
+
+def build_tile_store(
+    dataset: GeoDataset,
+    scheme: TileScheme | None = None,
+    zooms: list[int] | None = None,
+    k: int = DEFAULT_TILE_K,
+    theta_fraction: float = DEFAULT_THETA_FRACTION,
+    byte_budget: int | None = None,
+    pool: WorkerPool | None = None,
+    metrics: MetricsRegistry | None = None,
+    tracer: TracerLike | None = None,
+) -> TileStore:
+    """Precompute every tile of the requested zoom levels into a store.
+
+    Parameters
+    ----------
+    scheme:
+        Pyramid geometry; defaults to the dataset frame with the
+        default depth.
+    zooms:
+        Levels to materialize; defaults to all of
+        ``0..scheme.max_zoom``.  Serving only needs the level matched
+        by :meth:`TileScheme.zoom_for`, so a partial build simply
+        leaves the other levels to cold fallback / online refinement.
+    pool:
+        Optional :class:`~repro.parallel.WorkerPool`; tiles build
+        concurrently when the pool (and similarity model) allow it.
+    """
+    tracer = tracer if tracer is not None else NULL_TRACER
+    if scheme is None:
+        scheme = TileScheme(frame=dataset.frame())
+    if zooms is None:
+        zooms = list(range(scheme.max_zoom + 1))
+    for zoom in zooms:
+        if not 0 <= zoom <= scheme.max_zoom:
+            raise ValueError(
+                f"zoom {zoom} outside scheme range [0, {scheme.max_zoom}]"
+            )
+    meta = StoreMeta(
+        fingerprint=dataset_fingerprint(dataset),
+        objects=len(dataset),
+        k=k,
+        theta_fraction=theta_fraction,
+        frame=scheme.frame,
+        max_zoom=scheme.max_zoom,
+        zooms_built=sorted(set(zooms)),
+    )
+    store = TileStore(scheme, meta, byte_budget=byte_budget)
+
+    work: list[tuple[TileKey, np.ndarray]] = []
+    for zoom in sorted(set(zooms)):
+        groups = bin_ids_per_tile(dataset, scheme, zoom)
+        for key in scheme.keys_at(zoom):
+            work.append(
+                (key, groups.get(key, np.empty(0, dtype=np.int64)))
+            )
+
+    def make_thunk(key: TileKey, ids: np.ndarray):
+        def thunk() -> Tile:
+            return build_tile(
+                dataset, scheme, key, ids,
+                k=k, theta_fraction=theta_fraction,
+            )
+        return thunk
+
+    with tracer.span(
+        "tiles.build", tiles=len(work), zooms=len(set(zooms))
+    ):
+        if pool is not None:
+            outcomes = pool.run_all(
+                [make_thunk(key, ids) for key, ids in work]
+            )
+        else:
+            outcomes = []
+            for key, ids in work:
+                try:
+                    outcomes.append((make_thunk(key, ids)(), None))
+                except Exception as exc:  # repro-lint: disable=RL005 -- captured into outcomes to mirror WorkerPool.run_all's contract; the first failure is re-raised below
+                    outcomes.append((None, exc))
+
+    failures = [exc for _tile, exc in outcomes if exc is not None]
+    if failures:
+        raise failures[0]
+    for tile, _exc in outcomes:
+        store.put(tile)
+        if metrics is not None:
+            metrics.incr("tiles.built")
+            metrics.observe("tiles.build_seconds", tile.built_elapsed_s)
+    if metrics is not None:
+        metrics.incr("tiles.store_bytes", store.total_bytes)
+    return store

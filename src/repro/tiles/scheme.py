@@ -1,0 +1,264 @@
+"""The zoom-pyramid tile scheme over a dataset frame.
+
+A :class:`TileScheme` carves the dataset frame into a quadtree-style
+pyramid: zoom level ``z`` is a ``2^z x 2^z`` grid of equally sized
+tiles, addressed by :class:`TileKey` ``(zoom, x, y)`` with ``(0, 0)``
+at the frame's min corner.  The scheme is pure geometry — it owns no
+objects and no precomputed state; :mod:`repro.tiles.store` attaches
+per-tile material to keys.
+
+Two properties make the pyramid compose with the selection machinery:
+
+* **binning is the grid index's arithmetic** — a point maps to exactly
+  one tile per level via the same clipped ``floor((p - min) * inv)``
+  binning :class:`~repro.index.GridIndex` uses, so
+  :meth:`TileScheme.from_grid_index` can align tile edges with grid
+  bins exactly (when the grid resolution divides evenly into the
+  pyramid, every tile boundary is also a bin boundary).
+* **the 3x3 neighborhood dominates any viewport of tile size**
+  (Lemma 5.1 transfer): a viewport no larger than a tile that
+  intersects tile ``T`` lies inside ``T`` expanded by one tile on
+  every side.  Per-tile masses summed over that neighborhood are
+  therefore valid upper bounds for *any* such viewport's population —
+  the invariant :class:`~repro.tiles.TileSelectionCache` serves from.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+from typing import NamedTuple
+
+import numpy as np
+
+from repro.geo.bbox import BoundingBox
+from repro.index.grid import GridIndex
+
+#: Upper bound on pyramid depth: 2^12 tiles per axis is ~17M tiles at
+#: the deepest level, far past any useful selection granularity.
+MAX_ZOOM_LIMIT = 12
+
+
+class TileKey(NamedTuple):
+    """Address of one tile: zoom level plus column/row in that level."""
+
+    zoom: int
+    x: int
+    y: int
+
+
+@dataclass(frozen=True)
+class TileScheme:
+    """Quadtree pyramid of ``2^z x 2^z`` tiles over ``frame``.
+
+    Parameters
+    ----------
+    frame:
+        The world the pyramid covers (normally the dataset frame).
+    max_zoom:
+        Deepest level materialized by builders; keys beyond it are
+        rejected.  Level ``z`` has ``4^z`` tiles.
+    """
+
+    frame: BoundingBox
+    max_zoom: int = 4
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.max_zoom <= MAX_ZOOM_LIMIT:
+            raise ValueError(
+                f"max_zoom must be in [0, {MAX_ZOOM_LIMIT}], "
+                f"got {self.max_zoom}"
+            )
+        if self.frame.width <= 0 or self.frame.height <= 0:
+            raise ValueError("tile scheme needs a frame with positive area")
+
+    @classmethod
+    def from_grid_index(
+        cls, index: GridIndex, max_zoom: int | None = None
+    ) -> "TileScheme":
+        """Scheme aligned to a :class:`~repro.index.GridIndex`.
+
+        Uses the index's own frame and, when ``max_zoom`` is omitted,
+        the deepest level whose tile edges land exactly on grid-bin
+        edges: the largest ``z`` with ``index.cells % 2^z == 0``
+        (level-``z`` tiles then span exactly ``cells / 2^z`` bins).
+        An odd bin count aligns only at ``z = 0``; pass ``max_zoom``
+        explicitly to trade exact alignment for depth.
+        """
+        frame = BoundingBox.from_points(index.xs, index.ys) if len(
+            index.xs
+        ) else BoundingBox.unit()
+        if max_zoom is None:
+            max_zoom = 0
+            while (
+                max_zoom < MAX_ZOOM_LIMIT
+                and index.cells % (2 ** (max_zoom + 1)) == 0
+            ):
+                max_zoom += 1
+        return cls(frame=frame, max_zoom=max_zoom)
+
+    # ------------------------------------------------------------------
+    # Per-level geometry
+    # ------------------------------------------------------------------
+
+    def tiles_per_axis(self, zoom: int) -> int:
+        """Tile count along each axis at ``zoom`` (``2^zoom``)."""
+        self._check_zoom(zoom)
+        return 1 << zoom
+
+    def tile_width(self, zoom: int) -> float:
+        return self.frame.width / self.tiles_per_axis(zoom)
+
+    def tile_height(self, zoom: int) -> float:
+        return self.frame.height / self.tiles_per_axis(zoom)
+
+    def tile_box(self, key: TileKey) -> BoundingBox:
+        """Closed bounding box of ``key``'s tile."""
+        self._check_key(key)
+        w = self.tile_width(key.zoom)
+        h = self.tile_height(key.zoom)
+        minx = self.frame.minx + key.x * w
+        miny = self.frame.miny + key.y * h
+        return BoundingBox(minx, miny, minx + w, miny + h)
+
+    def neighborhood_box(self, key: TileKey) -> BoundingBox:
+        """The 3x3 tile block centered on ``key``, unclipped.
+
+        This is the superset population box of the tile's Lemma-5.1
+        masses: any viewport no larger than one tile that intersects
+        the tile lies inside it.  Deliberately *not* clipped to the
+        frame — clipping would shave the guarantee for viewports
+        hanging off the frame edge; the spatial index simply returns
+        no objects outside the frame.
+        """
+        box = self.tile_box(key)
+        return BoundingBox(
+            box.minx - box.width, box.miny - box.height,
+            box.maxx + box.width, box.maxy + box.height,
+        )
+
+    def neighborhood_keys(self, key: TileKey) -> list[TileKey]:
+        """The existing tiles of ``key``'s 3x3 block, row-major.
+
+        The frame-clipped decomposition of :meth:`neighborhood_box`:
+        their closed boxes jointly cover the neighborhood's
+        intersection with the frame, so per-source masses summed over
+        any subset of them that covers a viewport remain valid
+        Lemma-5.1 bounds for that viewport.
+        """
+        self._check_key(key)
+        n = self.tiles_per_axis(key.zoom)
+        return [
+            TileKey(key.zoom, col, row)
+            for row in range(max(0, key.y - 1), min(n, key.y + 2))
+            for col in range(max(0, key.x - 1), min(n, key.x + 2))
+        ]
+
+    # ------------------------------------------------------------------
+    # Point binning
+    # ------------------------------------------------------------------
+
+    def tile_cols(self, zoom: int, xs: np.ndarray) -> np.ndarray:
+        """Column index per x coordinate (clipped, GridIndex arithmetic)."""
+        n = self.tiles_per_axis(zoom)
+        cols = ((np.asarray(xs) - self.frame.minx)
+                * (n / self.frame.width)).astype(np.int64)
+        return np.clip(cols, 0, n - 1)
+
+    def tile_rows(self, zoom: int, ys: np.ndarray) -> np.ndarray:
+        """Row index per y coordinate (clipped, GridIndex arithmetic)."""
+        n = self.tiles_per_axis(zoom)
+        rows = ((np.asarray(ys) - self.frame.miny)
+                * (n / self.frame.height)).astype(np.int64)
+        return np.clip(rows, 0, n - 1)
+
+    def key_of(self, zoom: int, x: float, y: float) -> TileKey:
+        """The single tile a point bins into at ``zoom``."""
+        col = int(self.tile_cols(zoom, np.array([x]))[0])
+        row = int(self.tile_rows(zoom, np.array([y]))[0])
+        return TileKey(zoom, col, row)
+
+    def cell_ids(self, zoom: int, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Flattened ``row * n + col`` tile id per point (for grouping)."""
+        n = self.tiles_per_axis(zoom)
+        return self.tile_rows(zoom, ys) * n + self.tile_cols(zoom, xs)
+
+    # ------------------------------------------------------------------
+    # Viewport resolution
+    # ------------------------------------------------------------------
+
+    def zoom_for(self, region: BoundingBox) -> int | None:
+        """Deepest level whose tiles dominate ``region``, or ``None``.
+
+        Returns the largest ``z`` with ``tile_width(z) >= region.width``
+        and ``tile_height(z) >= region.height`` — the level where the
+        3x3 neighborhood guarantee holds for this viewport.  ``None``
+        when the viewport exceeds even the level-0 tile (a zoom-out
+        beyond the frame): no level can serve it.
+        """
+        if region.width > self.frame.width or region.height > self.frame.height:
+            return None
+        zoom = 0
+        while (
+            zoom < self.max_zoom
+            and self.tile_width(zoom + 1) >= region.width
+            and self.tile_height(zoom + 1) >= region.height
+        ):
+            zoom += 1
+        return zoom
+
+    def keys_overlapping(self, zoom: int, region: BoundingBox) -> list[TileKey]:
+        """Keys of the level-``zoom`` tiles intersecting ``region``."""
+        self._check_zoom(zoom)
+        n = self.tiles_per_axis(zoom)
+        c0 = int(self.tile_cols(zoom, np.array([region.minx]))[0])
+        c1 = int(self.tile_cols(zoom, np.array([region.maxx]))[0])
+        r0 = int(self.tile_rows(zoom, np.array([region.miny]))[0])
+        r1 = int(self.tile_rows(zoom, np.array([region.maxy]))[0])
+        del n  # bounds already clipped by the binning helpers
+        return [
+            TileKey(zoom, col, row)
+            for row in range(r0, r1 + 1)
+            for col in range(c0, c1 + 1)
+        ]
+
+    def keys_at(self, zoom: int) -> Iterator[TileKey]:
+        """Every key of one level, row-major."""
+        n = self.tiles_per_axis(zoom)
+        for row in range(n):
+            for col in range(n):
+                yield TileKey(zoom, col, row)
+
+    def children(self, key: TileKey) -> list[TileKey]:
+        """The four level-``zoom+1`` keys refining ``key`` (may be empty).
+
+        Empty when ``key`` already sits at :attr:`max_zoom` — the
+        refinement loop treats that as "nothing left to promote".
+        """
+        if key.zoom >= self.max_zoom:
+            return []
+        z = key.zoom + 1
+        return [
+            TileKey(z, 2 * key.x + dx, 2 * key.y + dy)
+            for dy in (0, 1)
+            for dx in (0, 1)
+        ]
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def _check_zoom(self, zoom: int) -> None:
+        if not 0 <= zoom <= self.max_zoom:
+            raise ValueError(
+                f"zoom must be in [0, {self.max_zoom}], got {zoom}"
+            )
+
+    def _check_key(self, key: TileKey) -> None:
+        self._check_zoom(key.zoom)
+        n = self.tiles_per_axis(key.zoom)
+        if not (0 <= key.x < n and 0 <= key.y < n):
+            raise ValueError(
+                f"tile ({key.x}, {key.y}) out of range for zoom "
+                f"{key.zoom} ({n} tiles per axis)"
+            )

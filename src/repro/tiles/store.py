@@ -1,0 +1,398 @@
+"""Materialized per-tile selection state and its byte-budgeted store.
+
+A :class:`Tile` is the offline product of :mod:`repro.tiles.build` for
+one :class:`~repro.tiles.TileKey`:
+
+* ``ids`` — the objects binned into the tile (each object belongs to
+  exactly one tile per level);
+* ``source_masses`` — the Lemma-5.1 prefetch masses *decomposed by
+  source tile*: row ``s`` holds ``Σ_{o ∈ S_s} ω_o · Sim(o, v)`` for
+  each ``v ∈ ids``, where ``S_s`` ranges over the (frame-clipped) 3x3
+  neighborhood tiles ``source_keys``.  At serve time only the rows
+  whose source tile actually overlaps the viewport are summed and
+  divided by the realized population ``|On|`` — a valid upper bound
+  on every first-iteration gain (the overlapping sources' closed
+  boxes cover every object of the viewport) that is ~2-4x tighter
+  than a monolithic 3x3 mass, because non-overlapping neighbors
+  contribute nothing;
+* ``selection`` — the tile's own greedy selection (its ``k`` most
+  representative, θ-feasible objects), the HiFIVE-style reduced form
+  of the tile kept for previews and offline inspection.
+
+:class:`TileStore` holds tiles under a byte budget with LRU eviction
+and hit accounting, is safe for concurrent readers/writers (one lock —
+operations are dict gets and small moves), and round-trips to a
+compressed ``.npz`` so the offline ``python -m repro tiles build`` pass
+and the serving processes can exchange it.  A store is bound to the
+dataset it was computed from via :func:`dataset_fingerprint`;
+consumers must reject a store whose fingerprint does not match the
+live dataset (the session's ``swap_dataset`` invalidation relies on
+exactly this check).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.dataset import GeoDataset
+from repro.geo.bbox import BoundingBox
+from repro.tiles.scheme import TileKey, TileScheme
+
+#: Coordinates sampled per array for the dataset fingerprint.
+_FINGERPRINT_SAMPLES = 4096
+
+#: Relative safety inflation applied to served bounds.  Per-source
+#: masses are partial sums; re-summing them at serve time rounds
+#: differently than the engine's single-sweep exact gain, so a
+#: mathematically-equal bound can land a few ulps *below* the exact
+#: gain and break the upper-bound contract.  Sequential accumulation
+#: error grows like ``n_terms * eps`` (~1e-12 for 10^4-term rows);
+#: 1e-9 dominates it with orders of magnitude to spare while loosening
+#: the bound immeasurably relative to its built-in 4-6x superset slack.
+BOUND_SAFETY = 1e-9
+
+
+def dataset_fingerprint(dataset: GeoDataset) -> str:
+    """Cheap content identity of a dataset's selectable state.
+
+    Hashes the object count plus strided samples of coordinates and
+    weights — enough to distinguish any real dataset swap (the
+    session-level invalidation case) without touching the similarity
+    model, whose values derive from the same object table.  Stable
+    across processes and platforms (little-endian float64 bytes).
+    """
+    digest = hashlib.sha256()
+    digest.update(str(len(dataset)).encode("ascii"))
+    stride = max(1, len(dataset) // _FINGERPRINT_SAMPLES)
+    for arr in (dataset.xs, dataset.ys, dataset.weights):
+        sample = np.ascontiguousarray(arr[::stride], dtype="<f8")
+        digest.update(sample.tobytes())
+    return digest.hexdigest()
+
+
+@dataclass
+class Tile:
+    """Precomputed selection material for one tile (see module doc).
+
+    ``source_keys`` is an ``(m, 3)`` int64 array of ``(zoom, x, y)``
+    rows — the frame-clipped 3x3 neighborhood tiles — and
+    ``source_masses`` the aligned ``(m, len(ids))`` float64 matrix of
+    per-source Lemma-5.1 masses.
+    """
+
+    key: TileKey
+    box: BoundingBox
+    ids: np.ndarray
+    source_keys: np.ndarray
+    source_masses: np.ndarray
+    selection: np.ndarray
+    neighborhood_count: int = 0
+    built_elapsed_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.ids = np.asarray(self.ids, dtype=np.int64)
+        self.source_keys = np.asarray(
+            self.source_keys, dtype=np.int64
+        ).reshape(-1, 3)
+        self.source_masses = np.asarray(
+            self.source_masses, dtype=np.float64
+        ).reshape(len(self.source_keys), -1)
+        self.selection = np.asarray(self.selection, dtype=np.int64)
+        if self.source_masses.shape != (len(self.source_keys), len(self.ids)):
+            raise ValueError("source_masses must be (sources, ids)-shaped")
+        if len(self.ids) > 1 and not bool(np.all(np.diff(self.ids) > 0)):
+            raise ValueError("tile ids must be strictly sorted")
+
+    @property
+    def raw_sums(self) -> np.ndarray:
+        """Total neighborhood mass per id (all sources summed)."""
+        if len(self.ids) == 0:
+            return np.zeros(0, dtype=np.float64)
+        return self.source_masses.sum(axis=0)
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate resident size (the eviction currency)."""
+        return int(
+            self.ids.nbytes
+            + self.source_keys.nbytes
+            + self.source_masses.nbytes
+            + self.selection.nbytes
+        )
+
+    def bounds_for(
+        self,
+        candidate_ids: np.ndarray,
+        population_size: int,
+        source_mask: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Per-candidate upper bounds; ``NaN`` where the tile lacks an id.
+
+        ``population_size`` is ``|On|`` of the realized viewport — the
+        score normalizer only known at serve time.  ``source_mask``
+        selects which source-tile rows to sum (the serve path passes
+        the sources overlapping the viewport, which tightens the bound
+        by the mass of the untouched neighbors); ``None`` sums all.
+        """
+        if population_size <= 0:
+            raise ValueError("population_size must be positive")
+        candidate_ids = np.asarray(candidate_ids, dtype=np.int64)
+        out = np.full(len(candidate_ids), np.nan, dtype=np.float64)
+        if len(self.ids) == 0 or len(candidate_ids) == 0:
+            return out
+        if source_mask is None:
+            masses = self.raw_sums
+        else:
+            source_mask = np.asarray(source_mask, dtype=bool)
+            if source_mask.shape != (len(self.source_keys),):
+                raise ValueError("source_mask must align with source_keys")
+            masses = self.source_masses[source_mask].sum(axis=0)
+        pos = np.searchsorted(self.ids, candidate_ids)
+        pos_safe = np.minimum(pos, len(self.ids) - 1)
+        found = self.ids[pos_safe] == candidate_ids
+        out[found] = (
+            masses[pos_safe[found]]
+            * (1.0 + BOUND_SAFETY)
+            / float(population_size)
+        )
+        return out
+
+
+@dataclass
+class StoreMeta:
+    """Provenance the store carries: what it was built from and how."""
+
+    fingerprint: str
+    objects: int
+    k: int
+    theta_fraction: float
+    frame: BoundingBox
+    max_zoom: int
+    zooms_built: list[int] = field(default_factory=list)
+
+    def to_json(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "objects": self.objects,
+            "k": self.k,
+            "theta_fraction": self.theta_fraction,
+            "frame": list(self.frame),
+            "max_zoom": self.max_zoom,
+            "zooms_built": list(self.zooms_built),
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "StoreMeta":
+        return cls(
+            fingerprint=str(payload["fingerprint"]),
+            objects=int(payload["objects"]),
+            k=int(payload["k"]),
+            theta_fraction=float(payload["theta_fraction"]),
+            frame=BoundingBox(*(float(v) for v in payload["frame"])),
+            max_zoom=int(payload["max_zoom"]),
+            zooms_built=[int(z) for z in payload.get("zooms_built", [])],
+        )
+
+
+class TileStore:
+    """Thread-safe LRU tile container under an optional byte budget.
+
+    Parameters
+    ----------
+    scheme:
+        The pyramid geometry the tiles belong to.
+    meta:
+        Build provenance (dataset fingerprint, selection parameters).
+    byte_budget:
+        Optional cap on the summed :attr:`Tile.nbytes`.  Inserting past
+        it evicts least-recently-*hit* tiles first (GeoBlocks-style:
+        traffic keeps tiles alive, cold regions age out).  ``None``
+        disables eviction.
+    """
+
+    def __init__(
+        self,
+        scheme: TileScheme,
+        meta: StoreMeta,
+        byte_budget: int | None = None,
+    ) -> None:
+        if byte_budget is not None and byte_budget <= 0:
+            raise ValueError(
+                f"byte_budget must be positive or None, got {byte_budget}"
+            )
+        self.scheme = scheme
+        self.meta = meta
+        self.byte_budget = byte_budget
+        self._lock = threading.Lock()
+        self._tiles: OrderedDict[TileKey, Tile] = OrderedDict()
+        self._hits: dict[TileKey, int] = {}
+        self._total_bytes = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def get(self, key: TileKey, touch: bool = True) -> Tile | None:
+        """The tile at ``key``, or ``None``; ``touch`` refreshes LRU."""
+        with self._lock:
+            tile = self._tiles.get(key)
+            if tile is not None and touch:
+                self._tiles.move_to_end(key)
+                self._hits[key] = self._hits.get(key, 0) + 1
+            return tile
+
+    def put(self, tile: Tile) -> list[TileKey]:
+        """Insert/replace a tile; returns any keys evicted for budget."""
+        with self._lock:
+            old = self._tiles.pop(tile.key, None)
+            if old is not None:
+                self._total_bytes -= old.nbytes
+            self._tiles[tile.key] = tile
+            self._total_bytes += tile.nbytes
+            return self._evict_locked(protect=tile.key)
+
+    def __contains__(self, key: TileKey) -> bool:
+        with self._lock:
+            return key in self._tiles
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._tiles)
+
+    @property
+    def total_bytes(self) -> int:
+        with self._lock:
+            return self._total_bytes
+
+    def keys(self) -> list[TileKey]:
+        """Current keys, LRU order (coldest first)."""
+        with self._lock:
+            return list(self._tiles)
+
+    def hit_counts(self) -> dict[TileKey, int]:
+        """Lifetime hit count per key (includes evicted keys)."""
+        with self._lock:
+            return dict(self._hits)
+
+    def hottest(self, limit: int) -> list[TileKey]:
+        """Up to ``limit`` resident keys by descending hit count."""
+        with self._lock:
+            resident = [k for k in self._tiles if self._hits.get(k, 0) > 0]
+            resident.sort(key=lambda k: (-self._hits.get(k, 0), k))
+            return resident[:limit]
+
+    def _evict_locked(self, protect: TileKey | None = None) -> list[TileKey]:
+        evicted: list[TileKey] = []
+        if self.byte_budget is None:
+            return evicted
+        while self._total_bytes > self.byte_budget and len(self._tiles) > 1:
+            victim = next(iter(self._tiles))
+            if victim == protect:
+                # The newest insert is the LRU head only when it is the
+                # sole other entry; skip it and take the next-coldest.
+                it = iter(self._tiles)
+                next(it)
+                victim = next(it, None)
+                if victim is None:
+                    break
+            tile = self._tiles.pop(victim)
+            self._total_bytes -= tile.nbytes
+            self.evictions += 1
+            evicted.append(victim)
+        return evicted
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Snapshot for the CLI / service health payloads."""
+        with self._lock:
+            per_zoom: dict[int, int] = {}
+            for key in self._tiles:
+                per_zoom[key.zoom] = per_zoom.get(key.zoom, 0) + 1
+            return {
+                "tiles": len(self._tiles),
+                "bytes": self._total_bytes,
+                "byte_budget": self.byte_budget,
+                "evictions": self.evictions,
+                "tiles_per_zoom": {str(z): c for z, c in sorted(per_zoom.items())},
+                "objects": self.meta.objects,
+                "max_zoom": self.meta.max_zoom,
+            }
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Write the store as a compressed ``.npz`` archive."""
+        with self._lock:
+            arrays: dict[str, np.ndarray] = {
+                "__meta__": np.array(
+                    json.dumps(
+                        {
+                            "meta": self.meta.to_json(),
+                            "byte_budget": self.byte_budget,
+                            "scheme_frame": list(self.scheme.frame),
+                            "scheme_max_zoom": self.scheme.max_zoom,
+                        }
+                    )
+                )
+            }
+            for key, tile in self._tiles.items():
+                stem = f"t{key.zoom}_{key.x}_{key.y}"
+                arrays[f"{stem}.ids"] = tile.ids
+                arrays[f"{stem}.src"] = tile.source_keys
+                arrays[f"{stem}.mass"] = tile.source_masses
+                arrays[f"{stem}.sel"] = tile.selection
+                arrays[f"{stem}.aux"] = np.array(
+                    [float(tile.neighborhood_count), tile.built_elapsed_s]
+                )
+        np.savez_compressed(path, **arrays)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TileStore":
+        """Rebuild a store written by :meth:`save`."""
+        with np.load(path, allow_pickle=False) as archive:
+            header = json.loads(str(archive["__meta__"]))
+            meta = StoreMeta.from_json(header["meta"])
+            scheme = TileScheme(
+                frame=BoundingBox(
+                    *(float(v) for v in header["scheme_frame"])
+                ),
+                max_zoom=int(header["scheme_max_zoom"]),
+            )
+            store = cls(
+                scheme, meta, byte_budget=header.get("byte_budget")
+            )
+            stems = sorted(
+                name[: -len(".ids")]
+                for name in archive.files
+                if name.endswith(".ids")
+            )
+            for stem in stems:
+                zoom, x, y = (int(p) for p in stem[1:].split("_"))
+                key = TileKey(zoom, x, y)
+                aux = archive[f"{stem}.aux"]
+                store.put(
+                    Tile(
+                        key=key,
+                        box=scheme.tile_box(key),
+                        ids=archive[f"{stem}.ids"],
+                        source_keys=archive[f"{stem}.src"],
+                        source_masses=archive[f"{stem}.mass"],
+                        selection=archive[f"{stem}.sel"],
+                        neighborhood_count=int(aux[0]),
+                        built_elapsed_s=float(aux[1]),
+                    )
+                )
+        return store

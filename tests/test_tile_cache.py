@@ -1,0 +1,378 @@
+"""Functional tests for the tile store, cache, and session wiring."""
+
+import numpy as np
+import pytest
+
+from repro import GeoDataset, MapSession
+from repro.geo import BoundingBox
+from repro.metrics import MetricsRegistry
+from repro.tiles import (
+    BOUND_SAFETY,
+    StoreMeta,
+    Tile,
+    TileKey,
+    TileScheme,
+    TileSelectionCache,
+    TileStore,
+    bin_ids_per_tile,
+    build_tile,
+    build_tile_store,
+    dataset_fingerprint,
+)
+
+K = 12
+
+
+def _make_dataset(seed: int, n: int = 1200) -> GeoDataset:
+    gen = np.random.default_rng(seed)
+    return GeoDataset.build(
+        gen.random(n), gen.random(n), weights=0.1 + 0.9 * gen.random(n)
+    )
+
+
+@pytest.fixture(scope="module")
+def dataset() -> GeoDataset:
+    return _make_dataset(9)
+
+
+@pytest.fixture(scope="module")
+def store(dataset) -> TileStore:
+    scheme = TileScheme(frame=dataset.frame(), max_zoom=3)
+    return build_tile_store(dataset, scheme=scheme)
+
+
+@pytest.fixture
+def region() -> BoundingBox:
+    return BoundingBox(0.2, 0.2, 0.45, 0.45)
+
+
+def _assert_steps_equal(a, b):
+    assert a.result.selected.tolist() == b.result.selected.tolist()
+    assert a.result.score == b.result.score
+
+
+class TestBuild:
+    def test_bin_ids_partition(self, dataset, store):
+        groups = bin_ids_per_tile(dataset, store.scheme, 2)
+        all_ids = np.concatenate(list(groups.values()))
+        assert len(all_ids) == len(dataset)
+        assert len(np.unique(all_ids)) == len(dataset)
+        for key, ids in groups.items():
+            assert np.all(np.diff(ids) > 0)
+            box = store.scheme.tile_box(key)
+            assert bool(
+                box.contains_many(dataset.xs[ids], dataset.ys[ids]).all()
+            )
+
+    def test_store_covers_requested_zooms(self, dataset, store):
+        zooms = {key.zoom for key in store.keys()}
+        assert zooms == set(range(4))
+        assert store.meta.zooms_built == [0, 1, 2, 3]
+        assert store.meta.fingerprint == dataset_fingerprint(dataset)
+
+    def test_tile_selection_feasible(self, dataset, store):
+        for key in store.keys():
+            tile = store.get(key, touch=False)
+            assert len(tile.selection) <= store.meta.k
+            assert set(tile.selection).issubset(set(tile.ids))
+
+    def test_source_masses_match_neighborhood(self, dataset, store):
+        # Summed per-source masses must equal the monolithic 3x3 mass
+        # computed directly from the similarity model.
+        scheme = store.scheme
+        key = next(k for k in store.keys() if k.zoom == 2)
+        tile = store.get(key, touch=False)
+        neighborhood_ids = np.unique(
+            np.concatenate(
+                [
+                    dataset.objects_in(scheme.tile_box(source))
+                    for source in scheme.neighborhood_keys(key)
+                ]
+            )
+        )
+        expected = dataset.similarity.weighted_sims_sum(
+            tile.ids, neighborhood_ids, dataset.weights[neighborhood_ids]
+        )
+        # Objects on shared source edges may legally double-count
+        # across sources (bounds only get looser), so >= with a small
+        # relative ceiling rather than exact equality.
+        assert np.all(tile.raw_sums >= expected - 1e-12)
+        assert np.all(tile.raw_sums <= expected * 2.0 + 1e-12)
+
+
+class TestTileBounds:
+    def test_partial_source_mask_tightens(self, dataset, store):
+        key = next(k for k in store.keys() if k.zoom == 2)
+        tile = store.get(key, touch=False)
+        full = tile.bounds_for(tile.ids, 100)
+        half_mask = np.zeros(len(tile.source_keys), dtype=bool)
+        half_mask[0] = True
+        partial = tile.bounds_for(tile.ids, 100, source_mask=half_mask)
+        assert np.all(partial <= full + 1e-15)
+
+    def test_safety_inflation_applied(self, dataset, store):
+        key = next(k for k in store.keys() if k.zoom == 2)
+        tile = store.get(key, touch=False)
+        bounds = tile.bounds_for(tile.ids, 100)
+        expected = tile.raw_sums * (1.0 + BOUND_SAFETY) / 100.0
+        assert np.allclose(bounds, expected, rtol=0, atol=0)
+
+    def test_unknown_ids_get_nan(self, dataset, store):
+        key = next(k for k in store.keys() if k.zoom == 2)
+        tile = store.get(key, touch=False)
+        foreign = np.setdiff1d(
+            np.arange(len(dataset), dtype=np.int64), tile.ids
+        )[:5]
+        bounds = tile.bounds_for(foreign, 100)
+        assert np.all(np.isnan(bounds))
+
+    def test_rejects_bad_inputs(self, dataset, store):
+        tile = store.get(TileKey(2, 1, 1), touch=False)  # 9 sources
+        assert len(tile.source_keys) == 9
+        with pytest.raises(ValueError):
+            tile.bounds_for(tile.ids, 0)
+        with pytest.raises(ValueError):
+            tile.bounds_for(tile.ids, 10, source_mask=np.array([True]))
+
+
+class TestSessionIdentity:
+    def test_navigation_identical_to_cold(self, dataset, store, region):
+        tiles = TileSelectionCache(store, min_candidates=0)
+        tiled = MapSession(dataset, k=K, tiles=tiles)
+        cold = MapSession(dataset, k=K)
+        pairs = [
+            (tiled.start(region), cold.start(region)),
+            (tiled.zoom_in(0.7), cold.zoom_in(0.7)),
+            (
+                tiled.pan(dx=0.3 * tiled.region.width),
+                cold.pan(dx=0.3 * cold.region.width),
+            ),
+            (tiled.zoom_out(1.3), cold.zoom_out(1.3)),
+        ]
+        for a, b in pairs:
+            _assert_steps_equal(a, b)
+        assert pairs[0][0].tile_seeded
+
+    def test_store_passed_directly_is_wrapped(self, dataset, store, region):
+        session = MapSession(dataset, k=K, tiles=store)
+        assert isinstance(session.tiles, TileSelectionCache)
+        step = session.start(region)
+        # The wrapper gets production defaults: this small dataset sits
+        # below min_candidates, so the heuristic routes the step cold
+        # (and identity holds regardless).
+        assert not step.tile_seeded
+        _assert_steps_equal(step, MapSession(dataset, k=K).start(region))
+
+    def test_rejects_wrong_tiles_type(self, dataset):
+        with pytest.raises(TypeError):
+            MapSession(dataset, k=K, tiles=object())
+
+
+class TestColdFallbacks:
+    def test_min_candidates_skip(self, dataset, store, region):
+        metrics = MetricsRegistry()
+        tiles = TileSelectionCache(
+            store, min_candidates=10**6, metrics=metrics
+        )
+        session = MapSession(dataset, k=K, tiles=tiles)
+        step = session.start(region)
+        assert not step.tile_seeded
+        assert metrics.count("tiles.skipped.small") == 1
+
+    def test_oversized_region_runs_cold(self, dataset, store):
+        metrics = MetricsRegistry()
+        tiles = TileSelectionCache(store, min_candidates=0, metrics=metrics)
+        session = MapSession(dataset, k=K, tiles=tiles)
+        frame = dataset.frame()
+        step = session.start(frame.expanded(1.5))
+        assert not step.tile_seeded
+        assert metrics.count("tiles.skipped.zoom") == 1
+        _assert_steps_equal(
+            step, MapSession(dataset, k=K).start(frame.expanded(1.5))
+        )
+
+    def test_empty_store_runs_cold(self, dataset, region):
+        metrics = MetricsRegistry()
+        empty = TileStore(
+            scheme=TileScheme(frame=dataset.frame(), max_zoom=3),
+            meta=StoreMeta(
+                fingerprint=dataset_fingerprint(dataset),
+                objects=len(dataset),
+                k=K,
+                theta_fraction=0.02,
+                frame=dataset.frame(),
+                max_zoom=3,
+            ),
+        )
+        tiles = TileSelectionCache(empty, min_candidates=0, metrics=metrics)
+        session = MapSession(dataset, k=K, tiles=tiles)
+        step = session.start(region)
+        assert not step.tile_seeded
+        assert metrics.count("tiles.skipped.coverage") == 1
+        _assert_steps_equal(step, MapSession(dataset, k=K).start(region))
+
+
+class TestSwapDataset:
+    def test_no_stale_tile_reuse_after_swap(self, dataset, store, region):
+        # Regression: a session that swaps datasets mid-flight must
+        # never seed from tiles built against the old dataset.
+        metrics = MetricsRegistry()
+        tiles = TileSelectionCache(store, min_candidates=0, metrics=metrics)
+        session = MapSession(dataset, k=K, tiles=tiles, metrics=metrics)
+        assert session.start(region).tile_seeded
+
+        other = _make_dataset(31, n=len(dataset))
+        session.swap_dataset(other)
+        assert metrics.count("tiles.swap_detached") == 1
+
+        step = session.start(region)
+        assert not step.tile_seeded
+        assert metrics.count("tiles.skipped.fingerprint") >= 1
+        _assert_steps_equal(step, MapSession(other, k=K).start(region))
+
+    def test_shared_store_survives_one_sessions_swap(
+        self, dataset, store, region
+    ):
+        # Two sessions share one cache; one swaps datasets.  The other
+        # must keep serving from the shared store unaffected.
+        tiles = TileSelectionCache(store, min_candidates=0)
+        first = MapSession(dataset, k=K, tiles=tiles)
+        second = MapSession(dataset, k=K, tiles=tiles)
+        assert first.start(region).tile_seeded
+        assert second.start(region).tile_seeded
+
+        first.swap_dataset(_make_dataset(32, n=len(dataset)))
+        assert not first.start(region).tile_seeded
+
+        other_region = BoundingBox(0.5, 0.5, 0.75, 0.75)
+        step = second.zoom_in(0.9)
+        assert step.tile_seeded
+        _assert_steps_equal(
+            step,
+            (lambda s: (s.start(region), s.zoom_in(0.9))[1])(
+                MapSession(dataset, k=K)
+            ),
+        )
+        assert second.start(other_region).tile_seeded
+
+
+class TestEviction:
+    def test_byte_budget_enforced_lru_by_hits(self, dataset):
+        scheme = TileScheme(frame=dataset.frame(), max_zoom=2)
+        tiles = [
+            build_tile(dataset, scheme, key, ids, k=K)
+            for key, ids in bin_ids_per_tile(dataset, scheme, 2).items()
+        ]
+        budget = sum(t.nbytes for t in tiles[:4]) + 1
+        store = TileStore(
+            scheme=scheme,
+            meta=StoreMeta(
+                fingerprint=dataset_fingerprint(dataset),
+                objects=len(dataset),
+                k=K,
+                theta_fraction=0.02,
+                frame=dataset.frame(),
+                max_zoom=2,
+            ),
+            byte_budget=budget,
+        )
+        for tile in tiles[:4]:
+            assert store.put(tile) == []
+        assert store.total_bytes <= budget
+        # Touch the first tile so it is the most recently used.
+        assert store.get(tiles[0].key) is not None
+        evicted = store.put(tiles[4])
+        assert evicted
+        assert tiles[0].key not in evicted
+        assert store.total_bytes <= budget
+        assert store.evictions == len(evicted)
+
+    def test_oversized_budget_never_evicts(self, dataset, store):
+        assert store.byte_budget is None
+        assert store.evictions == 0
+
+
+class TestRefinement:
+    def test_missed_tiles_get_built_then_served(self, dataset, region):
+        scheme = TileScheme(frame=dataset.frame(), max_zoom=3)
+        # Build only the coarse levels: deep viewports miss, refine
+        # fills the gap online.
+        store = build_tile_store(dataset, scheme=scheme, zooms=[0, 1])
+        metrics = MetricsRegistry()
+        tiles = TileSelectionCache(store, min_candidates=0, metrics=metrics)
+        small = BoundingBox(0.3, 0.3, 0.41, 0.41)  # resolves to zoom 3
+        assert tiles.bounds_for(
+            dataset,
+            small,
+            dataset.objects_in(small),
+            dataset.objects_in(small),
+        ) is None
+        assert metrics.count("tiles.lookup.misses") >= 1
+
+        built = tiles.refine(dataset, limit=8)
+        assert built
+        assert all(key in store for key in built)
+        bounds = tiles.bounds_for(
+            dataset,
+            small,
+            dataset.objects_in(small),
+            dataset.objects_in(small),
+        )
+        assert bounds is not None
+
+    def test_refine_promotes_hot_children(self, dataset, region):
+        scheme = TileScheme(frame=dataset.frame(), max_zoom=2)
+        store = build_tile_store(dataset, scheme=scheme, zooms=[1])
+        tiles = TileSelectionCache(store, min_candidates=0)
+        # Generate traffic so a level-1 tile becomes hot.
+        for _ in range(3):
+            tiles.bounds_for(
+                dataset,
+                region,
+                dataset.objects_in(region),
+                dataset.objects_in(region),
+            )
+        before = set(store.keys())
+        built = tiles.refine(dataset, limit=4)
+        assert built
+        assert all(key.zoom == 2 for key in built)
+        assert set(store.keys()) - before == set(built)
+
+    def test_refine_noop_against_swapped_dataset(self, dataset, store):
+        tiles = TileSelectionCache(store, min_candidates=0)
+        other = _make_dataset(33, n=len(dataset))
+        assert tiles.refine(other, limit=4) == []
+
+    def test_session_refines_off_path(self, dataset, region):
+        scheme = TileScheme(frame=dataset.frame(), max_zoom=3)
+        store = build_tile_store(dataset, scheme=scheme, zooms=[0])
+        tiles = TileSelectionCache(store, min_candidates=0)
+        session = MapSession(dataset, k=K, tiles=tiles)
+        small = BoundingBox(0.3, 0.3, 0.41, 0.41)
+        step = session.start(small)  # misses; _commit refines after
+        assert not step.tile_seeded
+        assert len(store) > 1  # refinement built missed tiles
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, dataset, store, region, tmp_path):
+        path = tmp_path / "tiles.npz"
+        store.save(path)
+        loaded = TileStore.load(path)
+        assert loaded.meta.to_json() == store.meta.to_json()
+        assert set(loaded.keys()) == set(store.keys())
+        for key in store.keys():
+            a = store.get(key, touch=False)
+            b = loaded.get(key, touch=False)
+            np.testing.assert_array_equal(a.ids, b.ids)
+            np.testing.assert_array_equal(a.source_keys, b.source_keys)
+            np.testing.assert_array_equal(a.source_masses, b.source_masses)
+            np.testing.assert_array_equal(a.selection, b.selection)
+
+        tiled = MapSession(
+            dataset, k=K, tiles=TileSelectionCache(loaded, min_candidates=0)
+        )
+        cold = MapSession(dataset, k=K)
+        a, b = tiled.start(region), cold.start(region)
+        assert a.tile_seeded
+        _assert_steps_equal(a, b)

@@ -1,0 +1,133 @@
+"""Property tests: tiled serving is bit-identical to direct selection.
+
+The dangerous inputs for a tile cache are objects sitting exactly on
+tile boundaries (binned into one tile, similar to neighbors across the
+edge) and viewports whose edges coincide with tile edges.  These tests
+generate datasets with a deliberate share of boundary-straddling
+objects and drive random zoom/pan loops through a tiled and a cold
+session, asserting byte-identical selections at every step and zoom
+level.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import GeoDataset, MapSession
+from repro.geo import BoundingBox
+from repro.tiles import TileScheme, TileSelectionCache, build_tile_store
+
+K = 8
+MAX_ZOOM = 2
+
+
+def _boundary_dataset(seed: int, n: int) -> GeoDataset:
+    """Uniform points, a third snapped onto tile-edge coordinates.
+
+    Edges of every zoom level of a unit-frame pyramid sit at multiples
+    of ``1/2^z``; snapping x and/or y onto those lines puts objects
+    exactly on shared tile boundaries at one or more levels.
+    """
+    gen = np.random.default_rng(seed)
+    xs, ys = gen.random(n), gen.random(n)
+    edges = np.array([0.0, 0.25, 0.5, 0.75, 1.0])
+    snap = gen.random(n) < 1 / 3
+    xs[snap] = gen.choice(edges, snap.sum())
+    snap = gen.random(n) < 1 / 3
+    ys[snap] = gen.choice(edges, snap.sum())
+    # Pin the frame corners so the pyramid frame (and therefore the
+    # tile edge coordinates) is identical across draws.
+    xs[0], ys[0] = 0.0, 0.0
+    xs[1], ys[1] = 1.0, 1.0
+    return GeoDataset.build(xs, ys, weights=0.1 + 0.9 * gen.random(n))
+
+
+def _sessions(dataset):
+    store = build_tile_store(
+        dataset,
+        scheme=TileScheme(frame=dataset.frame(), max_zoom=MAX_ZOOM),
+    )
+    tiled = MapSession(
+        dataset, k=K, tiles=TileSelectionCache(store, min_candidates=0)
+    )
+    cold = MapSession(dataset, k=K)
+    return tiled, cold
+
+
+def _assert_identical(a, b):
+    assert a.result.selected.tolist() == b.result.selected.tolist()
+    assert a.result.score == b.result.score
+
+
+class TestBoundaryStraddling:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        cx=st.floats(0.15, 0.85),
+        cy=st.floats(0.15, 0.85),
+        half=st.floats(0.05, 0.14),
+    )
+    def test_random_viewports_identical(self, seed, cx, cy, half):
+        dataset = _boundary_dataset(seed, 250)
+        tiled, cold = _sessions(dataset)
+        region = BoundingBox(cx - half, cy - half, cx + half, cy + half)
+        _assert_identical(tiled.start(region), cold.start(region))
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_viewport_on_tile_edges_identical(self, seed):
+        # Viewport edges exactly on tile boundaries: candidates on the
+        # rim are simultaneously tile-edge and viewport-edge objects.
+        dataset = _boundary_dataset(seed, 250)
+        tiled, cold = _sessions(dataset)
+        region = BoundingBox(0.25, 0.25, 0.5, 0.5)
+        _assert_identical(tiled.start(region), cold.start(region))
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        moves=st.lists(
+            st.sampled_from(["zoom_in", "zoom_out", "pan_x", "pan_y"]),
+            min_size=2,
+            max_size=5,
+        ),
+    )
+    def test_navigation_loops_identical(self, seed, moves):
+        # Zoom and pan loops cross tile edges repeatedly and revisit
+        # regions served from different zoom levels; every step must
+        # stay bit-identical to the cold twin.
+        dataset = _boundary_dataset(seed, 250)
+        tiled, cold = _sessions(dataset)
+        region = BoundingBox(0.2, 0.2, 0.55, 0.55)
+        _assert_identical(tiled.start(region), cold.start(region))
+        for move in moves:
+            if move == "zoom_in":
+                pair = tiled.zoom_in(0.7), cold.zoom_in(0.7)
+            elif move == "zoom_out":
+                pair = tiled.zoom_out(1.3), cold.zoom_out(1.3)
+            elif move == "pan_x":
+                pair = (
+                    tiled.pan(dx=0.4 * tiled.region.width),
+                    cold.pan(dx=0.4 * cold.region.width),
+                )
+            else:
+                pair = (
+                    tiled.pan(dy=-0.4 * tiled.region.height),
+                    cold.pan(dy=-0.4 * cold.region.height),
+                )
+            _assert_identical(*pair)
+
+
+class TestAcrossZoomLevels:
+    @pytest.mark.parametrize("side", [0.9, 0.45, 0.22])
+    def test_each_zoom_level_serves_identically(self, side):
+        # One viewport size per pyramid level (zoom_for resolves 0, 1,
+        # 2 respectively): the same dataset must serve identically from
+        # every level's tiles.
+        dataset = _boundary_dataset(77, 300)
+        tiled, cold = _sessions(dataset)
+        region = BoundingBox(0.05, 0.05, 0.05 + side, 0.05 + side)
+        a, b = tiled.start(region), cold.start(region)
+        assert a.tile_seeded
+        _assert_identical(a, b)

@@ -1,0 +1,194 @@
+"""Geometry tests for the zoom-pyramid tile scheme."""
+
+import numpy as np
+import pytest
+
+from repro.geo import BoundingBox
+from repro.index import GridIndex
+from repro.tiles import MAX_ZOOM_LIMIT, TileKey, TileScheme
+
+
+@pytest.fixture
+def scheme() -> TileScheme:
+    return TileScheme(frame=BoundingBox(0.0, 0.0, 1.0, 1.0), max_zoom=3)
+
+
+@pytest.fixture
+def offset_scheme() -> TileScheme:
+    """Non-unit, non-origin frame: catches minx/miny arithmetic slips."""
+    return TileScheme(frame=BoundingBox(-2.0, 1.0, 6.0, 5.0), max_zoom=2)
+
+
+class TestConstruction:
+    def test_rejects_bad_zoom(self):
+        with pytest.raises(ValueError):
+            TileScheme(frame=BoundingBox.unit(), max_zoom=-1)
+        with pytest.raises(ValueError):
+            TileScheme(frame=BoundingBox.unit(), max_zoom=MAX_ZOOM_LIMIT + 1)
+
+    def test_rejects_degenerate_frame(self):
+        with pytest.raises(ValueError):
+            TileScheme(frame=BoundingBox(0.0, 0.0, 0.0, 1.0))
+
+    def test_from_grid_index_alignment(self):
+        gen = np.random.default_rng(4)
+        index = GridIndex(gen.random(100), gen.random(100), cells=8)
+        scheme = TileScheme.from_grid_index(index)
+        # 8 bins divide evenly down to 2^3 tiles per axis.
+        assert scheme.max_zoom == 3
+
+    def test_from_grid_index_odd_cells(self):
+        gen = np.random.default_rng(4)
+        index = GridIndex(gen.random(100), gen.random(100), cells=9)
+        assert TileScheme.from_grid_index(index).max_zoom == 0
+
+
+class TestGeometry:
+    def test_level_tiling_partitions_frame(self, offset_scheme):
+        frame = offset_scheme.frame
+        for zoom in range(offset_scheme.max_zoom + 1):
+            boxes = [
+                offset_scheme.tile_box(key)
+                for key in offset_scheme.keys_at(zoom)
+            ]
+            assert len(boxes) == 4**zoom
+            area = sum(b.width * b.height for b in boxes)
+            assert area == pytest.approx(frame.width * frame.height)
+            union = boxes[0]
+            for b in boxes[1:]:
+                union = union.union(b)
+            assert union.contains_box(frame)
+
+    def test_neighborhood_box_spans_three_tiles(self, scheme):
+        key = TileKey(2, 1, 2)
+        nb = scheme.neighborhood_box(key)
+        assert nb.width == pytest.approx(3 * scheme.tile_width(2))
+        assert nb.contains_box(scheme.tile_box(key))
+
+    def test_neighborhood_box_unclipped_at_corner(self, scheme):
+        # The guarantee must hold for viewports hanging off the frame,
+        # so the corner neighborhood extends past the frame edge.
+        nb = scheme.neighborhood_box(TileKey(2, 0, 0))
+        assert nb.minx < scheme.frame.minx
+        assert nb.miny < scheme.frame.miny
+
+    def test_neighborhood_keys_interior_and_corner(self, scheme):
+        assert len(scheme.neighborhood_keys(TileKey(2, 1, 1))) == 9
+        corner = scheme.neighborhood_keys(TileKey(2, 0, 0))
+        assert len(corner) == 4
+        assert TileKey(2, 0, 0) in corner
+        edge = scheme.neighborhood_keys(TileKey(2, 0, 1))
+        assert len(edge) == 6
+
+    def test_neighborhood_keys_cover_clipped_neighborhood(self, scheme):
+        # The per-source decomposition must jointly cover the
+        # neighborhood box within the frame — the validity condition
+        # for partial-source bound sums.
+        for key in scheme.keys_at(2):
+            nb = scheme.neighborhood_box(key).clipped_to(scheme.frame)
+            union = None
+            for source in scheme.neighborhood_keys(key):
+                box = scheme.tile_box(source)
+                union = box if union is None else union.union(box)
+            assert union.contains_box(nb)
+
+    def test_children_quadrants(self, scheme):
+        kids = scheme.children(TileKey(1, 1, 0))
+        assert kids == [
+            TileKey(2, 2, 0),
+            TileKey(2, 3, 0),
+            TileKey(2, 2, 1),
+            TileKey(2, 3, 1),
+        ]
+        parent = scheme.tile_box(TileKey(1, 1, 0))
+        for kid in kids:
+            assert parent.contains_box(scheme.tile_box(kid))
+
+    def test_children_empty_at_max_zoom(self, scheme):
+        assert scheme.children(TileKey(3, 0, 0)) == []
+
+    def test_key_validation(self, scheme):
+        with pytest.raises(ValueError):
+            scheme.tile_box(TileKey(4, 0, 0))
+        with pytest.raises(ValueError):
+            scheme.tile_box(TileKey(2, 4, 0))
+        with pytest.raises(ValueError):
+            scheme.tile_box(TileKey(2, 0, -1))
+
+
+class TestBinning:
+    def test_every_point_bins_into_its_tile(self, offset_scheme):
+        gen = np.random.default_rng(17)
+        frame = offset_scheme.frame
+        xs = frame.minx + gen.random(300) * frame.width
+        ys = frame.miny + gen.random(300) * frame.height
+        for zoom in range(offset_scheme.max_zoom + 1):
+            cols = offset_scheme.tile_cols(zoom, xs)
+            rows = offset_scheme.tile_rows(zoom, ys)
+            for x, y, col, row in zip(xs, ys, cols, rows):
+                box = offset_scheme.tile_box(TileKey(zoom, int(col), int(row)))
+                assert box.contains_point(float(x), float(y))
+
+    def test_boundary_points_bin_to_exactly_one_tile(self, scheme):
+        # A point on the shared edge of two tiles must land in exactly
+        # one (the right/upper one, by floor binning) — the store's
+        # one-tile-per-object invariant.
+        key = scheme.key_of(2, 0.5, 0.5)
+        assert key == TileKey(2, 2, 2)
+        # The frame's own max corner clips into the last tile.
+        assert scheme.key_of(2, 1.0, 1.0) == TileKey(2, 3, 3)
+
+    def test_cell_ids_match_key_of(self, scheme):
+        gen = np.random.default_rng(23)
+        xs, ys = gen.random(50), gen.random(50)
+        cells = scheme.cell_ids(2, xs, ys)
+        n = scheme.tiles_per_axis(2)
+        for x, y, cell in zip(xs, ys, cells):
+            key = scheme.key_of(2, float(x), float(y))
+            assert int(cell) == key.y * n + key.x
+
+
+class TestViewportResolution:
+    def test_zoom_for_picks_deepest_dominating_level(self, scheme):
+        # A viewport barely smaller than a level-2 tile resolves to 2.
+        region = BoundingBox(0.1, 0.1, 0.34, 0.34)
+        assert scheme.zoom_for(region) == 2
+        # Bigger than a level-1 tile but smaller than the frame: 0.
+        region = BoundingBox(0.0, 0.0, 0.6, 0.6)
+        assert scheme.zoom_for(region) == 0
+
+    def test_zoom_for_oversized_region_is_none(self, scheme):
+        assert scheme.zoom_for(BoundingBox(-0.5, 0.0, 1.5, 1.0)) is None
+
+    def test_zoom_for_caps_at_max_zoom(self, scheme):
+        tiny = BoundingBox(0.5, 0.5, 0.5001, 0.5001)
+        assert scheme.zoom_for(tiny) == scheme.max_zoom
+
+    def test_zoom_for_region_never_needs_more_than_2x2_tiles(self, scheme):
+        gen = np.random.default_rng(5)
+        for _ in range(50):
+            x0, y0 = gen.random(2) * 0.7
+            w, h = 0.01 + gen.random(2) * 0.28
+            region = BoundingBox(x0, y0, x0 + w, y0 + h)
+            zoom = scheme.zoom_for(region)
+            keys = scheme.keys_overlapping(zoom, region)
+            assert 1 <= len(keys) <= 4
+
+    def test_neighborhood_guarantee_at_resolved_zoom(self, scheme):
+        # Lemma-5.1 transfer: at the resolved zoom, every overlapped
+        # tile's 3x3 neighborhood contains the whole viewport.
+        gen = np.random.default_rng(6)
+        for _ in range(50):
+            x0, y0 = gen.random(2) * 0.7
+            w, h = 0.01 + gen.random(2) * 0.28
+            region = BoundingBox(x0, y0, x0 + w, y0 + h)
+            zoom = scheme.zoom_for(region)
+            for key in scheme.keys_overlapping(zoom, region):
+                assert scheme.neighborhood_box(key).contains_box(region)
+
+    def test_keys_overlapping_exact(self, scheme):
+        region = BoundingBox(0.26, 0.26, 0.49, 0.49)
+        keys = scheme.keys_overlapping(2, region)
+        assert set(keys) == {TileKey(2, 1, 1)}
+        region = BoundingBox(0.24, 0.24, 0.26, 0.26)
+        assert len(scheme.keys_overlapping(2, region)) == 4
