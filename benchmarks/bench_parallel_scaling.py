@@ -1,48 +1,84 @@
-"""Parallel/batched heap-initialization scaling gate.
+"""Parallel/batched heap-initialization and delta-maintenance gates.
 
-Runs one fixed-seed heap-init-dominated selection (large population,
-small ``k``, TF-IDF cosine similarity — the sparse kernel whose
-per-invocation overhead batching amortizes) through the execution
-engine at several configurations:
+Two fixed-seed workloads through the execution engine:
+
+**Heap-init scaling** — one init-dominated selection (large population,
+small ``k``) at several configurations:
 
 * **sequential** — ``workers=0, batch_size=1``: the scalar
   one-candidate-per-kernel-call engine (the pre-batching baseline);
-* **batched** — ``workers=0``, default batch size: Layer-1 batching
-  only;
-* **workers=N** — a thread-backed :class:`~repro.parallel.WorkerPool`
-  sharding the candidate blocks (Layer 2).
+* **batched** — ``workers=0``, default batch size: vectorized
+  ``gains_kernel`` blocks, no pool;
+* **workers=N** — a *warm* thread-backed
+  :class:`~repro.parallel.WorkerPool` sharding the candidate blocks.
+  The pool is built and warmed once per configuration and reused
+  across repeats — exactly the session lifecycle after the raw-speed
+  pass — so the numbers measure sweep cost, not executor spin-up.
 
-Asserts three things and writes
-``benchmarks/results/BENCH_parallel.json`` for the CI artifact:
+**Delta navigation** — a :class:`~repro.core.session.MapSession` pan
+trace with incremental ISOS delta maintenance on vs. a cold twin.
+Overlapping pans must re-initialize the heap from the memoized masses
+at least ``MIN_DELTA_SPEEDUP`` times faster than cold exact
+initialization, with byte-identical selections on every step.
+
+``REPRO_BENCH_MODE`` selects the scale: ``smoke`` (default; PR CI)
+runs 15k/40k-object corpora; ``full`` (nightly) runs the 1M-object
+corpus for both workloads and exports a Chrome-trace artifact of the
+delta trace (``trace_parallel_full.json``).
+
+Writes ``benchmarks/results/BENCH_parallel.json`` for the CI
+bench-regression gate.  Asserts:
 
 1. every configuration returns a selection bit-identical to the
    sequential engine (ids and score);
-2. heap initialization at 4 workers is at least ``MIN_INIT_SPEEDUP``
-   times faster than the sequential baseline;
+2. heap initialization at 4 warm workers is at least
+   ``MIN_INIT_SPEEDUP`` times faster than the sequential baseline;
 3. batching cuts kernel invocations by at least
-   ``MIN_CALL_REDUCTION`` times.
+   ``MIN_CALL_REDUCTION`` times;
+4. on multi-core hosts only (``os.cpu_count() >= 2``): 4 workers beat
+   1 worker by at least ``MIN_WORKER_SCALING`` on heap init — pure
+   parallel speedup, meaningless on the 1-CPU containers this repo is
+   developed in, so the gate records a skip there instead of failing;
+5. delta-maintained pans re-initialize at least ``MIN_DELTA_SPEEDUP``
+   times faster than their cold twins, byte-identically.
 """
 
 from __future__ import annotations
 
 import functools
 import json
+import os
 import time
 
 import pytest
 
-from common import RESULTS_DIR, report_table
+from common import RESULTS_DIR, report_table, uk_plain, us_plain
 from repro import RegionQuery, WorkerPool, greedy_select
+from repro.core.session import MapSession
 from repro.datasets import uk_tweets
+from repro.geo import BoundingBox
+from repro.metrics import MetricsRegistry
+from repro.trace import Tracer
+from repro.trace.export import write_chrome_trace
 
 pytestmark = pytest.mark.bench
 
+MODE = os.environ.get("REPRO_BENCH_MODE", "smoke")
+
 MIN_INIT_SPEEDUP = 2.0
 MIN_CALL_REDUCTION = 3.0
-N_OBJECTS = 15_000
+MIN_WORKER_SCALING = 1.3
+MIN_DELTA_SPEEDUP = 5.0
+
+N_OBJECTS = 15_000 if MODE == "smoke" else 1_000_000
 K = 12
 THETA_FRACTION = 0.003
 REPEATS = 3
+
+DELTA_N = 40_000 if MODE == "smoke" else 1_000_000
+DELTA_K = 24
+DELTA_PANS = 6
+
 CONFIGS = (
     # (label, workers, batch_size)
     ("sequential", 0, 1),
@@ -54,25 +90,33 @@ CONFIGS = (
 
 
 def _run_config(dataset, query, workers: int, batch_size: int | None):
-    """Best-of-REPEATS run of one engine configuration."""
+    """Best-of-REPEATS run of one engine configuration.
+
+    One warm pool serves every repeat (the post-raw-speed-pass session
+    lifecycle); ``parallel.pool_reuse`` confirms the reuse happened.
+    """
+    metrics = MetricsRegistry()
+    pool = None
+    if workers:
+        pool = WorkerPool(
+            workers,
+            backend="thread",
+            similarity=dataset.similarity,
+            metrics=metrics,
+        ).warm()
     best = None
-    for _ in range(REPEATS):
-        pool = None
-        if workers:
-            pool = WorkerPool(
-                workers, backend="thread", similarity=dataset.similarity
-            )
-        try:
+    try:
+        for _ in range(REPEATS):
             started = time.perf_counter()
             result = greedy_select(
                 dataset, query, batch_size=batch_size, pool=pool
             )
             elapsed = time.perf_counter() - started
-        finally:
-            if pool is not None:
-                pool.close()
-        if best is None or result.stats["init_seconds"] < best[1]:
-            best = (result, result.stats["init_seconds"], elapsed)
+            if best is None or result.stats["init_seconds"] < best[1]:
+                best = (result, result.stats["init_seconds"], elapsed)
+    finally:
+        if pool is not None:
+            pool.close()
     result, init_seconds, elapsed = best
     return {
         "selected": result.selected.tolist(),
@@ -82,20 +126,44 @@ def _run_config(dataset, query, workers: int, batch_size: int | None):
         "kernel_calls": int(result.stats["kernel_calls"]),
         "kernel_rows": int(result.stats["kernel_rows"]),
         "gain_evaluations": int(result.stats["gain_evaluations"]),
+        "pool_reuse": int(metrics.count("parallel.pool_reuse")),
+        "pool_warms": int(metrics.count("parallel.pool_warms")),
     }
 
 
 @functools.lru_cache(maxsize=None)
 def _dataset():
-    """UK-tweet analogue with texts, sized so init dominates at k=12."""
-    return uk_tweets(n=N_OBJECTS)
+    """Init-dominated corpus for the scaling workload.
+
+    Smoke: UK-tweet analogue with texts (the sparse kernel whose
+    per-invocation overhead batching amortizes).  Full: the 1M-object
+    US analogue with a localized Gaussian kernel — text TF-IDF at 1M
+    would measure corpus construction, not the engine.
+    """
+    if MODE == "smoke":
+        return uk_tweets(n=N_OBJECTS)
+    return us_plain(N_OBJECTS)
+
+
+def _scaling_query(dataset) -> RegionQuery:
+    if MODE == "smoke":
+        # Whole frame: every object is candidate and population.
+        return RegionQuery.with_theta_fraction(
+            dataset.frame(), k=K, theta_fraction=THETA_FRACTION
+        )
+    # 1M objects: a paper-style viewport (~1% of the frame area) keeps
+    # the init quadratic in the tens of thousands, not 10^12.
+    from common import queries
+
+    return queries(
+        dataset, count=1, region_fraction=0.01, k=K,
+        theta_fraction=THETA_FRACTION, min_population=5_000,
+    )[0]
 
 
 def test_parallel_scaling_gate():
     dataset = _dataset()
-    query = RegionQuery.with_theta_fraction(
-        dataset.frame(), k=K, theta_fraction=THETA_FRACTION
-    )
+    query = _scaling_query(dataset)
 
     runs = {
         label: _run_config(dataset, query, workers, batch_size)
@@ -117,13 +185,26 @@ def test_parallel_scaling_gate():
     )
     call_reduction = sequential["kernel_calls"] / runs["batched"]["kernel_calls"]
 
+    # Pure parallel scaling (4 workers vs 1) only exists on multi-core
+    # hosts; on a 1-CPU container threads time-share and the honest
+    # answer is "not measurable", not "failed".
+    cpus = os.cpu_count() or 1
+    worker_scaling = None
+    if cpus >= 2:
+        worker_scaling = (
+            runs["workers=1"]["init_seconds"]
+            / runs["workers=4"]["init_seconds"]
+        )
+
     payload = {
+        "mode": MODE,
         "workload": {
-            "dataset": "uk_tweets",
+            "dataset": "uk_tweets" if MODE == "smoke" else "us_plain",
             "objects": N_OBJECTS,
             "k": K,
             "theta_fraction": THETA_FRACTION,
             "repeats": REPEATS,
+            "host_cpus": cpus,
         },
         "configs": {
             label: {k: v for k, v in run.items() if k != "selected"}
@@ -131,14 +212,25 @@ def test_parallel_scaling_gate():
         },
         "init_speedup_4workers": init_speedup,
         "kernel_call_reduction": call_reduction,
+        "worker_scaling_4v1": worker_scaling,
+        "worker_scaling_skipped": cpus < 2,
         "min_init_speedup": MIN_INIT_SPEEDUP,
         "min_call_reduction": MIN_CALL_REDUCTION,
+        "min_worker_scaling": MIN_WORKER_SCALING,
         "bit_identical": True,
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     out = RESULTS_DIR / "BENCH_parallel.json"
-    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    existing = {}
+    if out.exists():
+        existing = json.loads(out.read_text(encoding="utf-8"))
+    existing.update(payload)
+    out.write_text(json.dumps(existing, indent=2) + "\n", encoding="utf-8")
 
+    scaling_note = (
+        f"{worker_scaling:.2f}x" if worker_scaling is not None
+        else f"skipped ({cpus} cpu)"
+    )
     report_table(
         "parallel_scaling",
         ["config", "init (ms)", "total (ms)", "kernel calls", "speedup"],
@@ -153,11 +245,12 @@ def test_parallel_scaling_gate():
             for label, run in runs.items()
         ],
         title=(
-            "Parallel scaling: heap init over "
-            f"{N_OBJECTS:,} candidates, k={K} "
+            f"Parallel scaling [{MODE}]: heap init over "
+            f"{N_OBJECTS:,} objects, k={K} "
             f"(4-worker init speedup {init_speedup:.2f}x, "
             f"gate {MIN_INIT_SPEEDUP:.0f}x; kernel-call reduction "
-            f"{call_reduction:.1f}x, gate {MIN_CALL_REDUCTION:.0f}x)"
+            f"{call_reduction:.1f}x, gate {MIN_CALL_REDUCTION:.0f}x; "
+            f"4v1 worker scaling {scaling_note})"
         ),
     )
     assert init_speedup >= MIN_INIT_SPEEDUP, (
@@ -167,4 +260,149 @@ def test_parallel_scaling_gate():
     assert call_reduction >= MIN_CALL_REDUCTION, (
         f"batching cut kernel invocations only {call_reduction:.1f}x "
         f"(gate {MIN_CALL_REDUCTION:.0f}x); see {out}"
+    )
+    if worker_scaling is not None:
+        assert worker_scaling >= MIN_WORKER_SCALING, (
+            f"4 workers only {worker_scaling:.2f}x faster than 1 worker "
+            f"on heap init (gate {MIN_WORKER_SCALING}x); see {out}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Delta-maintenance navigation workload
+# ----------------------------------------------------------------------
+
+
+@functools.lru_cache(maxsize=None)
+def _delta_dataset():
+    if MODE == "smoke":
+        return uk_plain(DELTA_N)
+    return us_plain(DELTA_N)
+
+
+def _delta_viewport(dataset) -> BoundingBox:
+    """A viewport holding a few thousand objects, pannable rightwards."""
+    frame = dataset.frame()
+    # ~1/8 of the frame's linear size, anchored left of center so the
+    # pan trace stays inside the frame.
+    width = frame.width / 8.0
+    height = frame.height / 8.0
+    x0 = frame.minx + frame.width * 0.15
+    y0 = frame.miny + frame.height * 0.45
+    return BoundingBox(x0, y0, x0 + width, y0 + height)
+
+
+def _run_delta_trace(dataset, start, delta: bool, tracer=None):
+    """One start + DELTA_PANS overlapping pans; per-step init times."""
+    with MapSession(
+        dataset,
+        k=DELTA_K,
+        theta_fraction=THETA_FRACTION,
+        delta=delta,
+        tracer=tracer,
+    ) as session:
+        steps = [session.start(start)]
+        for _ in range(DELTA_PANS):
+            steps.append(session.pan(start.width * 0.3, 0.0))
+        serves = session.metrics.count("delta.serves")
+    return {
+        "selected": [s.result.selected.tolist() for s in steps],
+        "scores": [s.result.score for s in steps],
+        "pan_init_seconds": [
+            s.result.stats.get("init_seconds", 0.0) for s in steps[1:]
+        ],
+        "delta_seeded_steps": sum(s.delta_seeded for s in steps),
+        "delta_serves": int(serves),
+    }
+
+
+def test_delta_navigation_gate():
+    dataset = _delta_dataset()
+    start = _delta_viewport(dataset)
+
+    best_cold = best_delta = None
+    trace_path = None
+    for repeat in range(REPEATS):
+        # Chrome-trace artifact: record the last delta repeat so the
+        # nightly run ships an inspectable span tree of the new
+        # session.delta_update / parallel.gain_sweep spans.
+        tracer = Tracer() if repeat == REPEATS - 1 else None
+        cold = _run_delta_trace(dataset, start, delta=False)
+        delta = _run_delta_trace(dataset, start, delta=True, tracer=tracer)
+        if tracer is not None:
+            RESULTS_DIR.mkdir(exist_ok=True)
+            trace_path = RESULTS_DIR / "trace_parallel_full.json"
+            write_chrome_trace(tracer, str(trace_path))
+        if best_cold is None or (
+            sum(cold["pan_init_seconds"])
+            < sum(best_cold["pan_init_seconds"])
+        ):
+            best_cold = cold
+        if best_delta is None or (
+            sum(delta["pan_init_seconds"])
+            < sum(best_delta["pan_init_seconds"])
+        ):
+            best_delta = delta
+
+    # Byte-identity on every step of every repeat's final pair.
+    assert best_delta["selected"] == best_cold["selected"], (
+        "delta-maintained selections diverged from the cold twin"
+    )
+    assert best_delta["scores"] == best_cold["scores"]
+    assert best_delta["delta_seeded_steps"] >= DELTA_PANS - 1, (
+        "delta memo served fewer pans than expected: "
+        f"{best_delta['delta_seeded_steps']}/{DELTA_PANS}"
+    )
+
+    cold_init = sum(best_cold["pan_init_seconds"])
+    delta_init = sum(best_delta["pan_init_seconds"])
+    delta_speedup = cold_init / delta_init if delta_init else float("inf")
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_parallel.json"
+    existing = {}
+    if out.exists():
+        existing = json.loads(out.read_text(encoding="utf-8"))
+    existing.update(
+        {
+            "mode": MODE,
+            "delta_workload": {
+                "dataset": "uk_plain" if MODE == "smoke" else "us_plain",
+                "objects": DELTA_N,
+                "k": DELTA_K,
+                "pans": DELTA_PANS,
+                "repeats": REPEATS,
+            },
+            "delta_cold_init_seconds": cold_init,
+            "delta_init_seconds": delta_init,
+            "delta_speedup": delta_speedup,
+            "delta_bit_identical": True,
+            "min_delta_speedup": MIN_DELTA_SPEEDUP,
+        }
+    )
+    existing["chrome_trace"] = trace_path.name if trace_path else None
+    out.write_text(json.dumps(existing, indent=2) + "\n", encoding="utf-8")
+
+    report_table(
+        "parallel_delta_steps",
+        ["trace", "pan init total (ms)", "seeded steps", "speedup"],
+        [
+            ["cold", f"{cold_init * 1000:.1f}", "0", "1.00x"],
+            [
+                "delta",
+                f"{delta_init * 1000:.1f}",
+                str(best_delta["delta_seeded_steps"]),
+                f"{delta_speedup:.2f}x",
+            ],
+        ],
+        title=(
+            f"Delta maintenance [{MODE}]: {DELTA_PANS} overlapping pans "
+            f"over {DELTA_N:,} objects, k={DELTA_K} "
+            f"(init speedup {delta_speedup:.2f}x, "
+            f"gate {MIN_DELTA_SPEEDUP:.0f}x, byte-identical)"
+        ),
+    )
+    assert delta_speedup >= MIN_DELTA_SPEEDUP, (
+        f"delta-maintained pan init only {delta_speedup:.2f}x faster "
+        f"than cold re-init (gate {MIN_DELTA_SPEEDUP:.0f}x); see {out}"
     )

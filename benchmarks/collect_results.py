@@ -70,6 +70,7 @@ ORDER = [
     "ablation_tiles",
     "ablation_predicted_prefetch",
     "parallel_scaling",
+    "parallel_delta_steps",
 ]
 
 #: Gated metrics per machine-readable bench file, as
@@ -81,6 +82,11 @@ GATED_METRICS: dict[str, list[tuple[str, str]]] = {
         ("init_speedup_4workers", "higher"),
         ("kernel_call_reduction", "higher"),
         ("bit_identical", "true"),
+        # New with the raw-speed pass; missing in older baselines,
+        # which the "metric missing — pass with note" rule tolerates.
+        ("worker_scaling_4v1", "higher"),
+        ("delta_speedup", "higher"),
+        ("delta_bit_identical", "true"),
     ],
     "BENCH_service.json": [
         ("nominal.p95_ms", "lower"),

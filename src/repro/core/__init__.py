@@ -16,6 +16,7 @@ Public surface:
 """
 
 from repro.core.dataset import GeoDataset
+from repro.core.delta import DeltaGainMaintainer
 from repro.core.exact import exact_select
 from repro.core.greedy import greedy_select
 from repro.core.isos import isos_select
@@ -47,6 +48,7 @@ from repro.core.streaming import StreamingSelector
 
 __all__ = [
     "Aggregation",
+    "DeltaGainMaintainer",
     "FrequencyPredictor",
     "GeoDataset",
     "IsosQuery",

@@ -1,0 +1,299 @@
+"""Incremental ISOS delta maintenance between navigation steps.
+
+Every navigation step so far re-derived its heap-seeding material from
+scratch (prefetch sweep, warm-start harvest, or tile composition) or
+fell back to a cold ``O(|O|·|G|)`` initialization.  The
+:class:`DeltaGainMaintainer` closes the remaining gap — *arbitrary*
+overlapping navigation, including pans and zoom-outs that the
+containment-only :class:`~repro.cache.SelectionCache` cannot serve —
+by maintaining one memo across steps and updating it with the
+viewport *diff* instead of recomputing it:
+
+* The memo holds, for every object ``v`` of an **expanded** viewport
+  (the committed region grown by a margin), the unnormalized Lemma-5.1
+  mass ``M(v) = Σ_{o∈sources} ω_o · Sim(o, v)`` over a source set that
+  always contains the expanded population.
+* On commit, the new expanded population is **diffed** against the
+  memo: retained objects keep their memoized mass plus one bulk
+  ``weighted_sims_sum`` over the *entering* sources; entering objects
+  get one bulk mass over the source union.  Cost is ``O(delta)`` per
+  step — nothing is recomputed for the overlap.
+* Sources are only ever **added**, never subtracted: for any current
+  population ``P ⊆ sources``, the memoized mass upper-bounds the true
+  mass over ``P`` term-by-term (similarities and weights are
+  non-negative), so ``M(v)/|O_new|`` remains a valid Lemma-5.1 upper
+  bound on any first-iteration gain — no cancellation, no error
+  accumulation.  Leavers make the bounds *looser*, not wrong; when the
+  stale-source excess passes ``refresh_fraction`` the memo is rebuilt
+  exactly.
+* Serving multiplies by ``1 + BOUND_SAFETY`` (the tile store's
+  guard): the greedy's CELF shortcut needs strictly-valid bounds, and
+  the inflation absorbs the last-ulp differences between the bulk
+  reduction and the scalar gain path.
+
+Selections seeded this way are bit-identical to cold starts for the
+same reason prefetch/warm/tile seeding is: the heap refreshes every
+stale bound that reaches the top, and the strict CELF tie-break makes
+each pick canonical (see :mod:`repro.core.lazy_heap`).
+
+The maintainer mirrors the :class:`~repro.cache.SelectionCache` API
+shape: ``bounds_for`` on the response path (cheap id matching),
+``update`` off the response path after each commit, explicit
+``delta.skipped.<reason>`` metrics for every fallback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dataset import GeoDataset
+from repro.geo.bbox import BoundingBox
+from repro.metrics import MetricsRegistry
+
+# Matches repro.tiles.store.BOUND_SAFETY: relative inflation applied to
+# served bounds so reduction-order ulps can never produce an invalid
+# (too small) upper bound.
+BOUND_SAFETY = 1e-9
+
+# How far beyond the committed viewport the memo reaches, as a fraction
+# of the larger viewport side added on every edge.  0.5 means the memo
+# covers a region 2x the viewport's linear size — every pan up to half
+# a screen and every zoom-out up to 2x is served from the memo.
+DEFAULT_MARGIN = 0.5
+
+# Populations larger than this are not maintained: the initial
+# O(|P|^2) mass build (and the per-step O(delta·|P|) updates) would
+# dominate the steps they accelerate.
+DEFAULT_MAX_POPULATION = 50_000
+
+# Full-rebuild trigger: when stale sources (accumulated leavers still
+# summed into the masses) exceed this fraction of the live population,
+# the bounds have loosened enough that a fresh exact memo pays for
+# itself.
+DEFAULT_REFRESH_FRACTION = 0.5
+
+
+@dataclass
+class DeltaMemo:
+    """The maintained state for one expanded viewport."""
+
+    region: BoundingBox  # expanded region the memo covers
+    ids: np.ndarray  # sorted population of the expanded region
+    masses: np.ndarray  # aligned unnormalized masses over `sources`
+    sources: np.ndarray  # sorted source set the masses sum over (⊇ ids)
+
+
+class DeltaGainMaintainer:
+    """O(delta) heap-seeding bounds for overlapping navigation steps.
+
+    Parameters
+    ----------
+    margin:
+        Expansion of the maintained region beyond the committed
+        viewport (fraction of the larger side, added per edge).
+        Larger margins serve bigger pans/zoom-outs from the memo but
+        grow the maintained population.
+    max_population:
+        Guard on the expanded population size; above it the maintainer
+        steps aside entirely (``delta.skipped.population``).
+    refresh_fraction:
+        Stale-source excess (``(|sources| - |P|) / |P|``) that triggers
+        an exact rebuild instead of an incremental update.
+    metrics:
+        Optional shared :class:`~repro.metrics.MetricsRegistry`.
+    """
+
+    def __init__(
+        self,
+        margin: float = DEFAULT_MARGIN,
+        max_population: int = DEFAULT_MAX_POPULATION,
+        refresh_fraction: float = DEFAULT_REFRESH_FRACTION,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if margin < 0:
+            raise ValueError(f"margin must be non-negative, got {margin}")
+        if max_population < 1:
+            raise ValueError(
+                f"max_population must be positive, got {max_population}"
+            )
+        if refresh_fraction <= 0:
+            raise ValueError(
+                f"refresh_fraction must be positive, got {refresh_fraction}"
+            )
+        self.margin = margin
+        self.max_population = max_population
+        self.refresh_fraction = refresh_fraction
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._memo: DeltaMemo | None = None
+
+    @property
+    def memo(self) -> DeltaMemo | None:
+        """The maintained state (``None`` when cold)."""
+        return self._memo
+
+    def invalidate(self) -> None:
+        """Drop the memo (dataset swap, session reset)."""
+        self._memo = None
+
+    # ------------------------------------------------------------------
+    # Response path
+    # ------------------------------------------------------------------
+
+    def bounds_for(
+        self,
+        new_region: BoundingBox,
+        new_ids: np.ndarray,
+        candidate_ids: np.ndarray,
+    ) -> np.ndarray | None:
+        """Upper bounds aligned with ``candidate_ids``, or ``None``.
+
+        Serves only when the new viewport lies inside the memo's
+        expanded region **and** the new population is contained in the
+        memo's source set (checked explicitly — an index fallback or a
+        boundary disagreement must degrade to a cold start, never to a
+        wrong bound).  Candidates without a memoized mass get ``NaN``
+        (the greedy fills them exactly); pure id matching, no
+        similarity work on the response path.
+        """
+        memo = self._memo
+        if memo is None:
+            return self._skip("no_memo")
+        if len(new_ids) == 0 or len(candidate_ids) == 0:
+            return self._skip("empty")
+        if not memo.region.contains_box(new_region):
+            return self._skip("not_contained")
+        new_ids = np.asarray(new_ids, dtype=np.int64)
+        if not self._all_members(memo.sources, new_ids):
+            # Population ⊄ sources would break the Lemma 5.1 argument:
+            # an object outside the source set contributes mass the
+            # memo never summed.
+            return self._skip("population_mismatch")
+        candidate_ids = np.asarray(candidate_ids, dtype=np.int64)
+        pos = np.searchsorted(memo.ids, candidate_ids)
+        pos_safe = np.minimum(pos, len(memo.ids) - 1)
+        found = memo.ids[pos_safe] == candidate_ids
+        if not found.any():
+            return self._skip("no_coverage")
+        bounds = np.full(len(candidate_ids), np.nan, dtype=np.float64)
+        bounds[found] = (
+            memo.masses[pos_safe[found]]
+            * (1.0 + BOUND_SAFETY)
+            / float(len(new_ids))
+        )
+        self.metrics.incr("delta.serves")
+        self.metrics.incr("delta.seeded_bounds", int(found.sum()))
+        self.metrics.incr("delta.exact_fallbacks", int((~found).sum()))
+        return bounds
+
+    # ------------------------------------------------------------------
+    # Off the response path
+    # ------------------------------------------------------------------
+
+    def update(self, dataset: GeoDataset, region: BoundingBox) -> None:
+        """Maintain the memo for the just-committed ``region``.
+
+        Runs after each navigation commit, off the response path.  The
+        incremental case touches only the diff: entering sources are
+        added into every retained mass with one bulk kernel, entering
+        targets get one bulk mass over the source union.
+        """
+        expanded = region.expanded(
+            self.margin * max(region.width, region.height)
+        )
+        population = np.sort(
+            np.asarray(dataset.objects_in(expanded), dtype=np.int64)
+        )
+        if len(population) == 0 or len(population) > self.max_population:
+            self._memo = None
+            self.metrics.incr("delta.skipped.population")
+            return
+        memo = self._memo
+        if memo is None:
+            self._rebuild(dataset, expanded, population)
+            return
+        # Stale sources are live sources that left the population but
+        # stay summed into the masses (looser bounds); past the
+        # threshold a fresh memo pays for itself.
+        stale_excess = (len(memo.sources) - len(population)) / len(population)
+        if stale_excess > self.refresh_fraction:
+            self._rebuild(dataset, expanded, population)
+            return
+
+        retained_mask = self._membership(memo.ids, population)
+        retained = population[retained_mask]
+        entering = population[~retained_mask]
+        if len(retained) * 2 < len(population):
+            # Mostly-disjoint step (teleport-style): the incremental
+            # update would do near-full work over an inflated source
+            # union — rebuild exactly instead.
+            self._rebuild(dataset, expanded, population)
+            return
+
+        weights = dataset.weights
+        enter_sources = population[
+            ~self._membership(memo.sources, population)
+        ]
+        sources = memo.sources
+        if len(enter_sources):
+            sources = np.union1d(memo.sources, enter_sources)
+        masses = np.empty(len(population), dtype=np.float64)
+        pos = np.searchsorted(memo.ids, retained)
+        base = memo.masses[pos]
+        if len(enter_sources) and len(retained):
+            base = base + dataset.similarity.weighted_sims_sum(
+                retained, enter_sources, weights[enter_sources]
+            )
+        masses[retained_mask] = base
+        if len(entering):
+            masses[~retained_mask] = dataset.similarity.weighted_sims_sum(
+                entering, sources, weights[sources]
+            )
+        self._memo = DeltaMemo(
+            region=expanded, ids=population, masses=masses, sources=sources
+        )
+        self.metrics.incr("delta.updates")
+        self.metrics.incr("delta.entered_targets", len(entering))
+        self.metrics.incr("delta.entered_sources", len(enter_sources))
+        self.metrics.incr("delta.retained_targets", len(retained))
+
+    def _rebuild(
+        self,
+        dataset: GeoDataset,
+        expanded: BoundingBox,
+        population: np.ndarray,
+    ) -> None:
+        masses = dataset.similarity.weighted_sims_sum(
+            population, population, dataset.weights[population]
+        )
+        self._memo = DeltaMemo(
+            region=expanded,
+            ids=population,
+            masses=np.asarray(masses, dtype=np.float64),
+            sources=population,
+        )
+        self.metrics.incr("delta.rebuilds")
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _membership(haystack: np.ndarray, needles: np.ndarray) -> np.ndarray:
+        """Boolean mask: which ``needles`` appear in sorted ``haystack``."""
+        if len(haystack) == 0:
+            return np.zeros(len(needles), dtype=bool)
+        pos = np.searchsorted(haystack, needles)
+        pos_safe = np.minimum(pos, len(haystack) - 1)
+        return haystack[pos_safe] == needles
+
+    @classmethod
+    def _all_members(
+        cls, haystack: np.ndarray, needles: np.ndarray
+    ) -> bool:
+        return bool(cls._membership(haystack, needles).all())
+
+    def _skip(self, reason: str) -> None:
+        self.metrics.incr(f"delta.skipped.{reason}")
+        return None

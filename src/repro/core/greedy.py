@@ -291,19 +291,55 @@ def greedy_core(
                 "initial_bounds must align with candidate_ids "
                 f"({len(initial_bounds)} vs {len(candidate_ids)})"
             )
-        for obj, bound in zip(candidate_ids, initial_bounds):
-            if budget is not None and not budget.tick():
-                break
-            if int(obj) in blocked:
-                continue
-            if np.isnan(bound):
-                # No precomputed bound for this candidate (partial
-                # warm-start coverage): exact first-iteration gain.
-                heap.push(int(obj), gain_fn(int(obj)), iteration=0)
-                seeded_exact += 1
+        if batch_size <= 1 and pool is None:
+            for obj, bound in zip(candidate_ids, initial_bounds):
+                if budget is not None and not budget.tick():
+                    break
+                if int(obj) in blocked:
+                    continue
+                if np.isnan(bound):
+                    # No precomputed bound for this candidate (partial
+                    # warm-start coverage): exact first-iteration gain.
+                    heap.push(int(obj), gain_fn(int(obj)), iteration=0)
+                    seeded_exact += 1
+                else:
+                    heap.push(int(obj), float(bound))  # stale upper bounds
+                    seeded_bounds += 1
+        else:
+            # Batched variant of the loop above: same tick / blocked /
+            # fault sequence, but candidates without a bound are filled
+            # in whole blocks (optionally sharded across the pool)
+            # instead of one scalar gain call each — the cost of a
+            # partially covering seed no longer degenerates to the
+            # scalar engine.  Gains are bit-identical either way (the
+            # block kernels reproduce the scalar reduction exactly).
+            seed_ids: list[int] = []
+            seed_vals: list[float] = []
+            exact_ids: list[int] = []
+            for obj, bound in zip(candidate_ids, initial_bounds):
+                if budget is not None and not budget.tick():
+                    break
+                o = int(obj)
+                if o in blocked:
+                    continue
+                if np.isnan(bound):
+                    if fault_injector is not None:
+                        fault_injector.check(SIMILARITY_EVAL)
+                    exact_ids.append(o)
+                else:
+                    seed_ids.append(o)
+                    seed_vals.append(float(bound))
+            heap.push_many(seed_ids, seed_vals)  # stale upper bounds
+            seeded_bounds = len(seed_ids)
+            eval_ids = np.asarray(exact_ids, dtype=np.int64)
+            blocks = [blk for _off, blk in iter_blocks(eval_ids, batch_size)]
+            if pool is not None:
+                gains_per_block = pool.gain_sweep(state, blocks)
             else:
-                heap.push(int(obj), float(bound))  # stale upper bounds
-                seeded_bounds += 1
+                gains_per_block = [state.batch_gains(blk) for blk in blocks]
+            for blk, gains in zip(blocks, gains_per_block):
+                heap.push_many(blk.tolist(), gains.tolist(), iteration=0)
+            seeded_exact = len(exact_ids)
     elif init_mode == "bulk":
         if budget is not None:
             budget.exhausted()  # one clock read before the big sweep
@@ -370,8 +406,7 @@ def greedy_core(
             # min-id CELF tie-break makes order irrelevant, but keeping
             # it matches the scalar engine's push sequence exactly.
             for blk, gains in zip(blocks, gains_per_block):
-                for o, g in zip(blk.tolist(), gains.tolist()):
-                    heap.push(o, float(g), iteration=0)
+                heap.push_many(blk.tolist(), gains.tolist(), iteration=0)
     else:
         raise ValueError(f"init_mode must be 'exact' or 'bulk', got {init_mode!r}")
 

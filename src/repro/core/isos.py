@@ -14,8 +14,11 @@ import numpy as np
 from repro.core.dataset import GeoDataset
 from repro.core.greedy import greedy_core
 from repro.core.problem import Aggregation, IsosQuery, SelectionResult
+from repro.metrics import MetricsRegistry
+from repro.parallel import WorkerPool
 from repro.robustness.budget import Budget
 from repro.robustness.faults import FaultInjector
+from repro.trace.tracer import TracerLike
 
 
 def isos_select(
@@ -28,6 +31,10 @@ def isos_select(
     budget: Budget | None = None,
     fault_injector: FaultInjector | None = None,
     strict: bool = False,
+    metrics: MetricsRegistry | None = None,
+    batch_size: int | None = None,
+    pool: WorkerPool | None = None,
+    tracer: TracerLike | None = None,
 ) -> SelectionResult:
     """Solve an ISOS query (Def. 3.6) with the extended greedy.
 
@@ -37,7 +44,10 @@ def isos_select(
     with ``D`` followed by greedy picks.  ``budget``,
     ``fault_injector`` and ``strict`` pass straight through to
     :func:`~repro.core.greedy.greedy_core` (anytime selection, fault
-    points, and input validation).
+    points, and input validation), as do the performance knobs:
+    ``metrics``, ``batch_size`` (batched heap initialization) and
+    ``pool`` (a warm :class:`~repro.parallel.WorkerPool` sharding the
+    init sweep) — selections are bit-identical at any setting.
     """
     region_ids = dataset.objects_in(query.region)
     return greedy_core(
@@ -54,4 +64,8 @@ def isos_select(
         budget=budget,
         fault_injector=fault_injector,
         strict=strict,
+        metrics=metrics,
+        batch_size=batch_size,
+        pool=pool,
+        tracer=tracer,
     )

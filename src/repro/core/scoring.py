@@ -130,31 +130,136 @@ def represented_objects(
     return mine[mine != int(marker)]
 
 
+#: Population size at or below which :func:`gains_kernel` uses the
+#: fully vectorized multiply-and-pairwise-sum reduction.  Above it the
+#: per-row 1-D ``np.dot`` is both faster (one fewer memory pass over
+#: rows that no longer fit in cache) and preserves the float values the
+#: engine has always produced on large workloads.  The switch depends
+#: only on the population size — never on batch size, worker count, or
+#: backend — so every execution path computes identical bits for the
+#: same population.
+GAINS_VECTOR_MAX_N = 2048
+
+#: Elementwise working-buffer budget (float64 elements) for the
+#: vectorized form: blocks are processed in row chunks whose buffer
+#: stays cache-resident.  Chunking is invisible in the output — numpy's
+#: pairwise ``sum`` reduces each row independently, so any chunk
+#: geometry (including one row at a time) yields identical bits.
+GAINS_CHUNK_ELEMS = 32_768
+
+
+def gains_kernel(
+    sims: np.ndarray,
+    best: np.ndarray,
+    weights: np.ndarray,
+    aggregation: Aggregation,
+) -> np.ndarray:
+    """Marginal gains for a whole block of similarity rows in one call.
+
+    The single canonical reduction behind *every* gain computation —
+    the scalar :meth:`MarginalGainState.gain`, the batched
+    :meth:`MarginalGainState.batch_gains`, :meth:`MarginalGainState.add`,
+    and the process workers all route through it, so bit-identity
+    across batch sizes, worker counts, and backends holds by
+    construction rather than by parallel maintenance of matching
+    loops.
+
+    Two reduction forms, switched deterministically on the population
+    size ``n`` (a pure function of the query, identical in every
+    engine configuration):
+
+    * ``n <= GAINS_VECTOR_MAX_N`` — vectorized: elementwise
+      subtract/clip/multiply over a cache-resident row chunk, then
+      numpy's pairwise ``sum`` per row.  Pairwise summation reduces
+      each row independently, so a block result equals the same rows
+      reduced one at a time, bit for bit.
+    * larger ``n`` — one 1-D ``np.dot(weights, improvement)`` per row
+      (the reduction the scalar engine has always used; a BLAS
+      matrix-vector product would change accumulation order and break
+      CELF tie-breaks, so it is never used here).
+    """
+    sims = np.asarray(sims, dtype=np.float64)
+    n_rows, n = sims.shape
+    out = np.empty(n_rows, dtype=np.float64)
+    if n == 0 or n_rows == 0:
+        out.fill(0.0)
+        return out
+    if n <= GAINS_VECTOR_MAX_N:
+        chunk = max(1, min(n_rows, GAINS_CHUNK_ELEMS // n))
+        buf = np.empty((chunk, n), dtype=np.float64)
+        for start in range(0, n_rows, chunk):
+            end = min(start + chunk, n_rows)
+            view = buf[: end - start]
+            if aggregation is Aggregation.MAX:
+                np.subtract(sims[start:end], best, out=view)
+                np.maximum(view, 0.0, out=view)
+            else:  # SUM: modular — the contribution is the full row.
+                view[:] = sims[start:end]
+            np.multiply(view, weights, out=view)
+            np.sum(view, axis=1, out=out[start:end])
+    else:
+        for b in range(n_rows):
+            if aggregation is Aggregation.MAX:
+                improvement = np.maximum(sims[b] - best, 0.0)
+            else:
+                improvement = sims[b]
+            out[b] = np.dot(weights, improvement)
+    out /= n
+    return out
+
+
+def _gain_of_row(improvement: np.ndarray, weights: np.ndarray, n: int) -> float:
+    """One row through the same reduction :func:`gains_kernel` uses.
+
+    ``improvement`` is the already-clipped MAX improvement (or the raw
+    row for SUM).  Must mirror the kernel's population-size switch
+    exactly — the CELF loop's refreshed gains and the batched init's
+    gains meet in the same heap.
+    """
+    if n <= GAINS_VECTOR_MAX_N:
+        return float(np.sum(improvement * weights) / n)
+    return float(np.dot(weights, improvement) / n)
+
+
 def weighted_gain_rows(
     sims: np.ndarray,
     best: np.ndarray,
     weights: np.ndarray,
     aggregation: Aggregation,
 ) -> np.ndarray:
-    """Marginal gains for a block of similarity rows.
+    """Back-compat alias for :func:`gains_kernel` (the historical name)."""
+    return gains_kernel(sims, best, weights, aggregation)
 
-    The batched twin of the reduction inside
-    :meth:`MarginalGainState.gain`, shared with the process workers.
-    Deliberately reduces row by row with the same 1-D ``np.dot`` — a
-    single matrix-vector product could change BLAS accumulation order
-    and break the bit-identity the CELF tie-break depends on.
+
+def weighted_mass_rows(sims: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """``out[t] = Σ_s weights[s] · sims[t, s]`` — the bulk-mass reduction.
+
+    The unnormalized Lemma-5.1 mass of each target row, reduced with
+    the same population-size switch as :func:`gains_kernel` (pairwise
+    ``np.sum`` under :data:`GAINS_VECTOR_MAX_N` sources, per-row ddot
+    above).  Similarity models' vectorized ``weighted_sims_sum``
+    overrides route through this so bulk masses stay bit-identical to
+    the gain kernel's zero-selection SUM gains (``gains_kernel`` of the
+    same rows times ``n``) — which is what keeps ``init_mode="bulk"``
+    selections equal to exact ones.
     """
+    sims = np.asarray(sims, dtype=np.float64)
     n_rows, n = sims.shape
     out = np.empty(n_rows, dtype=np.float64)
-    if n == 0:
+    if n == 0 or n_rows == 0:
         out.fill(0.0)
         return out
-    for b in range(n_rows):
-        if aggregation is Aggregation.MAX:
-            improvement = np.maximum(sims[b] - best, 0.0)
-        else:  # SUM: modular — the contribution is the full row.
-            improvement = sims[b]
-        out[b] = float(np.dot(weights, improvement) / n)
+    if n <= GAINS_VECTOR_MAX_N:
+        chunk = max(1, min(n_rows, GAINS_CHUNK_ELEMS // n))
+        buf = np.empty((chunk, n), dtype=np.float64)
+        for start in range(0, n_rows, chunk):
+            end = min(start + chunk, n_rows)
+            view = buf[: end - start]
+            np.multiply(sims[start:end], weights, out=view)
+            np.sum(view, axis=1, out=out[start:end])
+    else:
+        for b in range(n_rows):
+            out[b] = np.dot(weights, sims[b])
     return out
 
 
@@ -234,7 +339,7 @@ class MarginalGainState:
             improvement = np.maximum(sims - self._best, 0.0)
         else:  # SUM: modular — the contribution is the full row.
             improvement = sims
-        value = float(np.dot(self.weights, improvement) / self._n)
+        value = _gain_of_row(improvement, self.weights, self._n)
         if self.aggregation is Aggregation.SUM:
             self._sum_gains[obj] = value
         return value
@@ -268,7 +373,7 @@ class MarginalGainState:
             gains = np.zeros(len(obj_ids), dtype=np.float64)
         else:
             sims = self.batch_kernel()(obj_ids)
-            gains = weighted_gain_rows(
+            gains = gains_kernel(
                 sims, self._best, self.weights, self.aggregation
             )
             if self.aggregation is Aggregation.SUM:
@@ -303,7 +408,7 @@ class MarginalGainState:
                 self.kernel_rows += 1
                 self.kernel_calls += 1
                 sims = self._kernel(obj)
-                gained = float(np.dot(self.weights, sims) / self._n)
+                gained = _gain_of_row(sims, self.weights, self._n)
                 self._sum_gains[obj] = gained
             self._score += gained
             return gained
@@ -312,6 +417,6 @@ class MarginalGainState:
         sims = self._kernel(obj)
         improvement = np.maximum(sims - self._best, 0.0)
         np.maximum(self._best, sims, out=self._best)
-        gained = float(np.dot(self.weights, improvement) / self._n)
+        gained = _gain_of_row(improvement, self.weights, self._n)
         self._score += gained
         return gained

@@ -51,6 +51,7 @@ import numpy as np
 
 from repro.cache import EquivalenceViolation, SelectionCache, SimilarityCache
 from repro.core.dataset import GeoDataset
+from repro.core.delta import DEFAULT_MARGIN, DeltaGainMaintainer
 from repro.core.prediction import NavigationPredictor
 from repro.core.prefetch import PrefetchData, Prefetcher
 from repro.core.problem import Aggregation, SelectionResult
@@ -115,8 +116,18 @@ class NavigationStep:
     # Whether precomputed tile bounds seeded this step's heap (the
     # tile-grain cache; composition cost is inside ``elapsed_s``).
     tile_seeded: bool = False
+    # Whether the incrementally maintained delta memo seeded the heap
+    # (pan/zoom-out overlap case; see repro.core.delta).
+    delta_seeded: bool = False
     cache_hits: int = 0
     cache_misses: int = 0
+    # Warm-pool observability for this step: gain sweeps served by an
+    # already-live executor, and sweeps the adaptive shard policy ran
+    # inline (deltas of the session's parallel.* counters across the
+    # timed selection; with a registry shared across sessions these
+    # include concurrent sessions' sweeps).
+    pool_reuse: int = 0
+    shard_skipped_serial: int = 0
     # Root trace span covering this step's timed selection (None when
     # the session runs with the default no-op tracer).
     span: Span | None = None
@@ -186,6 +197,20 @@ class MapSession:
         one or overlap/coverage are below threshold.
     warm_start_min_overlap:
         Minimum ``area(new)/area(previous)`` for a warm start.
+    delta:
+        Enable incremental ISOS delta maintenance
+        (:class:`~repro.core.delta.DeltaGainMaintainer`): after each
+        step the session maintains Lemma-5.1 masses over an expanded
+        viewport and updates them with the population *diff*; the next
+        overlapping step (pan, zoom-out, zoom-in — containment in the
+        expanded region is enough) seeds its heap from the memo instead
+        of re-initializing.  Composes with prefetch, warm starts and
+        tiles (it serves after prefetch and warm start, before tiles);
+        selections stay bit-identical to cold starts.  The off-path
+        maintenance cost is ``O(delta)`` per step.
+    delta_margin:
+        How far beyond the committed viewport the delta memo reaches
+        (fraction of the larger side per edge, default 0.5).
     tiles:
         Optional tile-grain selection cache (see ``docs/TILES.md``): a
         :class:`~repro.tiles.TileStore` precomputed offline (``python
@@ -223,6 +248,13 @@ class MapSession:
     parallel_backend:
         ``"auto"`` / ``"serial"`` / ``"thread"`` / ``"process"`` — see
         :func:`~repro.parallel.resolve_backend`.
+    pool:
+        Externally-owned :class:`~repro.parallel.WorkerPool` shared
+        with other sessions (the service's per-dataset warm pool).
+        Mutually exclusive with ``workers`` and with a per-session
+        ``similarity_cache``.  The session uses it for gain sweeps but
+        never closes it — :meth:`close` and :meth:`swap_dataset`
+        detach instead; the owner controls the pool lifecycle.
     """
 
     def __init__(
@@ -244,12 +276,15 @@ class MapSession:
         similarity_cache: bool | SimilarityCache = False,
         warm_start: bool = True,
         warm_start_min_overlap: float = 0.05,
+        delta: bool = False,
+        delta_margin: float = DEFAULT_MARGIN,
         tiles: TileSelectionCache | TileStore | None = None,
         equivalence_check: bool = False,
         metrics: MetricsRegistry | None = None,
         workers: int | str | None = None,
         batch_size: int | None = None,
         parallel_backend: str = "auto",
+        pool: WorkerPool | None = None,
         tracer: TracerLike | None = None,
     ) -> None:
         if k <= 0:
@@ -305,6 +340,15 @@ class MapSession:
             self._selection_cache = SelectionCache(
                 min_overlap=warm_start_min_overlap, metrics=self.metrics
             )
+        # Incremental delta maintenance: unlike the selection cache it
+        # needs no similarity cache (its memo is maintained directly
+        # through the model's bulk kernel) and serves pans/zoom-outs,
+        # not just contained viewports.
+        self._delta: DeltaGainMaintainer | None = None
+        if delta:
+            self._delta = DeltaGainMaintainer(
+                margin=delta_margin, metrics=self.metrics
+            )
         # Tile-grain cache: wrap a bare store in a private serving
         # cache; a shared TileSelectionCache is used as-is (its store
         # is internally locked, so concurrent sessions can share it).
@@ -334,7 +378,26 @@ class MapSession:
         self._lifecycle_lock = threading.Lock()
         self._closed = False
         self._pool: WorkerPool | None = None
-        if resolve_workers(workers) > 0:
+        self._owns_pool = True
+        if pool is not None:
+            if resolve_workers(workers) > 0:
+                raise ValueError(
+                    "pass either a shared pool or workers, not both"
+                )
+            if self.similarity_cache is not None:
+                # A shared pool's backend was resolved against the raw
+                # model; letting its threads read through this session's
+                # (not thread-safe) cache wrapper would race the LRU.
+                raise ValueError(
+                    "a shared pool cannot be combined with a "
+                    "per-session similarity_cache"
+                )
+            # Externally-owned pool (e.g. the service's per-dataset
+            # shared pool): used for sweeps, never warmed/closed here —
+            # its owner controls the lifecycle.
+            self._pool = pool
+            self._owns_pool = False
+        elif resolve_workers(workers) > 0:
             self._pool = WorkerPool(
                 workers,
                 parallel_backend,
@@ -342,6 +405,10 @@ class MapSession:
                 metrics=self.metrics,
                 tracer=self.tracer,
             )
+            # Spin the executor (and, for processes, the shared-memory
+            # model attachments) up front so the first navigation pays
+            # dispatch cost only, not pool construction.
+            self._pool.warm()
 
         self._prefetcher = Prefetcher(
             dataset, fault_injector=fault_injector, tracer=self.tracer
@@ -369,14 +436,15 @@ class MapSession:
         lifecycle reaches close from TTL eviction, shutdown, and error
         paths concurrently, so the pool handoff happens exactly once
         under the lifecycle lock and every later (or concurrent) call
-        is a no-op.
+        is a no-op.  A shared pool (``pool=`` at construction) is
+        *detached*, never closed — its owner controls that lifecycle.
         """
         with self._lifecycle_lock:
             if self._closed:
                 return
             self._closed = True
             pool, self._pool = self._pool, None
-        if pool is not None:
+        if pool is not None and self._owns_pool:
             pool.close()
 
     @property
@@ -396,6 +464,7 @@ class MapSession:
         theta = self._theta_for(region)
         region_ids = self._objects_in(region)
         cache_before = self._cache_counters()
+        pool_before = self._pool_policy_counters()
         # repro-lint: disable=RL002 -- reporting-only duration measurement (elapsed_s/op timing); never influences which objects are selected
         started = time.perf_counter()
         # The root span covers exactly the timed selection region, so
@@ -456,6 +525,7 @@ class MapSession:
             population_ids=region_ids,
             cache_before=cache_before,
             tile_seeded=tile_seeded,
+            pool_before=pool_before,
             span=span if self.tracer.enabled else None,
         )
         return step
@@ -496,9 +566,12 @@ class MapSession:
         # The pool is bound to the old similarity model (process
         # workers hold its feature arrays); rebuild it over the new
         # one.  The swap holds the lifecycle lock so a concurrent
-        # close() can never orphan a half-built replacement pool.
+        # close() can never orphan a half-built replacement pool.  A
+        # shared pool stays with its owner's dataset: this session
+        # takes an owned replacement and detaches without closing it.
         with self._lifecycle_lock:
             old_pool = self._pool
+            owned_old = self._owns_pool
             if old_pool is not None and not self._closed:
                 self._pool = WorkerPool(
                     old_pool.workers,
@@ -507,10 +580,16 @@ class MapSession:
                     metrics=self.metrics,
                     tracer=self.tracer,
                 )
-        if old_pool is not None:
+                self._owns_pool = True
+                self._pool.warm()
+        if old_pool is not None and owned_old:
             old_pool.close()
         if self._selection_cache is not None:
             self._selection_cache.invalidate()
+        if self._delta is not None:
+            # Delta masses sum the old model's similarities — poison
+            # after the swap, same as captured warm-start material.
+            self._delta.invalidate()
         self._prefetcher = Prefetcher(
             dataset, fault_injector=self.fault_injector, tracer=self.tracer
         )
@@ -653,6 +732,17 @@ class MapSession:
             return None
         return self.similarity_cache.counters()
 
+    def _pool_policy_counters(self) -> dict[str, float] | None:
+        """Snapshot of the pool's shard-policy counters (or ``None``)."""
+        if self._pool is None:
+            return None
+        return {
+            "pool_reuse": self.metrics.count("parallel.pool_reuse"),
+            "shard_skipped_serial": self.metrics.count(
+                "parallel.shard_skipped_serial"
+            ),
+        }
+
     def _tile_bounds(
         self,
         region: BoundingBox,
@@ -728,8 +818,16 @@ class MapSession:
                 self.similarity_cache, new_region, new_ids, candidates
             )
             warm_started = bounds is not None
+        delta_seeded = False
+        if bounds is None and self._delta is not None:
+            # The delta memo's bounds were maintained off-path after
+            # the previous step (like prefetch/warm material); serving
+            # is pure id matching, so it sits outside the timed region.
+            bounds = self._delta.bounds_for(new_region, new_ids, candidates)
+            delta_seeded = bounds is not None
 
         cache_before = self._cache_counters()
+        pool_before = self._pool_policy_counters()
         tile_seeded = False
         # repro-lint: disable=RL002 -- reporting-only duration measurement (elapsed_s/op timing); never influences which objects are selected
         started = time.perf_counter()
@@ -740,6 +838,7 @@ class MapSession:
             mandatory=int(len(mandatory)),
             used_prefetch=used_prefetch,
             warm_started=warm_started,
+            delta_seeded=delta_seeded,
         ) as span:
             if bounds is None:
                 # Tile-cache fallback, composed inside the timed
@@ -774,7 +873,7 @@ class MapSession:
         # repro-lint: disable=RL002 -- reporting-only duration measurement (elapsed_s/op timing); never influences which objects are selected
         elapsed = time.perf_counter() - started
         if (
-            used_prefetch or warm_started or tile_seeded
+            used_prefetch or warm_started or tile_seeded or delta_seeded
         ) and self.equivalence_check:
             self._assert_equivalent(
                 operation, result, new_ids, candidates, mandatory, theta
@@ -787,6 +886,8 @@ class MapSession:
             cache_before=cache_before,
             warm_started=warm_started,
             tile_seeded=tile_seeded,
+            delta_seeded=delta_seeded,
+            pool_before=pool_before,
             span=span if self.tracer.enabled else None,
         )
 
@@ -847,6 +948,8 @@ class MapSession:
         cache_before: dict[str, int] | None = None,
         warm_started: bool = False,
         tile_seeded: bool = False,
+        delta_seeded: bool = False,
+        pool_before: dict[str, float] | None = None,
         span: Span | None = None,
     ) -> NavigationStep:
         self.region = region
@@ -868,6 +971,22 @@ class MapSession:
             stats["sim_pairs_evaluated"] = (
                 after["pairs_evaluated"] - cache_before["pairs_evaluated"]
             )
+        # Per-step pool-policy movement: how often the sweep reused a
+        # live warm executor vs. skipped sharding as below the dispatch
+        # floor, during this selection only.
+        pool_reuse = 0
+        shard_skipped_serial = 0
+        if pool_before is not None:
+            pool_reuse = int(
+                self.metrics.count("parallel.pool_reuse")
+                - pool_before["pool_reuse"]
+            )
+            shard_skipped_serial = int(
+                self.metrics.count("parallel.shard_skipped_serial")
+                - pool_before["shard_skipped_serial"]
+            )
+            stats["pool_reuse"] = pool_reuse
+            stats["shard_skipped_serial"] = shard_skipped_serial
         step = NavigationStep(
             operation=operation,
             region=region,
@@ -882,6 +1001,9 @@ class MapSession:
             degraded=result.degraded or self._index_fallback,
             warm_started=warm_started,
             tile_seeded=tile_seeded,
+            delta_seeded=delta_seeded,
+            pool_reuse=pool_reuse,
+            shard_skipped_serial=shard_skipped_serial,
             cache_hits=cache_hits,
             cache_misses=cache_misses,
             span=span,
@@ -931,6 +1053,22 @@ class MapSession:
                     self.dataset.weights,
                     region,
                     population_ids,
+                )
+        # Delta maintenance runs last: it diffs the just-committed
+        # viewport against the memo so the *next* step can seed from an
+        # O(delta) update.  Failures degrade to a cold next step.
+        if self._delta is not None:
+            with self.tracer.span(
+                "session.delta_update", operation=operation
+            ) as delta_span:
+                try:
+                    self._delta.update(self.dataset, region)
+                except Exception:
+                    self.metrics.incr("delta.update_errors")
+                    self._delta.invalidate()
+                memo = self._delta.memo
+                delta_span.annotate(
+                    memo_population=0 if memo is None else len(memo.ids)
                 )
         return step
 

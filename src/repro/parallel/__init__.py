@@ -25,7 +25,11 @@ count.  ``docs/PERFORMANCE.md`` spells out the guarantees.
 
 from repro.parallel.config import (
     DEFAULT_BATCH_SIZE,
+    SERIAL_SWEEP_FLOOR,
+    SHARDS_PER_WORKER,
+    group_blocks,
     iter_blocks,
+    plan_shards,
     resolve_backend,
     resolve_workers,
 )
@@ -34,10 +38,14 @@ from repro.parallel.sharedmem import SharedArrayHandle, SharedArrayPack
 
 __all__ = [
     "DEFAULT_BATCH_SIZE",
+    "SERIAL_SWEEP_FLOOR",
+    "SHARDS_PER_WORKER",
     "SharedArrayHandle",
     "SharedArrayPack",
     "WorkerPool",
+    "group_blocks",
     "iter_blocks",
+    "plan_shards",
     "resolve_backend",
     "resolve_workers",
 ]

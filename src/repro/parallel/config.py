@@ -15,7 +15,7 @@ Two knobs govern the execution engine, both wired through the CLI and
 from __future__ import annotations
 
 import os
-from collections.abc import Iterator
+from collections.abc import Iterator, Sequence
 
 import numpy as np
 
@@ -27,6 +27,22 @@ import numpy as np
 DEFAULT_BATCH_SIZE = 256
 
 BACKENDS = ("serial", "thread", "process")
+
+# Dispatch-overhead floor for a pooled gain sweep, in estimated
+# elementwise operations (candidate rows x population size).  The numpy
+# kernels chew through roughly 1e9 row-elements/second, so a sweep
+# below ~2e6 elements finishes in about two milliseconds — less than
+# the cost of a round of executor submissions plus result pickling on
+# the process backend.  Sweeps under the floor run inline on the
+# calling thread (``parallel.shard_skipped_serial`` counts them).
+SERIAL_SWEEP_FLOOR = 2_000_000
+
+# Coarse-shard target: dispatch groups per worker per sweep.  One group
+# per worker minimizes dispatch overhead but strands the tail when
+# block costs are uneven; two lets a fast worker steal a second group.
+# Higher values re-fragment the sweep toward the per-block dispatch
+# this policy exists to avoid.
+SHARDS_PER_WORKER = 2
 
 
 def resolve_workers(workers: int | str | None) -> int:
@@ -131,3 +147,49 @@ def iter_blocks(
         raise ValueError(f"batch_size must be positive, got {batch_size}")
     for start in range(0, len(ids), batch_size):
         yield start, ids[start:start + batch_size]
+
+
+def plan_shards(total_rows: int, population: int, workers: int) -> int:
+    """Dispatch-group count for a gain sweep; ``0`` means run serial.
+
+    The adaptive shard policy: estimate the sweep's work as
+    ``total_rows * population`` elementwise operations and fall back to
+    inline execution when it is under :data:`SERIAL_SWEEP_FLOOR` —
+    dispatching such a sweep to a pool costs more than the sweep
+    itself.  Above the floor, the sweep is split into at most
+    ``workers * SHARDS_PER_WORKER`` contiguous groups of caller blocks
+    (never more groups than rows).  Purely a scheduling decision: the
+    per-block results and counter totals are identical either way.
+    """
+    if workers <= 0 or total_rows <= 0:
+        return 0
+    if total_rows * max(population, 1) < SERIAL_SWEEP_FLOOR:
+        return 0
+    return max(1, min(workers * SHARDS_PER_WORKER, total_rows))
+
+
+def group_blocks(
+    blocks: Sequence[np.ndarray], n_groups: int
+) -> list[list[np.ndarray]]:
+    """Partition ``blocks`` into ``n_groups`` contiguous, row-balanced runs.
+
+    Blocks keep their caller order and granularity — a worker evaluates
+    its group one caller block at a time, so kernel shapes (and the
+    ``kernel_rows`` / ``kernel_calls`` accounting derived from block
+    count) are independent of the grouping.  Group boundaries fall at
+    the cumulative-row thresholds ``total * g / n_groups``, which is
+    deterministic in the block sizes alone.
+    """
+    if n_groups < 1:
+        raise ValueError(f"n_groups must be positive, got {n_groups}")
+    total = sum(len(block) for block in blocks)
+    groups: list[list[np.ndarray]] = [[]]
+    seen = 0
+    for block in blocks:
+        # Advance to the group whose row range contains this block's
+        # start; empty trailing groups are dropped below.
+        while len(groups) < n_groups and seen * n_groups >= total * len(groups):
+            groups.append([])
+        groups[-1].append(block)
+        seen += len(block)
+    return [group for group in groups if group]

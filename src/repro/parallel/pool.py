@@ -28,7 +28,17 @@ Backends
     model over zero-copy views (:mod:`repro.parallel.modelspec`).
     Per-sweep state (population ids, weights, the ``best`` vector) is
     shared the same way, so a task pickles only its small candidate
-    block.
+    blocks.
+
+Sweeps are dispatched as **coarse shards**: the caller's batch-size
+blocks are grouped into at most ``workers * SHARDS_PER_WORKER``
+contiguous tasks (:func:`~repro.parallel.config.group_blocks`), and a
+sweep whose estimated work falls below
+:data:`~repro.parallel.config.SERIAL_SWEEP_FLOOR` skips the pool
+entirely (:func:`~repro.parallel.config.plan_shards`).  Executors and
+shared-memory model exports are built once per pool — lazily on first
+use or eagerly via :meth:`WorkerPool.warm` — and reused by every
+subsequent sweep.
 
 The pool never reorders results and never mutates shared state from a
 worker; counters are applied by the caller after the sweep so metric
@@ -37,13 +47,19 @@ totals are deterministic too.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Callable, Sequence
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any
 
 import numpy as np
 
-from repro.parallel.config import resolve_backend, resolve_workers
+from repro.parallel.config import (
+    group_blocks,
+    plan_shards,
+    resolve_backend,
+    resolve_workers,
+)
 from repro.parallel.sharedmem import (
     SharedArrayHandle,
     SharedArrayPack,
@@ -73,20 +89,27 @@ def _init_process_worker(kind: str, params: dict, handles: dict) -> None:
     _MODEL_SEGMENTS.update(handle.name for handle in handles.values())
 
 
-def _process_gain_block(
+def _warm_noop() -> None:
+    """No-op task submitted by :meth:`WorkerPool.warm` to spawn workers."""
+    return None
+
+
+def _process_gain_blocks(
     region_handle: SharedArrayHandle,
     weights_handle: SharedArrayHandle,
     best_handle: SharedArrayHandle,
     aggregation,
-    block: np.ndarray,
-) -> np.ndarray:
-    """Evaluate one candidate block inside a process worker.
+    blocks: list[np.ndarray],
+) -> list[np.ndarray]:
+    """Evaluate a group of candidate blocks inside a process worker.
 
-    Uses the same :func:`~repro.core.scoring.weighted_gain_rows`
-    reduction as the in-process engine, over the same shared arrays —
-    the values are bit-identical to a serial sweep.
+    Blocks are evaluated one at a time at the caller's granularity with
+    the same :func:`~repro.core.scoring.gains_kernel` reduction as the
+    in-process engine, over the same shared arrays — the values are
+    bit-identical to a serial sweep regardless of how the sweep was
+    grouped into tasks.
     """
-    from repro.core.scoring import weighted_gain_rows
+    from repro.core.scoring import gains_kernel
 
     if _WORKER_MODEL is None:  # pragma: no cover - defensive
         raise RuntimeError("process worker initialized without a model")
@@ -106,8 +129,10 @@ def _process_gain_block(
         _WORKER_KERNELS[region_handle.name] = kernel
     weights = attach_array(weights_handle)
     best = attach_array(best_handle)
-    sims = kernel(block)
-    return weighted_gain_rows(sims, best, weights, aggregation)
+    return [
+        gains_kernel(kernel(block), best, weights, aggregation)
+        for block in blocks
+    ]
 
 
 class WorkerPool:
@@ -128,7 +153,11 @@ class WorkerPool:
     metrics:
         Optional :class:`~repro.metrics.MetricsRegistry`; the pool
         counts ``parallel.sweeps`` / ``parallel.blocks`` /
-        ``parallel.tasks`` / ``parallel.fanouts``.
+        ``parallel.tasks`` / ``parallel.fanouts`` plus the warm-pool
+        observability trio: ``parallel.pool_warms`` (explicit
+        :meth:`warm` calls), ``parallel.pool_reuse`` (sweeps served by
+        an already-live executor), and ``parallel.shard_skipped_serial``
+        (sweeps the adaptive shard policy ran inline).
     tracer:
         Optional :class:`~repro.trace.Tracer`.  Gain sweeps get a
         ``parallel.gain_sweep`` span; :meth:`run_all` wraps every
@@ -154,6 +183,9 @@ class WorkerPool:
         self._processes: ProcessPoolExecutor | None = None
         self._model_pack: SharedArrayPack | None = None
         self._closed = False
+        # Executors are built lazily; the lock makes first-use races
+        # safe when one pool is shared across sessions (repro.service).
+        self._init_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -164,20 +196,29 @@ class WorkerPool:
         """Whether the pool actually runs anything off-thread."""
         return self.backend != "serial" and self.workers > 0
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run."""
+        return self._closed
+
     def close(self) -> None:
         """Shut down executors and release shared segments (idempotent)."""
-        if self._closed:
-            return
-        self._closed = True
-        if self._threads is not None:
-            self._threads.shutdown(wait=True)
-            self._threads = None
-        if self._processes is not None:
-            self._processes.shutdown(wait=True)
-            self._processes = None
-        if self._model_pack is not None:
-            self._model_pack.close()
-            self._model_pack = None
+        # Detach under the init lock (so close cannot race a concurrent
+        # lazy build), then shut down outside it: worker tasks never
+        # take the lock, but shutdown(wait=True) can block for a while.
+        with self._init_lock:
+            if self._closed:
+                return
+            self._closed = True
+            threads, self._threads = self._threads, None
+            processes, self._processes = self._processes, None
+            pack, self._model_pack = self._model_pack, None
+        if threads is not None:
+            threads.shutdown(wait=True)
+        if processes is not None:
+            processes.shutdown(wait=True)
+        if pack is not None:
+            pack.close()
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -198,29 +239,84 @@ class WorkerPool:
 
     def _thread_executor(self) -> ThreadPoolExecutor:
         if self._threads is None:
-            self._threads = ThreadPoolExecutor(
-                max_workers=self.workers, thread_name_prefix="repro-pool"
-            )
+            with self._init_lock:
+                if self._threads is None:
+                    self._threads = ThreadPoolExecutor(
+                        max_workers=self.workers,
+                        thread_name_prefix="repro-pool",
+                    )
         return self._threads
 
     def _process_executor(self) -> ProcessPoolExecutor:
         if self._processes is None:
-            from repro.parallel.modelspec import model_spec
+            with self._init_lock:
+                if self._processes is None:
+                    from repro.parallel.modelspec import model_spec
 
-            spec = model_spec(self.similarity)
-            if spec is None:
-                raise RuntimeError(
-                    "process backend requires a similarity model with a "
-                    "process_spec()"
-                )
-            kind, params, arrays = spec
-            self._model_pack = SharedArrayPack(arrays)
-            self._processes = ProcessPoolExecutor(
-                max_workers=self.workers,
-                initializer=_init_process_worker,
-                initargs=(kind, params, self._model_pack.handles),
-            )
+                    spec = model_spec(self.similarity)
+                    if spec is None:
+                        raise RuntimeError(
+                            "process backend requires a similarity model "
+                            "with a process_spec()"
+                        )
+                    kind, params, arrays = spec
+                    self._model_pack = SharedArrayPack(arrays)
+                    self._incr(
+                        "parallel.model_pack_bytes",
+                        self._model_pack.total_nbytes,
+                    )
+                    self._processes = ProcessPoolExecutor(
+                        max_workers=self.workers,
+                        initializer=_init_process_worker,
+                        initargs=(kind, params, self._model_pack.handles),
+                    )
         return self._processes
+
+    @property
+    def warmed(self) -> bool:
+        """Whether this pool's executor (and model pack) already exist."""
+        return self._threads is not None or self._processes is not None
+
+    def warm(self) -> "WorkerPool":
+        """Pre-build the executor and spawn workers ahead of the first sweep.
+
+        Moves the pool's one-time costs — executor construction, the
+        shared-memory model export, and worker spawn (plus, on the
+        process backend, each worker's model rebuild over shared views)
+        — off the first navigation step and into session setup.
+        Best-effort and idempotent: thread workers are forced up with a
+        barrier task per worker; process workers are nudged up with one
+        no-op per worker (the executor spawns on demand, so a fast
+        no-op may not reach every worker — the expensive segment export
+        and first spawn still happen here).  Serial pools are a no-op.
+        Counts ``parallel.pool_warms``.
+        """
+        if self._closed or not self.concurrent:
+            return self
+        self._incr("parallel.pool_warms")
+        if self.backend == "process":
+            executor = self._process_executor()
+            futures = [
+                executor.submit(_warm_noop) for _ in range(self.workers)
+            ]
+            for future in futures:
+                future.result()
+            return self
+        executor = self._thread_executor()
+        # ThreadPoolExecutor only spawns a thread per submit while no
+        # worker is idle; a barrier keeps each warm task occupied so
+        # all `workers` threads come up.  The timeout is a safety net —
+        # every party is submitted before any is awaited.
+        barrier = threading.Barrier(self.workers)
+        futures = [
+            executor.submit(barrier.wait, 5.0) for _ in range(self.workers)
+        ]
+        for future in futures:
+            try:
+                future.result()
+            except threading.BrokenBarrierError:  # pragma: no cover
+                break  # fewer threads than expected; warm stays best-effort
+        return self
 
     # ------------------------------------------------------------------
     # Execution surface
@@ -241,32 +337,52 @@ class WorkerPool:
         self._incr("parallel.blocks", len(blocks))
         if not blocks:
             return []
+        total_rows = sum(len(b) for b in blocks)
         with self.tracer.span(
             "parallel.gain_sweep", blocks=len(blocks), backend=self.backend
         ):
-            if self.backend == "process" and len(blocks) > 1:
-                results = self._gain_sweep_processes(state, blocks)
-            elif self.backend == "thread" and len(blocks) > 1:
-                state.batch_kernel()  # build once, outside the thread race
-                executor = self._thread_executor()
-                self._incr("parallel.tasks", len(blocks))
-                results = list(
-                    executor.map(
-                        lambda block: state.batch_gains(block, count=False),
-                        blocks,
-                    )
+            n_groups = 0
+            if self.concurrent and len(blocks) > 1:
+                n_groups = plan_shards(
+                    total_rows, len(state.region_ids), self.workers
                 )
+            if n_groups > 1:
+                if self.warmed:
+                    # The whole point of warm pools: after the first
+                    # sweep (or an explicit warm()) every sweep reuses
+                    # the live executor and model attachments.
+                    self._incr("parallel.pool_reuse")
+                groups = group_blocks(blocks, n_groups)
+                if self.backend == "process":
+                    results = self._gain_sweep_processes(state, groups)
+                else:
+                    state.batch_kernel()  # build once, outside the race
+                    executor = self._thread_executor()
+                    self._incr("parallel.tasks", len(groups))
+                    results = [
+                        gains
+                        for group_result in executor.map(
+                            lambda group: [
+                                state.batch_gains(b, count=False)
+                                for b in group
+                            ],
+                            groups,
+                        )
+                        for gains in group_result
+                    ]
             else:
+                if self.concurrent and len(blocks) > 1:
+                    # Estimated work under the dispatch floor: the
+                    # adaptive policy ran this sweep inline.
+                    self._incr("parallel.shard_skipped_serial")
                 results = [
                     state.batch_gains(block, count=False) for block in blocks
                 ]
-        state.note_batches(
-            rows=sum(len(b) for b in blocks), calls=len(blocks)
-        )
+        state.note_batches(rows=total_rows, calls=len(blocks))
         return results
 
     def _gain_sweep_processes(
-        self, state, blocks: list[np.ndarray]
+        self, state, groups: list[list[np.ndarray]]
     ) -> list[np.ndarray]:
         executor = self._process_executor()
         with SharedArrayPack(
@@ -277,20 +393,22 @@ class WorkerPool:
             }
         ) as sweep_pack:
             handles = sweep_pack.handles
-            self._incr("parallel.tasks", len(blocks))
+            self._incr("parallel.tasks", len(groups))
             futures = [
                 executor.submit(
-                    _process_gain_block,
+                    _process_gain_blocks,
                     handles["region_ids"],
                     handles["weights"],
                     handles["best"],
                     state.aggregation,
-                    block,
+                    group,
                 )
-                for block in blocks
+                for group in groups
             ]
             # Collect in submission order — the deterministic merge.
-            return [future.result() for future in futures]
+            return [
+                gains for future in futures for gains in future.result()
+            ]
 
     def run_all(
         self, thunks: Sequence[Callable[[], Any]]

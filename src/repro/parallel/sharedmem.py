@@ -71,6 +71,11 @@ class SharedArrayPack:
             self.close()
             raise
 
+    @property
+    def total_nbytes(self) -> int:
+        """Total payload bytes exported across all segments."""
+        return sum(handle.nbytes for handle in self.handles.values())
+
     def close(self) -> None:
         """Unmap and unlink every segment (idempotent)."""
         for segment in self._segments:

@@ -42,6 +42,7 @@ from typing import Any
 from repro.core.dataset import GeoDataset
 from repro.core.session import MapSession
 from repro.metrics import MetricsRegistry
+from repro.parallel import WorkerPool, resolve_workers
 from repro.robustness.errors import (
     ServiceClosed,
     SessionLimitExceeded,
@@ -105,6 +106,11 @@ class SessionManager:
     session_options:
         Baseline :class:`MapSession` keyword arguments applied to
         every session (``k``, ``prefetch``, ``deadline_s``, ...).
+        ``workers`` and ``parallel_backend`` are consumed by the
+        manager itself: they size ONE shared warm
+        :class:`~repro.parallel.WorkerPool` per dataset (built lazily
+        on first use, closed by :meth:`close_all`) instead of a
+        per-session pool.
     metrics:
         Optional registry: ``service.sessions.*`` counters and the
         ``service.sessions`` gauge.
@@ -141,8 +147,18 @@ class SessionManager:
         self.metrics = metrics
         self._clock = clock
         self._session_options = dict(session_options or {})
+        # ``workers``/``parallel_backend`` are manager-level options:
+        # instead of one pool per session (executor spin-up and, for
+        # processes, a model export per user), the manager keeps ONE
+        # warm pool per dataset and hands it to every session over that
+        # dataset.  Sessions never close a shared pool; close_all does.
+        self._pool_workers = self._session_options.pop("workers", None)
+        self._pool_backend = self._session_options.pop(
+            "parallel_backend", "auto"
+        )
         self._lock = threading.Lock()
         self._sessions: dict[str, SessionEntry] = {}
+        self._pools: dict[str, WorkerPool] = {}
         self._ids = itertools.count(1)
         self._shut_down = False
 
@@ -193,6 +209,7 @@ class SessionManager:
                     + ", ".join(sorted(unknown))
                 )
             options.update(overrides)
+        pool = self._shared_pool(name, data)
         with self._lock:
             if self._shut_down:
                 raise ServiceClosed("session manager is shut down")
@@ -201,7 +218,7 @@ class SessionManager:
             session_id = f"s-{next(self._ids):08d}"
             entry = SessionEntry(
                 session_id,
-                MapSession(data, **options),
+                MapSession(data, pool=pool, **options),
                 name,
                 self._clock(),
             )
@@ -279,10 +296,45 @@ class SessionManager:
             self._shut_down = True
             entries = list(self._sessions.values())
             self._sessions.clear()
+            pools = list(self._pools.values())
+            self._pools.clear()
         for entry in entries:
             entry.closed = True
             entry.session.close()
+        # Shared pools go down after their sessions: a session close
+        # never touches a shared pool (it only detaches), so this is
+        # the single place their executors are released.
+        for pool in pools:
+            pool.close()
         self._sync_gauge()
+
+    def _shared_pool(self, name: str, data: GeoDataset) -> WorkerPool | None:
+        """The warm per-dataset pool (lazily built), or ``None``.
+
+        One pool per dataset regardless of session count: the
+        executors and the process backend's shared-memory model export
+        are paid once, and every session's sweeps reuse the live
+        workers (``parallel.pool_reuse``).
+        """
+        if resolve_workers(self._pool_workers) <= 0:
+            return None
+        with self._lock:
+            if self._shut_down:
+                raise ServiceClosed("session manager is shut down")
+            pool = self._pools.get(name)
+            if pool is None:
+                pool = WorkerPool(
+                    self._pool_workers,
+                    self._pool_backend,
+                    similarity=data.similarity,
+                    metrics=self.metrics,
+                )
+                self._pools[name] = pool
+        # Warming happens outside the dict lock (worker spawn can take
+        # a while); warm() is idempotent, so a racing create at worst
+        # warms twice.
+        pool.warm()
+        return pool
 
     @property
     def count(self) -> int:

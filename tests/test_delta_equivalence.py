@@ -1,0 +1,320 @@
+"""Delta-maintained selections are bit-identical to cold starts.
+
+The raw-speed pass added three determinism-sensitive mechanisms:
+
+* the bulk-heapify :meth:`LazyForwardHeap.push_many`,
+* the coarse shard planner (``plan_shards`` / ``group_blocks``), and
+* the :class:`DeltaGainMaintainer`, which seeds navigation steps from
+  incrementally maintained Lemma-5.1 masses.
+
+Each one claims "selections do not change a bit".  The hypothesis
+property at the bottom drives the full composition — random navigation
+traces, random datasets, both aggregations, serial and pooled — and
+compares a delta-maintained session against a cold twin step by step.
+The unit tests pin the individual mechanisms, including every
+``delta.skipped.*`` fallback reason.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GeoDataset
+from repro.core.delta import BOUND_SAFETY, DeltaGainMaintainer
+from repro.core.lazy_heap import LazyForwardHeap
+from repro.core.problem import Aggregation
+from repro.core.session import MapSession
+from repro.geo.bbox import BoundingBox
+from repro.parallel import (
+    SERIAL_SWEEP_FLOOR,
+    SHARDS_PER_WORKER,
+    group_blocks,
+    plan_shards,
+)
+
+
+@functools.lru_cache(maxsize=16)
+def _dataset(seed: int, n: int = 400) -> GeoDataset:
+    gen = np.random.default_rng(seed)
+    return GeoDataset.build(
+        gen.random(n), gen.random(n), weights=gen.random(n)
+    )
+
+
+START = BoundingBox(0.15, 0.15, 0.85, 0.85)
+
+
+# ----------------------------------------------------------------------
+# Shard planning
+# ----------------------------------------------------------------------
+
+
+class TestShardPolicy:
+    def test_below_floor_stays_serial(self):
+        # 100 rows x 100 population = 10k elements << floor.
+        assert plan_shards(100, 100, workers=4) == 0
+
+    def test_above_floor_shards_per_worker(self):
+        total = SERIAL_SWEEP_FLOOR  # rows * population >= floor
+        assert (
+            plan_shards(total, 1, workers=4) == 4 * SHARDS_PER_WORKER
+        )
+
+    def test_never_more_shards_than_rows(self):
+        assert plan_shards(5, 10**9, workers=4) == 5
+
+    def test_no_workers_no_rows(self):
+        assert plan_shards(10**9, 10**9, workers=0) == 0
+        assert plan_shards(0, 10**9, workers=4) == 0
+
+    def test_group_blocks_balances_rows(self):
+        blocks = [np.arange(s) for s in (4, 4, 4, 4, 4, 4, 4, 4)]
+        groups = group_blocks(blocks, 4)
+        assert [sum(len(b) for b in g) for g in groups] == [8, 8, 8, 8]
+
+    def test_group_blocks_preserves_order_and_content(self):
+        blocks = [np.arange(o, o + 3) for o in range(0, 30, 3)]
+        groups = group_blocks(blocks, 3)
+        flattened = [b for g in groups for b in g]
+        assert all(
+            np.array_equal(a, b) for a, b in zip(flattened, blocks)
+        )
+
+    def test_group_blocks_rejects_bad_group_count(self):
+        with pytest.raises(ValueError):
+            group_blocks([np.arange(3)], 0)
+
+
+# ----------------------------------------------------------------------
+# Bulk heap seeding
+# ----------------------------------------------------------------------
+
+
+class TestPushMany:
+    def test_matches_sequential_pushes(self):
+        gen = np.random.default_rng(3)
+        ids = gen.permutation(50).tolist()
+        gains = gen.random(50).tolist()
+        one_by_one = LazyForwardHeap()
+        for obj_id, gain in zip(ids, gains):
+            one_by_one.push(obj_id, gain, iteration=0)
+        bulk = LazyForwardHeap()
+        bulk.push_many(ids, gains, iteration=0)
+        assert bulk.pushes == one_by_one.pushes
+        fail = pytest.fail  # pop_best must never need a refresh here
+        while True:
+            a = one_by_one.pop_best(0, lambda _x: fail("refreshed"))
+            b = bulk.pop_best(0, lambda _x: fail("refreshed"))
+            assert a == b
+            if a is None:
+                break
+
+    def test_stale_entries_refresh_on_pop(self):
+        heap = LazyForwardHeap()
+        heap.push_many([1, 2, 3], [9.0, 5.0, 1.0])  # stale bounds
+        exact = {1: 0.5, 2: 4.0, 3: 0.9}
+        picked = heap.pop_best(0, lambda o: exact[o])
+        assert picked == (2, 4.0)
+
+    def test_push_many_supersedes_earlier_entries(self):
+        heap = LazyForwardHeap()
+        heap.push(7, 100.0, iteration=0)
+        heap.push_many([7], [1.0], iteration=0)
+        assert heap.pop_best(0, lambda _o: 0.0) == (7, 1.0)
+
+
+# ----------------------------------------------------------------------
+# Delta maintainer internals
+# ----------------------------------------------------------------------
+
+
+class TestDeltaMaintainer:
+    def test_first_update_rebuilds(self):
+        maintainer = DeltaGainMaintainer()
+        maintainer.update(_dataset(1), START)
+        assert maintainer.memo is not None
+        assert maintainer.metrics.count("delta.rebuilds") == 1
+
+    def test_serves_valid_bounds_after_update(self):
+        dataset = _dataset(1)
+        maintainer = DeltaGainMaintainer()
+        maintainer.update(dataset, START)
+        region = START.panned(0.1, 0.0)
+        ids = np.sort(dataset.objects_in(region))
+        bounds = maintainer.bounds_for(region, ids, ids)
+        assert bounds is not None and not np.isnan(bounds).any()
+        # Validity: every served bound dominates the exact normalized
+        # mass over the current population (the first-iteration gain's
+        # similarity term).
+        exact = dataset.similarity.weighted_sims_sum(
+            ids, ids, dataset.weights[ids]
+        ) / len(ids)
+        assert (bounds >= exact * (1.0 - BOUND_SAFETY)).all()
+
+    def test_incremental_update_avoids_rebuild(self):
+        dataset = _dataset(1)
+        maintainer = DeltaGainMaintainer()
+        maintainer.update(dataset, START)
+        maintainer.update(dataset, START.panned(0.05, 0.02))
+        assert maintainer.metrics.count("delta.rebuilds") == 1
+        assert maintainer.metrics.count("delta.updates") == 1
+        # Incremental masses agree with a from-scratch rebuild.
+        memo = maintainer.memo
+        fresh = DeltaGainMaintainer()
+        fresh.update(dataset, START.panned(0.05, 0.02))
+        assert np.array_equal(memo.ids, fresh.memo.ids)
+        np.testing.assert_allclose(
+            memo.masses, fresh.memo.masses, rtol=1e-12
+        )
+
+    def test_teleport_triggers_rebuild(self):
+        dataset = _dataset(1)
+        maintainer = DeltaGainMaintainer()
+        maintainer.update(dataset, BoundingBox(0.0, 0.0, 0.3, 0.3))
+        maintainer.update(dataset, BoundingBox(0.7, 0.7, 1.0, 1.0))
+        assert maintainer.metrics.count("delta.rebuilds") == 2
+
+    def test_skip_reasons(self):
+        dataset = _dataset(1)
+        maintainer = DeltaGainMaintainer()
+        ids = np.arange(5, dtype=np.int64)
+        assert maintainer.bounds_for(START, ids, ids) is None
+        assert maintainer.metrics.count("delta.skipped.no_memo") == 1
+        maintainer.update(dataset, START)
+        far = BoundingBox(30.0, 30.0, 31.0, 31.0)
+        assert maintainer.bounds_for(far, ids, ids) is None
+        assert maintainer.metrics.count("delta.skipped.not_contained") == 1
+        empty = np.empty(0, dtype=np.int64)
+        assert maintainer.bounds_for(START, empty, empty) is None
+        assert maintainer.metrics.count("delta.skipped.empty") == 1
+
+    def test_population_guard_drops_memo(self):
+        dataset = _dataset(1)
+        maintainer = DeltaGainMaintainer(max_population=10)
+        maintainer.update(dataset, START)  # population >> 10
+        assert maintainer.memo is None
+        assert maintainer.metrics.count("delta.skipped.population") == 1
+
+    def test_invalidate_drops_memo(self):
+        dataset = _dataset(1)
+        maintainer = DeltaGainMaintainer()
+        maintainer.update(dataset, START)
+        maintainer.invalidate()
+        assert maintainer.memo is None
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            DeltaGainMaintainer(margin=-0.1)
+        with pytest.raises(ValueError):
+            DeltaGainMaintainer(max_population=0)
+        with pytest.raises(ValueError):
+            DeltaGainMaintainer(refresh_fraction=0.0)
+
+
+# ----------------------------------------------------------------------
+# Session wiring
+# ----------------------------------------------------------------------
+
+
+class TestSessionDelta:
+    def test_delta_serves_overlapping_pan(self):
+        with MapSession(_dataset(5), k=40, delta=True) as session:
+            session.start(START)
+            step = session.pan(0.2, 0.1)
+        assert step.delta_seeded
+        assert step.stats.get("equivalence_checked") is None  # off
+        assert session.metrics.count("delta.serves") >= 1
+
+    def test_swap_dataset_invalidates_memo(self):
+        dataset = _dataset(6)
+        with MapSession(dataset, k=10, delta=True) as session:
+            session.start(START)
+            assert session._delta.memo is not None
+            session.swap_dataset(_dataset(7))
+            assert session._delta.memo is None
+
+    def test_update_failure_degrades_to_cold(self):
+        with MapSession(_dataset(8), k=10, delta=True) as session:
+            session.start(START)
+
+            def boom(_dataset, _region):
+                raise RuntimeError("injected")
+
+            session._delta.update = boom
+            step = session.pan(0.1, 0.0)  # commit survives the failure
+            assert session.metrics.count("delta.update_errors") == 1
+            assert session._delta.memo is None
+            assert len(step.result.selected) > 0
+
+
+# ----------------------------------------------------------------------
+# The property: random traces, bit-identical to a cold twin
+# ----------------------------------------------------------------------
+
+_MOVES = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("pan"),
+            st.floats(-0.4, 0.4, allow_nan=False),
+            st.floats(-0.4, 0.4, allow_nan=False),
+        ),
+        st.tuples(st.just("zoom_in"), st.floats(0.4, 0.9)),
+        st.tuples(st.just("zoom_out"), st.floats(1.1, 2.5)),
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+
+def _run_trace(dataset, moves, aggregation, workers, delta):
+    kwargs = {"workers": workers, "batch_size": 32} if workers else {}
+    with MapSession(
+        dataset,
+        k=12,
+        aggregation=aggregation,
+        delta=delta,
+        equivalence_check=delta,
+        **kwargs,
+    ) as session:
+        steps = [session.start(START)]
+        for move in moves:
+            if move[0] == "pan":
+                # Pan offsets are absolute; scale by the live viewport
+                # so a post-zoom-in pan still overlaps it.
+                region = session.region
+                steps.append(
+                    session.pan(
+                        move[1] * region.width, move[2] * region.height
+                    )
+                )
+            elif move[0] == "zoom_in":
+                steps.append(session.zoom_in(move[1]))
+            else:
+                steps.append(session.zoom_out(move[1]))
+    return steps
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 7),
+    moves=_MOVES,
+    aggregation=st.sampled_from([Aggregation.MAX, Aggregation.SUM]),
+    workers=st.sampled_from([0, 2]),
+)
+def test_delta_trace_bit_identical_to_cold_twin(
+    seed, moves, aggregation, workers
+):
+    dataset = _dataset(seed)
+    delta_steps = _run_trace(dataset, moves, aggregation, workers, True)
+    cold_steps = _run_trace(dataset, moves, aggregation, 0, False)
+    for delta_step, cold_step in zip(delta_steps, cold_steps):
+        label = f"{delta_step.operation} seed={seed} workers={workers}"
+        assert np.array_equal(
+            delta_step.result.selected, cold_step.result.selected
+        ), label
+        assert delta_step.result.score == cold_step.result.score, label

@@ -1,0 +1,203 @@
+"""Warm-pool lifecycle: ownership, double close, and thread leaks.
+
+The raw-speed pass made pools long-lived (warmed at session setup,
+shared across sessions in the service).  Long-lived executors are
+exactly the kind of resource that leaks silently, so this suite pins
+the lifecycle contract:
+
+* ``MapSession.close()`` is idempotent and releases the owned pool's
+  threads — repeated create/navigate/close cycles leave the process
+  thread count where it started.
+* A *shared* pool (``pool=`` at construction) is never closed by the
+  session: ``close()`` and ``swap_dataset()`` detach instead, and the
+  owner (the service's :class:`SessionManager`) closes it exactly once
+  in ``close_all()``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import GeoDataset, MapSession
+from repro.geo.bbox import BoundingBox
+from repro.parallel import WorkerPool
+from repro.service.sessions import SessionManager
+from repro.similarity.spatial import GaussianSpatialSimilarity
+
+
+def _make_dataset(seed: int = 11, n: int = 300) -> GeoDataset:
+    rng = np.random.default_rng(seed)
+    xs = rng.uniform(0.0, 100.0, n)
+    ys = rng.uniform(0.0, 100.0, n)
+    weights = rng.uniform(0.1, 1.0, n)
+    return GeoDataset.build(
+        xs=xs,
+        ys=ys,
+        weights=weights,
+        similarity=GaussianSpatialSimilarity(xs, ys, sigma=15.0),
+    )
+
+
+REGION = BoundingBox(10.0, 10.0, 90.0, 90.0)
+
+
+def _settled_thread_count() -> int:
+    # Let daemon helpers from previous tests wind down before counting.
+    for thread in threading.enumerate():
+        if not thread.is_alive():  # pragma: no cover
+            thread.join(0.01)
+    return threading.active_count()
+
+
+class TestOwnedPoolLifecycle:
+    def test_close_is_idempotent(self):
+        session = MapSession(
+            _make_dataset(), k=8, workers=2, parallel_backend="thread"
+        )
+        session.start(REGION)
+        session.close()
+        session.close()  # second close must be a silent no-op
+        assert session.closed
+        # The session stays usable, just sequential.
+        step = session.pan(0.1, 0.0)
+        assert len(step.result.selected) > 0
+
+    def test_owned_pool_is_warmed_at_construction(self):
+        session = MapSession(
+            _make_dataset(), k=8, workers=2, parallel_backend="thread"
+        )
+        try:
+            assert session._pool is not None
+            assert session._pool.warmed
+            assert session.metrics.count("parallel.pool_warms") == 1
+        finally:
+            session.close()
+
+    def test_repeated_sessions_leak_no_threads(self):
+        dataset = _make_dataset()
+        baseline = _settled_thread_count()
+        for _ in range(3):
+            session = MapSession(
+                dataset, k=8, workers=4, parallel_backend="thread"
+            )
+            session.start(REGION)
+            session.pan(0.2, 0.0)
+            session.close()
+        assert _settled_thread_count() <= baseline
+
+    def test_context_manager_closes_pool(self):
+        with MapSession(
+            _make_dataset(), k=8, workers=2, parallel_backend="thread"
+        ) as session:
+            pool = session._pool
+            session.start(REGION)
+        assert pool is not None and pool.closed
+        assert session.closed
+
+
+class TestSharedPoolLifecycle:
+    def test_session_close_detaches_but_never_closes(self):
+        dataset = _make_dataset()
+        pool = WorkerPool(
+            2, "thread", similarity=dataset.similarity
+        ).warm()
+        try:
+            session = MapSession(dataset, k=8, pool=pool)
+            session.start(REGION)
+            session.close()
+            session.close()
+            assert not pool.closed
+            assert pool.warmed  # executor survived the session
+        finally:
+            pool.close()
+        assert pool.closed
+
+    def test_shared_pool_rejects_workers_and_cache(self):
+        dataset = _make_dataset()
+        pool = WorkerPool(2, "thread", similarity=dataset.similarity)
+        try:
+            with pytest.raises(ValueError, match="not both"):
+                MapSession(dataset, k=8, pool=pool, workers=2)
+            with pytest.raises(ValueError, match="similarity_cache"):
+                MapSession(
+                    dataset, k=8, pool=pool, similarity_cache=True
+                )
+        finally:
+            pool.close()
+
+    def test_swap_dataset_detaches_shared_pool(self):
+        dataset = _make_dataset(seed=11)
+        replacement = _make_dataset(seed=12)
+        pool = WorkerPool(
+            2, "thread", similarity=dataset.similarity
+        ).warm()
+        try:
+            session = MapSession(dataset, k=8, pool=pool)
+            session.start(REGION)
+            session.swap_dataset(replacement)
+            # The session replaced the shared pool with an owned one
+            # over the new model; the shared pool is untouched.
+            assert not pool.closed
+            assert session._pool is not pool
+            assert session._owns_pool
+            owned = session._pool
+            session.close()
+            assert owned is not None and owned.closed
+            assert not pool.closed
+        finally:
+            pool.close()
+
+
+class TestManagerSharedPools:
+    def test_sessions_share_one_pool_per_dataset(self):
+        manager = SessionManager(
+            {"a": _make_dataset(seed=21), "b": _make_dataset(seed=22)},
+            session_options={
+                "k": 8, "workers": 2, "parallel_backend": "thread",
+            },
+        )
+        try:
+            first = manager.create(dataset="a")
+            second = manager.create(dataset="a")
+            other = manager.create(dataset="b")
+            pool_a = first.session._pool
+            assert pool_a is not None and pool_a.warmed
+            assert second.session._pool is pool_a
+            assert other.session._pool is not pool_a
+            assert not first.session._owns_pool
+            first.session.start(REGION)
+            manager.remove(first.session_id)
+            # Closing one session leaves the dataset's pool live for
+            # the others.
+            assert not pool_a.closed
+            assert second.session._pool is pool_a
+        finally:
+            manager.close_all()
+        assert pool_a.closed
+
+    def test_close_all_releases_pool_threads(self):
+        baseline = _settled_thread_count()
+        manager = SessionManager(
+            {"a": _make_dataset(seed=23)},
+            session_options={
+                "k": 8, "workers": 4, "parallel_backend": "thread",
+            },
+        )
+        entry = manager.create()
+        entry.session.start(REGION)
+        manager.close_all()
+        manager.close_all()  # idempotent
+        assert _settled_thread_count() <= baseline
+
+    def test_no_workers_means_no_pool(self):
+        manager = SessionManager(
+            {"a": _make_dataset(seed=24)}, session_options={"k": 8}
+        )
+        try:
+            entry = manager.create()
+            assert entry.session._pool is None
+        finally:
+            manager.close_all()
