@@ -71,6 +71,8 @@ ORDER = [
     "ablation_predicted_prefetch",
     "parallel_scaling",
     "parallel_delta_steps",
+    "temporal_slider",
+    "temporal_streaming",
 ]
 
 #: Gated metrics per machine-readable bench file, as
@@ -103,6 +105,11 @@ GATED_METRICS: dict[str, list[tuple[str, str]]] = {
         ("speedup_median", "higher"),
         ("tiled.p95_ms", "lower"),
         ("bit_identical", "true"),
+    ],
+    "BENCH_temporal.json": [
+        ("slider.speedup_median", "higher"),
+        ("slider.bit_identical", "true"),
+        ("streaming.ingest_per_s", "higher"),
     ],
 }
 

@@ -44,7 +44,11 @@ from repro.core import (
     Prefetcher,
     RegionQuery,
     SelectionResult,
+    StreamLengthMismatch,
     StreamingSelector,
+    TemporalPrefetchData,
+    TemporalPrefetcher,
+    TimeWindowQuery,
     assign_representatives,
     exact_select,
     greedy_select,
@@ -119,8 +123,12 @@ __all__ = [
     "SelectionResult",
     "SimilarityCache",
     "Span",
+    "StreamLengthMismatch",
     "StreamingSelector",
+    "TemporalPrefetchData",
+    "TemporalPrefetcher",
     "Tier",
+    "TimeWindowQuery",
     "Tracer",
     "WorkerPool",
     "__version__",

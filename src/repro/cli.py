@@ -127,11 +127,31 @@ def _parse_region(text: str) -> BoundingBox:
         raise argparse.ArgumentTypeError(str(exc)) from None
 
 
+def _parse_window(text: str) -> tuple[float, float]:
+    parts = text.split(",")
+    if len(parts) != 2:
+        raise argparse.ArgumentTypeError(
+            "time window must be 't_start,t_end'"
+        )
+    try:
+        t_start, t_end = (float(p) for p in parts)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad time window {text!r}"
+        ) from None
+    if t_end <= t_start:
+        raise argparse.ArgumentTypeError(f"empty time window {text!r}")
+    return t_start, t_end
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     factory = _PRESETS[args.preset]
-    dataset = factory(n=args.n, seed=args.seed)
+    dataset = factory(
+        n=args.n, seed=args.seed, with_timestamps=args.timestamps
+    )
     save_jsonl(dataset, args.out)
-    print(f"wrote {len(dataset):,} objects to {args.out}")
+    stamped = " (timestamped)" if args.timestamps else ""
+    print(f"wrote {len(dataset):,} objects to {args.out}{stamped}")
     return 0
 
 
@@ -198,8 +218,42 @@ def _cmd_select(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_step(step, args) -> None:
+    flags = " [prefetched]" if step.used_prefetch else ""
+    if step.warm_started:
+        flags += " [warm]"
+    if step.tile_seeded:
+        flags += " [tiles]"
+    if step.delta_seeded:
+        flags += " [delta]"
+    if step.temporal_seeded:
+        flags += " [temporal]"
+    if step.degraded:
+        flags += f" [degraded:{step.tier}]"
+    if args.cache:
+        flags += f" [cache {step.cache_hits}h/{step.cache_misses}m]"
+    if step.time_window is not None:
+        flags += (
+            f" [t {step.time_window[0]:.3f}..{step.time_window[1]:.3f})"
+        )
+    print(
+        f"{step.operation:8s} {len(step.result):3d} markers  "
+        f"score={step.result.score:.4f}  "
+        f"{step.elapsed_s * 1000:8.1f} ms{flags}"
+    )
+    if args.trace_summary and step.span is not None:
+        print(format_span_tree(step.span))
+
+
 def _cmd_explore(args: argparse.Namespace) -> int:
     dataset = load_jsonl(args.corpus)
+    if args.time_window is not None and dataset.ts is None:
+        print(
+            "corpus has no timestamps; regenerate with "
+            "'generate --timestamps'",
+            file=sys.stderr,
+        )
+        return 2
     rng = np.random.default_rng(args.seed)
     trace = random_navigation_trace(
         dataset, args.steps, region_fraction=args.region_fraction, rng=rng
@@ -228,11 +282,13 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         fault_injector=injector,
         similarity_cache=args.cache,
         warm_start=not args.no_warm_start,
+        delta=args.delta,
         tiles=tiles,
         metrics=metrics,
         workers=args.workers,
         batch_size=args.batch_size,
         tracer=tracer,
+        time_window=args.time_window,
     )
     if (
         session.tiles is not None
@@ -244,22 +300,13 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     for step in trace.replay(session):
-        flags = " [prefetched]" if step.used_prefetch else ""
-        if step.warm_started:
-            flags += " [warm]"
-        if step.tile_seeded:
-            flags += " [tiles]"
-        if step.degraded:
-            flags += f" [degraded:{step.tier}]"
-        if args.cache:
-            flags += f" [cache {step.cache_hits}h/{step.cache_misses}m]"
-        print(
-            f"{step.operation:8s} {len(step.result):3d} markers  "
-            f"score={step.result.score:.4f}  "
-            f"{step.elapsed_s * 1000:8.1f} ms{flags}"
-        )
-        if args.trace_summary and step.span is not None:
-            print(format_span_tree(step.span))
+        _print_step(step, args)
+    if args.time_window is not None and args.time_steps:
+        dt = args.time_dt
+        if dt is None:
+            dt = (args.time_window[1] - args.time_window[0]) / 2.0
+        for _ in range(args.time_steps):
+            _print_step(session.time_step(dt), args)
     session.close()
     if args.trace:
         write_chrome_trace(tracer, args.trace)
@@ -430,6 +477,10 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--n", type=int, default=None,
                      help="object count (preset default if omitted)")
     gen.add_argument("--seed", type=int, default=2018)
+    gen.add_argument("--timestamps", action="store_true",
+                     help="attach per-object event times in [0, 1] "
+                          "(bursty per-topic model; enables the time "
+                          "axis in explore/serve)")
     gen.add_argument("--out", required=True, help="output JSONL path")
     gen.set_defaults(func=_cmd_generate)
 
@@ -484,6 +535,20 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--no-warm-start", action="store_true",
                      help="keep the similarity cache but disable "
                           "selection warm starts")
+    exp.add_argument("--delta", action="store_true",
+                     help="maintain O(delta) heap-seeding bounds "
+                          "between steps (docs/DELTA.md)")
+    exp.add_argument("--time-window", type=_parse_window, default=None,
+                     metavar="T0,T1",
+                     help="restrict every step to objects with "
+                          "t in [T0, T1); requires a corpus generated "
+                          "with --timestamps")
+    exp.add_argument("--time-steps", type=int, default=0,
+                     help="slide the time window this many times after "
+                          "the spatial trace (docs/TEMPORAL.md)")
+    exp.add_argument("--time-dt", type=float, default=None,
+                     help="stride of each time-slider step "
+                          "(default: half the window span)")
     exp.add_argument("--workers", type=_parse_workers, default=0,
                      help="worker pool size for selections and "
                           "prefetch precompute (integer or 'auto')")

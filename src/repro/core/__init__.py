@@ -27,6 +27,7 @@ from repro.core.problem import (
     IsosQuery,
     RegionQuery,
     SelectionResult,
+    TimeWindowQuery,
 )
 from repro.core.sampling import (
     hoeffding_sample_size,
@@ -44,7 +45,8 @@ from repro.core.session import (
     NavigationStep,
     theta_fraction_for_screen,
 )
-from repro.core.streaming import StreamingSelector
+from repro.core.streaming import StreamingSelector, StreamLengthMismatch
+from repro.core.temporal import TemporalPrefetchData, TemporalPrefetcher
 
 __all__ = [
     "Aggregation",
@@ -59,7 +61,11 @@ __all__ = [
     "Prefetcher",
     "RegionQuery",
     "SelectionResult",
+    "StreamLengthMismatch",
     "StreamingSelector",
+    "TemporalPrefetchData",
+    "TemporalPrefetcher",
+    "TimeWindowQuery",
     "assign_representatives",
     "exact_select",
     "greedy_select",

@@ -46,6 +46,12 @@ class GeoDataset:
         Spatial index for region/radius queries over the same ids.
     texts:
         Optional raw text per object (kept for display/examples).
+    ts:
+        Optional per-object event timestamps (float64, any monotone
+        unit — epoch seconds, normalized [0, 1], frame numbers).  The
+        temporal layer (:class:`~repro.core.problem.TimeWindowQuery`,
+        :meth:`MapSession.time_step`) requires it; everything else
+        ignores it.
     """
 
     xs: np.ndarray
@@ -55,6 +61,7 @@ class GeoDataset:
     index: SpatialIndex
     texts: list[str] | None = None
     meta: dict = field(default_factory=dict)
+    ts: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         self.xs = np.asarray(self.xs, dtype=np.float64)
@@ -77,6 +84,12 @@ class GeoDataset:
             raise ValueError("weights must lie in [0, 1]")
         if self.texts is not None and len(self.texts) != n:
             raise ValueError("texts must have one entry per object")
+        if self.ts is not None:
+            self.ts = np.asarray(self.ts, dtype=np.float64)
+            if len(self.ts) != n:
+                raise ValueError("ts must have one entry per object")
+            if n and not np.isfinite(self.ts).all():
+                raise ValueError("timestamps must be finite")
 
     def __len__(self) -> int:
         return len(self.xs)
@@ -95,6 +108,7 @@ class GeoDataset:
         texts: Sequence[str] | None = None,
         index_kind: str = "rtree",
         meta: dict | None = None,
+        ts: np.ndarray | None = None,
     ) -> "GeoDataset":
         """Assemble a dataset, defaulting the pieces sensibly.
 
@@ -103,6 +117,7 @@ class GeoDataset:
         * ``similarity`` defaults to TF-IDF cosine when ``texts`` are
           given, Euclidean-distance similarity otherwise.
         * the spatial index defaults to the R-tree.
+        * ``ts`` attaches optional per-object timestamps.
         """
         xs = np.asarray(xs, dtype=np.float64)
         ys = np.asarray(ys, dtype=np.float64)
@@ -127,6 +142,7 @@ class GeoDataset:
             index=index,
             texts=list(texts) if texts is not None else None,
             meta=meta or {},
+            ts=ts,
         )
 
     @classmethod
@@ -174,6 +190,29 @@ class GeoDataset:
     def objects_in(self, region: BoundingBox) -> np.ndarray:
         """Ids of objects inside ``region`` (sorted)."""
         return self.index.query_region(region)
+
+    def time_mask(self, t_start: float, t_end: float) -> np.ndarray:
+        """Boolean mask of objects with ``t_start <= ts < t_end``.
+
+        Half-open on the right, so adjacent windows tile the timeline
+        without double-counting.  Requires timestamps.
+        """
+        if self.ts is None:
+            raise ValueError("dataset has no timestamps (ts is None)")
+        return (self.ts >= t_start) & (self.ts < t_end)
+
+    def objects_in_window(
+        self, region: BoundingBox, t_start: float, t_end: float
+    ) -> np.ndarray:
+        """Ids inside ``region`` whose timestamp falls in the window.
+
+        The spatio-temporal population: spatial index query first, then
+        the vectorized time filter (sorted ids, like ``objects_in``).
+        """
+        ids = self.objects_in(region)
+        if len(ids) == 0:
+            return ids
+        return ids[self.time_mask(t_start, t_end)[ids]]
 
     def conflicts_with(self, obj_id: int, theta: float) -> np.ndarray:
         """Ids within distance ``theta`` of object ``obj_id`` (incl. itself).

@@ -191,20 +191,36 @@ class DeltaGainMaintainer:
     # Off the response path
     # ------------------------------------------------------------------
 
-    def update(self, dataset: GeoDataset, region: BoundingBox) -> None:
+    def update(
+        self,
+        dataset: GeoDataset,
+        region: BoundingBox,
+        population: np.ndarray | None = None,
+    ) -> None:
         """Maintain the memo for the just-committed ``region``.
 
         Runs after each navigation commit, off the response path.  The
         incremental case touches only the diff: entering sources are
         added into every retained mass with one bulk kernel, entering
         targets get one bulk mass over the source union.
+
+        ``population`` overrides the maintained population (sorted
+        ids); callers with a non-spatial filter — the time-slider's
+        window — pass the filtered population of the *expanded* region
+        so the memo diffs along their axis too.  Without it the
+        population is the expanded region's spatial query.
         """
         expanded = region.expanded(
             self.margin * max(region.width, region.height)
         )
-        population = np.sort(
-            np.asarray(dataset.objects_in(expanded), dtype=np.int64)
-        )
+        if population is None:
+            population = np.sort(
+                np.asarray(dataset.objects_in(expanded), dtype=np.int64)
+            )
+        else:
+            population = np.sort(
+                np.asarray(population, dtype=np.int64)
+            )
         if len(population) == 0 or len(population) > self.max_population:
             self._memo = None
             self.metrics.incr("delta.skipped.population")

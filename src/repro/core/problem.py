@@ -63,6 +63,84 @@ class RegionQuery:
 
 
 @dataclass(frozen=True)
+class TimeWindowQuery:
+    """An SOS query restricted to a half-open time window.
+
+    Composes the spatial :class:`RegionQuery` with a time interval
+    ``[t_start, t_end)``: the population is the objects inside the
+    region *whose timestamp falls in the window*
+    (:meth:`~repro.core.dataset.GeoDataset.objects_in_window`).  The
+    half-open convention lets adjacent windows tile the timeline with
+    no object counted twice — stepping a time slider by the window
+    span visits every object exactly once.
+    """
+
+    region: BoundingBox
+    k: int
+    theta: float
+    t_start: float
+    t_end: float
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise ValueError(f"k must be positive, got {self.k}")
+        if self.theta < 0:
+            raise ValueError(f"theta must be non-negative, got {self.theta}")
+        if not (
+            np.isfinite(self.t_start) and np.isfinite(self.t_end)
+        ):
+            raise ValueError("time window bounds must be finite")
+        if self.t_end <= self.t_start:
+            raise ValueError(
+                f"empty time window [{self.t_start}, {self.t_end})"
+            )
+
+    @property
+    def span(self) -> float:
+        """Window length ``t_end - t_start``."""
+        return self.t_end - self.t_start
+
+    @property
+    def window(self) -> tuple[float, float]:
+        """The ``(t_start, t_end)`` pair."""
+        return (self.t_start, self.t_end)
+
+    @property
+    def spatial(self) -> RegionQuery:
+        """The spatial projection (drops the time dimension)."""
+        return RegionQuery(region=self.region, k=self.k, theta=self.theta)
+
+    def shifted(self, dt: float) -> "TimeWindowQuery":
+        """The same query with the window translated by ``dt``
+        (one time-slider step)."""
+        return TimeWindowQuery(
+            region=self.region,
+            k=self.k,
+            theta=self.theta,
+            t_start=self.t_start + dt,
+            t_end=self.t_end + dt,
+        )
+
+    @classmethod
+    def with_theta_fraction(
+        cls,
+        region: BoundingBox,
+        k: int,
+        t_start: float,
+        t_end: float,
+        theta_fraction: float = 0.003,
+    ) -> "TimeWindowQuery":
+        """Window query whose ``θ`` follows the region-relative rule."""
+        return cls(
+            region=region,
+            k=k,
+            theta=RegionQuery.theta_for(region, theta_fraction),
+            t_start=t_start,
+            t_end=t_end,
+        )
+
+
+@dataclass(frozen=True)
 class IsosQuery:
     """An ISOS query (Def. 3.6).
 

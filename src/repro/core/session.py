@@ -55,6 +55,7 @@ from repro.core.delta import DEFAULT_MARGIN, DeltaGainMaintainer
 from repro.core.prediction import NavigationPredictor
 from repro.core.prefetch import PrefetchData, Prefetcher
 from repro.core.problem import Aggregation, SelectionResult
+from repro.core.temporal import TemporalPrefetchData, TemporalPrefetcher
 from repro.geo.bbox import BoundingBox
 from repro.metrics import MetricsRegistry
 from repro.parallel import WorkerPool, resolve_workers
@@ -119,6 +120,12 @@ class NavigationStep:
     # Whether the incrementally maintained delta memo seeded the heap
     # (pan/zoom-out overlap case; see repro.core.delta).
     delta_seeded: bool = False
+    # Whether precomputed temporal-window masses seeded the heap (the
+    # time-slider analogue of used_prefetch; see repro.core.temporal).
+    temporal_seeded: bool = False
+    # The half-open time window active after this step (None when the
+    # session navigates space only).
+    time_window: tuple[float, float] | None = None
     cache_hits: int = 0
     cache_misses: int = 0
     # Warm-pool observability for this step: gain sweeps served by an
@@ -255,6 +262,22 @@ class MapSession:
         ``similarity_cache``.  The session uses it for gain sweeps but
         never closes it — :meth:`close` and :meth:`swap_dataset`
         detach instead; the owner controls the pool lifecycle.
+    time_window:
+        Optional initial half-open time window ``(t_start, t_end)``.
+        Requires dataset timestamps; every population (including the
+        initial one) is then the spatio-temporal intersection, and
+        :meth:`time_step` / :meth:`set_time_window` slide or jump the
+        window (see ``docs/TEMPORAL.md``).  A window can also be
+        introduced mid-session via :meth:`set_time_window`.
+    time_hysteresis:
+        Selection-consistency hysteresis for :meth:`time_step`
+        (default 0.5), analogous to the streaming ``swap_margin``:
+        when at least this fraction of the visible selection survives
+        the window shift, the survivors are carried as the mandatory
+        set ``D`` (no marker flicker on small steps); below it the
+        step re-anchors with a fresh selection (``D = ∅``), counted in
+        ``session.temporal_reanchors``.  ``0`` always carries
+        survivors; ``1`` effectively always re-anchors.
     """
 
     def __init__(
@@ -286,6 +309,8 @@ class MapSession:
         parallel_backend: str = "auto",
         pool: WorkerPool | None = None,
         tracer: TracerLike | None = None,
+        time_window: tuple[float, float] | None = None,
+        time_hysteresis: float = 0.5,
     ) -> None:
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
@@ -295,6 +320,20 @@ class MapSession:
             raise ValueError("zoom_out_max_scale must exceed 1")
         if deadline_s is not None and deadline_s <= 0:
             raise ValueError(f"deadline_s must be positive, got {deadline_s}")
+        if not 0.0 <= time_hysteresis <= 1.0:
+            raise ValueError(
+                f"time_hysteresis must be in [0, 1], got {time_hysteresis}"
+            )
+        if time_window is not None:
+            if dataset.ts is None:
+                raise ValueError(
+                    "time_window requires dataset timestamps (ts is None)"
+                )
+            if len(time_window) != 2:
+                raise ValueError("time_window must be a (t_start, t_end) pair")
+            time_window = (float(time_window[0]), float(time_window[1]))
+            if time_window[1] <= time_window[0]:
+                raise ValueError(f"empty time window {time_window}")
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         # The tracer threads through every downstream component (pool,
         # prefetcher, ladder, greedy) so one navigation yields one span
@@ -415,6 +454,24 @@ class MapSession:
         )
         self._prefetch_data: dict[str, PrefetchData] = {}
         self._prefetch_errors: dict[str, str] = {}
+        # Temporal state: the active window, the slider hysteresis, the
+        # last step stride (drives which windows get prefetched), and
+        # the temporal prefetcher's precomputed masses keyed by the
+        # exact (t_start, t_end) they cover.
+        self.time_window = time_window
+        self.time_hysteresis = time_hysteresis
+        self._last_time_dt: float | None = None
+        self._temporal_prefetcher: TemporalPrefetcher | None = None
+        if dataset.ts is not None:
+            self._temporal_prefetcher = TemporalPrefetcher(
+                dataset,
+                pool=self._pool,
+                fault_injector=fault_injector,
+                tracer=self.tracer,
+            )
+        self._temporal_prefetch: dict[
+            tuple[float, float], TemporalPrefetchData
+        ] = {}
         self._index_fallback = False
         self.index_fallbacks = 0  # lifetime count, for observability
         self.region: BoundingBox | None = None
@@ -462,7 +519,7 @@ class MapSession:
     def start(self, region: BoundingBox) -> NavigationStep:
         """Open the session on ``region`` with a plain SOS selection."""
         theta = self._theta_for(region)
-        region_ids = self._objects_in(region)
+        region_ids = self._population(region)
         cache_before = self._cache_counters()
         pool_before = self._pool_policy_counters()
         # repro-lint: disable=RL002 -- reporting-only duration measurement (elapsed_s/op timing); never influences which objects are selected
@@ -595,6 +652,22 @@ class MapSession:
         )
         self._prefetch_data = {}
         self._prefetch_errors = {}
+        # Temporal material sums the old model's similarities too; the
+        # prefetcher is rebuilt over the new dataset (and dropped — with
+        # the active window — when the new dataset carries no
+        # timestamps).
+        self._temporal_prefetch = {}
+        self._last_time_dt = None
+        if dataset.ts is not None:
+            self._temporal_prefetcher = TemporalPrefetcher(
+                dataset,
+                pool=self._pool,
+                fault_injector=self.fault_injector,
+                tracer=self.tracer,
+            )
+        else:
+            self._temporal_prefetcher = None
+            self.time_window = None
         self.region = None
         self.visible = np.empty(0, dtype=np.int64)
         if self.tiles is not None and not self.tiles.compatible_with(dataset):
@@ -619,7 +692,7 @@ class MapSession:
                 "zoom-in target must lie inside the current viewport"
             )
 
-        new_ids = self._objects_in(new_region)
+        new_ids = self._population(new_region)
         inside = new_region.contains_many(
             self.dataset.xs[self.visible], self.dataset.ys[self.visible]
         )
@@ -640,7 +713,7 @@ class MapSession:
                 "zoom-out target must contain the current viewport"
             )
 
-        new_ids = self._objects_in(new_region)
+        new_ids = self._population(new_region)
         # Objects of the old viewport that were invisible cannot appear
         # at the coarser granularity (zooming consistency): candidates
         # are the newly exposed objects plus the previously visible.
@@ -673,7 +746,7 @@ class MapSession:
         ):
             raise InvalidNavigation("pan must preserve the viewport size")
 
-        new_ids = self._objects_in(new_region)
+        new_ids = self._population(new_region)
         inside = new_region.contains_many(
             self.dataset.xs[self.visible], self.dataset.ys[self.visible]
         )
@@ -685,6 +758,70 @@ class MapSession:
         )
         candidates = np.setdiff1d(new_ids[~in_old], mandatory, assume_unique=True)
         return self._navigate("pan", new_region, new_ids, mandatory, candidates)
+
+    def set_time_window(
+        self, t_start: float, t_end: float
+    ) -> NavigationStep:
+        """Jump the time window to ``[t_start, t_end)`` (same viewport).
+
+        A jump re-anchors: nothing is mandatory (``D = ∅``) and the
+        whole new spatio-temporal population is candidate — the window
+        may land anywhere on the timeline, so there is no consistency
+        relation to preserve.  Use :meth:`time_step` for slider motion,
+        which carries surviving markers across steps.
+        """
+        region = self._require_region()
+        self._require_timestamps()
+        window = (float(t_start), float(t_end))
+        if window[1] <= window[0]:
+            raise ValueError(f"empty time window {window}")
+        new_ids = self._population(region, window=window)
+        return self._navigate(
+            "set_time_window",
+            region,
+            new_ids,
+            np.empty(0, dtype=np.int64),
+            new_ids,
+            new_window=window,
+        )
+
+    def time_step(self, dt: float) -> NavigationStep:
+        """Slide the active time window by ``dt`` (same viewport).
+
+        The temporal analogue of :meth:`pan`, with selection
+        consistency governed by hysteresis instead of hard constraints
+        (time has no visibility geometry): when at least
+        ``time_hysteresis`` of the visible selection survives into the
+        shifted window, the survivors are mandatory (``D`` = retained
+        visible, ``G`` = rest of the new population) and markers do
+        not flicker; when the window moved past most of them the step
+        re-anchors (``D = ∅``) — a fresh selection beats dragging a
+        near-dead mandatory set along.
+        """
+        region = self._require_region()
+        window = self._require_window()
+        dt = float(dt)
+        new_window = (window[0] + dt, window[1] + dt)
+        new_ids = self._population(region, window=new_window)
+        retained = self.visible[np.isin(self.visible, new_ids)]
+        survival = len(retained) / max(len(self.visible), 1)
+        if len(self.visible) and survival >= self.time_hysteresis:
+            mandatory = retained
+            candidates = np.setdiff1d(new_ids, mandatory, assume_unique=True)
+        else:
+            if len(self.visible):
+                self.metrics.incr("session.temporal_reanchors")
+            mandatory = np.empty(0, dtype=np.int64)
+            candidates = new_ids
+        self._last_time_dt = dt
+        return self._navigate(
+            "time_step",
+            region,
+            new_ids,
+            mandatory,
+            candidates,
+            new_window=new_window,
+        )
 
     # ------------------------------------------------------------------
     # Internals
@@ -699,6 +836,21 @@ class MapSession:
                 "session not started; call start(region) first"
             )
         return self.region
+
+    def _require_timestamps(self) -> None:
+        if self.dataset.ts is None:
+            raise ValueError(
+                "time navigation requires dataset timestamps (ts is None)"
+            )
+
+    def _require_window(self) -> tuple[float, float]:
+        self._require_timestamps()
+        if self.time_window is None:
+            raise ValueError(
+                "no active time window; pass time_window at construction "
+                "or call set_time_window first"
+            )
+        return self.time_window
 
     def _new_deadline(self) -> Deadline | None:
         """Fresh per-operation deadline (``None`` when unconfigured)."""
@@ -725,6 +877,26 @@ class MapSession:
             self.metrics.incr("index.fallbacks")
             mask = region.contains_many(self.dataset.xs, self.dataset.ys)
             return np.flatnonzero(mask).astype(np.int64)
+
+    def _population(
+        self,
+        region: BoundingBox,
+        window: tuple[float, float] | None = None,
+    ) -> np.ndarray:
+        """The population of ``region`` under the session's time window.
+
+        ``window`` overrides the active window (used by the time ops
+        to evaluate their *target* window); with no window anywhere
+        this is exactly :meth:`_objects_in`.  The time filter runs on
+        top of the (fault-tolerant) index query, so index degradation
+        behaves identically with and without a window.
+        """
+        ids = self._objects_in(region)
+        window = self.time_window if window is None else window
+        if window is None or len(ids) == 0:
+            return ids
+        ts = self.dataset.ts[ids]
+        return ids[(ts >= window[0]) & (ts < window[1])]
 
     def _cache_counters(self) -> dict[str, int] | None:
         """Snapshot of the similarity cache's counters (or ``None``)."""
@@ -791,6 +963,38 @@ class MapSession:
             )
         return data.bounds_for(candidates, len(new_ids))
 
+    def _temporal_bounds(
+        self,
+        new_region: BoundingBox,
+        new_window: tuple[float, float],
+        new_ids: np.ndarray,
+        candidates: np.ndarray,
+    ) -> np.ndarray | None:
+        """Temporal-prefetch bounds for this window step, or ``None``.
+
+        Serves only when the precomputed data targets exactly this
+        (region, window) *and* covers the realized population (an
+        index fallback that disagrees with the sweep's population must
+        degrade to the next tier, never to a wrong bound — the sums
+        are over the sweep's population ``P``, valid iff
+        ``On ⊆ P``).
+        """
+        data = self._temporal_prefetch.get(new_window)
+        if (
+            data is None
+            or len(new_ids) == 0
+            or not data.matches(new_region, new_window)
+            or not data.covers(new_ids)
+            or not data.covers(candidates)
+        ):
+            return None
+        try:
+            bounds = data.bounds_for(candidates, len(new_ids))
+        except PrefetchUnavailable:
+            return None
+        self.metrics.incr("session.temporal_prefetch_serves")
+        return bounds
+
     def _navigate(
         self,
         operation: str,
@@ -798,17 +1002,35 @@ class MapSession:
         new_ids: np.ndarray,
         mandatory: np.ndarray,
         candidates: np.ndarray,
+        new_window: tuple[float, float] | None = None,
     ) -> NavigationStep:
         theta = self._theta_for(new_region)
+        window_changed = (
+            new_window is not None and new_window != self.time_window
+        )
+        if window_changed and self._selection_cache is not None:
+            # Captured warm-start masses were harvested over the old
+            # window's population; the new window can admit objects
+            # that population never covered, so the containment
+            # argument behind the warm bounds no longer holds.
+            self._selection_cache.invalidate()
         bounds = None
         used_prefetch = False
         warm_started = False
+        temporal_seeded = False
         if self.prefetch_enabled:
             try:
                 bounds = self._prefetch_bounds(operation, candidates, new_ids)
                 used_prefetch = True
             except PrefetchUnavailable:
                 bounds = None  # serve cold
+        if bounds is None and new_window is not None:
+            # Precomputed Lemma-5.1 masses for this exact window step
+            # (maintained off-path after the previous temporal commit).
+            bounds = self._temporal_bounds(
+                new_region, new_window, new_ids, candidates
+            )
+            temporal_seeded = bounds is not None
         if (
             bounds is None
             and self._selection_cache is not None
@@ -838,6 +1060,7 @@ class MapSession:
             mandatory=int(len(mandatory)),
             used_prefetch=used_prefetch,
             warm_started=warm_started,
+            temporal_seeded=temporal_seeded,
             delta_seeded=delta_seeded,
         ) as span:
             if bounds is None:
@@ -873,7 +1096,11 @@ class MapSession:
         # repro-lint: disable=RL002 -- reporting-only duration measurement (elapsed_s/op timing); never influences which objects are selected
         elapsed = time.perf_counter() - started
         if (
-            used_prefetch or warm_started or tile_seeded or delta_seeded
+            used_prefetch
+            or warm_started
+            or tile_seeded
+            or delta_seeded
+            or temporal_seeded
         ) and self.equivalence_check:
             self._assert_equivalent(
                 operation, result, new_ids, candidates, mandatory, theta
@@ -887,6 +1114,8 @@ class MapSession:
             warm_started=warm_started,
             tile_seeded=tile_seeded,
             delta_seeded=delta_seeded,
+            temporal_seeded=temporal_seeded,
+            new_window=new_window,
             pool_before=pool_before,
             span=span if self.tracer.enabled else None,
         )
@@ -949,11 +1178,15 @@ class MapSession:
         warm_started: bool = False,
         tile_seeded: bool = False,
         delta_seeded: bool = False,
+        temporal_seeded: bool = False,
+        new_window: tuple[float, float] | None = None,
         pool_before: dict[str, float] | None = None,
         span: Span | None = None,
     ) -> NavigationStep:
         self.region = region
         self.visible = result.selected
+        if new_window is not None:
+            self.time_window = (float(new_window[0]), float(new_window[1]))
         stats = dict(result.stats)
         stats["index_fallback"] = self._index_fallback
         # Per-step similarity-cache movement: delta of the cache's
@@ -1002,6 +1235,8 @@ class MapSession:
             warm_started=warm_started,
             tile_seeded=tile_seeded,
             delta_seeded=delta_seeded,
+            temporal_seeded=temporal_seeded,
+            time_window=self.time_window,
             pool_reuse=pool_reuse,
             shard_skipped_serial=shard_skipped_serial,
             cache_hits=cache_hits,
@@ -1062,7 +1297,15 @@ class MapSession:
                 "session.delta_update", operation=operation
             ) as delta_span:
                 try:
-                    self._delta.update(self.dataset, region)
+                    population = None
+                    if self.time_window is not None:
+                        # A windowed session maintains the memo over
+                        # the window-filtered expanded population so
+                        # slider steps diff along the time axis too.
+                        population = self._temporal_delta_population(region)
+                    self._delta.update(
+                        self.dataset, region, population=population
+                    )
                 except Exception:
                     self.metrics.incr("delta.update_errors")
                     self._delta.invalidate()
@@ -1070,7 +1313,57 @@ class MapSession:
                 delta_span.annotate(
                     memo_population=0 if memo is None else len(memo.ids)
                 )
+        # Temporal prefetch runs last, also off-path: sweep Lemma-5.1
+        # masses for the next/previous slider positions at the stride
+        # the user last stepped (the window's own span before any
+        # step).  Failures drop the material — the next step serves
+        # from the remaining tiers.
+        if (
+            self.prefetch_enabled
+            and self._temporal_prefetcher is not None
+            and self.time_window is not None
+        ):
+            with self.tracer.span(
+                "session.temporal_prefetch", operation=operation
+            ) as temporal_span:
+                dt = self._last_time_dt
+                if not dt:
+                    dt = self.time_window[1] - self.time_window[0]
+                try:
+                    self._temporal_prefetch = (
+                        self._temporal_prefetcher.prefetch_steps(
+                            region, self.time_window, dt
+                        )
+                    )
+                except Exception:
+                    self.metrics.incr("temporal.prefetch_errors")
+                    self._temporal_prefetch = {}
+                temporal_span.annotate(
+                    windows=sorted(self._temporal_prefetch), dt=dt
+                )
         return step
+
+    def _temporal_delta_population(self, region: BoundingBox) -> np.ndarray:
+        """Window-filtered population of the delta memo's expanded region.
+
+        Mirrors :meth:`DeltaGainMaintainer.update`'s spatial expansion
+        exactly, and expands the time window by the same margin
+        fraction so slider steps up to ``margin`` of the window span
+        stay inside the memo's source set (the spatial analogue: pans
+        up to half a screen stay inside the expanded region).
+        """
+        margin = self._delta.margin
+        expanded = region.expanded(
+            margin * max(region.width, region.height)
+        )
+        w0, w1 = self.time_window
+        span_t = w1 - w0
+        w0e, w1e = w0 - margin * span_t, w1 + margin * span_t
+        ids = self.dataset.objects_in(expanded)
+        if len(ids) == 0:
+            return ids
+        ts = self.dataset.ts
+        return ids[(ts[ids] >= w0e) & (ts[ids] < w1e)]
 
     def _precompute_prefetch(self) -> None:
         """Refresh prefetch material for all three possible next moves.

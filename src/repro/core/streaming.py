@@ -16,12 +16,28 @@ with a swap-based heuristic:
   on near-ties — the paper's AQP discussion notes users are annoyed by
   results that keep changing).
 
+Live feeds also *lose* objects — retractions, expiring content — so
+the selector supports :meth:`StreamingSelector.remove` and a bulk
+:meth:`StreamingSelector.expire_before` over per-object timestamps.
+Deleting a selected member triggers a greedy refill of the freed
+budget over the surviving population, so the selection stays
+θ-feasible and near-maximal under churn.
+
+Index maintenance is incremental: the visibility conflicts of every
+arrival are answered from a uniform grid over the *selected* members
+(cell size θ, updated in O(1) per selection change) instead of a scan,
+and the materialized dataset/index handle used by
+:meth:`StreamingSelector.reoptimize` is rebuilt only when the stream
+actually mutated since the last build.
+
 The maintained score provably tracks the from-scratch greedy within
 the swap slack on every prefix (tested); a full re-optimization is one
 :meth:`StreamingSelector.reoptimize` call away.
 """
 
 from __future__ import annotations
+
+import math
 
 import numpy as np
 
@@ -31,6 +47,14 @@ from repro.core.problem import Aggregation, RegionQuery
 from repro.geo.bbox import BoundingBox
 from repro.index.rtree import RTreeIndex
 from repro.similarity import SimilarityModel
+
+
+class StreamLengthMismatch(ValueError):
+    """Batch arrays of unequal length passed to :meth:`StreamingSelector.extend`.
+
+    Raised *before* any object is ingested, so a rejected batch never
+    partially applies.
+    """
 
 
 class StreamingSelector:
@@ -54,6 +78,11 @@ class StreamingSelector:
         (``current_score / k``): the default 0.1 means a swap must be
         worth at least 10% of a typical marker.  0 swaps on any
         improvement; larger values trade score for marker stability.
+    aggregation:
+        ``MAX`` (paper default) or ``SUM``.  ``AVG`` is rejected: it is
+        evaluation-only (not monotone submodular), so neither the swap
+        maintenance nor :meth:`reoptimize`'s greedy guarantee applies
+        — matching :func:`~repro.core.greedy.greedy_core`'s contract.
     """
 
     def __init__(
@@ -71,6 +100,12 @@ class StreamingSelector:
             raise ValueError("theta must be non-negative")
         if swap_margin < 0:
             raise ValueError("swap_margin must be non-negative")
+        if aggregation is Aggregation.AVG:
+            raise ValueError(
+                "AVG aggregation is evaluation-only; streaming maintenance "
+                "(and reoptimize) requires a monotone submodular objective "
+                "(use MAX or SUM)"
+            )
         self.similarity = similarity
         self.region = region
         self.k = k
@@ -81,21 +116,38 @@ class StreamingSelector:
         self._xs: list[float] = []
         self._ys: list[float] = []
         self._weights: list[float] = []
-        self._inside: list[int] = []  # ids inside the viewport
+        self._ts: list[float | None] = []
+        self._alive: list[bool] = []
+        self._inside: list[int] = []  # live ids inside the viewport
         self.selected: list[int] = []
         self.arrivals = 0
         self.swaps = 0
+        self.removals = 0
+        self.expired = 0
+        # Incremental conflict index over the *selected* members and a
+        # mutation counter gating dataset/index rematerialization.
+        self._grid = _SelectionGrid(theta)
+        self._mutations = 0
+        self._cached_dataset: GeoDataset | None = None
+        self._cached_at = -1
 
     # ------------------------------------------------------------------
     # Stream interface
     # ------------------------------------------------------------------
 
-    def add(self, x: float, y: float, weight: float = 1.0) -> int:
+    def add(
+        self,
+        x: float,
+        y: float,
+        weight: float = 1.0,
+        ts: float | None = None,
+    ) -> int:
         """Ingest one object; returns its id (arrival order).
 
         The object's similarity row must already be defined by the
         model handed to the constructor (``len(similarity)`` bounds the
-        stream length).
+        stream length).  ``ts`` is an optional event timestamp consumed
+        by :meth:`expire_before`.
         """
         obj_id = len(self._xs)
         if obj_id >= len(self.similarity):
@@ -108,7 +160,10 @@ class StreamingSelector:
         self._xs.append(float(x))
         self._ys.append(float(y))
         self._weights.append(float(weight))
+        self._ts.append(float(ts) if ts is not None else None)
+        self._alive.append(True)
         self.arrivals += 1
+        self._mutations += 1
         if self.region.contains_point(x, y):
             self._inside.append(obj_id)
             self._consider(obj_id)
@@ -119,27 +174,113 @@ class StreamingSelector:
         xs: np.ndarray,
         ys: np.ndarray,
         weights: np.ndarray | None = None,
+        ts: np.ndarray | None = None,
     ) -> None:
-        """Ingest a batch (convenience wrapper over :meth:`add`)."""
-        weights = weights if weights is not None else np.ones(len(xs))
-        for x, y, w in zip(xs, ys, weights):
-            self.add(float(x), float(y), float(w))
+        """Ingest a batch (convenience wrapper over :meth:`add`).
+
+        All arrays must have the same length; a mismatch raises
+        :class:`StreamLengthMismatch` before anything is ingested
+        (``zip`` truncation would silently drop the tail of the longer
+        arrays).
+        """
+        n = len(xs)
+        lengths = {"xs": n, "ys": len(ys)}
+        if weights is not None:
+            lengths["weights"] = len(weights)
+        if ts is not None:
+            lengths["ts"] = len(ts)
+        if len(set(lengths.values())) > 1:
+            raise StreamLengthMismatch(
+                "extend() arrays must have equal lengths, got "
+                + ", ".join(f"{k}={v}" for k, v in lengths.items())
+            )
+        weights = weights if weights is not None else np.ones(n)
+        for i in range(n):
+            self.add(
+                float(xs[i]),
+                float(ys[i]),
+                float(weights[i]),
+                ts=None if ts is None else float(ts[i]),
+            )
+
+    def remove(self, obj_id: int) -> None:
+        """Delete an ingested object (retraction).
+
+        The object leaves the population immediately; if it was
+        selected, the freed budget is greedily refilled from the
+        surviving population so the selection stays θ-feasible and
+        near-maximal.  Removing an unknown or already-removed id
+        raises ``ValueError``.
+        """
+        if not 0 <= obj_id < len(self._xs):
+            raise ValueError(
+                f"unknown stream id {obj_id} "
+                f"(ids 0..{len(self._xs) - 1} have arrived)"
+            )
+        if not self._alive[obj_id]:
+            raise ValueError(f"stream id {obj_id} was already removed")
+        self._drop(obj_id)
+        self.removals += 1
+        self._refill()
+
+    def expire_before(self, cutoff: float) -> int:
+        """Remove every live object with ``ts < cutoff``; returns the count.
+
+        Objects ingested without a timestamp never expire.  One greedy
+        refill runs after the whole sweep, not per object.
+        """
+        doomed = [
+            i
+            for i, (alive, ts) in enumerate(zip(self._alive, self._ts))
+            if alive and ts is not None and ts < cutoff
+        ]
+        for obj_id in doomed:
+            self._drop(obj_id)
+        self.expired += len(doomed)
+        if doomed:
+            self._refill()
+        return len(doomed)
+
+    def _drop(self, obj_id: int) -> None:
+        """Mark one object dead and detach it from population/selection."""
+        self._alive[obj_id] = False
+        self._mutations += 1
+        try:
+            self._inside.remove(obj_id)
+        except ValueError:
+            pass  # was outside the viewport
+        if obj_id in self.selected:
+            self.selected.remove(obj_id)
+            self._grid.remove(obj_id, self._xs[obj_id], self._ys[obj_id])
 
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
 
     def _dataset(self) -> GeoDataset:
-        """Materialize the current state for scoring/greedy reuse."""
+        """Materialize the current state for scoring/greedy reuse.
+
+        The handle (including its R-tree) is cached and rebuilt only
+        when the stream mutated since the last build — repeated
+        :meth:`reoptimize`/:meth:`score` calls on a quiet stream pay
+        no index construction.
+        """
+        if (
+            self._cached_dataset is not None
+            and self._cached_at == self._mutations
+        ):
+            return self._cached_dataset
         xs = np.asarray(self._xs)
         ys = np.asarray(self._ys)
-        return GeoDataset(
+        self._cached_dataset = GeoDataset(
             xs=xs,
             ys=ys,
             weights=np.asarray(self._weights),
             similarity=_UniversePrefix(self.similarity, len(xs)),
             index=RTreeIndex(xs, ys),
         )
+        self._cached_at = self._mutations
+        return self._cached_dataset
 
     def score(self) -> float:
         """Current ``Sim(O, S)`` over the viewport population."""
@@ -174,20 +315,39 @@ class StreamingSelector:
             return sims.max(axis=0)
         if self.aggregation is Aggregation.SUM:
             return sims.sum(axis=0)
-        return sims.mean(axis=0)
+        # AVG is rejected at construction; reaching here is a bug.
+        raise AssertionError(f"unreachable aggregation {self.aggregation}")
 
     def _conflicts(self, obj_id: int, selection: list[int]) -> list[int]:
+        """Selected members within θ of ``obj_id`` (incrementally indexed).
+
+        Served from the selection grid: only members in the 3x3 cell
+        neighbourhood of the query point are distance-tested, and the
+        grid is updated in O(1) as the selection changes — no per-
+        arrival rebuild, no full scan.
+        """
         x, y = self._xs[obj_id], self._ys[obj_id]
         return [
             s
-            for s in selection
+            for s in self._grid.near(x, y)
             if np.hypot(self._xs[s] - x, self._ys[s] - y) < self.theta
         ]
+
+    def _select(self, obj_id: int) -> None:
+        self.selected.append(obj_id)
+        self._grid.insert(obj_id, self._xs[obj_id], self._ys[obj_id])
+
+    def _set_selection(self, selection: list[int]) -> None:
+        """Wholesale replacement (reoptimize/swap), grid resynced."""
+        self.selected = list(selection)
+        self._grid.rebuild(
+            ((s, self._xs[s], self._ys[s]) for s in self.selected)
+        )
 
     def _consider(self, obj_id: int) -> None:
         conflicts = self._conflicts(obj_id, self.selected)
         if not conflicts and len(self.selected) < self.k:
-            self.selected.append(obj_id)
+            self._select(obj_id)
             return
 
         # Candidate swap: displace conflicts (or, at full budget, the
@@ -225,13 +385,49 @@ class StreamingSelector:
         trial_score = float(np.dot(weights, self._aggregate(trial_sims)) / norm)
         hysteresis = self.swap_margin * current_score / max(self.k, 1)
         if trial_score > current_score + hysteresis:
-            self.selected = trial
+            self._set_selection(trial)
             self.swaps += 1
+
+    def _refill(self) -> None:
+        """Greedily refill freed budget after deletions.
+
+        Standard greedy over the surviving population: repeatedly add
+        the θ-feasible candidate with the best score improvement until
+        the budget is full or no candidate improves.  Deterministic:
+        ties keep the earliest arrival.
+        """
+        if not self._inside:
+            return
+        inside = np.asarray(self._inside, dtype=np.int64)
+        weights = np.asarray(self._weights)[inside]
+        norm = max(len(self._inside), 1)
+        while len(self.selected) < self.k:
+            sims = self._sims_matrix(self.selected)
+            base = self._aggregate(sims)
+            current = float(np.dot(weights, base) / norm)
+            chosen = None
+            chosen_score = current
+            taken = set(self.selected)
+            for cand in self._inside:
+                if cand in taken or self._conflicts(cand, self.selected):
+                    continue
+                row = self.similarity.sims_to(int(cand), inside)
+                if self.aggregation is Aggregation.MAX:
+                    agg = np.maximum(base, row) if len(sims) else row
+                else:
+                    agg = base + row if len(sims) else row
+                trial = float(np.dot(weights, agg) / norm)
+                if trial > chosen_score + 1e-12:
+                    chosen = cand
+                    chosen_score = trial
+            if chosen is None:
+                return
+            self._select(chosen)
 
     def reoptimize(self) -> None:
         """Replace the maintained selection with a fresh greedy run."""
         if not self._inside:
-            self.selected = []
+            self._set_selection([])
             return
         dataset = self._dataset()
         result = greedy_core(
@@ -243,15 +439,79 @@ class StreamingSelector:
             theta=self.theta,
             aggregation=self.aggregation,
         )
-        self.selected = [int(i) for i in result.selected]
+        self._set_selection([int(i) for i in result.selected])
 
     def as_query(self) -> RegionQuery:
         """The equivalent one-shot SOS query over the current state."""
         return RegionQuery(region=self.region, k=self.k, theta=self.theta)
 
 
+class _SelectionGrid:
+    """Uniform grid over the selected members, cell size θ.
+
+    Any point within θ of a query location lies in the 3x3 cell
+    neighbourhood around it, so conflict checks touch O(1) cells.
+    Insert/remove are O(1); the grid never rebuilds on arrivals, only
+    on wholesale selection replacement (:meth:`rebuild`, O(k)).
+    With θ = 0 conflicts are impossible (strict ``dist < θ``) and the
+    grid stays empty.
+    """
+
+    def __init__(self, cell: float) -> None:
+        self._cell = cell
+        self._cells: dict[tuple[int, int], list[int]] = {}
+
+    def _key(self, x: float, y: float) -> tuple[int, int]:
+        return (
+            int(math.floor(x / self._cell)),
+            int(math.floor(y / self._cell)),
+        )
+
+    def insert(self, obj_id: int, x: float, y: float) -> None:
+        if self._cell <= 0:
+            return
+        self._cells.setdefault(self._key(x, y), []).append(obj_id)
+
+    def remove(self, obj_id: int, x: float, y: float) -> None:
+        if self._cell <= 0:
+            return
+        key = self._key(x, y)
+        bucket = self._cells.get(key)
+        if bucket is None:
+            return
+        try:
+            bucket.remove(obj_id)
+        except ValueError:
+            return
+        if not bucket:
+            del self._cells[key]
+
+    def rebuild(self, members) -> None:
+        """Resync from ``(id, x, y)`` triples (wholesale replacement)."""
+        self._cells.clear()
+        for obj_id, x, y in members:
+            self.insert(obj_id, x, y)
+
+    def near(self, x: float, y: float) -> list[int]:
+        """Members in the 3x3 neighbourhood of ``(x, y)`` (arrival order)."""
+        if self._cell <= 0 or not self._cells:
+            return []
+        cx, cy = self._key(x, y)
+        found: list[int] = []
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                found.extend(self._cells.get((cx + dx, cy + dy), ()))
+        found.sort()
+        return found
+
+
 class _UniversePrefix(SimilarityModel):
-    """View of the first ``n`` objects of a larger similarity model."""
+    """View of the first ``n`` objects of a larger similarity model.
+
+    Ids at or beyond the prefix bound raise ``IndexError``: the prefix
+    advertises ``len(view) == n``, and silently reading the base
+    model's later rows would leak objects that have not arrived yet.
+    """
 
     def __init__(self, base: SimilarityModel, n: int) -> None:
         if n > len(base):
@@ -263,7 +523,20 @@ class _UniversePrefix(SimilarityModel):
         return self._n
 
     def sim(self, i: int, j: int) -> float:
+        if not (0 <= i < self._n and 0 <= j < self._n):
+            raise IndexError(
+                f"object id out of the {self._n}-prefix universe: "
+                f"sim({i}, {j})"
+            )
         return self._base.sim(i, j)
 
     def sims_to(self, i: int, ids: np.ndarray) -> np.ndarray:
+        ids = np.asarray(ids, dtype=np.int64)
+        if not 0 <= i < self._n or (
+            len(ids) and (int(ids.min()) < 0 or int(ids.max()) >= self._n)
+        ):
+            raise IndexError(
+                f"object id out of the {self._n}-prefix universe: "
+                f"sims_to({i}, ...)"
+            )
         return self._base.sims_to(i, ids)

@@ -1,0 +1,200 @@
+"""Temporal prefetching for time-slider navigation.
+
+Time is the fourth navigation axis: a :class:`TimeWindowQuery` slides
+a half-open window ``[t0, t1)`` along the timeline while the viewport
+stays put.  The expensive part of serving a slider step is the same as
+for spatial navigation — heap initialization, one exact marginal gain
+per candidate — and the same Lemma 5.1 argument removes it: while the
+user studies the *current* window, precompute for every object of the
+*next* (and *previous*) window the weighted similarity mass
+
+``raw(v) = Σ_{o'∈P} ω_{o'} · Sim(o', v)``
+
+over that window's population ``P``.  When the step lands, the realized
+population ``On`` equals ``P`` (same region, same window), so
+``raw(v)/|On|`` upper-bounds the first-iteration gain by monotonicity
++ submodularity, exactly as in :mod:`repro.core.prefetch`.  A step of
+a *different* stride than the prefetched one simply misses (data is
+keyed by the exact window) and the session falls through to the next
+seeding tier — never a wrong bound.
+
+The sweep runs off the response path (after each commit) and can be
+fanned out over a :class:`~repro.parallel.WorkerPool` via
+:meth:`~repro.parallel.WorkerPool.mass_sweep`, which ships the model
+once through its shared-memory ``process_spec()`` pack.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dataset import GeoDataset
+from repro.geo.bbox import BoundingBox
+from repro.parallel import WorkerPool
+from repro.robustness.errors import PrefetchUnavailable
+from repro.robustness.faults import PREFETCH_COMPUTE, FaultInjector
+from repro.trace.tracer import NULL_TRACER, TracerLike
+
+# Matches repro.tiles.store / repro.core.delta: relative inflation on
+# served bounds so reduction-order ulps can never yield an invalid
+# (too small) upper bound.
+BOUND_SAFETY = 1e-9
+
+
+@dataclass
+class TemporalPrefetchData:
+    """Precomputed Lemma-5.1 masses for one (region, window) pair.
+
+    ``ids`` are the spatio-temporal population of the prefetched
+    window inside ``source_region``; ``raw_sums`` aligns with ``ids``
+    and holds the weighted similarity mass of each object over that
+    population.
+    """
+
+    window: tuple[float, float]
+    source_region: BoundingBox
+    ids: np.ndarray
+    raw_sums: np.ndarray
+    elapsed_s: float
+
+    def __post_init__(self) -> None:
+        self.ids = np.asarray(self.ids, dtype=np.int64)
+        self.raw_sums = np.asarray(self.raw_sums, dtype=np.float64)
+        if len(self.ids) != len(self.raw_sums):
+            raise ValueError("ids and raw_sums must align")
+        self._pos = {int(i): row for row, i in enumerate(self.ids)}
+
+    def matches(
+        self, region: BoundingBox, window: tuple[float, float]
+    ) -> bool:
+        """Whether this data was computed for exactly this step target.
+
+        Temporal bounds are only reused for the precise (region,
+        window) they were swept for — population equality is what makes
+        the masses exact-population bounds, so near-misses fall through
+        to the next seeding tier instead of risking a stale sum.
+        """
+        return (
+            self.source_region == region
+            and self.window[0] == window[0]
+            and self.window[1] == window[1]
+        )
+
+    def covers(self, candidate_ids: np.ndarray) -> bool:
+        """Whether every candidate has a precomputed mass."""
+        candidate_ids = np.asarray(candidate_ids, dtype=np.int64)
+        if len(candidate_ids) == 0:
+            return True
+        return bool(np.isin(candidate_ids, self.ids).all())
+
+    def bounds_for(
+        self, candidate_ids: np.ndarray, population_size: int
+    ) -> np.ndarray:
+        """Upper bounds on first-iteration gains, aligned with candidates.
+
+        Raises :class:`~repro.robustness.PrefetchUnavailable` on a
+        coverage miss so the session's cold-serve fallback engages
+        instead of a bare ``KeyError`` escaping the response path.
+        """
+        if population_size <= 0:
+            raise ValueError("population_size must be positive")
+        try:
+            rows = np.fromiter(
+                (self._pos[int(i)] for i in candidate_ids),
+                dtype=np.int64,
+                count=len(candidate_ids),
+            )
+        except KeyError as exc:
+            raise PrefetchUnavailable(
+                f"temporal prefetch {self.window} has no bound for "
+                f"candidate {exc.args[0]!r}"
+            ) from None
+        return (
+            self.raw_sums[rows]
+            * (1.0 + BOUND_SAFETY)
+            / float(population_size)
+        )
+
+
+class TemporalPrefetcher:
+    """Computes :class:`TemporalPrefetchData` for slider step targets.
+
+    Mirrors :class:`~repro.core.prefetch.Prefetcher`: the same
+    ``prefetch.compute`` fault point (temporal sweeps must also stay
+    off the response path), the same tracer span convention
+    (``prefetch.window``), and the same mass kernel — with an optional
+    :class:`~repro.parallel.WorkerPool` fan-out for large windows.
+    """
+
+    def __init__(
+        self,
+        dataset: GeoDataset,
+        pool: WorkerPool | None = None,
+        fault_injector: FaultInjector | None = None,
+        tracer: TracerLike | None = None,
+    ) -> None:
+        if dataset.ts is None:
+            raise ValueError(
+                "temporal prefetching requires dataset timestamps "
+                "(ts is None)"
+            )
+        self.dataset = dataset
+        self.pool = pool
+        self.fault_injector = fault_injector
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+
+    def _check(self) -> None:
+        if self.fault_injector is not None:
+            self.fault_injector.check(PREFETCH_COMPUTE)
+
+    def _raw_sums(self, ids: np.ndarray) -> np.ndarray:
+        weights = self.dataset.weights[ids]
+        if self.pool is not None:
+            return self.pool.mass_sweep(ids, ids, weights)
+        return self.dataset.similarity.weighted_sims_sum(ids, ids, weights)
+
+    def prefetch_window(
+        self, region: BoundingBox, window: tuple[float, float]
+    ) -> TemporalPrefetchData:
+        """Masses for the population of ``window`` inside ``region``."""
+        t_start, t_end = float(window[0]), float(window[1])
+        with self.tracer.span("prefetch.window") as span:
+            self._check()
+            # repro-lint: disable=RL002 -- reporting-only duration measurement (elapsed_s/op timing); never influences which objects are selected
+            started = time.perf_counter()
+            ids = self.dataset.objects_in_window(region, t_start, t_end)
+            raw = self._raw_sums(ids)
+            span.annotate(objects=len(ids), t_start=t_start, t_end=t_end)
+        return TemporalPrefetchData(
+            window=(t_start, t_end),
+            source_region=region,
+            ids=ids,
+            raw_sums=raw,
+            # repro-lint: disable=RL002 -- reporting-only duration measurement (elapsed_s/op timing); never influences which objects are selected
+            elapsed_s=time.perf_counter() - started,
+        )
+
+    def prefetch_steps(
+        self,
+        region: BoundingBox,
+        window: tuple[float, float],
+        dt: float,
+    ) -> dict[tuple[float, float], TemporalPrefetchData]:
+        """Masses for the next and previous slider positions.
+
+        The two sweeps are what the session runs off-path after each
+        temporal commit: a subsequent ``time_step(+dt)`` or
+        ``time_step(-dt)`` then seeds its heap from the matching entry.
+        """
+        t_start, t_end = float(window[0]), float(window[1])
+        targets = [
+            (t_start + dt, t_end + dt),
+            (t_start - dt, t_end - dt),
+        ]
+        return {
+            target: self.prefetch_window(region, target)
+            for target in targets
+        }

@@ -106,6 +106,7 @@ def generate_clustered(
     spec: DatasetSpec,
     with_texts: bool = True,
     index_kind: str = "rtree",
+    with_timestamps: bool = False,
 ) -> GeoDataset:
     """Materialize a :class:`GeoDataset` from a :class:`DatasetSpec`.
 
@@ -113,6 +114,14 @@ def generate_clustered(
     similarity model is TF-IDF cosine over the generated texts (the
     paper's metric); otherwise it is Euclidean-distance similarity and
     no text is stored (much lighter, used by pure-spatial experiments).
+
+    ``with_timestamps=True`` attaches per-object event times in
+    ``[0, 1]``: each topic gets a burst center and its objects cluster
+    around it (events are stories that flare up and fade), so time
+    windows see topical churn the way viewports see spatial clusters.
+    Timestamps come from a *derived* RNG seeded off ``spec.seed``, so
+    the coordinates/weights/texts are bit-identical with and without
+    timestamps.
     """
     rng = np.random.default_rng(spec.seed)
 
@@ -197,12 +206,26 @@ def generate_clustered(
                 texts, xs, ys, topics, spec.duplicate_fraction, rng
             )
 
+    ts: np.ndarray | None = None
+    if with_timestamps:
+        # Derived RNG: never consumes from `rng`, so every draw above
+        # is bit-identical to the with_timestamps=False stream and
+        # previously-pinned datasets are unchanged.
+        ts_rng = np.random.default_rng((spec.seed, 0x7E3A))
+        burst_centers = ts_rng.random(n_topics)
+        ts = np.clip(
+            burst_centers[topics] + ts_rng.normal(0.0, 0.08, spec.n),
+            0.0,
+            1.0,
+        )
+
     dataset = GeoDataset.build(
         xs, ys,
         weights=weights,
         texts=texts,
         index_kind=index_kind,
         meta={"spec": spec, "topics": topics},
+        ts=ts,
     )
     return dataset
 
@@ -269,7 +292,10 @@ def _scaled(default: int) -> int:
 
 
 def uk_tweets(
-    n: int | None = None, seed: int = 2018, with_texts: bool = True
+    n: int | None = None,
+    seed: int = 2018,
+    with_texts: bool = True,
+    with_timestamps: bool = False,
 ) -> GeoDataset:
     """Analogue of the paper's UK Twitter crawl (1–2M tweets; here ~120k).
 
@@ -283,11 +309,16 @@ def uk_tweets(
         duplicate_fraction=0.45,
         seed=seed,
     )
-    return generate_clustered(spec, with_texts=with_texts)
+    return generate_clustered(
+        spec, with_texts=with_texts, with_timestamps=with_timestamps
+    )
 
 
 def us_tweets(
-    n: int | None = None, seed: int = 2018, with_texts: bool = True
+    n: int | None = None,
+    seed: int = 2018,
+    with_texts: bool = True,
+    with_timestamps: bool = False,
 ) -> GeoDataset:
     """Analogue of the paper's US Twitter crawl (100–200M; here ~600k).
 
@@ -303,11 +334,16 @@ def us_tweets(
         duplicate_fraction=0.45,
         seed=seed,
     )
-    return generate_clustered(spec, with_texts=with_texts)
+    return generate_clustered(
+        spec, with_texts=with_texts, with_timestamps=with_timestamps
+    )
 
 
 def sg_pois(
-    n: int | None = None, seed: int = 2018, with_texts: bool = True
+    n: int | None = None,
+    seed: int = 2018,
+    with_texts: bool = True,
+    with_timestamps: bool = False,
 ) -> GeoDataset:
     """Analogue of the paper's Singapore Foursquare POIs (322k; here ~60k).
 
@@ -327,4 +363,6 @@ def sg_pois(
         duplicate_fraction=0.3,
         seed=seed,
     )
-    return generate_clustered(spec, with_texts=with_texts)
+    return generate_clustered(
+        spec, with_texts=with_texts, with_timestamps=with_timestamps
+    )

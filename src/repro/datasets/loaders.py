@@ -1,10 +1,11 @@
 """Persistence for geospatial corpora (JSON-Lines and CSV).
 
 JSONL is the primary format — one JSON object per line:
-``{"x": ..., "y": ..., "w": ..., "text": ...}`` — streamable,
-diff-able, no binary dependencies.  CSV is provided for interchange
-with spreadsheet/GIS tooling (columns ``x,y,w,text``).  Similarity
-models and indexes are rebuilt on load (they are derived state).
+``{"x": ..., "y": ..., "w": ..., "t": ..., "text": ...}`` —
+streamable, diff-able, no binary dependencies.  CSV is provided for
+interchange with spreadsheet/GIS tooling (columns ``x,y,w[,t][,text]``).
+Similarity models and indexes are rebuilt on load (they are derived
+state); timestamps (``t``) round-trip when the dataset carries them.
 """
 
 from __future__ import annotations
@@ -28,6 +29,8 @@ def save_jsonl(dataset: GeoDataset, path: str | Path) -> None:
                 "y": float(dataset.ys[i]),
                 "w": float(dataset.weights[i]),
             }
+            if dataset.ts is not None:
+                record["t"] = float(dataset.ts[i])
             if dataset.texts is not None:
                 record["text"] = dataset.texts[i]
             handle.write(json.dumps(record, ensure_ascii=False))
@@ -43,11 +46,15 @@ def load_jsonl(
     Texts (when present in the file) reconstruct the TF-IDF cosine
     similarity; otherwise the dataset falls back to Euclidean
     similarity, mirroring :meth:`GeoDataset.build` defaults.
+    Timestamps are all-or-nothing: a file where only some records
+    carry ``t`` is rejected (a silently half-timestamped dataset
+    would make every time window wrong).
     """
     path = Path(path)
     xs: list[float] = []
     ys: list[float] = []
     ws: list[float] = []
+    ts: list[float] = []
     texts: list[str] = []
     any_text = False
     with path.open("r", encoding="utf-8") as handle:
@@ -67,6 +74,16 @@ def load_jsonl(
                     f"{path}:{line_no}: record missing coordinate {exc}"
                 ) from None
             ws.append(float(record.get("w", 1.0)))
+            t = record.get("t")
+            if (t is None and ts) or (
+                t is not None and len(ts) != len(xs) - 1
+            ):
+                raise ValueError(
+                    f"{path}:{line_no}: timestamps must be present on "
+                    "all records or none"
+                )
+            if t is not None:
+                ts.append(float(t))
             text = record.get("text")
             if text is not None:
                 any_text = True
@@ -77,14 +94,19 @@ def load_jsonl(
         weights=np.asarray(ws),
         texts=texts if any_text else None,
         index_kind=index_kind,
+        ts=np.asarray(ts) if ts else None,
     )
 
 
 def save_csv(dataset: GeoDataset, path: str | Path) -> None:
-    """Write the dataset's objects to ``path`` as CSV (``x,y,w[,text]``)."""
+    """Write the dataset's objects to ``path`` as CSV (``x,y,w[,t][,text]``)."""
     path = Path(path)
     with path.open("w", encoding="utf-8", newline="") as handle:
-        fields = ["x", "y", "w"] + (["text"] if dataset.texts else [])
+        fields = ["x", "y", "w"]
+        if dataset.ts is not None:
+            fields.append("t")
+        if dataset.texts:
+            fields.append("text")
         writer = csv.writer(handle)
         writer.writerow(fields)
         for i in range(len(dataset)):
@@ -93,6 +115,8 @@ def save_csv(dataset: GeoDataset, path: str | Path) -> None:
                 f"{float(dataset.ys[i])!r}",
                 f"{float(dataset.weights[i])!r}",
             ]
+            if dataset.ts is not None:
+                row.append(f"{float(dataset.ts[i])!r}")
             if dataset.texts is not None:
                 row.append(dataset.texts[i])
             writer.writerow(row)
@@ -101,7 +125,8 @@ def save_csv(dataset: GeoDataset, path: str | Path) -> None:
 def load_csv(path: str | Path, index_kind: str = "rtree") -> GeoDataset:
     """Rebuild a :class:`GeoDataset` from a CSV written by :func:`save_csv`.
 
-    Requires ``x`` and ``y`` columns; ``w`` defaults to 1.0 and a
+    Requires ``x`` and ``y`` columns; ``w`` defaults to 1.0, a ``t``
+    column (when present) restores per-object timestamps, and a
     ``text`` column (when present) reconstructs the TF-IDF cosine
     similarity.
     """
@@ -109,6 +134,7 @@ def load_csv(path: str | Path, index_kind: str = "rtree") -> GeoDataset:
     xs: list[float] = []
     ys: list[float] = []
     ws: list[float] = []
+    ts: list[float] = []
     texts: list[str] = []
     with path.open("r", encoding="utf-8", newline="") as handle:
         reader = csv.DictReader(handle)
@@ -117,6 +143,7 @@ def load_csv(path: str | Path, index_kind: str = "rtree") -> GeoDataset:
         } <= set(reader.fieldnames):
             raise ValueError(f"{path}: CSV must have 'x' and 'y' columns")
         has_text = "text" in reader.fieldnames
+        has_t = "t" in reader.fieldnames
         for line_no, record in enumerate(reader, start=2):
             try:
                 xs.append(float(record["x"]))
@@ -126,6 +153,13 @@ def load_csv(path: str | Path, index_kind: str = "rtree") -> GeoDataset:
                     f"{path}:{line_no}: invalid coordinates"
                 ) from None
             ws.append(float(record.get("w") or 1.0))
+            if has_t:
+                try:
+                    ts.append(float(record["t"]))
+                except (TypeError, ValueError):
+                    raise ValueError(
+                        f"{path}:{line_no}: invalid timestamp"
+                    ) from None
             if has_text:
                 texts.append(record.get("text") or "")
     return GeoDataset.build(
@@ -134,4 +168,5 @@ def load_csv(path: str | Path, index_kind: str = "rtree") -> GeoDataset:
         weights=np.asarray(ws),
         texts=texts if has_text else None,
         index_kind=index_kind,
+        ts=np.asarray(ts) if has_t else None,
     )

@@ -135,6 +135,37 @@ def _process_gain_blocks(
     ]
 
 
+def _process_mass_blocks(
+    sources_handle: SharedArrayHandle,
+    weights_handle: SharedArrayHandle,
+    targets: list[np.ndarray],
+) -> list[np.ndarray]:
+    """Evaluate weighted-similarity-mass shards inside a process worker.
+
+    The prefetchers' bulk kernel (``weighted_sims_sum``) evaluated over
+    shared-memory source ids/weights: each target shard is one row-wise
+    reduction, so shard boundaries cannot change any output value and
+    the merged sweep is bit-identical to a single in-process call.
+    """
+    if _WORKER_MODEL is None:  # pragma: no cover - defensive
+        raise RuntimeError("process worker initialized without a model")
+    # Drop cached kernel closures before unmapping their segments —
+    # they hold numpy views over prior sweeps' shared memory.
+    _WORKER_KERNELS.clear()
+    source_ids = attach_array(sources_handle)
+    weights = attach_array(weights_handle)
+    release_attachments(
+        keep=_MODEL_SEGMENTS | {sources_handle.name, weights_handle.name}
+    )
+    return [
+        np.asarray(
+            _WORKER_MODEL.weighted_sims_sum(shard, source_ids, weights),
+            dtype=np.float64,
+        )
+        for shard in targets
+    ]
+
+
 class WorkerPool:
     """Deterministic block-parallel executor for the selection stack.
 
@@ -409,6 +440,97 @@ class WorkerPool:
             return [
                 gains for future in futures for gains in future.result()
             ]
+
+    def mass_sweep(
+        self,
+        target_ids: np.ndarray,
+        source_ids: np.ndarray,
+        source_weights: np.ndarray,
+    ) -> np.ndarray:
+        """Sharded ``weighted_sims_sum`` — the prefetchers' bulk kernel.
+
+        ``out[t] = Σ_s source_weights[s] · sim(target_ids[t], source_ids[s])``,
+        computed across workers in contiguous target shards and merged
+        in shard order.  Each output element is an independent row-wise
+        reduction, so the merged sweep is bit-identical to one serial
+        ``weighted_sims_sum`` call at any worker count.  On the process
+        backend the model ships once through its shared-memory
+        ``process_spec()`` pack (pool lifetime) and the source ids /
+        weights ship once per sweep.
+        """
+        target_ids = np.asarray(target_ids, dtype=np.int64)
+        source_ids = np.asarray(source_ids, dtype=np.int64)
+        source_weights = np.asarray(source_weights, dtype=np.float64)
+        self._incr("parallel.mass_sweeps")
+        if len(target_ids) == 0:
+            return np.empty(0, dtype=np.float64)
+
+        def serial() -> np.ndarray:
+            return np.asarray(
+                self.similarity.weighted_sims_sum(
+                    target_ids, source_ids, source_weights
+                ),
+                dtype=np.float64,
+            )
+
+        n_groups = 0
+        if self.concurrent:
+            n_groups = plan_shards(
+                len(target_ids), len(source_ids), self.workers
+            )
+        if n_groups <= 1:
+            if self.concurrent:
+                self._incr("parallel.shard_skipped_serial")
+            return serial()
+        if self.warmed:
+            self._incr("parallel.pool_reuse")
+        shards = [
+            shard
+            for shard in np.array_split(target_ids, n_groups)
+            if len(shard)
+        ]
+        with self.tracer.span(
+            "parallel.mass_sweep",
+            targets=len(target_ids),
+            backend=self.backend,
+        ):
+            if self.backend == "process":
+                executor = self._process_executor()
+                with SharedArrayPack(
+                    {"sources": source_ids, "weights": source_weights}
+                ) as sweep_pack:
+                    handles = sweep_pack.handles
+                    self._incr("parallel.tasks", len(shards))
+                    futures = [
+                        executor.submit(
+                            _process_mass_blocks,
+                            handles["sources"],
+                            handles["weights"],
+                            [shard],
+                        )
+                        for shard in shards
+                    ]
+                    # Submission-order merge — deterministic.
+                    parts = [
+                        part
+                        for future in futures
+                        for part in future.result()
+                    ]
+            else:
+                executor = self._thread_executor()
+                self._incr("parallel.tasks", len(shards))
+                parts = list(
+                    executor.map(
+                        lambda shard: np.asarray(
+                            self.similarity.weighted_sims_sum(
+                                shard, source_ids, source_weights
+                            ),
+                            dtype=np.float64,
+                        ),
+                        shards,
+                    )
+                )
+        return np.concatenate(parts)
 
     def run_all(
         self, thunks: Sequence[Callable[[], Any]]

@@ -27,7 +27,10 @@ anything else             500     bug — check the logs
 Resource model (JSON over HTTP/1.1)::
 
     POST   /v1/sessions                  start (body: dataset/region/k/...)
-    POST   /v1/sessions/{id}/{op}        zoom_in | zoom_out | pan | swap_dataset
+    POST   /v1/sessions/{id}/{op}        zoom_in | zoom_out | pan |
+                                         set_time_window | time_step |
+                                         stream_extend | stream_remove |
+                                         stream_expire | swap_dataset
     DELETE /v1/sessions/{id}             close
     GET    /healthz                      liveness + queue/breaker snapshot
     GET    /metrics                      counters, gauges, timer summaries

@@ -46,6 +46,7 @@ import numpy as np
 
 from repro.core.dataset import GeoDataset
 from repro.core.session import NavigationStep
+from repro.core.streaming import StreamingSelector
 from repro.geo.bbox import BoundingBox
 from repro.metrics import MetricsRegistry
 from repro.robustness.breaker import CircuitBreaker
@@ -54,17 +55,22 @@ from repro.robustness.errors import (
     FaultInjected,
     OverloadShed,
     ServiceClosed,
+    SessionNotStarted,
     UnknownSession,
 )
 from repro.robustness.faults import SERVICE_HANDLE, FaultInjector
 from repro.service.admission import AdmissionController
+from repro.similarity import GrowableEuclideanSimilarity
 from repro.service.retry import RetryBudget, RetryPolicy, run_with_retry
 from repro.service.sessions import SessionEntry, SessionManager
 from repro.trace.tracer import NULL_TRACER, TracerLike
 
 #: Operations a request may name.
 OPERATIONS = (
-    "start", "zoom_in", "zoom_out", "pan", "swap_dataset", "close",
+    "start", "zoom_in", "zoom_out", "pan",
+    "set_time_window", "time_step",
+    "stream_extend", "stream_remove", "stream_expire",
+    "swap_dataset", "close",
 )
 
 #: Session-touching operations (everything but ``start``).
@@ -305,6 +311,10 @@ class SelectionService:
             return await self._handle_swap(
                 entry, params, request_id, deadline
             )
+        if request.op.startswith("stream_"):
+            return await self._handle_stream(
+                entry, request.op, params, request_id, deadline
+            )
         step, attempts = await self._run_step(
             entry, request.op, params, deadline
         )
@@ -318,7 +328,10 @@ class SelectionService:
         region = self._parse_region(params.pop("region", None))
         overrides = {
             key: params.pop(key)
-            for key in ("k", "theta_fraction", "prefetch", "deadline_s")
+            for key in (
+                "k", "theta_fraction", "prefetch", "deadline_s",
+                "time_window", "time_hysteresis",
+            )
             if key in params
         }
         self._reject_extras(params)
@@ -362,6 +375,150 @@ class SelectionService:
         entry.dataset_name = name
         return self._step_response(
             entry, "swap_dataset", request_id, step, attempts
+        )
+
+    def _stream_for(self, entry: SessionEntry) -> StreamingSelector:
+        """The session's long-lived stream, created on first use.
+
+        The stream watches the session's *current* viewport with the
+        session's ``k`` and the θ that viewport implies; its universe
+        is an append-only Euclidean model (arrival coordinates are not
+        known upfront) with ``d_max`` fixed to the viewport diagonal,
+        matching :class:`~repro.similarity.EuclideanSimilarity`'s
+        frame-diagonal default.  Callers hold ``entry.lock``.
+        """
+        if entry.stream is None:
+            session = entry.session
+            region = session.region
+            if region is None:
+                raise SessionNotStarted(
+                    "stream operations require a started session "
+                    "(the stream watches the session's viewport)"
+                )
+            d_max = float(np.hypot(region.width, region.height)) or 1.0
+            theta = session.theta_fraction * max(
+                region.width, region.height
+            )
+            entry.stream = StreamingSelector(
+                GrowableEuclideanSimilarity(d_max=d_max),
+                region,
+                k=session.k,
+                theta=theta,
+                aggregation=session.aggregation,
+            )
+        return entry.stream
+
+    async def _handle_stream(
+        self,
+        entry: SessionEntry,
+        op: str,
+        params: dict[str, Any],
+        request_id: str,
+        deadline: Deadline,
+    ) -> ServiceResponse:
+        """Run one stream mutation under the session lock.
+
+        Mirrors :meth:`_run_step` (worker thread, fault point, retry
+        on injected faults) but mutates the per-session
+        :class:`StreamingSelector` instead of the
+        :class:`~repro.core.session.MapSession`.  The response's
+        ``selection`` is the maintained selection after the mutation;
+        ``detail`` carries the stream's lifetime counters.
+        """
+        if op == "stream_extend":
+            try:
+                xs = np.asarray(params.pop("xs"), dtype=np.float64)
+                ys = np.asarray(params.pop("ys"), dtype=np.float64)
+            except KeyError as exc:
+                raise ValueError(
+                    f"stream_extend requires {exc.args[0]!r}"
+                ) from None
+            weights = params.pop("weights", None)
+            if weights is not None:
+                weights = np.asarray(weights, dtype=np.float64)
+            ts = params.pop("ts", None)
+            if ts is not None:
+                ts = np.asarray(ts, dtype=np.float64)
+            self._reject_extras(params)
+
+            def mutate(stream: StreamingSelector) -> None:
+                # The universe grows first so every arrival's id is in
+                # range; if ingestion then rejects the batch (length
+                # mismatch, bad weight), the universe rolls back to the
+                # arrivals actually ingested so ids stay aligned with
+                # coordinates.
+                stream.similarity.append(xs, ys)
+                try:
+                    stream.extend(xs, ys, weights=weights, ts=ts)
+                except BaseException:
+                    stream.similarity.truncate(stream.arrivals)
+                    raise
+
+        elif op == "stream_remove":
+            try:
+                obj_id = int(params.pop("id"))
+            except KeyError:
+                raise ValueError("stream_remove requires 'id'") from None
+            self._reject_extras(params)
+
+            def mutate(stream: StreamingSelector) -> None:
+                stream.remove(obj_id)
+
+        elif op == "stream_expire":
+            try:
+                cutoff = float(params.pop("cutoff"))
+            except KeyError:
+                raise ValueError(
+                    "stream_expire requires 'cutoff'"
+                ) from None
+            self._reject_extras(params)
+
+            def mutate(stream: StreamingSelector) -> None:
+                stream.expire_before(cutoff)
+
+        else:
+            raise ValueError(f"unknown operation {op!r}")
+
+        injector = self.fault_injector
+
+        def invoke() -> StreamingSelector:
+            if injector is not None:
+                injector.check(SERVICE_HANDLE)
+            deadline.check()
+            stream = self._stream_for(entry)
+            mutate(stream)
+            return stream
+
+        async with entry.lock:
+            if entry.closed:
+                raise UnknownSession(entry.session_id)
+            with self.tracer.span("service.dispatch", op=op):
+                stream, attempts = await run_with_retry(
+                    lambda: asyncio.to_thread(invoke),
+                    policy=self.retry_policy,
+                    rng=self._rng,
+                    retryable=(FaultInjected,),
+                    deadline=deadline,
+                    budget=self.retry_budget,
+                    metrics=self.metrics,
+                )
+            entry.steps += 1
+            self.sessions.touch(entry)
+        self.metrics.incr(f"service.stream.{op.removeprefix('stream_')}")
+        return ServiceResponse(
+            ok=True,
+            op=op,
+            request_id=request_id,
+            session_id=entry.session_id,
+            selection=[int(i) for i in stream.selected],
+            score=float(stream.score()),
+            attempts=attempts,
+            detail={
+                "arrivals": stream.arrivals,
+                "swaps": stream.swaps,
+                "removals": stream.removals,
+                "expired": stream.expired,
+            },
         )
 
     async def _run_step(
@@ -453,6 +610,23 @@ class SelectionService:
             if target is not None:
                 return lambda: session.pan(target=target)
             return lambda: session.pan(dx, dy)
+        if op == "set_time_window":
+            try:
+                t_start = float(params.pop("t_start"))
+                t_end = float(params.pop("t_end"))
+            except KeyError as exc:
+                raise ValueError(
+                    f"set_time_window requires {exc.args[0]!r}"
+                ) from None
+            self._reject_extras(params)
+            return lambda: session.set_time_window(t_start, t_end)
+        if op == "time_step":
+            try:
+                dt = float(params.pop("dt"))
+            except KeyError:
+                raise ValueError("time_step requires 'dt'") from None
+            self._reject_extras(params)
+            return lambda: session.time_step(dt)
         raise ValueError(f"unknown operation {op!r}")
 
     def _step_response(
@@ -479,6 +653,12 @@ class SelectionService:
                 step.region.minx, step.region.miny,
                 step.region.maxx, step.region.maxy,
             ]
+            if step.time_window is not None:
+                response.detail = {
+                    "time_window": [
+                        step.time_window[0], step.time_window[1]
+                    ]
+                }
             self.metrics.observe(
                 f"service.tier_seconds.{step.tier}", step.elapsed_s
             )

@@ -51,7 +51,10 @@ from repro.robustness.errors import (
 
 #: MapSession constructor keys a request may override at ``start``.
 ALLOWED_SESSION_OVERRIDES = frozenset(
-    {"k", "theta_fraction", "prefetch", "deadline_s"}
+    {
+        "k", "theta_fraction", "prefetch", "deadline_s",
+        "time_window", "time_hysteresis",
+    }
 )
 
 
@@ -65,7 +68,7 @@ class SessionEntry:
 
     __slots__ = (
         "session_id", "session", "dataset_name", "created_at",
-        "last_used", "lock", "closed", "steps",
+        "last_used", "lock", "closed", "steps", "stream",
     )
 
     def __init__(
@@ -83,6 +86,10 @@ class SessionEntry:
         self.lock = asyncio.Lock()
         self.closed = False
         self.steps = 0
+        # Long-lived per-session ingest stream (see
+        # SelectionService._stream_for); created lazily on the first
+        # stream_* operation, dies with the session.
+        self.stream = None
 
 
 class SessionManager:

@@ -30,7 +30,11 @@ from repro.similarity.minhash import (
     compute_signatures,
     near_duplicate_groups,
 )
-from repro.similarity.spatial import EuclideanSimilarity, GaussianSpatialSimilarity
+from repro.similarity.spatial import (
+    EuclideanSimilarity,
+    GaussianSpatialSimilarity,
+    GrowableEuclideanSimilarity,
+)
 from repro.similarity.text import (
     CosineTextSimilarity,
     JaccardSimilarity,
@@ -44,6 +48,7 @@ __all__ = [
     "CosineTextSimilarity",
     "EuclideanSimilarity",
     "GaussianSpatialSimilarity",
+    "GrowableEuclideanSimilarity",
     "JaccardSimilarity",
     "MatrixSimilarity",
     "MinHashSimilarity",

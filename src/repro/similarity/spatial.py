@@ -159,6 +159,57 @@ class EuclideanSimilarity(SimilarityModel):
         return ("euclidean", {"d_max": self.d_max}, {"xs": self.xs, "ys": self.ys})
 
 
+class GrowableEuclideanSimilarity(EuclideanSimilarity):
+    """:class:`EuclideanSimilarity` over an append-only universe.
+
+    Built for streams: the universe starts empty and
+    :meth:`append` extends it as objects arrive, so a
+    :class:`~repro.core.streaming.StreamingSelector` whose feed length
+    is unknown upfront can be given one fixed model.  ``d_max`` must be
+    supplied explicitly (there are no points to infer a frame diagonal
+    from, and a data-dependent ``d_max`` would make earlier
+    similarities change retroactively as the stream grows).
+
+    Not process-pool safe: a worker's shared-memory copy would go stale
+    on the next append.  Streams never fan out, so :meth:`process_spec`
+    simply opts out.
+    """
+
+    def __init__(self, d_max: float) -> None:
+        super().__init__(
+            np.empty(0, dtype=np.float64),
+            np.empty(0, dtype=np.float64),
+            d_max=d_max,
+        )
+
+    def append(self, xs: np.ndarray, ys: np.ndarray) -> None:
+        """Extend the universe with a batch of coordinates."""
+        xs = np.atleast_1d(np.asarray(xs, dtype=np.float64))
+        ys = np.atleast_1d(np.asarray(ys, dtype=np.float64))
+        if xs.shape != ys.shape or xs.ndim != 1:
+            raise ValueError("xs and ys must be 1-D arrays of equal length")
+        self.xs = np.concatenate([self.xs, xs])
+        self.ys = np.concatenate([self.ys, ys])
+
+    def truncate(self, n: int) -> None:
+        """Shrink the universe back to its first ``n`` objects.
+
+        Rollback hook for feeders that append a batch ahead of
+        ingesting it: when ingestion rejects the batch midway, the
+        un-ingested tail must leave the universe too, or every later
+        arrival's id would point at the wrong coordinates.
+        """
+        if not 0 <= n <= len(self.xs):
+            raise ValueError(
+                f"cannot truncate universe of {len(self.xs)} to {n}"
+            )
+        self.xs = self.xs[:n]
+        self.ys = self.ys[:n]
+
+    def process_spec(self) -> ProcessSpec | None:
+        return None
+
+
 class GaussianSpatialSimilarity(SimilarityModel):
     """``sim(i, j) = exp(-dist(i, j)^2 / (2 sigma^2))``."""
 

@@ -5,7 +5,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import StreamingSelector
+from repro import Aggregation, StreamingSelector, StreamLengthMismatch
+from repro.core.streaming import _UniversePrefix
 from repro.geo import BoundingBox
 from repro.similarity import EuclideanSimilarity, MatrixSimilarity
 
@@ -40,6 +41,139 @@ class TestValidation:
         selector, _gen = make_selector(3)
         with pytest.raises(ValueError):
             selector.add(0.5, 0.5, weight=1.5)
+
+
+class TestContractFixes:
+    """Regression tests for the three streaming contract bugs."""
+
+    def test_extend_rejects_mismatched_lengths(self):
+        # Pre-fix, zip() silently truncated to the shortest array and
+        # the tail of the longer ones was dropped without a trace.
+        selector, gen = make_selector(30)
+        with pytest.raises(StreamLengthMismatch, match="equal lengths"):
+            selector.extend(gen.random(5), gen.random(3))
+        with pytest.raises(StreamLengthMismatch, match="weights=2"):
+            selector.extend(gen.random(4), gen.random(4), gen.random(2))
+        with pytest.raises(StreamLengthMismatch, match="ts=1"):
+            selector.extend(
+                gen.random(4), gen.random(4), ts=gen.random(1)
+            )
+        # Atomic: the rejected batches must not have partially applied.
+        assert selector.arrivals == 0
+
+    def test_extend_error_is_value_error(self):
+        # Callers catching the historical ValueError keep working.
+        assert issubclass(StreamLengthMismatch, ValueError)
+
+    def test_universe_prefix_enforces_bound(self):
+        base = MatrixSimilarity.random(10, np.random.default_rng(0))
+        prefix = _UniversePrefix(base, 4)
+        assert len(prefix) == 4
+        # In-bound queries delegate.
+        assert prefix.sim(0, 3) == base.sim(0, 3)
+        np.testing.assert_array_equal(
+            prefix.sims_to(1, np.array([0, 2, 3])),
+            base.sims_to(1, np.array([0, 2, 3])),
+        )
+        # Pre-fix, ids >= n silently read the base model's later rows.
+        with pytest.raises(IndexError, match="prefix"):
+            prefix.sim(4, 0)
+        with pytest.raises(IndexError, match="prefix"):
+            prefix.sim(0, 4)
+        with pytest.raises(IndexError, match="prefix"):
+            prefix.sims_to(4, np.array([0, 1]))
+        with pytest.raises(IndexError, match="prefix"):
+            prefix.sims_to(0, np.array([1, 9]))
+        with pytest.raises(IndexError, match="prefix"):
+            prefix.sims_to(0, np.array([-1, 1]))
+
+    def test_avg_rejected_at_construction(self):
+        # Pre-fix, AVG was accepted and _aggregate silently fell
+        # through to a mean — but AVG is not monotone submodular, so
+        # neither the swap maintenance nor reoptimize()'s greedy
+        # guarantee applies (problem.py documents it evaluation-only).
+        sim = MatrixSimilarity.random(5, np.random.default_rng(0))
+        with pytest.raises(ValueError, match="evaluation-only"):
+            StreamingSelector(
+                sim, REGION, k=2, theta=0.0, aggregation=Aggregation.AVG
+            )
+        # MAX and SUM still construct.
+        for agg in (Aggregation.MAX, Aggregation.SUM):
+            StreamingSelector(sim, REGION, k=2, theta=0.0, aggregation=agg)
+
+
+class TestDeletion:
+    def test_remove_unknown_or_dead_id(self):
+        selector, gen = make_selector(10)
+        selector.add(gen.random(), gen.random())
+        with pytest.raises(ValueError, match="unknown stream id"):
+            selector.remove(5)
+        selector.remove(0)
+        with pytest.raises(ValueError, match="already removed"):
+            selector.remove(0)
+
+    def test_remove_selected_refills(self):
+        selector, gen = make_selector(30, k=3, theta=0.0)
+        for _ in range(20):
+            selector.add(gen.random(), gen.random())
+        assert len(selector.selected) == 3
+        victim = selector.selected[0]
+        selector.remove(victim)
+        assert victim not in selector.selected
+        assert victim not in selector._inside
+        # Enough survivors exist to refill the freed slot.
+        assert len(selector.selected) == 3
+        assert selector.removals == 1
+
+    def test_remove_keeps_theta_feasibility(self):
+        selector, gen = make_selector(60, k=8, theta=0.1, seed=7)
+        for _ in range(40):
+            selector.add(gen.random(), gen.random())
+        for victim in list(selector.selected)[:3]:
+            selector.remove(victim)
+        sel = selector.selected
+        for i in range(len(sel)):
+            for j in range(i + 1, len(sel)):
+                d = np.hypot(
+                    selector._xs[sel[i]] - selector._xs[sel[j]],
+                    selector._ys[sel[i]] - selector._ys[sel[j]],
+                )
+                assert d >= selector.theta
+
+    def test_expire_before(self):
+        selector, gen = make_selector(30, k=4, theta=0.0)
+        for t in range(10):
+            selector.add(gen.random(), gen.random(), ts=float(t))
+        selector.add(gen.random(), gen.random())  # no timestamp
+        expired = selector.expire_before(5.0)
+        assert expired == 5
+        assert selector.expired == 5
+        # Timestamped survivors and the untimestamped object remain.
+        alive = [i for i, a in enumerate(selector._alive) if a]
+        assert alive == [5, 6, 7, 8, 9, 10]
+        assert all(i in alive for i in selector.selected)
+        # Second sweep at the same cutoff is a no-op.
+        assert selector.expire_before(5.0) == 0
+
+    def test_removed_objects_leave_score(self):
+        selector, gen = make_selector(20, k=2, theta=0.0)
+        ids = [selector.add(gen.random(), gen.random()) for _ in range(6)]
+        for obj_id in ids[1:]:
+            selector.remove(obj_id)
+        # Population is a single object: score is its self-similarity
+        # times its weight (weight 1.0 here), i.e. exactly 1.0.
+        assert selector.score() == pytest.approx(1.0)
+
+    def test_reoptimize_after_removals_matches_survivors(self):
+        selector, gen = make_selector(40, k=5, theta=0.05, seed=11)
+        for _ in range(30):
+            selector.add(gen.random(), gen.random())
+        for victim in [0, 5, 9]:
+            if selector._alive[victim]:
+                selector.remove(victim)
+        selector.reoptimize()
+        assert all(selector._alive[s] for s in selector.selected)
+        assert set(selector.selected) <= set(selector._inside)
 
 
 class TestStreamBehaviour:

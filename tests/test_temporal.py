@@ -1,0 +1,594 @@
+"""Time as a first-class navigation axis.
+
+Covers the whole temporal stack added around :mod:`repro.core.temporal`:
+
+* dataset timestamps (validation, window masks, loader round-trips,
+  generator determinism),
+* :class:`TimeWindowQuery`,
+* the temporal prefetcher (Lemma-5.1 masses for slider step targets),
+* :meth:`WorkerPool.mass_sweep` bit-identity across backends,
+* :class:`MapSession` time-slider navigation (hysteresis, windowed
+  populations, seeded steps bit-identical to cold re-selection), and
+* the service wiring (time ops and the long-lived per-session stream).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+
+import numpy as np
+import pytest
+
+from repro import (
+    BoundingBox,
+    MapSession,
+    PrefetchUnavailable,
+    TimeWindowQuery,
+)
+from repro.core import GeoDataset
+from repro.core.temporal import TemporalPrefetcher
+from repro.datasets import load_csv, load_jsonl, save_csv, save_jsonl
+from repro.datasets.generators import DatasetSpec, generate_clustered
+from repro.parallel import WorkerPool
+from repro.service.service import SelectionService, ServiceRequest
+from repro.similarity import (
+    EuclideanSimilarity,
+    GrowableEuclideanSimilarity,
+)
+
+REGION = BoundingBox(0.2, 0.2, 0.8, 0.8)
+FRAME = BoundingBox(0.0, 0.0, 1.0, 1.0)
+
+
+@functools.lru_cache(maxsize=8)
+def _dataset(seed: int, n: int = 400) -> GeoDataset:
+    gen = np.random.default_rng(seed)
+    return GeoDataset.build(
+        gen.random(n), gen.random(n),
+        weights=gen.random(n), ts=gen.random(n),
+    )
+
+
+@functools.lru_cache(maxsize=4)
+def _clustered(seed: int = 11, n: int = 1500) -> GeoDataset:
+    return generate_clustered(
+        DatasetSpec(name="temporal", n=n, n_clusters=5, seed=seed),
+        with_timestamps=True,
+    )
+
+
+# ----------------------------------------------------------------------
+# Dataset timestamps
+# ----------------------------------------------------------------------
+
+
+class TestDatasetTimestamps:
+    def test_ts_validation(self):
+        gen = np.random.default_rng(0)
+        xs, ys = gen.random(5), gen.random(5)
+        with pytest.raises(ValueError, match="one entry per object"):
+            GeoDataset.build(xs, ys, ts=np.arange(3, dtype=float))
+        with pytest.raises(ValueError, match="finite"):
+            GeoDataset.build(xs, ys, ts=np.array([0, 1, 2, np.nan, 4.0]))
+
+    def test_time_mask_requires_ts(self):
+        gen = np.random.default_rng(0)
+        dataset = GeoDataset.build(gen.random(5), gen.random(5))
+        with pytest.raises(ValueError, match="no timestamps"):
+            dataset.time_mask(0.0, 1.0)
+
+    def test_time_mask_half_open(self):
+        gen = np.random.default_rng(0)
+        ts = np.array([0.0, 0.25, 0.5, 0.75, 1.0])
+        dataset = GeoDataset.build(gen.random(5), gen.random(5), ts=ts)
+        mask = dataset.time_mask(0.25, 0.75)
+        assert mask.tolist() == [False, True, True, False, False]
+
+    def test_objects_in_window_filters_both_axes(self):
+        dataset = _dataset(1)
+        ids = dataset.objects_in_window(REGION, 0.2, 0.6)
+        spatial = dataset.objects_in(REGION)
+        assert np.isin(ids, spatial).all()
+        assert ((dataset.ts[ids] >= 0.2) & (dataset.ts[ids] < 0.6)).all()
+        # Adjacent windows tile: their populations partition the
+        # spatial population with timestamps in the union.
+        left = dataset.objects_in_window(REGION, 0.0, 0.5)
+        right = dataset.objects_in_window(REGION, 0.5, 1.5)
+        both = np.union1d(left, right)
+        assert np.array_equal(np.sort(spatial), both)
+        assert len(np.intersect1d(left, right)) == 0
+
+
+class TestLoaders:
+    def test_jsonl_roundtrip_with_timestamps(self, tmp_path):
+        dataset = _dataset(2)
+        path = tmp_path / "corpus.jsonl"
+        save_jsonl(dataset, path)
+        loaded = load_jsonl(path)
+        assert loaded.ts is not None
+        np.testing.assert_array_equal(loaded.ts, dataset.ts)
+
+    def test_csv_roundtrip_with_timestamps(self, tmp_path):
+        dataset = _dataset(2)
+        path = tmp_path / "corpus.csv"
+        save_csv(dataset, path)
+        loaded = load_csv(path)
+        assert loaded.ts is not None
+        np.testing.assert_array_equal(loaded.ts, dataset.ts)
+
+    def test_jsonl_rejects_partial_timestamps(self, tmp_path):
+        path = tmp_path / "half.jsonl"
+        path.write_text(
+            '{"x": 0.1, "y": 0.1, "w": 1.0, "t": 0.5}\n'
+            '{"x": 0.2, "y": 0.2, "w": 1.0}\n'
+        )
+        with pytest.raises(ValueError, match="all records or none"):
+            load_jsonl(path)
+        # The mirror case: t appearing only later is equally rejected.
+        path.write_text(
+            '{"x": 0.1, "y": 0.1, "w": 1.0}\n'
+            '{"x": 0.2, "y": 0.2, "w": 1.0, "t": 0.5}\n'
+        )
+        with pytest.raises(ValueError, match="all records or none"):
+            load_jsonl(path)
+
+    def test_untimestamped_roundtrip_stays_untimestamped(self, tmp_path):
+        gen = np.random.default_rng(3)
+        dataset = GeoDataset.build(gen.random(6), gen.random(6))
+        path = tmp_path / "plain.jsonl"
+        save_jsonl(dataset, path)
+        assert load_jsonl(path).ts is None
+
+
+class TestGeneratorTimestamps:
+    def test_timestamps_do_not_perturb_coordinates(self):
+        spec = DatasetSpec(name="det", n=600, n_clusters=4, seed=9)
+        plain = generate_clustered(spec)
+        stamped = generate_clustered(spec, with_timestamps=True)
+        assert plain.ts is None
+        assert stamped.ts is not None
+        np.testing.assert_array_equal(plain.xs, stamped.xs)
+        np.testing.assert_array_equal(plain.ys, stamped.ys)
+        np.testing.assert_array_equal(plain.weights, stamped.weights)
+
+    def test_timestamps_deterministic_and_bounded(self):
+        spec = DatasetSpec(name="det", n=600, n_clusters=4, seed=9)
+        a = generate_clustered(spec, with_timestamps=True)
+        b = generate_clustered(spec, with_timestamps=True)
+        np.testing.assert_array_equal(a.ts, b.ts)
+        assert (a.ts >= 0.0).all() and (a.ts <= 1.0).all()
+
+
+# ----------------------------------------------------------------------
+# TimeWindowQuery
+# ----------------------------------------------------------------------
+
+
+class TestTimeWindowQuery:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="empty time window"):
+            TimeWindowQuery(REGION, k=3, theta=0.0, t_start=0.5, t_end=0.5)
+        with pytest.raises(ValueError, match="finite"):
+            TimeWindowQuery(
+                REGION, k=3, theta=0.0, t_start=0.0, t_end=np.inf
+            )
+        with pytest.raises(ValueError, match="k must be positive"):
+            TimeWindowQuery(REGION, k=0, theta=0.0, t_start=0.0, t_end=1.0)
+
+    def test_shifted_and_projections(self):
+        query = TimeWindowQuery(
+            REGION, k=3, theta=0.01, t_start=0.2, t_end=0.4
+        )
+        assert query.span == pytest.approx(0.2)
+        assert query.window == (0.2, 0.4)
+        assert query.spatial.region == REGION
+        stepped = query.shifted(0.1)
+        assert stepped.window == (
+            pytest.approx(0.3), pytest.approx(0.5)
+        )
+        assert stepped.k == query.k and stepped.theta == query.theta
+
+    def test_with_theta_fraction(self):
+        query = TimeWindowQuery.with_theta_fraction(
+            REGION, k=5, t_start=0.0, t_end=1.0, theta_fraction=0.01
+        )
+        assert query.theta == pytest.approx(
+            0.01 * max(REGION.width, REGION.height)
+        )
+
+
+# ----------------------------------------------------------------------
+# Temporal prefetcher
+# ----------------------------------------------------------------------
+
+
+class TestTemporalPrefetcher:
+    def test_requires_timestamps(self):
+        gen = np.random.default_rng(0)
+        dataset = GeoDataset.build(gen.random(5), gen.random(5))
+        with pytest.raises(ValueError, match="ts is None"):
+            TemporalPrefetcher(dataset)
+
+    def test_bounds_dominate_exact_first_iteration_masses(self):
+        dataset = _dataset(4)
+        prefetcher = TemporalPrefetcher(dataset)
+        data = prefetcher.prefetch_window(REGION, (0.2, 0.6))
+        ids = dataset.objects_in_window(REGION, 0.2, 0.6)
+        np.testing.assert_array_equal(np.sort(data.ids), np.sort(ids))
+        exact = dataset.similarity.weighted_sims_sum(
+            ids, ids, dataset.weights[ids]
+        ) / len(ids)
+        bounds = data.bounds_for(ids, len(ids))
+        assert (bounds >= exact).all()
+
+    def test_matches_is_exact(self):
+        dataset = _dataset(4)
+        prefetcher = TemporalPrefetcher(dataset)
+        data = prefetcher.prefetch_window(REGION, (0.2, 0.6))
+        assert data.matches(REGION, (0.2, 0.6))
+        assert not data.matches(REGION, (0.2, 0.6000001))
+        assert not data.matches(REGION.panned(0.01, 0.0), (0.2, 0.6))
+
+    def test_coverage_miss_raises_prefetch_unavailable(self):
+        dataset = _dataset(4)
+        prefetcher = TemporalPrefetcher(dataset)
+        data = prefetcher.prefetch_window(REGION, (0.2, 0.6))
+        outside = dataset.objects_in_window(REGION, 0.9, 1.1)[:1]
+        assert not data.covers(outside)
+        with pytest.raises(PrefetchUnavailable):
+            data.bounds_for(outside, 10)
+
+    def test_prefetch_steps_keys_both_directions(self):
+        dataset = _dataset(4)
+        prefetcher = TemporalPrefetcher(dataset)
+        steps = prefetcher.prefetch_steps(REGION, (0.3, 0.5), dt=0.1)
+        assert len(steps) == 2
+        forward = min(steps, key=lambda w: -w[0])
+        backward = min(steps, key=lambda w: w[0])
+        assert forward == (pytest.approx(0.4), pytest.approx(0.6))
+        assert backward == (pytest.approx(0.2), pytest.approx(0.4))
+        for window, data in steps.items():
+            assert data.matches(REGION, window)
+
+    def test_pooled_masses_bit_identical_to_serial(self):
+        dataset = _dataset(4)
+        serial = TemporalPrefetcher(dataset).prefetch_window(
+            REGION, (0.0, 1.0)
+        )
+        pool = WorkerPool(2, "thread", similarity=dataset.similarity)
+        try:
+            pooled = TemporalPrefetcher(
+                dataset, pool=pool
+            ).prefetch_window(REGION, (0.0, 1.0))
+        finally:
+            pool.close()
+        np.testing.assert_array_equal(serial.ids, pooled.ids)
+        np.testing.assert_array_equal(serial.raw_sums, pooled.raw_sums)
+
+
+class TestMassSweep:
+    def test_backends_bit_identical(self):
+        gen = np.random.default_rng(6)
+        n = 800
+        xs, ys = gen.random(n), gen.random(n)
+        weights = gen.random(n)
+        model = EuclideanSimilarity(xs, ys)
+        ids = np.arange(n, dtype=np.int64)
+        expected = model.weighted_sims_sum(ids, ids, weights)
+        for backend in ("thread", "process"):
+            pool = WorkerPool(2, backend, similarity=model)
+            try:
+                got = pool.mass_sweep(ids, ids, weights)
+            finally:
+                pool.close()
+            np.testing.assert_array_equal(expected, got)
+
+    def test_empty_targets(self):
+        gen = np.random.default_rng(6)
+        model = EuclideanSimilarity(gen.random(10), gen.random(10))
+        pool = WorkerPool(2, "thread", similarity=model)
+        try:
+            empty = pool.mass_sweep(
+                np.empty(0, dtype=np.int64),
+                np.arange(10),
+                np.ones(10),
+            )
+        finally:
+            pool.close()
+        assert len(empty) == 0
+
+
+# ----------------------------------------------------------------------
+# Session time navigation
+# ----------------------------------------------------------------------
+
+
+class TestSessionTimeNavigation:
+    def test_constructor_validation(self):
+        gen = np.random.default_rng(0)
+        plain = GeoDataset.build(gen.random(10), gen.random(10))
+        with pytest.raises(ValueError, match="requires dataset timestamps"):
+            MapSession(plain, k=3, time_window=(0.0, 1.0))
+        with pytest.raises(ValueError, match="empty time window"):
+            MapSession(_dataset(1), k=3, time_window=(0.5, 0.5))
+        with pytest.raises(ValueError, match="time_hysteresis"):
+            MapSession(_dataset(1), k=3, time_hysteresis=1.5)
+
+    def test_window_filters_every_population(self):
+        dataset = _dataset(1)
+        with MapSession(dataset, k=10, time_window=(0.2, 0.6)) as session:
+            step = session.start(REGION)
+            expected = dataset.objects_in_window(REGION, 0.2, 0.6)
+            assert np.isin(step.result.selected, expected).all()
+            step = session.zoom_in(0.6)
+            zoomed = dataset.objects_in_window(session.region, 0.2, 0.6)
+            assert np.isin(step.result.selected, zoomed).all()
+
+    def test_time_ops_require_timestamps_and_window(self):
+        gen = np.random.default_rng(0)
+        plain = GeoDataset.build(gen.random(50), gen.random(50))
+        with MapSession(plain, k=3) as session:
+            session.start(REGION)
+            with pytest.raises(ValueError, match="requires dataset timestamps"):
+                session.set_time_window(0.0, 1.0)
+            with pytest.raises(ValueError, match="requires dataset timestamps"):
+                session.time_step(0.1)
+        with MapSession(_dataset(1), k=3) as session:
+            session.start(REGION)
+            with pytest.raises(ValueError, match="no active time window"):
+                session.time_step(0.1)
+
+    def test_set_time_window_reanchors(self):
+        with MapSession(_dataset(1), k=8) as session:
+            session.start(REGION)
+            step = session.set_time_window(0.3, 0.7)
+            assert step.operation == "set_time_window"
+            assert step.time_window == (0.3, 0.7)
+            assert len(step.mandatory) == 0
+            assert session.time_window == (0.3, 0.7)
+
+    def test_time_step_carries_survivors(self):
+        dataset = _dataset(1)
+        with MapSession(
+            dataset, k=8, time_window=(0.0, 0.8), time_hysteresis=0.0
+        ) as session:
+            session.start(REGION)
+            visible = session.visible
+            step = session.time_step(0.1)
+            survivors = visible[
+                (dataset.ts[visible] >= 0.1) & (dataset.ts[visible] < 0.9)
+            ]
+            np.testing.assert_array_equal(np.sort(step.mandatory),
+                                          np.sort(survivors))
+            assert np.isin(survivors, step.result.selected).all()
+
+    def test_time_step_reanchors_below_hysteresis(self):
+        dataset = _dataset(1)
+        with MapSession(
+            dataset, k=8, time_window=(0.0, 0.3), time_hysteresis=1.0
+        ) as session:
+            session.start(REGION)
+            assert len(session.visible) > 0
+            # A full-span jump keeps (almost) nobody: with hysteresis
+            # 1.0 any loss re-anchors.
+            step = session.time_step(0.5)
+            assert len(step.mandatory) == 0
+            assert session.metrics.count("session.temporal_reanchors") == 1
+
+    def test_temporal_prefetch_serves_repeated_steps(self):
+        with MapSession(
+            _clustered(), k=8, time_window=(0.2, 0.4),
+            prefetch=True, equivalence_check=True,
+        ) as session:
+            session.start(REGION)
+            session.time_step(0.05)  # establishes the stride
+            served = [session.time_step(0.05) for _ in range(3)]
+        assert all(s.temporal_seeded for s in served)
+        assert all(
+            s.stats.get("equivalence_checked") for s in served
+        )
+
+    def test_delta_seeded_time_steps_bit_identical(self):
+        # equivalence_check re-runs every seeded step cold and raises
+        # on any difference — this is the acceptance criterion's
+        # bit-identity check, driven through the delta path.
+        with MapSession(
+            _clustered(), k=8, time_window=(0.2, 0.4),
+            delta=True, equivalence_check=True,
+        ) as session:
+            session.start(REGION)
+            steps = [session.time_step(0.02) for _ in range(4)]
+        assert any(s.delta_seeded for s in steps)
+
+    def test_swap_dataset_clears_temporal_state(self):
+        gen = np.random.default_rng(0)
+        n = len(_dataset(1))
+        plain = GeoDataset.build(gen.random(n), gen.random(n))
+        with MapSession(
+            _dataset(1), k=5, time_window=(0.2, 0.8)
+        ) as session:
+            session.start(REGION)
+            session.swap_dataset(plain)
+            assert session.time_window is None
+            assert session._temporal_prefetcher is None
+            session.start(REGION)
+            with pytest.raises(ValueError, match="requires dataset timestamps"):
+                session.set_time_window(0.0, 1.0)
+
+
+# ----------------------------------------------------------------------
+# Growable similarity (stream universe)
+# ----------------------------------------------------------------------
+
+
+class TestGrowableSimilarity:
+    def test_append_matches_fixed_model(self):
+        gen = np.random.default_rng(7)
+        xs, ys = gen.random(20), gen.random(20)
+        fixed = EuclideanSimilarity(xs, ys, d_max=1.0)
+        grown = GrowableEuclideanSimilarity(d_max=1.0)
+        grown.append(xs[:12], ys[:12])
+        grown.append(xs[12:], ys[12:])
+        assert len(grown) == 20
+        ids = np.arange(20, dtype=np.int64)
+        np.testing.assert_array_equal(
+            fixed.sims_to(3, ids), grown.sims_to(3, ids)
+        )
+
+    def test_truncate_rolls_back(self):
+        grown = GrowableEuclideanSimilarity(d_max=1.0)
+        grown.append(np.array([0.1, 0.2, 0.3]), np.array([0.1, 0.2, 0.3]))
+        grown.truncate(1)
+        assert len(grown) == 1
+        with pytest.raises(ValueError):
+            grown.truncate(5)
+
+    def test_no_process_spec(self):
+        assert GrowableEuclideanSimilarity(d_max=1.0).process_spec() is None
+
+
+# ----------------------------------------------------------------------
+# Service wiring
+# ----------------------------------------------------------------------
+
+
+def _service() -> SelectionService:
+    return SelectionService(
+        {"corpus": _clustered()}, default_deadline_ms=30_000
+    )
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+class TestServiceTemporal:
+    def test_time_window_override_and_time_ops(self):
+        async def scenario():
+            service = _service()
+            try:
+                start = await service.handle(ServiceRequest(
+                    op="start",
+                    params={
+                        "region": [0.2, 0.2, 0.8, 0.8],
+                        "k": 6,
+                        "time_window": [0.2, 0.4],
+                    },
+                ))
+                assert start.ok, start.error
+                assert start.detail["time_window"] == [0.2, 0.4]
+                sid = start.session_id
+                stepped = await service.handle(ServiceRequest(
+                    op="time_step", session_id=sid, params={"dt": 0.1}
+                ))
+                assert stepped.ok, stepped.error
+                assert stepped.detail["time_window"] == [
+                    pytest.approx(0.3), pytest.approx(0.5)
+                ]
+                jumped = await service.handle(ServiceRequest(
+                    op="set_time_window", session_id=sid,
+                    params={"t_start": 0.6, "t_end": 0.9},
+                ))
+                assert jumped.ok and jumped.detail["time_window"] == [0.6, 0.9]
+                missing = await service.handle(ServiceRequest(
+                    op="time_step", session_id=sid, params={}
+                ))
+                assert not missing.ok
+                assert missing.error_type == "ValueError"
+            finally:
+                service.close()
+
+        _run(scenario())
+
+    def test_stream_lifecycle(self):
+        async def scenario():
+            service = _service()
+            try:
+                start = await service.handle(ServiceRequest(
+                    op="start",
+                    params={"region": [0.0, 0.0, 1.0, 1.0], "k": 4},
+                ))
+                sid = start.session_id
+                fed = await service.handle(ServiceRequest(
+                    op="stream_extend", session_id=sid,
+                    params={
+                        "xs": [0.3, 0.5, 0.7],
+                        "ys": [0.3, 0.5, 0.7],
+                        "ts": [1.0, 2.0, 3.0],
+                    },
+                ))
+                assert fed.ok, fed.error
+                assert fed.detail["arrivals"] == 3
+                assert fed.selection  # something got selected
+                removed = await service.handle(ServiceRequest(
+                    op="stream_remove", session_id=sid, params={"id": 0}
+                ))
+                assert removed.ok and removed.detail["removals"] == 1
+                assert 0 not in removed.selection
+                expired = await service.handle(ServiceRequest(
+                    op="stream_expire", session_id=sid,
+                    params={"cutoff": 2.5},
+                ))
+                assert expired.ok and expired.detail["expired"] == 1
+                assert expired.selection == [2]
+            finally:
+                service.close()
+
+        _run(scenario())
+
+    def test_stream_extend_mismatch_is_atomic(self):
+        async def scenario():
+            service = _service()
+            try:
+                start = await service.handle(ServiceRequest(
+                    op="start",
+                    params={"region": [0.0, 0.0, 1.0, 1.0], "k": 4},
+                ))
+                sid = start.session_id
+                bad = await service.handle(ServiceRequest(
+                    op="stream_extend", session_id=sid,
+                    params={
+                        "xs": [0.3, 0.5],
+                        "ys": [0.3, 0.5],
+                        "weights": [0.5],
+                    },
+                ))
+                assert not bad.ok
+                assert bad.error_type == "StreamLengthMismatch"
+                # The rejected batch left no trace: universe and stream
+                # stay aligned and a follow-up ingest works.
+                good = await service.handle(ServiceRequest(
+                    op="stream_extend", session_id=sid,
+                    params={"xs": [0.4], "ys": [0.4]},
+                ))
+                assert good.ok, good.error
+                assert good.detail["arrivals"] == 1
+                assert good.selection == [0]
+            finally:
+                service.close()
+
+        _run(scenario())
+
+    def test_stream_requires_started_session(self):
+        async def scenario():
+            service = _service()
+            try:
+                # start always runs a first selection, so a session is
+                # always started here; exercise the guard directly.
+                start = await service.handle(ServiceRequest(
+                    op="start",
+                    params={"region": [0.0, 0.0, 1.0, 1.0], "k": 4},
+                ))
+                entry = service.sessions.get(start.session_id)
+                entry.session.region = None
+                reply = await service.handle(ServiceRequest(
+                    op="stream_extend", session_id=start.session_id,
+                    params={"xs": [0.1], "ys": [0.1]},
+                ))
+                assert not reply.ok
+                assert reply.error_type == "SessionNotStarted"
+            finally:
+                service.close()
+
+        _run(scenario())

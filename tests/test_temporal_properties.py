@@ -1,0 +1,204 @@
+"""Property suites for streaming ingest and time-slider navigation.
+
+Two invariants the temporal work must hold under *arbitrary* traces:
+
+* **streaming** — after any interleaving of ingest / delete / expire,
+  the maintained selection is θ-feasible, drawn only from the live
+  inside-viewport population, and (after a reoptimize) its score stays
+  within the streaming competitiveness factor of a fresh greedy run;
+* **time slider** — a session whose steps are served from the delta
+  memo and the temporal prefetcher selects *bit-identically* to a cold
+  twin that re-initializes from scratch at every window.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GeoDataset
+from repro.core.session import MapSession
+from repro.core.streaming import StreamingSelector
+from repro.geo.bbox import BoundingBox
+from repro.similarity import GrowableEuclideanSimilarity
+
+REGION = BoundingBox(0.0, 0.0, 1.0, 1.0)
+START = BoundingBox(0.15, 0.15, 0.85, 0.85)
+THETA = 0.05
+
+
+@functools.lru_cache(maxsize=16)
+def _dataset(seed: int, n: int = 400) -> GeoDataset:
+    gen = np.random.default_rng(seed)
+    return GeoDataset.build(
+        gen.random(n), gen.random(n),
+        weights=gen.random(n), ts=gen.random(n),
+    )
+
+
+# ----------------------------------------------------------------------
+# Streaming traces
+# ----------------------------------------------------------------------
+
+# A trace event is ("add",) | ("remove",) | ("expire", fraction).
+_EVENTS = st.lists(
+    st.one_of(
+        st.just(("add",)),
+        st.just(("remove",)),
+        st.tuples(st.just("expire"), st.floats(0.0, 1.0)),
+    ),
+    min_size=5,
+    max_size=60,
+)
+
+
+def _replay(events, seed: int) -> StreamingSelector:
+    """Run one trace; objects are uniform in the unit square, ts = id."""
+    gen = np.random.default_rng(seed)
+    stream = StreamingSelector(
+        GrowableEuclideanSimilarity(d_max=np.sqrt(2.0)),
+        REGION,
+        k=4,
+        theta=THETA,
+        swap_margin=0.05,
+    )
+    for event in events:
+        if event[0] == "add":
+            x, y, w = gen.random(3)
+            stream.similarity.append(
+                np.array([x]), np.array([y])
+            )
+            stream.add(x, y, w, ts=float(stream.arrivals))
+        elif event[0] == "remove":
+            alive = [
+                i for i in range(stream.arrivals) if stream._alive[i]
+            ]
+            if alive:
+                stream.remove(alive[int(gen.integers(len(alive)))])
+        else:
+            stream.expire_before(event[1] * stream.arrivals)
+    return stream
+
+
+class TestStreamingTraceProperties:
+    @given(events=_EVENTS, seed=st.integers(0, 2**16))
+    @settings(max_examples=30, deadline=None)
+    def test_invariants_hold(self, events, seed):
+        stream = _replay(events, seed)
+        selected = stream.selected
+        # Budget.
+        assert len(selected) <= stream.k
+        # Selected ⊆ alive ∩ inside-viewport.
+        for obj_id in selected:
+            assert stream._alive[obj_id]
+            assert obj_id in stream._inside
+        # θ-feasibility: strictly-closer-than-θ pairs are conflicts.
+        for a_pos, a in enumerate(selected):
+            for b in selected[a_pos + 1:]:
+                dist = np.hypot(
+                    stream._xs[a] - stream._xs[b],
+                    stream._ys[a] - stream._ys[b],
+                )
+                assert dist >= THETA
+        # Bookkeeping counters reconcile with the trace.
+        dead = sum(1 for alive in stream._alive if not alive)
+        assert dead == stream.removals + stream.expired
+
+    @given(events=_EVENTS, seed=st.integers(0, 2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_tracks_fresh_greedy_after_trace(self, events, seed):
+        stream = _replay(events, seed)
+        maintained = stream.score()
+        stream.reoptimize()
+        fresh = stream.score()
+        assert maintained >= 0.75 * fresh - 1e-9
+
+
+# ----------------------------------------------------------------------
+# Time-slider traces
+# ----------------------------------------------------------------------
+
+# Slider moves keep |dt| within the delta margin (0.5) of the window
+# span (0.2) so the delta memo's temporal expansion stays valid; the
+# property must hold regardless, because out-of-memo steps simply
+# degrade to colder tiers.
+_SLIDER_MOVES = st.lists(
+    st.one_of(
+        st.tuples(st.just("step"), st.sampled_from(
+            [0.02, 0.05, 0.08, -0.02, -0.05]
+        )),
+        st.tuples(
+            st.just("jump"),
+            st.floats(0.0, 0.6),
+            st.floats(0.15, 0.4),
+        ),
+        st.tuples(st.just("pan"), st.sampled_from(
+            [(0.05, 0.0), (-0.05, 0.0), (0.0, 0.05)]
+        )),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+def _apply(session: MapSession, move):
+    if move[0] == "step":
+        return session.time_step(move[1])
+    if move[0] == "jump":
+        t0 = move[1]
+        return session.set_time_window(t0, t0 + move[2])
+    dx, dy = move[1]
+    return session.pan(dx, dy)
+
+
+class TestTimeSliderBitIdentity:
+    @given(
+        seed=st.integers(0, 50),
+        moves=_SLIDER_MOVES,
+        prefetch=st.booleans(),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_delta_steps_match_cold_reselection(
+        self, seed, moves, prefetch
+    ):
+        dataset = _dataset(seed % 8)
+        warm = MapSession(
+            dataset, k=6, time_window=(0.3, 0.5),
+            delta=True, prefetch=prefetch,
+        )
+        cold = MapSession(dataset, k=6, time_window=(0.3, 0.5))
+        try:
+            warm.start(START)
+            cold.start(START)
+            for move in moves:
+                warm_step = _apply(warm, move)
+                cold_step = _apply(cold, move)
+                assert np.array_equal(
+                    warm_step.result.selected,
+                    cold_step.result.selected,
+                ), (
+                    f"divergence on {move}: "
+                    f"{warm_step.result.selected} vs "
+                    f"{cold_step.result.selected}"
+                )
+                assert warm_step.time_window == cold_step.time_window
+        finally:
+            warm.close()
+            cold.close()
+
+    @given(seed=st.integers(0, 20), moves=_SLIDER_MOVES)
+    @settings(max_examples=10, deadline=None)
+    def test_internal_equivalence_check_never_trips(self, seed, moves):
+        # Belt and braces: the session's own equivalence checker
+        # re-runs every seeded step cold and raises on divergence.
+        dataset = _dataset(seed % 8)
+        with MapSession(
+            dataset, k=6, time_window=(0.3, 0.5),
+            delta=True, prefetch=True, equivalence_check=True,
+        ) as session:
+            session.start(START)
+            for move in moves:
+                _apply(session, move)
