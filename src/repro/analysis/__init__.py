@@ -14,9 +14,21 @@ RL003     span-hygiene             ``tracer.span`` results context-managed
 RL004     metric-span-naming       literal names dotted lowercase
 RL005     exception-policy         broad handlers re-raise/record/justify
 RL006     public-api-annotations   full annotations in core/similarity
+RL007*    blocking-call-in-async   no blocking call reachable from async
+                                   code without an ``asyncio.to_thread`` hop
+RL008     lock-held-across-await   no threading lock held across ``await``
+RL009*    resource-lifecycle       closeable resources discharged on all
+                                   creating paths
+RL010*    name-registry            literal metric/fault names read must be
+                                   declared by some write
+RL011*    deadline-propagation     deadline params forwarded to deadline-
+                                   aware callees
+RL012     half-open-intervals      temporal windows ``t0 <= t < t1``
 ========  =======================  ==========================================
 
-Run with ``python -m repro.analysis check src tests``.
+Rules marked ``*`` are interprocedural: they build on the
+whole-package call graph and only fire in ``--project`` mode
+(``python -m repro.analysis check --project src tests``).
 """
 
 from repro.analysis.baseline import (
@@ -25,16 +37,37 @@ from repro.analysis.baseline import (
     write_baseline,
 )
 from repro.analysis.engine import check_paths, check_source
-from repro.analysis.findings import Finding, format_json, format_text
-from repro.analysis.registry import Rule, all_rules, register, resolve_rules
+from repro.analysis.findings import (
+    Finding,
+    format_github,
+    format_json,
+    format_text,
+)
+from repro.analysis.project import (
+    ProjectContext,
+    check_project,
+    check_project_sources,
+)
+from repro.analysis.registry import (
+    ProjectRule,
+    Rule,
+    all_rules,
+    register,
+    resolve_rules,
+)
 
 __all__ = [
     "Finding",
+    "ProjectContext",
+    "ProjectRule",
     "Rule",
     "all_rules",
     "apply_baseline",
     "check_paths",
+    "check_project",
+    "check_project_sources",
     "check_source",
+    "format_github",
     "format_json",
     "format_text",
     "load_baseline",

@@ -8,10 +8,17 @@ line text beats line numbers — so edits elsewhere in a file do not
 invalidate the baseline, while touching a baselined line (its text
 changes) surfaces the finding again, which is exactly when the debt
 should be paid.
+
+Renames get a second chance: every entry also carries a path-free
+**content hash** of (rule, line text), and a finding that misses the
+exact key falls back to matching by hash.  Moving a file therefore
+does not resurface its whole grandfathered debt — only actually
+touching the offending lines does.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from collections import Counter
 from pathlib import Path
@@ -26,19 +33,37 @@ class BaselineError(ValueError):
     """The baseline file exists but cannot be used."""
 
 
+def _entry_hash(rule: str, text: str) -> str:
+    """Path-free entry identity; must mirror ``Finding.content_hash``."""
+    digest = hashlib.sha256(f"{rule}\x00{text}".encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
 def write_baseline(path: Path, findings: list[Finding]) -> None:
     """Persist ``findings`` as the new accepted debt."""
     counts = Counter(f.key() for f in findings)
     entries = [
-        {"rule": rule, "path": fpath, "text": text, "count": count}
+        {
+            "rule": rule,
+            "path": fpath,
+            "text": text,
+            "count": count,
+            "hash": _entry_hash(rule, text),
+        }
         for (rule, fpath, text), count in sorted(counts.items())
     ]
     payload = {"version": BASELINE_VERSION, "entries": entries}
     path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
 
 
-def load_baseline(path: Path) -> Counter:
-    """Load accepted-debt counts keyed like :meth:`Finding.key`."""
+def load_baseline(path: Path) -> tuple[Counter, Counter]:
+    """Load accepted debt as ``(exact keys, content-hash fallback)``.
+
+    The exact counter is keyed like :meth:`Finding.key`; the hash
+    counter is keyed by the path-free entry hash.  Baselines written
+    before the ``hash`` field existed still load — their hash is
+    recomputed from the stored rule + text.
+    """
     try:
         payload = json.loads(path.read_text(encoding="utf-8"))
     except json.JSONDecodeError as exc:
@@ -48,28 +73,48 @@ def load_baseline(path: Path) -> Counter:
             f"baseline {path} has version {payload.get('version')!r}, "
             f"expected {BASELINE_VERSION}"
         )
-    counts: Counter = Counter()
+    exact: Counter = Counter()
+    hashed: Counter = Counter()
     for entry in payload.get("entries", []):
-        key = (entry["rule"], entry["path"], entry["text"])
-        counts[key] += int(entry.get("count", 1))
-    return counts
+        count = int(entry.get("count", 1))
+        exact[(entry["rule"], entry["path"], entry["text"])] += count
+        hashed[
+            entry.get("hash") or _entry_hash(entry["rule"], entry["text"])
+        ] += count
+    return exact, hashed
 
 
 def apply_baseline(
-    findings: list[Finding], accepted: Counter
+    findings: list[Finding], accepted: Counter | tuple[Counter, Counter]
 ) -> tuple[list[Finding], int]:
     """Split findings into (new, baselined-away count).
 
     For each baseline key the first ``count`` occurrences are
     grandfathered; anything beyond that is new debt and is reported.
+    A finding that misses its exact (rule, path, text) key is retried
+    against the content-hash pool, which is what keeps a renamed
+    file's debt grandfathered.  Both pools draw down together on an
+    exact match so a rename cannot double the accepted budget.
     """
-    remaining = Counter(accepted)
+    if isinstance(accepted, tuple):
+        exact, hashed = Counter(accepted[0]), Counter(accepted[1])
+    else:
+        # Backward-compatible single-counter form (exact keys only).
+        exact, hashed = Counter(accepted), Counter()
+        for (rule, _path, text), count in exact.items():
+            hashed[_entry_hash(rule, text)] += count
     new: list[Finding] = []
     matched = 0
     for finding in findings:
         key = finding.key()
-        if remaining.get(key, 0) > 0:
-            remaining[key] -= 1
+        digest = finding.content_hash()
+        if exact.get(key, 0) > 0:
+            exact[key] -= 1
+            if hashed.get(digest, 0) > 0:
+                hashed[digest] -= 1
+            matched += 1
+        elif hashed.get(digest, 0) > 0:
+            hashed[digest] -= 1
             matched += 1
         else:
             new.append(finding)

@@ -3,12 +3,19 @@
 Usage::
 
     python -m repro.analysis check src tests
+    python -m repro.analysis check --project src tests
     python -m repro.analysis check src --select RL001,RL002 --format json
     python -m repro.analysis check src tests --write-baseline
     python -m repro.analysis rules
 
 Exit codes: ``0`` clean (or fully baseline-gated), ``1`` findings,
 ``2`` usage errors (unknown rule id, unreadable baseline).
+
+``--project`` enables the whole-package pass (call graph, async
+taint, name registry) that the interprocedural rules RL007–RL011 need;
+without it they are inert.  Project mode keeps a cross-module index
+(default ``.repro-lint-index.json``) keyed by file mtime+size so warm
+runs only re-parse edited files; ``--no-index`` disables it.
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
+from typing import Any
 
 from repro.analysis.baseline import (
     DEFAULT_BASELINE,
@@ -25,7 +33,8 @@ from repro.analysis.baseline import (
     write_baseline,
 )
 from repro.analysis.engine import check_paths
-from repro.analysis.findings import format_json, format_text
+from repro.analysis.findings import format_github, format_json, format_text
+from repro.analysis.project import DEFAULT_INDEX
 from repro.analysis.registry import all_rules
 
 
@@ -39,7 +48,10 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "repro-lint: project-specific static analysis enforcing "
             "lock discipline, determinism, span hygiene, naming, "
-            "exception policy, and public-API annotations."
+            "exception policy, public-API annotations, and (with "
+            "--project) async safety, resource lifecycle, name-"
+            "registry consistency, deadline propagation, and "
+            "half-open temporal intervals."
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
@@ -57,8 +69,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip these rules",
     )
     check.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="output format (default: text)",
+        "--format", choices=("text", "json", "github"), default="text",
+        help="output format (default: text; 'github' emits ::error "
+             "workflow annotations)",
     )
     check.add_argument(
         "--baseline", type=Path, default=None, metavar="PATH",
@@ -72,6 +85,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--write-baseline", action="store_true",
         help="accept current findings as debt and write the baseline",
     )
+    check.add_argument(
+        "--project", action="store_true",
+        help="run the whole-package pass (call graph + async taint); "
+             "enables the interprocedural rules RL007-RL011",
+    )
+    check.add_argument(
+        "--index", type=Path, default=None, metavar="PATH",
+        help="cross-module index cache for --project "
+             f"(default: {DEFAULT_INDEX})",
+    )
+    check.add_argument(
+        "--no-index", action="store_true",
+        help="re-parse every file; do not read or write the index",
+    )
 
     sub.add_parser("rules", help="list registered rules")
     return parser
@@ -84,10 +111,20 @@ def _cmd_rules() -> int:
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
+    stats: dict[str, Any] = {}
     try:
-        findings = check_paths(
-            args.paths, select=args.select, ignore=args.ignore
-        )
+        if args.project:
+            index_path = None
+            if not args.no_index:
+                index_path = args.index or Path(DEFAULT_INDEX)
+            findings = check_paths(
+                args.paths, select=args.select, ignore=args.ignore,
+                project=True, index_path=index_path, stats=stats,
+            )
+        else:
+            findings = check_paths(
+                args.paths, select=args.select, ignore=args.ignore
+            )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -112,13 +149,22 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
     if args.format == "json":
         print(format_json(findings))
+    elif args.format == "github":
+        if findings:
+            print(format_github(findings))
     elif findings:
         print(format_text(findings))
 
-    if args.format == "text":
+    if args.format in ("text", "github"):
         summary = f"{len(findings)} finding(s)"
         if matched:
             summary += f" ({matched} baselined)"
+        if stats:
+            summary += (
+                f"; {stats['files']} file(s) analyzed in "
+                f"{stats['elapsed_s']:.2f}s "
+                f"({stats['reused']} from index, {stats['parsed']} parsed)"
+            )
         print(summary, file=sys.stderr)
     return 1 if findings else 0
 

@@ -149,8 +149,26 @@ def check_paths(
     select: list[str] | None = None,
     ignore: list[str] | None = None,
     root: Path | None = None,
+    project: bool = False,
+    index_path: Path | None = None,
+    stats: dict | None = None,
 ) -> list[Finding]:
-    """Analyze files/directories; parse failures become RL000."""
+    """Analyze files/directories; parse failures become RL000.
+
+    With ``project=True`` the whole-package pass runs instead: every
+    file is summarized, the cross-module :class:`ProjectContext` is
+    built, and :class:`~repro.analysis.registry.ProjectRule` instances
+    fire (they are inert per-file).  ``index_path`` caches summaries
+    across runs; ``stats`` (a dict) receives file/reuse/elapsed counts.
+    """
+    if project:
+        # Imported lazily: project.py builds on this module.
+        from repro.analysis.project import check_project
+
+        return check_project(
+            paths, select=select, ignore=ignore, root=root,
+            index_path=index_path, stats=stats,
+        )
     rules = resolve_rules(select, ignore)
     findings: list[Finding] = []
     for path in iter_python_files(paths):

@@ -5,12 +5,17 @@ A :class:`Finding` is one rule violation at one source location.  Its
 the line *text* instead: baselines must survive unrelated edits above a
 finding, and the (rule, path, normalized line text) triple is stable
 under such drift the same way flake8/ruff baseline tools match.
+:meth:`Finding.content_hash` drops the path too, so baselines survive
+file *renames* as well (the hash fallback in
+:mod:`repro.analysis.baseline`).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
+from typing import Any
 
 
 @dataclass(frozen=True)
@@ -29,15 +34,52 @@ class Finding:
         """Baseline identity: stable under line-number drift."""
         return (self.rule, self.path, self.line_text)
 
+    def content_hash(self) -> str:
+        """Path-independent identity: stable under file renames.
+
+        Hashes (rule, line text) only, so a finding whose file moved —
+        same offending line, new path — still matches its baseline
+        entry through the hash fallback.
+        """
+        digest = hashlib.sha256(
+            f"{self.rule}\x00{self.line_text}".encode("utf-8")
+        )
+        return digest.hexdigest()[:16]
+
     def location(self) -> str:
         return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form (the project index caches these)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "line_text": self.line_text,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Finding":
+        return cls(
+            rule=str(data["rule"]),
+            path=str(data["path"]),
+            line=int(data["line"]),
+            col=int(data["col"]),
+            message=str(data["message"]),
+            line_text=str(data.get("line_text", "")),
+        )
+
+
+def _sorted(findings: list[Finding]) -> list[Finding]:
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule))
 
 
 def format_text(findings: list[Finding]) -> str:
     """One ``path:line:col: RLxxx message`` line per finding."""
     lines = [
-        f"{f.location()}: {f.rule} {f.message}"
-        for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+        f"{f.location()}: {f.rule} {f.message}" for f in _sorted(findings)
     ]
     return "\n".join(lines)
 
@@ -52,6 +94,29 @@ def format_json(findings: list[Finding]) -> str:
             "col": f.col,
             "message": f.message,
         }
-        for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+        for f in _sorted(findings)
     ]
     return json.dumps(payload, indent=2)
+
+
+def _escape_annotation(text: str) -> str:
+    """Escape a GitHub Actions workflow-command message value."""
+    return (
+        text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    )
+
+
+def format_github(findings: list[Finding]) -> str:
+    """GitHub Actions ``::error`` annotations, one per finding.
+
+    Emitted on stdout inside a workflow step, these attach inline to
+    the PR diff at ``file``/``line`` — the reviewer sees the finding on
+    the offending line without opening the job log.
+    """
+    lines = []
+    for f in _sorted(findings):
+        lines.append(
+            f"::error file={f.path},line={f.line},col={f.col},"
+            f"title=repro-lint {f.rule}::{_escape_annotation(f.message)}"
+        )
+    return "\n".join(lines)

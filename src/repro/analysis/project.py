@@ -1,0 +1,1351 @@
+"""Whole-package analysis pass for ``repro.analysis``.
+
+Per-file rules (RL001–RL006) see one AST at a time; the invariants
+PRs 6–9 introduced — "no blocking call reachable from the event
+loop", "every pool created is closed", "every metric name read was
+declared somewhere" — span functions and modules.  This module builds
+the shared cross-module view those rules need:
+
+* a :class:`ModuleSummary` per file — functions, classes, call sites,
+  resource creations, declared/used observability names — cheap to
+  serialize, so summaries cache in ``.repro-lint-index.json`` keyed by
+  file mtime+size and only edited files re-parse;
+* a :class:`ProjectContext` over all summaries — best-effort call
+  graph (import aliases, ``self.attr`` receivers via inferred
+  attribute types, MRO walk), **async taint** (an ``async def``, or
+  anything transitively reachable from one without an
+  ``asyncio.to_thread``/executor hop, runs on the event loop), the
+  declared-name registry, and the closeable-class set;
+* the :func:`check_project` driver behind ``--project`` mode, which
+  runs per-file rules as usual and then every
+  :class:`~repro.analysis.registry.ProjectRule` once over the context.
+
+Everything here is *best effort*: an unresolvable call simply adds no
+edge, so the analysis under-approximates reachability rather than
+guessing.  Rules built on it therefore favor precision (few false
+positives) over recall, and real gaps are covered by targeted
+receiver-name heuristics in the rules themselves.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import re
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.engine import (
+    FileContext,
+    build_context,
+    check_context,
+    iter_python_files,
+    module_name_for,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.registry import (
+    META_RULE,
+    ProjectRule,
+    Rule,
+    all_rules,
+    resolve_rules,
+)
+from repro.analysis.suppressions import SuppressionIndex, parse_suppressions
+
+#: Index-format version; bump on incompatible summary changes.
+INDEX_VERSION = 1
+
+#: Default cross-module index file (repo root, like the baseline).
+DEFAULT_INDEX = ".repro-lint-index.json"
+
+#: Calls that move work off the event loop: taint does not propagate
+#: through them (neither to the callee nor to function refs passed in).
+_HOP_CALLEES = {"asyncio.to_thread"}
+_HOP_ATTRS = {"run_in_executor"}
+
+#: Receiver tokens that mark ``.submit``/``.map`` as a pool dispatch.
+_POOL_TOKENS = ("pool", "executor", "_threads", "_processes", "workers")
+
+#: Constructors whose callable arguments run on another thread/process.
+_HOP_CTORS = {"ThreadPoolExecutor", "ProcessPoolExecutor", "Thread",
+              "Process", "Timer"}
+
+#: Method names whose presence makes a class a closeable resource.
+_CLOSE_METHODS = {"close", "aclose", "close_all", "shutdown",
+                  "__exit__", "__aexit__"}
+
+#: Stdlib / third-party resource classes with no in-project definition.
+EXTERNAL_CLOSEABLE = {"SharedMemory", "ThreadPoolExecutor",
+                      "ProcessPoolExecutor"}
+
+#: Calls on a variable that count as releasing the resource it holds.
+_DISCHARGE_CALLS = {"close", "aclose", "close_all", "shutdown", "stop",
+                    "terminate", "unlink", "join"}
+
+#: Parameter names that carry a deadline through the call stack.
+DEADLINE_PARAMS = {"deadline", "deadline_s", "deadline_ms"}
+
+#: Factory attrs producing thread locks (vs ``asyncio`` primitives).
+_THREAD_LOCK_FACTORIES = {"Lock", "RLock", "Condition", "Semaphore",
+                          "BoundedSemaphore"}
+
+
+# ---------------------------------------------------------------------------
+# Summary dataclasses (all JSON round-trippable for the index cache)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function body."""
+
+    callee: str  #: best-effort dotted text, alias/var-resolved
+    line: int
+    col: int
+    hop: bool = False  #: moves work off the event loop (taint barrier)
+    awaited: bool = False  #: direct operand of ``await`` / asyncio.* arg
+    refs: list[str] = field(default_factory=list)  #: bare callables passed
+    passes_deadline: bool = False
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"callee": self.callee, "line": self.line, "col": self.col,
+                "hop": self.hop, "awaited": self.awaited, "refs": self.refs,
+                "passes_deadline": self.passes_deadline}
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "CallSite":
+        return cls(callee=d["callee"], line=d["line"], col=d["col"],
+                   hop=d["hop"], awaited=d["awaited"], refs=list(d["refs"]),
+                   passes_deadline=d["passes_deadline"])
+
+
+@dataclass
+class Creation:
+    """One constructor call that may allocate a closeable resource."""
+
+    cls: str  #: alias-resolved constructor text
+    line: int
+    col: int
+    var: str = ""  #: local name it was bound to ("" if none)
+    discharged: bool = False
+    how: str = ""  #: with / returned / handoff / stored / closed
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"cls": self.cls, "line": self.line, "col": self.col,
+                "var": self.var, "discharged": self.discharged,
+                "how": self.how}
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "Creation":
+        return cls(cls=d["cls"], line=d["line"], col=d["col"],
+                   var=d["var"], discharged=d["discharged"], how=d["how"])
+
+
+@dataclass
+class FuncInfo:
+    """Summary of one function or method."""
+
+    name: str  #: local qualname: ``f``, ``C.m``, ``f.<locals>.g``
+    line: int
+    col: int
+    is_async: bool = False
+    cls: str = ""  #: enclosing class local name ("" for free functions)
+    params: list[str] = field(default_factory=list)
+    deadline_param: str = ""  #: the deadline-carrying param, if any
+    calls: list[CallSite] = field(default_factory=list)
+    creations: list[Creation] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"name": self.name, "line": self.line, "col": self.col,
+                "is_async": self.is_async, "cls": self.cls,
+                "params": self.params, "deadline_param": self.deadline_param,
+                "calls": [c.to_dict() for c in self.calls],
+                "creations": [c.to_dict() for c in self.creations]}
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "FuncInfo":
+        return cls(name=d["name"], line=d["line"], col=d["col"],
+                   is_async=d["is_async"], cls=d["cls"],
+                   params=list(d["params"]),
+                   deadline_param=d["deadline_param"],
+                   calls=[CallSite.from_dict(c) for c in d["calls"]],
+                   creations=[Creation.from_dict(c) for c in d["creations"]])
+
+
+@dataclass
+class ClassInfo:
+    """Summary of one class definition."""
+
+    name: str
+    line: int
+    bases: list[str] = field(default_factory=list)
+    methods: list[str] = field(default_factory=list)
+    attr_types: dict[str, str] = field(default_factory=dict)
+    closeable: bool = False  #: defines a close-like method itself
+    lock_attrs: list[str] = field(default_factory=list)  #: threading locks
+    async_lock_attrs: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"name": self.name, "line": self.line, "bases": self.bases,
+                "methods": self.methods, "attr_types": self.attr_types,
+                "closeable": self.closeable, "lock_attrs": self.lock_attrs,
+                "async_lock_attrs": self.async_lock_attrs}
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "ClassInfo":
+        return cls(name=d["name"], line=d["line"], bases=list(d["bases"]),
+                   methods=list(d["methods"]),
+                   attr_types=dict(d["attr_types"]),
+                   closeable=d["closeable"],
+                   lock_attrs=list(d["lock_attrs"]),
+                   async_lock_attrs=list(d["async_lock_attrs"]))
+
+
+@dataclass
+class NameUse:
+    """A literal observability-name read to validate against the registry."""
+
+    kind: str  #: ``metric`` or ``fault``
+    name: str
+    line: int
+    col: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "name": self.name,
+                "line": self.line, "col": self.col}
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "NameUse":
+        return cls(kind=d["kind"], name=d["name"],
+                   line=d["line"], col=d["col"])
+
+
+@dataclass
+class ModuleSummary:
+    """Everything the project pass retains about one parsed file."""
+
+    rel: str
+    module: str | None
+    functions: dict[str, FuncInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    declared_names: set[str] = field(default_factory=set)
+    declared_prefixes: set[str] = field(default_factory=set)
+    name_uses: list[NameUse] = field(default_factory=list)
+    fault_constants: set[str] = field(default_factory=set)
+    #: line → justified-suppression rule ids (applies to project findings)
+    suppressed: dict[int, list[str]] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rel": self.rel,
+            "module": self.module,
+            "functions": {k: v.to_dict() for k, v in self.functions.items()},
+            "classes": {k: v.to_dict() for k, v in self.classes.items()},
+            "declared_names": sorted(self.declared_names),
+            "declared_prefixes": sorted(self.declared_prefixes),
+            "name_uses": [u.to_dict() for u in self.name_uses],
+            "fault_constants": sorted(self.fault_constants),
+            "suppressed": {str(k): v for k, v in self.suppressed.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "ModuleSummary":
+        return cls(
+            rel=d["rel"],
+            module=d["module"],
+            functions={k: FuncInfo.from_dict(v)
+                       for k, v in d["functions"].items()},
+            classes={k: ClassInfo.from_dict(v)
+                     for k, v in d["classes"].items()},
+            declared_names=set(d["declared_names"]),
+            declared_prefixes=set(d["declared_prefixes"]),
+            name_uses=[NameUse.from_dict(u) for u in d["name_uses"]],
+            fault_constants=set(d["fault_constants"]),
+            suppressed={int(k): list(v)
+                        for k, v in d["suppressed"].items()},
+        )
+
+
+# ---------------------------------------------------------------------------
+# Summarizer: one parsed file -> ModuleSummary
+# ---------------------------------------------------------------------------
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` text for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _looks_like_class(text: str) -> bool:
+    """Final dotted segment starts uppercase (PEP 8 class naming)."""
+    leaf = text.rpartition(".")[2]
+    return bool(leaf) and leaf[0].isupper()
+
+
+def _clean_type(text: str) -> str:
+    """Best-effort class name out of an annotation text.
+
+    ``Optional[WorkerPool]`` / ``"WorkerPool | None"`` / ``WorkerPool``
+    all reduce to ``WorkerPool``; unhandled shapes reduce to ``""``.
+    """
+    text = text.replace(" ", "").replace('"', "").replace("'", "")
+    if text.startswith("Optional[") and text.endswith("]"):
+        text = text[len("Optional["):-1]
+    for part in text.split("|"):
+        if part and part != "None":
+            text = part
+            break
+    if "[" in text:  # list[WorkerPool] etc. — container, not the class
+        return ""
+    return text if all(p.isidentifier() for p in text.split(".")) else ""
+
+
+def _import_table(tree: ast.Module, module: str | None) -> dict[str, str]:
+    """Local name → dotted target for every import in the file."""
+    table: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    table[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".")[0]
+                    table[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level and module:
+                # Relative import: resolve against this module's package.
+                pkg = module.split(".")
+                pkg = pkg[: len(pkg) - node.level] if node.level <= len(pkg) else []
+                base = ".".join(pkg + ([node.module] if node.module else []))
+            elif node.level:
+                continue  # relative import outside src/ — unresolvable
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                table[alias.asname or alias.name] = (
+                    f"{base}.{alias.name}" if base else alias.name
+                )
+    return table
+
+
+def _scan_nodes(body: list[ast.stmt]) -> list[ast.AST]:
+    """Every node in ``body`` excluding nested function/lambda subtrees."""
+    out: list[ast.AST] = []
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        out.append(node)
+        stack.extend(ast.iter_child_nodes(node))
+    return out
+
+
+class _FunctionScanner:
+    """Extracts one :class:`FuncInfo` from a def's own body."""
+
+    def __init__(
+        self,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        qual: str,
+        cls: str,
+        imports: dict[str, str],
+        local_funcs: dict[str, str],
+    ) -> None:
+        self.node = node
+        self.qual = qual
+        self.cls = cls
+        self.imports = imports
+        self.local_funcs = local_funcs  # in-scope def name -> local qual
+        self.var_types: dict[str, str] = {}
+
+    def qualify(self, text: str) -> str:
+        """Substitute a dotted text's root via var types then imports."""
+        root, dot, rest = text.partition(".")
+        if root == "self":
+            return text
+        if root in self.var_types:
+            return self.var_types[root] + dot + rest
+        if root in self.local_funcs:
+            return self.local_funcs[root] + dot + rest
+        if root in self.imports:
+            return self.imports[root] + dot + rest
+        return text
+
+    def _infer_types(self, nodes: list[ast.AST]) -> None:
+        for arg in (self.node.args.posonlyargs + self.node.args.args
+                    + self.node.args.kwonlyargs):
+            if arg.annotation is not None:
+                t = _clean_type(ast.unparse(arg.annotation))
+                if t:
+                    self.var_types[arg.arg] = self.qualify(t)
+        # Source order matters for chains like ``ctl = self._c`` then
+        # ``sem = ctl._semaphore`` (the second leans on the first).
+        nodes = sorted(
+            nodes, key=lambda n: (getattr(n, "lineno", 0),
+                                  getattr(n, "col_offset", 0))
+        )
+        for node in nodes:
+            if isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                t = _clean_type(ast.unparse(node.annotation))
+                if t:
+                    self.var_types[node.target.id] = self.qualify(t)
+            elif (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+            ):
+                name = node.targets[0].id
+                value = node.value
+                if isinstance(value, ast.Call):
+                    t = _dotted(value.func)
+                    if t is not None and _looks_like_class(t):
+                        self.var_types[name] = self.qualify(t)
+                elif isinstance(value, ast.Attribute):
+                    t = _dotted(value)
+                    if t is not None and t.startswith("self."):
+                        # Resolved against the class at graph time.
+                        self.var_types[name] = t
+                    elif t is not None:
+                        root, dot, rest = t.partition(".")
+                        if root in self.var_types:
+                            self.var_types[name] = (
+                                self.var_types[root] + dot + rest
+                            )
+                elif isinstance(value, ast.IfExp):
+                    for branch in (value.body, value.orelse):
+                        if isinstance(branch, ast.Call):
+                            t = _dotted(branch.func)
+                            if t is not None and _looks_like_class(t):
+                                self.var_types[name] = self.qualify(t)
+                                break
+
+    def _is_hop(self, callee: str, call: ast.Call) -> bool:
+        if callee in _HOP_CALLEES:
+            return True
+        prefix, _, attr = callee.rpartition(".")
+        if attr in _HOP_ATTRS:
+            return True
+        receiver = prefix.lower()
+        if attr in {"submit", "map"} and any(
+            tok in receiver for tok in _POOL_TOKENS
+        ):
+            return True
+        if _looks_like_class(callee) and callee.rpartition(".")[2] in _HOP_CTORS:
+            return True
+        return False
+
+    def _is_awaited(
+        self, call: ast.Call, parents: dict[int, ast.AST]
+    ) -> bool:
+        """Operand of ``await`` (or arg to an asyncio.* combinator).
+
+        An awaited expression is by construction a coroutine/future,
+        not a synchronous block; whatever blocking it contains lives in
+        the awaited callee, which taint propagation reaches anyway.
+        """
+        parent = parents.get(id(call))
+        if isinstance(parent, ast.Await):
+            return True
+        if isinstance(parent, ast.keyword):
+            parent = parents.get(id(parent))
+        if isinstance(parent, ast.Call):
+            text = _dotted(parent.func)
+            if text is not None and self.qualify(text).startswith("asyncio."):
+                return True
+        return False
+
+    def _call_site(
+        self, call: ast.Call, parents: dict[int, ast.AST]
+    ) -> CallSite:
+        text = _dotted(call.func)
+        callee = self.qualify(text) if text is not None else ""
+        refs: list[str] = []
+        passes_deadline = False
+        for arg in call.args:
+            t = _dotted(arg)
+            if t is not None:
+                if "deadline" in t.lower():
+                    passes_deadline = True
+                refs.append(self.qualify(t))
+        for kw in call.keywords:
+            if kw.arg is not None and (
+                kw.arg in DEADLINE_PARAMS or "deadline" in kw.arg
+            ):
+                passes_deadline = True
+            t = _dotted(kw.value)
+            if t is not None:
+                if "deadline" in t.lower():
+                    passes_deadline = True
+                refs.append(self.qualify(t))
+        return CallSite(
+            callee=callee,
+            line=call.lineno,
+            col=call.col_offset + 1,
+            hop=self._is_hop(callee, call) if callee else False,
+            awaited=self._is_awaited(call, parents),
+            refs=refs,
+            passes_deadline=passes_deadline,
+        )
+
+    def _deadline_param(self) -> str:
+        for arg in (self.node.args.posonlyargs + self.node.args.args
+                    + self.node.args.kwonlyargs):
+            if arg.arg in DEADLINE_PARAMS:
+                return arg.arg
+            if arg.annotation is not None and (
+                "deadline" in ast.unparse(arg.annotation).lower()
+            ):
+                return arg.arg
+        return ""
+
+    def _creations(
+        self, nodes: list[ast.AST], parents: dict[int, ast.AST]
+    ) -> list[Creation]:
+        """Constructor calls + whether each one's resource is discharged."""
+        creations: list[Creation] = []
+        by_var: dict[str, Creation] = {}
+        for node in nodes:
+            if not isinstance(node, ast.Call):
+                continue
+            text = _dotted(node.func)
+            if text is None:
+                continue
+            resolved = self.qualify(text)
+            if not _looks_like_class(resolved):
+                continue
+            creation = Creation(
+                cls=resolved, line=node.lineno, col=node.col_offset + 1
+            )
+            parent = parents.get(id(node))
+            # ``self.x = y if y is not None else X()`` wraps the call.
+            while isinstance(parent, (ast.IfExp, ast.BoolOp)):
+                parent = parents.get(id(parent))
+            if isinstance(parent, ast.withitem):
+                creation.discharged, creation.how = True, "with"
+            elif isinstance(parent, (ast.Return, ast.Yield, ast.YieldFrom,
+                                     ast.Await)):
+                creation.discharged, creation.how = True, "returned"
+            elif isinstance(parent, (ast.Call, ast.keyword)):
+                creation.discharged, creation.how = True, "handoff"
+            elif isinstance(parent, ast.Assign):
+                targets = parent.targets
+                if len(targets) == 1 and isinstance(targets[0], ast.Name):
+                    creation.var = targets[0].id
+                    by_var[creation.var] = creation
+                else:
+                    # self.x = X() / d[k] = X(): ownership handed to the
+                    # container, whose own lifecycle rules apply.
+                    creation.discharged, creation.how = True, "stored"
+            elif isinstance(parent, ast.AnnAssign):
+                if isinstance(parent.target, ast.Name):
+                    creation.var = parent.target.id
+                    by_var[creation.var] = creation
+                else:
+                    creation.discharged, creation.how = True, "stored"
+            creations.append(creation)
+        if by_var:
+            self._discharge_vars(nodes, by_var)
+        return creations
+
+    def _discharge_vars(
+        self, nodes: list[ast.AST], by_var: dict[str, Creation]
+    ) -> None:
+        """Mark var-bound creations that are released later in the body."""
+        for node in nodes:
+            if isinstance(node, ast.Call):
+                text = _dotted(node.func)
+                if text is not None:
+                    root, _, rest = text.partition(".")
+                    if (root in by_var
+                            and rest.rpartition(".")[2] in _DISCHARGE_CALLS):
+                        c = by_var[root]
+                        c.discharged, c.how = True, "closed"
+                for arg in list(node.args) + [k.value for k in node.keywords]:
+                    if isinstance(arg, ast.Name) and arg.id in by_var:
+                        c = by_var[arg.id]
+                        c.discharged, c.how = True, "handoff"
+            elif isinstance(node, ast.withitem):
+                expr = node.context_expr
+                if isinstance(expr, ast.Name) and expr.id in by_var:
+                    c = by_var[expr.id]
+                    c.discharged, c.how = True, "with"
+            elif isinstance(node, (ast.Return, ast.Yield)):
+                if isinstance(node.value, ast.Name) and node.value.id in by_var:
+                    c = by_var[node.value.id]
+                    c.discharged, c.how = True, "returned"
+            elif isinstance(node, ast.Assign):
+                values = [node.value]
+                if isinstance(node.value, (ast.Tuple, ast.List)):
+                    values = list(node.value.elts)
+                stored_names = {
+                    v.id for v in values
+                    if isinstance(v, ast.Name) and v.id in by_var
+                }
+                if stored_names and any(
+                    isinstance(t, (ast.Attribute, ast.Subscript))
+                    for t in node.targets
+                ):
+                    for name in stored_names:
+                        c = by_var[name]
+                        c.discharged, c.how = True, "stored"
+
+    def scan(self) -> FuncInfo:
+        nodes = _scan_nodes(self.node.body)
+        parents: dict[int, ast.AST] = {}
+        for node in nodes:
+            for child in ast.iter_child_nodes(node):
+                parents[id(child)] = node
+        self._infer_types(nodes)
+        params = [a.arg for a in (self.node.args.posonlyargs
+                                  + self.node.args.args
+                                  + self.node.args.kwonlyargs)]
+        info = FuncInfo(
+            name=self.qual,
+            line=self.node.lineno,
+            col=self.node.col_offset + 1,
+            is_async=isinstance(self.node, ast.AsyncFunctionDef),
+            cls=self.cls,
+            params=params,
+            deadline_param=self._deadline_param(),
+        )
+        for node in nodes:
+            if isinstance(node, ast.Call):
+                site = self._call_site(node, parents)
+                if site.callee or site.refs:
+                    info.calls.append(site)
+        info.creations = self._creations(nodes, parents)
+        return info
+
+
+#: Dotted observability-name shape (mirrors rules/naming.py NAME_RE).
+_DOTTED_NAME = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
+
+#: Metric/event writes — a literal first arg *declares* that name.
+_DECLARING_ATTRS = {"incr", "_incr", "observe", "event", "set_gauge",
+                    "adjust_gauge", "span", "time"}
+
+#: Metric reads — a literal first arg must match a declared name.
+_READING_ATTRS = {"count", "gauge", "observations", "summary"}
+
+#: Fault-injector ops — a literal first arg must be a declared point.
+_FAULT_ATTRS = {"arm", "check", "acheck", "fires", "disarm", "rule"}
+
+
+def _receiver_of(call: ast.Call) -> str:
+    if isinstance(call.func, ast.Attribute):
+        try:
+            return ast.unparse(call.func.value).lower()
+        except (ValueError, AttributeError):  # pragma: no cover
+            return ""
+    return ""
+
+
+def _metricish(receiver: str) -> bool:
+    return ("metric" in receiver or "registr" in receiver
+            or receiver in {"m", "reg"})
+
+
+def _faultish(receiver: str) -> bool:
+    return "injector" in receiver or "fault" in receiver
+
+
+def _literal_prefix(call: ast.Call) -> str | None:
+    """Leading literal text of an f-string first arg (name prefixes)."""
+    if not call.args or not isinstance(call.args[0], ast.JoinedStr):
+        return None
+    joined = call.args[0]
+    if joined.values and isinstance(joined.values[0], ast.Constant):
+        value = joined.values[0].value
+        if isinstance(value, str) and "." in value:
+            return value.rstrip(".")
+    return None
+
+
+def _harvest_names(tree: ast.Module, summary: ModuleSummary) -> None:
+    """Collect declared and used observability names from every call."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) or not isinstance(
+            node.func, ast.Attribute
+        ):
+            continue
+        attr = node.func.attr
+        receiver = _receiver_of(node)
+        literal = None
+        if node.args and isinstance(node.args[0], ast.Constant) and isinstance(
+            node.args[0].value, str
+        ):
+            literal = node.args[0].value
+        if attr in _DECLARING_ATTRS:
+            if literal is not None and _DOTTED_NAME.match(literal):
+                summary.declared_names.add(literal)
+            else:
+                prefix = _literal_prefix(node)
+                if prefix is not None:
+                    summary.declared_prefixes.add(prefix)
+        elif attr in _READING_ATTRS and _metricish(receiver):
+            if literal is not None and _DOTTED_NAME.match(literal):
+                summary.name_uses.append(NameUse(
+                    kind="metric", name=literal,
+                    line=node.lineno, col=node.col_offset + 1,
+                ))
+        elif attr in _FAULT_ATTRS and _faultish(receiver):
+            if literal is not None and _DOTTED_NAME.match(literal):
+                summary.name_uses.append(NameUse(
+                    kind="fault", name=literal,
+                    line=node.lineno, col=node.col_offset + 1,
+                ))
+
+
+def _harvest_constants(tree: ast.Module, summary: ModuleSummary) -> None:
+    """Module-level ``UPPER = "dotted.name"`` constants (fault points)."""
+    for node in tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id.isupper()
+            and isinstance(node.value, ast.Constant)
+            and isinstance(node.value.value, str)
+            and _DOTTED_NAME.match(node.value.value)
+        ):
+            summary.fault_constants.add(node.value.value)
+
+
+def _lock_kind(value: ast.expr) -> str:
+    """``thread``/``async``/``""`` for a lock-factory assignment RHS."""
+    if not isinstance(value, ast.Call):
+        return ""
+    func = value.func
+    if isinstance(func, ast.Attribute) and func.attr in _THREAD_LOCK_FACTORIES:
+        receiver = ""
+        try:
+            receiver = ast.unparse(func.value)
+        except (ValueError, AttributeError):  # pragma: no cover
+            pass
+        return "async" if receiver == "asyncio" else "thread"
+    if isinstance(func, ast.Name) and func.id in _THREAD_LOCK_FACTORIES:
+        # ``from threading import Lock`` style; asyncio primitives are
+        # conventionally used via the module, so a bare name is a
+        # thread lock unless proven otherwise.
+        return "thread"
+    return ""
+
+
+def _summarize_class(
+    node: ast.ClassDef,
+    imports: dict[str, str],
+    summary: ModuleSummary,
+    module_funcs: dict[str, str],
+) -> None:
+    info = ClassInfo(name=node.name, line=node.lineno)
+    for base in node.bases:
+        text = _dotted(base)
+        if text is not None:
+            root, dot, rest = text.partition(".")
+            if root in imports:
+                text = imports[root] + dot + rest
+            info.bases.append(text)
+    for item in node.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.methods.append(item.name)
+            qual = f"{node.name}.{item.name}"
+            _summarize_function(
+                item, qual, node.name, imports, summary, module_funcs
+            )
+            if item.name in ("__init__", "__post_init__"):
+                _infer_attr_types(item, imports, info)
+        elif isinstance(item, ast.AnnAssign) and isinstance(
+            item.target, ast.Name
+        ):
+            t = _clean_type(ast.unparse(item.annotation))
+            if t:
+                root, dot, rest = t.partition(".")
+                if root in imports:
+                    t = imports[root] + dot + rest
+                info.attr_types[item.target.id] = t
+    info.closeable = bool(set(info.methods) & _CLOSE_METHODS)
+    summary.classes[node.name] = info
+
+
+def _infer_attr_types(
+    init: ast.FunctionDef | ast.AsyncFunctionDef,
+    imports: dict[str, str],
+    info: ClassInfo,
+) -> None:
+    """``self.x = ...`` attribute types from a constructor body."""
+    param_types: dict[str, str] = {}
+    for arg in (init.args.posonlyargs + init.args.args
+                + init.args.kwonlyargs):
+        if arg.annotation is not None:
+            t = _clean_type(ast.unparse(arg.annotation))
+            if t:
+                root, dot, rest = t.partition(".")
+                if root in imports:
+                    t = imports[root] + dot + rest
+                param_types[arg.arg] = t
+
+    def rhs_type(value: ast.expr) -> str:
+        if isinstance(value, ast.Call):
+            t = _dotted(value.func)
+            if t is not None and _looks_like_class(t):
+                root, dot, rest = t.partition(".")
+                if root in imports:
+                    return imports[root] + dot + rest
+                return t
+        elif isinstance(value, ast.Name) and value.id in param_types:
+            return param_types[value.id]
+        elif isinstance(value, ast.IfExp):
+            for branch in (value.body, value.orelse):
+                t = rhs_type(branch)
+                if t:
+                    return t
+        return ""
+
+    for node in _scan_nodes(init.body):
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        for target in targets:
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            assert value is not None
+            kind = _lock_kind(value)
+            if kind == "thread":
+                info.lock_attrs.append(target.attr)
+            elif kind == "async":
+                info.async_lock_attrs.append(target.attr)
+            if isinstance(node, ast.AnnAssign):
+                t = _clean_type(ast.unparse(node.annotation))
+                if t:
+                    root, dot, rest = t.partition(".")
+                    if root in imports:
+                        t = imports[root] + dot + rest
+                    info.attr_types[target.attr] = t
+                    continue
+            t = rhs_type(value)
+            if t:
+                info.attr_types.setdefault(target.attr, t)
+
+
+def _summarize_function(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+    qual: str,
+    cls: str,
+    imports: dict[str, str],
+    summary: ModuleSummary,
+    module_funcs: dict[str, str],
+) -> None:
+    nested = {
+        item.name: f"{qual}.<locals>.{item.name}"
+        for item in ast.walk(node)
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and item is not node
+    }
+    local_funcs = dict(module_funcs)
+    local_funcs.update(nested)
+    scanner = _FunctionScanner(node, qual, cls, imports, local_funcs)
+    summary.functions[qual] = scanner.scan()
+    for item in node.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _summarize_function(
+                item, f"{qual}.<locals>.{item.name}", "", imports,
+                summary, local_funcs,
+            )
+
+
+def summarize_module(
+    rel: str,
+    module: str | None,
+    tree: ast.Module,
+    suppressions: SuppressionIndex | None = None,
+) -> ModuleSummary:
+    """Build the project-pass summary for one parsed file."""
+    summary = ModuleSummary(rel=rel, module=module)
+    imports = _import_table(tree, module)
+    module_funcs: dict[str, str] = {
+        item.name: item.name
+        for item in tree.body
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _summarize_function(
+                node, node.name, "", imports, summary, module_funcs
+            )
+        elif isinstance(node, ast.ClassDef):
+            _summarize_class(node, imports, summary, module_funcs)
+    _harvest_names(tree, summary)
+    _harvest_constants(tree, summary)
+    if suppressions is not None:
+        for line, sups in suppressions.by_line.items():
+            ids = sorted({
+                rid for sup in sups if sup.justified for rid in sup.rules
+            })
+            if ids:
+                summary.suppressed[line] = ids
+    return summary
+
+
+# ---------------------------------------------------------------------------
+# ProjectContext: the cross-module view project rules consume
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FunctionRef:
+    """One function in the global graph, with enough context to resolve
+    its call sites (module for same-module names, class for ``self.``)."""
+
+    rel: str
+    module: str | None
+    qual: str  #: global qualname, e.g. ``repro.service.http.Server.stop``
+    info: FuncInfo
+    cls_qual: str = ""  #: global class qualname for methods ("" otherwise)
+
+
+class ProjectContext:
+    """Call graph + async taint + name registry over all summaries."""
+
+    #: Cap on MRO / attribute-chain walks; real hierarchies are shallow
+    #: and the cap keeps accidental base-class cycles from spinning.
+    MAX_WALK = 8
+
+    def __init__(
+        self,
+        summaries: dict[str, ModuleSummary],
+        root: Path | None = None,
+        sources: dict[str, str] | None = None,
+    ) -> None:
+        self.summaries = summaries
+        self.root = root
+        self._lines: dict[str, list[str]] = {
+            rel: src.splitlines() for rel, src in (sources or {}).items()
+        }
+        self.functions: dict[str, FunctionRef] = {}
+        self.classes: dict[str, tuple[str, ClassInfo]] = {}
+        self._class_simple: dict[str, list[str]] = {}
+        for rel, summary in summaries.items():
+            base = summary.module or rel
+            for cname, cinfo in summary.classes.items():
+                cq = f"{base}.{cname}"
+                self.classes[cq] = (rel, cinfo)
+                self._class_simple.setdefault(cname, []).append(cq)
+            for fqual, finfo in summary.functions.items():
+                ref = FunctionRef(
+                    rel=rel, module=summary.module,
+                    qual=f"{base}.{fqual}", info=finfo,
+                    cls_qual=f"{base}.{finfo.cls}" if finfo.cls else "",
+                )
+                self.functions[ref.qual] = ref
+        self.declared_names: set[str] = set()
+        self.declared_prefixes: set[str] = set()
+        self.fault_names: set[str] = set()
+        for summary in summaries.values():
+            self.declared_names |= summary.declared_names
+            self.declared_prefixes |= summary.declared_prefixes
+            if summary.module and summary.module.startswith("repro.robustness"):
+                self.fault_names |= summary.fault_constants
+        #: tainted qual -> the caller that tainted it (None for seeds)
+        self.async_taint: dict[str, str | None] = {}
+        self._propagate_taint()
+
+    # -- class / call resolution -------------------------------------
+
+    def resolve_class(self, text: str) -> str | None:
+        """Global class qualname for a dotted class text, best effort."""
+        if not text:
+            return None
+        if text in self.classes:
+            return text
+        simple = text.rpartition(".")[2]
+        quals = self._class_simple.get(simple, [])
+        if len(quals) == 1:
+            return quals[0]
+        return None
+
+    def attr_type(self, cls_qual: str, attr: str) -> str | None:
+        """Declared/inferred type text of ``attr`` via the MRO."""
+        for cq in self._mro(cls_qual):
+            _, info = self.classes[cq]
+            if attr in info.attr_types:
+                return info.attr_types[attr]
+        return None
+
+    def _mro(self, cls_qual: str) -> list[str]:
+        order: list[str] = []
+        seen: set[str] = set()
+        queue = [cls_qual]
+        while queue and len(order) < self.MAX_WALK:
+            cq = queue.pop(0)
+            if cq in seen or cq not in self.classes:
+                continue
+            seen.add(cq)
+            order.append(cq)
+            _, info = self.classes[cq]
+            for base in info.bases:
+                bq = self.resolve_class(base)
+                if bq is not None:
+                    queue.append(bq)
+        return order
+
+    def resolve_method(self, cls_qual: str, name: str) -> str | None:
+        """Global qual of ``name`` looked up through the class MRO."""
+        for cq in self._mro(cls_qual):
+            _, info = self.classes[cq]
+            if name in info.methods:
+                qual = f"{cq}.{name}"
+                return qual if qual in self.functions else None
+        return None
+
+    def lock_kind_of(self, cls_qual: str, attr: str) -> str:
+        """``thread``/``async``/``""`` for a ``self.<attr>`` lock."""
+        for cq in self._mro(cls_qual):
+            _, info = self.classes[cq]
+            if attr in info.lock_attrs:
+                return "thread"
+            if attr in info.async_lock_attrs:
+                return "async"
+        return ""
+
+    def _walk_attrs(self, cls_qual: str, parts: list[str]) -> str | None:
+        """Resolve ``parts`` (attrs... method) starting from a class."""
+        cls: str | None = cls_qual
+        for hop, part in enumerate(parts):
+            if cls is None:
+                return None
+            if hop == len(parts) - 1:
+                return self.resolve_method(cls, part)
+            t = self.attr_type(cls, part)
+            if t is None:
+                return None
+            cls = self.resolve_class(t)
+        return None
+
+    def resolve_call(self, text: str, caller: FunctionRef) -> str | None:
+        """Global qual of a call site's target, or ``None``.
+
+        Tries, in order: ``self.``-rooted attribute walks through the
+        caller's class, same-module names, absolute dotted names, then
+        a class-prefixed attribute walk (``Type.attr.method``).
+        """
+        if not text or text.startswith("<"):
+            return None
+        parts = text.split(".")
+        if parts[0] == "self":
+            if not caller.cls_qual or len(parts) < 2:
+                return None
+            return self._walk_attrs(caller.cls_qual, parts[1:])
+        base = caller.module or caller.rel
+        for prefix in (base, None):
+            cand = f"{prefix}.{text}" if prefix else text
+            if cand in self.functions:
+                return cand
+            if cand in self.classes:
+                return self.resolve_method(cand, "__init__")
+        if len(parts) >= 2:
+            for split in range(len(parts) - 1, 0, -1):
+                cq = self.resolve_class(".".join(parts[:split]))
+                if cq is not None:
+                    return self._walk_attrs(cq, parts[split:])
+        return None
+
+    # -- async taint ---------------------------------------------------
+
+    def _propagate_taint(self) -> None:
+        queue: list[str] = []
+        for qual, ref in self.functions.items():
+            # Seed only from package code: an async *test* runs under
+            # asyncio.run in a throwaway loop where blocking is a
+            # test-speed concern, not a correctness bug.
+            if ref.info.is_async and ref.module is not None:
+                self.async_taint[qual] = None
+                queue.append(qual)
+        while queue:
+            qual = queue.pop(0)
+            ref = self.functions[qual]
+            for call in ref.info.calls:
+                if call.hop:
+                    continue
+                targets = []
+                resolved = self.resolve_call(call.callee, ref)
+                if resolved is not None:
+                    targets.append(resolved)
+                for r in call.refs:
+                    rt = self.resolve_call(r, ref)
+                    if rt is not None:
+                        targets.append(rt)
+                for target in targets:
+                    if target not in self.async_taint:
+                        self.async_taint[target] = qual
+                        queue.append(target)
+
+    def is_tainted(self, qual: str) -> bool:
+        """Whether ``qual`` may run on the event loop."""
+        return qual in self.async_taint
+
+    def taint_chain(self, qual: str) -> list[str]:
+        """Path from the async seed down to ``qual`` (inclusive)."""
+        chain = [qual]
+        while True:
+            parent = self.async_taint.get(chain[-1])
+            if parent is None or parent in chain:
+                break
+            chain.append(parent)
+        chain.reverse()
+        return chain
+
+    # -- resources ----------------------------------------------------
+
+    def closeable_class(self, cls_text: str) -> str | None:
+        """Display name if ``cls_text`` is a closeable resource class.
+
+        In-project classes qualify when they (or a resolvable base)
+        define a close-like method; well-known stdlib resource classes
+        (:data:`EXTERNAL_CLOSEABLE`) qualify by name.
+        """
+        simple = cls_text.rpartition(".")[2]
+        if simple in EXTERNAL_CLOSEABLE:
+            return simple
+        cq = self.resolve_class(cls_text)
+        if cq is None:
+            return None
+        for mq in self._mro(cq):
+            _, info = self.classes[mq]
+            if info.closeable:
+                return cq
+        return None
+
+    # -- misc ----------------------------------------------------------
+
+    def line_text(self, rel: str, line: int) -> str:
+        """Stripped source text at ``rel:line`` (lazy file read)."""
+        if rel not in self._lines:
+            path = (self.root / rel) if self.root else Path(rel)
+            try:
+                self._lines[rel] = path.read_text(
+                    encoding="utf-8"
+                ).splitlines()
+            except OSError:
+                self._lines[rel] = []
+        lines = self._lines[rel]
+        if 1 <= line <= len(lines):
+            return lines[line - 1].strip()
+        return ""
+
+
+# ---------------------------------------------------------------------------
+# Incremental index + the --project driver
+# ---------------------------------------------------------------------------
+
+
+def analysis_token() -> str:
+    """Fingerprint of the analyzer's own sources.
+
+    Cached summaries and findings are only as good as the code that
+    produced them, so the index self-invalidates whenever any module in
+    the analysis package changes.
+    """
+    digest = hashlib.sha256()
+    pkg = Path(__file__).resolve().parent
+    for path in sorted(pkg.rglob("*.py")):
+        digest.update(path.relative_to(pkg).as_posix().encode("utf-8"))
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+def load_index(path: Path) -> dict[str, Any] | None:
+    """Read the cross-module index; ``None`` if absent/stale/corrupt."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(data, dict) or data.get("version") != INDEX_VERSION:
+        return None
+    if data.get("token") != analysis_token():
+        return None
+    files = data.get("files")
+    return data if isinstance(files, dict) else None
+
+
+def write_index(path: Path, files: dict[str, Any]) -> None:
+    """Persist summaries + per-file findings for the next run."""
+    payload = {
+        "version": INDEX_VERSION,
+        "token": analysis_token(),
+        "files": files,
+    }
+    path.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+
+
+def _project_findings(
+    project: ProjectContext,
+    rules: list[Rule],
+    summaries: dict[str, ModuleSummary],
+) -> list[Finding]:
+    """Run project rules, honoring the finding-file's suppressions."""
+    findings: list[Finding] = []
+    for rule in rules:
+        if not isinstance(rule, ProjectRule):
+            continue
+        for finding in rule.check_project(project):
+            summary = summaries.get(finding.path)
+            if summary is not None and finding.rule in summary.suppressed.get(
+                finding.line, []
+            ):
+                continue
+            findings.append(finding)
+    return findings
+
+
+def check_project(
+    paths: list[Path],
+    select: list[str] | None = None,
+    ignore: list[str] | None = None,
+    root: Path | None = None,
+    index_path: Path | None = None,
+    stats: dict[str, Any] | None = None,
+) -> list[Finding]:
+    """Analyze files with per-file *and* project rules (``--project``).
+
+    Per-file findings are computed for **all** registered rules and
+    cached in the index alongside each file's summary (so a later run
+    with a different ``--select`` can still reuse the cache); the
+    returned list is filtered to the selected rules.  Project rules
+    are recomputed every run from the (cheap) summaries.
+    """
+    started = time.perf_counter()
+    selected = resolve_rules(select, ignore)
+    selected_ids = {rule.id for rule in selected}
+    every_rule = list(all_rules().values())
+    file_rules = [r for r in every_rule if not isinstance(r, ProjectRule)]
+    root = root or Path.cwd()
+
+    index = load_index(index_path) if index_path is not None else None
+    cached_files: dict[str, Any] = index["files"] if index else {}
+    next_files: dict[str, Any] = {}
+    reused = parsed = 0
+
+    findings: list[Finding] = []
+    summaries: dict[str, ModuleSummary] = {}
+    for path in iter_python_files(paths):
+        try:
+            rel = path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        entry = cached_files.get(rel)
+        if (
+            entry is not None
+            and entry.get("mtime") == stat.st_mtime
+            and entry.get("size") == stat.st_size
+        ):
+            summary = ModuleSummary.from_dict(entry["summary"])
+            file_findings = [Finding.from_dict(d) for d in entry["findings"]]
+            next_files[rel] = entry
+            reused += 1
+        else:
+            try:
+                ctx = build_context(path, root=root)
+            except (SyntaxError, UnicodeDecodeError) as exc:
+                line = getattr(exc, "lineno", None) or 1
+                findings.append(Finding(
+                    rule=META_RULE, path=rel, line=line, col=1,
+                    message=f"cannot parse file: {exc}", line_text="",
+                ))
+                continue
+            assert ctx is not None
+            file_findings = check_context(ctx, file_rules)
+            summary = summarize_module(
+                ctx.rel, ctx.module, ctx.tree, ctx.suppressions
+            )
+            next_files[rel] = {
+                "mtime": stat.st_mtime,
+                "size": stat.st_size,
+                "summary": summary.to_dict(),
+                "findings": [f.to_dict() for f in file_findings],
+            }
+            parsed += 1
+        summaries[rel] = summary
+        findings.extend(
+            f for f in file_findings
+            if f.rule in selected_ids or f.rule == META_RULE
+        )
+
+    project = ProjectContext(summaries, root=root)
+    findings.extend(_project_findings(project, selected, summaries))
+
+    if index_path is not None:
+        try:
+            write_index(index_path, next_files)
+        except OSError:
+            pass  # read-only checkout: analysis still ran, just uncached
+
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    if stats is not None:
+        stats.update({
+            "files": reused + parsed,
+            "parsed": parsed,
+            "reused": reused,
+            "elapsed_s": time.perf_counter() - started,
+        })
+    return findings
+
+
+def check_project_sources(
+    sources: dict[str, str],
+    select: list[str] | None = None,
+    ignore: list[str] | None = None,
+) -> list[Finding]:
+    """Analyze in-memory sources with project rules — the test entry.
+
+    ``sources`` maps synthetic repo-relative paths (which set module
+    scoping, e.g. ``src/repro/core/_fixture.py``) to source strings.
+    """
+    rules = resolve_rules(select, ignore)
+    findings: list[Finding] = []
+    summaries: dict[str, ModuleSummary] = {}
+    for rel, source in sources.items():
+        tree = ast.parse(source, filename=rel)
+        suppressions = parse_suppressions(source)
+        ctx = FileContext(
+            path=Path(rel),
+            rel=rel,
+            module=module_name_for(rel),
+            source=source,
+            tree=tree,
+            lines=source.splitlines(),
+            suppressions=suppressions,
+        )
+        findings.extend(check_context(
+            ctx, [r for r in rules if not isinstance(r, ProjectRule)]
+        ))
+        summaries[rel] = summarize_module(rel, ctx.module, tree, suppressions)
+    project = ProjectContext(summaries, sources=sources)
+    findings.extend(_project_findings(project, rules, summaries))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings

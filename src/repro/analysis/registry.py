@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Type
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.analysis.engine import FileContext
     from repro.analysis.findings import Finding
+    from repro.analysis.project import ProjectContext
 
 #: Reserved id for analyzer meta-findings (unparsable file, malformed
 #: suppression comment).  Not a registered rule: it cannot be selected,
@@ -59,6 +60,50 @@ class Rule:
             col=col,
             message=message,
             line_text=text,
+        )
+
+
+class ProjectRule(Rule):
+    """Base class for rules that need the whole-package view.
+
+    A project rule sees the :class:`~repro.analysis.project.ProjectContext`
+    — call graph, async taint, declared-name registry, resource-class
+    set — instead of one file at a time.  Its per-file :meth:`check` is
+    a no-op so project rules are silently inert outside ``--project``
+    mode (the cross-module facts they test simply do not exist there);
+    the engine invokes :meth:`check_project` once after every file has
+    been summarized.  Inline suppressions still apply: the engine drops
+    a project finding when the *finding's* file carries a justified
+    directive on that line.
+    """
+
+    def check(self, ctx: "FileContext") -> Iterator["Finding"]:
+        return iter(())
+
+    def check_project(
+        self, project: "ProjectContext"
+    ) -> Iterator["Finding"]:
+        """Yield findings computed over the whole project."""
+        raise NotImplementedError
+
+    def project_finding(
+        self,
+        project: "ProjectContext",
+        rel: str,
+        line: int,
+        col: int,
+        message: str,
+    ) -> "Finding":
+        """Build a :class:`Finding` resolving line text via the project."""
+        from repro.analysis.findings import Finding
+
+        return Finding(
+            rule=self.id,
+            path=rel,
+            line=line,
+            col=col,
+            message=message,
+            line_text=project.line_text(rel, line),
         )
 
 

@@ -7,9 +7,14 @@ effect.
 
 from repro.analysis.rules import (  # noqa: F401  (registration side effect)
     annotations,
+    async_safety,
+    deadlines,
     determinism,
     exceptions,
+    intervals,
+    lifecycle,
     locks,
+    names,
     naming,
     spans,
 )

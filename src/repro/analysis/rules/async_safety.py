@@ -1,0 +1,275 @@
+"""RL007 / RL008 — event-loop safety.
+
+RL007 (project rule): a blocking call — ``time.sleep``, sync lock
+acquire, pool submit/teardown, file or socket IO — must not be
+reachable from an ``async def`` without an ``asyncio.to_thread`` /
+executor hop in between.  One armed fault-injection latency or one
+cold ``WorkerPool.warm()`` on the loop stalls *every* concurrent
+session, which is exactly the multi-user interference the admission
+controller exists to prevent.
+
+RL008 (per-file rule): a ``threading`` lock held across an ``await``
+serializes the event loop behind lock holders and deadlocks outright
+if the awaited task needs the same lock (the PR 4 breaker
+check-then-call race generalized).  Async code must use
+``asyncio.Lock`` — or release the sync lock before awaiting.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from repro.analysis.registry import ProjectRule, Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.engine import FileContext
+    from repro.analysis.findings import Finding
+    from repro.analysis.project import CallSite, FunctionRef, ProjectContext
+
+#: Fully-qualified callables that block the calling thread.
+BLOCKING_EXACT = {
+    "time.sleep",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_output",
+    "subprocess.check_call",
+    "subprocess.Popen",
+    "socket.create_connection",
+    "urllib.request.urlopen",
+    "requests.get",
+    "requests.post",
+    "requests.request",
+    "open",
+}
+
+#: Path-object IO attrs (``p.read_text()`` hits the disk).
+_BLOCKING_IO_ATTRS = {"read_text", "write_text", "read_bytes",
+                      "write_bytes"}
+
+#: Pool/executor lifecycle+dispatch attrs that block or stall the loop.
+_POOL_BLOCKING_ATTRS = {"submit", "map", "shutdown", "join", "result",
+                        "warm"}
+_POOL_RECEIVER_TOKENS = ("pool", "executor", "_threads", "_processes",
+                         "workers", "worker", "future", "fut", "thread",
+                         "process", "proc")
+
+
+def _short(qual: str) -> str:
+    """Trailing segments of a global qualname for compact messages."""
+    parts = qual.split(".")
+    return ".".join(parts[-3:]) if len(parts) > 3 else qual
+
+
+@register
+class BlockingCallInAsyncRule(ProjectRule):
+    id = "RL007"
+    name = "blocking-call-in-async"
+    description = (
+        "No blocking call (time.sleep, sync lock acquire, pool "
+        "submit/teardown, file/socket IO) may be reachable from async "
+        "code without an asyncio.to_thread/executor hop."
+    )
+
+    def _blocking_reason(
+        self,
+        project: "ProjectContext",
+        ref: "FunctionRef",
+        call: "CallSite",
+    ) -> str | None:
+        callee = call.callee
+        if not callee:
+            return None
+        if call.awaited:
+            # An awaited expression is a coroutine/future, not a sync
+            # block; any blocking inside the awaited callee is reached
+            # by taint propagation and flagged at its own site.
+            return None
+        if callee in BLOCKING_EXACT:
+            return f"'{callee}' blocks the calling thread"
+        receiver, _, attr = callee.rpartition(".")
+        lowered = receiver.lower()
+        if attr in _BLOCKING_IO_ATTRS and receiver:
+            return f"'{callee}' performs synchronous file IO"
+        if attr == "acquire" and receiver:
+            if lowered.startswith("asyncio"):
+                return None
+            if receiver.startswith("self.") and "." not in receiver[5:]:
+                kind = project.lock_kind_of(ref.cls_qual, receiver[5:])
+                if kind == "thread":
+                    return f"'{callee}' acquires a threading lock"
+                if kind == "async":
+                    return None
+            if "lock" in lowered or "sem" in lowered:
+                return f"'{callee}' acquires a sync primitive"
+            return None
+        if attr in _POOL_BLOCKING_ATTRS and any(
+            token in lowered for token in _POOL_RECEIVER_TOKENS
+        ):
+            return (
+                f"'{callee}' dispatches to / tears down a worker pool "
+                "synchronously"
+            )
+        return None
+
+    def check_project(
+        self, project: "ProjectContext"
+    ) -> Iterator["Finding"]:
+        for qual, ref in project.functions.items():
+            if not project.is_tainted(qual):
+                continue
+            for call in ref.info.calls:
+                reason = self._blocking_reason(project, ref, call)
+                if reason is None:
+                    continue
+                chain = project.taint_chain(qual)
+                via = " -> ".join(_short(q) for q in chain[-4:])
+                yield self.project_finding(
+                    project, ref.rel, call.line, call.col,
+                    f"{reason} but may run on the event loop "
+                    f"(async-reachable via {via}); await an async "
+                    "equivalent or hop via asyncio.to_thread",
+                )
+
+
+def _thread_lock_rhs(value: ast.expr) -> bool:
+    """Whether an assignment RHS constructs a ``threading`` lock."""
+    if not isinstance(value, ast.Call):
+        return False
+    factories = {"Lock", "RLock", "Condition", "Semaphore",
+                 "BoundedSemaphore"}
+    func = value.func
+    if isinstance(func, ast.Attribute) and func.attr in factories:
+        return (isinstance(func.value, ast.Name)
+                and func.value.id != "asyncio")
+    # ``from threading import Lock`` style: asyncio primitives are
+    # conventionally module-qualified, so a bare name is a thread lock.
+    return isinstance(func, ast.Name) and func.id in factories
+
+
+def _class_thread_locks(node: ast.ClassDef) -> set[str]:
+    """``self.X`` attrs assigned a threading lock in this class body."""
+    attrs: set[str] = set()
+    for item in ast.walk(node):
+        if isinstance(item, ast.Assign) and _thread_lock_rhs(item.value):
+            for target in item.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    attrs.add(target.attr)
+    return attrs
+
+
+def _own_nodes(body: list[ast.stmt]) -> list[ast.AST]:
+    """Nodes of ``body`` excluding nested function/lambda subtrees."""
+    out: list[ast.AST] = []
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        out.append(node)
+        stack.extend(ast.iter_child_nodes(node))
+    return out
+
+
+@register
+class LockHeldAcrossAwaitRule(Rule):
+    id = "RL008"
+    name = "lock-held-across-await"
+    description = (
+        "A threading lock must not be held across an await (and never "
+        "used with 'async with'): the loop serializes behind the "
+        "holder, or deadlocks if the awaited task wants the lock."
+    )
+
+    def _is_thread_lock(
+        self, expr: ast.expr, class_locks: set[str], local_locks: set[str]
+    ) -> str | None:
+        """Display text when ``expr`` is a known threading lock."""
+        if _thread_lock_rhs(expr) and not (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Attribute)
+            and isinstance(expr.func.value, ast.Name)
+            and expr.func.value.id == "asyncio"
+        ):
+            try:
+                return ast.unparse(expr)
+            except (ValueError, AttributeError):  # pragma: no cover
+                return None
+        if isinstance(expr, ast.Name) and expr.id in local_locks:
+            return expr.id
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and expr.attr in class_locks
+        ):
+            return f"self.{expr.attr}"
+        return None
+
+    def _check_async_def(
+        self,
+        ctx: "FileContext",
+        node: ast.AsyncFunctionDef,
+        class_locks: set[str],
+    ) -> Iterator["Finding"]:
+        own = _own_nodes(node.body)
+        local_locks = {
+            target.id
+            for item in own
+            if isinstance(item, ast.Assign) and _thread_lock_rhs(item.value)
+            for target in item.targets
+            if isinstance(target, ast.Name)
+        }
+        for item in own:
+            if isinstance(item, ast.AsyncWith):
+                for with_item in item.items:
+                    lock = self._is_thread_lock(
+                        with_item.context_expr, class_locks, local_locks
+                    )
+                    if lock is not None:
+                        yield self.finding(
+                            ctx, item.lineno, item.col_offset + 1,
+                            f"'async with {lock}' on a threading lock: "
+                            "threading locks are not async context "
+                            "managers; use asyncio.Lock",
+                        )
+            elif isinstance(item, ast.With):
+                held = [
+                    lock for with_item in item.items
+                    if (lock := self._is_thread_lock(
+                        with_item.context_expr, class_locks, local_locks
+                    )) is not None
+                ]
+                if held and any(
+                    isinstance(sub, ast.Await)
+                    for sub in _own_nodes(item.body)
+                ):
+                    yield self.finding(
+                        ctx, item.lineno, item.col_offset + 1,
+                        f"threading lock '{held[0]}' is held across an "
+                        "await; the event loop serializes behind the "
+                        "holder (use asyncio.Lock, or release before "
+                        "awaiting)",
+                    )
+
+    def check(self, ctx: "FileContext") -> Iterator["Finding"]:
+        # Map every async def to its enclosing class's thread locks.
+        pending: list[tuple[ast.AsyncFunctionDef, set[str]]] = []
+        for node in ctx.tree.body:
+            if isinstance(node, ast.ClassDef):
+                locks = _class_thread_locks(node)
+                for sub in ast.walk(node):
+                    if isinstance(sub, ast.AsyncFunctionDef):
+                        pending.append((sub, locks))
+            else:
+                for sub in ast.walk(node):
+                    if isinstance(sub, ast.AsyncFunctionDef):
+                        pending.append((sub, set()))
+        for async_def, locks in pending:
+            yield from self._check_async_def(ctx, async_def, locks)

@@ -1,0 +1,67 @@
+"""RL011 — deadline propagation.
+
+A public operation that accepts a deadline (``deadline`` /
+``deadline_s`` / ``deadline_ms`` parameter, or any parameter annotated
+with a ``Deadline`` type) promises bounded latency.  That promise is
+only as good as the deepest call: a selection or prefetch call made
+*without* forwarding the deadline runs to completion regardless,
+turning the budget into a lie precisely when the system is overloaded
+and the deadline matters most.
+
+This is a project rule: whether the callee even takes a deadline is a
+fact about its (usually cross-module) signature.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from repro.analysis.registry import ProjectRule, register
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.findings import Finding
+    from repro.analysis.project import ProjectContext
+
+
+def _short(qual: str) -> str:
+    parts = qual.split(".")
+    return ".".join(parts[-2:]) if len(parts) > 2 else qual
+
+
+@register
+class DeadlinePropagationRule(ProjectRule):
+    id = "RL011"
+    name = "deadline-propagation"
+    description = (
+        "An operation accepting a deadline must forward it into every "
+        "call it makes to a deadline-aware callee."
+    )
+
+    def check_project(
+        self, project: "ProjectContext"
+    ) -> Iterator["Finding"]:
+        for qual, ref in project.functions.items():
+            if not ref.info.deadline_param:
+                continue
+            if ref.module is None or not (
+                ref.module == "repro" or ref.module.startswith("repro.")
+            ):
+                continue
+            for call in ref.info.calls:
+                if call.passes_deadline:
+                    continue
+                target = project.resolve_call(call.callee, ref)
+                if target is None or target == qual:
+                    continue
+                tinfo = project.functions[target].info
+                if not tinfo.deadline_param:
+                    continue
+                yield self.project_finding(
+                    project, ref.rel, call.line, call.col,
+                    f"'{_short(qual)}' accepts "
+                    f"'{ref.info.deadline_param}' but calls "
+                    f"'{_short(target)}' without forwarding it — the "
+                    "callee runs unbounded while the caller's budget "
+                    "expires",
+                )

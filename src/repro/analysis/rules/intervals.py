@@ -1,0 +1,130 @@
+"""RL012 — half-open temporal-interval discipline.
+
+Every temporal window in the system is half-open: ``t0 <= t < t1``
+(:meth:`GeoDataset.time_mask`, slider steps, streaming cutoffs).  A
+closed upper bound (``t <= t1``) double-counts boundary objects when
+adjacent windows tile the timeline — the population of ``[t0, t1]``
+and ``[t1, t2]`` overlap at ``t1``, which silently breaks the
+exact-population premise behind Lemma 5.1 prefetch bounds.
+
+The rule flags comparisons whose *upper* bound is closed when the
+compared quantity looks temporal (``ts``/``t``/``time``/
+``timestamp``/``window``/``cutoff`` tokens).  Pure bound-vs-bound
+validation (``t0 <= t1``) is deliberately exempt: comparing two
+endpoints is ordering, not membership.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from repro.analysis.registry import Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.engine import FileContext
+    from repro.analysis.findings import Finding
+
+_TEMPORAL_TOKENS = {"t", "t0", "t1", "ts", "time", "times", "timestamp",
+                    "timestamps", "cutoff", "window"}
+#: Names that are unambiguously a time *coordinate* (not just
+#: time-adjacent like ``time_hysteresis`` or ``elapsed_time``).
+_STRICT_TEMPORAL = {"t", "t0", "t1", "ts", "timestamp", "timestamps",
+                    "cutoff"}
+_END_TOKENS = {"t1", "end", "hi", "high", "max", "stop", "until", "upper"}
+_START_TOKENS = {"t0", "start", "lo", "low", "min", "begin", "lower"}
+
+_SPLIT = re.compile(r"[_.\[\]()'\" ]+")
+
+
+def _tokens(node: ast.expr) -> set[str]:
+    try:
+        text = ast.unparse(node).lower()
+    except (ValueError, AttributeError):  # pragma: no cover
+        return set()
+    return {tok for tok in _SPLIT.split(text) if tok}
+
+
+def _is_temporal(tokens: set[str]) -> bool:
+    return bool(tokens & _TEMPORAL_TOKENS)
+
+
+def _is_bound(tokens: set[str]) -> bool:
+    """Whether an expression names a window endpoint (t0/t_end/...)."""
+    return bool(tokens & (_END_TOKENS | _START_TOKENS))
+
+
+def _is_end(tokens: set[str]) -> bool:
+    return bool(tokens & _END_TOKENS)
+
+
+@register
+class HalfOpenIntervalRule(Rule):
+    id = "RL012"
+    name = "half-open-intervals"
+    description = (
+        "Temporal window membership must be half-open (t0 <= t < t1); "
+        "a closed upper bound (t <= t1) double-counts window "
+        "boundaries."
+    )
+
+    def applies_to(self, ctx: "FileContext") -> bool:
+        return ctx.in_module("repro")
+
+    def _flag(
+        self, ctx: "FileContext", node: ast.Compare, upper: ast.expr
+    ) -> "Finding":
+        try:
+            text = ast.unparse(node)
+        except (ValueError, AttributeError):  # pragma: no cover
+            text = "<comparison>"
+        try:
+            upper_text = ast.unparse(upper)
+        except (ValueError, AttributeError):  # pragma: no cover
+            upper_text = "<bound>"
+        return self.finding(
+            ctx, node.lineno, node.col_offset + 1,
+            f"closed temporal upper bound in '{text}': windows are "
+            f"half-open [t0, t1) — use '< {upper_text}'",
+        )
+
+    def check(self, ctx: "FileContext") -> Iterator["Finding"]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            if len(node.ops) == 2 and isinstance(
+                node.ops[0], (ast.LtE, ast.Lt)
+            ) and isinstance(node.ops[1], ast.LtE):
+                # Chained range check ``lo <= x <= hi``: the middle
+                # operand is the member, the last is the upper bound.
+                # Require either an unambiguous time coordinate or an
+                # end-named bound, so scalar validations like
+                # ``0.0 <= time_hysteresis <= 1.0`` stay clean.
+                middle, upper = _tokens(operands[1]), operands[2]
+                strict = bool(middle & _STRICT_TEMPORAL)
+                if (
+                    (strict or (_is_temporal(middle)
+                                and _is_end(_tokens(upper))))
+                    and not _is_bound(middle)
+                ):
+                    yield self._flag(ctx, node, upper)
+            elif len(node.ops) == 1:
+                left, right = operands
+                ltoks, rtoks = _tokens(left), _tokens(right)
+                if isinstance(node.ops[0], ast.LtE):
+                    member, bound, btoks = left, right, rtoks
+                    mtoks = ltoks
+                elif isinstance(node.ops[0], ast.GtE):
+                    member, bound, btoks = right, left, ltoks
+                    mtoks = rtoks
+                else:
+                    continue
+                if (
+                    _is_end(btoks)
+                    and _is_temporal(mtoks)
+                    and not _is_bound(mtoks)
+                ):
+                    yield self._flag(ctx, node, bound)

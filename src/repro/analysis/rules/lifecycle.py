@@ -1,0 +1,64 @@
+"""RL009 — resource lifecycle.
+
+``WorkerPool`` owns OS processes and shared-memory segments,
+``TileStore`` owns a pool, ``StreamingSelector`` owns per-session
+state, ``SharedMemory`` leaks a ``/dev/shm`` segment until ``unlink``.
+Creating one of these and dropping it on the floor is a slow leak that
+only shows up under multi-session load (PR 6's ``close_all`` exists
+precisely because of this).  Every creation of a closeable class must
+be discharged on the creating path: context-managed (``with``),
+returned to the caller, stored on an owner, handed to another call, or
+explicitly closed.
+
+This is a project rule: "closeable" is a property of the *class*
+(does it or a base define ``close``/``aclose``/``shutdown``/
+``__exit__``?), which usually lives in another module than the
+creation site.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from repro.analysis.registry import ProjectRule, register
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.findings import Finding
+    from repro.analysis.project import ProjectContext
+
+
+@register
+class ResourceLifecycleRule(ProjectRule):
+    id = "RL009"
+    name = "resource-lifecycle"
+    description = (
+        "Creations of closeable resource classes (WorkerPool, "
+        "SharedMemory, TileStore, ...) must be closed on all paths: "
+        "'with', try/finally, return, or handoff to a close()-bearing "
+        "owner."
+    )
+
+    def check_project(
+        self, project: "ProjectContext"
+    ) -> Iterator["Finding"]:
+        for ref in project.functions.values():
+            # Test helpers create short-lived fixtures with finalizer
+            # patterns the summarizer cannot see; scope to the package.
+            if ref.module is None or not (
+                ref.module == "repro" or ref.module.startswith("repro.")
+            ):
+                continue
+            for creation in ref.info.creations:
+                if creation.discharged:
+                    continue
+                if project.closeable_class(creation.cls) is None:
+                    continue
+                leaf = creation.cls.rpartition(".")[2]
+                bound = f" (bound to '{creation.var}')" if creation.var else ""
+                yield self.project_finding(
+                    project, ref.rel, creation.line, creation.col,
+                    f"'{leaf}' created here{bound} is never closed on "
+                    "this path; use 'with', try/finally, or hand it to "
+                    "an owner that closes it",
+                )

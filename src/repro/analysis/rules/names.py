@@ -1,0 +1,66 @@
+"""RL010 — name-registry consistency.
+
+Metric and fault-point names are stringly-typed: a typo'd dotted name
+in ``metrics.count("servce.shed")`` or ``injector.arm("index.qurey")``
+does not crash — it silently reads zero or arms a point nothing ever
+checks, which is the worst failure mode for observability code.  The
+project pass harvests every *declared* name (literal first args of
+``incr``/``observe``/``event``/``set_gauge``/``adjust_gauge``/
+``span``/``time`` writes, plus f-string literal prefixes, plus
+module-level fault-point constants in ``repro.robustness``) and this
+rule validates every literal *read* against that registry.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from repro.analysis.registry import ProjectRule, register
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.findings import Finding
+    from repro.analysis.project import ProjectContext
+
+
+@register
+class NameRegistryRule(ProjectRule):
+    id = "RL010"
+    name = "name-registry"
+    description = (
+        "Literal metric/fault-point names that are read (count, gauge, "
+        "observations, arm, fires, ...) must match a name declared by "
+        "some write or fault-point constant."
+    )
+
+    def check_project(
+        self, project: "ProjectContext"
+    ) -> Iterator["Finding"]:
+        declared = project.declared_names
+        prefixes = project.declared_prefixes
+        for rel, summary in project.summaries.items():
+            for use in summary.name_uses:
+                if use.kind == "metric":
+                    if use.name in declared:
+                        continue
+                    if any(
+                        use.name == p or use.name.startswith(p + ".")
+                        for p in prefixes
+                    ):
+                        continue
+                    yield self.project_finding(
+                        project, rel, use.line, use.col,
+                        f"metric name '{use.name}' is read here but "
+                        "never declared by any incr/observe/set_gauge/"
+                        "event write — likely a typo'd dotted name "
+                        "that silently reads zero",
+                    )
+                elif use.kind == "fault":
+                    if use.name in project.fault_names:
+                        continue
+                    yield self.project_finding(
+                        project, rel, use.line, use.col,
+                        f"fault point '{use.name}' is not a declared "
+                        "fault-point constant in repro.robustness — "
+                        "arming it would inject into nothing",
+                    )

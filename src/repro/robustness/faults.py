@@ -23,6 +23,7 @@ schedules are reproducible in tests.
 
 from __future__ import annotations
 
+import asyncio
 import time
 from collections.abc import Callable
 from dataclasses import dataclass, field
@@ -148,6 +149,25 @@ class FaultInjector:
         rule = self._rules.get(point)
         return rule.fires if rule is not None else 0
 
+    def _draw(self, point: str) -> FaultRule | None:
+        """Bookkeeping + probability draw; the fired rule or ``None``."""
+        rule = self._rules.get(point)
+        if rule is None:
+            return None
+        self.attempts[point] = self.attempts.get(point, 0) + 1
+        if rule.max_fires is not None and rule.fires >= rule.max_fires:
+            return None
+        if rule.probability < 1.0 and self._rng.random() >= rule.probability:
+            return None
+        rule.fires += 1
+        return rule
+
+    def _raise_fired(self, rule: FaultRule, point: str) -> None:
+        if rule.error is INJECTED:
+            raise FaultInjected(point)
+        if rule.error is not None:
+            raise rule.error()
+
     def check(self, point: str) -> None:
         """Traverse ``point``: maybe sleep, maybe raise.
 
@@ -156,19 +176,28 @@ class FaultInjector:
         probability and, on a fire, applies latency and raises the
         configured error.  ``FaultInjected`` errors carry the point
         name.
+
+        This variant sleeps with ``time.sleep`` and must only run off
+        the event loop (worker threads, ``asyncio.to_thread`` hops);
+        async callers use :meth:`acheck`.
         """
-        rule = self._rules.get(point)
+        rule = self._draw(point)
         if rule is None:
             return
-        self.attempts[point] = self.attempts.get(point, 0) + 1
-        if rule.max_fires is not None and rule.fires >= rule.max_fires:
-            return
-        if rule.probability < 1.0 and self._rng.random() >= rule.probability:
-            return
-        rule.fires += 1
         if rule.latency_s > 0.0:
             time.sleep(rule.latency_s)
-        if rule.error is INJECTED:
-            raise FaultInjected(point)
-        if rule.error is not None:
-            raise rule.error()
+        self._raise_fired(rule, point)
+
+    async def acheck(self, point: str) -> None:
+        """Async :meth:`check`: identical semantics, loop-safe latency.
+
+        Injected latency is applied with ``await asyncio.sleep`` so an
+        armed rule delays only the traversing request instead of
+        stalling every coroutine on the event loop.
+        """
+        rule = self._draw(point)
+        if rule is None:
+            return
+        if rule.latency_s > 0.0:
+            await asyncio.sleep(rule.latency_s)
+        self._raise_fired(rule, point)

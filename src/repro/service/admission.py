@@ -174,7 +174,9 @@ class AdmissionTicket:
     async def __aenter__(self) -> "AdmissionTicket":
         ctl = self._controller
         if ctl.fault_injector is not None:
-            ctl.fault_injector.check(SERVICE_ADMIT)
+            # acheck, not check: an armed admit latency must delay only
+            # this request, not stall the loop for every session.
+            await ctl.fault_injector.acheck(SERVICE_ADMIT)
         breaker = ctl.breaker
         if breaker is not None and not breaker.allows():
             # Fast read-only peek: an open breaker rejects before any

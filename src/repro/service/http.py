@@ -82,19 +82,34 @@ class ServiceHTTPServer:
             self._sweeper = asyncio.ensure_future(self._sweep_loop())
 
     async def stop(self) -> None:
-        """Stop accepting, cancel the sweeper, close the service."""
+        """Stop accepting, cancel the sweeper, close the service.
+
+        Teardown must be unconditional: a sweeper that already died
+        with a real exception (an eviction bug, say) re-raises it from
+        ``await self._sweeper`` — that must not leave the listening
+        socket open and the service (sessions, pools) alive.  The
+        sweeper's exception is re-raised *after* everything is down.
+        """
+        sweeper_exc: BaseException | None = None
         if self._sweeper is not None:
             self._sweeper.cancel()
             try:
                 await self._sweeper
             except asyncio.CancelledError:
                 pass
+            # repro-lint: disable=RL005 -- held and re-raised after teardown
+            except BaseException as exc:
+                sweeper_exc = exc
             self._sweeper = None
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
-        await self.service.aclose()
+        try:
+            if self._server is not None:
+                self._server.close()
+                await self._server.wait_closed()
+                self._server = None
+        finally:
+            await self.service.aclose()
+        if sweeper_exc is not None:
+            raise sweeper_exc
 
     async def __aenter__(self) -> "ServiceHTTPServer":
         await self.start()

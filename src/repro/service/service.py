@@ -300,7 +300,9 @@ class SelectionService:
             raise ValueError(f"{request.op} requires a session_id")
         entry = self.sessions.get(request.session_id)
         if request.op == "close":
-            self.sessions.remove(request.session_id)
+            # Closing tears down per-session pools/streams; hop like
+            # every other session-touching operation.
+            await asyncio.to_thread(self.sessions.remove, request.session_id)
             return ServiceResponse(
                 ok=True,
                 op=request.op,
@@ -335,7 +337,12 @@ class SelectionService:
             if key in params
         }
         self._reject_extras(params)
-        entry = self.sessions.create(dataset_name, overrides)
+        # Creation warms the dataset's shared worker pool (process
+        # spawn + shared-memory export) and may evict expired sessions
+        # — seconds of work that must not stall the event loop.
+        entry = await asyncio.to_thread(
+            self.sessions.create, dataset_name, overrides
+        )
         try:
             if region is None:
                 region = self.sessions.dataset(entry.dataset_name).frame()
@@ -346,7 +353,9 @@ class SelectionService:
             # Creation succeeded but the first selection did not; a
             # half-started session would never be reachable again.
             try:
-                self.sessions.remove(entry.session_id)
+                await asyncio.to_thread(
+                    self.sessions.remove, entry.session_id
+                )
             except UnknownSession:
                 pass
             raise

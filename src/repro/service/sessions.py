@@ -285,12 +285,29 @@ class SessionManager:
                     expired.append(entry)
         for entry in expired:
             entry.closed = True
-            entry.session.close()
-            if self.metrics is not None:
+            if self._close_session(entry) and self.metrics is not None:
                 self.metrics.incr("service.sessions.evicted")
         if expired:
             self._sync_gauge()
         return [entry.session_id for entry in expired]
+
+    def _close_session(self, entry: SessionEntry) -> bool:
+        """Close one session, containing (and counting) close errors.
+
+        A single session whose teardown raises must not leak every
+        session behind it in a sweep, nor the shared pools behind a
+        ``close_all``; the error is recorded instead of propagated.
+        Returns whether the close succeeded — callers count successes
+        under their own literal metric name (eviction vs shutdown),
+        which also keeps the name registry's declared set literal.
+        """
+        try:
+            entry.session.close()
+        except Exception:
+            if self.metrics is not None:
+                self.metrics.incr("service.sessions.close_errors")
+            return False
+        return True
 
     def close_all(self) -> None:
         """Shut the manager down, closing every session (idempotent).
@@ -305,15 +322,24 @@ class SessionManager:
             self._sessions.clear()
             pools = list(self._pools.values())
             self._pools.clear()
-        for entry in entries:
-            entry.closed = True
-            entry.session.close()
-        # Shared pools go down after their sessions: a session close
-        # never touches a shared pool (it only detaches), so this is
-        # the single place their executors are released.
-        for pool in pools:
-            pool.close()
-        self._sync_gauge()
+        try:
+            for entry in entries:
+                entry.closed = True
+                if self._close_session(entry) and self.metrics is not None:
+                    self.metrics.incr("service.sessions.closed")
+        finally:
+            # Shared pools go down after their sessions: a session
+            # close never touches a shared pool (it only detaches), so
+            # this is the single place their executors are released —
+            # and it must run even if a session close blew through
+            # _close_session's containment (KeyboardInterrupt et al.).
+            for pool in pools:
+                try:
+                    pool.close()
+                except Exception:
+                    if self.metrics is not None:
+                        self.metrics.incr("service.pools.close_errors")
+            self._sync_gauge()
 
     def _shared_pool(self, name: str, data: GeoDataset) -> WorkerPool | None:
         """The warm per-dataset pool (lazily built), or ``None``.

@@ -141,9 +141,10 @@ class TestBaseline:
         assert len(findings) == 1
         baseline = tmp_path / "debt.json"
         write_baseline(baseline, findings)
-        accepted = load_baseline(baseline)
-        assert sum(accepted.values()) == 1
-        new, matched = apply_baseline(findings, accepted)
+        exact, hashed = load_baseline(baseline)
+        assert sum(exact.values()) == 1
+        assert sum(hashed.values()) == 1
+        new, matched = apply_baseline(findings, (exact, hashed))
         assert new == [] and matched == 1
 
     def test_load_rejects_garbage(self, tmp_path):
@@ -151,6 +152,152 @@ class TestBaseline:
         garbage.write_text("[1, 2", encoding="utf-8")
         with pytest.raises(BaselineError):
             load_baseline(garbage)
+
+
+class TestBaselineRenameStability:
+    def test_renamed_file_stays_grandfathered(self, bad_tree, capsys):
+        """Moving a file must not resurface its accepted debt: the
+        exact (rule, path, text) key misses, but the path-free content
+        hash still matches."""
+        assert main(["check", "src", "--write-baseline"]) == 0
+        pkg = bad_tree / "src" / "repro" / "core"
+        (pkg / "bad.py").rename(pkg / "renamed.py")
+        capsys.readouterr()
+        assert main(["check", "src"]) == 0
+        assert "(1 baselined)" in capsys.readouterr().err
+
+    def test_touched_line_resurfaces_after_rename(self, bad_tree, capsys):
+        """Editing the offending line changes its text, so neither the
+        exact key nor the hash matches — the debt comes due."""
+        assert main(["check", "src", "--write-baseline"]) == 0
+        pkg = bad_tree / "src" / "repro" / "core"
+        (pkg / "bad.py").rename(pkg / "renamed.py")
+        moved = pkg / "renamed.py"
+        moved.write_text(
+            moved.read_text(encoding="utf-8").replace(
+                "time.perf_counter()", "time.perf_counter() + 0.0"
+            ),
+            encoding="utf-8",
+        )
+        capsys.readouterr()
+        assert main(["check", "src"]) == 1
+
+    def test_rename_cannot_double_the_budget(self, bad_tree):
+        """An exact match draws the hash pool down too: a second copy
+        of the same offending line is new debt, not a free rename."""
+        findings = check_paths([Path("src")])
+        baseline = bad_tree / "debt.json"
+        write_baseline(baseline, findings)
+        twin = findings[0].__class__(**{
+            **findings[0].__dict__, "path": "src/repro/core/copy.py",
+        })
+        new, matched = apply_baseline(
+            findings + [twin], load_baseline(baseline)
+        )
+        assert matched == 1
+        assert [f.path for f in new] == ["src/repro/core/copy.py"]
+
+    def test_legacy_single_counter_still_applies(self, bad_tree):
+        """Pre-hash callers passed a plain Counter of exact keys; the
+        hash pool is derived so renames still match."""
+        from collections import Counter
+
+        findings = check_paths([Path("src")])
+        accepted = Counter(f.key() for f in findings)
+        moved = findings[0].__class__(**{
+            **findings[0].__dict__, "path": "src/repro/core/moved.py",
+        })
+        new, matched = apply_baseline([moved], accepted)
+        assert new == [] and matched == 1
+
+
+class TestGithubFormat:
+    def test_error_annotations(self, bad_tree, capsys):
+        assert main(["check", "src", "--format", "github"]) == 1
+        out = capsys.readouterr().out
+        assert out.startswith("::error file=")
+        assert "title=repro-lint RL002" in out
+        assert "bad.py" in out
+
+    def test_clean_run_emits_nothing(self, bad_tree, capsys):
+        (bad_tree / "src" / "repro" / "core" / "bad.py").write_text(
+            "X: int = 1\n", encoding="utf-8"
+        )
+        assert main(["check", "src", "--format", "github"]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_newlines_escaped(self):
+        from repro.analysis.findings import Finding, format_github
+
+        finding = Finding(
+            rule="RL001", path="a.py", line=1, col=1,
+            message="first\nsecond %", line_text="x",
+        )
+        line = format_github([finding])
+        assert "\n" not in line
+        assert "first%0Asecond %25" in line
+
+
+ASYNC_BUG = textwrap.dedent(
+    """
+    import time
+
+    async def _handler() -> None:
+        time.sleep(0.1)
+    """
+)
+
+
+class TestProjectMode:
+    @pytest.fixture
+    def async_tree(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        pkg = tmp_path / "src" / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "svc.py").write_text(ASYNC_BUG, encoding="utf-8")
+        return tmp_path
+
+    def test_project_rules_need_the_flag(self, async_tree, capsys):
+        assert main(["check", "src", "--select", "RL007"]) == 0
+        assert main(["check", "src", "--select", "RL007", "--project"]) == 1
+        assert "RL007" in capsys.readouterr().out
+
+    def test_index_reused_on_second_run(self, async_tree, capsys):
+        args = ["check", "src", "--project", "--select", "RL007"]
+        assert main(args) == 1
+        assert "(0 from index, 1 parsed)" in capsys.readouterr().err
+        assert Path(".repro-lint-index.json").exists()
+        assert main(args) == 1
+        assert "(1 from index, 0 parsed)" in capsys.readouterr().err
+
+    def test_no_index_skips_the_cache(self, async_tree, capsys):
+        args = [
+            "check", "src", "--project", "--select", "RL007", "--no-index",
+        ]
+        assert main(args) == 1
+        assert not Path(".repro-lint-index.json").exists()
+        assert main(args) == 1
+        assert "(0 from index, 1 parsed)" in capsys.readouterr().err
+
+    def test_explicit_index_path(self, async_tree, tmp_path, capsys):
+        index = tmp_path / "cache"
+        index.mkdir()
+        index = index / "idx.json"
+        args = [
+            "check", "src", "--project", "--select", "RL007",
+            "--index", str(index),
+        ]
+        assert main(args) == 1
+        assert index.exists()
+
+    def test_project_repo_gate(self, monkeypatch, capsys):
+        """The PR's acceptance gate: the whole repo is clean under the
+        project pass with no baseline debt."""
+        monkeypatch.chdir(REPO_ROOT)
+        assert main([
+            "check", "src", "tests", "--project", "--no-index",
+            "--no-baseline",
+        ]) == 0
 
 
 class TestRepoGate:

@@ -1,0 +1,348 @@
+"""ProjectContext: call graph, async taint, summaries, index cache.
+
+Unit coverage for the cross-module machinery under the project rules
+(RL007-RL011): call-site resolution through ``self`` and typed
+attributes, hop detection, taint propagation over cycles and through
+decorated functions, summary serialization, and the mtime-keyed index
+that makes repeated ``--project`` runs cheap.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import textwrap
+from pathlib import Path
+
+from repro.analysis.engine import module_name_for
+from repro.analysis.project import (
+    ModuleSummary,
+    ProjectContext,
+    analysis_token,
+    check_project,
+    load_index,
+    summarize_module,
+    write_index,
+)
+from repro.analysis.suppressions import parse_suppressions
+
+
+def build_project(sources: dict[str, str]) -> ProjectContext:
+    clean = {rel: textwrap.dedent(src) for rel, src in sources.items()}
+    summaries = {}
+    for rel, src in clean.items():
+        summaries[rel] = summarize_module(
+            rel, module_name_for(rel), ast.parse(src),
+            parse_suppressions(src),
+        )
+    return ProjectContext(summaries, sources=clean)
+
+
+class TestCallGraph:
+    def test_self_method_resolution(self):
+        project = build_project({"src/repro/core/_fx.py": """
+            class Engine:
+                def run(self):
+                    self.step()
+
+                def step(self):
+                    pass
+        """})
+        ref = project.functions["repro.core._fx.Engine.run"]
+        target = project.resolve_call(ref.info.calls[0].callee, ref)
+        assert target == "repro.core._fx.Engine.step"
+
+    def test_same_module_function_resolution(self):
+        project = build_project({"src/repro/core/_fx.py": """
+            def outer():
+                helper()
+
+            def helper():
+                pass
+        """})
+        ref = project.functions["repro.core._fx.outer"]
+        assert (
+            project.resolve_call("helper", ref)
+            == "repro.core._fx.helper"
+        )
+
+    def test_cross_module_via_typed_attribute(self):
+        project = build_project({
+            "src/repro/core/_a.py": """
+                class Store:
+                    def load(self):
+                        pass
+            """,
+            "src/repro/core/_b.py": """
+                from repro.core._a import Store
+
+                class Facade:
+                    def __init__(self):
+                        self._store = Store()
+
+                    def fetch(self):
+                        self._store.load()
+            """,
+        })
+        ref = project.functions["repro.core._b.Facade.fetch"]
+        target = project.resolve_call(ref.info.calls[0].callee, ref)
+        assert target == "repro.core._a.Store.load"
+
+    def test_constructor_resolves_to_init(self):
+        project = build_project({"src/repro/core/_fx.py": """
+            class Thing:
+                def __init__(self):
+                    pass
+
+            def make():
+                Thing()
+        """})
+        ref = project.functions["repro.core._fx.make"]
+        assert (
+            project.resolve_call("Thing", ref)
+            == "repro.core._fx.Thing.__init__"
+        )
+
+    def test_inherited_method_resolves_through_mro(self):
+        project = build_project({"src/repro/core/_fx.py": """
+            class Base:
+                def step(self):
+                    pass
+
+            class Child(Base):
+                def run(self):
+                    self.step()
+        """})
+        ref = project.functions["repro.core._fx.Child.run"]
+        assert (
+            project.resolve_call("self.step", ref)
+            == "repro.core._fx.Base.step"
+        )
+
+
+class TestAsyncTaint:
+    def test_transitive_taint_and_chain(self):
+        project = build_project({"src/repro/core/_fx.py": """
+            async def handler():
+                middle()
+
+            def middle():
+                leaf()
+
+            def leaf():
+                pass
+        """})
+        assert project.is_tainted("repro.core._fx.leaf")
+        chain = project.taint_chain("repro.core._fx.leaf")
+        assert chain == [
+            "repro.core._fx.handler",
+            "repro.core._fx.middle",
+            "repro.core._fx.leaf",
+        ]
+
+    def test_to_thread_hop_stops_taint(self):
+        project = build_project({"src/repro/core/_fx.py": """
+            import asyncio
+
+            async def handler():
+                await asyncio.to_thread(worker)
+
+            def worker():
+                pass
+        """})
+        assert not project.is_tainted("repro.core._fx.worker")
+
+    def test_executor_submit_is_a_hop(self):
+        project = build_project({"src/repro/core/_fx.py": """
+            async def handler(pool):
+                pool.submit(worker)
+
+            def worker():
+                pass
+        """})
+        assert not project.is_tainted("repro.core._fx.worker")
+
+    def test_cycle_terminates(self):
+        project = build_project({"src/repro/core/_fx.py": """
+            async def handler():
+                ping()
+
+            def ping():
+                pong()
+
+            def pong():
+                ping()
+        """})
+        assert project.is_tainted("repro.core._fx.ping")
+        assert project.is_tainted("repro.core._fx.pong")
+        # The chain is finite despite the ping <-> pong cycle.
+        assert len(project.taint_chain("repro.core._fx.pong")) <= 4
+
+    def test_decorated_async_def_still_seeds(self):
+        project = build_project({"src/repro/core/_fx.py": """
+            import functools
+
+            def traced(fn):
+                return fn
+
+            @traced
+            @functools.wraps(print)
+            async def handler():
+                helper()
+
+            def helper():
+                pass
+        """})
+        assert project.is_tainted("repro.core._fx.helper")
+
+    def test_test_file_coroutines_do_not_seed(self):
+        """Async tests drive sync code under asyncio.run on throwaway
+        loops; blocking there is not a production bug."""
+        project = build_project({
+            "src/repro/core/_fx.py": """
+                def helper():
+                    pass
+            """,
+            "tests/test_fx.py": """
+                async def test_helper():
+                    helper()
+
+                def helper():
+                    pass
+            """,
+        })
+        assert not any(project.async_taint)
+
+    def test_callback_reference_taints(self):
+        """A bare callable passed to a non-hop call is assumed invoked
+        in the caller's (async) context."""
+        project = build_project({"src/repro/core/_fx.py": """
+            async def handler():
+                retry(do_work)
+
+            def retry(fn):
+                pass
+
+            def do_work():
+                pass
+        """})
+        assert project.is_tainted("repro.core._fx.do_work")
+
+
+class TestSummaries:
+    def test_round_trip(self):
+        src = textwrap.dedent("""
+            import threading
+
+            POINT = "index.query"
+
+            class Guarded:
+                def __init__(self, metrics):
+                    self._lock = threading.Lock()
+                    self._metrics = metrics
+
+                def bump(self):
+                    self._metrics.incr("core.bumps")
+
+            def read(metrics):
+                return metrics.count("core.bumps")
+        """)
+        rel = "src/repro/robustness/_fx.py"
+        summary = summarize_module(
+            rel, module_name_for(rel), ast.parse(src),
+            parse_suppressions(src),
+        )
+        restored = ModuleSummary.from_dict(summary.to_dict())
+        assert restored.module == summary.module
+        assert set(restored.functions) == set(summary.functions)
+        assert restored.classes["Guarded"].lock_attrs == ["_lock"]
+        assert restored.declared_names == {"core.bumps"}
+        assert restored.fault_constants == {"index.query"}
+        assert [u.name for u in restored.name_uses] == ["core.bumps"]
+        # Round-tripped summaries drive the same project analysis.
+        roundtripped = ProjectContext({rel: restored})
+        direct = ProjectContext({rel: summary})
+        assert set(roundtripped.functions) == set(direct.functions)
+
+    def test_deadline_param_detection(self):
+        project = build_project({"src/repro/core/_fx.py": """
+            def run(k, deadline=None):
+                inner(k)
+
+            def inner(k, deadline_s=0.0):
+                pass
+        """})
+        assert (
+            project.functions["repro.core._fx.run"].info.deadline_param
+            == "deadline"
+        )
+        call = project.functions["repro.core._fx.run"].info.calls[0]
+        assert not call.passes_deadline
+
+
+class TestIndexCache:
+    def _seed_tree(self, root: Path) -> Path:
+        mod = root / "src" / "repro" / "core"
+        mod.mkdir(parents=True)
+        target = mod / "_cached.py"
+        target.write_text(textwrap.dedent("""
+            def helper():
+                return 1
+        """), encoding="utf-8")
+        return target
+
+    def test_second_run_reuses_summaries(self, tmp_path):
+        target = self._seed_tree(tmp_path)
+        index = tmp_path / ".repro-lint-index.json"
+        stats: dict = {}
+        first = check_project(
+            [tmp_path / "src"], root=tmp_path, index_path=index,
+            stats=stats,
+        )
+        assert stats == {
+            "files": 1, "parsed": 1, "reused": 0,
+            "elapsed_s": stats["elapsed_s"],
+        }
+        stats = {}
+        second = check_project(
+            [tmp_path / "src"], root=tmp_path, index_path=index,
+            stats=stats,
+        )
+        assert stats["reused"] == 1 and stats["parsed"] == 0
+        assert [f.to_dict() for f in first] == [
+            f.to_dict() for f in second
+        ]
+
+    def test_modified_file_is_reparsed(self, tmp_path):
+        target = self._seed_tree(tmp_path)
+        index = tmp_path / ".repro-lint-index.json"
+        check_project(
+            [tmp_path / "src"], root=tmp_path, index_path=index,
+        )
+        target.write_text("def helper():\n    return 2\n",
+                          encoding="utf-8")
+        os.utime(target, (1, 1))  # force an mtime change either way
+        stats: dict = {}
+        check_project(
+            [tmp_path / "src"], root=tmp_path, index_path=index,
+            stats=stats,
+        )
+        assert stats["parsed"] == 1 and stats["reused"] == 0
+
+    def test_stale_token_invalidates(self, tmp_path):
+        index = tmp_path / "index.json"
+        write_index(index, {})
+        assert load_index(index) is not None
+        data = json.loads(index.read_text(encoding="utf-8"))
+        data["token"] = "0" * 16
+        index.write_text(json.dumps(data), encoding="utf-8")
+        assert load_index(index) is None
+
+    def test_corrupt_index_ignored(self, tmp_path):
+        index = tmp_path / "index.json"
+        index.write_text("{not json", encoding="utf-8")
+        assert load_index(index) is None
+
+    def test_token_is_stable(self):
+        assert analysis_token() == analysis_token()

@@ -1,0 +1,427 @@
+"""Per-rule fixtures for the project-mode rules (RL007-RL012).
+
+Same contract as ``test_analysis_rules``: every rule gets a true
+positive, a true negative, and an honored (justified) suppression.
+The RL008 positive is the PR 4 breaker race in miniature — a
+``threading.Lock`` guarding state that an ``async`` path holds across
+an ``await`` — proving the project pass would have flagged the shape
+the runtime rewrite fixed.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import check_project_sources
+
+
+def run_project(sources, select=None):
+    return check_project_sources(
+        {rel: textwrap.dedent(src) for rel, src in sources.items()},
+        select=select,
+    )
+
+
+def codes(findings):
+    return [f.rule for f in findings]
+
+
+SRC = "src/repro/core/_fixture.py"
+
+
+class TestRL007BlockingInAsync:
+    def test_direct_blocking_call_in_async_def(self):
+        findings = run_project({SRC: """
+            import time
+
+            async def handler():
+                time.sleep(0.1)
+        """}, select=["RL007"])
+        assert codes(findings) == ["RL007"]
+        assert "time.sleep" in findings[0].message
+        assert findings[0].line == 5
+
+    def test_transitive_reach_reports_the_chain(self):
+        findings = run_project({SRC: """
+            import time
+
+            async def handler():
+                load()
+
+            def load():
+                time.sleep(0.1)
+        """}, select=["RL007"])
+        assert codes(findings) == ["RL007"]
+        assert "handler" in findings[0].message  # taint chain shown
+
+    def test_cross_module_pool_dispatch(self):
+        """The shape of the service bug this PR fixed: an async
+        handler reaching a pool warm-up through two modules."""
+        findings = run_project({
+            "src/repro/service/_mgr.py": """
+                class Manager:
+                    def create(self, pool):
+                        pool.warm()
+            """,
+            "src/repro/service/_svc.py": """
+                from repro.service._mgr import Manager
+
+                class Service:
+                    def __init__(self):
+                        self.sessions = Manager()
+
+                    async def handle(self, pool):
+                        self.sessions.create(pool)
+            """,
+        }, select=["RL007"])
+        assert codes(findings) == ["RL007"]
+        assert findings[0].path == "src/repro/service/_mgr.py"
+
+    def test_to_thread_hop_is_clean(self):
+        findings = run_project({SRC: """
+            import asyncio
+            import time
+
+            async def handler():
+                await asyncio.to_thread(load)
+
+            def load():
+                time.sleep(0.1)
+        """}, select=["RL007"])
+        assert findings == []
+
+    def test_awaited_acquire_is_clean(self):
+        findings = run_project({SRC: """
+            import asyncio
+
+            async def handler(sem):
+                await asyncio.wait_for(sem.acquire(), 1.0)
+                await sem.acquire()
+        """}, select=["RL007"])
+        assert findings == []
+
+    def test_asyncio_sleep_is_clean(self):
+        findings = run_project({SRC: """
+            import asyncio
+
+            async def handler():
+                await asyncio.sleep(0.1)
+        """}, select=["RL007"])
+        assert findings == []
+
+    def test_suppression_honored(self):
+        findings = run_project({SRC: """
+            import time
+
+            async def handler():
+                # startup-only path, loop not yet serving
+                time.sleep(0.1)  # repro-lint: disable=RL007 -- startup only
+        """}, select=["RL007"])
+        assert findings == []
+
+
+class TestRL008LockAcrossAwait:
+    def test_pr4_breaker_race_shape(self):
+        findings = run_project({SRC: """
+            import threading
+
+            class Breaker:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._failures = 0
+
+                async def guarded_probe(self):
+                    with self._lock:
+                        await self.probe()
+
+                async def probe(self):
+                    pass
+        """}, select=["RL008"])
+        assert codes(findings) == ["RL008"]
+        assert "self._lock" in findings[0].message
+
+    def test_async_with_on_thread_lock(self):
+        findings = run_project({SRC: """
+            import threading
+
+            async def handler():
+                lock = threading.Lock()
+                async with lock:
+                    pass
+        """}, select=["RL008"])
+        assert codes(findings) == ["RL008"]
+
+    def test_asyncio_lock_is_clean(self):
+        findings = run_project({SRC: """
+            import asyncio
+
+            class Guard:
+                def __init__(self):
+                    self._lock = asyncio.Lock()
+
+                async def run(self):
+                    async with self._lock:
+                        await asyncio.sleep(0)
+        """}, select=["RL008"])
+        assert findings == []
+
+    def test_lock_released_before_await_is_clean(self):
+        findings = run_project({SRC: """
+            import asyncio
+            import threading
+
+            class Guard:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                async def run(self):
+                    with self._lock:
+                        snapshot = 1
+                    await asyncio.sleep(snapshot)
+        """}, select=["RL008"])
+        assert findings == []
+
+    def test_suppression_honored(self):
+        findings = run_project({SRC: """
+            import threading
+
+            class Guard:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                async def run(self):
+                    # repro-lint: disable=RL008 -- await cannot re-enter
+                    with self._lock:
+                        await self.noop()
+
+                async def noop(self):
+                    pass
+        """}, select=["RL008"])
+        assert findings == []
+
+
+class TestRL009ResourceLifecycle:
+    def test_dropped_executor_flagged(self):
+        findings = run_project({SRC: """
+            from concurrent.futures import ThreadPoolExecutor
+
+            def burst(jobs):
+                pool = ThreadPoolExecutor(4)
+                return [pool.submit(job) for job in jobs]
+        """}, select=["RL009"])
+        assert codes(findings) == ["RL009"]
+        assert "'pool'" in findings[0].message
+
+    def test_cross_module_closeable_class(self):
+        findings = run_project({
+            "src/repro/parallel/_pool.py": """
+                class WorkerPool:
+                    def close(self):
+                        pass
+            """,
+            "src/repro/core/_user.py": """
+                from repro.parallel._pool import WorkerPool
+
+                def sweep():
+                    pool = WorkerPool()
+                    pool.warm()
+            """,
+        }, select=["RL009"])
+        assert codes(findings) == ["RL009"]
+        assert findings[0].path == "src/repro/core/_user.py"
+
+    def test_discharges_are_clean(self):
+        findings = run_project({SRC: """
+            from concurrent.futures import ThreadPoolExecutor
+
+            def managed(jobs):
+                with ThreadPoolExecutor(4) as pool:
+                    return [pool.submit(job) for job in jobs]
+
+            def handed_back():
+                return ThreadPoolExecutor(4)
+
+            class Owner:
+                def __init__(self):
+                    self._pool = ThreadPoolExecutor(4)
+
+                def close(self):
+                    self._pool.shutdown()
+
+            def explicit():
+                pool = ThreadPoolExecutor(4)
+                try:
+                    pool.submit(print)
+                finally:
+                    pool.shutdown()
+        """}, select=["RL009"])
+        assert findings == []
+
+    def test_non_closeable_class_ignored(self):
+        findings = run_project({SRC: """
+            class Plain:
+                pass
+
+            def make():
+                thing = Plain()
+                thing.x = 1
+        """}, select=["RL009"])
+        assert findings == []
+
+    def test_suppression_honored(self):
+        findings = run_project({SRC: """
+            from concurrent.futures import ThreadPoolExecutor
+
+            def leak_on_purpose():
+                # repro-lint: disable=RL009 -- process-lifetime pool
+                pool = ThreadPoolExecutor(4)
+                pool.submit(print)
+        """}, select=["RL009"])
+        assert findings == []
+
+
+class TestRL010NameRegistry:
+    def test_typo_metric_read_flagged(self):
+        findings = run_project({
+            "src/repro/core/_writer.py": """
+                def record(metrics):
+                    metrics.incr("service.admitted")
+            """,
+            "src/repro/core/_reader.py": """
+                def admitted(metrics):
+                    return metrics.count("service.admited")
+            """,
+        }, select=["RL010"])
+        assert codes(findings) == ["RL010"]
+        assert "service.admited" in findings[0].message
+        assert findings[0].path == "src/repro/core/_reader.py"
+
+    def test_declared_and_prefixed_reads_clean(self):
+        findings = run_project({SRC: """
+            def record(metrics, kind):
+                metrics.incr("service.admitted")
+                metrics.incr(f"service.sheds.{kind}")
+
+            def read(metrics):
+                a = metrics.count("service.admitted")
+                b = metrics.count("service.sheds.queue_full")
+                return a + b
+        """}, select=["RL010"])
+        assert findings == []
+
+    def test_unknown_fault_point_flagged(self):
+        findings = run_project({
+            "src/repro/robustness/_points.py": """
+                INDEX_QUERY = "index.query"
+            """,
+            "src/repro/core/_chaos.py": """
+                def chaos(injector):
+                    injector.arm("index.qurey")
+            """,
+        }, select=["RL010"])
+        assert codes(findings) == ["RL010"]
+        assert "index.qurey" in findings[0].message
+
+    def test_declared_fault_point_clean(self):
+        findings = run_project({
+            "src/repro/robustness/_points.py": """
+                INDEX_QUERY = "index.query"
+            """,
+            "src/repro/core/_chaos.py": """
+                def chaos(injector):
+                    injector.arm("index.query")
+            """,
+        }, select=["RL010"])
+        assert findings == []
+
+    def test_suppression_honored(self):
+        findings = run_project({SRC: """
+            def read(metrics):
+                # external dashboard name, declared by the collector
+                return metrics.count("host.cpu")  # repro-lint: disable=RL010 -- external name
+        """}, select=["RL010"])
+        assert findings == []
+
+
+class TestRL011DeadlinePropagation:
+    def test_dropped_deadline_flagged(self):
+        findings = run_project({SRC: """
+            def select(k, deadline=None):
+                return sweep(k)
+
+            def sweep(k, deadline=None):
+                return k
+        """}, select=["RL011"])
+        assert codes(findings) == ["RL011"]
+        assert "deadline" in findings[0].message
+
+    def test_forwarded_deadline_clean(self):
+        findings = run_project({SRC: """
+            def select(k, deadline=None):
+                return sweep(k, deadline=deadline)
+
+            def sweep(k, deadline=None):
+                return k
+        """}, select=["RL011"])
+        assert findings == []
+
+    def test_deadline_free_callee_clean(self):
+        findings = run_project({SRC: """
+            def select(k, deadline=None):
+                return double(k)
+
+            def double(k):
+                return 2 * k
+        """}, select=["RL011"])
+        assert findings == []
+
+    def test_suppression_honored(self):
+        findings = run_project({SRC: """
+            def select(k, deadline=None):
+                # sweep is O(1) here; budget irrelevant
+                return sweep(k)  # repro-lint: disable=RL011 -- constant-time callee
+
+            def sweep(k, deadline=None):
+                return k
+        """}, select=["RL011"])
+        assert findings == []
+
+
+class TestRL012HalfOpenIntervals:
+    def test_closed_chained_window_flagged(self):
+        findings = run_project({SRC: """
+            def members(t0, t1, ts):
+                return [t for t in ts if t0 <= t <= t1]
+        """}, select=["RL012"])
+        assert codes(findings) == ["RL012"]
+        assert "half-open" in findings[0].message
+
+    def test_closed_scalar_upper_bound_flagged(self):
+        findings = run_project({SRC: """
+            def in_window(ts, t_end):
+                return ts <= t_end
+        """}, select=["RL012"])
+        assert codes(findings) == ["RL012"]
+
+    def test_half_open_window_clean(self):
+        findings = run_project({SRC: """
+            def members(t0, t1, ts):
+                return [t for t in ts if t0 <= t < t1]
+        """}, select=["RL012"])
+        assert findings == []
+
+    def test_bound_ordering_and_scalars_clean(self):
+        findings = run_project({SRC: """
+            def validate(t0, t1, time_hysteresis):
+                assert t0 <= t1
+                assert 0.0 <= time_hysteresis <= 1.0
+        """}, select=["RL012"])
+        assert findings == []
+
+    def test_suppression_honored(self):
+        findings = run_project({SRC: """
+            def members(t0, t1, ts):
+                # inclusive by spec: final frame owns its right edge
+                return [t for t in ts if t0 <= t <= t1]  # repro-lint: disable=RL012 -- spec-inclusive
+        """}, select=["RL012"])
+        assert findings == []

@@ -1,0 +1,248 @@
+"""Event-loop safety and teardown containment in the service layer.
+
+Regression tests for three defect classes the project-mode lint
+(RL007/RL009) surfaced:
+
+* blocking work reachable from coroutines — an armed admit-latency
+  fault used ``time.sleep`` on the loop, and ``start`` ran session
+  creation (pool warm-up: worker spawn, shared-memory export) inline;
+* teardown leaks — one session whose ``close()`` raised aborted
+  ``close_all``, leaking every session behind it plus the shared
+  pools;
+* ``ServiceHTTPServer.stop()`` re-raising a dead sweeper's exception
+  before closing the listening socket or the service.
+
+Each test fails against the pre-fix code.
+"""
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro import GeoDataset, MetricsRegistry
+from repro.robustness import FaultInjector
+from repro.robustness.faults import SERVICE_ADMIT
+from repro.service import (
+    SelectionService,
+    ServiceHTTPServer,
+    ServiceRequest,
+    SessionManager,
+)
+
+
+def make_dataset(n=400, seed=11):
+    gen = np.random.default_rng(seed)
+    return GeoDataset.build(
+        gen.random(n), gen.random(n), weights=gen.random(n)
+    )
+
+
+async def heartbeat(ticks, interval_s=0.01):
+    """Count loop iterations; starves iff something blocks the loop."""
+    while True:
+        await asyncio.sleep(interval_s)
+        ticks.append(time.perf_counter())
+
+
+class TestLoopNotBlocked:
+    def test_admit_latency_yields_the_loop(self):
+        """An armed admit-latency fault must not stall other requests.
+
+        Pre-fix, ``AdmissionTicket.__aenter__`` called the injector's
+        sync ``check`` whose latency is ``time.sleep`` — every
+        coroutine on the loop froze for the injected delay.
+        """
+        injector = FaultInjector().arm(
+            SERVICE_ADMIT, latency_s=0.25, error=None
+        )
+        service = SelectionService(
+            {"a": make_dataset()},
+            fault_injector=injector,
+            default_deadline_ms=5000.0,
+            session_options={"k": 5, "workers": 0},
+        )
+
+        async def go():
+            ticks = []
+            beat = asyncio.ensure_future(heartbeat(ticks))
+            try:
+                response = await service.handle(ServiceRequest(op="start"))
+            finally:
+                beat.cancel()
+            assert response.ok
+            return len(ticks)
+
+        try:
+            ticks = asyncio.run(go())
+        finally:
+            service.close()
+        # 0.25s of injected latency at a 10ms heartbeat: well over five
+        # ticks when the sleep is async, exactly zero when it blocks.
+        assert ticks >= 5
+
+    def test_session_creation_runs_off_loop(self):
+        """``start`` must hop session creation off the event loop.
+
+        Creation warms the dataset's shared worker pool — seconds of
+        process spawn and model export in real deployments, simulated
+        here by a slow ``SessionManager.create``.  Pre-fix the service
+        called it inline and the loop froze for the duration.
+        """
+        service = SelectionService(
+            {"a": make_dataset()},
+            default_deadline_ms=5000.0,
+            session_options={"k": 5, "workers": 0},
+        )
+        real_create = service.sessions.create
+
+        def slow_create(*args, **kwargs):
+            time.sleep(0.25)
+            return real_create(*args, **kwargs)
+
+        service.sessions.create = slow_create
+
+        async def go():
+            ticks = []
+            beat = asyncio.ensure_future(heartbeat(ticks))
+            try:
+                response = await service.handle(ServiceRequest(op="start"))
+            finally:
+                beat.cancel()
+            assert response.ok
+            return len(ticks)
+
+        try:
+            ticks = asyncio.run(go())
+        finally:
+            service.close()
+        assert ticks >= 5
+
+
+class TestTeardownContainment:
+    def _manager(self, metrics):
+        return SessionManager(
+            {"a": make_dataset()},
+            session_options={"k": 5, "workers": 0},
+            metrics=metrics,
+        )
+
+    def test_close_all_survives_a_raising_session(self):
+        """One bad ``close()`` must not leak the sessions behind it.
+
+        Pre-fix ``close_all`` propagated the first close error,
+        leaving later sessions (and the shared pools) open forever —
+        the manager dict was already cleared, so nothing could ever
+        reach them again.
+        """
+        metrics = MetricsRegistry()
+        manager = self._manager(metrics)
+        entries = [manager.create() for _ in range(3)]
+        closed = []
+
+        def make_close(entry, fail):
+            real = entry.session.close
+
+            def close():
+                if fail:
+                    raise RuntimeError("teardown bug")
+                closed.append(entry.session_id)
+                real()
+
+            return close
+
+        for i, entry in enumerate(entries):
+            entry.session.close = make_close(entry, fail=(i == 0))
+
+        manager.close_all()  # must not raise
+        assert sorted(closed) == [e.session_id for e in entries[1:]]
+        assert metrics.count("service.sessions.close_errors") == 1
+        assert metrics.count("service.sessions.closed") == 2
+
+    def test_evict_expired_survives_a_raising_session(self):
+        metrics = MetricsRegistry()
+        now = [0.0]
+        manager = SessionManager(
+            {"a": make_dataset()},
+            session_options={"k": 5, "workers": 0},
+            ttl_s=10.0,
+            clock=lambda: now[0],
+            metrics=metrics,
+        )
+        bad, good = manager.create(), manager.create()
+        bad.session.close = lambda: (_ for _ in ()).throw(
+            RuntimeError("teardown bug")
+        )
+        now[0] = 60.0
+        evicted = manager.evict_expired()
+        assert sorted(evicted) == sorted(
+            [bad.session_id, good.session_id]
+        )
+        assert manager.count == 0
+        assert metrics.count("service.sessions.close_errors") == 1
+        assert metrics.count("service.sessions.evicted") == 1
+
+    def test_close_all_closes_pools_even_on_broad_failure(self):
+        """Shared pools must be released even past containment.
+
+        ``_close_session`` only contains ``Exception``; a
+        ``KeyboardInterrupt``-class escape mid-loop must still reach
+        the pool teardown via the ``finally``.
+        """
+        manager = self._manager(MetricsRegistry())
+        entry = manager.create()
+
+        class Torn(BaseException):
+            pass
+
+        entry.session.close = lambda: (_ for _ in ()).throw(Torn())
+        pool_closed = []
+        manager._pools["a"] = type(
+            "FakePool", (), {"close": lambda self: pool_closed.append(True)}
+        )()
+        with pytest.raises(Torn):
+            manager.close_all()
+        assert pool_closed == [True]
+
+
+class TestHTTPStop:
+    def test_stop_tears_down_after_sweeper_crash(self):
+        """A dead sweeper must not abort server/service teardown.
+
+        Pre-fix ``stop()`` awaited the cancelled sweeper first and a
+        non-``CancelledError`` crash re-raised immediately — the
+        listening socket stayed open and ``service.aclose()`` never
+        ran.  The crash must still surface (it is a real bug in the
+        eviction path), but only after teardown completes.
+        """
+        service = SelectionService(
+            {"a": make_dataset()},
+            session_options={"k": 5, "workers": 0},
+            session_ttl_s=0.05,
+        )
+
+        def broken_sweep(*args, **kwargs):
+            raise RuntimeError("eviction bug")
+
+        service.sessions.evict_expired = broken_sweep
+
+        async def go():
+            server = ServiceHTTPServer(
+                service, port=0, sweep_interval_s=0.01
+            )
+            await server.start()
+            assert server._sweeper is not None
+            # Let the sweeper tick once and die on the broken sweep.
+            for _ in range(100):
+                if server._sweeper.done():
+                    break
+                await asyncio.sleep(0.01)
+            assert server._sweeper.done()
+            with pytest.raises(RuntimeError, match="eviction bug"):
+                await server.stop()
+            assert server._server is None
+
+        asyncio.run(go())
+        # The service went down despite the sweeper's crash.
+        assert service._closed
